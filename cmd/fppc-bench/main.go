@@ -1,0 +1,89 @@
+// fppc-bench regenerates the paper's evaluation tables.
+//
+// Usage:
+//
+//	fppc-bench -table 1          # DA vs FPPC across the 13 benchmarks
+//	fppc-bench -table 2          # comparison to assay-specific designs
+//	fppc-bench -table 3          # FPPC array-size sweep
+//	fppc-bench -table 3 -dispense 2   # section 5.2 dispense ablation
+//	fppc-bench -markdown         # all tables as Markdown with paper values
+//	fppc-bench -table 0          # everything (default)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"fppc/internal/assays"
+	"fppc/internal/bench"
+	"fppc/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fppc-bench: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fppc-bench", flag.ContinueOnError)
+	table := fs.Int("table", 0, "table to regenerate (1, 2 or 3; 0 = all)")
+	dispense := fs.Int("dispense", 0, "override protein dispense latency in seconds (table 3)")
+	heights := fs.String("heights", "", "comma-separated FPPC heights for table 3 (default 9,12,15,18,21)")
+	markdown := fs.Bool("markdown", false, "emit all tables as Markdown with paper values inline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	tm := assays.DefaultTiming()
+	if *markdown {
+		md, err := report.Markdown(tm)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, md)
+		return nil
+	}
+	if *table == 0 || *table == 1 {
+		rows, avg, err := bench.Table1(tm)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, bench.FormatTable1(rows, avg))
+	}
+	if *table == 0 || *table == 2 {
+		rows, err := bench.Table2(tm)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, bench.FormatTable2(rows))
+	}
+	if *table == 0 || *table == 3 {
+		var hs []int
+		if *heights != "" {
+			for _, f := range strings.Split(*heights, ",") {
+				h, err := strconv.Atoi(strings.TrimSpace(f))
+				if err != nil {
+					return fmt.Errorf("bad height %q: %w", f, err)
+				}
+				hs = append(hs, h)
+			}
+		}
+		rows, err := bench.Table3(tm, hs, *dispense)
+		if err != nil {
+			return err
+		}
+		if *dispense > 0 {
+			fmt.Fprintf(out, "(protein dispense latency overridden to %d s)\n", *dispense)
+		}
+		fmt.Fprintln(out, bench.FormatTable3(rows))
+	}
+	return nil
+}

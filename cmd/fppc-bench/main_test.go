@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTable3Only(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-table", "3", "-heights", "9,15"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "12x9") || !strings.Contains(s, "12x15") {
+		t.Errorf("height rows missing:\n%s", s)
+	}
+	if strings.Contains(s, "Table 1") {
+		t.Errorf("table 1 printed for -table 3")
+	}
+}
+
+func TestRunDispenseOverride(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-table", "3", "-heights", "18", "-dispense", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "overridden to 2 s") {
+		t.Errorf("override note missing")
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-table", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Multi-Function") {
+		t.Errorf("table 2 incomplete")
+	}
+}
+
+func TestRunBadHeights(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-table", "3", "-heights", "x,y"}, &out); err == nil {
+		t.Errorf("bad heights accepted")
+	}
+}

@@ -1,0 +1,119 @@
+// fppc-flow prints the ideal-mixing flow analysis of an assay: the volume
+// and composition of every droplet reaching a detector or output — the
+// dilution arithmetic a lab checks before running the protocol.
+//
+// Usage:
+//
+//	fppc-flow -assay protein2
+//	fppc-flow -file ladder.asl -fluid protein
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fppc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fppc-flow: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fppc-flow", flag.ContinueOnError)
+	name := fs.String("assay", "protein1", "built-in assay: pcr, invitroN, proteinN, dilutionN")
+	file := fs.String("file", "", ".asl assay file (overrides -assay)")
+	fluid := fs.String("fluid", "", "fluid to report concentrations for (default: first dispensed)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var assay *fppc.Assay
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		assay, err = fppc.ParseASL(string(data))
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		assay, err = builtin(*name)
+		if err != nil {
+			return err
+		}
+	}
+
+	flows, err := fppc.AnalyzeFlow(assay)
+	if err != nil {
+		return err
+	}
+	track := *fluid
+	if track == "" {
+		for _, n := range assay.Nodes {
+			if n.Kind == fppc.Dispense {
+				track = n.Fluid
+				break
+			}
+		}
+	}
+	fmt.Fprintf(out, "%s: tracking %q\n", assay.Name, track)
+	fmt.Fprintf(out, "%-14s %-10s %8s %14s\n", "consumer", "kind", "volume", "concentration")
+	type row struct {
+		label, kind string
+		vol, conc   float64
+	}
+	var rows []row
+	for _, f := range flows {
+		n := assay.Node(f.Consumer)
+		if n.Kind != fppc.Detect && n.Kind != fppc.Output {
+			continue
+		}
+		rows = append(rows, row{n.Label, n.Kind.String(), f.Volume, f.Concentration[track]})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].label < rows[j].label })
+	for _, r := range rows {
+		fmt.Fprintf(out, "%-14s %-10s %8.3f %13.2f%%\n", r.label, r.kind, r.vol, 100*r.conc)
+	}
+	return nil
+}
+
+func builtin(name string) (*fppc.Assay, error) {
+	tm := fppc.DefaultTiming()
+	name = strings.ToLower(name)
+	switch {
+	case name == "pcr":
+		return fppc.PCR(tm), nil
+	case strings.HasPrefix(name, "invitro"):
+		n, err := strconv.Atoi(name[len("invitro"):])
+		if err != nil || n < 1 || n > 5 {
+			return nil, fmt.Errorf("bad in-vitro index in %q", name)
+		}
+		return fppc.InVitroN(n, tm), nil
+	case strings.HasPrefix(name, "protein"):
+		n, err := strconv.Atoi(name[len("protein"):])
+		if err != nil || n < 1 || n > 7 {
+			return nil, fmt.Errorf("bad protein-split level in %q", name)
+		}
+		return fppc.ProteinSplit(n, tm), nil
+	case strings.HasPrefix(name, "dilution"):
+		n, err := strconv.Atoi(name[len("dilution"):])
+		if err != nil || n < 1 || n > 20 {
+			return nil, fmt.Errorf("bad dilution step count in %q", name)
+		}
+		return fppc.SerialDilution(n, tm), nil
+	}
+	return nil, fmt.Errorf("unknown assay %q", name)
+}

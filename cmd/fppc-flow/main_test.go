@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDilution(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-assay", "dilution3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{"Serial Dilution 3", "50.00%", "25.00%", "12.50%"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("output missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestRunASL(t *testing.T) {
+	src := "assay \"x\"\nfluid a\nfluid b\np = dispense a 2\nq = dispense b 2\nm = mix p q 3\nd = detect m 4\noutput d waste\n"
+	path := filepath.Join(t.TempDir(), "x.asl")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-file", path, "-fluid", "a"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "50.00%") {
+		t.Errorf("1:1 mix should read 50%%:\n%s", out.String())
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-assay", "nope"}, &out); err == nil {
+		t.Errorf("unknown assay accepted")
+	}
+}

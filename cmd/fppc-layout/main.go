@@ -1,0 +1,82 @@
+// fppc-layout prints the pin diagram of a chip in the style of the
+// paper's Figure 5: one pin number per electrode, dots for interference
+// regions.
+//
+// Usage:
+//
+//	fppc-layout                     # the Figure 5 chip (12x15)
+//	fppc-layout -height 21          # the Table 1 workhorse
+//	fppc-layout -da -w 15 -h 19     # the direct-addressing baseline
+//	fppc-layout -check -wiring      # design rules + PCB cost estimate
+//	fppc-layout -export chip.json   # wiring description for tools
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"fppc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fppc-layout: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fppc-layout", flag.ContinueOnError)
+	height := fs.Int("height", 15, "FPPC chip height (width is fixed at 12)")
+	da := fs.Bool("da", false, "print a direct-addressing chip instead")
+	w := fs.Int("w", 15, "DA chip width")
+	h := fs.Int("h", 19, "DA chip height")
+	check := fs.Bool("check", false, "run the fluidic design-rule checker")
+	wiring := fs.Bool("wiring", false, "print the PCB wiring-cost estimate")
+	export := fs.String("export", "", "write the chip wiring description as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var chip *fppc.Chip
+	var err error
+	if *da {
+		chip, err = fppc.NewDAChip(*w, *h)
+	} else {
+		chip, err = fppc.NewFPPCChip(*height)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, chip.Render())
+	fmt.Fprintf(out, "modules:")
+	for _, m := range chip.Modules() {
+		fmt.Fprintf(out, " %v[%d]@%v", m.Kind, m.Index, m.Rect)
+	}
+	fmt.Fprintln(out)
+	if *check {
+		if err := fppc.CheckDesignRules(chip); err != nil {
+			return fmt.Errorf("design rules VIOLATED: %w", err)
+		}
+		fmt.Fprintln(out, "design rules: OK (3-phase buses, intersections, isolation, module I/O, reachability)")
+	}
+	if *wiring {
+		fmt.Fprintln(out, "wiring:", fppc.AnalyzeWiring(chip))
+	}
+	if *export != "" {
+		f, err := os.Create(*export)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := fppc.ExportChipJSON(f, chip); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wiring description written to %s\n", *export)
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDefault(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{"fppc-12x15", "33 pins", "mix[0]", "ssd[5]"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("output missing %q", frag)
+		}
+	}
+}
+
+func TestRunDAWithChecks(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-da", "-w", "15", "-h", "19", "-check", "-wiring"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "design rules: OK") || !strings.Contains(s, "PCB layer") {
+		t.Errorf("checks missing from output:\n%s", s)
+	}
+}
+
+func TestRunExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chip.json")
+	var out strings.Builder
+	if err := run([]string{"-height", "9", "-export", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"pin\"") {
+		t.Errorf("export missing pin fields")
+	}
+}
+
+func TestRunBadSize(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-height", "3"}, &out); err == nil {
+		t.Errorf("tiny chip accepted")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Errorf("bad flag accepted")
+	}
+}

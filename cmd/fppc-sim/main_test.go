@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunVerifiesPCR(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-assay", "pcr"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "verified: every operation executed") {
+		t.Errorf("verification line missing:\n%s", out.String())
+	}
+}
+
+func TestRunWatchFrames(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-assay", "invitro1", "-watch", "50"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out.String(), "cycle ") < 2 {
+		t.Errorf("expected multiple frames:\n%.300s", out.String())
+	}
+}
+
+func TestRunRotations(t *testing.T) {
+	var thin, thick strings.Builder
+	if err := run([]string{"-assay", "pcr", "-rotations", "1"}, &thin); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-assay", "pcr", "-rotations", "6"}, &thick); err != nil {
+		t.Fatal(err)
+	}
+	// More rotations per step means a longer program; both must verify.
+	if !strings.Contains(thick.String(), "verified") {
+		t.Errorf("thick program failed verification")
+	}
+}
+
+func TestRunUnknownAssay(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-assay", "mystery"}, &out); err == nil {
+		t.Errorf("unknown assay accepted")
+	}
+}

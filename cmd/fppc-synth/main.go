@@ -1,0 +1,178 @@
+// fppc-synth compiles an assay onto a DMFB and reports the synthesis
+// metrics. Assays come from the built-in benchmark generators, a JSON DAG
+// file, or an assay-description-language (.asl) file.
+//
+// Usage:
+//
+//	fppc-synth -assay pcr
+//	fppc-synth -assay invitro3 -target da
+//	fppc-synth -assay protein4 -grow -gantt
+//	fppc-synth -file myassay.asl -program out.pins -frames out.bin
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"fppc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fppc-synth: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fppc-synth", flag.ContinueOnError)
+	name := fs.String("assay", "pcr", "built-in assay: pcr, invitroN (N=1..5), proteinN (N=1..7)")
+	file := fs.String("file", "", "JSON or .asl assay file (overrides -assay)")
+	target := fs.String("target", "fppc", "architecture: fppc or da")
+	height := fs.Int("height", 0, "FPPC chip height (0 = 12x21 default)")
+	grow := fs.Bool("grow", false, "grow the array until the assay fits")
+	program := fs.String("program", "", "write the compiled pin program to this file")
+	frames := fs.String("frames", "", "write the dry-controller frame stream to this file")
+	gantt := fs.Bool("gantt", false, "print a module-occupancy Gantt chart of the schedule")
+	dot := fs.Bool("dot", false, "print the assay DAG in Graphviz dot format and exit")
+	dump := fs.String("dump-assay", "", "write the assay DAG as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	assay, err := loadAssay(*file, *name)
+	if err != nil {
+		return err
+	}
+	if *dot {
+		fmt.Fprint(out, assay.DOT())
+		return nil
+	}
+	if *dump != "" {
+		data, err := json.MarshalIndent(assay, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*dump, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "assay written to %s\n", *dump)
+		return nil
+	}
+	cfg := fppc.Config{FPPCHeight: *height, AutoGrow: *grow}
+	switch *target {
+	case "fppc":
+		cfg.Target = fppc.TargetFPPC
+	case "da":
+		cfg.Target = fppc.TargetDA
+	default:
+		return fmt.Errorf("unknown target %q", *target)
+	}
+	if *program != "" || *frames != "" {
+		if cfg.Target != fppc.TargetFPPC {
+			return fmt.Errorf("pin programs are only emitted for the fppc target")
+		}
+		cfg.Router = fppc.RouterOptions{EmitProgram: true, RotationsPerStep: 12}
+	}
+	res, err := fppc.Compile(assay, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, res.Summary())
+	st, err := assay.ComputeStats()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "assay: %d operations, %d edges, critical path %d s, peak width %d\n",
+		st.Nodes, st.Edges, st.CriticalPath, st.MaxConcurrent)
+	fmt.Fprintf(out, "schedule: makespan %d steps, %d droplet moves, %d storage relocations, peak stored %d\n",
+		res.Schedule.Makespan, len(res.Schedule.Moves), res.Schedule.StorageMoves, res.Schedule.PeakStored)
+	fmt.Fprintf(out, "routing: %d sub-problems, %d cycles total, %d deadlock-buffer relocations\n",
+		len(res.Routing.Boundaries), res.Routing.TotalCycles, res.Routing.BufferReloc)
+	if u := res.Schedule.Utilization(); len(u) > 0 {
+		fmt.Fprintf(out, "module utilization:")
+		for _, kind := range []string{"mix", "ssd", "work"} {
+			if v, ok := u[kind]; ok {
+				fmt.Fprintf(out, " %s %.0f%%", kind, 100*v)
+			}
+		}
+		fmt.Fprintln(out)
+	}
+	if *gantt {
+		fmt.Fprintln(out)
+		fmt.Fprint(out, res.Schedule.Gantt())
+	}
+
+	if *program != "" {
+		f, err := os.Create(*program)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, err := res.Routing.Program.WriteTo(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "pin program: %d cycles written to %s\n", res.Routing.Program.Len(), *program)
+		fmt.Fprintln(out, "pin load:", fppc.ComputePinStats(res.Routing.Program))
+	}
+	if *frames != "" {
+		f, err := os.Create(*frames)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := fppc.EncodeFrames(f, res.Routing.Program, res.Chip.PinCount()); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "controller frames written to %s (%d B/s at 100 Hz)\n",
+			*frames, fppc.LinkBandwidthBps(res.Chip.PinCount(), 100))
+	}
+	return nil
+}
+
+// loadAssay resolves a JSON or ASL file, or a built-in benchmark name.
+func loadAssay(file, name string) (*fppc.Assay, error) {
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasSuffix(file, ".asl") {
+			return fppc.ParseASL(string(data))
+		}
+		var a fppc.Assay
+		if err := json.Unmarshal(data, &a); err != nil {
+			return nil, err
+		}
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+		return &a, nil
+	}
+	tm := fppc.DefaultTiming()
+	name = strings.ToLower(name)
+	switch {
+	case name == "pcr":
+		return fppc.PCR(tm), nil
+	case strings.HasPrefix(name, "invitro"):
+		n, err := strconv.Atoi(name[len("invitro"):])
+		if err != nil || n < 1 || n > 5 {
+			return nil, fmt.Errorf("bad in-vitro index in %q (want invitro1..invitro5)", name)
+		}
+		return fppc.InVitroN(n, tm), nil
+	case strings.HasPrefix(name, "protein"):
+		n, err := strconv.Atoi(name[len("protein"):])
+		if err != nil || n < 1 || n > 7 {
+			return nil, fmt.Errorf("bad protein-split level in %q (want protein1..protein7)", name)
+		}
+		return fppc.ProteinSplit(n, tm), nil
+	}
+	return nil, fmt.Errorf("unknown assay %q (pcr, invitroN, proteinN)", name)
+}

@@ -1,0 +1,11 @@
+# A one-off glucose spot check in the assay description language.
+# Compile directly with:  fppc-synth -file examples/multiplex/spotcheck.asl
+assay "glucose-spot-check"
+fluid serum
+fluid glucose_ox
+
+s = dispense serum 2
+r = dispense glucose_ox 2
+m = mix s r 3
+d = detect m 7
+output d waste

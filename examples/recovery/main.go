@@ -1,0 +1,52 @@
+// Recovery demonstrates dynamic error recovery on the field-programmable
+// chip: an In-Vitro panel runs, one detection flags a bad droplet, and
+// the toolchain recompiles just the affected chain for immediate re-run
+// on the same hardware. Assay-specific pin-constrained chips cannot do
+// this — their wiring encodes one fixed schedule.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fppc"
+)
+
+func main() {
+	assay := fppc.InVitroN(3, fppc.DefaultTiming())
+	run, err := fppc.Compile(assay, fppc.Config{Target: fppc.TargetFPPC})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("original:", run.Summary())
+
+	// Suppose the 5th detection reads back garbage.
+	var failed int
+	seen := 0
+	for _, n := range assay.Nodes {
+		if n.Kind == fppc.Detect {
+			seen++
+			if seen == 5 {
+				failed = n.ID
+			}
+		}
+	}
+	fmt.Printf("detection %q failed; planning recovery...\n", assay.Node(failed).Label)
+
+	plan, err := fppc.PlanRecovery(assay, []int{failed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovery plan: %d of %d operations re-run\n", plan.Assay.Len(), assay.Len())
+
+	rerun, err := fppc.Compile(plan.Assay, fppc.Config{
+		Target:     fppc.TargetFPPC,
+		FPPCHeight: run.Chip.H, // the very same chip
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("recovery:", rerun.Summary())
+	fmt.Printf("total with recovery: %.1fs (vs %.1fs to repeat everything)\n",
+		run.TotalSeconds()+rerun.TotalSeconds(), 2*run.TotalSeconds())
+}

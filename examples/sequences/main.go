@@ -1,0 +1,76 @@
+// Sequences demonstrates the paper's hand-designed pin activation
+// sequences (Figures 6, 7 and 8) by driving them directly on the
+// electrode-level simulator: 3-phase bus transport, SSD module entry with
+// other droplets held, and the stretch-and-split sequence.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fppc"
+)
+
+func main() {
+	chip, err := fppc.NewFPPCChip(12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(chip.Render())
+
+	pin := func(x, y int) int {
+		e := chip.ElectrodeAt(fppc.Cell{X: x, Y: y})
+		if e == nil {
+			log.Fatalf("no electrode at (%d,%d)", x, y)
+		}
+		return e.Pin
+	}
+
+	// Figure 6: a droplet rides the 3-phase wave along the top bus.
+	fmt.Println("\n-- Figure 6: 3-phase transport --")
+	var transport fppc.PinProgram
+	events := []fppc.ReservoirEvent{{Cycle: 0, Cell: fppc.Cell{X: 0, Y: 0}}}
+	transport.Append(pin(0, 0))
+	for x := 1; x <= 7; x++ {
+		transport.Append(pin(x, 0))
+	}
+	report(chip, &transport, events)
+
+	// Figure 7(b): a droplet enters SSD module 1 while a droplet parked
+	// in SSD module 0 holds still.
+	fmt.Println("\n-- Figure 7(b): SSD entry with isolation --")
+	s0, s1 := chip.SSDModules[0], chip.SSDModules[1]
+	hold0 := chip.ElectrodeAt(s0.Hold).Pin
+	var entry fppc.PinProgram
+	events = []fppc.ReservoirEvent{
+		{Cycle: 0, Cell: s0.Hold},
+		{Cycle: 1, Cell: s1.Bus},
+	}
+	entry.Append(hold0)
+	entry.Append(hold0, chip.ElectrodeAt(s1.Bus).Pin)
+	entry.Append(hold0, chip.ElectrodeAt(s1.IO).Pin)
+	entry.Append(hold0, chip.ElectrodeAt(s1.Hold).Pin)
+	report(chip, &entry, events)
+
+	// Figure 8: stretch over bus+IO, then split onto hold and bus.
+	fmt.Println("\n-- Figure 8: splitting at an SSD module --")
+	var split fppc.PinProgram
+	events = []fppc.ReservoirEvent{{Cycle: 0, Cell: s0.Bus}}
+	busPin := chip.ElectrodeAt(s0.Bus).Pin
+	split.Append(busPin)
+	split.Append(busPin, chip.ElectrodeAt(s0.IO).Pin)
+	split.Append(busPin, chip.ElectrodeAt(s0.Hold).Pin)
+	report(chip, &split, events)
+}
+
+func report(chip *fppc.Chip, prog *fppc.PinProgram, events []fppc.ReservoirEvent) {
+	trace, err := fppc.Simulate(chip, prog, events)
+	if err != nil {
+		log.Fatalf("sequence failed: %v", err)
+	}
+	fmt.Printf("cycles %d, merges %d, splits %d; final droplets:", trace.Cycles, trace.Merges, trace.Splits)
+	for _, d := range trace.Remaining {
+		fmt.Printf(" %v(vol %.2g)", d.Cells, d.Volume)
+	}
+	fmt.Println()
+}

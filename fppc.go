@@ -1,0 +1,256 @@
+// Package fppc is a from-scratch implementation of the field-programmable
+// pin-constrained digital microfluidic biochip (DMFB) of Grissom & Brisk
+// [DAC 2013], together with the full synthesis stack the paper evaluates:
+//
+//   - assay DAGs and the published benchmark generators (PCR, In-Vitro,
+//     Protein Split);
+//   - the FPPC chip architecture (Figure 5) and the direct-addressing
+//     baseline it is compared against;
+//   - list scheduling with module-type binding, the left-edge binder, and
+//     the deadlock-free sequential router (sections 4.1-4.3);
+//   - a cycle-level electrowetting simulator that replays compiled
+//     per-cycle pin activation programs and verifies every droplet
+//     operation physically happens.
+//
+// Quick start:
+//
+//	assay := fppc.PCR(fppc.DefaultTiming())
+//	res, err := fppc.Compile(assay, fppc.Config{Target: fppc.TargetFPPC})
+//	if err != nil { ... }
+//	fmt.Println(res.Summary())
+//
+// The package is a thin facade over the internal packages; every type
+// here is an alias, so values flow freely between the two layers.
+package fppc
+
+import (
+	"io"
+	"math/rand"
+
+	"fppc/internal/arch"
+	"fppc/internal/asl"
+	"fppc/internal/assays"
+	"fppc/internal/core"
+	"fppc/internal/ctrl"
+	"fppc/internal/dag"
+	"fppc/internal/grid"
+	"fppc/internal/pins"
+	"fppc/internal/recovery"
+	"fppc/internal/router"
+	"fppc/internal/sim"
+)
+
+// Assay model.
+type (
+	// Assay is a directed acyclic graph of microfluidic operations.
+	Assay = dag.Assay
+	// Node is one operation in an assay.
+	Node = dag.Node
+	// OpKind enumerates the operation types.
+	OpKind = dag.Kind
+	// AssayStats summarizes an assay's structure.
+	AssayStats = dag.Stats
+)
+
+// Operation kinds.
+const (
+	Dispense = dag.Dispense
+	Mix      = dag.Mix
+	Split    = dag.Split
+	Store    = dag.Store
+	Detect   = dag.Detect
+	Output   = dag.Output
+)
+
+// NewAssay creates an empty assay with the given name.
+func NewAssay(name string) *Assay { return dag.New(name) }
+
+// ParseASL compiles assay-description-language source (see internal/asl)
+// into a validated assay: the textual "field programming" surface.
+func ParseASL(src string) (*Assay, error) { return asl.Parse(src) }
+
+// MergeAssays combines independent assays into one DAG so a single
+// field-programmable chip executes them concurrently — the
+// multi-function scenario of the paper's Table 2, without a
+// purpose-built chip.
+func MergeAssays(name string, assays ...*Assay) (*Assay, error) {
+	return dag.Merge(name, assays...)
+}
+
+// Benchmarks and timing.
+type (
+	// Timing holds the operation latencies used by the generators.
+	Timing = assays.Timing
+)
+
+// DefaultTiming returns the paper-calibrated operation latencies.
+func DefaultTiming() Timing { return assays.DefaultTiming() }
+
+// PCR builds the polymerase chain reaction mixing-stage benchmark.
+func PCR(tm Timing) *Assay { return assays.PCR(tm) }
+
+// InVitro builds the s-samples x r-reagents in-vitro diagnostics assay.
+func InVitro(samples, reagents int, tm Timing) *Assay { return assays.InVitro(samples, reagents, tm) }
+
+// InVitroN returns the paper's In-Vitro benchmark n (1..5).
+func InVitroN(n int, tm Timing) *Assay { return assays.InVitroN(n, tm) }
+
+// ProteinSplit builds the protein serial-dilution benchmark with the
+// given number of exponential split levels (paper: 1..7).
+func ProteinSplit(levels int, tm Timing) *Assay { return assays.ProteinSplit(levels, tm) }
+
+// SerialDilution builds an n-step 1:1 dilution ladder with per-rung
+// detection, the calibration-curve workhorse of quantitative assays.
+func SerialDilution(steps int, tm Timing) *Assay { return assays.SerialDilution(steps, tm) }
+
+// AssayFlow is the ideal-mixing analysis of one droplet (volume and
+// per-fluid concentration).
+type AssayFlow = dag.Flow
+
+// AnalyzeFlow computes the ideal volume and composition of every droplet
+// in the assay (dilution arithmetic), cross-checkable against Simulate's
+// collected droplets.
+func AnalyzeFlow(a *Assay) ([]AssayFlow, error) { return dag.AnalyzeFlow(a) }
+
+// WithDispense clones an assay with every dispense latency replaced
+// (section 5.2's dispense-time ablation).
+func WithDispense(a *Assay, duration int) *Assay { return assays.WithDispense(a, duration) }
+
+// Table1Benchmarks returns the paper's thirteen Table 1 assays.
+func Table1Benchmarks(tm Timing) []*Assay { return assays.Table1Benchmarks(tm) }
+
+// RandomAssay builds a random well-formed assay with roughly n
+// operations (useful for fuzzing user flows).
+func RandomAssay(rng *rand.Rand, n int, tm Timing) *Assay { return assays.Random(rng, n, tm) }
+
+// Architectures.
+type (
+	// Cell is one electrode position on the array (X right, Y down).
+	Cell = grid.Cell
+	// Chip is a concrete DMFB electrode array with pin wiring.
+	Chip = arch.Chip
+	// Module is a reserved operation region on a chip.
+	Module = arch.Module
+	// Electrode is one wired cell.
+	Electrode = arch.Electrode
+)
+
+// NewFPPCChip builds the 12-wide field-programmable pin-constrained chip
+// of Figure 5 at the given height (>= MinFPPCHeight).
+func NewFPPCChip(height int) (*Chip, error) { return arch.NewFPPC(height) }
+
+// NewDAChip builds a direct-addressing chip with the baseline's virtual
+// topology.
+func NewDAChip(w, h int) (*Chip, error) { return arch.NewDA(w, h) }
+
+// MinFPPCHeight is the smallest usable FPPC chip height.
+const MinFPPCHeight = arch.MinFPPCHeight
+
+// CheckDesignRules verifies a chip's fluidic design rules: 3-phase
+// transport buses, conflict-free intersections, module isolation,
+// dedicated module I/O pins and bus reachability.
+func CheckDesignRules(chip *Chip) error { return arch.CheckDesignRules(chip) }
+
+// WiringReport estimates the PCB wiring cost of a chip (the paper's
+// economic motivation for pin-constrained designs).
+type WiringReport = arch.WiringReport
+
+// AnalyzeWiring computes a chip's wiring-cost estimate.
+func AnalyzeWiring(chip *Chip) WiringReport { return arch.AnalyzeWiring(chip) }
+
+// ExportChipJSON writes a chip's complete wiring description (electrode
+// positions, pin map, modules, ports) for driver boards and PCB tools.
+func ExportChipJSON(w io.Writer, chip *Chip) error { return arch.ExportJSON(w, chip) }
+
+// ImportChipJSON reads a wiring description back into a usable chip, so
+// externally defined chips drive the same scheduler, router and
+// simulator.
+func ImportChipJSON(r io.Reader) (*Chip, error) { return arch.ImportJSON(r) }
+
+// Synthesis.
+type (
+	// Config controls compilation (target, array size, auto-growth).
+	Config = core.Config
+	// Result is a compiled assay with its schedule, routing and metrics.
+	Result = core.Result
+	// RouterOptions forwards routing flags (program emission).
+	RouterOptions = router.Options
+	// Target selects the architecture.
+	Target = core.Target
+)
+
+// Compilation targets.
+const (
+	TargetFPPC = core.TargetFPPC
+	TargetDA   = core.TargetDA
+)
+
+// Compile synthesizes an assay onto the selected architecture: schedule,
+// bind, route, and optionally emit the per-cycle pin program.
+func Compile(a *Assay, cfg Config) (*Result, error) { return core.Compile(a, cfg) }
+
+// Pin programs and simulation.
+type (
+	// PinProgram is a compiled sequence of per-cycle pin activations.
+	PinProgram = pins.Program
+	// ReservoirEvent marks a dispense or output aligned to program cycles.
+	ReservoirEvent = router.Event
+	// SimTrace summarizes an electrode-level replay.
+	SimTrace = sim.Trace
+	// SimError is a physics violation during replay.
+	SimError = sim.Error
+)
+
+// Simulate replays a compiled pin program on the chip at electrode
+// level, verifying droplet physics cycle by cycle.
+func Simulate(chip *Chip, prog *PinProgram, events []ReservoirEvent) (*SimTrace, error) {
+	return sim.Run(chip, prog, events)
+}
+
+// Replay is a stepwise simulator with ASCII frame rendering.
+type Replay = sim.Replay
+
+// NewReplay prepares a cycle-by-cycle replay of a compiled program.
+func NewReplay(chip *Chip, prog *PinProgram, events []ReservoirEvent) *Replay {
+	return sim.NewReplay(chip, prog, events)
+}
+
+// RecoveryPlan is a re-execution plan for failed operations.
+type RecoveryPlan = recovery.PlanResult
+
+// PlanRecovery computes the minimal re-execution assay after the given
+// operations failed (e.g. a detect flagged a bad droplet): the failure's
+// downstream cone plus the ancestor chains needed to rebuild its inputs.
+// The plan compiles on the same chip — dynamic recompilation is the
+// field-programmable chip's answer to operation errors.
+func PlanRecovery(a *Assay, failed []int) (*RecoveryPlan, error) {
+	return recovery.Plan(a, failed)
+}
+
+// PinStats aggregates per-pin actuation counts over a program.
+type PinStats = pins.Stats
+
+// ComputePinStats scans a compiled program for per-pin load (the input
+// to electrode-reliability analyses).
+func ComputePinStats(p *PinProgram) PinStats { return pins.ComputeStats(p) }
+
+// EncodeFrames streams a compiled program as dry-controller link frames
+// (Figure 4's PC-to-chip interface; see internal/ctrl for the format).
+func EncodeFrames(w io.Writer, prog *PinProgram, pinCount int) error {
+	return ctrl.Encode(w, prog, pinCount)
+}
+
+// DecodeFrames parses a dry-controller frame stream back into a program.
+func DecodeFrames(r io.Reader, pinCount int) (*PinProgram, error) {
+	return ctrl.Decode(r, pinCount)
+}
+
+// LinkBandwidthBps returns the control-link bandwidth (bytes/second)
+// needed to drive a chip with the given pin count at hz cycles/second.
+func LinkBandwidthBps(pinCount, hz int) int { return ctrl.BandwidthBps(pinCount, hz) }
+
+// CycleSeconds is the electrode actuation period (10 ms at 100 Hz).
+const CycleSeconds = router.CycleSeconds
+
+// TimeStepSeconds is the scheduling granularity (1 s).
+const TimeStepSeconds = core.TimeStepSeconds

@@ -1,0 +1,182 @@
+package fppc_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fppc"
+)
+
+func TestPublicASLRoundTrip(t *testing.T) {
+	src := `
+assay "roundtrip"
+fluid a
+fluid b ports=2
+x = dispense a 2
+y = dispense b 2
+m = mix x y 3
+p, q = split m
+d = detect p 4
+output d good
+output q waste
+`
+	a, err := fppc.ParseASL(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fppc.Compile(a, fppc.Config{Target: fppc.TargetFPPC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OperationSeconds() <= 0 {
+		t.Errorf("empty schedule")
+	}
+}
+
+func TestPublicMergeAndRecovery(t *testing.T) {
+	tm := fppc.DefaultTiming()
+	merged, err := fppc.MergeAssays("pair", fppc.PCR(tm), fppc.InVitroN(1, tm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != fppc.PCR(tm).Len()+fppc.InVitroN(1, tm).Len() {
+		t.Errorf("merged size wrong")
+	}
+	// Fail the merged assay's first detect and plan recovery.
+	failed := -1
+	for _, n := range merged.Nodes {
+		if n.Kind == fppc.Detect {
+			failed = n.ID
+			break
+		}
+	}
+	plan, err := fppc.PlanRecovery(merged, []int{failed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Assay.Len() >= merged.Len() {
+		t.Errorf("recovery not smaller than the original")
+	}
+}
+
+func TestPublicDesignRulesAndWiring(t *testing.T) {
+	chip, err := fppc.NewFPPCChip(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fppc.CheckDesignRules(chip); err != nil {
+		t.Fatal(err)
+	}
+	rep := fppc.AnalyzeWiring(chip)
+	if rep.Pins != 33 || rep.EstimatedLayers < 1 {
+		t.Errorf("wiring report = %+v", rep)
+	}
+	da, err := fppc.NewDAChip(15, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fppc.AnalyzeWiring(da).EstimatedLayers <= rep.EstimatedLayers {
+		t.Errorf("DA should need more layers")
+	}
+}
+
+func TestPublicReplayAndPinStats(t *testing.T) {
+	a := fppc.PCR(fppc.DefaultTiming())
+	res, err := fppc.Compile(a, fppc.Config{
+		Target: fppc.TargetFPPC,
+		Router: fppc.RouterOptions{EmitProgram: true, RotationsPerStep: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := fppc.NewReplay(res.Chip, res.Routing.Program, res.Routing.Events)
+	frames := 0
+	for replay.Step() {
+		frames++
+	}
+	if replay.Err() != nil {
+		t.Fatal(replay.Err())
+	}
+	if frames != res.Routing.Program.Len() {
+		t.Errorf("frames = %d, want %d", frames, res.Routing.Program.Len())
+	}
+	if f := replay.Frame(); !strings.Contains(f, "cycle") {
+		t.Errorf("frame header missing")
+	}
+	st := fppc.ComputePinStats(res.Routing.Program)
+	if st.Activations == 0 || len(st.Busiest(3)) == 0 {
+		t.Errorf("pin stats empty: %+v", st)
+	}
+}
+
+func TestPublicTimingConstants(t *testing.T) {
+	if fppc.CycleSeconds != 0.01 {
+		t.Errorf("CycleSeconds = %v", fppc.CycleSeconds)
+	}
+	if fppc.TimeStepSeconds != 1.0 {
+		t.Errorf("TimeStepSeconds = %v", fppc.TimeStepSeconds)
+	}
+	if fppc.MinFPPCHeight != 9 {
+		t.Errorf("MinFPPCHeight = %v", fppc.MinFPPCHeight)
+	}
+}
+
+func TestPublicRemainingSurface(t *testing.T) {
+	tm := fppc.DefaultTiming()
+
+	// Generators and analyses.
+	iv := fppc.InVitro(2, 2, tm)
+	if iv.Len() == 0 {
+		t.Errorf("InVitro empty")
+	}
+	sd := fppc.SerialDilution(3, tm)
+	flows, err := fppc.AnalyzeFlow(sd)
+	if err != nil || len(flows) == 0 {
+		t.Fatalf("AnalyzeFlow: %v", err)
+	}
+	fast := fppc.WithDispense(sd, 2)
+	if fast.Nodes[0].Duration != 2 {
+		t.Errorf("WithDispense did not rewrite durations")
+	}
+	if got := len(fppc.Table1Benchmarks(tm)); got != 13 {
+		t.Errorf("Table1Benchmarks = %d", got)
+	}
+
+	// Chip wiring round trip.
+	chip, err := fppc.NewFPPCChip(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fppc.ExportChipJSON(&buf, chip); err != nil {
+		t.Fatal(err)
+	}
+	back, err := fppc.ImportChipJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.PinCount() != chip.PinCount() {
+		t.Errorf("chip round trip lost pins")
+	}
+
+	// Controller frames round trip.
+	res, err := fppc.Compile(fppc.InVitroN(1, tm), fppc.Config{
+		Target: fppc.TargetFPPC,
+		Router: fppc.RouterOptions{EmitProgram: true, RotationsPerStep: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := fppc.EncodeFrames(&buf, res.Routing.Program, res.Chip.PinCount()); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := fppc.DecodeFrames(&buf, res.Chip.PinCount())
+	if err != nil || prog.Len() != res.Routing.Program.Len() {
+		t.Fatalf("frame round trip: %v (%d cycles)", err, prog.Len())
+	}
+	if bps := fppc.LinkBandwidthBps(res.Chip.PinCount(), 100); bps <= 0 {
+		t.Errorf("bandwidth = %d", bps)
+	}
+}

@@ -1,0 +1,104 @@
+package fppc_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"fppc"
+)
+
+// TestPublicAPIQuickstart exercises the documented entry points the way a
+// downstream user would.
+func TestPublicAPIQuickstart(t *testing.T) {
+	assay := fppc.PCR(fppc.DefaultTiming())
+	res, err := fppc.Compile(assay, fppc.Config{Target: fppc.TargetFPPC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSeconds() <= 0 {
+		t.Errorf("total seconds = %v", res.TotalSeconds())
+	}
+	if res.Chip.PinCount() >= res.Chip.ElectrodeCount() {
+		t.Errorf("pin-constrained chip has no pin sharing: %d pins, %d electrodes",
+			res.Chip.PinCount(), res.Chip.ElectrodeCount())
+	}
+}
+
+func TestPublicAPICustomAssay(t *testing.T) {
+	a := fppc.NewAssay("glucose-check")
+	s := a.Add(fppc.Dispense, "sample", "serum", 2)
+	r := a.Add(fppc.Dispense, "reagent", "glucose", 2)
+	m := a.Add(fppc.Mix, "mix", "", 3)
+	d := a.Add(fppc.Detect, "read", "", 5)
+	o := a.Add(fppc.Output, "done", "waste", 0)
+	a.AddEdge(s, m)
+	a.AddEdge(r, m)
+	a.AddEdge(m, d)
+	a.AddEdge(d, o)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := fppc.Compile(a, fppc.Config{Target: fppc.TargetFPPC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OperationSeconds() != 10 {
+		t.Errorf("makespan = %v, want 10 (2+3+5)", res.OperationSeconds())
+	}
+}
+
+func TestPublicAPISimulate(t *testing.T) {
+	assay := fppc.InVitroN(1, fppc.DefaultTiming())
+	res, err := fppc.Compile(assay, fppc.Config{
+		Target: fppc.TargetFPPC,
+		Router: fppc.RouterOptions{EmitProgram: true, RotationsPerStep: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := fppc.Simulate(res.Chip, res.Routing.Program, res.Routing.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Outputs == 0 || len(tr.Remaining) != 0 {
+		t.Errorf("simulation incomplete: outputs=%d remaining=%d", tr.Outputs, len(tr.Remaining))
+	}
+}
+
+func TestPublicAPIBothTargets(t *testing.T) {
+	a := fppc.ProteinSplit(1, fppc.DefaultTiming())
+	for _, target := range []fppc.Target{fppc.TargetFPPC, fppc.TargetDA} {
+		res, err := fppc.Compile(a, fppc.Config{Target: target, AutoGrow: true})
+		if err != nil {
+			t.Fatalf("target %v: %v", target, err)
+		}
+		if res.TotalSeconds() <= 0 {
+			t.Errorf("target %v: empty result", target)
+		}
+	}
+}
+
+func TestPublicAPIChips(t *testing.T) {
+	chip, err := fppc.NewFPPCChip(fppc.MinFPPCHeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chip.PinCount() != 23 {
+		t.Errorf("12x9 pins = %d, want 23", chip.PinCount())
+	}
+	da, err := fppc.NewDAChip(15, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da.PinCount() != 285 {
+		t.Errorf("DA pins = %d, want 285", da.PinCount())
+	}
+}
+
+func TestPublicAPIRandomAssay(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := fppc.RandomAssay(rng, 40, fppc.DefaultTiming())
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

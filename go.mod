@@ -1,0 +1,3 @@
+module fppc
+
+go 1.22

@@ -1,0 +1,427 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"fppc/internal/grid"
+)
+
+func mustFPPC(t *testing.T, h int) *Chip {
+	t.Helper()
+	c, err := NewFPPC(h)
+	if err != nil {
+		t.Fatalf("NewFPPC(%d): %v", h, err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("NewFPPC(%d) invalid: %v", h, err)
+	}
+	return c
+}
+
+func mustDA(t *testing.T, w, h int) *Chip {
+	t.Helper()
+	c, err := NewDA(w, h)
+	if err != nil {
+		t.Fatalf("NewDA(%d,%d): %v", w, h, err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("NewDA(%d,%d) invalid: %v", w, h, err)
+	}
+	return c
+}
+
+// TestFPPCPaperCounts checks module, electrode and pin counts against the
+// paper's Tables 1 and 3. Rows where the paper's count differs from the
+// reconstructed plan (12x9, 12x18, 12x25 — see DESIGN.md) assert our
+// closed-form values instead, keeping the generator honest.
+func TestFPPCPaperCounts(t *testing.T) {
+	cases := []struct {
+		h                         int
+		mix, ssd, electrodes, pin int
+	}{
+		{9, 2, 3, 69, 23},    // paper: 62 electrodes (bus trimming), pins 23
+		{12, 3, 4, 89, 27},   // paper exact
+		{15, 4, 6, 111, 33},  // paper exact (Figure 5 size)
+		{18, 5, 7, 131, 37},  // paper: 133 electrodes, 39 pins
+		{21, 6, 9, 153, 43},  // paper exact (Table 1 workhorse)
+		{25, 7, 11, 178, 49}, // paper: 177 electrodes, pins exact
+		{29, 8, 13, 203, 55}, // paper exact
+	}
+	for _, tc := range cases {
+		c := mustFPPC(t, tc.h)
+		if got := len(c.MixModules); got != tc.mix {
+			t.Errorf("12x%d mix modules = %d, want %d", tc.h, got, tc.mix)
+		}
+		if got := len(c.SSDModules); got != tc.ssd {
+			t.Errorf("12x%d SSD modules = %d, want %d", tc.h, got, tc.ssd)
+		}
+		if got := c.ElectrodeCount(); got != tc.electrodes {
+			t.Errorf("12x%d electrodes = %d, want %d", tc.h, got, tc.electrodes)
+		}
+		if got := c.PinCount(); got != tc.pin {
+			t.Errorf("12x%d pins = %d, want %d", tc.h, got, tc.pin)
+		}
+	}
+}
+
+func TestFPPCRejectsTooSmall(t *testing.T) {
+	if _, err := NewFPPC(8); err == nil {
+		t.Errorf("NewFPPC(8) succeeded, want error")
+	}
+}
+
+func TestFPPCHeightFor(t *testing.T) {
+	if h := FPPCHeightFor(6, 9); h != 21 {
+		t.Errorf("FPPCHeightFor(6,9) = %d, want 21", h)
+	}
+	if h := FPPCHeightFor(1, 2); h != MinFPPCHeight {
+		t.Errorf("FPPCHeightFor(1,2) = %d, want %d", h, MinFPPCHeight)
+	}
+	c := mustFPPC(t, FPPCHeightFor(4, 7))
+	if len(c.MixModules) < 4 || len(c.SSDModules) < 7 {
+		t.Errorf("FPPCHeightFor produced %d/%d modules, want >= 4/7",
+			len(c.MixModules), len(c.SSDModules))
+	}
+}
+
+func TestFPPCBusPinPeriodicity(t *testing.T) {
+	c := mustFPPC(t, 15)
+	// Along any bus, electrodes two steps apart must use different pins
+	// and electrodes three steps apart the same pin (3-phase property).
+	for x := 0; x < c.W; x++ {
+		e := c.ElectrodeAt(grid.Cell{X: x, Y: 0})
+		if e == nil || e.Kind != BusH {
+			t.Fatalf("missing top bus electrode at x=%d", x)
+		}
+		if x >= 3 {
+			prev := c.ElectrodeAt(grid.Cell{X: x - 3, Y: 0})
+			if prev.Pin != e.Pin {
+				t.Errorf("top bus pins not period-3 at x=%d: %d vs %d", x, prev.Pin, e.Pin)
+			}
+		}
+		if x >= 1 {
+			prev := c.ElectrodeAt(grid.Cell{X: x - 1, Y: 0})
+			if prev.Pin == e.Pin {
+				t.Errorf("adjacent top bus cells share pin %d at x=%d", e.Pin, x)
+			}
+		}
+	}
+	for y := 2; y < c.H-1; y++ {
+		for _, x := range []int{0, 7, 11} {
+			e := c.ElectrodeAt(grid.Cell{X: x, Y: y})
+			prev := c.ElectrodeAt(grid.Cell{X: x, Y: y - 1})
+			if e.Pin == prev.Pin {
+				t.Errorf("adjacent vertical bus cells share pin %d at (%d,%d)", e.Pin, x, y)
+			}
+		}
+	}
+}
+
+func TestFPPCBusIntersectionPinsUnique(t *testing.T) {
+	// Supplemental S2: all pins adjacent to a bus intersection must be
+	// unique so droplets can turn corners cleanly.
+	c := mustFPPC(t, 15)
+	corners := []grid.Cell{
+		{X: 0, Y: 0}, {X: 7, Y: 0}, {X: 11, Y: 0},
+		{X: 0, Y: 14}, {X: 7, Y: 14}, {X: 11, Y: 14},
+	}
+	for _, corner := range corners {
+		pins := map[int]grid.Cell{}
+		check := func(cell grid.Cell) {
+			e := c.ElectrodeAt(cell)
+			if e == nil || (e.Kind != BusH && e.Kind != BusV) {
+				return
+			}
+			if prev, dup := pins[e.Pin]; dup {
+				t.Errorf("intersection %v: bus pins collide at %v and %v (pin %d)", corner, prev, cell, e.Pin)
+			}
+			pins[e.Pin] = cell
+		}
+		check(corner)
+		for _, n := range corner.Neighbors8() {
+			check(n)
+		}
+	}
+}
+
+func TestFPPCSharedMixLoopPins(t *testing.T) {
+	c := mustFPPC(t, 21)
+	// Every mix module's 7 non-hold loop cells use pins 7..13 in the same
+	// rotation order.
+	for _, m := range c.MixModules {
+		loop := m.LoopCells()
+		hold := c.ElectrodeAt(loop[0])
+		if hold.Kind != MixHold {
+			t.Fatalf("mix %d loop[0] kind = %v, want MixHold", m.Index, hold.Kind)
+		}
+		for i, cell := range loop[1:] {
+			e := c.ElectrodeAt(cell)
+			if e == nil || e.Kind != MixLoop {
+				t.Fatalf("mix %d loop cell %v missing or wrong kind", m.Index, cell)
+			}
+			if e.Pin != pinMixLoopBase+i {
+				t.Errorf("mix %d loop pin at %v = %d, want %d", m.Index, cell, e.Pin, pinMixLoopBase+i)
+			}
+		}
+	}
+	// Loop pins must be wired to exactly one cell per module.
+	for pin := pinMixLoopBase; pin < pinMixLoopBase+7; pin++ {
+		if got := len(c.PinCells(pin)); got != len(c.MixModules) {
+			t.Errorf("loop pin %d wired to %d cells, want %d", pin, got, len(c.MixModules))
+		}
+	}
+}
+
+func TestFPPCDedicatedPins(t *testing.T) {
+	c := mustFPPC(t, 15)
+	for _, m := range append(append([]*Module{}, c.MixModules...), c.SSDModules...) {
+		for _, cell := range []grid.Cell{m.Hold, m.IO} {
+			e := c.ElectrodeAt(cell)
+			if e == nil {
+				t.Fatalf("%v module %d: no electrode at %v", m.Kind, m.Index, cell)
+			}
+			if n := len(c.PinCells(e.Pin)); n != 1 {
+				t.Errorf("%v module %d: pin %d at %v wired to %d cells, want dedicated",
+					m.Kind, m.Index, e.Pin, cell, n)
+			}
+		}
+	}
+}
+
+func TestFPPCModuleIsolation(t *testing.T) {
+	// Hold cells must be at Chebyshev distance >= 2 from every transport
+	// bus cell and from every other module's hold cell, so held droplets
+	// are isolated from routing (the interference-region property).
+	c := mustFPPC(t, 21)
+	var holds []grid.Cell
+	for _, m := range c.Modules() {
+		holds = append(holds, m.Hold)
+	}
+	for _, e := range c.Electrodes() {
+		if e.Kind != BusH && e.Kind != BusV {
+			continue
+		}
+		for _, hcell := range holds {
+			if grid.Chebyshev(e.Cell, hcell) < 2 {
+				t.Errorf("hold cell %v within interference range of bus cell %v", hcell, e.Cell)
+			}
+		}
+	}
+	for i := range holds {
+		for j := i + 1; j < len(holds); j++ {
+			if grid.Chebyshev(holds[i], holds[j]) < 2 {
+				t.Errorf("hold cells %v and %v interfere", holds[i], holds[j])
+			}
+		}
+	}
+}
+
+func TestFPPCModuleWorkCellsAwayFromBuses(t *testing.T) {
+	// Every mix loop cell (where droplets rotate during mixing) must also
+	// stay >= 2 from the buses; only the inactive I/O electrodes may sit
+	// between module and bus.
+	c := mustFPPC(t, 15)
+	for _, m := range c.MixModules {
+		for _, cell := range m.Rect.Cells() {
+			for _, e := range c.Electrodes() {
+				if e.Kind == BusH || e.Kind == BusV {
+					if grid.Chebyshev(cell, e.Cell) < 2 {
+						t.Errorf("mix %d work cell %v adjacent to bus %v", m.Index, cell, e.Cell)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFPPCIOAdjacency(t *testing.T) {
+	c := mustFPPC(t, 15)
+	for _, m := range append(append([]*Module{}, c.MixModules...), c.SSDModules...) {
+		if !grid.Adjacent4(m.IO, m.Bus) {
+			t.Errorf("%v module %d: IO %v not adjacent to bus %v", m.Kind, m.Index, m.IO, m.Bus)
+		}
+		// The IO cell must touch the hold cell (mix) or hold cell (SSD) so
+		// the two-activation enter sequence works.
+		if !grid.Adjacent4(m.IO, m.Hold) && m.Kind == SSD {
+			t.Errorf("SSD module %d: IO %v not adjacent to hold %v", m.Index, m.IO, m.Hold)
+		}
+		if m.Kind == Mix && !grid.Adjacent4(m.IO, m.Hold) {
+			t.Errorf("mix module %d: IO %v not adjacent to hold %v", m.Index, m.IO, m.Hold)
+		}
+	}
+}
+
+func TestFPPCQuickInvariants(t *testing.T) {
+	prop := func(hh uint8) bool {
+		h := MinFPPCHeight + int(hh%40)
+		c, err := NewFPPC(h)
+		if err != nil || c.Validate() != nil {
+			return false
+		}
+		// Closed-form counts must hold at every height.
+		m, s := FPPCMixCount(h), FPPCSSDCount(h)
+		if len(c.MixModules) != m || len(c.SSDModules) != s {
+			return false
+		}
+		if c.PinCount() != 13+2*m+2*s {
+			return false
+		}
+		return c.ElectrodeCount() == 24+3*(h-2)+9*m+2*s
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDAPaperCounts(t *testing.T) {
+	c := mustDA(t, 15, 19)
+	if got := c.ElectrodeCount(); got != 285 {
+		t.Errorf("DA 15x19 electrodes = %d, want 285 (paper Table 1)", got)
+	}
+	if got := c.PinCount(); got != 285 {
+		t.Errorf("DA 15x19 pins = %d, want 285 (paper Table 1)", got)
+	}
+	if got := len(c.WorkMods); got != 6 {
+		t.Errorf("DA 15x19 modules = %d, want 6", got)
+	}
+	c25 := mustDA(t, 15, 25)
+	if got := c25.PinCount(); got != 375 {
+		t.Errorf("DA 15x25 pins = %d, want 375 (paper Table 1)", got)
+	}
+	if len(c25.WorkMods) <= len(c.WorkMods) {
+		t.Errorf("taller DA chip has no more modules: %d vs %d", len(c25.WorkMods), len(c.WorkMods))
+	}
+}
+
+func TestDAEveryCellDedicatedPin(t *testing.T) {
+	c := mustDA(t, 15, 19)
+	for pin := 1; pin <= c.PinCount(); pin++ {
+		if got := len(c.PinCells(pin)); got != 1 {
+			t.Errorf("DA pin %d wired to %d electrodes, want 1", pin, got)
+		}
+	}
+}
+
+func TestDASizeFor(t *testing.T) {
+	w, h := DASizeFor(6)
+	if w != 15 || h != 19 {
+		t.Errorf("DASizeFor(6) = %dx%d, want 15x19", w, h)
+	}
+	w, h = DASizeFor(8)
+	if w != 15 || h != 24 {
+		t.Errorf("DASizeFor(8) = %dx%d, want 15x24", w, h)
+	}
+	w, h = DASizeFor(100)
+	if DAModuleCount(w, h) < 100 {
+		t.Errorf("DASizeFor(100) = %dx%d provides %d modules", w, h, DAModuleCount(w, h))
+	}
+}
+
+func TestDARejectsTooSmall(t *testing.T) {
+	if _, err := NewDA(4, 19); err == nil {
+		t.Errorf("NewDA(4,19) succeeded, want error")
+	}
+}
+
+func TestDAModuleHalosDisjoint(t *testing.T) {
+	c := mustDA(t, 15, 19)
+	for i, a := range c.WorkMods {
+		for _, b := range c.WorkMods[i+1:] {
+			if a.Rect.Expand(1).Intersects(b.Rect) {
+				t.Errorf("module %d halo overlaps module %d", a.Index, b.Index)
+			}
+		}
+		if a.Rect.X0 < 2 || a.Rect.Y0 < 2 || a.Rect.X1 > c.W-2 || a.Rect.Y1 > c.H-2 {
+			t.Errorf("module %d %v intrudes on the perimeter ring", a.Index, a.Rect)
+		}
+	}
+}
+
+func TestPlacePorts(t *testing.T) {
+	c := mustFPPC(t, 21)
+	err := c.PlacePorts(map[string]int{"buffer": 2, "protein": 1}, []string{"waste", "product"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.InputPorts("buffer")); got != 2 {
+		t.Errorf("buffer ports = %d, want 2", got)
+	}
+	if got := len(c.InputPorts("protein")); got != 1 {
+		t.Errorf("protein ports = %d, want 1", got)
+	}
+	if p := c.OutputPort("waste"); p == nil || p.Input {
+		t.Errorf("waste output port missing")
+	}
+	if p := c.OutputPort("unknown"); p == nil {
+		t.Errorf("OutputPort should fall back to any output")
+	}
+	// All ports must sit on electrodes (bus cells).
+	for _, p := range c.Ports {
+		e := c.ElectrodeAt(p.Cell)
+		if e == nil || (e.Kind != BusH && e.Kind != BusV) {
+			t.Errorf("port %v at %v not on a bus electrode", p.Fluid, p.Cell)
+		}
+	}
+}
+
+func TestPlacePortsOverflow(t *testing.T) {
+	c := mustFPPC(t, 9)
+	// 12 top cells + 7 side cells = 19 input attach points at h=9.
+	if err := c.PlacePorts(map[string]int{"a": 25}, nil); err == nil {
+		t.Errorf("PlacePorts accepted more ports than attach points")
+	}
+}
+
+func TestPlacePortsReplaces(t *testing.T) {
+	c := mustFPPC(t, 15)
+	if err := c.PlacePorts(map[string]int{"x": 1}, []string{"waste"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PlacePorts(map[string]int{"y": 1}, []string{"waste"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.InputPorts("x")); got != 0 {
+		t.Errorf("stale ports survived PlacePorts: %d", got)
+	}
+	if got := len(c.Ports); got != 2 {
+		t.Errorf("ports = %d, want 2", got)
+	}
+}
+
+func TestRender(t *testing.T) {
+	c := mustFPPC(t, 9)
+	out := c.Render()
+	if !strings.Contains(out, "fppc-12x9") || !strings.Contains(out, "23 pins") {
+		t.Errorf("Render output missing header: %q", out)
+	}
+	if !strings.Contains(out, "..") {
+		t.Errorf("Render output missing interference markers")
+	}
+}
+
+func TestLoopCellsPanicsForSSD(t *testing.T) {
+	c := mustFPPC(t, 9)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("LoopCells on SSD module did not panic")
+		}
+	}()
+	c.SSDModules[0].LoopCells()
+}
+
+func TestCellKindString(t *testing.T) {
+	if BusH.String() != "busH" || Work.String() != "work" {
+		t.Errorf("CellKind names wrong")
+	}
+	if got := CellKind(99).String(); got != "CellKind(99)" {
+		t.Errorf("out-of-range CellKind = %q", got)
+	}
+	if Mix.String() != "mix" || SSD.String() != "ssd" || DAWork.String() != "work" {
+		t.Errorf("ModuleKind names wrong")
+	}
+	if FPPC.String() == DirectAddressing.String() {
+		t.Errorf("ArchKind names collide")
+	}
+}

@@ -1,0 +1,413 @@
+// Package arch models the two DMFB architectures the paper evaluates: the
+// field-programmable pin-constrained (FPPC) chip of Figure 5, and the
+// general-purpose direct-addressing (DA) chip of Grissom & Brisk
+// [CODES+ISSS 2012] used as the baseline.
+//
+// A chip is a rectangular electrode array in which some cells carry
+// electrodes (wired to control pins) and others are interference regions
+// with no electrode at all. The FPPC chip shares pins between electrodes;
+// the DA chip wires every electrode to its own pin.
+package arch
+
+import (
+	"fmt"
+	"strings"
+
+	"fppc/internal/grid"
+)
+
+// CellKind classifies the role of an electrode position on a chip.
+type CellKind int
+
+// Electrode roles. Empty marks interference regions (no electrode).
+const (
+	Empty   CellKind = iota
+	BusH             // horizontal 3-phase transport bus
+	BusV             // vertical 3-phase transport bus
+	MixLoop          // mix-module rotation cell on a shared loop pin
+	MixHold          // mix-module hold cell (dedicated pin)
+	MixIO            // mix-module entry/exit cell (dedicated pin)
+	SSDHold          // split/store/detect hold cell (dedicated pin)
+	SSDIO            // split/store/detect entry/exit cell (dedicated pin)
+	Street           // direct-addressing general routing cell
+	Work             // direct-addressing module work cell
+)
+
+var cellKindNames = [...]string{
+	"empty", "busH", "busV", "mixLoop", "mixHold", "mixIO", "ssdHold", "ssdIO", "street", "work",
+}
+
+// String returns the kind's short name.
+func (k CellKind) String() string {
+	if k < Empty || int(k) >= len(cellKindNames) {
+		return fmt.Sprintf("CellKind(%d)", int(k))
+	}
+	return cellKindNames[k]
+}
+
+// Electrode is one wired cell of the array.
+type Electrode struct {
+	Cell   grid.Cell
+	Kind   CellKind
+	Pin    int // 1-based control pin id
+	Module int // owning module index, or -1
+}
+
+// ModuleKind distinguishes the module types of the FPPC topology plus the
+// generic module of the DA baseline.
+type ModuleKind int
+
+// Module types. DAWork modules perform any operation and store up to two
+// droplets; Mix modules only mix; SSD modules split, store and detect.
+const (
+	Mix ModuleKind = iota
+	SSD
+	DAWork
+)
+
+func (k ModuleKind) String() string {
+	switch k {
+	case Mix:
+		return "mix"
+	case SSD:
+		return "ssd"
+	case DAWork:
+		return "work"
+	}
+	return fmt.Sprintf("ModuleKind(%d)", int(k))
+}
+
+// Module is a reserved region of the chip that performs operations.
+type Module struct {
+	Kind  ModuleKind
+	Index int       // index within its kind's list
+	Rect  grid.Rect // work-cell footprint (excludes I/O cell)
+
+	// Detector marks modules with an external detector affixed above
+	// them (section 3.1.4); detection operations bind only to these.
+	// Chips ship with detectors everywhere; LimitDetectors models cheaper
+	// configurations (supplemental S2: "compatibility means ... the SSD
+	// modules have appropriate detectors").
+	Detector bool
+
+	// FPPC-specific geometry (zero for DAWork modules):
+	Hold grid.Cell // cell a stored droplet parks on
+	IO   grid.Cell // dedicated entry/exit electrode
+	Bus  grid.Cell // transport-bus cell adjacent to IO
+}
+
+// LoopCells returns the 8 cells of a mix module's rotation loop in
+// clockwise order starting at the hold cell. Panics for non-mix modules.
+func (m *Module) LoopCells() []grid.Cell {
+	if m.Kind != Mix {
+		panic(fmt.Sprintf("arch: LoopCells on %v module", m.Kind))
+	}
+	r := m.Rect
+	top, bot := r.Y0, r.Y0+1
+	// Hold is the rightmost top cell; loop runs down, left along the
+	// bottom, up, and right along the top back to hold.
+	return []grid.Cell{
+		{X: r.X1 - 1, Y: top},
+		{X: r.X1 - 1, Y: bot},
+		{X: r.X1 - 2, Y: bot},
+		{X: r.X1 - 3, Y: bot},
+		{X: r.X1 - 4, Y: bot},
+		{X: r.X1 - 4, Y: top},
+		{X: r.X1 - 3, Y: top},
+		{X: r.X1 - 2, Y: top},
+	}
+}
+
+// Kind of chip architecture.
+type ArchKind int
+
+// The two evaluated architectures.
+const (
+	FPPC ArchKind = iota
+	DirectAddressing
+)
+
+func (k ArchKind) String() string {
+	if k == FPPC {
+		return "field-programmable pin-constrained"
+	}
+	return "direct-addressing"
+}
+
+// Port is an I/O reservoir attachment point on the chip perimeter. The
+// droplet appears on (input) or leaves from (output) the given bus/street
+// cell; the reservoir hardware itself sits off-array and is common to all
+// DMFB designs (section 3.1.2), so it is not counted in the pin totals.
+type Port struct {
+	Fluid string
+	Cell  grid.Cell
+	Input bool
+}
+
+// Chip is a concrete DMFB array: electrodes, pin wiring, modules, ports.
+type Chip struct {
+	Name string
+	Arch ArchKind
+	W, H int
+
+	electrodes map[grid.Cell]*Electrode
+	pins       [][]grid.Cell // pin id -> wired cells; index 0 unused
+
+	MixModules []*Module // FPPC mix column (nil for DA)
+	SSDModules []*Module // FPPC SSD column (nil for DA)
+	WorkMods   []*Module // DA generic modules (nil for FPPC)
+
+	Ports []*Port
+
+	// inputAttach/outputAttach are the perimeter cells available for
+	// reservoir placement, consumed in order by PlacePorts.
+	inputAttach, outputAttach []grid.Cell
+}
+
+// ElectrodeAt returns the electrode at c, or nil if c is an interference
+// region or out of bounds.
+func (c *Chip) ElectrodeAt(cell grid.Cell) *Electrode {
+	return c.electrodes[cell]
+}
+
+// InBounds reports whether the cell lies on the array.
+func (c *Chip) InBounds(cell grid.Cell) bool {
+	return cell.X >= 0 && cell.X < c.W && cell.Y >= 0 && cell.Y < c.H
+}
+
+// PinCount returns the number of distinct control pins.
+func (c *Chip) PinCount() int { return len(c.pins) - 1 }
+
+// PinCells returns every electrode wired to the pin. The slice is shared;
+// callers must not mutate it.
+func (c *Chip) PinCells(pin int) []grid.Cell {
+	if pin <= 0 || pin >= len(c.pins) {
+		return nil
+	}
+	return c.pins[pin]
+}
+
+// ElectrodeCount returns the number of wired cells (the paper's
+// "# Electrodes Used" column).
+func (c *Chip) ElectrodeCount() int { return len(c.electrodes) }
+
+// Electrodes returns all electrodes in row-major order.
+func (c *Chip) Electrodes() []*Electrode {
+	out := make([]*Electrode, 0, len(c.electrodes))
+	for y := 0; y < c.H; y++ {
+		for x := 0; x < c.W; x++ {
+			if e := c.electrodes[grid.Cell{X: x, Y: y}]; e != nil {
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// Modules returns every module regardless of kind.
+func (c *Chip) Modules() []*Module {
+	var out []*Module
+	out = append(out, c.MixModules...)
+	out = append(out, c.SSDModules...)
+	out = append(out, c.WorkMods...)
+	return out
+}
+
+// addElectrode wires a new electrode at cell to pin. Pin 0 allocates a
+// fresh dedicated pin; the assigned pin id is returned.
+func (c *Chip) addElectrode(cell grid.Cell, kind CellKind, pin int, module int) int {
+	if !c.InBounds(cell) {
+		panic(fmt.Sprintf("arch: electrode %v outside %dx%d array", cell, c.W, c.H))
+	}
+	if c.electrodes[cell] != nil {
+		panic(fmt.Sprintf("arch: duplicate electrode at %v", cell))
+	}
+	if pin == 0 {
+		c.pins = append(c.pins, nil)
+		pin = len(c.pins) - 1
+	}
+	for pin >= len(c.pins) {
+		c.pins = append(c.pins, nil)
+	}
+	e := &Electrode{Cell: cell, Kind: kind, Pin: pin, Module: module}
+	c.electrodes[cell] = e
+	c.pins[pin] = append(c.pins[pin], cell)
+	return pin
+}
+
+// PlacePorts assigns reservoir attach points for the given fluids.
+// inputs maps each fluid to its number of ports (dag.Assay.Reservoirs);
+// outputs is the list of distinct output fluids (one port each). Existing
+// ports are replaced. Returns an error if the perimeter runs out of
+// attachment cells.
+func (c *Chip) PlacePorts(inputs map[string]int, outputs []string) error {
+	c.Ports = c.Ports[:0]
+	in, out := 0, 0
+	// Deterministic order: sort fluid names.
+	fluids := make([]string, 0, len(inputs))
+	for f := range inputs {
+		fluids = append(fluids, f)
+	}
+	sortStrings(fluids)
+	for _, f := range fluids {
+		n := inputs[f]
+		if n <= 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			if in >= len(c.inputAttach) {
+				return fmt.Errorf("arch: chip %s has only %d input attach points, need more for %q",
+					c.Name, len(c.inputAttach), f)
+			}
+			c.Ports = append(c.Ports, &Port{Fluid: f, Cell: c.inputAttach[in], Input: true})
+			in++
+		}
+	}
+	for _, f := range outputs {
+		if out >= len(c.outputAttach) {
+			return fmt.Errorf("arch: chip %s has only %d output attach points", c.Name, len(c.outputAttach))
+		}
+		c.Ports = append(c.Ports, &Port{Fluid: f, Cell: c.outputAttach[out], Input: false})
+		out++
+	}
+	return nil
+}
+
+// LimitDetectors equips only the first n SSD (or DA work) modules with
+// detectors, modeling a cheaper chip configuration. n < 0 equips all.
+func (c *Chip) LimitDetectors(n int) {
+	mods := c.SSDModules
+	if c.Arch == DirectAddressing {
+		mods = c.WorkMods
+	}
+	for i, m := range mods {
+		m.Detector = n < 0 || i < n
+	}
+}
+
+// InputPorts returns the ports dispensing the given fluid.
+func (c *Chip) InputPorts(fluid string) []*Port {
+	var out []*Port
+	for _, p := range c.Ports {
+		if p.Input && p.Fluid == fluid {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// OutputPort returns the port accepting the given fluid, falling back to
+// any output port, or nil when none exist.
+func (c *Chip) OutputPort(fluid string) *Port {
+	var any *Port
+	for _, p := range c.Ports {
+		if !p.Input {
+			if p.Fluid == fluid {
+				return p
+			}
+			if any == nil {
+				any = p
+			}
+		}
+	}
+	return any
+}
+
+// Validate checks the chip's structural invariants: every electrode's pin
+// wiring is consistent, module geometry references real electrodes of the
+// right kind, no two electrodes on the same pin are within interference
+// distance of... (that last property is deliberately FALSE for shared-pin
+// designs, so it is not checked here; see pins.CheckThreePhase for the
+// per-bus constraint).
+func (c *Chip) Validate() error {
+	for cell, e := range c.electrodes {
+		if e.Cell != cell {
+			return fmt.Errorf("arch %s: electrode at %v records cell %v", c.Name, cell, e.Cell)
+		}
+		if e.Pin <= 0 || e.Pin >= len(c.pins) {
+			return fmt.Errorf("arch %s: electrode %v has pin %d outside [1,%d]", c.Name, cell, e.Pin, len(c.pins)-1)
+		}
+		found := false
+		for _, pc := range c.pins[e.Pin] {
+			if pc == cell {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("arch %s: electrode %v missing from pin %d wiring", c.Name, cell, e.Pin)
+		}
+	}
+	for pin := 1; pin < len(c.pins); pin++ {
+		if len(c.pins[pin]) == 0 {
+			return fmt.Errorf("arch %s: pin %d wired to no electrodes", c.Name, pin)
+		}
+		for _, cell := range c.pins[pin] {
+			e := c.electrodes[cell]
+			if e == nil || e.Pin != pin {
+				return fmt.Errorf("arch %s: pin %d wiring lists %v which disagrees", c.Name, pin, cell)
+			}
+		}
+	}
+	for _, m := range c.Modules() {
+		for _, cell := range m.Rect.Cells() {
+			if c.electrodes[cell] == nil {
+				return fmt.Errorf("arch %s: %v module %d footprint cell %v has no electrode", c.Name, m.Kind, m.Index, cell)
+			}
+		}
+		if m.Kind == Mix || m.Kind == SSD {
+			if e := c.electrodes[m.Hold]; e == nil || (e.Kind != MixHold && e.Kind != SSDHold) {
+				return fmt.Errorf("arch %s: %v module %d hold cell %v invalid", c.Name, m.Kind, m.Index, m.Hold)
+			}
+			if e := c.electrodes[m.IO]; e == nil || (e.Kind != MixIO && e.Kind != SSDIO) {
+				return fmt.Errorf("arch %s: %v module %d IO cell %v invalid", c.Name, m.Kind, m.Index, m.IO)
+			}
+			if e := c.electrodes[m.Bus]; e == nil || (e.Kind != BusH && e.Kind != BusV) {
+				return fmt.Errorf("arch %s: %v module %d bus cell %v invalid", c.Name, m.Kind, m.Index, m.Bus)
+			}
+			if !grid.Adjacent4(m.IO, m.Bus) {
+				return fmt.Errorf("arch %s: %v module %d IO %v not adjacent to bus %v", c.Name, m.Kind, m.Index, m.IO, m.Bus)
+			}
+		}
+	}
+	return nil
+}
+
+// Render draws the chip as ASCII art in the spirit of Figure 5: one
+// two-character pin label per electrode, dots for interference regions.
+func (c *Chip) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %dx%d (%s): %d electrodes, %d pins\n",
+		c.Name, c.W, c.H, c.Arch, c.ElectrodeCount(), c.PinCount())
+	for y := 0; y < c.H; y++ {
+		for x := 0; x < c.W; x++ {
+			e := c.electrodes[grid.Cell{X: x, Y: y}]
+			if e == nil {
+				b.WriteString(" ..")
+				continue
+			}
+			fmt.Fprintf(&b, "%3d", e.Pin)
+		}
+		b.WriteByte('\n')
+	}
+	if len(c.Ports) > 0 {
+		b.WriteString("ports:")
+		for _, p := range c.Ports {
+			dir := "out"
+			if p.Input {
+				dir = "in"
+			}
+			fmt.Fprintf(&b, " %s:%s@%v", p.Fluid, dir, p.Cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func sortStrings(a []string) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package arch
+
+import (
+	"fmt"
+
+	"fppc/internal/grid"
+)
+
+// DA layout constants. The direct-addressing baseline [Grissom & Brisk,
+// CODES+ISSS 2012] imposes a virtual topology on a fully wired array: a
+// one-cell routing ring around the perimeter and a grid of generic 4x2
+// work modules separated by one-cell halos and two-cell streets. Every
+// cell is an electrode on its own pin.
+const (
+	daModuleW     = 4
+	daModuleH     = 2
+	daPitchX      = 7 // module width + halo + one-cell street column
+	daPitchY      = 5 // module height + halo + one-cell street row
+	daMargin      = 2 // perimeter ring + halo
+	MinDAWidth    = daMargin + daModuleW + daMargin
+	MinDAHeight   = daMargin + daModuleH + daMargin
+	DAStorePerMod = 2 // droplets a work module can store concurrently
+)
+
+// DAModuleCount returns how many work modules a w x h direct-addressing
+// chip carries.
+func DAModuleCount(w, h int) int {
+	return daSlots(w, daModuleW, daPitchX) * daSlots(h, daModuleH, daPitchY)
+}
+
+// daSlots counts module positions along one axis.
+func daSlots(extent, modSize, pitch int) int {
+	n := 0
+	for x0 := daMargin; x0+modSize <= extent-daMargin; x0 += pitch {
+		n++
+	}
+	return n
+}
+
+// DASizeFor grows a direct-addressing chip from the paper's base 15x19
+// until it provides at least the given number of work modules, extending
+// the height first (as the paper does for Protein Split 6-7) and widening
+// only when the chip becomes taller than twice its width.
+func DASizeFor(modules int) (w, h int) {
+	w, h = 15, 19
+	for DAModuleCount(w, h) < modules {
+		if h >= 2*w {
+			w += daPitchX
+		} else {
+			h += daPitchY
+		}
+	}
+	return w, h
+}
+
+// NewDA builds a w x h direct-addressing chip: every cell is an electrode
+// with a dedicated pin (pin = 1 + y*w + x), generic work modules arranged
+// on the virtual topology, and all remaining cells usable as streets.
+func NewDA(w, h int) (*Chip, error) {
+	if w < MinDAWidth || h < MinDAHeight {
+		return nil, fmt.Errorf("arch: DA size %dx%d below minimum %dx%d", w, h, MinDAWidth, MinDAHeight)
+	}
+	c := &Chip{
+		Name:       fmt.Sprintf("da-%dx%d", w, h),
+		Arch:       DirectAddressing,
+		W:          w,
+		H:          h,
+		electrodes: map[grid.Cell]*Electrode{},
+		pins:       make([][]grid.Cell, 1),
+	}
+
+	// Module slots first so cell kinds are known.
+	inModule := map[grid.Cell]int{}
+	idx := 0
+	for y0 := daMargin; y0+daModuleH <= h-daMargin; y0 += daPitchY {
+		for x0 := daMargin; x0+daModuleW <= w-daMargin; x0 += daPitchX {
+			m := &Module{
+				Kind:     DAWork,
+				Index:    idx,
+				Detector: true,
+				Rect:     grid.Rect{X0: x0, Y0: y0, X1: x0 + daModuleW, Y1: y0 + daModuleH},
+			}
+			// Droplets park on the module's two outer work cells when
+			// stored; the binder uses Hold for the first stored droplet.
+			m.Hold = grid.Cell{X: x0, Y: y0}
+			m.IO = grid.Cell{X: x0, Y: y0} // entry corner
+			m.Bus = grid.Cell{X: x0 - 1, Y: y0}
+			for _, cell := range m.Rect.Cells() {
+				inModule[cell] = idx
+			}
+			c.WorkMods = append(c.WorkMods, m)
+			idx++
+		}
+	}
+
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			cell := grid.Cell{X: x, Y: y}
+			kind := Street
+			mod := -1
+			if mi, ok := inModule[cell]; ok {
+				kind = Work
+				mod = mi
+			}
+			c.addElectrode(cell, kind, 1+y*w+x, mod)
+		}
+	}
+
+	// Reservoirs attach anywhere on the perimeter: inputs on top plus the
+	// side columns, outputs on the bottom plus the side columns. Every
+	// other cell is used (center-out) so concurrently dispensed droplets
+	// respect the fluidic spacing constraint and busy reservoirs sit near
+	// the module grid.
+	mid := w / 2
+	taken := map[int]bool{mid: true}
+	c.inputAttach = append(c.inputAttach, grid.Cell{X: mid, Y: 0})
+	c.outputAttach = append(c.outputAttach, grid.Cell{X: mid, Y: h - 1})
+	for d := 2; mid-d >= 0 || mid+d < w; d += 2 {
+		for _, x := range []int{mid - d, mid + d} {
+			if x < 0 || x >= w {
+				continue
+			}
+			taken[x] = true
+			c.inputAttach = append(c.inputAttach, grid.Cell{X: x, Y: 0})
+			c.outputAttach = append(c.outputAttach, grid.Cell{X: x, Y: h - 1})
+		}
+	}
+	for y := 2; y < h-2; y += 2 {
+		c.inputAttach = append(c.inputAttach, grid.Cell{X: 0, Y: y})
+		c.outputAttach = append(c.outputAttach, grid.Cell{X: w - 1, Y: y})
+	}
+	// Remaining perimeter cells back-fill assays with many reservoirs.
+	for _, x := range centerOut(mid, w) {
+		if !taken[x] {
+			c.inputAttach = append(c.inputAttach, grid.Cell{X: x, Y: 0})
+			c.outputAttach = append(c.outputAttach, grid.Cell{X: x, Y: h - 1})
+		}
+	}
+	return c, nil
+}

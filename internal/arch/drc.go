@@ -1,0 +1,205 @@
+package arch
+
+import (
+	"fmt"
+
+	"fppc/internal/grid"
+)
+
+// CheckDesignRules verifies the architectural invariants the paper's
+// field-programmable operation depends on. It complements Validate
+// (structural wiring consistency) with the fluidic design rules:
+//
+//  1. 3-phase transport (Figure 6): along every bus, electrodes within
+//     two steps use distinct pins.
+//  2. Conflict-free intersections (Figure S2): around every bus
+//     crossing, all bus pins in the 8-neighbourhood are unique.
+//  3. Module isolation: every hold cell and module work cell keeps
+//     Chebyshev distance >= 2 from every transport-bus electrode and
+//     from other modules' cells, so held droplets never interact with
+//     routing traffic.
+//  4. Module I/O geometry: each module's I/O electrode bridges its bus
+//     cell and its hold/work region with dedicated (unshared) pins.
+//  5. Reachability: every module's bus cell is reachable from every
+//     other module's bus cell over transport electrodes, so any assay
+//     placement can be routed.
+//
+// The direct-addressing baseline trivially satisfies 1-2 (unique pins)
+// and skips 4; shared rules are checked for both architectures.
+func CheckDesignRules(c *Chip) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if c.Arch == FPPC {
+		if err := checkThreePhaseRule(c); err != nil {
+			return err
+		}
+		if err := checkIntersectionRule(c); err != nil {
+			return err
+		}
+		if err := checkModuleIO(c); err != nil {
+			return err
+		}
+		if err := checkBusReachability(c); err != nil {
+			return err
+		}
+	}
+	return checkIsolation(c)
+}
+
+// checkThreePhaseRule enforces rule 1 without importing the pins package
+// (arch sits below it in the dependency order).
+func checkThreePhaseRule(c *Chip) error {
+	for _, e := range c.Electrodes() {
+		if e.Kind != BusH && e.Kind != BusV {
+			continue
+		}
+		for _, step := range []grid.Dir{grid.East, grid.South} {
+			one := e.Cell.Step(step)
+			two := one.Step(step)
+			for _, other := range []grid.Cell{one, two} {
+				oe := c.ElectrodeAt(other)
+				if oe == nil || (oe.Kind != BusH && oe.Kind != BusV) {
+					continue
+				}
+				if oe.Pin == e.Pin {
+					return fmt.Errorf("arch: 3-phase violation: bus cells %v and %v share pin %d", e.Cell, other, e.Pin)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkIntersectionRule enforces rule 2.
+func checkIntersectionRule(c *Chip) error {
+	for _, e := range c.Electrodes() {
+		if e.Kind != BusH {
+			continue
+		}
+		crossing := false
+		for _, n := range e.Cell.Neighbors4() {
+			if ne := c.ElectrodeAt(n); ne != nil && ne.Kind == BusV {
+				crossing = true
+			}
+		}
+		if !crossing {
+			continue
+		}
+		seen := map[int]grid.Cell{}
+		nbrs := e.Cell.Neighbors8()
+		for _, cell := range append([]grid.Cell{e.Cell}, nbrs[:]...) {
+			ne := c.ElectrodeAt(cell)
+			if ne == nil || (ne.Kind != BusH && ne.Kind != BusV) {
+				continue
+			}
+			if prev, dup := seen[ne.Pin]; dup {
+				return fmt.Errorf("arch: intersection at %v: %v and %v share pin %d", e.Cell, prev, cell, ne.Pin)
+			}
+			seen[ne.Pin] = cell
+		}
+	}
+	return nil
+}
+
+// checkIsolation enforces rule 3 for both architectures.
+func checkIsolation(c *Chip) error {
+	var routing []grid.Cell
+	for _, e := range c.Electrodes() {
+		if e.Kind == BusH || e.Kind == BusV {
+			routing = append(routing, e.Cell)
+		}
+	}
+	mods := c.Modules()
+	for i, m := range mods {
+		cells := m.Rect.Cells()
+		for _, cell := range cells {
+			for _, bus := range routing {
+				if grid.Chebyshev(cell, bus) < 2 {
+					return fmt.Errorf("arch: module %v[%d] cell %v within interference range of bus %v",
+						m.Kind, m.Index, cell, bus)
+				}
+			}
+		}
+		for _, other := range mods[i+1:] {
+			for _, cell := range cells {
+				for _, oc := range other.Rect.Cells() {
+					if grid.Chebyshev(cell, oc) < 2 {
+						return fmt.Errorf("arch: modules %v[%d] and %v[%d] interfere at %v/%v",
+							m.Kind, m.Index, other.Kind, other.Index, cell, oc)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkModuleIO enforces rule 4.
+func checkModuleIO(c *Chip) error {
+	for _, m := range c.Modules() {
+		if m.Kind == DAWork {
+			continue
+		}
+		if !grid.Adjacent4(m.IO, m.Bus) {
+			return fmt.Errorf("arch: %v[%d] IO %v not adjacent to bus %v", m.Kind, m.Index, m.IO, m.Bus)
+		}
+		if !grid.Adjacent4(m.IO, m.Hold) {
+			return fmt.Errorf("arch: %v[%d] IO %v not adjacent to hold %v", m.Kind, m.Index, m.IO, m.Hold)
+		}
+		for _, cell := range []grid.Cell{m.IO, m.Hold} {
+			e := c.ElectrodeAt(cell)
+			if e == nil {
+				return fmt.Errorf("arch: %v[%d] missing electrode at %v", m.Kind, m.Index, cell)
+			}
+			if n := len(c.PinCells(e.Pin)); n != 1 {
+				return fmt.Errorf("arch: %v[%d] pin %d at %v shared by %d electrodes, want dedicated",
+					m.Kind, m.Index, e.Pin, cell, n)
+			}
+		}
+	}
+	return nil
+}
+
+// checkBusReachability enforces rule 5 with a BFS over bus electrodes.
+func checkBusReachability(c *Chip) error {
+	busOK := func(cell grid.Cell) bool {
+		e := c.ElectrodeAt(cell)
+		return e != nil && (e.Kind == BusH || e.Kind == BusV)
+	}
+	var start grid.Cell
+	found := false
+	for _, e := range c.Electrodes() {
+		if busOK(e.Cell) {
+			start = e.Cell
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("arch: chip %s has no transport bus", c.Name)
+	}
+	reach := map[grid.Cell]bool{start: true}
+	queue := []grid.Cell{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, n := range cur.Neighbors4() {
+			if busOK(n) && !reach[n] {
+				reach[n] = true
+				queue = append(queue, n)
+			}
+		}
+	}
+	for _, e := range c.Electrodes() {
+		if busOK(e.Cell) && !reach[e.Cell] {
+			return fmt.Errorf("arch: bus cell %v unreachable from %v", e.Cell, start)
+		}
+	}
+	for _, m := range c.Modules() {
+		if m.Kind != DAWork && !reach[m.Bus] {
+			return fmt.Errorf("arch: %v[%d] bus cell %v not on the connected bus network", m.Kind, m.Index, m.Bus)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"fppc/internal/grid"
+)
+
+func TestDesignRulesPassOnGeneratedChips(t *testing.T) {
+	for _, h := range []int{9, 12, 15, 21, 31, 45} {
+		c := mustFPPC(t, h)
+		if err := CheckDesignRules(c); err != nil {
+			t.Errorf("12x%d: %v", h, err)
+		}
+	}
+	da := mustDA(t, 15, 19)
+	if err := CheckDesignRules(da); err != nil {
+		t.Errorf("DA 15x19: %v", err)
+	}
+}
+
+func TestDesignRulesQuickAllHeights(t *testing.T) {
+	prop := func(hh uint8) bool {
+		h := MinFPPCHeight + int(hh%60)
+		c, err := NewFPPC(h)
+		if err != nil {
+			return false
+		}
+		return CheckDesignRules(c) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// corrupt builds an FPPC chip and then sabotages one aspect, expecting
+// the DRC to flag it.
+func TestDesignRulesCatchViolations(t *testing.T) {
+	t.Run("shared-hold-pin", func(t *testing.T) {
+		c := mustFPPC(t, 15)
+		// Rewire SSD 0's hold onto SSD 1's hold pin: rule 4 violated.
+		h0 := c.ElectrodeAt(c.SSDModules[0].Hold)
+		h1 := c.ElectrodeAt(c.SSDModules[1].Hold)
+		c.pins[h1.Pin] = append(c.pins[h1.Pin], h0.Cell)
+		c.pins[h0.Pin] = nil
+		h0.Pin = h1.Pin
+		err := CheckDesignRules(c)
+		if err == nil {
+			t.Fatalf("shared hold pin accepted")
+		}
+	})
+	t.Run("bus-phase-collision", func(t *testing.T) {
+		c := mustFPPC(t, 15)
+		// Rewire a top-bus electrode to its neighbour's pin.
+		e0 := c.ElectrodeAt(grid.Cell{X: 0, Y: 0})
+		e1 := c.ElectrodeAt(grid.Cell{X: 1, Y: 0})
+		removeFromPin(c, e1)
+		e1.Pin = e0.Pin
+		c.pins[e0.Pin] = append(c.pins[e0.Pin], e1.Cell)
+		err := CheckDesignRules(c)
+		if err == nil || !strings.Contains(err.Error(), "3-phase") {
+			t.Fatalf("phase collision = %v, want 3-phase violation", err)
+		}
+	})
+}
+
+// removeFromPin unwires an electrode from its pin list (test helper).
+func removeFromPin(c *Chip, e *Electrode) {
+	cells := c.pins[e.Pin]
+	kept := cells[:0]
+	for _, cell := range cells {
+		if cell != e.Cell {
+			kept = append(kept, cell)
+		}
+	}
+	c.pins[e.Pin] = kept
+}
+
+func TestAnalyzeWiringFPPCBeatsDA(t *testing.T) {
+	fp := mustFPPC(t, 21)
+	da := mustDA(t, 15, 19)
+	fr := AnalyzeWiring(fp)
+	dr := AnalyzeWiring(da)
+	// The paper's cost claim: pin sharing slashes wiring complexity.
+	if fr.Pins >= dr.Pins {
+		t.Errorf("FPPC pins %d not below DA %d", fr.Pins, dr.Pins)
+	}
+	if fr.MaxChannelLoad >= dr.MaxChannelLoad {
+		t.Errorf("FPPC channel load %d not below DA %d", fr.MaxChannelLoad, dr.MaxChannelLoad)
+	}
+	if fr.EstimatedLayers >= dr.EstimatedLayers {
+		t.Errorf("FPPC layers %d not below DA %d (paper: fewer PCB layers)", fr.EstimatedLayers, dr.EstimatedLayers)
+	}
+	if fr.WireLength <= 0 || dr.WireLength <= 0 {
+		t.Errorf("degenerate wire lengths: %d / %d", fr.WireLength, dr.WireLength)
+	}
+	if s := fr.String(); !strings.Contains(s, "PCB layer") {
+		t.Errorf("report string: %q", s)
+	}
+}
+
+func TestAnalyzeWiringScalesWithHeight(t *testing.T) {
+	smallFP := AnalyzeWiring(mustFPPC(t, 9))
+	bigFP := AnalyzeWiring(mustFPPC(t, 33))
+	if bigFP.WireLength <= smallFP.WireLength {
+		t.Errorf("wire length did not grow with the array: %d vs %d", bigFP.WireLength, smallFP.WireLength)
+	}
+	// The scalability half of the paper's cost argument: growing the
+	// array inflates the pin-constrained chip's congestion far more
+	// slowly than the direct-addressing chip's.
+	smallDA := AnalyzeWiring(mustDA(t, 15, 19))
+	bigDA := AnalyzeWiring(mustDA(t, 15, 43))
+	fpGrowth := bigFP.MaxChannelLoad - smallFP.MaxChannelLoad
+	daGrowth := bigDA.MaxChannelLoad - smallDA.MaxChannelLoad
+	if fpGrowth*2 >= daGrowth {
+		t.Errorf("FPPC channel-load growth %d not well below DA growth %d", fpGrowth, daGrowth)
+	}
+}
+
+func TestSpanningLength(t *testing.T) {
+	if got := spanningLength([]grid.Cell{{X: 0, Y: 0}}); got != 0 {
+		t.Errorf("single cell length = %d", got)
+	}
+	got := spanningLength([]grid.Cell{{X: 0, Y: 0}, {X: 3, Y: 0}, {X: 3, Y: 2}})
+	if got != 5 {
+		t.Errorf("spanning length = %d, want 5", got)
+	}
+}

@@ -1,0 +1,167 @@
+package arch
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"fppc/internal/grid"
+)
+
+// chipJSON is the serialized wiring description a driver board (or any
+// external tool) needs to interpret pin programs: the grid size, every
+// electrode's position/kind/pin, module geometry and port placement.
+type chipJSON struct {
+	Name       string          `json:"name"`
+	Arch       string          `json:"arch"`
+	W          int             `json:"w"`
+	H          int             `json:"h"`
+	Electrodes []electrodeJSON `json:"electrodes"`
+	Modules    []moduleJSON    `json:"modules"`
+	Ports      []portJSON      `json:"ports,omitempty"`
+}
+
+type electrodeJSON struct {
+	X    int    `json:"x"`
+	Y    int    `json:"y"`
+	Kind string `json:"kind"`
+	Pin  int    `json:"pin"`
+	Mod  int    `json:"module"`
+}
+
+type moduleJSON struct {
+	Kind     string `json:"kind"`
+	Index    int    `json:"index"`
+	Detector bool   `json:"detector"`
+	Rect     [4]int `json:"rect"`
+	Hold     [2]int `json:"hold"`
+	IO       [2]int `json:"io"`
+	Bus      [2]int `json:"bus"`
+}
+
+type portJSON struct {
+	Fluid string `json:"fluid"`
+	X     int    `json:"x"`
+	Y     int    `json:"y"`
+	Input bool   `json:"input"`
+}
+
+// ExportJSON writes the chip's complete wiring description.
+func ExportJSON(w io.Writer, c *Chip) error {
+	out := chipJSON{Name: c.Name, Arch: c.Arch.String(), W: c.W, H: c.H}
+	for _, e := range c.Electrodes() {
+		out.Electrodes = append(out.Electrodes, electrodeJSON{
+			X: e.Cell.X, Y: e.Cell.Y, Kind: e.Kind.String(), Pin: e.Pin, Mod: e.Module,
+		})
+	}
+	for _, m := range c.Modules() {
+		out.Modules = append(out.Modules, moduleJSON{
+			Kind: m.Kind.String(), Index: m.Index, Detector: m.Detector,
+			Rect: [4]int{m.Rect.X0, m.Rect.Y0, m.Rect.X1, m.Rect.Y1},
+			Hold: [2]int{m.Hold.X, m.Hold.Y},
+			IO:   [2]int{m.IO.X, m.IO.Y},
+			Bus:  [2]int{m.Bus.X, m.Bus.Y},
+		})
+	}
+	for _, p := range c.Ports {
+		out.Ports = append(out.Ports, portJSON{Fluid: p.Fluid, X: p.Cell.X, Y: p.Cell.Y, Input: p.Input})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WiringTable returns the pin-to-electrodes map in a stable, compact form
+// (pin -> list of cells), the core artifact a PCB designer consumes.
+func WiringTable(c *Chip) map[int][]grid.Cell {
+	out := make(map[int][]grid.Cell, c.PinCount())
+	for pin := 1; pin <= c.PinCount(); pin++ {
+		out[pin] = append([]grid.Cell(nil), c.PinCells(pin)...)
+	}
+	return out
+}
+
+// SummaryLine is a one-line chip description for logs and CLIs.
+func SummaryLine(c *Chip) string {
+	return fmt.Sprintf("%s: %dx%d, %d electrodes on %d pins, %d modules",
+		c.Name, c.W, c.H, c.ElectrodeCount(), c.PinCount(), len(c.Modules()))
+}
+
+// ImportJSON reads a wiring description written by ExportJSON back into
+// a Chip. The reconstructed chip passes Validate and drives the router
+// and simulator exactly like a generated one, so chip definitions can
+// come from external tools.
+func ImportJSON(r io.Reader) (*Chip, error) {
+	var in chipJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, err
+	}
+	c := &Chip{
+		Name:       in.Name,
+		W:          in.W,
+		H:          in.H,
+		electrodes: map[grid.Cell]*Electrode{},
+		pins:       make([][]grid.Cell, 1),
+	}
+	switch in.Arch {
+	case FPPC.String():
+		c.Arch = FPPC
+	case DirectAddressing.String():
+		c.Arch = DirectAddressing
+	default:
+		return nil, fmt.Errorf("arch: unknown architecture %q", in.Arch)
+	}
+	kinds := map[string]CellKind{}
+	for k := Empty; int(k) < len(cellKindNames); k++ {
+		kinds[k.String()] = k
+	}
+	for _, e := range in.Electrodes {
+		kind, ok := kinds[e.Kind]
+		if !ok {
+			return nil, fmt.Errorf("arch: unknown cell kind %q", e.Kind)
+		}
+		if e.Pin < 1 {
+			return nil, fmt.Errorf("arch: electrode (%d,%d) has pin %d", e.X, e.Y, e.Pin)
+		}
+		c.addElectrode(grid.Cell{X: e.X, Y: e.Y}, kind, e.Pin, e.Mod)
+	}
+	for _, m := range in.Modules {
+		mod := &Module{
+			Index:    m.Index,
+			Detector: m.Detector,
+			Rect:     grid.Rect{X0: m.Rect[0], Y0: m.Rect[1], X1: m.Rect[2], Y1: m.Rect[3]},
+			Hold:     grid.Cell{X: m.Hold[0], Y: m.Hold[1]},
+			IO:       grid.Cell{X: m.IO[0], Y: m.IO[1]},
+			Bus:      grid.Cell{X: m.Bus[0], Y: m.Bus[1]},
+		}
+		switch m.Kind {
+		case Mix.String():
+			mod.Kind = Mix
+			c.MixModules = append(c.MixModules, mod)
+		case SSD.String():
+			mod.Kind = SSD
+			c.SSDModules = append(c.SSDModules, mod)
+		case DAWork.String():
+			mod.Kind = DAWork
+			c.WorkMods = append(c.WorkMods, mod)
+		default:
+			return nil, fmt.Errorf("arch: unknown module kind %q", m.Kind)
+		}
+	}
+	for _, p := range in.Ports {
+		c.Ports = append(c.Ports, &Port{Fluid: p.Fluid, Cell: grid.Cell{X: p.X, Y: p.Y}, Input: p.Input})
+	}
+	// Imported chips reuse their port cells as attach points so
+	// PlacePorts keeps working.
+	for _, p := range c.Ports {
+		if p.Input {
+			c.inputAttach = append(c.inputAttach, p.Cell)
+		} else {
+			c.outputAttach = append(c.outputAttach, p.Cell)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("arch: imported chip invalid: %w", err)
+	}
+	return c, nil
+}

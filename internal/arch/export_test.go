@@ -1,0 +1,115 @@
+package arch
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestExportJSON(t *testing.T) {
+	c := mustFPPC(t, 15)
+	if err := c.PlacePorts(map[string]int{"buffer": 2}, []string{"waste"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ExportJSON(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if back["name"] != "fppc-12x15" {
+		t.Errorf("name = %v", back["name"])
+	}
+	if n := len(back["electrodes"].([]any)); n != c.ElectrodeCount() {
+		t.Errorf("electrodes = %d, want %d", n, c.ElectrodeCount())
+	}
+	if n := len(back["modules"].([]any)); n != len(c.Modules()) {
+		t.Errorf("modules = %d, want %d", n, len(c.Modules()))
+	}
+	if n := len(back["ports"].([]any)); n != 3 {
+		t.Errorf("ports = %d, want 3", n)
+	}
+	if !strings.Contains(buf.String(), "\"detector\": true") {
+		t.Errorf("detector flags missing")
+	}
+}
+
+func TestWiringTable(t *testing.T) {
+	c := mustFPPC(t, 15)
+	table := WiringTable(c)
+	if len(table) != c.PinCount() {
+		t.Fatalf("table pins = %d, want %d", len(table), c.PinCount())
+	}
+	total := 0
+	for pin, cells := range table {
+		if len(cells) == 0 {
+			t.Errorf("pin %d wired to nothing", pin)
+		}
+		total += len(cells)
+	}
+	if total != c.ElectrodeCount() {
+		t.Errorf("table covers %d electrodes, want %d", total, c.ElectrodeCount())
+	}
+	// The table is a copy: mutating it must not affect the chip.
+	table[1][0] = table[1][0].Add(100, 100)
+	if c.PinCells(1)[0] == table[1][0] {
+		t.Errorf("WiringTable shares memory with the chip")
+	}
+}
+
+func TestSummaryLine(t *testing.T) {
+	c := mustFPPC(t, 9)
+	s := SummaryLine(c)
+	for _, frag := range []string{"fppc-12x9", "23 pins", "5 modules"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("summary %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestImportJSONRoundTrip(t *testing.T) {
+	orig := mustFPPC(t, 15)
+	if err := orig.PlacePorts(map[string]int{"buffer": 2}, []string{"waste"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ExportJSON(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ImportJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.PinCount() != orig.PinCount() || back.ElectrodeCount() != orig.ElectrodeCount() {
+		t.Errorf("round trip: %d/%d pins, %d/%d electrodes",
+			back.PinCount(), orig.PinCount(), back.ElectrodeCount(), orig.ElectrodeCount())
+	}
+	if len(back.MixModules) != len(orig.MixModules) || len(back.SSDModules) != len(orig.SSDModules) {
+		t.Errorf("module counts differ")
+	}
+	if len(back.Ports) != len(orig.Ports) {
+		t.Errorf("ports = %d, want %d", len(back.Ports), len(orig.Ports))
+	}
+	if err := CheckDesignRules(back); err != nil {
+		t.Errorf("imported chip fails design rules: %v", err)
+	}
+}
+
+func TestImportJSONRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"name":"x","arch":"warp","w":2,"h":2}`,
+		`{"name":"x","arch":"field-programmable pin-constrained","w":2,"h":2,
+		  "electrodes":[{"x":0,"y":0,"kind":"laser","pin":1,"module":-1}]}`,
+		`{"name":"x","arch":"field-programmable pin-constrained","w":2,"h":2,
+		  "electrodes":[{"x":0,"y":0,"kind":"busH","pin":0,"module":-1}]}`,
+	}
+	for i, src := range cases {
+		if _, err := ImportJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package arch
+
+import (
+	"fmt"
+
+	"fppc/internal/grid"
+)
+
+// FPPC layout constants (paper Figure 5, reconstructed; see DESIGN.md).
+// The chip is a fixed 12-column plan that scales vertically:
+//
+//	col 0     left vertical transport bus
+//	col 1     interference (no electrodes)
+//	cols 2-5  mix modules, 4 wide x 2 tall
+//	col 6     mix-module I/O electrodes
+//	col 7     central vertical transport bus
+//	col 8     SSD-module I/O electrodes
+//	col 9     SSD-module hold electrodes
+//	col 10    interference (no electrodes)
+//	col 11    right vertical transport bus
+//	row 0 and row H-1: horizontal transport buses spanning the width
+const (
+	FPPCWidth = 12
+
+	colBusLeft   = 0
+	colMixX0     = 2
+	colMixX1     = 6 // exclusive
+	colMixIO     = 6
+	colBusCenter = 7
+	colSSDIO     = 8
+	colSSDHold   = 9
+	colBusRight  = 11
+
+	// MinFPPCHeight is the smallest array with at least one mix module
+	// and two SSD modules (one of which the scheduler reserves).
+	MinFPPCHeight = 9
+)
+
+// Shared pin ids of the FPPC plan. Horizontal buses cycle pins 1-3,
+// vertical buses cycle 4-6, and the seven mix-loop positions shared by all
+// mix modules use 7-13. Dedicated hold/IO pins are allocated after these.
+const (
+	pinHBase       = 1
+	pinVBase       = 4
+	pinMixLoopBase = 7
+	numSharedPins  = 13
+)
+
+// FPPCMixCount returns how many mix modules a height-H chip carries.
+func FPPCMixCount(h int) int { return (h - 3) / 3 }
+
+// FPPCSSDCount returns how many SSD modules a height-H chip carries.
+func FPPCSSDCount(h int) int { return (h - 3) / 2 }
+
+// FPPCHeightFor returns the smallest chip height providing at least the
+// given module counts.
+func FPPCHeightFor(mix, ssd int) int {
+	h := MinFPPCHeight
+	for FPPCMixCount(h) < mix || FPPCSSDCount(h) < ssd {
+		h++
+	}
+	return h
+}
+
+// NewFPPC builds the field-programmable pin-constrained chip of Figure 5
+// at the given height (width is fixed at 12). Heights below MinFPPCHeight
+// are rejected: the resulting chip could not run any assay.
+func NewFPPC(h int) (*Chip, error) {
+	if h < MinFPPCHeight {
+		return nil, fmt.Errorf("arch: FPPC height %d below minimum %d", h, MinFPPCHeight)
+	}
+	c := &Chip{
+		Name:       fmt.Sprintf("fppc-%dx%d", FPPCWidth, h),
+		Arch:       FPPC,
+		W:          FPPCWidth,
+		H:          h,
+		electrodes: map[grid.Cell]*Electrode{},
+		pins:       make([][]grid.Cell, numSharedPins+1),
+	}
+
+	// Horizontal transport buses, pins 1..3 cycling with x.
+	for _, y := range []int{0, h - 1} {
+		for x := 0; x < FPPCWidth; x++ {
+			c.addElectrode(grid.Cell{X: x, Y: y}, BusH, pinHBase+x%3, -1)
+		}
+	}
+	// Vertical transport buses, pins 4..6 cycling with y.
+	for _, x := range []int{colBusLeft, colBusCenter, colBusRight} {
+		for y := 1; y < h-1; y++ {
+			c.addElectrode(grid.Cell{X: x, Y: y}, BusV, pinVBase+(y-1)%3, -1)
+		}
+	}
+
+	// Mix modules: rows 3k+2..3k+3 (starting one row clear of the top bus
+	// so held droplets never neighbour routing cells). The hold cell is the top-right loop
+	// cell (adjacent to the I/O electrode); the other seven loop cells
+	// share pins 7..13 across every module, which is what synchronizes
+	// mixing rotation chip-wide (section 3.1.3).
+	for k := 0; k < FPPCMixCount(h); k++ {
+		y0 := 3*k + 2
+		m := &Module{
+			Kind:  Mix,
+			Index: k,
+			Rect:  grid.Rect{X0: colMixX0, Y0: y0, X1: colMixX1, Y1: y0 + 2},
+			Hold:  grid.Cell{X: colMixX1 - 1, Y: y0},
+			IO:    grid.Cell{X: colMixIO, Y: y0},
+			Bus:   grid.Cell{X: colBusCenter, Y: y0},
+		}
+		loop := m.LoopCells()
+		c.addElectrode(loop[0], MixHold, 0, k) // dedicated hold pin
+		for i, cell := range loop[1:] {
+			c.addElectrode(cell, MixLoop, pinMixLoopBase+i, k)
+		}
+		c.addElectrode(m.IO, MixIO, 0, k) // dedicated I/O pin
+		c.MixModules = append(c.MixModules, m)
+	}
+
+	// SSD modules: one hold + one I/O electrode at rows 2k+2, both on
+	// dedicated pins so any single module can admit or release a droplet
+	// while the others keep theirs held (section 3.1.4).
+	for k := 0; k < FPPCSSDCount(h); k++ {
+		y := 2*k + 2
+		m := &Module{
+			Kind:     SSD,
+			Index:    k,
+			Detector: true,
+			Rect:     grid.Rect{X0: colSSDHold, Y0: y, X1: colSSDHold + 1, Y1: y + 1},
+			Hold:     grid.Cell{X: colSSDHold, Y: y},
+			IO:       grid.Cell{X: colSSDIO, Y: y},
+			Bus:      grid.Cell{X: colBusCenter, Y: y},
+		}
+		c.addElectrode(m.Hold, SSDHold, 0, k)
+		c.addElectrode(m.IO, SSDIO, 0, k)
+		c.SSDModules = append(c.SSDModules, m)
+	}
+
+	// Reservoir attach points: inputs along the top bus then down the left
+	// bus; outputs along the bottom bus then the right bus. Rows are taken
+	// center-out from the central bus column so the busiest reservoirs sit
+	// nearest the module columns, minimizing transport distance.
+	xs := centerOut(colBusCenter, FPPCWidth)
+	for _, x := range xs {
+		c.inputAttach = append(c.inputAttach, grid.Cell{X: x, Y: 0})
+	}
+	for y := 1; y < h-1; y++ {
+		c.inputAttach = append(c.inputAttach, grid.Cell{X: colBusLeft, Y: y})
+	}
+	// Output attach points alternate between the bottom bus and the upper
+	// right bus so a fluid with two ports gets one near each module-column
+	// end, halving the average waste-droplet route.
+	for i, x := range xs {
+		c.outputAttach = append(c.outputAttach, grid.Cell{X: x, Y: h - 1})
+		if y := 1 + 2*i; y < h-1 {
+			c.outputAttach = append(c.outputAttach, grid.Cell{X: colBusRight, Y: y})
+		}
+	}
+	return c, nil
+}
+
+// centerOut enumerates 0..n-1 starting at mid and alternating outward.
+func centerOut(mid, n int) []int {
+	out := []int{mid}
+	for d := 1; len(out) < n; d++ {
+		if mid-d >= 0 {
+			out = append(out, mid-d)
+		}
+		if mid+d < n {
+			out = append(out, mid+d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+package arch
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden layout files")
+
+// TestGoldenLayouts pins the exact pin diagram of the reference chips:
+// any unintended change to the Figure 5 reconstruction (pin numbering,
+// module placement, bus phases) breaks these files visibly.
+func TestGoldenLayouts(t *testing.T) {
+	for _, h := range []int{9, 15} {
+		h := h
+		t.Run(fmt.Sprintf("12x%d", h), func(t *testing.T) {
+			c := mustFPPC(t, h)
+			got := c.Render()
+			path := filepath.Join("testdata", fmt.Sprintf("fppc-12x%d.golden", h))
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if strings.TrimRight(got, "\n") != strings.TrimRight(string(want), "\n") {
+				t.Errorf("layout drifted from golden file %s:\n--- got ---\n%s\n--- want ---\n%s",
+					path, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,133 @@
+package arch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fppc/internal/grid"
+)
+
+// WiringReport quantifies the PCB cost argument of the paper's
+// introduction: direct addressing needs one escape wire per electrode
+// under the array, while pin sharing collapses same-pin electrodes onto
+// shared traces. The model is deliberately simple and conservative —
+// each pin's electrodes are joined by a rectilinear spanning tree (wire
+// length in cell pitches), and routing congestion is estimated as the
+// number of distinct nets crossing each inter-row channel, whose maximum
+// drives the PCB layer count.
+type WiringReport struct {
+	Pins            int
+	Electrodes      int
+	WireLength      int // total spanning-tree length, in cell pitches
+	MaxChannelLoad  int // max nets crossing any horizontal channel
+	EstimatedLayers int // ceil(MaxChannelLoad / tracksPerChannelLayer)
+}
+
+// tracksPerChannelLayer is how many traces fit through one cell-pitch
+// channel on one PCB layer (typical coarse-pitch DMFB boards).
+const tracksPerChannelLayer = 4
+
+// AnalyzeWiring computes the report for a chip.
+func AnalyzeWiring(c *Chip) WiringReport {
+	rep := WiringReport{Pins: c.PinCount(), Electrodes: c.ElectrodeCount()}
+
+	// Per-pin rectilinear spanning tree (greedy Prim on Manhattan
+	// distance; nets are small so this is fine).
+	channelLoad := map[int]int{} // channel y (between row y and y+1) -> nets crossing
+	for pin := 1; pin <= c.PinCount(); pin++ {
+		cells := c.PinCells(pin)
+		if len(cells) == 0 {
+			continue
+		}
+		rep.WireLength += spanningLength(cells)
+		minY := cells[0].Y
+		maxY := cells[0].Y
+		for _, cell := range cells {
+			if cell.Y < minY {
+				minY = cell.Y
+			}
+			if cell.Y > maxY {
+				maxY = cell.Y
+			}
+		}
+		// Crossings inside the net's own vertical span.
+		for y := minY; y < maxY; y++ {
+			channelLoad[y]++
+		}
+		// The net escapes to the nearest horizontal board edge.
+		if north, south := minY, c.H-1-maxY; north <= south {
+			for y := 0; y < minY; y++ {
+				channelLoad[y]++
+			}
+			rep.WireLength += north
+		} else {
+			for y := maxY; y < c.H-1; y++ {
+				channelLoad[y]++
+			}
+			rep.WireLength += south
+		}
+	}
+	for _, load := range channelLoad {
+		if load > rep.MaxChannelLoad {
+			rep.MaxChannelLoad = load
+		}
+	}
+	rep.EstimatedLayers = (rep.MaxChannelLoad + tracksPerChannelLayer - 1) / tracksPerChannelLayer
+	if rep.EstimatedLayers == 0 {
+		rep.EstimatedLayers = 1
+	}
+	return rep
+}
+
+// spanningLength returns the total Manhattan length of a greedy minimum
+// spanning tree over the cells.
+func spanningLength(cells []grid.Cell) int {
+	if len(cells) < 2 {
+		return 0
+	}
+	// Deterministic order.
+	pts := append([]grid.Cell{}, cells...)
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].Y != pts[j].Y {
+			return pts[i].Y < pts[j].Y
+		}
+		return pts[i].X < pts[j].X
+	})
+	inTree := make([]bool, len(pts))
+	dist := make([]int, len(pts))
+	for i := range dist {
+		dist[i] = 1 << 30
+	}
+	inTree[0] = true
+	for i := 1; i < len(pts); i++ {
+		dist[i] = grid.Manhattan(pts[0], pts[i])
+	}
+	total := 0
+	for added := 1; added < len(pts); added++ {
+		best := -1
+		for i := range pts {
+			if !inTree[i] && (best < 0 || dist[i] < dist[best]) {
+				best = i
+			}
+		}
+		total += dist[best]
+		inTree[best] = true
+		for i := range pts {
+			if !inTree[i] {
+				if d := grid.Manhattan(pts[best], pts[i]); d < dist[i] {
+					dist[i] = d
+				}
+			}
+		}
+	}
+	return total
+}
+
+// String renders the report.
+func (r WiringReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d pins driving %d electrodes: wire length %d pitches, peak channel load %d nets, ~%d PCB layer(s)",
+		r.Pins, r.Electrodes, r.WireLength, r.MaxChannelLoad, r.EstimatedLayers)
+	return b.String()
+}

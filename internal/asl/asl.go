@@ -1,0 +1,287 @@
+// Package asl implements a small assay description language, the
+// "field-programming" surface of the chip: a lab writes the protocol as
+// text, the toolchain compiles it to droplet operations, and the same
+// pre-manufactured pin-constrained chip executes it.
+//
+// The language is line-oriented:
+//
+//	# serial dilution, 1:1 with buffer
+//	assay "dilution"
+//	fluid protein ports=1
+//	fluid buffer  ports=2
+//
+//	s      = dispense protein 7
+//	b1     = dispense buffer 7
+//	m1     = mix s b1 3
+//	k1, w1 = split m1
+//	r1     = detect k1 30
+//	output r1 product
+//	output w1 waste
+//
+// Every identifier names a droplet (one operation output) and must be
+// consumed exactly once; splits bind two identifiers. Durations are in
+// seconds (scheduler time-steps).
+package asl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"fppc/internal/dag"
+)
+
+// ParseError reports a syntax or semantic error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("asl: line %d: %s", e.Line, e.Msg)
+}
+
+// Parse compiles ASL source into a validated assay DAG.
+func Parse(src string) (*dag.Assay, error) {
+	p := &parser{
+		assay:   dag.New("assay"),
+		handles: map[string]*dag.Node{},
+		fluids:  map[string]bool{},
+	}
+	for i, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = strings.TrimSpace(line[:idx])
+		}
+		if line == "" {
+			continue
+		}
+		if err := p.statement(i+1, line); err != nil {
+			return nil, err
+		}
+	}
+	for name := range p.handles {
+		return nil, &ParseError{Line: 0, Msg: fmt.Sprintf("droplet %q is never consumed (route it to an output)", name)}
+	}
+	if p.assay.Len() == 0 {
+		return nil, &ParseError{Line: 0, Msg: "empty assay"}
+	}
+	if err := p.assay.Validate(); err != nil {
+		return nil, fmt.Errorf("asl: %w", err)
+	}
+	return p.assay, nil
+}
+
+type parser struct {
+	assay   *dag.Assay
+	handles map[string]*dag.Node // live droplet name -> producing node
+	fluids  map[string]bool
+	counter int
+}
+
+// statement dispatches one non-empty line.
+func (p *parser) statement(line int, s string) error {
+	fields := strings.Fields(s)
+	switch fields[0] {
+	case "assay":
+		name := strings.TrimSpace(strings.TrimPrefix(s, "assay"))
+		name = strings.Trim(name, "\"")
+		if name == "" {
+			return &ParseError{line, "assay statement needs a name"}
+		}
+		p.assay.Name = name
+		return nil
+	case "fluid":
+		return p.fluid(line, fields[1:])
+	case "output":
+		return p.output(line, fields[1:])
+	}
+	// Assignment forms: "x = op ..." or "a, b = split x".
+	eq := strings.IndexByte(s, '=')
+	if eq < 0 {
+		return &ParseError{line, fmt.Sprintf("unrecognized statement %q", fields[0])}
+	}
+	lhs := strings.Split(s[:eq], ",")
+	for i := range lhs {
+		lhs[i] = strings.TrimSpace(lhs[i])
+		if !validIdent(lhs[i]) {
+			return &ParseError{line, fmt.Sprintf("invalid droplet name %q", lhs[i])}
+		}
+		if _, dup := p.handles[lhs[i]]; dup {
+			return &ParseError{line, fmt.Sprintf("droplet %q already live", lhs[i])}
+		}
+	}
+	rhs := strings.Fields(s[eq+1:])
+	if len(rhs) == 0 {
+		return &ParseError{line, "missing operation after '='"}
+	}
+	switch rhs[0] {
+	case "dispense":
+		return p.dispense(line, lhs, rhs[1:])
+	case "mix":
+		return p.mix(line, lhs, rhs[1:])
+	case "split":
+		return p.split(line, lhs, rhs[1:])
+	case "detect":
+		return p.unary(line, dag.Detect, lhs, rhs[1:])
+	case "store":
+		return p.unary(line, dag.Store, lhs, rhs[1:])
+	}
+	return &ParseError{line, fmt.Sprintf("unknown operation %q", rhs[0])}
+}
+
+func (p *parser) fluid(line int, args []string) error {
+	if len(args) == 0 {
+		return &ParseError{line, "fluid statement needs a name"}
+	}
+	name := args[0]
+	p.fluids[name] = true
+	for _, opt := range args[1:] {
+		kv := strings.SplitN(opt, "=", 2)
+		if len(kv) != 2 || kv[0] != "ports" {
+			return &ParseError{line, fmt.Sprintf("unknown fluid option %q", opt)}
+		}
+		n, err := strconv.Atoi(kv[1])
+		if err != nil || n < 1 {
+			return &ParseError{line, fmt.Sprintf("bad port count %q", kv[1])}
+		}
+		p.assay.SetReservoirs(name, n)
+	}
+	return nil
+}
+
+func (p *parser) dispense(line int, lhs, args []string) error {
+	if len(lhs) != 1 {
+		return &ParseError{line, "dispense binds exactly one droplet"}
+	}
+	if len(args) != 2 {
+		return &ParseError{line, "usage: x = dispense FLUID DURATION"}
+	}
+	if !p.fluids[args[0]] {
+		return &ParseError{line, fmt.Sprintf("fluid %q not declared (add: fluid %s)", args[0], args[0])}
+	}
+	dur, err := p.duration(line, args[1])
+	if err != nil {
+		return err
+	}
+	n := p.assay.Add(dag.Dispense, lhs[0], args[0], dur)
+	p.handles[lhs[0]] = n
+	return nil
+}
+
+func (p *parser) mix(line int, lhs, args []string) error {
+	if len(lhs) != 1 {
+		return &ParseError{line, "mix binds exactly one droplet"}
+	}
+	if len(args) != 3 {
+		return &ParseError{line, "usage: x = mix A B DURATION"}
+	}
+	a, err := p.consume(line, args[0])
+	if err != nil {
+		return err
+	}
+	b, err := p.consume(line, args[1])
+	if err != nil {
+		return err
+	}
+	dur, err := p.duration(line, args[2])
+	if err != nil {
+		return err
+	}
+	n := p.assay.Add(dag.Mix, lhs[0], "", dur)
+	p.assay.AddEdge(a, n)
+	p.assay.AddEdge(b, n)
+	p.handles[lhs[0]] = n
+	return nil
+}
+
+func (p *parser) split(line int, lhs, args []string) error {
+	if len(lhs) != 2 {
+		return &ParseError{line, "split binds exactly two droplets: a, b = split X"}
+	}
+	if len(args) != 1 {
+		return &ParseError{line, "usage: a, b = split X"}
+	}
+	in, err := p.consume(line, args[0])
+	if err != nil {
+		return err
+	}
+	n := p.assay.Add(dag.Split, lhs[0]+"/"+lhs[1], "", 0)
+	p.assay.AddEdge(in, n)
+	p.handles[lhs[0]] = n
+	p.handles[lhs[1]] = n
+	return nil
+}
+
+func (p *parser) unary(line int, kind dag.Kind, lhs, args []string) error {
+	if len(lhs) != 1 {
+		return &ParseError{line, fmt.Sprintf("%v binds exactly one droplet", kind)}
+	}
+	if len(args) != 2 {
+		return &ParseError{line, fmt.Sprintf("usage: x = %v A DURATION", kind)}
+	}
+	in, err := p.consume(line, args[0])
+	if err != nil {
+		return err
+	}
+	dur, err := p.duration(line, args[1])
+	if err != nil {
+		return err
+	}
+	n := p.assay.Add(kind, lhs[0], "", dur)
+	p.assay.AddEdge(in, n)
+	p.handles[lhs[0]] = n
+	return nil
+}
+
+func (p *parser) output(line int, args []string) error {
+	if len(args) != 2 {
+		return &ParseError{line, "usage: output DROPLET FLUID"}
+	}
+	in, err := p.consume(line, args[0])
+	if err != nil {
+		return err
+	}
+	p.counter++
+	n := p.assay.Add(dag.Output, fmt.Sprintf("out%d", p.counter), args[1], 0)
+	p.assay.AddEdge(in, n)
+	return nil
+}
+
+// consume looks up and removes a live droplet handle. Split handles are
+// special: both names map to the split node, and the dag records one
+// child edge per consumption.
+func (p *parser) consume(line int, name string) (*dag.Node, error) {
+	n, ok := p.handles[name]
+	if !ok {
+		return nil, &ParseError{line, fmt.Sprintf("unknown or already-consumed droplet %q", name)}
+	}
+	delete(p.handles, name)
+	return n, nil
+}
+
+func (p *parser) duration(line int, s string) (int, error) {
+	d, err := strconv.Atoi(strings.TrimSuffix(s, "s"))
+	if err != nil || d < 0 {
+		return 0, &ParseError{line, fmt.Sprintf("bad duration %q", s)}
+	}
+	return d, nil
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,139 @@
+package asl
+
+import (
+	"strings"
+	"testing"
+
+	"fppc/internal/dag"
+)
+
+const dilutionSrc = `
+# serial dilution, 1:1 with buffer
+assay "dilution"
+fluid protein ports=1
+fluid buffer  ports=2
+
+s      = dispense protein 7
+b1     = dispense buffer 7
+m1     = mix s b1 3
+k1, w1 = split m1
+r1     = detect k1 30
+output r1 product
+output w1 waste
+`
+
+func TestParseDilution(t *testing.T) {
+	a, err := Parse(dilutionSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != "dilution" {
+		t.Errorf("name = %q", a.Name)
+	}
+	st, err := a.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ByKind[dag.Dispense] != 2 || st.ByKind[dag.Mix] != 1 ||
+		st.ByKind[dag.Split] != 1 || st.ByKind[dag.Detect] != 1 || st.ByKind[dag.Output] != 2 {
+		t.Errorf("kind counts = %v", st.ByKind)
+	}
+	if a.ReservoirCount("buffer") != 2 || a.ReservoirCount("protein") != 1 {
+		t.Errorf("reservoirs wrong: buffer=%d protein=%d",
+			a.ReservoirCount("buffer"), a.ReservoirCount("protein"))
+	}
+	if st.CriticalPath != 7+3+30 {
+		t.Errorf("critical path = %d, want 40", st.CriticalPath)
+	}
+}
+
+func TestParseDurationSuffix(t *testing.T) {
+	a, err := Parse(`
+fluid x
+d = dispense x 2s
+output d waste
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Nodes[0].Duration != 2 {
+		t.Errorf("duration = %d, want 2", a.Nodes[0].Duration)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantFrag string
+	}{
+		{"undeclared-fluid", "d = dispense ghost 2\noutput d w", "not declared"},
+		{"unknown-droplet", "fluid x\nd = dispense x 2\nm = mix d e 3\noutput m w", "unknown or already-consumed"},
+		{"double-consume", "fluid x\nd = dispense x 2\noutput d w\noutput d w", "unknown or already-consumed"},
+		{"unconsumed", "fluid x\nd = dispense x 2", "never consumed"},
+		{"dangling-split", "fluid x\nd = dispense x 2\na, b = split d\noutput a w", "never consumed"},
+		{"rebind", "fluid x\nd = dispense x 2\nd = dispense x 2\noutput d w", "already live"},
+		{"bad-duration", "fluid x\nd = dispense x fast\noutput d w", "bad duration"},
+		{"bad-op", "fluid x\nd = teleport x 2", "unknown operation"},
+		{"bad-statement", "launch rockets", "unrecognized statement"},
+		{"split-arity", "fluid x\nd = dispense x 2\na = split d\noutput a w", "exactly two"},
+		{"mix-arity", "fluid x\nd = dispense x 2\nm = mix d 3\noutput m w", "usage: x = mix"},
+		{"empty", "\n# nothing\n", "empty assay"},
+		{"bad-ident", "fluid x\n9d = dispense x 2", "invalid droplet name"},
+		{"bad-fluid-option", "fluid x volume=3", "unknown fluid option"},
+		{"bad-ports", "fluid x ports=zero", "bad port count"},
+		{"assay-noname", "assay \"\"", "needs a name"},
+		{"output-arity", "fluid x\nd = dispense x 2\noutput d", "usage: output"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("parse succeeded, want error containing %q", tc.wantFrag)
+			}
+			if !strings.Contains(err.Error(), tc.wantFrag) {
+				t.Errorf("error = %q, want fragment %q", err, tc.wantFrag)
+			}
+		})
+	}
+}
+
+func TestParseErrorLineNumbers(t *testing.T) {
+	_, err := Parse("fluid x\nd = dispense x 2\nboom")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Line != 3 {
+		t.Errorf("line = %d, want 3", pe.Line)
+	}
+}
+
+func TestParseCommentsAndWhitespace(t *testing.T) {
+	a, err := Parse("  fluid x  # trailing comment\n\n\td = dispense x 2 # mid\n output d waste ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 2 {
+		t.Errorf("nodes = %d, want 2", a.Len())
+	}
+}
+
+// TestParsedAssayCompiles pushes an ASL program through the whole
+// toolchain (the field-programmability story end to end).
+func TestParsedAssayCompiles(t *testing.T) {
+	a, err := Parse(dilutionSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	flows, err := dag.AnalyzeFlow(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range flows {
+		if a.Node(f.Consumer).Kind == dag.Detect && f.Concentration["protein"] != 0.5 {
+			t.Errorf("detect concentration = %v, want 0.5", f.Concentration["protein"])
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package asl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fppc/internal/dag"
+)
+
+// Format renders an assay as ASL source, the inverse of Parse: parsing
+// the output reproduces an isomorphic DAG. Node labels are not reused as
+// droplet names (labels may collide or be empty); droplets are named
+// d<edge-index> deterministically.
+func Format(a *dag.Assay) (string, error) {
+	if err := a.Validate(); err != nil {
+		return "", err
+	}
+	order, err := a.TopologicalOrder()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "assay %q\n", a.Name)
+
+	fluids := map[string]bool{}
+	for _, n := range a.Nodes {
+		if n.Kind == dag.Dispense {
+			fluids[n.Fluid] = true
+		}
+	}
+	names := make([]string, 0, len(fluids))
+	for f := range fluids {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	for _, f := range names {
+		if ports := a.ReservoirCount(f); ports > 1 {
+			fmt.Fprintf(&b, "fluid %s ports=%d\n", f, ports)
+		} else {
+			fmt.Fprintf(&b, "fluid %s\n", f)
+		}
+	}
+	b.WriteByte('\n')
+
+	// Droplet names: output droplet i of node n is "d<n>_<i>".
+	dropName := func(node, childIdx int) string {
+		return fmt.Sprintf("d%d_%d", node, childIdx)
+	}
+	// For each node, which of its parent's outputs feeds it.
+	inName := make([][]string, a.Len())
+	for _, n := range a.Nodes {
+		seen := map[int]int{}
+		for _, c := range n.Children {
+			idx := seen[c]
+			// Child c consumes output (n.ID, position among edges to c).
+			// Find which input slot of c this is by counting.
+			inName[c] = append(inName[c], dropName(n.ID, childPosition(n, c, idx)))
+			seen[c]++
+		}
+	}
+
+	for _, id := range order {
+		n := a.Node(id)
+		switch n.Kind {
+		case dag.Dispense:
+			fmt.Fprintf(&b, "%s = dispense %s %d\n", dropName(id, 0), n.Fluid, n.Duration)
+		case dag.Mix:
+			fmt.Fprintf(&b, "%s = mix %s %s %d\n", dropName(id, 0), inName[id][0], inName[id][1], n.Duration)
+		case dag.Split:
+			fmt.Fprintf(&b, "%s, %s = split %s\n", dropName(id, 0), dropName(id, 1), inName[id][0])
+		case dag.Detect:
+			fmt.Fprintf(&b, "%s = detect %s %d\n", dropName(id, 0), inName[id][0], n.Duration)
+		case dag.Store:
+			fmt.Fprintf(&b, "%s = store %s %d\n", dropName(id, 0), inName[id][0], n.Duration)
+		case dag.Output:
+			fluid := n.Fluid
+			if fluid == "" {
+				fluid = "waste"
+			}
+			fmt.Fprintf(&b, "output %s %s\n", inName[id][0], fluid)
+		}
+	}
+	return b.String(), nil
+}
+
+// childPosition returns which output slot (0 or 1) of parent feeds the
+// idx-th edge from parent to child.
+func childPosition(parent *dag.Node, child, idx int) int {
+	count := 0
+	for pos, c := range parent.Children {
+		if c == child {
+			if count == idx {
+				return pos
+			}
+			count++
+		}
+	}
+	return 0
+}

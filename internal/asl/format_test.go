@@ -1,0 +1,144 @@
+package asl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fppc/internal/assays"
+	"fppc/internal/dag"
+)
+
+// isomorphic compares two assays structurally (kinds, durations, fluids,
+// reservoir counts and edge shape) without relying on labels.
+func isomorphic(a, b *dag.Assay) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	sa, _ := a.ComputeStats()
+	sb, _ := b.ComputeStats()
+	if sa.Edges != sb.Edges || sa.CriticalPath != sb.CriticalPath {
+		return false
+	}
+	for k, n := range sa.ByKind {
+		if sb.ByKind[k] != n {
+			return false
+		}
+	}
+	for _, f := range sa.Fluids {
+		if a.ReservoirCount(f) != b.ReservoirCount(f) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFormatParseRoundTripBenchmarks(t *testing.T) {
+	tm := assays.DefaultTiming()
+	cases := []*dag.Assay{
+		assays.PCR(tm),
+		assays.InVitroN(2, tm),
+		assays.ProteinSplit(1, tm),
+		assays.ProteinSplit(2, tm),
+	}
+	for _, a := range cases {
+		src, err := Format(a)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		back, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: reparse failed: %v\n%s", a.Name, err, src)
+		}
+		if !isomorphic(a, back) {
+			t.Errorf("%s: round trip not isomorphic", a.Name)
+		}
+		if back.Name != a.Name {
+			t.Errorf("name %q -> %q", a.Name, back.Name)
+		}
+	}
+}
+
+func TestFormatParseRoundTripRandom(t *testing.T) {
+	tm := assays.DefaultTiming()
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		a := assays.Random(rng, 10+rng.Intn(60), tm)
+		src, err := Format(a)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		back, err := Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: reparse failed: %v", seed, err)
+		}
+		if !isomorphic(a, back) {
+			t.Errorf("seed %d: round trip not isomorphic\n%s", seed, src)
+		}
+	}
+}
+
+func TestFormatDeclaresPorts(t *testing.T) {
+	a := assays.ProteinSplit(1, assays.DefaultTiming())
+	src, err := Format(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "fluid buffer ports=2") {
+		t.Errorf("missing ports declaration:\n%.200s", src)
+	}
+}
+
+func TestFormatRejectsInvalid(t *testing.T) {
+	bad := dag.New("bad")
+	bad.Add(dag.Mix, "M", "", 3)
+	if _, err := Format(bad); err == nil {
+		t.Errorf("invalid assay formatted")
+	}
+}
+
+// tutorialSrc mirrors doc/TUTORIAL.md's running example; this test keeps
+// the tutorial honest.
+const tutorialSrc = `
+# glucose.asl — a two-point calibration
+assay "glucose-calibration"
+fluid sample
+fluid buffer  ports=2
+fluid reagent
+
+s        = dispense sample 2
+b        = dispense buffer 2
+m        = mix s b 3            # 1:1 dilution, 3 s in a 2x4 mixer
+half, c  = split m
+r1       = dispense reagent 2
+m1       = mix half r1 3
+d1       = detect m1 7
+output d1 waste
+
+r2       = dispense reagent 2
+m2       = mix c r2 3
+d2       = detect m2 7
+output d2 waste
+`
+
+func TestTutorialExampleParses(t *testing.T) {
+	a, err := Parse(tutorialSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := dag.AnalyzeFlow(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each detect sees 25% sample (1:1 diluted, then 1:1 with reagent).
+	for _, f := range flows {
+		if a.Node(f.Consumer).Kind == dag.Detect {
+			if got := f.Concentration["sample"]; got != 0.25 {
+				t.Errorf("detect concentration = %v, want 0.25", got)
+			}
+			if f.Volume != 2 {
+				t.Errorf("detect volume = %v, want 2", f.Volume)
+			}
+		}
+	}
+}

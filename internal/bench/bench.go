@@ -1,0 +1,307 @@
+// Package bench regenerates the paper's evaluation tables: Table 1 (the
+// thirteen-assay comparison between the direct-addressing baseline and
+// the field-programmable pin-constrained chip), Table 2 (the published
+// assay-specific pin-constrained results of Xu and Luo, reproduced as
+// constants exactly as the paper does, alongside our FPPC numbers), and
+// Table 3 (the FPPC array-size sweep with the section 5.2 dispense-time
+// ablation).
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"fppc/internal/arch"
+	"fppc/internal/assays"
+	"fppc/internal/core"
+	"fppc/internal/dag"
+	"fppc/internal/pinmap"
+	"fppc/internal/router"
+)
+
+// ArchResult is one architecture's outcome for one assay.
+type ArchResult struct {
+	W, H       int
+	Electrodes int
+	Pins       int
+	RoutingS   float64
+	OpsS       float64
+}
+
+// TotalS is operations plus routing, the paper's total time.
+func (a ArchResult) TotalS() float64 { return a.OpsS + a.RoutingS }
+
+// Table1Row compares both architectures on one assay.
+type Table1Row struct {
+	Name string
+	DA   ArchResult
+	FP   ArchResult
+}
+
+// Table1Averages holds the bottom row of Table 1: the per-benchmark
+// FP-over-DA improvement factors averaged across the suite (values above
+// 1 favor the field-programmable chip).
+type Table1Averages struct {
+	Electrodes float64
+	Pins       float64
+	Routing    float64
+	Operations float64
+	Total      float64
+}
+
+// Table1 runs the thirteen-assay comparison. Arrays start at the paper's
+// 12x21 (FPPC) and 15x19 (DA) and grow per assay when the scheduler
+// reports insufficient resources, mirroring the paper's methodology for
+// Protein Split 5-7.
+func Table1(tm assays.Timing) ([]Table1Row, Table1Averages, error) {
+	var rows []Table1Row
+	for _, a := range assays.Table1Benchmarks(tm) {
+		row := Table1Row{Name: a.Name}
+		fp, err := core.Compile(a, core.Config{Target: core.TargetFPPC, AutoGrow: true})
+		if err != nil {
+			return nil, Table1Averages{}, fmt.Errorf("bench: %s on FPPC: %w", a.Name, err)
+		}
+		row.FP = toArchResult(fp)
+		da, err := core.Compile(a, core.Config{Target: core.TargetDA, AutoGrow: true})
+		if err != nil {
+			return nil, Table1Averages{}, fmt.Errorf("bench: %s on DA: %w", a.Name, err)
+		}
+		row.DA = toArchResult(da)
+		rows = append(rows, row)
+	}
+	return rows, averages(rows), nil
+}
+
+func toArchResult(r *core.Result) ArchResult {
+	return ArchResult{
+		W:          r.Chip.W,
+		H:          r.Chip.H,
+		Electrodes: r.Chip.ElectrodeCount(),
+		Pins:       r.Chip.PinCount(),
+		RoutingS:   r.RoutingSeconds(),
+		OpsS:       r.OperationSeconds(),
+	}
+}
+
+func averages(rows []Table1Row) Table1Averages {
+	var avg Table1Averages
+	n := float64(len(rows))
+	for _, r := range rows {
+		avg.Electrodes += float64(r.DA.Electrodes) / float64(r.FP.Electrodes) / n
+		avg.Pins += float64(r.DA.Pins) / float64(r.FP.Pins) / n
+		avg.Routing += r.DA.RoutingS / r.FP.RoutingS / n
+		avg.Operations += r.DA.OpsS / r.FP.OpsS / n
+		avg.Total += r.DA.TotalS() / r.FP.TotalS() / n
+	}
+	return avg
+}
+
+// FormatTable1 renders the comparison like the paper's Table 1.
+func FormatTable1(rows []Table1Row, avg Table1Averages) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Direct-Addressing DMFB (DA) vs Field-Programmable Pin-Constrained DMFB (FP)\n")
+	fmt.Fprintf(&b, "%-16s | %9s %9s | %6s %6s | %5s %5s | %8s %8s | %7s %7s | %8s %8s\n",
+		"Benchmark", "DA dim", "FP dim", "DA el", "FP el", "DA pn", "FP pn",
+		"DA rt(s)", "FP rt(s)", "DA op", "FP op", "DA tot", "FP tot")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s | %9s %9s | %6d %6d | %5d %5d | %8.1f %8.1f | %7.0f %7.0f | %8.1f %8.1f\n",
+			r.Name,
+			fmt.Sprintf("%dx%d", r.DA.W, r.DA.H), fmt.Sprintf("%dx%d", r.FP.W, r.FP.H),
+			r.DA.Electrodes, r.FP.Electrodes, r.DA.Pins, r.FP.Pins,
+			r.DA.RoutingS, r.FP.RoutingS, r.DA.OpsS, r.FP.OpsS,
+			r.DA.TotalS(), r.FP.TotalS())
+	}
+	fmt.Fprintf(&b, "Avg. normalized improvement of FP over DA (>1 favors FP):\n")
+	fmt.Fprintf(&b, "  electrodes %.2f, pins %.2f, routing %.2f, operations %.2f, total %.2f\n",
+		avg.Electrodes, avg.Pins, avg.Routing, avg.Operations, avg.Total)
+	return b.String()
+}
+
+// Table2Row pairs the published Xu [17] and Luo [9] results with our
+// field-programmable chip's measurements for the same assays.
+type Table2Row struct {
+	Benchmark string
+	// Published values (reproduced from the paper's Table 2, which in
+	// turn reproduces Luo & Chakrabarty [DAC'12]).
+	ArrayDim            string
+	ElectrodesUsed      int
+	XuPins, LuoPins     int
+	XuTotalS, LuoTotalS float64
+	// Our field-programmable chip on the smallest fitting array.
+	FPDim    string
+	FPPins   int
+	FPTotalS float64 // zero for the multi-function row (not one assay)
+
+	// RemapPins is our own assay-specific broadcast pin assignment (the
+	// Xu-style baseline, computed by internal/pinmap from the compiled
+	// program): what the same execution would need if the chip were wired
+	// for this assay alone. Zero for the multi-function row.
+	RemapPins int
+}
+
+// table2Published holds the constants from the paper's Table 2.
+var table2Published = []Table2Row{
+	{Benchmark: "PCR", ArrayDim: "15x15", ElectrodesUsed: 62, XuPins: 14, LuoPins: 22, XuTotalS: 20, LuoTotalS: 30},
+	{Benchmark: "In-Vitro 1", ArrayDim: "15x15", ElectrodesUsed: 59, XuPins: 25, LuoPins: 21, XuTotalS: 73, LuoTotalS: 90},
+	{Benchmark: "Protein Split 3", ArrayDim: "15x15", ElectrodesUsed: 54, XuPins: 26, LuoPins: 20, XuTotalS: 150, LuoTotalS: 170},
+	{Benchmark: "Multi-Function", ArrayDim: "15x15", ElectrodesUsed: 81, XuPins: 37, LuoPins: 27, XuTotalS: 150, LuoTotalS: 170},
+}
+
+// Table2 returns the published rows augmented with our FPPC results: the
+// three single assays on their smallest fitting chips, and the
+// multi-function row on the single chip able to run all three (the
+// field-programmable design needs no multi-function variant — any
+// sufficiently large chip runs everything).
+func Table2(tm assays.Timing) ([]Table2Row, error) {
+	rows := append([]Table2Row{}, table2Published...)
+	single := []*dag.Assay{assays.PCR(tm), assays.InVitroN(1, tm), assays.ProteinSplit(3, tm)}
+	maxH := 0
+	for i, a := range single {
+		r, err := core.Compile(a, core.Config{
+			Target: core.TargetFPPC, FPPCHeight: 9, AutoGrow: true,
+			Router: router.Options{EmitProgram: true, RotationsPerStep: 1},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: table 2 %s: %w", a.Name, err)
+		}
+		rows[i].FPDim = fmt.Sprintf("%dx%d", r.Chip.W, r.Chip.H)
+		rows[i].FPPins = r.Chip.PinCount()
+		rows[i].FPTotalS = r.TotalSeconds()
+		cons, err := pinmap.Derive(r.Chip, r.Routing.Program, r.Routing.Events)
+		if err != nil {
+			return nil, fmt.Errorf("bench: table 2 %s pinmap: %w", a.Name, err)
+		}
+		rows[i].RemapPins = pinmap.MergeByActivity(cons).Pins
+		if r.Chip.H > maxH {
+			maxH = r.Chip.H
+		}
+	}
+	// Multi-function: one chip that runs all three; its time column is
+	// the slowest of the three assays on that chip.
+	worst := 0.0
+	var pins int
+	for _, a := range single {
+		r, err := core.Compile(a, core.Config{Target: core.TargetFPPC, FPPCHeight: maxH})
+		if err != nil {
+			return nil, fmt.Errorf("bench: table 2 multi-function %s: %w", a.Name, err)
+		}
+		if r.TotalSeconds() > worst {
+			worst = r.TotalSeconds()
+		}
+		pins = r.Chip.PinCount()
+	}
+	rows[3].FPDim = fmt.Sprintf("%dx%d", 12, maxH)
+	rows[3].FPPins = pins
+	rows[3].FPTotalS = worst
+	return rows, nil
+}
+
+// FormatTable2 renders the pin-constrained comparison.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: Xu [17] and Luo [9] assay-specific pin-constrained chips (published) vs our field-programmable chip\n")
+	fmt.Fprintf(&b, "(remap#p: our own Xu-style assay-specific broadcast pin assignment, computed from the compiled program)\n")
+	fmt.Fprintf(&b, "%-16s | %7s %5s | %4s %4s | %7s %7s | %7s %5s %8s %7s\n",
+		"Benchmark", "dim", "elec", "Xu#p", "Luo#p", "Xu t(s)", "Luo t(s)", "FP dim", "FP#p", "FP t(s)", "remap#p")
+	for _, r := range rows {
+		remap := "-"
+		if r.RemapPins > 0 {
+			remap = fmt.Sprintf("%d", r.RemapPins)
+		}
+		fmt.Fprintf(&b, "%-16s | %7s %5d | %4d %4d | %7.0f %7.0f | %7s %5d %8.1f %7s\n",
+			r.Benchmark, r.ArrayDim, r.ElectrodesUsed, r.XuPins, r.LuoPins,
+			r.XuTotalS, r.LuoTotalS, r.FPDim, r.FPPins, r.FPTotalS, remap)
+	}
+	return b.String()
+}
+
+// Table3Row is one array size of the FPPC sweep.
+type Table3Row struct {
+	H          int
+	Mix, SSD   int
+	Electrodes int
+	Pins       int
+	// TotalS per assay; negative means the assay does not fit (the
+	// paper's "-" entries).
+	TotalS map[string]float64
+}
+
+// Table3Assays names the sweep's columns in order.
+var Table3Assays = []string{"PCR", "In-Vitro 1", "Protein Split 3"}
+
+// Table3 sweeps FPPC array sizes for the three assays of the paper's
+// Table 3. dispense overrides the protein dispense latency when positive
+// (section 5.2's ablation uses 2).
+func Table3(tm assays.Timing, heights []int, dispense int) ([]Table3Row, error) {
+	if len(heights) == 0 {
+		heights = []int{9, 12, 15, 18, 21}
+	}
+	mk := func(name string) *dag.Assay {
+		var a *dag.Assay
+		switch name {
+		case "PCR":
+			a = assays.PCR(tm)
+		case "In-Vitro 1":
+			a = assays.InVitroN(1, tm)
+		case "Protein Split 3":
+			a = assays.ProteinSplit(3, tm)
+		}
+		if dispense > 0 && name == "Protein Split 3" {
+			a = assays.WithDispense(a, dispense)
+		}
+		return a
+	}
+	var rows []Table3Row
+	for _, h := range heights {
+		chip, err := arch.NewFPPC(h)
+		if err != nil {
+			return nil, err
+		}
+		row := Table3Row{
+			H:          h,
+			Mix:        len(chip.MixModules),
+			SSD:        len(chip.SSDModules),
+			Electrodes: chip.ElectrodeCount(),
+			Pins:       chip.PinCount(),
+			TotalS:     map[string]float64{},
+		}
+		for _, name := range Table3Assays {
+			r, err := core.Compile(mk(name), core.Config{Target: core.TargetFPPC, FPPCHeight: h})
+			if err != nil {
+				if insufficientErr(err) {
+					row.TotalS[name] = -1
+					continue
+				}
+				return nil, fmt.Errorf("bench: table 3 %s at 12x%d: %w", name, h, err)
+			}
+			row.TotalS[name] = r.TotalSeconds()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func insufficientErr(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "no progress")
+}
+
+// FormatTable3 renders the sweep like the paper's Table 3.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: total assay times on growing field-programmable pin-constrained arrays\n")
+	fmt.Fprintf(&b, "%-7s | %-9s | %5s | %4s | %10s %12s %17s\n",
+		"Array", "Mods M/S", "elec", "pins", "PCR(s)", "In-Vitro 1(s)", "Protein Split 3(s)")
+	for _, r := range rows {
+		cell := func(name string) string {
+			v := r.TotalS[name]
+			if v < 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.2f", v)
+		}
+		fmt.Fprintf(&b, "12x%-4d | %3d/%-5d | %5d | %4d | %10s %12s %17s\n",
+			r.H, r.Mix, r.SSD, r.Electrodes, r.Pins,
+			cell("PCR"), cell("In-Vitro 1"), cell("Protein Split 3"))
+	}
+	return b.String()
+}

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"fppc/internal/assays"
+)
+
+// TestTable1Shapes asserts the result shapes the paper reports: a 6-7x
+// pin reduction, ~1.8x fewer electrodes, near-parity total time, and
+// operation times that never favor DA.
+func TestTable1Shapes(t *testing.T) {
+	rows, avg, err := Table1(assays.DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 13 {
+		t.Fatalf("rows = %d, want 13", len(rows))
+	}
+	if avg.Pins < 5.5 || avg.Pins > 7.5 {
+		t.Errorf("pin reduction = %.2f, want ~6.5 (paper 6.53)", avg.Pins)
+	}
+	if avg.Electrodes < 1.5 || avg.Electrodes > 2.2 {
+		t.Errorf("electrode reduction = %.2f, want ~1.8 (paper 1.82)", avg.Electrodes)
+	}
+	if avg.Total < 0.9 || avg.Total > 1.15 {
+		t.Errorf("total-time ratio = %.2f, want ~1.0 (paper 0.98)", avg.Total)
+	}
+	if avg.Operations < 1.0 {
+		t.Errorf("operation ratio = %.2f, want >= 1 (paper 1.07: FP ops never slower)", avg.Operations)
+	}
+	// Per-row invariants from the paper.
+	for _, r := range rows {
+		if r.FP.W != 12 {
+			t.Errorf("%s: FP width = %d, want 12", r.Name, r.FP.W)
+		}
+		if r.FP.Pins >= r.DA.Pins/4 {
+			t.Errorf("%s: FP pins %d not well below DA pins %d", r.Name, r.FP.Pins, r.DA.Pins)
+		}
+		// FP routing is slower on the small assays (sequential routing).
+		if r.Name == "PCR" && r.FP.RoutingS <= r.DA.RoutingS {
+			t.Errorf("PCR: FP routing %.1f should exceed DA %.1f (sequential routing)",
+				r.FP.RoutingS, r.DA.RoutingS)
+		}
+	}
+	// The paper's workhorse sizes: 12x21 runs PCR..Protein Split 4.
+	for _, r := range rows[:10] {
+		if r.FP.H != 21 {
+			t.Errorf("%s: FP array 12x%d, want 12x21 (paper)", r.Name, r.FP.H)
+		}
+	}
+	// Protein Split 7 lands on the paper's 12x31 with 59 pins.
+	ps7 := rows[12]
+	if ps7.FP.H != 31 {
+		t.Errorf("Protein Split 7 FP array 12x%d, want 12x31 (paper)", ps7.FP.H)
+	}
+	// DA op time exceeds FP's at Protein Split 5+ (paper: 670 vs 596).
+	if rows[10].DA.OpsS <= rows[10].FP.OpsS {
+		t.Errorf("Protein Split 5: DA ops %.0f should exceed FP %.0f",
+			rows[10].DA.OpsS, rows[10].FP.OpsS)
+	}
+	out := FormatTable1(rows, avg)
+	if !strings.Contains(out, "Protein Split 7") || !strings.Contains(out, "pins") {
+		t.Errorf("FormatTable1 output incomplete")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rows, err := Table2(assays.DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	// Published constants must match the paper verbatim.
+	if rows[0].XuPins != 14 || rows[0].LuoPins != 22 || rows[3].LuoPins != 27 {
+		t.Errorf("published Table 2 constants corrupted: %+v", rows)
+	}
+	// Our FP chips: more pins than the assay-specific designs (the price
+	// of field-programmability), within ~2x.
+	for _, r := range rows {
+		if r.FPPins == 0 {
+			t.Errorf("%s: FP result missing", r.Benchmark)
+		}
+		if r.FPPins > 2*r.XuPins+20 {
+			t.Errorf("%s: FP pins %d wildly above Xu's %d", r.Benchmark, r.FPPins, r.XuPins)
+		}
+	}
+	// PCR and In-Vitro 1 run on the smallest chip.
+	if rows[0].FPDim != "12x9" || rows[1].FPDim != "12x9" {
+		t.Errorf("PCR/In-Vitro 1 should fit 12x9: %s/%s", rows[0].FPDim, rows[1].FPDim)
+	}
+	// Our computed assay-specific remap lands in the published pin range
+	// (Xu 14-26, Luo 20-22) and always below the general-purpose wiring.
+	for _, r := range rows[:3] {
+		if r.RemapPins < 10 || r.RemapPins > 30 {
+			t.Errorf("%s: remapped pins = %d, want within the published 10-30 range", r.Benchmark, r.RemapPins)
+		}
+		if r.RemapPins >= r.FPPins {
+			t.Errorf("%s: remapped pins %d not below general %d", r.Benchmark, r.RemapPins, r.FPPins)
+		}
+	}
+	if out := FormatTable2(rows); !strings.Contains(out, "Multi-Function") {
+		t.Errorf("FormatTable2 output incomplete")
+	}
+}
+
+func TestTable3Shapes(t *testing.T) {
+	rows, err := Table3(assays.DefaultTiming(), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	// PCR and In-Vitro 1 speed up with size and saturate by 12x15.
+	pcr := func(i int) float64 { return rows[i].TotalS["PCR"] }
+	if !(pcr(0) > pcr(1) && pcr(1) > pcr(2)) {
+		t.Errorf("PCR times not decreasing: %v %v %v", pcr(0), pcr(1), pcr(2))
+	}
+	if diff := pcr(2) - pcr(4); diff < -1 || diff > 1 {
+		t.Errorf("PCR not saturated after 12x15: %v vs %v", pcr(2), pcr(4))
+	}
+	// Protein Split 3 cannot run on the two smallest arrays (paper "-").
+	if rows[0].TotalS["Protein Split 3"] >= 0 || rows[1].TotalS["Protein Split 3"] >= 0 {
+		t.Errorf("Protein Split 3 should not fit 12x9/12x12")
+	}
+	// Where it runs, the time approaches a dispense-bound plateau.
+	last := rows[4].TotalS["Protein Split 3"]
+	if last < 170 || last > 215 {
+		t.Errorf("Protein Split 3 at 12x21 = %.1f, want ~190 (paper 189.53)", last)
+	}
+	if out := FormatTable3(rows); !strings.Contains(out, "-") {
+		t.Errorf("FormatTable3 missing the \"-\" entries")
+	}
+}
+
+func TestTable3AbundantResources(t *testing.T) {
+	// Section 5.2: even a 12x81 chip cannot beat the dispense bound.
+	rows, err := Table3(assays.DefaultTiming(), []int{21, 81}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := rows[0].TotalS["Protein Split 3"], rows[1].TotalS["Protein Split 3"]
+	if b < 0.9*a || b > 1.1*a {
+		t.Errorf("Protein Split 3 should stay flat: 12x21 %.1f vs 12x81 %.1f", a, b)
+	}
+}
+
+func TestDispenseAblation(t *testing.T) {
+	// Section 5.2: 2 s dispenses cut Protein Split 3 to roughly half
+	// (paper: 189 s -> ~100 s).
+	tm := assays.DefaultTiming()
+	slow, err := Table3(tm, []int{18}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Table3(tm, []int{18}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, f := slow[0].TotalS["Protein Split 3"], fast[0].TotalS["Protein Split 3"]
+	if f >= 0.8*s {
+		t.Errorf("ablation too weak: %.1f -> %.1f", s, f)
+	}
+	if f < 0.35*s {
+		t.Errorf("ablation too strong: %.1f -> %.1f", s, f)
+	}
+}

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"fppc/internal/assays"
+	"fppc/internal/core"
+)
+
+// TestCalibrationRegression pins the exact measured operation times of
+// the whole suite (seconds; deterministic). These are the numbers
+// EXPERIMENTS.md reports next to the paper's — any scheduler or timing
+// change that moves them must update both this table and that document
+// deliberately.
+func TestCalibrationRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regression table skipped in -short mode")
+	}
+	wantFP := map[string]float64{
+		"PCR":             11,
+		"In-Vitro 1":      12,
+		"In-Vitro 2":      15,
+		"In-Vitro 3":      17,
+		"In-Vitro 4":      19,
+		"In-Vitro 5":      25,
+		"Protein Split 1": 68,
+		"Protein Split 2": 106,
+		"Protein Split 3": 179,
+		"Protein Split 4": 339,
+		"Protein Split 5": 665,
+		"Protein Split 6": 1253,
+		"Protein Split 7": 2421,
+	}
+	tm := assays.DefaultTiming()
+	for _, a := range assays.Table1Benchmarks(tm) {
+		r, err := core.Compile(a, core.Config{Target: core.TargetFPPC, AutoGrow: true})
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if got := r.OperationSeconds(); math.Abs(got-wantFP[a.Name]) > 0.5 {
+			t.Errorf("%s: FP operation time %v s, pinned %v s (update EXPERIMENTS.md if intentional)",
+				a.Name, got, wantFP[a.Name])
+		}
+	}
+}

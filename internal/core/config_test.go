@@ -1,0 +1,137 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"fppc/internal/assays"
+	"fppc/internal/router"
+)
+
+func TestTargetString(t *testing.T) {
+	if TargetFPPC.String() != "fppc" || TargetDA.String() != "da" {
+		t.Errorf("target names: %q %q", TargetFPPC, TargetDA)
+	}
+}
+
+func TestCompileUnknownTarget(t *testing.T) {
+	a := assays.PCR(assays.DefaultTiming())
+	if _, err := Compile(a, Config{Target: Target(9)}); err == nil {
+		t.Errorf("unknown target accepted")
+	}
+}
+
+func TestCompileFixedSizeNoGrow(t *testing.T) {
+	a := assays.ProteinSplit(5, assays.DefaultTiming())
+	// Fixed 12x21 without AutoGrow must fail outright.
+	if _, err := Compile(a, Config{Target: TargetFPPC, FPPCHeight: 21}); err == nil {
+		t.Errorf("Protein Split 5 on fixed 12x21 succeeded")
+	}
+}
+
+func TestCompileDAFixedSize(t *testing.T) {
+	a := assays.PCR(assays.DefaultTiming())
+	r, err := Compile(a, Config{Target: TargetDA, DAWidth: 22, DAHeight: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Chip.W != 22 || r.Chip.H != 24 {
+		t.Errorf("chip = %dx%d, want 22x24", r.Chip.W, r.Chip.H)
+	}
+}
+
+func TestCompileDAGrowth(t *testing.T) {
+	a := assays.ProteinSplit(6, assays.DefaultTiming())
+	r, err := Compile(a, Config{Target: TargetDA, AutoGrow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Chip.H <= 19 {
+		t.Errorf("DA chip did not grow: %dx%d", r.Chip.W, r.Chip.H)
+	}
+}
+
+func TestCompileBadChipSizes(t *testing.T) {
+	a := assays.PCR(assays.DefaultTiming())
+	if _, err := Compile(a, Config{Target: TargetFPPC, FPPCHeight: 3}); err == nil {
+		t.Errorf("tiny FPPC accepted")
+	}
+	if _, err := Compile(a, Config{Target: TargetDA, DAWidth: 2, DAHeight: 2}); err == nil {
+		t.Errorf("tiny DA accepted")
+	}
+}
+
+func TestSingleOutputPortConfig(t *testing.T) {
+	a := assays.ProteinSplit(1, assays.DefaultTiming())
+	single, err := Compile(a, Config{Target: TargetFPPC, SingleOutputPort: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waste := 0
+	for _, p := range single.Chip.Ports {
+		if !p.Input && p.Fluid == "waste" {
+			waste++
+		}
+	}
+	if waste != 1 {
+		t.Errorf("single-output config placed %d waste ports", waste)
+	}
+	dual, err := Compile(a, Config{Target: TargetFPPC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dual.RoutingSeconds() == single.RoutingSeconds() {
+		t.Logf("note: dual and single output ports routed identically (%.2fs)", dual.RoutingSeconds())
+	}
+}
+
+func TestRouterOptionsForwarded(t *testing.T) {
+	a := assays.PCR(assays.DefaultTiming())
+	r, err := Compile(a, Config{
+		Target: TargetFPPC,
+		Router: router.Options{EmitProgram: true, RotationsPerStep: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Routing.Program == nil || r.Routing.Program.Len() == 0 {
+		t.Errorf("program not emitted")
+	}
+	noProg, err := Compile(a, Config{Target: TargetFPPC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noProg.Routing.Program != nil {
+		t.Errorf("program emitted without the option")
+	}
+}
+
+func TestSummaryContents(t *testing.T) {
+	a := assays.PCR(assays.DefaultTiming())
+	r, err := Compile(a, Config{Target: TargetFPPC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Summary()
+	for _, frag := range []string{"PCR", "12x21", "43 pins", "ops 11s"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("summary %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestDetectorCountConfig(t *testing.T) {
+	a := assays.InVitroN(3, assays.DefaultTiming())
+	full, err := Compile(a, Config{Target: TargetFPPC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	limited, err := Compile(a, Config{Target: TargetFPPC, DetectorCount: 2, AutoGrow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limited.OperationSeconds() <= full.OperationSeconds() {
+		t.Errorf("2-detector chip (%v s) not slower than all-detector chip (%v s)",
+			limited.OperationSeconds(), full.OperationSeconds())
+	}
+}

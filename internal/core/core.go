@@ -1,0 +1,228 @@
+// Package core ties the synthesis stages together: it realizes the
+// paper's Figure 3 flow (schedule -> place/bind -> route) against either
+// the field-programmable pin-constrained chip or the direct-addressing
+// baseline, growing the array when the assay does not fit (as the paper
+// does for Protein Split 5-7), and reports the metrics the evaluation
+// tables use: array size, electrodes, pins, operation seconds, routing
+// seconds and their total.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"fppc/internal/arch"
+	"fppc/internal/dag"
+	"fppc/internal/router"
+	"fppc/internal/scheduler"
+)
+
+// TimeStepSeconds is the scheduler granularity (paper: 1 s time-steps).
+const TimeStepSeconds = 1.0
+
+// Target selects the architecture to compile for.
+type Target int
+
+// Compilation targets.
+const (
+	TargetFPPC Target = iota
+	TargetDA
+)
+
+func (t Target) String() string {
+	if t == TargetFPPC {
+		return "fppc"
+	}
+	return "da"
+}
+
+// Config controls compilation.
+type Config struct {
+	Target Target
+
+	// FPPCHeight fixes the FPPC chip height (12 wide); 0 starts at the
+	// paper's 12x21 workhorse size.
+	FPPCHeight int
+	// DAWidth/DAHeight fix the DA chip size; 0 starts at the paper's
+	// 15x19.
+	DAWidth, DAHeight int
+
+	// AutoGrow enlarges the array until the assay schedules (the paper's
+	// methodology for the larger protein-split benchmarks). Without it,
+	// scheduling failures surface as errors.
+	AutoGrow bool
+
+	// Router forwards routing options (program emission for simulation).
+	Router router.Options
+
+	// SingleOutputPort places only one reservoir per output fluid instead
+	// of the default two (ablation: quantifies the routing benefit of a
+	// second, nearer waste port).
+	SingleOutputPort bool
+
+	// DetectorCount limits how many SSD (or DA work) modules carry
+	// detectors; 0 means all of them (the default chip configuration).
+	// Supplemental S2's compatibility requirement — "the SSD modules have
+	// appropriate detectors" — becomes a real constraint with this set.
+	DetectorCount int
+}
+
+// Result is a compiled assay.
+type Result struct {
+	Assay    *dag.Assay
+	Chip     *arch.Chip
+	Schedule *scheduler.Schedule
+	Routing  *router.Result
+}
+
+// OperationSeconds is the schedule makespan in seconds.
+func (r *Result) OperationSeconds() float64 {
+	return float64(r.Schedule.Makespan) * TimeStepSeconds
+}
+
+// RoutingSeconds is the droplet transport time in seconds.
+func (r *Result) RoutingSeconds() float64 { return r.Routing.Seconds() }
+
+// TotalSeconds is the paper's total: operations plus routing.
+func (r *Result) TotalSeconds() float64 {
+	return r.OperationSeconds() + r.RoutingSeconds()
+}
+
+// Summary renders a one-line report.
+func (r *Result) Summary() string {
+	return fmt.Sprintf("%s on %s: %dx%d array, %d electrodes, %d pins, ops %.0fs + routing %.1fs = %.1fs",
+		r.Assay.Name, r.Chip.Name, r.Chip.W, r.Chip.H,
+		r.Chip.ElectrodeCount(), r.Chip.PinCount(),
+		r.OperationSeconds(), r.RoutingSeconds(), r.TotalSeconds())
+}
+
+// PlacePortsForAssay assigns reservoir ports on the chip for every fluid
+// the assay dispenses or outputs. Output fluids get two ports when the
+// perimeter allows (halving waste-droplet routes), falling back to one.
+func PlacePortsForAssay(chip *arch.Chip, a *dag.Assay) error {
+	return placePorts(chip, a, false)
+}
+
+func placePorts(chip *arch.Chip, a *dag.Assay, singleOutput bool) error {
+	inputs := map[string]int{}
+	outSet := map[string]bool{}
+	for _, n := range a.Nodes {
+		switch n.Kind {
+		case dag.Dispense:
+			inputs[n.Fluid] = a.ReservoirCount(n.Fluid)
+		case dag.Output:
+			outSet[n.Fluid] = true
+		}
+	}
+	outs := make([]string, 0, len(outSet))
+	for f := range outSet {
+		outs = append(outs, f)
+	}
+	sort.Strings(outs)
+	if !singleOutput {
+		doubled := append(append([]string{}, outs...), outs...)
+		if err := chip.PlacePorts(inputs, doubled); err == nil {
+			return nil
+		}
+	}
+	return chip.PlacePorts(inputs, outs)
+}
+
+// Compile runs the full flow. With AutoGrow it retries on
+// ErrInsufficientResources with a taller (FPPC) or larger (DA) array.
+func Compile(a *dag.Assay, cfg Config) (*Result, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Target {
+	case TargetFPPC:
+		return compileFPPC(a, cfg)
+	case TargetDA:
+		return compileDA(a, cfg)
+	}
+	return nil, fmt.Errorf("core: unknown target %d", int(cfg.Target))
+}
+
+func compileFPPC(a *dag.Assay, cfg Config) (*Result, error) {
+	h := cfg.FPPCHeight
+	if h == 0 {
+		h = 21
+	}
+	for {
+		chip, err := arch.NewFPPC(h)
+		if err != nil {
+			return nil, err
+		}
+		res, err := compileOn(a, chip, cfg, scheduler.ScheduleFPPC)
+		if err == nil {
+			return res, nil
+		}
+		if !cfg.AutoGrow || !insufficient(err) {
+			return nil, err
+		}
+		h += 2
+		if h > 4*arch.FPPCWidth*40 {
+			return nil, fmt.Errorf("core: %s does not fit any FPPC chip (last: height %d): %w", a.Name, h, err)
+		}
+	}
+}
+
+func compileDA(a *dag.Assay, cfg Config) (*Result, error) {
+	w, h := cfg.DAWidth, cfg.DAHeight
+	if w == 0 {
+		w = 15
+	}
+	if h == 0 {
+		h = 19
+	}
+	for {
+		chip, err := arch.NewDA(w, h)
+		if err != nil {
+			return nil, err
+		}
+		res, err := compileOn(a, chip, cfg, scheduler.ScheduleDA)
+		if err == nil {
+			return res, nil
+		}
+		if !cfg.AutoGrow || !insufficient(err) {
+			return nil, err
+		}
+		if h >= 2*w {
+			w += 6
+		} else {
+			h += 4
+		}
+		if w > 200 {
+			return nil, fmt.Errorf("core: %s does not fit any DA chip: %w", a.Name, err)
+		}
+	}
+}
+
+func insufficient(err error) bool {
+	var ir *scheduler.ErrInsufficientResources
+	return errors.As(err, &ir)
+}
+
+type scheduleFn func(*dag.Assay, *arch.Chip) (*scheduler.Schedule, error)
+
+func compileOn(a *dag.Assay, chip *arch.Chip, cfg Config, schedule scheduleFn) (*Result, error) {
+	if cfg.DetectorCount > 0 {
+		chip.LimitDetectors(cfg.DetectorCount)
+	}
+	if err := placePorts(chip, a, cfg.SingleOutputPort); err != nil {
+		return nil, err
+	}
+	s, err := schedule(a, chip)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("core: internal schedule validation failed: %w", err)
+	}
+	routing, err := router.Route(s, cfg.Router)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Assay: a, Chip: chip, Schedule: s, Routing: routing}, nil
+}

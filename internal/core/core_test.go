@@ -1,0 +1,260 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fppc/internal/arch"
+	"fppc/internal/assays"
+	"fppc/internal/dag"
+	"fppc/internal/router"
+	"fppc/internal/sim"
+)
+
+func TestCompileFPPCPCR(t *testing.T) {
+	r, err := Compile(assays.PCR(assays.DefaultTiming()), Config{Target: TargetFPPC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OperationSeconds() != 11 {
+		t.Errorf("PCR op seconds = %v, want 11", r.OperationSeconds())
+	}
+	if r.RoutingSeconds() <= 0 || r.RoutingSeconds() > 5 {
+		t.Errorf("PCR routing seconds = %v, want (0,5]", r.RoutingSeconds())
+	}
+	if r.TotalSeconds() != r.OperationSeconds()+r.RoutingSeconds() {
+		t.Errorf("total != ops + routing")
+	}
+	if r.Chip.PinCount() != 43 {
+		t.Errorf("12x21 pins = %d, want 43 (paper Table 1)", r.Chip.PinCount())
+	}
+	if !strings.Contains(r.Summary(), "PCR") {
+		t.Errorf("summary missing assay name: %q", r.Summary())
+	}
+}
+
+func TestCompileDAPCR(t *testing.T) {
+	r, err := Compile(assays.PCR(assays.DefaultTiming()), Config{Target: TargetDA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Chip.PinCount() != 285 {
+		t.Errorf("DA 15x19 pins = %d, want 285", r.Chip.PinCount())
+	}
+	if r.OperationSeconds() != 11 {
+		t.Errorf("DA PCR op seconds = %v, want 11", r.OperationSeconds())
+	}
+}
+
+func TestCompileAutoGrow(t *testing.T) {
+	a := assays.ProteinSplit(5, assays.DefaultTiming())
+	if _, err := Compile(a, Config{Target: TargetFPPC}); err == nil {
+		t.Fatalf("Protein Split 5 fit 12x21 without growth; expected failure")
+	}
+	r, err := Compile(a, Config{Target: TargetFPPC, AutoGrow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Chip.H <= 21 {
+		t.Errorf("auto-grown chip height = %d, want > 21", r.Chip.H)
+	}
+}
+
+func TestCompileRejectsInvalidAssay(t *testing.T) {
+	a := dag.New("broken")
+	a.Add(dag.Mix, "M", "", 3) // mix with no parents
+	if _, err := Compile(a, Config{Target: TargetFPPC}); err == nil {
+		t.Errorf("invalid assay compiled")
+	}
+}
+
+func TestPlacePortsForAssayDoublesOutputs(t *testing.T) {
+	chip, err := arch.NewFPPC(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := assays.ProteinSplit(1, assays.DefaultTiming())
+	if err := PlacePortsForAssay(chip, a); err != nil {
+		t.Fatal(err)
+	}
+	waste := 0
+	for _, p := range chip.Ports {
+		if !p.Input && p.Fluid == "waste" {
+			waste++
+		}
+	}
+	if waste != 2 {
+		t.Errorf("waste output ports = %d, want 2", waste)
+	}
+}
+
+// simulate compiles the assay for FPPC with program emission and replays
+// it on the electrode-level simulator.
+func simulate(t *testing.T, a *dag.Assay) (*Result, *sim.Trace) {
+	t.Helper()
+	r, err := Compile(a, Config{
+		Target:   TargetFPPC,
+		AutoGrow: true,
+		Router:   router.Options{EmitProgram: true, RotationsPerStep: 1},
+	})
+	if err != nil {
+		t.Fatalf("compile %s: %v", a.Name, err)
+	}
+	if err := r.Routing.Program.Validate(r.Chip); err != nil {
+		t.Fatalf("program invalid: %v", err)
+	}
+	tr, err := sim.Run(r.Chip, r.Routing.Program, r.Routing.Events)
+	if err != nil {
+		t.Fatalf("simulation of %s failed: %v", a.Name, err)
+	}
+	return r, tr
+}
+
+// checkTrace compares simulator counters against the assay's structure:
+// every dispense, mix-merge, split and output must happen exactly once,
+// no droplet may remain on the array, and fluid volume must be conserved.
+func checkTrace(t *testing.T, a *dag.Assay, tr *sim.Trace) {
+	t.Helper()
+	st, err := a.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Dispenses != st.ByKind[dag.Dispense] {
+		t.Errorf("%s: dispenses = %d, want %d", a.Name, tr.Dispenses, st.ByKind[dag.Dispense])
+	}
+	if tr.Outputs != st.ByKind[dag.Output] {
+		t.Errorf("%s: outputs = %d, want %d", a.Name, tr.Outputs, st.ByKind[dag.Output])
+	}
+	if tr.Merges != st.ByKind[dag.Mix] {
+		t.Errorf("%s: merges = %d, want %d (one per mix)", a.Name, tr.Merges, st.ByKind[dag.Mix])
+	}
+	if tr.Splits != st.ByKind[dag.Split] {
+		t.Errorf("%s: splits = %d, want %d", a.Name, tr.Splits, st.ByKind[dag.Split])
+	}
+	if len(tr.Remaining) != 0 {
+		t.Errorf("%s: %d droplets left on the array: %v", a.Name, len(tr.Remaining), tr.Remaining)
+	}
+	if math.Abs(tr.VolumeIn-tr.VolumeOut-tr.VolumeRemaining()) > 1e-9 {
+		t.Errorf("%s: volume leak: in %v, out %v, remaining %v",
+			a.Name, tr.VolumeIn, tr.VolumeOut, tr.VolumeRemaining())
+	}
+}
+
+func TestEndToEndPCRSimulates(t *testing.T) {
+	a := assays.PCR(assays.DefaultTiming())
+	_, tr := simulate(t, a)
+	checkTrace(t, a, tr)
+}
+
+func TestEndToEndInVitroSimulates(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		a := assays.InVitroN(n, assays.DefaultTiming())
+		_, tr := simulate(t, a)
+		checkTrace(t, a, tr)
+	}
+}
+
+func TestEndToEndProteinSplitSimulates(t *testing.T) {
+	for levels := 1; levels <= 3; levels++ {
+		a := assays.ProteinSplit(levels, assays.DefaultTiming())
+		_, tr := simulate(t, a)
+		checkTrace(t, a, tr)
+	}
+}
+
+// TestEndToEndMatrix compiles and replays the complete benchmark family
+// at electrode level, including the larger protein splits (guarded by
+// -short). Every assay must execute exactly per its DAG.
+func TestEndToEndMatrix(t *testing.T) {
+	tm := assays.DefaultTiming()
+	suite := []*dag.Assay{
+		assays.InVitroN(4, tm),
+		assays.InVitroN(5, tm),
+		assays.SerialDilution(6, tm),
+	}
+	if !testing.Short() {
+		suite = append(suite, assays.ProteinSplit(4, tm))
+	}
+	for _, a := range suite {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			_, tr := simulate(t, a)
+			checkTrace(t, a, tr)
+		})
+	}
+}
+
+// TestEndToEndConstrainedChips replays benchmarks on chips with limited
+// detectors and single output ports: the compiled programs must still
+// execute correctly, just slower.
+func TestEndToEndConstrainedChips(t *testing.T) {
+	tm := assays.DefaultTiming()
+	a := assays.InVitroN(2, tm)
+	r, err := Compile(a, Config{
+		Target:           TargetFPPC,
+		AutoGrow:         true,
+		DetectorCount:    2,
+		SingleOutputPort: true,
+		Router:           router.Options{EmitProgram: true, RotationsPerStep: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.Run(r.Chip, r.Routing.Program, r.Routing.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTrace(t, a, tr)
+}
+
+// TestSimulationRegression pins the deterministic electrode-level traces
+// of the small benchmarks: program length, event count and operation
+// totals. Any change here means the emitted programs changed shape.
+func TestSimulationRegression(t *testing.T) {
+	tm := assays.DefaultTiming()
+	cases := []struct {
+		assay  *dag.Assay
+		events int
+	}{
+		{assays.PCR(tm), 8 + 1},
+		{assays.InVitroN(1, tm), 8 + 4},
+		{assays.ProteinSplit(1, tm), 10 + 10},
+	}
+	for _, c := range cases {
+		r, tr := simulate(t, c.assay)
+		if got := len(r.Routing.Events); got != c.events {
+			t.Errorf("%s: %d reservoir events, want %d", c.assay.Name, got, c.events)
+		}
+		checkTrace(t, c.assay, tr)
+		if tr.CrossContacts < 0 {
+			t.Errorf("%s: negative cross contacts", c.assay.Name)
+		}
+	}
+}
+
+// TestProgramDeterminism compiles the same assay twice and requires
+// byte-identical pin programs and event streams.
+func TestProgramDeterminism(t *testing.T) {
+	a := assays.ProteinSplit(2, assays.DefaultTiming())
+	render := func() (string, int) {
+		r, err := Compile(a, Config{
+			Target: TargetFPPC,
+			Router: router.Options{EmitProgram: true, RotationsPerStep: 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf strings.Builder
+		if _, err := r.Routing.Program.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), len(r.Routing.Events)
+	}
+	p1, e1 := render()
+	p2, e2 := render()
+	if p1 != p2 || e1 != e2 {
+		t.Errorf("compilation is not deterministic (%d vs %d bytes, %d vs %d events)",
+			len(p1), len(p2), e1, e2)
+	}
+}

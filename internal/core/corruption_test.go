@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fppc/internal/assays"
+	"fppc/internal/dag"
+	"fppc/internal/pins"
+	"fppc/internal/router"
+	"fppc/internal/sim"
+)
+
+// compileWithProgram compiles an assay with program emission.
+func compileWithProgram(t *testing.T, a *dag.Assay) *Result {
+	t.Helper()
+	r, err := Compile(a, Config{
+		Target:   TargetFPPC,
+		AutoGrow: true,
+		Router:   router.Options{EmitProgram: true, RotationsPerStep: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// mutate rebuilds the program with one cycle's activation altered by fn.
+func mutate(prog *pins.Program, cycle int, fn func([]int) []int) *pins.Program {
+	out := &pins.Program{}
+	for i := 0; i < prog.Len(); i++ {
+		act := append([]int{}, prog.Cycle(i)...)
+		if i == cycle {
+			act = fn(act)
+		}
+		out.Append(act...)
+	}
+	return out
+}
+
+// TestCorruptionDetected is the simulator's reason to exist: flip bits in
+// an otherwise-correct pin program and verify the electrode-level replay
+// catches the damage (as an explicit physics error or as operation-count
+// mismatches). A compiler bug that produced such programs would be caught
+// the same way.
+func TestCorruptionDetected(t *testing.T) {
+	a := assays.InVitroN(1, assays.DefaultTiming())
+	r := compileWithProgram(t, a)
+	baseline, err := sim.Run(r.Chip, r.Routing.Program, r.Routing.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := a.ComputeStats()
+
+	rng := rand.New(rand.NewSource(42))
+	detected, trials := 0, 0
+	for trial := 0; trial < 40; trial++ {
+		cycle := rng.Intn(r.Routing.Program.Len())
+		var corrupted *pins.Program
+		switch trial % 3 {
+		case 0: // drop every activation of one cycle
+			corrupted = mutate(r.Routing.Program, cycle, func([]int) []int { return nil })
+		case 1: // drop one pin
+			corrupted = mutate(r.Routing.Program, cycle, func(act []int) []int {
+				if len(act) == 0 {
+					return act
+				}
+				i := rng.Intn(len(act))
+				return append(act[:i:i], act[i+1:]...)
+			})
+		default: // inject a random extra pin
+			corrupted = mutate(r.Routing.Program, cycle, func(act []int) []int {
+				return append(act, 1+rng.Intn(r.Chip.PinCount()))
+			})
+		}
+		trials++
+		tr, err := sim.Run(r.Chip, corrupted, r.Routing.Events)
+		if err != nil {
+			detected++
+			continue
+		}
+		if tr.Merges != st.ByKind[dag.Mix] || tr.Splits != st.ByKind[dag.Split] ||
+			tr.Outputs != st.ByKind[dag.Output] || len(tr.Remaining) != len(baseline.Remaining) {
+			detected++
+		}
+	}
+	// Some corruptions are benign (an extra pin far from every droplet),
+	// but the large majority must be caught.
+	if detected < trials*6/10 {
+		t.Errorf("only %d/%d corruptions detected", detected, trials)
+	}
+}
+
+// TestHoldPinDropLosesDroplet removes the hold pins from a mid-assay
+// cycle: a held droplet must drift (the paper's premise that holds stay
+// energized during routing).
+func TestHoldPinDropLosesDroplet(t *testing.T) {
+	a := assays.ProteinSplit(1, assays.DefaultTiming())
+	r := compileWithProgram(t, a)
+	// Find a cycle whose activation is exactly the hold pins (an op-phase
+	// idle cycle with at least one droplet held).
+	target := -1
+	for i := r.Routing.Program.Len() / 3; i < r.Routing.Program.Len(); i++ {
+		if len(r.Routing.Program.Cycle(i)) > 0 {
+			target = i
+			break
+		}
+	}
+	if target < 0 {
+		t.Skip("no suitable cycle")
+	}
+	corrupted := mutate(r.Routing.Program, target, func([]int) []int { return nil })
+	if _, err := sim.Run(r.Chip, corrupted, r.Routing.Events); err == nil {
+		t.Errorf("dropping all pins at cycle %d went unnoticed", target)
+	}
+}

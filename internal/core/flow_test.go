@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"fppc/internal/assays"
+	"fppc/internal/dag"
+	"fppc/internal/router"
+	"fppc/internal/sim"
+)
+
+// TestFlowMatchesSimulation cross-validates the ideal-mixing flow
+// analysis against the electrowetting replay: the multiset of (volume,
+// protein concentration) pairs collected at the output reservoirs must
+// match the DAG-level prediction. This pins down the dilution semantics
+// end to end — a wrong merge or split anywhere would skew either side.
+func TestFlowMatchesSimulation(t *testing.T) {
+	for _, levels := range []int{1, 2} {
+		a := assays.ProteinSplit(levels, assays.DefaultTiming())
+		flows, err := dag.AnalyzeFlow(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type sample struct{ vol, conc float64 }
+		var want []sample
+		for _, f := range flows {
+			if a.Node(f.Consumer).Kind == dag.Output {
+				want = append(want, sample{f.Volume, f.Concentration["protein"]})
+			}
+		}
+
+		r, err := Compile(a, Config{
+			Target:   TargetFPPC,
+			AutoGrow: true,
+			Router:   router.Options{EmitProgram: true, RotationsPerStep: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := sim.Run(r.Chip, r.Routing.Program, r.Routing.Events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []sample
+		for _, d := range tr.Collected {
+			got = append(got, sample{d.Volume, d.Concentration("protein")})
+		}
+		if len(got) != len(want) {
+			t.Fatalf("levels %d: collected %d droplets, want %d", levels, len(got), len(want))
+		}
+		canon := func(ss []sample) {
+			sort.Slice(ss, func(i, j int) bool {
+				if ss[i].vol != ss[j].vol {
+					return ss[i].vol < ss[j].vol
+				}
+				return ss[i].conc < ss[j].conc
+			})
+		}
+		canon(want)
+		canon(got)
+		for i := range want {
+			if math.Abs(want[i].vol-got[i].vol) > 1e-9 || math.Abs(want[i].conc-got[i].conc) > 1e-9 {
+				t.Errorf("levels %d, droplet %d: got (%.4f, %.4f), want (%.4f, %.4f)",
+					levels, i, got[i].vol, got[i].conc, want[i].vol, want[i].conc)
+			}
+		}
+	}
+}

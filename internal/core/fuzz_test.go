@@ -1,0 +1,97 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fppc/internal/assays"
+	"fppc/internal/dag"
+	"fppc/internal/router"
+	"fppc/internal/scheduler"
+	"fppc/internal/sim"
+)
+
+// TestFuzzEndToEnd is the repository's strongest property test: random
+// well-formed assays are compiled all the way to per-cycle pin programs
+// and replayed on the electrowetting simulator. For every assay that
+// schedules, the physics replay must perform exactly the operations the
+// DAG prescribes — any flaw in the pin assignment, activation sequences,
+// routing order or deadlock handling surfaces as a drift/tear/merge
+// mismatch here.
+func TestFuzzEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz run skipped in -short mode")
+	}
+	tm := assays.DefaultTiming()
+	compiled, skipped := 0, 0
+	for seed := int64(0); seed < 120; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		a := assays.Random(rng, 10+rng.Intn(70), tm)
+		r, err := Compile(a, Config{
+			Target:   TargetFPPC,
+			AutoGrow: true,
+			Router:   router.Options{EmitProgram: true, RotationsPerStep: 1},
+		})
+		if err != nil {
+			var ir *scheduler.ErrInsufficientResources
+			if errors.As(err, &ir) {
+				skipped++ // hostile DAG that exceeds any chip; legitimate
+				continue
+			}
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		compiled++
+		if err := r.Schedule.CheckOccupancy(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		tr, err := sim.Run(r.Chip, r.Routing.Program, r.Routing.Events)
+		if err != nil {
+			t.Fatalf("seed %d (%s): physics violation: %v", seed, a.Name, err)
+		}
+		st, err := a.ComputeStats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Dispenses != st.ByKind[dag.Dispense] ||
+			tr.Outputs != st.ByKind[dag.Output] ||
+			tr.Merges != st.ByKind[dag.Mix] ||
+			tr.Splits != st.ByKind[dag.Split] {
+			t.Fatalf("seed %d: trace %d/%d/%d/%d (disp/out/merge/split), want %d/%d/%d/%d",
+				seed, tr.Dispenses, tr.Outputs, tr.Merges, tr.Splits,
+				st.ByKind[dag.Dispense], st.ByKind[dag.Output],
+				st.ByKind[dag.Mix], st.ByKind[dag.Split])
+		}
+		if len(tr.Remaining) != 0 {
+			t.Fatalf("seed %d: %d droplets abandoned on the array", seed, len(tr.Remaining))
+		}
+	}
+	if compiled < 60 {
+		t.Errorf("only %d/120 random assays compiled (%d skipped); generator too hostile", compiled, skipped)
+	}
+}
+
+// TestFuzzDATarget compiles random assays for the baseline too (timing
+// only; DA has no program emission) to exercise its scheduler/router on
+// irregular DAGs.
+func TestFuzzDATarget(t *testing.T) {
+	tm := assays.DefaultTiming()
+	for seed := int64(200); seed < 240; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		a := assays.Random(rng, 10+rng.Intn(50), tm)
+		r, err := Compile(a, Config{Target: TargetDA, AutoGrow: true})
+		if err != nil {
+			var ir *scheduler.ErrInsufficientResources
+			if errors.As(err, &ir) {
+				continue
+			}
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r.Routing.TotalCycles < 0 {
+			t.Fatalf("seed %d: negative cycles", seed)
+		}
+		if err := r.Schedule.CheckOccupancy(); err != nil {
+			t.Fatalf("seed %d: DA occupancy: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package ctrl implements the dry-controller link of the paper's Figure
+// 4: the PC-side encoder that streams per-cycle pin activations to the
+// chip driver at the 100 Hz actuation rate, and the matching decoder a
+// driver board would run. One frame per cycle:
+//
+//	byte 0       0xA5 sync marker
+//	byte 1       frame sequence number (mod 256, detects dropped frames)
+//	byte 2       N = number of bitmap bytes
+//	bytes 3..3+N the pin bitmap, LSB-first (bit p-1 set = pin p high)
+//	last byte    XOR checksum of bytes 1..3+N-1
+//
+// The fixed bitmap width is ceil(pins/8) bytes, so a 43-pin
+// field-programmable chip streams 9-byte frames at 100 Hz — about 900
+// B/s, trivially within a serial link; the 285-pin direct-addressing
+// chip needs 40-byte frames, a 4.4x bandwidth cost that mirrors the pin
+// count.
+package ctrl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"fppc/internal/pins"
+)
+
+// syncByte starts every frame.
+const syncByte = 0xA5
+
+// FrameBytes returns the size of one encoded frame for a chip with the
+// given pin count.
+func FrameBytes(pinCount int) int {
+	return 4 + (pinCount+7)/8
+}
+
+// BandwidthBps returns the link bandwidth (bytes/second) needed to
+// stream a chip's frames at the given actuation frequency.
+func BandwidthBps(pinCount, hz int) int {
+	return FrameBytes(pinCount) * hz
+}
+
+// Encode streams the program as frames.
+func Encode(w io.Writer, prog *pins.Program, pinCount int) error {
+	if pinCount <= 0 {
+		return fmt.Errorf("ctrl: pin count %d", pinCount)
+	}
+	bw := bufio.NewWriter(w)
+	nBytes := (pinCount + 7) / 8
+	frame := make([]byte, FrameBytes(pinCount))
+	for cyc := 0; cyc < prog.Len(); cyc++ {
+		frame[0] = syncByte
+		frame[1] = byte(cyc % 256)
+		frame[2] = byte(nBytes)
+		for i := 0; i < nBytes; i++ {
+			frame[3+i] = 0
+		}
+		for _, pin := range prog.Cycle(cyc) {
+			if pin < 1 || pin > pinCount {
+				return fmt.Errorf("ctrl: cycle %d drives pin %d outside [1,%d]", cyc, pin, pinCount)
+			}
+			frame[3+(pin-1)/8] |= 1 << uint((pin-1)%8)
+		}
+		sum := byte(0)
+		for _, b := range frame[1 : 3+nBytes] {
+			sum ^= b
+		}
+		frame[3+nBytes] = sum
+		if _, err := bw.Write(frame); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode parses a frame stream back into a program, verifying sync
+// markers, sequence continuity and checksums.
+func Decode(r io.Reader, pinCount int) (*pins.Program, error) {
+	br := bufio.NewReader(r)
+	prog := &pins.Program{}
+	nBytes := (pinCount + 7) / 8
+	frame := make([]byte, FrameBytes(pinCount))
+	for cyc := 0; ; cyc++ {
+		_, err := io.ReadFull(br, frame)
+		if err == io.EOF {
+			return prog, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("ctrl: cycle %d: %w", cyc, err)
+		}
+		if frame[0] != syncByte {
+			return nil, fmt.Errorf("ctrl: cycle %d: lost sync (byte %#x)", cyc, frame[0])
+		}
+		if frame[1] != byte(cyc%256) {
+			return nil, fmt.Errorf("ctrl: cycle %d: dropped frame (sequence %d)", cyc, frame[1])
+		}
+		if int(frame[2]) != nBytes {
+			return nil, fmt.Errorf("ctrl: cycle %d: bitmap width %d, want %d", cyc, frame[2], nBytes)
+		}
+		sum := byte(0)
+		for _, b := range frame[1 : 3+nBytes] {
+			sum ^= b
+		}
+		if frame[3+nBytes] != sum {
+			return nil, fmt.Errorf("ctrl: cycle %d: checksum mismatch", cyc)
+		}
+		var act []int
+		for p := 1; p <= pinCount; p++ {
+			if frame[3+(p-1)/8]&(1<<uint((p-1)%8)) != 0 {
+				act = append(act, p)
+			}
+		}
+		prog.Append(act...)
+	}
+}

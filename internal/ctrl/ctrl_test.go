@@ -1,0 +1,168 @@
+package ctrl
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"fppc/internal/assays"
+	"fppc/internal/core"
+	"fppc/internal/pins"
+	"fppc/internal/router"
+)
+
+func TestFrameSizing(t *testing.T) {
+	if got := FrameBytes(43); got != 10 {
+		t.Errorf("43-pin frame = %d bytes, want 10", got)
+	}
+	if got := FrameBytes(285); got != 40 {
+		t.Errorf("285-pin frame = %d bytes, want 40", got)
+	}
+	// The bandwidth ratio mirrors the pin-count ratio: the paper's cost
+	// argument extends to the control link.
+	fp, da := BandwidthBps(43, 100), BandwidthBps(285, 100)
+	if fp >= da || da/fp < 3 {
+		t.Errorf("bandwidths %d vs %d: expected ~4x gap", fp, da)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	var p pins.Program
+	p.Append(1, 8, 9, 43)
+	p.Append()
+	p.Append(2)
+	var buf bytes.Buffer
+	if err := Encode(&buf, &p, 43); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 3*FrameBytes(43) {
+		t.Errorf("stream = %d bytes, want %d", buf.Len(), 3*FrameBytes(43))
+	}
+	back, err := Decode(&buf, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 3 {
+		t.Fatalf("decoded %d cycles", back.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if !reflect.DeepEqual(back.Cycle(i), p.Cycle(i)) {
+			t.Errorf("cycle %d: %v != %v", i, back.Cycle(i), p.Cycle(i))
+		}
+	}
+}
+
+func TestEncodeRejectsOutOfRangePin(t *testing.T) {
+	var p pins.Program
+	p.Append(44)
+	if err := Encode(&bytes.Buffer{}, &p, 43); err == nil {
+		t.Errorf("out-of-range pin encoded")
+	}
+	if err := Encode(&bytes.Buffer{}, &p, 0); err == nil {
+		t.Errorf("zero pin count accepted")
+	}
+}
+
+func TestDecodeDetectsCorruption(t *testing.T) {
+	var p pins.Program
+	p.Append(1, 2, 3)
+	p.Append(4)
+	encode := func() []byte {
+		var buf bytes.Buffer
+		if err := Encode(&buf, &p, 23); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	corruptions := []struct {
+		name string
+		mut  func([]byte)
+		frag string
+	}{
+		{"sync", func(b []byte) { b[0] = 0x00 }, "lost sync"},
+		{"sequence", func(b []byte) { b[FrameBytes(23)+1] = 7 }, "dropped frame"},
+		{"width", func(b []byte) { b[2] = 9 }, "bitmap width"},
+		{"checksum", func(b []byte) { b[4] ^= 0xFF }, "checksum"},
+		{"truncated", func(b []byte) {}, ""},
+	}
+	for _, c := range corruptions {
+		t.Run(c.name, func(t *testing.T) {
+			data := encode()
+			if c.name == "truncated" {
+				data = data[:len(data)-3]
+			} else {
+				c.mut(data)
+			}
+			_, err := Decode(bytes.NewReader(data), 23)
+			if err == nil {
+				t.Fatalf("corruption undetected")
+			}
+			if c.frag != "" && !strings.Contains(err.Error(), c.frag) {
+				t.Errorf("error %q missing %q", err, c.frag)
+			}
+		})
+	}
+}
+
+func TestCompiledProgramStreams(t *testing.T) {
+	r, err := core.Compile(assays.PCR(assays.DefaultTiming()), core.Config{
+		Target: core.TargetFPPC,
+		Router: router.Options{EmitProgram: true, RotationsPerStep: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, r.Routing.Program, r.Chip.PinCount()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf, r.Chip.PinCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != r.Routing.Program.Len() {
+		t.Errorf("round trip lost cycles: %d vs %d", back.Len(), r.Routing.Program.Len())
+	}
+	for i := 0; i < back.Len(); i++ {
+		if !reflect.DeepEqual(back.Cycle(i), r.Routing.Program.Cycle(i)) {
+			t.Fatalf("cycle %d differs", i)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	prop := func(seed int64, cycles uint8, pinCount uint8) bool {
+		pc := int(pinCount%60) + 1
+		rng := rand.New(rand.NewSource(seed))
+		var p pins.Program
+		for c := 0; c < int(cycles%20)+1; c++ {
+			var act []int
+			for pin := 1; pin <= pc; pin++ {
+				if rng.Intn(4) == 0 {
+					act = append(act, pin)
+				}
+			}
+			p.Append(act...)
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, &p, pc); err != nil {
+			return false
+		}
+		back, err := Decode(&buf, pc)
+		if err != nil || back.Len() != p.Len() {
+			return false
+		}
+		for i := 0; i < p.Len(); i++ {
+			if !reflect.DeepEqual(back.Cycle(i), p.Cycle(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

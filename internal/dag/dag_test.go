@@ -1,0 +1,266 @@
+package dag
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// tinyMix builds dispense(a) + dispense(b) -> mix -> output.
+func tinyMix(t *testing.T) *Assay {
+	t.Helper()
+	a := New("tiny")
+	d1 := a.Add(Dispense, "I1", "sample", 2)
+	d2 := a.Add(Dispense, "I2", "reagent", 2)
+	m := a.Add(Mix, "M1", "", 3)
+	o := a.Add(Output, "O1", "waste", 0)
+	a.AddEdge(d1, m)
+	a.AddEdge(d2, m)
+	a.AddEdge(m, o)
+	if err := a.Validate(); err != nil {
+		t.Fatalf("tinyMix invalid: %v", err)
+	}
+	return a
+}
+
+func TestKindString(t *testing.T) {
+	if Dispense.String() != "dispense" || Output.String() != "output" {
+		t.Errorf("kind names wrong: %v %v", Dispense, Output)
+	}
+	if got := Kind(42).String(); got != "Kind(42)" {
+		t.Errorf("out-of-range kind = %q", got)
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for k := Dispense; k <= Output; k++ {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("teleport"); err == nil {
+		t.Errorf("ParseKind accepted nonsense")
+	}
+}
+
+func TestValidateHappyPath(t *testing.T) {
+	tinyMix(t)
+}
+
+func TestValidateRejectsBadDegrees(t *testing.T) {
+	a := New("bad")
+	d := a.Add(Dispense, "I1", "s", 2)
+	m := a.Add(Mix, "M1", "", 3)
+	a.AddEdge(d, m) // mix has only one parent
+	o := a.Add(Output, "O1", "", 0)
+	a.AddEdge(m, o)
+	err := a.Validate()
+	if err == nil || !strings.Contains(err.Error(), "parents") {
+		t.Errorf("Validate = %v, want parents-degree error", err)
+	}
+}
+
+func TestValidateRejectsDanglingMix(t *testing.T) {
+	a := New("bad2")
+	d1 := a.Add(Dispense, "I1", "s", 2)
+	d2 := a.Add(Dispense, "I2", "r", 2)
+	m := a.Add(Mix, "M1", "", 3)
+	a.AddEdge(d1, m)
+	a.AddEdge(d2, m)
+	// mix has no child
+	if err := a.Validate(); err == nil {
+		t.Errorf("Validate accepted mix with no consumer")
+	}
+}
+
+func TestValidateRejectsMissingFluid(t *testing.T) {
+	a := New("bad3")
+	d := a.Add(Dispense, "I1", "", 2)
+	o := a.Add(Output, "O1", "", 0)
+	a.AddEdge(d, o)
+	err := a.Validate()
+	if err == nil || !strings.Contains(err.Error(), "fluid") {
+		t.Errorf("Validate = %v, want fluid error", err)
+	}
+}
+
+func TestValidateRejectsCycle(t *testing.T) {
+	a := New("cyc")
+	// Two stores feeding each other: degrees are fine, but cyclic.
+	s1 := a.Add(Store, "S1", "", 1)
+	s2 := a.Add(Store, "S2", "", 1)
+	a.AddEdge(s1, s2)
+	a.AddEdge(s2, s1)
+	err := a.Validate()
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("Validate = %v, want cycle error", err)
+	}
+}
+
+func TestValidateRejectsAsymmetricEdge(t *testing.T) {
+	a := New("asym")
+	d := a.Add(Dispense, "I", "s", 1)
+	o := a.Add(Output, "O", "", 0)
+	d.Children = append(d.Children, o.ID) // forgot parent side
+	if err := a.Validate(); err == nil {
+		t.Errorf("Validate accepted asymmetric edge")
+	}
+}
+
+func TestNegativeDurationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Add with negative duration did not panic")
+		}
+	}()
+	New("x").Add(Mix, "M", "", -1)
+}
+
+func TestTopologicalOrder(t *testing.T) {
+	a := tinyMix(t)
+	order, err := a.TopologicalOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, a.Len())
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, n := range a.Nodes {
+		for _, c := range n.Children {
+			if pos[n.ID] >= pos[c] {
+				t.Errorf("edge %d->%d violates topo order %v", n.ID, c, order)
+			}
+		}
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	a := tinyMix(t)
+	cp, err := a.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != 5 { // dispense 2 + mix 3 + output 0
+		t.Errorf("CriticalPath = %d, want 5", cp)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	a := tinyMix(t)
+	st, err := a.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Nodes != 4 || st.Edges != 3 {
+		t.Errorf("stats nodes/edges = %d/%d, want 4/3", st.Nodes, st.Edges)
+	}
+	if st.ByKind[Dispense] != 2 || st.ByKind[Mix] != 1 || st.ByKind[Output] != 1 {
+		t.Errorf("ByKind = %v", st.ByKind)
+	}
+	if st.CriticalPath != 5 {
+		t.Errorf("CriticalPath = %d, want 5", st.CriticalPath)
+	}
+	if len(st.Fluids) != 2 || st.Fluids[0] != "reagent" || st.Fluids[1] != "sample" {
+		t.Errorf("Fluids = %v", st.Fluids)
+	}
+	if st.MaxConcurrent != 2 { // the two dispenses overlap
+		t.Errorf("MaxConcurrent = %d, want 2", st.MaxConcurrent)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	a := tinyMix(t)
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Assay
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped assay invalid: %v", err)
+	}
+	if back.Name != a.Name || back.Len() != a.Len() {
+		t.Errorf("round trip changed shape: %s/%d vs %s/%d", back.Name, back.Len(), a.Name, a.Len())
+	}
+	for i, n := range a.Nodes {
+		b := back.Nodes[i]
+		if b.Kind != n.Kind || b.Label != n.Label || b.Fluid != n.Fluid || b.Duration != n.Duration {
+			t.Errorf("node %d mismatch: %+v vs %+v", i, b, n)
+		}
+	}
+}
+
+func TestUnmarshalRejectsBadKind(t *testing.T) {
+	var a Assay
+	err := json.Unmarshal([]byte(`{"name":"x","nodes":[{"id":0,"kind":"warp","duration":1}]}`), &a)
+	if err == nil {
+		t.Errorf("unmarshal accepted unknown kind")
+	}
+}
+
+func TestUnmarshalRejectsSparseIDs(t *testing.T) {
+	var a Assay
+	err := json.Unmarshal([]byte(`{"name":"x","nodes":[{"id":5,"kind":"mix","duration":1}]}`), &a)
+	if err == nil {
+		t.Errorf("unmarshal accepted sparse node ids")
+	}
+}
+
+func TestUnmarshalRejectsBadChild(t *testing.T) {
+	var a Assay
+	err := json.Unmarshal([]byte(`{"name":"x","nodes":[{"id":0,"kind":"mix","duration":1,"children":[9]}]}`), &a)
+	if err == nil {
+		t.Errorf("unmarshal accepted out-of-range child")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := tinyMix(t)
+	c := a.Clone()
+	c.Nodes[0].Children[0] = 99
+	c.Nodes[0].Fluid = "poison"
+	if a.Nodes[0].Children[0] == 99 || a.Nodes[0].Fluid == "poison" {
+		t.Errorf("Clone shares memory with original")
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("original corrupted by clone mutation: %v", err)
+	}
+}
+
+func TestNodeLookup(t *testing.T) {
+	a := tinyMix(t)
+	if a.Node(0) == nil || a.Node(3) == nil {
+		t.Errorf("Node() failed for valid ids")
+	}
+	if a.Node(-1) != nil || a.Node(4) != nil {
+		t.Errorf("Node() returned non-nil for out-of-range ids")
+	}
+}
+
+func TestSplitDegrees(t *testing.T) {
+	a := New("split")
+	d := a.Add(Dispense, "I", "s", 2)
+	sp := a.Add(Split, "SP", "", 0)
+	o1 := a.Add(Output, "O1", "", 0)
+	o2 := a.Add(Output, "O2", "", 0)
+	a.AddEdge(d, sp)
+	a.AddEdge(sp, o1)
+	a.AddEdge(sp, o2)
+	if err := a.Validate(); err != nil {
+		t.Fatalf("split assay invalid: %v", err)
+	}
+	// A split with one child must be rejected.
+	b := New("split1")
+	db := b.Add(Dispense, "I", "s", 2)
+	spb := b.Add(Split, "SP", "", 0)
+	ob := b.Add(Output, "O", "", 0)
+	b.AddEdge(db, spb)
+	b.AddEdge(spb, ob)
+	if err := b.Validate(); err == nil {
+		t.Errorf("split with single child accepted")
+	}
+}

@@ -1,0 +1,66 @@
+package dag
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the assay in Graphviz dot format for visual inspection of
+// benchmark structures (colors by operation kind).
+func (a *Assay) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", a.Name)
+	b.WriteString("  rankdir=TB;\n  node [style=filled, fontname=\"sans-serif\"];\n")
+	for _, n := range a.Nodes {
+		label := n.Label
+		if label == "" {
+			label = fmt.Sprintf("n%d", n.ID)
+		}
+		extra := ""
+		if n.Fluid != "" {
+			extra = "\\n" + n.Fluid
+		}
+		if n.Duration > 0 {
+			extra += fmt.Sprintf("\\n%ds", n.Duration)
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s%s\", shape=%s, fillcolor=\"%s\"];\n",
+			n.ID, label, extra, dotShape(n.Kind), dotColor(n.Kind))
+	}
+	for _, n := range a.Nodes {
+		for _, c := range n.Children {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", n.ID, c)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func dotShape(k Kind) string {
+	switch k {
+	case Dispense:
+		return "invtrapezium"
+	case Output:
+		return "trapezium"
+	case Split:
+		return "triangle"
+	}
+	return "box"
+}
+
+func dotColor(k Kind) string {
+	switch k {
+	case Dispense:
+		return "#cfe8ff"
+	case Mix:
+		return "#ffe4b3"
+	case Split:
+		return "#ffd0d0"
+	case Store:
+		return "#e0e0e0"
+	case Detect:
+		return "#d5f5d5"
+	case Output:
+		return "#e8d5f5"
+	}
+	return "#ffffff"
+}

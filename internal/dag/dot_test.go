@@ -1,0 +1,35 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOTOutput(t *testing.T) {
+	a := tinyMix(t)
+	dot := a.DOT()
+	if !strings.HasPrefix(dot, "digraph \"tiny\"") {
+		t.Errorf("missing digraph header: %.60q", dot)
+	}
+	for _, frag := range []string{"n0", "n3", "n0 -> n2", "n2 -> n3", "invtrapezium", "sample"} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT missing %q", frag)
+		}
+	}
+	if strings.Count(dot, "->") != 3 {
+		t.Errorf("edge count = %d, want 3", strings.Count(dot, "->"))
+	}
+	if !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Errorf("DOT not closed")
+	}
+}
+
+func TestDOTUnlabeledNode(t *testing.T) {
+	a := New("x")
+	d := a.Add(Dispense, "", "f", 1)
+	o := a.Add(Output, "", "waste", 0)
+	a.AddEdge(d, o)
+	if dot := a.DOT(); !strings.Contains(dot, "label=\"n0") {
+		t.Errorf("fallback label missing:\n%s", dot)
+	}
+}

@@ -1,0 +1,93 @@
+package dag
+
+// Flow describes one droplet (edge) of the assay after ideal-mixing
+// analysis: its volume in dispense units and the concentration of each
+// tracked solute (fraction of the droplet that originated from each
+// dispense fluid).
+type Flow struct {
+	Producer int // node id
+	ChildIdx int // which output of the producer
+	Consumer int // node id
+
+	Volume        float64
+	Concentration map[string]float64 // fluid -> fraction
+}
+
+// mixture is a droplet composition during flow analysis.
+type mixture struct {
+	vol  float64
+	comp map[string]float64
+}
+
+// AnalyzeFlow computes the ideal volume and composition of every droplet
+// in the assay: dispenses inject unit volume of pure fluid, mixes combine
+// volumes and average compositions by volume, splits halve volume at
+// equal composition, and detect/store pass droplets through unchanged.
+// Droplets are returned in (node id, child index) order — the same
+// enumeration the scheduler uses for droplet ids.
+//
+// This is the serial-dilution arithmetic biochemists design assays
+// around; the electrowetting simulator cross-checks it physically.
+func AnalyzeFlow(a *Assay) ([]Flow, error) {
+	order, err := a.TopologicalOrder()
+	if err != nil {
+		return nil, err
+	}
+	outOf := make([]mixture, a.Len())
+	for _, id := range order {
+		n := a.Nodes[id]
+		switch n.Kind {
+		case Dispense:
+			outOf[id] = mixture{vol: 1, comp: map[string]float64{n.Fluid: 1}}
+		case Mix:
+			var vol float64
+			comp := map[string]float64{}
+			for _, p := range n.Parents {
+				pm := outOf[p]
+				for f, frac := range pm.comp {
+					comp[f] += frac * pm.vol
+				}
+				vol += pm.vol
+			}
+			if vol > 0 {
+				for f := range comp {
+					comp[f] /= vol
+				}
+			}
+			outOf[id] = mixture{vol: vol, comp: comp}
+		case Split:
+			pm := outOf[n.Parents[0]]
+			outOf[id] = mixture{vol: pm.vol / 2, comp: pm.comp}
+		case Store, Detect:
+			outOf[id] = outOf[n.Parents[0]]
+		case Output:
+			// Sinks produce nothing.
+		}
+	}
+	var flows []Flow
+	for _, n := range a.Nodes {
+		for ci, c := range n.Children {
+			m := outOf[n.ID]
+			comp := make(map[string]float64, len(m.comp))
+			for f, v := range m.comp {
+				comp[f] = v
+			}
+			flows = append(flows, Flow{
+				Producer: n.ID, ChildIdx: ci, Consumer: c,
+				Volume: m.vol, Concentration: comp,
+			})
+		}
+	}
+	return flows, nil
+}
+
+// TotalOutputVolume sums the volume leaving the assay through outputs.
+func TotalOutputVolume(a *Assay, flows []Flow) float64 {
+	total := 0.0
+	for _, f := range flows {
+		if a.Node(f.Consumer).Kind == Output {
+			total += f.Volume
+		}
+	}
+	return total
+}

@@ -1,0 +1,42 @@
+package dag
+
+import "fmt"
+
+// Merge combines independent assays into one DAG by renumbering nodes.
+// Reservoir counts take the per-fluid maximum (the fluids are shared
+// physical reservoirs). The result runs both protocols concurrently on
+// one chip — the field-programmable answer to purpose-built
+// "multi-functional" pin-constrained designs.
+func Merge(name string, parts ...*Assay) (*Assay, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("dag: Merge with no assays")
+	}
+	out := New(name)
+	for _, part := range parts {
+		if err := part.Validate(); err != nil {
+			return nil, fmt.Errorf("dag: Merge input %s: %w", part.Name, err)
+		}
+		offset := out.Len()
+		for _, n := range part.Nodes {
+			label := n.Label
+			if label != "" && len(parts) > 1 {
+				label = part.Name + "/" + label
+			}
+			out.Add(n.Kind, label, n.Fluid, n.Duration)
+		}
+		for _, n := range part.Nodes {
+			for _, c := range n.Children {
+				out.AddEdge(out.Nodes[offset+n.ID], out.Nodes[offset+c])
+			}
+		}
+		for fluid, ports := range part.Reservoirs {
+			if ports > out.ReservoirCount(fluid) {
+				out.SetReservoirs(fluid, ports)
+			}
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("dag: Merge result: %w", err)
+	}
+	return out, nil
+}

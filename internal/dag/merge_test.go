@@ -1,0 +1,65 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMergeTwoAssays(t *testing.T) {
+	a := tinyMix(t)
+	a.Name = "alpha"
+	b := tinyMix(t)
+	b.Name = "beta"
+	b.SetReservoirs("sample", 3)
+
+	m, err := Merge("both", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != a.Len()+b.Len() {
+		t.Fatalf("merged nodes = %d, want %d", m.Len(), a.Len()+b.Len())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := m.ComputeStats()
+	if st.ByKind[Mix] != 2 || st.ByKind[Dispense] != 4 {
+		t.Errorf("merged kinds = %v", st.ByKind)
+	}
+	// Labels are namespaced; reservoirs take the max.
+	if !strings.HasPrefix(m.Nodes[0].Label, "alpha/") {
+		t.Errorf("label = %q, want alpha/ prefix", m.Nodes[0].Label)
+	}
+	if m.ReservoirCount("sample") != 3 {
+		t.Errorf("merged sample ports = %d, want 3", m.ReservoirCount("sample"))
+	}
+	// Originals untouched.
+	if a.Len() != 4 || b.Len() != 4 {
+		t.Errorf("inputs mutated: %d/%d", a.Len(), b.Len())
+	}
+}
+
+func TestMergeSingle(t *testing.T) {
+	a := tinyMix(t)
+	m, err := Merge("solo", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != a.Len() || m.Nodes[0].Label != a.Nodes[0].Label {
+		t.Errorf("single merge altered the assay")
+	}
+}
+
+func TestMergeRejectsEmpty(t *testing.T) {
+	if _, err := Merge("none"); err == nil {
+		t.Errorf("empty merge accepted")
+	}
+}
+
+func TestMergeRejectsInvalidInput(t *testing.T) {
+	bad := New("bad")
+	bad.Add(Mix, "M", "", 3) // dangling mix
+	if _, err := Merge("x", tinyMix(t), bad); err == nil {
+		t.Errorf("invalid input accepted")
+	}
+}

@@ -1,0 +1,178 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStepAndOpposite(t *testing.T) {
+	c := Cell{5, 5}
+	for _, d := range Dirs {
+		moved := c.Step(d)
+		if moved == c {
+			t.Fatalf("Step(%v) did not move", d)
+		}
+		if back := moved.Step(d.Opposite()); back != c {
+			t.Errorf("Step(%v) then Step(%v) = %v, want %v", d, d.Opposite(), back, c)
+		}
+	}
+	if c.Step(None) != c {
+		t.Errorf("Step(None) moved the cell")
+	}
+}
+
+func TestDirTo(t *testing.T) {
+	c := Cell{3, 7}
+	for _, d := range Dirs {
+		got, ok := c.DirTo(c.Step(d))
+		if !ok || got != d {
+			t.Errorf("DirTo(%v step) = %v,%v; want %v,true", d, got, ok, d)
+		}
+	}
+	if _, ok := c.DirTo(c); ok {
+		t.Errorf("DirTo(self) = ok, want !ok")
+	}
+	if _, ok := c.DirTo(Cell{4, 8}); ok {
+		t.Errorf("DirTo(diagonal) = ok, want !ok")
+	}
+	if _, ok := c.DirTo(Cell{9, 7}); ok {
+		t.Errorf("DirTo(far) = ok, want !ok")
+	}
+}
+
+func TestDirString(t *testing.T) {
+	cases := map[Dir]string{None: "none", North: "north", South: "south", East: "east", West: "west", Dir(99): "Dir(99)"}
+	for d, want := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("Dir(%d).String() = %q, want %q", int(d), got, want)
+		}
+	}
+}
+
+func TestDistances(t *testing.T) {
+	a, b := Cell{0, 0}, Cell{3, 4}
+	if got := Manhattan(a, b); got != 7 {
+		t.Errorf("Manhattan = %d, want 7", got)
+	}
+	if got := Chebyshev(a, b); got != 4 {
+		t.Errorf("Chebyshev = %d, want 4", got)
+	}
+	if got := Chebyshev(Cell{2, 1}, Cell{0, 0}); got != 2 {
+		t.Errorf("Chebyshev = %d, want 2", got)
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	c := Cell{4, 4}
+	for _, n := range c.Neighbors8() {
+		if !Adjacent8(c, n) {
+			t.Errorf("Adjacent8(%v,%v) = false, want true", c, n)
+		}
+	}
+	if Adjacent8(c, c) {
+		t.Errorf("Adjacent8(self) = true")
+	}
+	if Adjacent8(c, Cell{6, 4}) {
+		t.Errorf("Adjacent8(distance 2) = true")
+	}
+	if !Adjacent4(c, Cell{5, 4}) || Adjacent4(c, Cell{5, 5}) {
+		t.Errorf("Adjacent4 misclassifies cardinal vs diagonal neighbours")
+	}
+}
+
+func TestNeighbors4MatchesSteps(t *testing.T) {
+	c := Cell{1, 2}
+	n := c.Neighbors4()
+	for i, d := range Dirs {
+		if n[i] != c.Step(d) {
+			t.Errorf("Neighbors4[%d] = %v, want %v", i, n[i], c.Step(d))
+		}
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := RectAt(Cell{1, 2}, 4, 2)
+	if r.W() != 4 || r.H() != 2 || r.Area() != 8 {
+		t.Fatalf("RectAt dims wrong: %v (w=%d h=%d area=%d)", r, r.W(), r.H(), r.Area())
+	}
+	if !r.Contains(Cell{1, 2}) || !r.Contains(Cell{4, 3}) {
+		t.Errorf("Contains misses interior corners of %v", r)
+	}
+	if r.Contains(Cell{5, 2}) || r.Contains(Cell{1, 4}) || r.Contains(Cell{0, 2}) {
+		t.Errorf("Contains includes exterior cells of %v", r)
+	}
+	cells := r.Cells()
+	if len(cells) != 8 {
+		t.Fatalf("Cells() returned %d cells, want 8", len(cells))
+	}
+	if cells[0] != (Cell{1, 2}) || cells[7] != (Cell{4, 3}) {
+		t.Errorf("Cells() order unexpected: first=%v last=%v", cells[0], cells[7])
+	}
+}
+
+func TestRectEmpty(t *testing.T) {
+	r := Rect{3, 3, 3, 5}
+	if r.Area() != 0 || len(r.Cells()) != 0 {
+		t.Errorf("degenerate rect has area %d, cells %d; want 0, 0", r.Area(), len(r.Cells()))
+	}
+	inv := Rect{5, 5, 2, 2}
+	if inv.Area() != 0 {
+		t.Errorf("inverted rect area = %d, want 0", inv.Area())
+	}
+}
+
+func TestRectExpandIntersects(t *testing.T) {
+	mod := RectAt(Cell{1, 1}, 4, 2)
+	halo := mod.Expand(1)
+	if halo != (Rect{0, 0, 6, 4}) {
+		t.Fatalf("Expand(1) = %v", halo)
+	}
+	other := RectAt(Cell{5, 1}, 2, 2) // touches halo but not module
+	if mod.Intersects(other) {
+		t.Errorf("disjoint rects reported intersecting")
+	}
+	if !halo.Intersects(other) {
+		t.Errorf("halo should intersect the neighbouring module")
+	}
+	if !mod.Intersects(mod) {
+		t.Errorf("rect should intersect itself")
+	}
+}
+
+func TestQuickDistanceProperties(t *testing.T) {
+	symmetric := func(ax, ay, bx, by int8) bool {
+		a, b := Cell{int(ax), int(ay)}, Cell{int(bx), int(by)}
+		return Manhattan(a, b) == Manhattan(b, a) && Chebyshev(a, b) == Chebyshev(b, a)
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Error(err)
+	}
+	chebLEManh := func(ax, ay, bx, by int8) bool {
+		a, b := Cell{int(ax), int(ay)}, Cell{int(bx), int(by)}
+		ch, mh := Chebyshev(a, b), Manhattan(a, b)
+		return ch <= mh && mh <= 2*ch
+	}
+	if err := quick.Check(chebLEManh, nil); err != nil {
+		t.Error(err)
+	}
+	triangle := func(ax, ay, bx, by, cx, cy int8) bool {
+		a, b, c := Cell{int(ax), int(ay)}, Cell{int(bx), int(by)}, Cell{int(cx), int(cy)}
+		return Manhattan(a, c) <= Manhattan(a, b)+Manhattan(b, c)
+	}
+	if err := quick.Check(triangle, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStepIsUnitMove(t *testing.T) {
+	prop := func(x, y int8, dn uint8) bool {
+		c := Cell{int(x), int(y)}
+		d := Dirs[int(dn)%4]
+		n := c.Step(d)
+		got, ok := c.DirTo(n)
+		return Manhattan(c, n) == 1 && ok && got == d
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+package pinmap
+
+import (
+	"testing"
+
+	"fppc/internal/arch"
+	"fppc/internal/assays"
+	"fppc/internal/core"
+	"fppc/internal/dag"
+	"fppc/internal/grid"
+	"fppc/internal/router"
+)
+
+// compileProgram builds a compiled FPPC run with the pin program.
+func compileProgram(t *testing.T, a *dag.Assay) *core.Result {
+	t.Helper()
+	r, err := core.Compile(a, core.Config{
+		Target:   core.TargetFPPC,
+		AutoGrow: true,
+		Router:   router.Options{EmitProgram: true, RotationsPerStep: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestDeriveAndMergePCR(t *testing.T) {
+	r := compileProgram(t, assays.PCR(assays.DefaultTiming()))
+	cons, err := Derive(r.Chip, r.Routing.Program, r.Routing.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cons.Cycles != r.Routing.Program.Len() {
+		t.Errorf("cycles = %d, want %d", cons.Cycles, r.Routing.Program.Len())
+	}
+	if len(cons.Cells) != r.Chip.ElectrodeCount() {
+		t.Errorf("cells = %d, want %d", len(cons.Cells), r.Chip.ElectrodeCount())
+	}
+	asg := Merge(cons)
+	if err := Verify(cons, asg); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's trade-off, computed: for one fixed assay, broadcast
+	// merging needs fewer pins than the general-purpose wiring (Table 2:
+	// Xu's PCR chip uses 14 pins vs our 43 general pins at 12x21), and
+	// far fewer than one pin per electrode.
+	if asg.Pins >= r.Chip.PinCount() {
+		t.Errorf("assay-specific pins = %d, not below the general-purpose %d",
+			asg.Pins, r.Chip.PinCount())
+	}
+	if asg.Pins >= r.Chip.ElectrodeCount()/3 {
+		t.Errorf("assay-specific pins = %d for %d electrodes: merging too weak",
+			asg.Pins, r.Chip.ElectrodeCount())
+	}
+	// Every electrode is assigned.
+	if len(asg.PinOf) != len(cons.Cells) {
+		t.Errorf("assigned %d of %d electrodes", len(asg.PinOf), len(cons.Cells))
+	}
+}
+
+func TestMergeAcrossBenchmarks(t *testing.T) {
+	tm := assays.DefaultTiming()
+	for _, a := range []*dag.Assay{assays.InVitroN(1, tm), assays.ProteinSplit(1, tm)} {
+		r := compileProgram(t, a)
+		cons, err := Derive(r.Chip, r.Routing.Program, r.Routing.Events)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		asg := Merge(cons)
+		if err := Verify(cons, asg); err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if asg.Pins >= r.Chip.PinCount() {
+			t.Errorf("%s: assay-specific pins %d >= general %d", a.Name, asg.Pins, r.Chip.PinCount())
+		}
+		t.Logf("%s: %d electrodes, general %d pins, assay-specific %d pins",
+			a.Name, r.Chip.ElectrodeCount(), r.Chip.PinCount(), asg.Pins)
+	}
+}
+
+func TestVerifyCatchesBadGroup(t *testing.T) {
+	c, err := arch.NewFPPC(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build tiny constraints by hand: two electrodes with opposite needs.
+	cons := &Constraints{Cycles: 1}
+	e := c.Electrodes()
+	cons.Cells = append(cons.Cells, e[0].Cell, e[1].Cell)
+	cons.seq = [][]State{{MustOn}, {MustOff}}
+	bad := &Assignment{
+		Pins:   1,
+		PinOf:  map[grid.Cell]int{e[0].Cell: 1, e[1].Cell: 1},
+		Groups: [][]grid.Cell{{e[0].Cell, e[1].Cell}},
+	}
+	if err := Verify(cons, bad); err == nil {
+		t.Errorf("conflicting group accepted")
+	}
+	good := Merge(cons)
+	if good.Pins != 2 {
+		t.Errorf("merge of conflicting electrodes used %d pins, want 2", good.Pins)
+	}
+	if err := Verify(cons, good); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeByActivityNotWorse(t *testing.T) {
+	tm := assays.DefaultTiming()
+	for _, a := range []*dag.Assay{assays.PCR(tm), assays.ProteinSplit(1, tm)} {
+		r := compileProgram(t, a)
+		cons, err := Derive(r.Chip, r.Routing.Program, r.Routing.Events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain := Merge(cons)
+		smart := MergeByActivity(cons)
+		if err := Verify(cons, smart); err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if smart.Pins > plain.Pins {
+			t.Errorf("%s: activity-ordered merge worse (%d > %d)", a.Name, smart.Pins, plain.Pins)
+		}
+		t.Logf("%s: first-fit %d pins, activity-ordered %d pins", a.Name, plain.Pins, smart.Pins)
+	}
+}
+
+func BenchmarkDeriveAndMerge(b *testing.B) {
+	tm := assays.DefaultTiming()
+	r, err := core.Compile(assays.ProteinSplit(2, tm), core.Config{
+		Target: core.TargetFPPC, AutoGrow: true,
+		Router: router.Options{EmitProgram: true, RotationsPerStep: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cons, err := Derive(r.Chip, r.Routing.Program, r.Routing.Events)
+		if err != nil {
+			b.Fatal(err)
+		}
+		asg := MergeByActivity(cons)
+		b.ReportMetric(float64(asg.Pins), "pins")
+	}
+}

@@ -1,0 +1,160 @@
+package pins
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"fppc/internal/arch"
+	"fppc/internal/grid"
+)
+
+func fppcChip(t testing.TB, h int) *arch.Chip {
+	c, err := arch.NewFPPC(h)
+	if err != nil {
+		t.Fatalf("NewFPPC(%d): %v", h, err)
+	}
+	return c
+}
+
+func TestProgramAppendNormalizes(t *testing.T) {
+	var p Program
+	p.Append(5, 1, 3, 1, 5)
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", p.Len())
+	}
+	if got := p.Cycle(0); !reflect.DeepEqual([]int(got), []int{1, 3, 5}) {
+		t.Errorf("Cycle(0) = %v, want [1 3 5]", got)
+	}
+}
+
+func TestProgramAppendCopies(t *testing.T) {
+	var p Program
+	src := []int{2, 1}
+	p.Append(src...)
+	src[0] = 99
+	if got := p.Cycle(0); !reflect.DeepEqual([]int(got), []int{1, 2}) {
+		t.Errorf("Append shares caller memory: %v", got)
+	}
+}
+
+func TestProgramRoundTrip(t *testing.T) {
+	var p Program
+	p.Append(1, 4, 17)
+	p.Append() // all low
+	p.Append(3)
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 3 {
+		t.Fatalf("round trip Len = %d, want 3", back.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if !reflect.DeepEqual(back.Cycle(i), p.Cycle(i)) {
+			t.Errorf("cycle %d = %v, want %v", i, back.Cycle(i), p.Cycle(i))
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString("1 2 x\n")); err == nil {
+		t.Errorf("Read accepted non-numeric pin")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := fppcChip(t, 9)
+	var p Program
+	p.Append(1, 2, 23)
+	if err := p.Validate(c); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+	var bad Program
+	bad.Append(24) // 12x9 has 23 pins
+	if err := bad.Validate(c); err == nil {
+		t.Errorf("pin 24 accepted on a 23-pin chip")
+	}
+}
+
+func TestActiveCells(t *testing.T) {
+	c := fppcChip(t, 15)
+	// Pin 1 drives the horizontal-bus cells with x%3==0 on both rows.
+	cells := ActiveCells(c, Activation{1})
+	want := 0
+	for x := 0; x < c.W; x++ {
+		if x%3 == 0 {
+			want += 2
+		}
+	}
+	if len(cells) != want {
+		t.Errorf("pin 1 drives %d cells, want %d", len(cells), want)
+	}
+	for cell := range cells {
+		if cell.Y != 0 && cell.Y != c.H-1 {
+			t.Errorf("pin 1 drives non-horizontal-bus cell %v", cell)
+		}
+	}
+	// A dedicated hold pin drives exactly one cell.
+	hold := c.ElectrodeAt(c.MixModules[0].Hold)
+	cells = ActiveCells(c, Activation{hold.Pin})
+	if len(cells) != 1 || !cells[c.MixModules[0].Hold] {
+		t.Errorf("hold pin %d drives %v", hold.Pin, cells)
+	}
+}
+
+func TestCheckThreePhaseOnFPPC(t *testing.T) {
+	for _, h := range []int{9, 12, 15, 21, 31} {
+		if err := CheckThreePhase(fppcChip(t, h)); err != nil {
+			t.Errorf("12x%d: %v", h, err)
+		}
+	}
+}
+
+func TestCheckIntersectionsOnFPPC(t *testing.T) {
+	for _, h := range []int{9, 12, 15, 21, 31} {
+		if err := CheckIntersections(fppcChip(t, h)); err != nil {
+			t.Errorf("12x%d: %v", h, err)
+		}
+	}
+}
+
+func TestCheckThreePhaseQuickAllHeights(t *testing.T) {
+	prop := func(hh uint8) bool {
+		h := arch.MinFPPCHeight + int(hh%50)
+		c, err := arch.NewFPPC(h)
+		if err != nil {
+			return false
+		}
+		return CheckThreePhase(c) == nil && CheckIntersections(c) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestActiveCellsUnknownPin(t *testing.T) {
+	c := fppcChip(t, 9)
+	if cells := ActiveCells(c, Activation{999}); len(cells) != 0 {
+		t.Errorf("unknown pin drives cells: %v", cells)
+	}
+}
+
+func TestActiveCellsDA(t *testing.T) {
+	c, err := arch.NewDA(15, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := ActiveCells(c, Activation{1, 2})
+	if len(cells) != 2 {
+		t.Fatalf("DA pins 1,2 drive %d cells, want 2", len(cells))
+	}
+	if !cells[grid.Cell{X: 0, Y: 0}] || !cells[grid.Cell{X: 1, Y: 0}] {
+		t.Errorf("DA pin mapping wrong: %v", cells)
+	}
+}

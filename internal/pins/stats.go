@@ -1,0 +1,67 @@
+package pins
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats aggregates per-pin actuation counts over a program: the numbers
+// electrode-reliability analyses start from (dielectric charging scales
+// with actuation count), and a quick view of how unevenly the
+// pin-constrained design loads its few control pins.
+type Stats struct {
+	Cycles      int
+	Activations int         // total pin-cycles driven high
+	PerPin      map[int]int // pin -> cycles driven high
+}
+
+// ComputeStats scans the program.
+func ComputeStats(p *Program) Stats {
+	st := Stats{Cycles: p.Len(), PerPin: map[int]int{}}
+	for i := 0; i < p.Len(); i++ {
+		for _, pin := range p.Cycle(i) {
+			st.PerPin[pin]++
+			st.Activations++
+		}
+	}
+	return st
+}
+
+// Busiest returns up to n (pin, count) pairs sorted by descending count
+// (ties by ascending pin id).
+func (st Stats) Busiest(n int) [][2]int {
+	out := make([][2]int, 0, len(st.PerPin))
+	for pin, cnt := range st.PerPin {
+		out = append(out, [2]int{pin, cnt})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][1] != out[j][1] {
+			return out[i][1] > out[j][1]
+		}
+		return out[i][0] < out[j][0]
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// MeanActivations returns the average high-cycles per driven pin.
+func (st Stats) MeanActivations() float64 {
+	if len(st.PerPin) == 0 {
+		return 0
+	}
+	return float64(st.Activations) / float64(len(st.PerPin))
+}
+
+// String renders a short report.
+func (st Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d cycles, %d pin activations over %d distinct pins (mean %.1f/pin); busiest:",
+		st.Cycles, st.Activations, len(st.PerPin), st.MeanActivations())
+	for _, pc := range st.Busiest(5) {
+		fmt.Fprintf(&b, " pin%d=%d", pc[0], pc[1])
+	}
+	return b.String()
+}

@@ -1,0 +1,44 @@
+package pins
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComputeStats(t *testing.T) {
+	var p Program
+	p.Append(1, 2)
+	p.Append(1)
+	p.Append()
+	p.Append(3, 1)
+	st := ComputeStats(&p)
+	if st.Cycles != 4 {
+		t.Errorf("Cycles = %d, want 4", st.Cycles)
+	}
+	if st.Activations != 5 {
+		t.Errorf("Activations = %d, want 5", st.Activations)
+	}
+	if st.PerPin[1] != 3 || st.PerPin[2] != 1 || st.PerPin[3] != 1 {
+		t.Errorf("PerPin = %v", st.PerPin)
+	}
+	busiest := st.Busiest(2)
+	if len(busiest) != 2 || busiest[0] != [2]int{1, 3} || busiest[1] != [2]int{2, 1} {
+		t.Errorf("Busiest = %v", busiest)
+	}
+	if got := st.MeanActivations(); got < 1.66 || got > 1.67 {
+		t.Errorf("MeanActivations = %v", got)
+	}
+	if s := st.String(); !strings.Contains(s, "pin1=3") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	st := ComputeStats(&Program{})
+	if st.Cycles != 0 || st.Activations != 0 || st.MeanActivations() != 0 {
+		t.Errorf("empty stats wrong: %+v", st)
+	}
+	if got := st.Busiest(3); len(got) != 0 {
+		t.Errorf("Busiest on empty = %v", got)
+	}
+}

@@ -1,0 +1,123 @@
+// Package placer implements the left-edge algorithm [Kurdahi & Parker,
+// DAC 1987] that the paper's placement/binding stage reduces to (section
+// 4.2): assign a set of time intervals (operation lifetimes) to the
+// minimum number of tracks (module instances) such that no two intervals
+// on a track overlap.
+package placer
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Interval is a half-open occupancy [Start, End) of one resource instance.
+type Interval struct {
+	Start, End int
+}
+
+// Valid reports whether the interval is well-formed and non-empty.
+func (iv Interval) Valid() bool { return iv.Start < iv.End }
+
+// Overlaps reports whether two half-open intervals share any time.
+func (iv Interval) Overlaps(o Interval) bool {
+	return iv.Start < o.End && o.Start < iv.End
+}
+
+// LeftEdge assigns every interval to a track. It returns the track index
+// per interval (parallel to the input) and the number of tracks used,
+// which is minimal (equal to the maximum overlap depth). Zero-length
+// intervals are rejected: they occupy no time and have no binding.
+func LeftEdge(intervals []Interval) ([]int, int, error) {
+	for i, iv := range intervals {
+		if !iv.Valid() {
+			return nil, 0, fmt.Errorf("placer: interval %d [%d,%d) is empty or inverted", i, iv.Start, iv.End)
+		}
+	}
+	order := make([]int, len(intervals))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := intervals[order[a]], intervals[order[b]]
+		if ia.Start != ib.Start {
+			return ia.Start < ib.Start
+		}
+		// Ties: longer interval first for determinism.
+		if ia.End != ib.End {
+			return ia.End > ib.End
+		}
+		return order[a] < order[b]
+	})
+
+	assign := make([]int, len(intervals))
+	var trackEnd []int // last occupied end per track
+	for _, idx := range order {
+		iv := intervals[idx]
+		placed := false
+		for tr, end := range trackEnd {
+			if end <= iv.Start {
+				trackEnd[tr] = iv.End
+				assign[idx] = tr
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			trackEnd = append(trackEnd, iv.End)
+			assign[idx] = len(trackEnd) - 1
+		}
+	}
+	return assign, len(trackEnd), nil
+}
+
+// MaxOverlap returns the maximum number of intervals alive at any instant,
+// the lower bound LeftEdge provably meets.
+func MaxOverlap(intervals []Interval) int {
+	type event struct {
+		t, delta int
+	}
+	var evs []event
+	for _, iv := range intervals {
+		if iv.Valid() {
+			evs = append(evs, event{iv.Start, 1}, event{iv.End, -1})
+		}
+	}
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].t != evs[b].t {
+			return evs[a].t < evs[b].t
+		}
+		return evs[a].delta < evs[b].delta // ends before starts at the same t
+	})
+	cur, best := 0, 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > best {
+			best = cur
+		}
+	}
+	return best
+}
+
+// CheckAssignment verifies that an externally produced binding (e.g. the
+// scheduler's greedy instance choice) never double-books a track.
+func CheckAssignment(intervals []Interval, assign []int) error {
+	if len(intervals) != len(assign) {
+		return fmt.Errorf("placer: %d intervals but %d assignments", len(intervals), len(assign))
+	}
+	byTrack := map[int][]int{}
+	for i, tr := range assign {
+		byTrack[tr] = append(byTrack[tr], i)
+	}
+	for tr, idxs := range byTrack {
+		for i := 0; i < len(idxs); i++ {
+			for j := i + 1; j < len(idxs); j++ {
+				a, b := intervals[idxs[i]], intervals[idxs[j]]
+				if a.Overlaps(b) {
+					return fmt.Errorf("placer: track %d double-booked by [%d,%d) and [%d,%d)",
+						tr, a.Start, a.End, b.Start, b.End)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package placer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLeftEdgeSimple(t *testing.T) {
+	ivs := []Interval{{0, 5}, {5, 10}, {0, 3}, {3, 8}}
+	assign, tracks, err := LeftEdge(ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tracks != 2 {
+		t.Errorf("tracks = %d, want 2", tracks)
+	}
+	if err := CheckAssignment(ivs, assign); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeftEdgeChainReusesOneTrack(t *testing.T) {
+	ivs := []Interval{{0, 2}, {2, 4}, {4, 9}, {9, 10}}
+	_, tracks, err := LeftEdge(ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tracks != 1 {
+		t.Errorf("sequential intervals used %d tracks, want 1", tracks)
+	}
+}
+
+func TestLeftEdgeRejectsEmpty(t *testing.T) {
+	if _, _, err := LeftEdge([]Interval{{3, 3}}); err == nil {
+		t.Errorf("empty interval accepted")
+	}
+	if _, _, err := LeftEdge([]Interval{{5, 2}}); err == nil {
+		t.Errorf("inverted interval accepted")
+	}
+}
+
+func TestLeftEdgeNoInput(t *testing.T) {
+	assign, tracks, err := LeftEdge(nil)
+	if err != nil || tracks != 0 || len(assign) != 0 {
+		t.Errorf("LeftEdge(nil) = %v, %d, %v", assign, tracks, err)
+	}
+}
+
+func TestMaxOverlap(t *testing.T) {
+	ivs := []Interval{{0, 10}, {1, 3}, {2, 5}, {4, 6}, {9, 12}}
+	if got := MaxOverlap(ivs); got != 3 {
+		t.Errorf("MaxOverlap = %d, want 3", got)
+	}
+	// Touching endpoints do not overlap (half-open).
+	if got := MaxOverlap([]Interval{{0, 5}, {5, 9}}); got != 1 {
+		t.Errorf("touching intervals MaxOverlap = %d, want 1", got)
+	}
+}
+
+func TestCheckAssignmentCatchesConflict(t *testing.T) {
+	ivs := []Interval{{0, 5}, {3, 8}}
+	if err := CheckAssignment(ivs, []int{0, 0}); err == nil {
+		t.Errorf("overlapping intervals on one track accepted")
+	}
+	if err := CheckAssignment(ivs, []int{0}); err == nil {
+		t.Errorf("length mismatch accepted")
+	}
+	if err := CheckAssignment(ivs, []int{0, 1}); err != nil {
+		t.Errorf("valid assignment rejected: %v", err)
+	}
+}
+
+func TestQuickLeftEdgeOptimalAndValid(t *testing.T) {
+	prop := func(seed int64, nn uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nn%50) + 1
+		ivs := make([]Interval, n)
+		for i := range ivs {
+			s := rng.Intn(100)
+			ivs[i] = Interval{s, s + 1 + rng.Intn(20)}
+		}
+		assign, tracks, err := LeftEdge(ivs)
+		if err != nil {
+			return false
+		}
+		if CheckAssignment(ivs, assign) != nil {
+			return false
+		}
+		// Left-edge is optimal for interval graphs.
+		return tracks == MaxOverlap(ivs)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLeftEdge(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ivs := make([]Interval, 2000)
+	for i := range ivs {
+		s := rng.Intn(5000)
+		ivs[i] = Interval{s, s + 1 + rng.Intn(30)}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := LeftEdge(ivs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package recovery implements dynamic error recovery, the scenario that
+// motivates general-purpose DMFBs in the first place (the paper's related
+// work [2][3]: reconfigurable devices "simplify dynamic recompilation in
+// response to operation variability and errors"): when a detection reveals
+// a bad droplet mid-assay, the affected portion of the protocol is
+// recompiled and re-executed on the same chip — impossible on an
+// assay-specific pin-constrained device whose wiring encodes one schedule.
+//
+// The recovery plan is the closure of the failed operations: everything
+// downstream of a failure must re-execute (its inputs were contaminated),
+// and to re-execute anything its whole ancestor cone must re-run too
+// (the intermediate droplets were consumed), back to fresh dispenses.
+package recovery
+
+import (
+	"fmt"
+	"sort"
+
+	"fppc/internal/dag"
+)
+
+// Plan computes the recovery assay for the given failed operations. The
+// result is a fresh, validated assay containing exactly the operations
+// that must re-execute, with original labels preserved (prefixed by
+// "re/"). Mapping holds recovery-node-id -> original-node-id.
+type PlanResult struct {
+	Assay   *dag.Assay
+	Mapping []int
+}
+
+// Plan builds the recovery plan. It returns an error if a failed id is
+// out of range or refers to a dispense (a failed dispense simply retries
+// and needs no plan) or if no failure is given.
+func Plan(a *dag.Assay, failed []int) (*PlanResult, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if len(failed) == 0 {
+		return nil, fmt.Errorf("recovery: no failed operations given")
+	}
+	inCone := make([]bool, a.Len())
+	var queueDown, queueUp []int
+	for _, f := range failed {
+		n := a.Node(f)
+		if n == nil {
+			return nil, fmt.Errorf("recovery: failed node %d out of range", f)
+		}
+		if n.Kind == dag.Dispense {
+			return nil, fmt.Errorf("recovery: node %d is a dispense; re-dispense directly instead of planning", f)
+		}
+		inCone[f] = true
+		queueDown = append(queueDown, f)
+		queueUp = append(queueUp, f)
+	}
+	// Downstream closure: consumers of contaminated droplets.
+	for len(queueDown) > 0 {
+		id := queueDown[0]
+		queueDown = queueDown[1:]
+		for _, c := range a.Node(id).Children {
+			if !inCone[c] {
+				inCone[c] = true
+				queueDown = append(queueDown, c)
+				queueUp = append(queueUp, c)
+			}
+		}
+	}
+	// Ancestor closure: everything needed to rebuild the cone's inputs.
+	for len(queueUp) > 0 {
+		id := queueUp[0]
+		queueUp = queueUp[1:]
+		for _, p := range a.Node(id).Parents {
+			if !inCone[p] {
+				inCone[p] = true
+				queueUp = append(queueUp, p)
+				// Ancestors' other children also lose their input droplet
+				// only if they are in the cone; children outside already
+				// executed with the original droplet, so they stay out —
+				// but the re-run ancestor will produce a droplet no one
+				// consumes. Route such dangling outputs to waste below.
+			}
+		}
+	}
+
+	out := dag.New(a.Name + " (recovery)")
+	mapping := []int{}
+	newID := make([]int, a.Len())
+	for i := range newID {
+		newID[i] = -1
+	}
+	var ids []int
+	for id, in := range inCone {
+		if in {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		n := a.Node(id)
+		nn := out.Add(n.Kind, "re/"+n.Label, n.Fluid, n.Duration)
+		newID[id] = nn.ID
+		mapping = append(mapping, id)
+	}
+	for _, id := range ids {
+		for _, c := range a.Node(id).Children {
+			if newID[c] >= 0 {
+				out.AddEdge(out.Node(newID[id]), out.Node(newID[c]))
+			}
+		}
+	}
+	// A re-run ancestor may have children outside the cone (they already
+	// consumed the original droplet): give the regenerated droplet a
+	// waste output so the recovery assay is well-formed.
+	waste := 0
+	for _, id := range ids {
+		n := out.Node(newID[id])
+		missing := len(a.Node(id).Children) - len(n.Children)
+		for k := 0; k < missing; k++ {
+			waste++
+			w := out.Add(dag.Output, fmt.Sprintf("re/waste%d", waste), "waste", 0)
+			out.AddEdge(n, w)
+		}
+	}
+	// Carry over the reservoir configuration for the involved fluids.
+	for fluid, ports := range a.Reservoirs {
+		out.SetReservoirs(fluid, ports)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("recovery: plan invalid: %w", err)
+	}
+	return &PlanResult{Assay: out, Mapping: mapping}, nil
+}

@@ -1,0 +1,142 @@
+package recovery
+
+import (
+	"strings"
+	"testing"
+
+	"fppc/internal/assays"
+	"fppc/internal/core"
+	"fppc/internal/dag"
+)
+
+func TestPlanMidTreeFailure(t *testing.T) {
+	a := assays.PCR(assays.DefaultTiming())
+	// Fail the first level-1 mix (node 8: mixes dispenses 0 and 1).
+	var firstMix int = -1
+	for _, n := range a.Nodes {
+		if n.Kind == dag.Mix {
+			firstMix = n.ID
+			break
+		}
+	}
+	plan, err := Plan(a, []int{firstMix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := plan.Assay
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := r.ComputeStats()
+	// Re-running M1 requires its two dispenses; downstream M5 and M7 and
+	// the output re-run; M5's other input (M2) re-runs with its
+	// dispenses, and so on up the tree: for a balanced tree failing one
+	// leaf mix re-runs everything. That is the correct (if unfortunate)
+	// closure for PCR's fully dependent DAG.
+	if st.Nodes != a.Len() {
+		t.Errorf("PCR recovery re-runs %d nodes, want the full %d (fully dependent tree)", st.Nodes, a.Len())
+	}
+	if !strings.HasPrefix(r.Nodes[0].Label, "re/") {
+		t.Errorf("labels not namespaced: %q", r.Nodes[0].Label)
+	}
+}
+
+func TestPlanIndependentChains(t *testing.T) {
+	// In-Vitro chains are independent: failing one detect re-runs only
+	// that chain (5 nodes), not the other chains.
+	a := assays.InVitroN(2, assays.DefaultTiming())
+	var det int = -1
+	for _, n := range a.Nodes {
+		if n.Kind == dag.Detect {
+			det = n.ID
+			break
+		}
+	}
+	plan, err := Plan(a, []int{det})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.Assay.Len(); got != 5 {
+		t.Errorf("recovery size = %d nodes, want 5 (one chain)", got)
+	}
+	// Mapping aligns recovery ids with originals.
+	for rid, oid := range plan.Mapping {
+		if plan.Assay.Node(rid).Kind != a.Node(oid).Kind {
+			t.Errorf("mapping %d->%d kind mismatch", rid, oid)
+		}
+	}
+}
+
+func TestPlanDanglingSplitHalf(t *testing.T) {
+	// Fail a protein dilution mix mid-ladder: the upstream split re-runs,
+	// and its other half (already consumed by the original run) must be
+	// routed to waste in the recovery assay.
+	a := assays.ProteinSplit(1, assays.DefaultTiming())
+	var target int = -1
+	for _, n := range a.Nodes {
+		if n.Kind == dag.Mix && strings.HasPrefix(n.Label, "MXB0_2") {
+			target = n.ID
+		}
+	}
+	if target < 0 {
+		t.Fatal("dilution mix not found")
+	}
+	plan, err := Plan(a, []int{target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := plan.Assay
+	wastes := 0
+	for _, n := range r.Nodes {
+		if strings.HasPrefix(n.Label, "re/waste") {
+			wastes++
+		}
+	}
+	if wastes == 0 {
+		t.Errorf("no synthesized waste outputs for dangling split halves")
+	}
+	if r.Len() >= a.Len() {
+		t.Errorf("recovery (%d nodes) not smaller than the original (%d)", r.Len(), a.Len())
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	a := assays.PCR(assays.DefaultTiming())
+	if _, err := Plan(a, nil); err == nil {
+		t.Errorf("empty failure list accepted")
+	}
+	if _, err := Plan(a, []int{999}); err == nil {
+		t.Errorf("out-of-range failure accepted")
+	}
+	if _, err := Plan(a, []int{0}); err == nil {
+		t.Errorf("failed dispense accepted")
+	}
+}
+
+func TestRecoveryCompilesAndRuns(t *testing.T) {
+	// The recovery assay must compile on the same chip that ran the
+	// original — the field-programmability guarantee.
+	a := assays.InVitroN(3, assays.DefaultTiming())
+	var det int = -1
+	for _, n := range a.Nodes {
+		if n.Kind == dag.Detect {
+			det = n.ID
+		}
+	}
+	plan, err := Plan(a, []int{det})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := core.Compile(a, core.Config{Target: core.TargetFPPC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := core.Compile(plan.Assay, core.Config{Target: core.TargetFPPC, FPPCHeight: orig.Chip.H})
+	if err != nil {
+		t.Fatalf("recovery did not compile on the original chip: %v", err)
+	}
+	if rec.TotalSeconds() >= orig.TotalSeconds() {
+		t.Errorf("single-chain recovery (%.1fs) not cheaper than the full assay (%.1fs)",
+			rec.TotalSeconds(), orig.TotalSeconds())
+	}
+}

@@ -1,0 +1,37 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"fppc/internal/assays"
+)
+
+func TestMarkdown(t *testing.T) {
+	md, err := Markdown(assays.DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"# Regenerated evaluation",
+		"## Table 1",
+		"## Table 2",
+		"## Table 3",
+		"Protein Split 7",
+		"[6.53]", // paper pin average shown beside ours
+		"| 12x21 |",
+		"our remap pins",
+	} {
+		if !strings.Contains(md, frag) {
+			t.Errorf("markdown missing %q", frag)
+		}
+	}
+	// PCR appears once in Table 1 and once in Table 2.
+	if n := strings.Count(md, "| PCR |"); n != 2 {
+		t.Errorf("PCR rows = %d, want 2", n)
+	}
+	// The "-" placeholders for infeasible Table 3 cells survive.
+	if !strings.Contains(md, "| - |") {
+		t.Errorf("missing '-' cells in Table 3")
+	}
+}

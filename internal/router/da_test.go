@@ -1,0 +1,125 @@
+package router
+
+import (
+	"testing"
+
+	"fppc/internal/assays"
+	"fppc/internal/grid"
+	"fppc/internal/scheduler"
+)
+
+func TestDACellOf(t *testing.T) {
+	s := daSchedule(t, assays.PCR(assays.DefaultTiming()), 15, 19)
+	r := &daRouter{s: s, chip: s.Chip}
+	mod := s.Chip.WorkMods[0]
+	c0, err := r.cellOf(scheduler.Location{Kind: scheduler.LocWork, Index: 0, Slot: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c0 != (grid.Cell{X: mod.Rect.X0, Y: mod.Rect.Y0}) {
+		t.Errorf("slot 0 cell = %v", c0)
+	}
+	c1, err := r.cellOf(scheduler.Location{Kind: scheduler.LocWork, Index: 0, Slot: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.Chebyshev(c0, c1) < 2 {
+		t.Errorf("storage slots %v and %v interfere", c0, c1)
+	}
+	if _, err := r.cellOf(scheduler.Location{Kind: scheduler.LocMix}); err == nil {
+		t.Errorf("mix location accepted by DA router")
+	}
+}
+
+func TestDAModuleBusy(t *testing.T) {
+	a := assays.InVitroN(1, assays.DefaultTiming())
+	s := daSchedule(t, a, 15, 19)
+	r := &daRouter{s: s, chip: s.Chip}
+	r.computeBusy()
+	// Some module must be busy while its mix runs.
+	busyAnywhere := false
+	for _, op := range s.Ops {
+		if op.Loc.Kind == scheduler.LocWork && op.End > op.Start+1 {
+			if r.moduleBusyAt(op.Loc.Index, op.Start+1) {
+				busyAnywhere = true
+			}
+		}
+	}
+	if !busyAnywhere {
+		t.Errorf("no module busy during any operation")
+	}
+	// Boundary ts at an op's start is not "inside" the op.
+	for _, op := range s.Ops {
+		if op.Loc.Kind == scheduler.LocWork && op.End > op.Start {
+			if r.moduleBusyAt(op.Loc.Index, op.Start) {
+				// Only acceptable if another interval covers it.
+				covered := false
+				for _, iv := range r.busy[op.Loc.Index] {
+					if iv[0] < op.Start && op.Start < iv[1] {
+						covered = true
+					}
+				}
+				if !covered {
+					t.Errorf("module %d busy at its own start boundary %d", op.Loc.Index, op.Start)
+				}
+			}
+		}
+	}
+}
+
+func TestFirstConflict(t *testing.T) {
+	pa := []grid.Cell{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}}
+	pb := []grid.Cell{{X: 2, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 0}}
+	if !firstConflict(pa, 0, pb, 0) {
+		t.Errorf("head-on paths not flagged")
+	}
+	// Staggered enough: b starts after a finished.
+	if firstConflict(pa, 0, pb, 10) {
+		t.Errorf("fully staggered paths flagged")
+	}
+	// Far-apart paths never conflict.
+	pc := []grid.Cell{{X: 9, Y: 9}, {X: 9, Y: 8}}
+	if firstConflict(pa, 0, pc, 0) {
+		t.Errorf("distant paths flagged")
+	}
+}
+
+func TestDARoutingDeterministic(t *testing.T) {
+	a := assays.ProteinSplit(2, assays.DefaultTiming())
+	s := daSchedule(t, a, 15, 19)
+	r1, err := RouteDA(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RouteDA(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TotalCycles != r2.TotalCycles {
+		t.Errorf("non-deterministic DA routing: %d vs %d", r1.TotalCycles, r2.TotalCycles)
+	}
+}
+
+func TestFPPCRoutingDeterministic(t *testing.T) {
+	a := assays.ProteinSplit(2, assays.DefaultTiming())
+	s := fppcSchedule(t, a, 21)
+	r1, err := RouteFPPC(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RouteFPPC(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TotalCycles != r2.TotalCycles {
+		t.Errorf("non-deterministic FPPC routing: %d vs %d", r1.TotalCycles, r2.TotalCycles)
+	}
+	// Emitting a program must not change the cycle count.
+	r3, err := RouteFPPC(fppcSchedule(t, a, 21), Options{EmitProgram: true, RotationsPerStep: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.TotalCycles != r1.TotalCycles {
+		t.Errorf("program emission changed routing cycles: %d vs %d", r3.TotalCycles, r1.TotalCycles)
+	}
+}

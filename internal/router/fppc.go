@@ -1,0 +1,584 @@
+package router
+
+import (
+	"fmt"
+
+	"fppc/internal/arch"
+	"fppc/internal/dag"
+	"fppc/internal/grid"
+	"fppc/internal/pins"
+	"fppc/internal/scheduler"
+)
+
+// EventKind marks reservoir interactions in the emitted program.
+type EventKind int
+
+// Program events: droplets entering and leaving the array.
+const (
+	EvDispense EventKind = iota // droplet appears on the port cell
+	EvOutput                    // droplet is absorbed from the port cell
+)
+
+// Event is one reservoir action, aligned to a program cycle. The cycle
+// refers to the activation during which the action takes effect. Fluid
+// names the reservoir's fluid so the simulator can track solutes.
+type Event struct {
+	Cycle int
+	Kind  EventKind
+	Cell  grid.Cell
+	Fluid string
+}
+
+// fppcRouter carries the state of one routing run.
+//
+// Module occupancy is tracked per droplet id (-1 = empty). A droplet that
+// an operation produced in place (a mix result, a detect result, a split's
+// staying half) inherits its module implicitly; departures match either
+// the tracked occupant or a droplet whose producing operation is bound to
+// the module (see dropletPresent).
+type fppcRouter struct {
+	s    *scheduler.Schedule
+	chip *arch.Chip
+	opts Options
+
+	prog   *pins.Program
+	events []Event
+
+	mixHeld      []int // droplet id occupying the mix module, or -1
+	ssdHeld      []int
+	reserved     int // routing-buffer SSD index
+	bufferRelocs int
+
+	// splitAway maps a droplet produced by a split routed earlier in the
+	// same boundary to the bus cell where its half was left.
+	splitAway map[int]grid.Cell
+}
+
+// RouteFPPC routes every sub-problem of an FPPC schedule.
+func RouteFPPC(s *scheduler.Schedule, opts Options) (*Result, error) {
+	if s.Chip.Arch != arch.FPPC {
+		return nil, fmt.Errorf("router: RouteFPPC on %v chip", s.Chip.Arch)
+	}
+	r := &fppcRouter{
+		s:        s,
+		chip:     s.Chip,
+		opts:     opts,
+		mixHeld:  make([]int, len(s.Chip.MixModules)),
+		ssdHeld:  make([]int, len(s.Chip.SSDModules)),
+		reserved: len(s.Chip.SSDModules) - 1,
+	}
+	for i := range r.mixHeld {
+		r.mixHeld[i] = -1
+	}
+	for i := range r.ssdHeld {
+		r.ssdHeld[i] = -1
+	}
+	if opts.EmitProgram {
+		r.prog = &pins.Program{}
+	}
+	res := &Result{}
+
+	boundaries := s.Boundaries()
+	bi := 0
+	last := s.Makespan
+	if len(boundaries) > 0 && boundaries[len(boundaries)-1] > last {
+		last = boundaries[len(boundaries)-1]
+	}
+	for ts := 0; ts <= last; ts++ {
+		r.completeOps(ts)
+		if bi < len(boundaries) && boundaries[bi] == ts {
+			cycles, err := r.routeBoundary(ts)
+			if err != nil {
+				return nil, err
+			}
+			res.Boundaries = append(res.Boundaries, BoundaryResult{
+				TS: ts, Moves: len(s.MovesAt(ts)), Cycles: cycles,
+			})
+			res.TotalCycles += cycles
+			res.MoveCount += len(s.MovesAt(ts))
+			bi++
+		}
+		if opts.EmitProgram && ts < s.Makespan {
+			r.emitOpPhase(ts)
+		}
+	}
+	res.BufferReloc = r.bufferRelocs
+	res.Program = r.prog
+	if r.prog != nil {
+		res.Events = append(res.Events, r.events...)
+	}
+	return res, nil
+}
+
+// completeOps updates module occupancy for operations finishing at ts:
+// the inputs that arrived earlier are consumed and the operation's result
+// droplet now occupies the module. Splits are excluded — their results
+// are placed when the split itself is routed.
+func (r *fppcRouter) completeOps(ts int) {
+	for _, op := range r.s.Ops {
+		if op.End != ts || op.End == op.Start {
+			continue
+		}
+		if op.Loc.Kind != scheduler.LocMix && op.Loc.Kind != scheduler.LocSSD {
+			continue
+		}
+		for _, d := range r.s.Droplets {
+			if d.Producer == op.NodeID {
+				r.setHeld(op.Loc, d.ID)
+				break
+			}
+		}
+	}
+}
+
+// routeBoundary executes one sub-problem: moves are routed greedily in
+// the scheduler's emission order whenever their physical preconditions
+// hold (droplet present at the source, destination free or a legal
+// merge). The scheduler's own sequential construction guarantees such an
+// order exists for self-generated schedules; when it does not (an
+// externally built cyclic sub-problem, Figure 10), one blocked droplet is
+// relocated to temporary storage — the reserved buffer SSD first, then
+// any other free module (supplemental S3's generalization) — and the
+// sweep continues.
+func (r *fppcRouter) routeBoundary(ts int) (int, error) {
+	moves := r.s.MovesAt(ts)
+	r.splitAway = map[int]grid.Cell{}
+
+	// Away halves are routed inline right after their split; find them.
+	awayIdx := make([]int, len(moves)) // split move idx -> away move idx
+	isAway := make([]bool, len(moves))
+	for i := range awayIdx {
+		awayIdx[i] = -1
+	}
+	for i := range moves {
+		if moves[i].Kind != scheduler.MoveSplit {
+			continue
+		}
+		for j := range moves {
+			if j != i && moves[j].Droplet == moves[i].Away {
+				awayIdx[i] = j
+				isAway[j] = true
+				break
+			}
+		}
+	}
+
+	cycles := 0
+	done := make([]bool, len(moves))
+	remaining := len(moves)
+	routeIdx := func(idx int) error {
+		c, err := r.routeOne(ts, moves[idx])
+		if err != nil {
+			return err
+		}
+		cycles += c
+		done[idx] = true
+		remaining--
+		if j := awayIdx[idx]; j >= 0 && !done[j] {
+			c, err := r.routeOne(ts, moves[j])
+			if err != nil {
+				return err
+			}
+			cycles += c
+			done[j] = true
+			remaining--
+		}
+		return nil
+	}
+	ready := func(idx int) bool {
+		m := moves[idx]
+		if done[idx] || isAway[idx] {
+			return false
+		}
+		if !r.dropletPresent(ts, m, moves, done) || !r.destinationClear(ts, m, moves, done) {
+			return false
+		}
+		// A split additionally needs its away half's first hop to be
+		// executable, because the half cannot wait on the bus.
+		if j := awayIdx[idx]; j >= 0 && !done[j] && !r.destinationClear(ts, moves[j], moves, done) {
+			return false
+		}
+		return true
+	}
+
+	relocations := 0
+	for remaining > 0 {
+		progressed := false
+		for idx := range moves {
+			if ready(idx) {
+				if err := routeIdx(idx); err != nil {
+					return 0, err
+				}
+				progressed = true
+			}
+		}
+		if progressed {
+			continue
+		}
+		// Deadlock (Figure 10): every pending move's destination is
+		// blocked. Relocate one present-but-blocked droplet whose source
+		// some other pending move needs; vacating it unblocks that
+		// dependent. Bounded to rule out relocation ping-pong.
+		relocations++
+		if relocations > len(moves)+1 {
+			return 0, fmt.Errorf("router: boundary %d: unresolvable routing dependencies (%d moves stuck after %d relocations)",
+				ts, remaining, relocations-1)
+		}
+		idx := -1
+		for i := range moves {
+			if done[i] || isAway[i] || !r.dropletPresent(ts, moves[i], moves, done) {
+				continue
+			}
+			wanted := false
+			for j := range moves {
+				if j != i && !done[j] && locKey(moves[j].To) == locKey(moves[i].From) {
+					wanted = true
+					break
+				}
+			}
+			if wanted {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return 0, fmt.Errorf("router: boundary %d: unresolvable routing dependencies (%d moves stuck)", ts, remaining)
+		}
+		m := &moves[idx]
+		bufLoc, ok := r.tempStorage(moves, done)
+		if !ok {
+			return 0, routeError(ts, *m, "no free module for temporary storage while breaking intersecting cycles")
+		}
+		c, err := r.routeOne(ts, scheduler.Move{
+			TS: ts, Droplet: m.Droplet, Kind: scheduler.MoveStore, From: m.From, To: bufLoc, NodeID: -1, Away: -1,
+		})
+		if err != nil {
+			return 0, err
+		}
+		cycles += c
+		r.bufferRelocs++
+		m.From = bufLoc
+	}
+	return cycles, nil
+}
+
+// dropletPresent reports whether the move's droplet is physically at its
+// source: waiting on the bus after a split, tracked as the module's
+// occupant, produced in place by the operation bound there, or parked at
+// a reservoir port.
+func (r *fppcRouter) dropletPresent(ts int, m scheduler.Move, moves []scheduler.Move, done []bool) bool {
+	if _, onBus := r.splitAway[m.Droplet]; onBus {
+		return true
+	}
+	prod := r.s.Ops[r.s.Droplets[m.Droplet].Producer]
+	switch m.From.Kind {
+	case scheduler.LocReservoir:
+		return prod.End <= ts
+	case scheduler.LocMix, scheduler.LocSSD:
+		if r.heldAt(m.From) == m.Droplet {
+			return true
+		}
+		// Born in place by the operation bound to this module. A split
+		// executing in this very boundary counts only once routed (its
+		// stay half is then the tracked occupant).
+		if prod.Loc == m.From && prod.End <= ts {
+			if r.s.Assay.Node(prod.NodeID).Kind == dag.Split && prod.Start == ts {
+				return false // handled via heldAt once the split routes
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// destinationClear reports whether the move may arrive: an empty module,
+// a merge into the mix operation consuming both droplets, or an output
+// port (always absorbing). Besides the tracked occupant, a module also
+// counts as occupied while a pending move's droplet sits there by birth
+// (it was produced in place and has not been routed out yet).
+func (r *fppcRouter) destinationClear(ts int, m scheduler.Move, moves []scheduler.Move, done []bool) bool {
+	switch m.To.Kind {
+	case scheduler.LocOutput:
+		return true
+	case scheduler.LocMix, scheduler.LocSSD:
+		occ := r.heldAt(m.To)
+		if occ == -1 {
+			for j := range moves {
+				if done[j] || moves[j].Droplet == m.Droplet {
+					continue
+				}
+				if locKey(moves[j].From) == locKey(m.To) && r.dropletPresent(ts, moves[j], moves, done) {
+					occ = moves[j].Droplet
+					break
+				}
+			}
+		}
+		if occ == -1 || occ == m.Droplet {
+			return true
+		}
+		if m.To.Kind == scheduler.LocMix && m.Kind == scheduler.MoveConsume &&
+			m.NodeID >= 0 && r.s.Droplets[occ].Consumer == m.NodeID {
+			return true // deliberate merge for the same mix operation
+		}
+		return false
+	}
+	return false
+}
+
+// tempStorage picks a module for a Figure-10 relocation: the reserved
+// buffer SSD first, then (for SCCs with multiple intersecting cycles, per
+// supplemental S3) any other module that neither holds a droplet nor is
+// the destination of a pending move in this sub-problem.
+func (r *fppcRouter) tempStorage(moves []scheduler.Move, done []bool) (scheduler.Location, bool) {
+	targeted := func(l scheduler.Location) bool {
+		for i, m := range moves {
+			if !done[i] && locKey(m.To) == locKey(l) {
+				return true
+			}
+		}
+		return false
+	}
+	if r.ssdHeld[r.reserved] == -1 {
+		return scheduler.Location{Kind: scheduler.LocSSD, Index: r.reserved}, true
+	}
+	for s := range r.ssdHeld {
+		l := scheduler.Location{Kind: scheduler.LocSSD, Index: s}
+		if r.ssdHeld[s] == -1 && !targeted(l) {
+			return l, true
+		}
+	}
+	for k := range r.mixHeld {
+		l := scheduler.Location{Kind: scheduler.LocMix, Index: k}
+		if r.mixHeld[k] == -1 && !targeted(l) {
+			return l, true
+		}
+	}
+	return scheduler.Location{}, false
+}
+
+// busCellOK reports whether the cell is a transport-bus electrode.
+func (r *fppcRouter) busCellOK(c grid.Cell) bool {
+	e := r.chip.ElectrodeAt(c)
+	return e != nil && (e.Kind == arch.BusH || e.Kind == arch.BusV)
+}
+
+// moduleOf resolves a module location.
+func (r *fppcRouter) moduleOf(l scheduler.Location) *arch.Module {
+	switch l.Kind {
+	case scheduler.LocMix:
+		return r.chip.MixModules[l.Index]
+	case scheduler.LocSSD:
+		return r.chip.SSDModules[l.Index]
+	}
+	return nil
+}
+
+// routeOne routes a single droplet and returns its cycle count. When
+// program emission is on, it appends the corresponding activations.
+func (r *fppcRouter) routeOne(ts int, m scheduler.Move) (int, error) {
+	cycles := 0
+
+	// Phase 1: bring the droplet onto a bus cell.
+	var cur grid.Cell
+	switch m.From.Kind {
+	case scheduler.LocReservoir:
+		port := r.chip.Ports[m.From.Index]
+		cur = port.Cell
+		r.event(EvDispense, cur, port.Fluid)
+		r.emit(r.pinOf(cur))
+		cycles++
+	case scheduler.LocMix, scheduler.LocSSD:
+		if away, ok := r.splitAway[m.Droplet]; ok {
+			// Second half of a split executed this boundary: it is
+			// already waiting on the bus next to the split SSD.
+			cur = away
+			delete(r.splitAway, m.Droplet)
+			break
+		}
+		mod := r.moduleOf(m.From)
+		r.setHeld(m.From, -1)
+		// Exit sequence: hold -> IO -> bus (section 3.1 reversed entry).
+		r.emit(r.pinOf(mod.IO))
+		r.emit(r.pinOf(mod.Bus))
+		cycles += 2
+		cur = mod.Bus
+	default:
+		return 0, routeError(ts, m, "cannot route from %v", m.From)
+	}
+
+	// Phase 2: transport along the buses to the destination's bus cell.
+	var busDst grid.Cell
+	var enter func()
+	switch m.To.Kind {
+	case scheduler.LocOutput:
+		outPort := r.chip.Ports[nearestOutputPort(r.chip, m.To.Index, cur)]
+		busDst = outPort.Cell
+		enter = func() {
+			r.event(EvOutput, busDst, outPort.Fluid)
+			r.emit() // all transport pins low; the reservoir absorbs
+			cycles++
+		}
+	case scheduler.LocMix, scheduler.LocSSD:
+		mod := r.moduleOf(m.To)
+		busDst = mod.Bus
+		if m.Kind == scheduler.MoveSplit {
+			enter = func() {
+				// Figure 8: stretch over bus+IO, then split to hold+bus.
+				r.emit(r.pinOf(busDst), r.pinOf(mod.IO))
+				r.emit(r.pinOf(busDst), r.pinOf(mod.Hold))
+				cycles += 2
+				// The staying half becomes the module's occupant; the
+				// away half waits on the bus.
+				r.setHeld(m.To, stayDroplet(r.s, m.NodeID, m.Away))
+				if m.Away >= 0 {
+					r.splitAway[m.Away] = busDst
+				}
+			}
+		} else {
+			enter = func() {
+				// Entry sequence: bus -> IO -> hold.
+				r.emit(r.pinOf(mod.IO))
+				r.emit(r.pinOf(mod.Hold))
+				cycles += 2
+				r.setHeld(m.To, m.Droplet)
+			}
+		}
+	default:
+		return 0, routeError(ts, m, "cannot route to %v", m.To)
+	}
+
+	path := bfsPath(cur, busDst, r.busCellOK)
+	if path == nil {
+		return 0, routeError(ts, m, "no bus path from %v to %v", cur, busDst)
+	}
+	for _, step := range path[1:] {
+		r.emit(r.pinOf(step))
+		cycles++
+	}
+	enter()
+	return cycles, nil
+}
+
+// stayDroplet returns the split output that remains stored (the one that
+// is not the away half).
+func stayDroplet(s *scheduler.Schedule, splitNode, away int) int {
+	for _, d := range s.Droplets {
+		if d.Producer == splitNode && d.ID != away {
+			return d.ID
+		}
+	}
+	return -1
+}
+
+// heldAt returns the droplet occupying the module location, or -1.
+func (r *fppcRouter) heldAt(l scheduler.Location) int {
+	switch l.Kind {
+	case scheduler.LocMix:
+		return r.mixHeld[l.Index]
+	case scheduler.LocSSD:
+		return r.ssdHeld[l.Index]
+	}
+	return -1
+}
+
+// setHeld updates module occupancy.
+func (r *fppcRouter) setHeld(l scheduler.Location, droplet int) {
+	switch l.Kind {
+	case scheduler.LocMix:
+		r.mixHeld[l.Index] = droplet
+	case scheduler.LocSSD:
+		r.ssdHeld[l.Index] = droplet
+	}
+}
+
+// pinOf returns the control pin of a cell (which must be an electrode).
+func (r *fppcRouter) pinOf(c grid.Cell) int {
+	e := r.chip.ElectrodeAt(c)
+	if e == nil {
+		panic(fmt.Sprintf("router: no electrode at %v", c))
+	}
+	return e.Pin
+}
+
+// emit appends one program cycle: the given pins plus the hold pins of
+// every occupied module (the paper keeps holds energized during routing).
+func (r *fppcRouter) emit(actPins ...int) {
+	if r.prog == nil {
+		return
+	}
+	all := append([]int{}, actPins...)
+	all = append(all, r.holdPins()...)
+	r.prog.Append(all...)
+}
+
+// holdPins lists the hold pins of occupied modules.
+func (r *fppcRouter) holdPins() []int {
+	var out []int
+	for k, held := range r.mixHeld {
+		if held >= 0 {
+			out = append(out, r.pinOf(r.chip.MixModules[k].Hold))
+		}
+	}
+	for k, held := range r.ssdHeld {
+		if held >= 0 {
+			out = append(out, r.pinOf(r.chip.SSDModules[k].Hold))
+		}
+	}
+	return out
+}
+
+// event records a reservoir action at the next emitted cycle.
+func (r *fppcRouter) event(kind EventKind, cell grid.Cell, fluid string) {
+	if r.prog == nil {
+		return
+	}
+	r.events = append(r.events, Event{Cycle: r.prog.Len(), Kind: kind, Cell: cell, Fluid: fluid})
+}
+
+// emitOpPhase appends the operation-phase cycles for time-step ts: when a
+// mix operation is active, the shared loop pins rotate every mix-module
+// droplet in lockstep (section 3.1.3); otherwise a single hold cycle.
+func (r *fppcRouter) emitOpPhase(ts int) {
+	mixing := false
+	for _, op := range r.s.Ops {
+		if r.s.Assay.Node(op.NodeID).Kind == dag.Mix && op.Start <= ts && ts < op.End {
+			mixing = true
+			break
+		}
+	}
+	if !mixing || r.opts.RotationsPerStep == 0 {
+		r.emit()
+		return
+	}
+	loop := r.chip.MixModules[0].LoopCells()
+	for n := 0; n < r.opts.RotationsPerStep; n++ {
+		// Seven shared loop positions, then back onto the hold pins. The
+		// hold step uses every mix module's hold pin so all rotating
+		// droplets re-park simultaneously.
+		for _, cell := range loop[1:] {
+			r.emitRotation(r.pinOf(cell))
+		}
+		var holds []int
+		for k := range r.chip.MixModules {
+			if r.mixHeld[k] >= 0 {
+				holds = append(holds, r.pinOf(r.chip.MixModules[k].Hold))
+			}
+		}
+		r.emitRotation(holds...)
+	}
+}
+
+// emitRotation is emit() but with mix-module hold pins suppressed (the
+// rotating droplets must follow the loop pins, not stick to their holds).
+func (r *fppcRouter) emitRotation(actPins ...int) {
+	if r.prog == nil {
+		return
+	}
+	all := append([]int{}, actPins...)
+	for k, held := range r.ssdHeld {
+		if held >= 0 {
+			all = append(all, r.pinOf(r.chip.SSDModules[k].Hold))
+		}
+	}
+	r.prog.Append(all...)
+}

@@ -1,0 +1,156 @@
+// Package router implements the paper's droplet routing stage (section
+// 4.3 and supplemental S3) for both architectures.
+//
+// The FPPC router realizes each routing sub-problem sequentially: one
+// droplet at a time travels the 3-phase transport buses between modules,
+// entering and exiting through dedicated I/O electrodes. Before routing,
+// the droplet dependency graph is built (edge Dx->Dy when Dx's
+// destination is Dy's current location), strongly connected components
+// are broken by relocating one droplet to the reserved routing-buffer SSD
+// (Figure 10), and the remaining moves execute in reverse topological
+// order.
+//
+// The DA router routes droplets concurrently on the fully addressable
+// array, avoiding occupied module halos, resolving droplet-droplet
+// conflicts with start-time stalls; a sub-problem costs the longest
+// individual route rather than the sum.
+package router
+
+import (
+	"fmt"
+
+	"fppc/internal/arch"
+	"fppc/internal/grid"
+	"fppc/internal/pins"
+	"fppc/internal/scheduler"
+)
+
+// CycleSeconds is the duration of one electrode actuation cycle: 10 ms at
+// the 100 Hz actuation rate of supplemental S2.
+const CycleSeconds = 0.01
+
+// Options control routing.
+type Options struct {
+	// EmitProgram additionally produces the per-cycle pin activation
+	// program (FPPC only), including the operation-phase hold/rotation
+	// cycles, so the electrode-level simulator can replay the assay.
+	EmitProgram bool
+	// RotationsPerStep is the number of full mixer-loop rotations emitted
+	// per time-step in the program's operation phases. The physical chip
+	// runs ~12 (100 cycles at 8 activations per lap); tests use fewer to
+	// keep programs small. Zero means one idle hold cycle per time-step.
+	RotationsPerStep int
+}
+
+// BoundaryResult reports one routing sub-problem.
+type BoundaryResult struct {
+	TS     int
+	Moves  int
+	Cycles int
+}
+
+// Result is the routing outcome for a whole schedule.
+type Result struct {
+	Boundaries  []BoundaryResult
+	TotalCycles int
+	// MoveCount is the number of droplet transfers routed (including
+	// deadlock-buffer relocations).
+	MoveCount int
+	// BufferReloc counts droplets temporarily parked in the reserved SSD
+	// to break cyclic routing dependencies (none occur on the paper's
+	// benchmarks; see supplemental S3).
+	BufferReloc int
+	Program     *pins.Program // non-nil when Options.EmitProgram
+	Events      []Event       // reservoir actions aligned to program cycles
+}
+
+// Seconds returns the total routing time in seconds.
+func (r *Result) Seconds() float64 { return float64(r.TotalCycles) * CycleSeconds }
+
+// MeanCyclesPerMove reports the average droplet transfer cost — for the
+// sequential FPPC router this is the mean route length plus module I/O
+// overhead, the quantity that explains routing-time differences between
+// architectures and port placements.
+func (r *Result) MeanCyclesPerMove() float64 {
+	if r.MoveCount == 0 {
+		return 0
+	}
+	return float64(r.TotalCycles) / float64(r.MoveCount)
+}
+
+// locKey canonicalizes a location for dependency analysis: DA storage
+// slots within one module share the key because their halos interact.
+func locKey(l scheduler.Location) scheduler.Location {
+	l.Slot = 0
+	return l
+}
+
+// routeError wraps routing failures with context.
+func routeError(ts int, m scheduler.Move, msg string, args ...any) error {
+	return fmt.Errorf("router: boundary %d, droplet %d (%v %v->%v): %s",
+		ts, m.Droplet, m.Kind, m.From, m.To, fmt.Sprintf(msg, args...))
+}
+
+// bfsPath returns the shortest path (inclusive of both endpoints) from a
+// to b over the cells for which ok returns true. Returns nil when
+// unreachable. Deterministic: neighbours expand in grid.Dirs order.
+func bfsPath(a, b grid.Cell, ok func(grid.Cell) bool) []grid.Cell {
+	if a == b {
+		return []grid.Cell{a}
+	}
+	prev := map[grid.Cell]grid.Cell{a: a}
+	queue := []grid.Cell{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, n := range cur.Neighbors4() {
+			if _, seen := prev[n]; seen || !ok(n) {
+				continue
+			}
+			prev[n] = cur
+			if n == b {
+				var path []grid.Cell
+				for c := b; ; c = prev[c] {
+					path = append(path, c)
+					if c == a {
+						break
+					}
+				}
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			queue = append(queue, n)
+		}
+	}
+	return nil
+}
+
+// nearestOutputPort returns the chip port index of the output port for
+// the given fluid closest (Manhattan) to the droplet's current cell,
+// falling back to the scheduler's original choice.
+func nearestOutputPort(c *arch.Chip, original int, from grid.Cell) int {
+	fluid := c.Ports[original].Fluid
+	best, bestDist := original, 1<<30
+	for i, p := range c.Ports {
+		if p.Input || p.Fluid != fluid {
+			continue
+		}
+		if d := grid.Manhattan(from, p.Cell); d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+// Route dispatches on the schedule's chip architecture.
+func Route(s *scheduler.Schedule, opts Options) (*Result, error) {
+	switch s.Chip.Arch {
+	case arch.FPPC:
+		return RouteFPPC(s, opts)
+	case arch.DirectAddressing:
+		return RouteDA(s, opts)
+	}
+	return nil, fmt.Errorf("router: unknown architecture %v", s.Chip.Arch)
+}

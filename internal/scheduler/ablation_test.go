@@ -1,0 +1,130 @@
+package scheduler
+
+import (
+	"testing"
+
+	"fppc/internal/arch"
+	"fppc/internal/assays"
+)
+
+// BenchmarkPolicyAblation quantifies the FPPC scheduler's three policy
+// ingredients (DESIGN.md design choices) on Protein Split 4: depth-first
+// ready ordering, just-in-time dispensing and the fan-out throttle.
+// Reported metrics: schedule makespan (seconds) and peak concurrent
+// storage (droplets). The full policy holds storage near the chip's SSD
+// count at no makespan cost; each ablation either explodes storage (and
+// forces a larger array) or slows execution.
+func BenchmarkPolicyAblation(b *testing.B) {
+	a := assays.ProteinSplit(4, assays.DefaultTiming())
+	variants := []struct {
+		name string
+		pol  policy
+	}{
+		{"full", fppcPolicy},
+		{"no-depth-order", policy{depthOrder: false, jitDispense: true, gateExpansion: true}},
+		{"no-fanout-gate", policy{depthOrder: true, jitDispense: true, gateExpansion: false}},
+		{"classic-list", policy{}},
+		// no-jit-dispense is absent: without just-in-time dispensing the
+		// reservoirs flood the chip and Protein Split 4 cannot be
+		// scheduled at any practical array size (TestJITDispenseRequired).
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			saved := fppcPolicy
+			fppcPolicy = v.pol
+			defer func() { fppcPolicy = saved }()
+
+			var s *Schedule
+			for i := 0; i < b.N; i++ {
+				// Grow the chip until the variant schedules, as the bench
+				// harness does; ablations that blow up storage need much
+				// taller arrays.
+				h := 21
+				for {
+					chip, err := arch.NewFPPC(h)
+					if err != nil {
+						b.Fatal(err)
+					}
+					placeFor(b, chip, a)
+					sc, err := ScheduleFPPC(a, chip)
+					if err == nil {
+						s = sc
+						break
+					}
+					h += 2
+					if h > 400 {
+						b.Fatalf("variant %s never fits", v.name)
+					}
+				}
+			}
+			b.ReportMetric(float64(s.Makespan), "makespan-s")
+			b.ReportMetric(float64(s.PeakStored), "peak-stored")
+			b.ReportMetric(float64(s.Chip.H), "chip-height")
+		})
+	}
+}
+
+// TestPolicyAblationShapes pins the qualitative claims the benchmark
+// numbers support, so regressions in either direction fail loudly.
+func TestPolicyAblationShapes(t *testing.T) {
+	a := assays.ProteinSplit(4, assays.DefaultTiming())
+	run := func(pol policy) (*Schedule, int) {
+		saved := fppcPolicy
+		fppcPolicy = pol
+		defer func() { fppcPolicy = saved }()
+		h := 21
+		for {
+			chip, err := arch.NewFPPC(h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			placeFor(t, chip, a)
+			s, err := ScheduleFPPC(a, chip)
+			if err == nil {
+				return s, h
+			}
+			h += 2
+			if h > 400 {
+				t.Fatalf("never fits")
+			}
+		}
+	}
+	full, fullH := run(fppcPolicy)
+	classic, classicH := run(policy{})
+	if fullH > 21 {
+		t.Errorf("full policy needs 12x%d, want the paper's 12x21", fullH)
+	}
+	if classicH <= fullH {
+		t.Errorf("classic list scheduling fits 12x%d, expected to need a larger array than 12x%d",
+			classicH, fullH)
+	}
+	if classic.PeakStored <= full.PeakStored {
+		t.Errorf("classic peak storage %d not above full policy's %d",
+			classic.PeakStored, full.PeakStored)
+	}
+	// The storage frugality must not cost meaningful makespan.
+	if float64(full.Makespan) > 1.15*float64(classic.Makespan) {
+		t.Errorf("full policy makespan %d vs classic %d: too slow", full.Makespan, classic.Makespan)
+	}
+}
+
+// TestJITDispenseRequired documents that just-in-time dispensing is
+// load-bearing: without it, reservoirs pump reagents onto the chip far
+// ahead of their consumers and Protein Split 4 exhausts storage on every
+// array up to 12x61.
+func TestJITDispenseRequired(t *testing.T) {
+	saved := fppcPolicy
+	fppcPolicy = policy{depthOrder: true, jitDispense: false, gateExpansion: true}
+	defer func() { fppcPolicy = saved }()
+	a := assays.ProteinSplit(4, assays.DefaultTiming())
+	for h := 21; h <= 61; h += 10 {
+		chip, err := arch.NewFPPC(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		placeFor(t, chip, a)
+		if _, err := ScheduleFPPC(a, chip); err == nil {
+			t.Fatalf("Protein Split 4 scheduled at 12x%d without JIT dispensing; expected failure", h)
+		}
+	}
+}

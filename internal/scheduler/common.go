@@ -1,0 +1,398 @@
+package scheduler
+
+import (
+	"fmt"
+
+	"fppc/internal/arch"
+	"fppc/internal/dag"
+)
+
+// policy selects the scheduling heuristics. The FPPC scheduler uses the
+// storage-frugal policy the paper's architecture depends on (section 4.1:
+// stored droplets never migrate, splits convert to stores, storage stays
+// near the chip's SSD capacity); the DA baseline [3] is a classic list
+// scheduler that expands the DAG breadth-first and relies on
+// consolidation, which is what generates its extra storage routing on the
+// protein benchmarks (section 5.1).
+type policy struct {
+	// depthOrder ranks ready operations deepest-first (finish in-flight
+	// chains before opening new ones) instead of by classic longest
+	// remaining path.
+	depthOrder bool
+	// jitDispense gates dispenses until their consumer's other inputs are
+	// underway, so reagents are not pumped into storage early.
+	jitDispense bool
+	// gateExpansion throttles droplet-multiplying dispenses to two in
+	// flight, bounding concurrent storage near the DAG depth.
+	gateExpansion bool
+}
+
+// fppcPolicy and daPolicy are the per-architecture heuristic sets. The DA
+// baseline shares the storage-frugal admission policy (its published
+// flow also treats storage as a first-class resource); what
+// differentiates it is consolidation — stored droplets migrate between
+// modules to free capacity, which the FPPC flow never does (section 4.1).
+var (
+	fppcPolicy = policy{depthOrder: true, jitDispense: true, gateExpansion: true}
+	daPolicy   = policy{depthOrder: true, jitDispense: true, gateExpansion: true}
+)
+
+// base carries the architecture-independent scheduling state: droplet
+// tracking, reservoir ports, priorities and move emission.
+type base struct {
+	assay *dag.Assay
+	chip  *arch.Chip
+	es    *edgeSet
+	pol   policy
+	prio  []int
+	order []int // node ids sorted by policy priority (stable by id)
+
+	ops     []BoundOp
+	started []bool
+	done    []bool
+	doneCnt int
+	moves   []Move
+
+	// Input ports: index into chip.Ports. A port is unavailable while a
+	// dispense is in progress or while its finished droplet waits to be
+	// consumed — that is what serializes same-fluid dispenses.
+	inPorts    map[string][]int
+	portBusyTo []int // per chip port (inputs only meaningful)
+	portParked []int // droplet id parked at the port, or -1
+
+	outPort map[string]int // fluid -> chip port index (with fallback)
+
+	expansion []bool // per node: dispense that multiplies live droplets
+
+	// expansionSplit maps an expansion dispense to the split that will
+	// eventually consume the storage it commits; inFlightExpansion counts
+	// dispenses admitted whose split has not yet executed, each of which
+	// will need up to two storage slots.
+	expansionSplit    []int
+	splitInFlight     []int // per split node: admitted-but-unsplit dispenses
+	inFlightExpansion int
+
+	storedNow    int
+	peakStored   int
+	storageMoves int
+}
+
+func newBase(a *dag.Assay, chip *arch.Chip, pol policy) (*base, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	b := &base{
+		assay:      a,
+		chip:       chip,
+		pol:        pol,
+		es:         newEdgeSet(a),
+		prio:       priorities(a),
+		ops:        make([]BoundOp, a.Len()),
+		started:    make([]bool, a.Len()),
+		done:       make([]bool, a.Len()),
+		inPorts:    map[string][]int{},
+		portBusyTo: make([]int, len(chip.Ports)),
+		portParked: make([]int, len(chip.Ports)),
+		outPort:    map[string]int{},
+	}
+	for i := range b.ops {
+		b.ops[i] = BoundOp{NodeID: i, Start: -1, End: -1}
+	}
+	for i := range b.portParked {
+		b.portParked[i] = -1
+	}
+	firstOut := -1
+	for i, p := range chip.Ports {
+		if p.Input {
+			b.inPorts[p.Fluid] = append(b.inPorts[p.Fluid], i)
+		} else {
+			if firstOut < 0 {
+				firstOut = i
+			}
+			if _, dup := b.outPort[p.Fluid]; !dup {
+				b.outPort[p.Fluid] = i
+			}
+		}
+	}
+	// Check every fluid has ports before scheduling starts.
+	for _, n := range a.Nodes {
+		switch n.Kind {
+		case dag.Dispense:
+			if len(b.inPorts[n.Fluid]) == 0 {
+				return nil, fmt.Errorf("scheduler: no input port for fluid %q on %s", n.Fluid, chip.Name)
+			}
+		case dag.Output:
+			if _, ok := b.outPort[n.Fluid]; !ok {
+				if firstOut < 0 {
+					return nil, fmt.Errorf("scheduler: no output ports on %s", chip.Name)
+				}
+				b.outPort[n.Fluid] = firstOut
+			}
+		}
+	}
+	b.order = make([]int, a.Len())
+	for i := range b.order {
+		b.order[i] = i
+	}
+	if pol.depthOrder {
+		// Ready operations are considered deepest-first (largest ASAP
+		// finish time first): droplet chains already in flight are driven
+		// to completion before new chains are opened. Combined with
+		// just-in-time dispensing (see ready), this keeps the number of
+		// concurrently stored droplets near the assay's path depth
+		// instead of its width — which is what lets Protein Split 3 run
+		// with ~6 stored droplets (paper section 5.2) rather than one per
+		// branch. Ties break by node id for determinism.
+		sortByDepthDesc(b.order, asapFinish(a))
+	} else {
+		// Classic list scheduling: longest remaining duration path first.
+		sortByDepthDesc(b.order, b.prio)
+	}
+	b.expansion = expansionDispenses(a)
+	b.expansionSplit = make([]int, a.Len())
+	b.splitInFlight = make([]int, a.Len())
+	for i := range b.expansionSplit {
+		b.expansionSplit[i] = -1
+	}
+	for _, n := range a.Nodes {
+		if !b.expansion[n.ID] {
+			continue
+		}
+		consumer := a.Node(n.Children[0])
+		if consumer.Kind == dag.Split {
+			b.expansionSplit[n.ID] = consumer.ID
+			continue
+		}
+		for _, gc := range consumer.Children {
+			if a.Node(gc).Kind == dag.Split {
+				b.expansionSplit[n.ID] = gc
+				break
+			}
+		}
+	}
+	return b, nil
+}
+
+// expansionAdmissible decides whether a droplet-multiplying dispense may
+// start: expansions are strictly serialized (at most one split's worth of
+// droplets in flight), which combined with deepest-first ordering drives
+// the fan-out depth-first and bounds concurrent storage near the DAG's
+// depth. A dispense whose partner (feeding the same split) has already
+// been admitted must always proceed, or the pair deadlocks.
+func (b *base) expansionAdmissible(dispenseID int, freeStorage int) bool {
+	if !b.pol.gateExpansion || !b.expansion[dispenseID] {
+		return true
+	}
+	sp := b.expansionSplit[dispenseID]
+	if sp >= 0 && b.splitInFlight[sp] > 0 {
+		return true // partner already committed
+	}
+	return b.inFlightExpansion < 2 && freeStorage >= 2+2*b.inFlightExpansion
+}
+
+// noteExpansionStart records that an admitted dispense has committed
+// future storage; noteSplitDone releases the commitment.
+func (b *base) noteExpansionStart(dispenseID int) {
+	if sp := b.expansionSplit[dispenseID]; sp >= 0 {
+		b.splitInFlight[sp]++
+		b.inFlightExpansion++
+	}
+}
+
+func (b *base) noteSplitDone(splitID int) {
+	if n := b.splitInFlight[splitID]; n > 0 {
+		b.splitInFlight[splitID] = 0
+		b.inFlightExpansion -= n
+	}
+}
+
+// expansionDispenses marks the dispenses that increase the chip's live
+// droplet census: those feeding an operation whose split child multiplies
+// droplets without returning one off-chip (no output among the split's
+// children). The schedulers throttle these when storage headroom is low,
+// which bounds concurrent storage near the chip's capacity instead of the
+// assay's width while keeping the dispense ports saturated.
+func expansionDispenses(a *dag.Assay) []bool {
+	out := make([]bool, a.Len())
+	isExpandingSplit := func(id int) bool {
+		n := a.Node(id)
+		if n.Kind != dag.Split {
+			return false
+		}
+		for _, c := range n.Children {
+			if a.Node(c).Kind == dag.Output {
+				return false
+			}
+		}
+		return true
+	}
+	for _, n := range a.Nodes {
+		if n.Kind != dag.Dispense || len(n.Children) != 1 {
+			continue
+		}
+		consumer := n.Children[0]
+		if isExpandingSplit(consumer) {
+			out[n.ID] = true
+			continue
+		}
+		for _, gc := range a.Node(consumer).Children {
+			if isExpandingSplit(gc) {
+				out[n.ID] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// asapFinish computes each node's earliest possible finish time on
+// unlimited resources — the depth metric the ready order uses.
+func asapFinish(a *dag.Assay) []int {
+	order, err := a.TopologicalOrder()
+	if err != nil {
+		panic(fmt.Sprintf("scheduler: %v", err)) // callers validate first
+	}
+	fin := make([]int, a.Len())
+	for _, id := range order {
+		n := a.Nodes[id]
+		start := 0
+		for _, p := range n.Parents {
+			if fin[p] > start {
+				start = fin[p]
+			}
+		}
+		fin[id] = start + n.Duration
+	}
+	// A dispense is a DAG source, so its own ASAP depth says nothing about
+	// how far along the chain it feeds is. Rank it by its consumer's depth
+	// so late-stage reagent dispenses outrank chain-opening ones.
+	for _, n := range a.Nodes {
+		if n.Kind != dag.Dispense {
+			continue
+		}
+		for _, c := range n.Children {
+			if fin[c] > fin[n.ID] {
+				fin[n.ID] = fin[c]
+			}
+		}
+	}
+	return fin
+}
+
+// sortByDepthDesc stable-sorts ids by descending depth then ascending id.
+func sortByDepthDesc(ids []int, depth []int) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0; j-- {
+			x, y := ids[j-1], ids[j]
+			if depth[x] > depth[y] || (depth[x] == depth[y] && x < y) {
+				break
+			}
+			ids[j-1], ids[j] = y, x
+		}
+	}
+}
+
+// ready reports whether the node can be considered for starting.
+// Dispenses are additionally gated just-in-time: a dispense only runs
+// once every non-dispense input of its consumer is already underway, so
+// reagent droplets are not pumped onto the chip (and into storage) long
+// before the droplet they will combine with exists.
+func (b *base) ready(node int) bool {
+	if b.started[node] {
+		return false
+	}
+	n := b.assay.Node(node)
+	for _, p := range n.Parents {
+		if !b.done[p] {
+			return false
+		}
+	}
+	if !b.es.inputsParked(node) {
+		return false
+	}
+	if b.pol.jitDispense && n.Kind == dag.Dispense && len(n.Children) == 1 {
+		consumer := b.assay.Node(n.Children[0])
+		for _, p := range consumer.Parents {
+			sib := b.assay.Node(p)
+			if sib.ID != node && sib.Kind != dag.Dispense && !b.startedOrImminent(p) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// startedOrImminent reports whether the node is underway, or is an
+// instantaneous node (split/output) whose own inputs are all underway —
+// in which case it will fire as soon as its parents finish. Dispenses
+// gate on this rather than on strict starts so a 7 s dispense can overlap
+// the 3 s mix that precedes its consumer, keeping the ports saturated.
+func (b *base) startedOrImminent(node int) bool {
+	if b.started[node] {
+		return true
+	}
+	n := b.assay.Node(node)
+	if n.Duration != 0 {
+		return false
+	}
+	for _, p := range n.Parents {
+		if !b.startedOrImminent(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// emitMove records a droplet transfer and updates the droplet location.
+func (b *base) emitMove(ts int, d *droplet, kind MoveKind, to Location, nodeID int) {
+	b.moves = append(b.moves, Move{TS: ts, Droplet: d.id, Kind: kind, From: d.loc, To: to, NodeID: nodeID, Away: -1})
+	d.loc = to
+	if kind == MoveStore {
+		b.storageMoves++
+	}
+}
+
+// freeInputPort returns an available port index for the fluid, or -1.
+func (b *base) freeInputPort(fluid string, t int) int {
+	for _, pi := range b.inPorts[fluid] {
+		if b.portBusyTo[pi] <= t && b.portParked[pi] == -1 {
+			return pi
+		}
+	}
+	return -1
+}
+
+// noteStored adjusts the live storage census used for PeakStored.
+func (b *base) noteStored(delta int) {
+	b.storedNow += delta
+	if b.storedNow > b.peakStored {
+		b.peakStored = b.storedNow
+	}
+}
+
+// finishSchedule assembles the Schedule after the main loop.
+func (b *base) finishSchedule() *Schedule {
+	makespan := 0
+	for _, op := range b.ops {
+		if op.End > makespan {
+			makespan = op.End
+		}
+	}
+	drops := make([]DropletRef, len(b.es.drops))
+	for i, d := range b.es.drops {
+		drops[i] = DropletRef{ID: d.id, Producer: d.producer, Consumer: d.consumer, ChildIdx: d.childIdx}
+	}
+	return &Schedule{
+		Assay:        b.assay,
+		Chip:         b.chip,
+		Ops:          b.ops,
+		Moves:        b.moves,
+		Droplets:     drops,
+		Makespan:     makespan,
+		StorageMoves: b.storageMoves,
+		PeakStored:   b.peakStored,
+	}
+}
+
+// pendingCount returns how many nodes remain unfinished.
+func (b *base) pendingCount() int { return b.assay.Len() - b.doneCnt }

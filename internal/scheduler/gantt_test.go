@@ -1,0 +1,77 @@
+package scheduler
+
+import (
+	"strings"
+	"testing"
+
+	"fppc/internal/assays"
+)
+
+func TestGanttRendersAllUsedModules(t *testing.T) {
+	a := assays.InVitroN(2, assays.DefaultTiming())
+	s := mustFPPC(t, a, 21)
+	g := s.Gantt()
+	if !strings.Contains(g, "mix[0]") || !strings.Contains(g, "ssd[0]") {
+		t.Errorf("Gantt missing module rows:\n%s", g)
+	}
+	if !strings.Contains(g, "M") || !strings.Contains(g, "D") {
+		t.Errorf("Gantt missing op glyphs:\n%s", g)
+	}
+	if !strings.Contains(g, "legend") {
+		t.Errorf("Gantt missing legend")
+	}
+}
+
+func TestGanttScalesLongSchedules(t *testing.T) {
+	a := assays.ProteinSplit(4, assays.DefaultTiming())
+	s := mustFPPC(t, a, 21)
+	g := s.Gantt()
+	if !strings.Contains(g, "each column =") {
+		t.Errorf("long schedule not scaled:\n%.200s", g)
+	}
+	for _, line := range strings.Split(g, "\n") {
+		if len(line) > 230 {
+			t.Errorf("Gantt row too wide (%d chars)", len(line))
+		}
+	}
+}
+
+func TestGanttShowsStorage(t *testing.T) {
+	a := assays.ProteinSplit(2, assays.DefaultTiming())
+	s := mustFPPC(t, a, 21)
+	if g := s.Gantt(); !strings.Contains(g, "s") {
+		t.Errorf("protein schedule shows no storage spans:\n%s", g)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	a := assays.InVitroN(3, assays.DefaultTiming())
+	s := mustFPPC(t, a, 21)
+	u := s.Utilization()
+	if u["mix"] <= 0 || u["mix"] > 1 {
+		t.Errorf("mix utilization = %v", u["mix"])
+	}
+	if u["ssd"] <= 0 || u["ssd"] > 1 {
+		t.Errorf("ssd utilization = %v", u["ssd"])
+	}
+	da := mustDA(t, a, 15, 19)
+	ud := da.Utilization()
+	if ud["work"] <= 0 || ud["work"] > 1 {
+		t.Errorf("work utilization = %v", ud["work"])
+	}
+}
+
+func TestExportJSON(t *testing.T) {
+	a := assays.InVitroN(1, assays.DefaultTiming())
+	s := mustFPPC(t, a, 21)
+	var buf strings.Builder
+	if err := s.ExportJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"\"assay\": \"In-Vitro 1\"", "\"makespanSteps\": 12", "\"moves\"", "mix[", "\"peakStored\""} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("JSON missing %q", frag)
+		}
+	}
+}

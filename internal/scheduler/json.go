@@ -1,0 +1,70 @@
+package scheduler
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// scheduleJSON is the external form of a schedule: enough for timeline
+// visualizers and controllers without exposing internal pointers.
+type scheduleJSON struct {
+	Assay    string    `json:"assay"`
+	Chip     string    `json:"chip"`
+	Makespan int       `json:"makespanSteps"`
+	Ops      []opJSON  `json:"ops"`
+	Moves    []mvJSON  `json:"moves"`
+	Stats    statsJSON `json:"stats"`
+}
+
+type opJSON struct {
+	Node     int    `json:"node"`
+	Label    string `json:"label"`
+	Kind     string `json:"kind"`
+	Start    int    `json:"start"`
+	End      int    `json:"end"`
+	Location string `json:"location"`
+}
+
+type mvJSON struct {
+	TS      int    `json:"ts"`
+	Droplet int    `json:"droplet"`
+	Kind    string `json:"kind"`
+	From    string `json:"from"`
+	To      string `json:"to"`
+}
+
+type statsJSON struct {
+	StorageMoves int `json:"storageMoves"`
+	PeakStored   int `json:"peakStored"`
+	Droplets     int `json:"droplets"`
+}
+
+// ExportJSON writes the schedule in a stable, self-describing format.
+func (s *Schedule) ExportJSON(w io.Writer) error {
+	out := scheduleJSON{
+		Assay:    s.Assay.Name,
+		Chip:     s.Chip.Name,
+		Makespan: s.Makespan,
+		Stats: statsJSON{
+			StorageMoves: s.StorageMoves,
+			PeakStored:   s.PeakStored,
+			Droplets:     len(s.Droplets),
+		},
+	}
+	for _, op := range s.Ops {
+		n := s.Assay.Node(op.NodeID)
+		out.Ops = append(out.Ops, opJSON{
+			Node: op.NodeID, Label: n.Label, Kind: n.Kind.String(),
+			Start: op.Start, End: op.End, Location: op.Loc.String(),
+		})
+	}
+	for _, m := range s.Moves {
+		out.Moves = append(out.Moves, mvJSON{
+			TS: m.TS, Droplet: m.Droplet, Kind: m.Kind.String(),
+			From: m.From.String(), To: m.To.String(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

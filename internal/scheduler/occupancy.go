@@ -1,0 +1,92 @@
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+
+	"fppc/internal/dag"
+)
+
+// CheckOccupancy verifies the schedule's droplet-residency invariant:
+// reconstructing every droplet's parking timeline (production, moves,
+// consumption), no two droplets may occupy the same module slot during
+// overlapping time-step intervals. This is the property whose violation
+// manifests physically as droplets merging inside storage — the class of
+// bug the end-to-end fuzzer found during development — so it is kept as
+// a first-class validator.
+//
+// Interval endpoints may touch (a droplet arriving at the boundary where
+// the previous one leaves): the router serializes those within the
+// boundary.
+func (s *Schedule) CheckOccupancy() error {
+	type stay struct {
+		droplet  int
+		from, to int
+	}
+	byLoc := map[Location][]stay{}
+	// Running operations occupy their module exclusively.
+	for _, op := range s.Ops {
+		if op.End <= op.Start {
+			continue
+		}
+		key := op.Loc
+		key.Slot = 0
+		if key.Kind == LocSSD || key.Kind == LocMix || key.Kind == LocWork {
+			byLoc[key] = append(byLoc[key], stay{-1 - op.NodeID, op.Start, op.End})
+		}
+	}
+	for _, d := range s.Droplets {
+		prod, cons := s.Ops[d.Producer], s.Ops[d.Consumer]
+		at := prod.End
+		if s.Assay.Node(d.Producer).Kind == dag.Split {
+			at = prod.Start
+		}
+		cur := prod.Loc
+		record := func(until int) {
+			key := cur
+			key.Slot = 0
+			if key.Kind != LocSSD && key.Kind != LocMix && key.Kind != LocWork {
+				return
+			}
+			if until > at {
+				byLoc[key] = append(byLoc[key], stay{d.ID, at, until})
+			}
+		}
+		for _, m := range s.Moves {
+			if m.Droplet != d.ID {
+				continue
+			}
+			record(m.TS)
+			at, cur = m.TS, m.To
+		}
+		record(cons.Start)
+	}
+	for loc, stays := range byLoc {
+		sort.Slice(stays, func(i, j int) bool { return stays[i].from < stays[j].from })
+		capacity := 1
+		if loc.Kind == LocWork {
+			capacity = 2 // DA work modules store two droplets
+		}
+		// Sweep: count concurrent stays.
+		type ev struct{ t, delta, drop int }
+		var evs []ev
+		for _, st := range stays {
+			evs = append(evs, ev{st.from, 1, st.droplet}, ev{st.to, -1, st.droplet})
+		}
+		sort.Slice(evs, func(i, j int) bool {
+			if evs[i].t != evs[j].t {
+				return evs[i].t < evs[j].t
+			}
+			return evs[i].delta < evs[j].delta // departures before arrivals
+		})
+		depth := 0
+		for _, e := range evs {
+			depth += e.delta
+			if depth > capacity {
+				return fmt.Errorf("scheduler: %v over capacity (%d droplets) around time-step %d",
+					loc, depth, e.t)
+			}
+		}
+	}
+	return nil
+}

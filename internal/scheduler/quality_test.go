@@ -1,0 +1,87 @@
+package scheduler
+
+import (
+	"testing"
+
+	"fppc/internal/assays"
+)
+
+// TestScheduleQualityBound asserts the list scheduler stays within 2x of
+// the resource-oblivious lower bound (critical path) or the obvious
+// resource bound, across the benchmark suite — a guard against silent
+// heuristic regressions.
+func TestScheduleQualityBound(t *testing.T) {
+	tm := assays.DefaultTiming()
+	for _, a := range assays.Table1Benchmarks(tm)[:9] { // through PS3 for speed
+		cp, err := a.CriticalPath()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Dispense-port bound: total dispense seconds per fluid divided
+		// by its ports.
+		portBound := 0
+		perFluid := map[string]int{}
+		for _, n := range a.Nodes {
+			if n.Kind.String() == "dispense" {
+				perFluid[n.Fluid] += n.Duration
+			}
+		}
+		for f, total := range perFluid {
+			if b := total / a.ReservoirCount(f); b > portBound {
+				portBound = b
+			}
+		}
+		lower := cp
+		if portBound > lower {
+			lower = portBound
+		}
+		s := mustFPPC(t, a, 21)
+		if s.Makespan > 2*lower {
+			t.Errorf("%s: makespan %d exceeds 2x lower bound %d", a.Name, s.Makespan, lower)
+		}
+		if s.Makespan < lower {
+			t.Errorf("%s: makespan %d below the lower bound %d (bound or scheduler broken)",
+				a.Name, s.Makespan, lower)
+		}
+	}
+}
+
+// TestOccupancyOnBenchmarks runs the residency validator on FPPC and DA
+// schedules across the suite.
+func TestOccupancyOnBenchmarks(t *testing.T) {
+	tm := assays.DefaultTiming()
+	for _, a := range assays.Table1Benchmarks(tm)[:10] {
+		s := mustFPPC(t, a, 27)
+		if err := s.CheckOccupancy(); err != nil {
+			t.Errorf("FPPC %s: %v", a.Name, err)
+		}
+	}
+	for _, a := range assays.Table1Benchmarks(tm)[:9] {
+		s := mustDA(t, a, 15, 19)
+		if err := s.CheckOccupancy(); err != nil {
+			t.Errorf("DA %s: %v", a.Name, err)
+		}
+	}
+}
+
+// TestOccupancyCatchesDoubleBooking feeds the validator a hand-corrupted
+// schedule.
+func TestOccupancyCatchesDoubleBooking(t *testing.T) {
+	a := assays.InVitroN(2, assays.DefaultTiming())
+	s := mustFPPC(t, a, 21)
+	// Rebind every detect onto SSD 0 with overlapping times: the moves
+	// and droplet timelines now collide there.
+	for i := range s.Moves {
+		if s.Moves[i].To.Kind == LocSSD {
+			s.Moves[i].To.Index = 0
+		}
+	}
+	for i := range s.Ops {
+		if s.Ops[i].Loc.Kind == LocSSD {
+			s.Ops[i].Loc.Index = 0
+		}
+	}
+	if err := s.CheckOccupancy(); err == nil {
+		t.Errorf("double-booked schedule passed occupancy check")
+	}
+}

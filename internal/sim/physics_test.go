@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"fppc/internal/grid"
+	"fppc/internal/pins"
+	"fppc/internal/router"
+)
+
+// TestTwoDropletsStraightLineLockstep reproduces Figure S3(a): droplets
+// three cells apart on one bus share pins, so one activation wave moves
+// both safely along a straight path.
+func TestTwoDropletsStraightLineLockstep(t *testing.T) {
+	c := chip(t, 9)
+	var p pins.Program
+	events := []router.Event{
+		{Cycle: 0, Kind: router.EvDispense, Cell: grid.Cell{X: 0, Y: 0}},
+		{Cycle: 0, Kind: router.EvDispense, Cell: grid.Cell{X: 3, Y: 0}},
+	}
+	p.Append(pinAt(t, c, grid.Cell{X: 0, Y: 0})) // pin also holds (3,0)
+	for x := 1; x <= 6; x++ {
+		p.Append(pinAt(t, c, grid.Cell{X: x, Y: 0})) // wave moves both
+	}
+	tr, err := Run(c, &p, events)
+	if err != nil {
+		t.Fatalf("lockstep transport failed: %v", err)
+	}
+	if tr.Merges != 0 || tr.Splits != 0 {
+		t.Errorf("lockstep caused merges/splits: %d/%d", tr.Merges, tr.Splits)
+	}
+	got := map[grid.Cell]bool{}
+	for _, d := range tr.Remaining {
+		got[d.Cells[0]] = true
+	}
+	if !got[grid.Cell{X: 6, Y: 0}] || !got[grid.Cell{X: 9, Y: 0}] {
+		t.Errorf("droplets ended at %v, want (6,0) and (9,0)", got)
+	}
+}
+
+// TestStretchedContractToEitherEnd covers both contraction branches.
+func TestStretchedContractToEitherEnd(t *testing.T) {
+	for _, keepFirst := range []bool{true, false} {
+		c := chip(t, 9)
+		ssd := c.SSDModules[0]
+		var p pins.Program
+		events := []router.Event{{Cycle: 0, Kind: router.EvDispense, Cell: ssd.Bus}}
+		p.Append(pinAt(t, c, ssd.Bus))
+		p.Append(pinAt(t, c, ssd.Bus), pinAt(t, c, ssd.IO)) // stretch
+		var want grid.Cell
+		if keepFirst {
+			p.Append(pinAt(t, c, ssd.Bus)) // contract back to the bus
+			want = ssd.Bus
+		} else {
+			p.Append(pinAt(t, c, ssd.IO)) // contract onto the IO cell
+			want = ssd.IO
+		}
+		tr, err := Run(c, &p, events)
+		if err != nil {
+			t.Fatalf("keepFirst=%v: %v", keepFirst, err)
+		}
+		if tr.Splits != 0 || len(tr.Remaining) != 1 {
+			t.Fatalf("keepFirst=%v: splits=%d drops=%d", keepFirst, tr.Splits, len(tr.Remaining))
+		}
+		if got := tr.Remaining[0].Cells; len(got) != 1 || got[0] != want {
+			t.Errorf("keepFirst=%v: droplet at %v, want %v", keepFirst, got, want)
+		}
+	}
+}
+
+// TestStretchedPulledForward: a stretched droplet pulled by one adjacent
+// electrode contracts onto it (the droplet slides forward).
+func TestStretchedPulledForward(t *testing.T) {
+	c := chip(t, 9)
+	ssd := c.SSDModules[0]
+	var p pins.Program
+	events := []router.Event{{Cycle: 0, Kind: router.EvDispense, Cell: ssd.Bus}}
+	p.Append(pinAt(t, c, ssd.Bus))
+	p.Append(pinAt(t, c, ssd.Bus), pinAt(t, c, ssd.IO)) // stretch bus+IO
+	p.Append(pinAt(t, c, ssd.Hold))                     // pull to hold only
+	tr, err := Run(c, &p, events)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if len(tr.Remaining) != 1 || tr.Remaining[0].Cells[0] != ssd.Hold {
+		t.Errorf("droplet at %v, want %v", tr.Remaining[0].Cells, ssd.Hold)
+	}
+	if tr.Splits != 0 {
+		t.Errorf("unexpected split")
+	}
+}
+
+// TestStretchedDrift: deactivating everything under a stretched droplet
+// is a drift error.
+func TestStretchedDrift(t *testing.T) {
+	c := chip(t, 9)
+	ssd := c.SSDModules[0]
+	var p pins.Program
+	events := []router.Event{{Cycle: 0, Kind: router.EvDispense, Cell: ssd.Bus}}
+	p.Append(pinAt(t, c, ssd.Bus))
+	p.Append(pinAt(t, c, ssd.Bus), pinAt(t, c, ssd.IO))
+	p.Append() // all low while stretched
+	_, err := Run(c, &p, events)
+	if err == nil || !strings.Contains(err.Error(), "drift") {
+		t.Errorf("stretched drift = %v, want drift error", err)
+	}
+}
+
+// TestTooManyPulls: three electrodes around one droplet is flagged.
+func TestTooManyPulls(t *testing.T) {
+	c := chip(t, 9)
+	var p pins.Program
+	// Central bus junction: droplet at (7,1); activate (7,0), (7,2) and
+	// (6,1)... (6,1) is interference at h=9? Use (7,0),(7,2) plus the
+	// droplet's own cell for a 3-pull.
+	events := []router.Event{{Cycle: 0, Kind: router.EvDispense, Cell: grid.Cell{X: 7, Y: 1}}}
+	p.Append(pinAt(t, c, grid.Cell{X: 7, Y: 1}))
+	p.Append(pinAt(t, c, grid.Cell{X: 7, Y: 0}),
+		pinAt(t, c, grid.Cell{X: 7, Y: 2}),
+		pinAt(t, c, grid.Cell{X: 7, Y: 1}))
+	_, err := Run(c, &p, events)
+	if err == nil {
+		t.Fatalf("3-electrode pull not flagged")
+	}
+}
+
+// TestEventsBeyondProgram: leftover events are an error.
+func TestEventsBeyondProgram(t *testing.T) {
+	c := chip(t, 9)
+	var p pins.Program
+	p.Append(pinAt(t, c, grid.Cell{X: 0, Y: 0}))
+	events := []router.Event{
+		{Cycle: 0, Kind: router.EvDispense, Cell: grid.Cell{X: 0, Y: 0}},
+		{Cycle: 99, Kind: router.EvOutput, Cell: grid.Cell{X: 0, Y: 0}},
+	}
+	if _, err := Run(c, &p, events); err == nil {
+		t.Errorf("trailing events accepted")
+	}
+}
+
+// TestConcentrationAccessors covers the solute API.
+func TestConcentrationAccessors(t *testing.T) {
+	d := &Droplet{Volume: 2, Solute: map[string]float64{"a": 0.5, "b": 1.5}}
+	if got := d.Concentration("a"); got != 0.25 {
+		t.Errorf("Concentration(a) = %v, want 0.25", got)
+	}
+	if got := d.Concentration("missing"); got != 0 {
+		t.Errorf("Concentration(missing) = %v, want 0", got)
+	}
+	empty := &Droplet{}
+	if got := empty.Concentration("a"); got != 0 {
+		t.Errorf("empty droplet concentration = %v", got)
+	}
+}
+
+// TestCrossContamination verifies residue tracking: a second droplet of a
+// different fluid crossing the first droplet's path is counted, while a
+// same-fluid follower is not.
+func TestCrossContamination(t *testing.T) {
+	run := func(fluidB string) int {
+		c := chip(t, 9)
+		var p pins.Program
+		events := []router.Event{{Cycle: 0, Kind: router.EvDispense, Cell: grid.Cell{X: 0, Y: 0}, Fluid: "A"}}
+		// Droplet A walks cells 0..5 and is absorbed.
+		p.Append(pinAt(t, c, grid.Cell{X: 0, Y: 0}))
+		for x := 1; x <= 5; x++ {
+			p.Append(pinAt(t, c, grid.Cell{X: x, Y: 0}))
+		}
+		events = append(events, router.Event{Cycle: p.Len(), Kind: router.EvOutput, Cell: grid.Cell{X: 5, Y: 0}, Fluid: "waste"})
+		p.Append()
+		// Droplet B walks the same cells.
+		events = append(events, router.Event{Cycle: p.Len(), Kind: router.EvDispense, Cell: grid.Cell{X: 0, Y: 0}, Fluid: fluidB})
+		p.Append(pinAt(t, c, grid.Cell{X: 0, Y: 0}))
+		for x := 1; x <= 5; x++ {
+			p.Append(pinAt(t, c, grid.Cell{X: x, Y: 0}))
+		}
+		events = append(events, router.Event{Cycle: p.Len(), Kind: router.EvOutput, Cell: grid.Cell{X: 5, Y: 0}, Fluid: "waste"})
+		p.Append()
+		tr, err := Run(c, &p, events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.CrossContacts
+	}
+	if got := run("B"); got < 5 {
+		t.Errorf("foreign follower cross-contacts = %d, want >= 5", got)
+	}
+	if got := run("A"); got != 0 {
+		t.Errorf("same-fluid follower cross-contacts = %d, want 0", got)
+	}
+}

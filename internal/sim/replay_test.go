@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"fppc/internal/grid"
+	"fppc/internal/pins"
+	"fppc/internal/router"
+)
+
+func TestReplayMatchesRun(t *testing.T) {
+	c := chip(t, 9)
+	ssd := c.SSDModules[0]
+	var p pins.Program
+	events := []router.Event{{Cycle: 0, Kind: router.EvDispense, Cell: ssd.Bus}}
+	p.Append(pinAt(t, c, ssd.Bus))
+	p.Append(pinAt(t, c, ssd.Bus), pinAt(t, c, ssd.IO))
+	p.Append(pinAt(t, c, ssd.Bus), pinAt(t, c, ssd.Hold))
+
+	want, err := Run(c, &p, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReplay(c, &p, events)
+	steps := 0
+	for r.Step() {
+		steps++
+	}
+	if r.Err() != nil {
+		t.Fatalf("replay error: %v", r.Err())
+	}
+	if steps != p.Len() {
+		t.Errorf("steps = %d, want %d", steps, p.Len())
+	}
+	got := r.Trace()
+	if got.Splits != want.Splits || got.Merges != want.Merges ||
+		got.Dispenses != want.Dispenses || len(got.Remaining) != len(want.Remaining) {
+		t.Errorf("replay trace %+v != run trace %+v", got, want)
+	}
+}
+
+func TestReplayStopsOnError(t *testing.T) {
+	c := chip(t, 9)
+	var p pins.Program
+	events := []router.Event{{Cycle: 0, Kind: router.EvDispense, Cell: grid.Cell{X: 0, Y: 0}}}
+	p.Append(pinAt(t, c, grid.Cell{X: 0, Y: 0}))
+	p.Append() // drift
+	p.Append(pinAt(t, c, grid.Cell{X: 0, Y: 0}))
+	r := NewReplay(c, &p, events)
+	for r.Step() {
+	}
+	if r.Err() == nil {
+		t.Fatal("drift not detected")
+	}
+	if r.Cycle() != 1 {
+		t.Errorf("stopped at cycle %d, want 1", r.Cycle())
+	}
+	if r.Step() {
+		t.Errorf("Step continued after error")
+	}
+}
+
+func TestReplayFrame(t *testing.T) {
+	c := chip(t, 9)
+	var p pins.Program
+	events := []router.Event{{Cycle: 0, Kind: router.EvDispense, Cell: grid.Cell{X: 4, Y: 0}}}
+	p.Append(pinAt(t, c, grid.Cell{X: 4, Y: 0}))
+	r := NewReplay(c, &p, events)
+	r.Step()
+	frame := r.Frame()
+	if !strings.Contains(frame, "o") {
+		t.Errorf("frame missing droplet:\n%s", frame)
+	}
+	if !strings.Contains(frame, "cycle 1/1") {
+		t.Errorf("frame header wrong:\n%s", frame)
+	}
+	lines := strings.Split(strings.TrimRight(frame, "\n"), "\n")
+	if len(lines) != 1+c.H {
+		t.Errorf("frame has %d lines, want %d", len(lines), 1+c.H)
+	}
+	for _, line := range lines[1:] {
+		if len(line) != c.W {
+			t.Errorf("frame row width %d, want %d", len(line), c.W)
+		}
+	}
+	// Interference regions render as spaces.
+	if !strings.Contains(frame, " ") {
+		t.Errorf("frame missing interference spaces")
+	}
+}

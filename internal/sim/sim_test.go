@@ -1,0 +1,358 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"fppc/internal/arch"
+	"fppc/internal/grid"
+	"fppc/internal/pins"
+	"fppc/internal/router"
+)
+
+func chip(t testing.TB, h int) *arch.Chip {
+	t.Helper()
+	c, err := arch.NewFPPC(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// pinAt returns the pin wired to the cell.
+func pinAt(t testing.TB, c *arch.Chip, cell grid.Cell) int {
+	t.Helper()
+	e := c.ElectrodeAt(cell)
+	if e == nil {
+		t.Fatalf("no electrode at %v", cell)
+	}
+	return e.Pin
+}
+
+// TestThreePhaseTransport replays Figure 6: a droplet rides the 3-phase
+// activation wave along the top bus without splitting or drifting.
+func TestThreePhaseTransport(t *testing.T) {
+	c := chip(t, 9)
+	var p pins.Program
+	events := []router.Event{{Cycle: 0, Kind: router.EvDispense, Cell: grid.Cell{X: 0, Y: 0}}}
+	p.Append(pinAt(t, c, grid.Cell{X: 0, Y: 0})) // hold at the port
+	for x := 1; x <= 6; x++ {
+		p.Append(pinAt(t, c, grid.Cell{X: x, Y: 0}))
+	}
+	tr, err := Run(c, &p, events)
+	if err != nil {
+		t.Fatalf("transport failed: %v", err)
+	}
+	if tr.Splits != 0 || tr.Merges != 0 {
+		t.Errorf("unexpected splits/merges: %d/%d", tr.Splits, tr.Merges)
+	}
+	if len(tr.Remaining) != 1 {
+		t.Fatalf("droplets remaining = %d, want 1", len(tr.Remaining))
+	}
+	if got := tr.Remaining[0].Cells[0]; got != (grid.Cell{X: 6, Y: 0}) {
+		t.Errorf("droplet ended at %v, want (6,0)", got)
+	}
+}
+
+// TestTransportAroundCorner drives a droplet from the top bus down the
+// central vertical bus (the Figure S2 intersection property).
+func TestTransportAroundCorner(t *testing.T) {
+	c := chip(t, 9)
+	var p pins.Program
+	events := []router.Event{{Cycle: 0, Kind: router.EvDispense, Cell: grid.Cell{X: 5, Y: 0}}}
+	p.Append(pinAt(t, c, grid.Cell{X: 5, Y: 0}))
+	p.Append(pinAt(t, c, grid.Cell{X: 6, Y: 0}))
+	p.Append(pinAt(t, c, grid.Cell{X: 7, Y: 0}))
+	for y := 1; y <= 5; y++ {
+		p.Append(pinAt(t, c, grid.Cell{X: 7, Y: y}))
+	}
+	tr, err := Run(c, &p, events)
+	if err != nil {
+		t.Fatalf("corner transport failed: %v", err)
+	}
+	if got := tr.Remaining[0].Cells[0]; got != (grid.Cell{X: 7, Y: 5}) {
+		t.Errorf("droplet ended at %v, want (7,5)", got)
+	}
+}
+
+// TestDriftDetected verifies that dropping all activations loses the
+// droplet.
+func TestDriftDetected(t *testing.T) {
+	c := chip(t, 9)
+	var p pins.Program
+	events := []router.Event{{Cycle: 0, Kind: router.EvDispense, Cell: grid.Cell{X: 0, Y: 0}}}
+	p.Append(pinAt(t, c, grid.Cell{X: 0, Y: 0}))
+	p.Append() // everything low
+	_, err := Run(c, &p, events)
+	simErr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error = %v, want *Error", err)
+	}
+	if simErr.Cycle != 1 {
+		t.Errorf("drift detected at cycle %d, want 1", simErr.Cycle)
+	}
+}
+
+// TestTearDetected verifies that energizing electrodes on both sides of a
+// droplet is flagged (the hazard of Figure S4).
+func TestTearDetected(t *testing.T) {
+	c := chip(t, 9)
+	var p pins.Program
+	events := []router.Event{{Cycle: 0, Kind: router.EvDispense, Cell: grid.Cell{X: 1, Y: 0}}}
+	p.Append(pinAt(t, c, grid.Cell{X: 1, Y: 0}))
+	p.Append(pinAt(t, c, grid.Cell{X: 0, Y: 0}), pinAt(t, c, grid.Cell{X: 2, Y: 0}))
+	_, err := Run(c, &p, events)
+	if err == nil {
+		t.Fatalf("tear not detected")
+	}
+}
+
+// TestSplitSequence replays the Figure 8 split at an SSD module.
+func TestSplitSequence(t *testing.T) {
+	c := chip(t, 9)
+	ssd := c.SSDModules[0]
+	bus := ssd.Bus
+	var p pins.Program
+	events := []router.Event{{Cycle: 0, Kind: router.EvDispense, Cell: bus}}
+	p.Append(pinAt(t, c, bus))
+	p.Append(pinAt(t, c, bus), pinAt(t, c, ssd.IO))   // stretch
+	p.Append(pinAt(t, c, bus), pinAt(t, c, ssd.Hold)) // split
+	tr, err := Run(c, &p, events)
+	if err != nil {
+		t.Fatalf("split failed: %v", err)
+	}
+	if tr.Splits != 1 {
+		t.Fatalf("splits = %d, want 1", tr.Splits)
+	}
+	if len(tr.Remaining) != 2 {
+		t.Fatalf("droplets = %d, want 2", len(tr.Remaining))
+	}
+	cells := map[grid.Cell]float64{}
+	for _, d := range tr.Remaining {
+		cells[d.Cells[0]] = d.Volume
+	}
+	if cells[bus] != 0.5 || cells[ssd.Hold] != 0.5 {
+		t.Errorf("split halves wrong: %v", cells)
+	}
+}
+
+// TestModuleIOIsolation parks a droplet in one SSD and drives another
+// droplet into a different SSD: the parked droplet must not move
+// (Figure 7b).
+func TestModuleIOIsolation(t *testing.T) {
+	c := chip(t, 12)
+	s0, s1 := c.SSDModules[0], c.SSDModules[1]
+	hold0 := pinAt(t, c, s0.Hold)
+	var p pins.Program
+	events := []router.Event{
+		{Cycle: 0, Kind: router.EvDispense, Cell: s0.Hold}, // pre-parked
+		{Cycle: 1, Kind: router.EvDispense, Cell: s1.Bus},
+	}
+	p.Append(hold0)
+	p.Append(hold0, pinAt(t, c, s1.Bus))
+	p.Append(hold0, pinAt(t, c, s1.IO))
+	p.Append(hold0, pinAt(t, c, s1.Hold))
+	tr, err := Run(c, &p, events)
+	if err != nil {
+		t.Fatalf("module IO failed: %v", err)
+	}
+	if len(tr.Remaining) != 2 {
+		t.Fatalf("droplets = %d, want 2", len(tr.Remaining))
+	}
+	got := map[grid.Cell]bool{}
+	for _, d := range tr.Remaining {
+		got[d.Cells[0]] = true
+	}
+	if !got[s0.Hold] || !got[s1.Hold] {
+		t.Errorf("droplets at %v, want parked at both holds", got)
+	}
+	if tr.Merges != 0 || tr.Splits != 0 {
+		t.Errorf("unexpected merges/splits %d/%d", tr.Merges, tr.Splits)
+	}
+}
+
+// TestMergeInMixModule drives a second droplet into an occupied mix
+// module: the droplets must merge and settle on the hold cell
+// (Figure S1).
+func TestMergeInMixModule(t *testing.T) {
+	c := chip(t, 9)
+	m := c.MixModules[0]
+	hold := pinAt(t, c, m.Hold)
+	var p pins.Program
+	events := []router.Event{
+		{Cycle: 0, Kind: router.EvDispense, Cell: m.Hold},
+		{Cycle: 1, Kind: router.EvDispense, Cell: m.Bus},
+	}
+	p.Append(hold)
+	p.Append(hold, pinAt(t, c, m.Bus))
+	p.Append(hold, pinAt(t, c, m.IO)) // arrival adjacent to held: merge
+	p.Append(hold)                    // contract onto the hold cell
+	tr, err := Run(c, &p, events)
+	if err != nil {
+		t.Fatalf("merge failed: %v", err)
+	}
+	if tr.Merges != 1 {
+		t.Fatalf("merges = %d, want 1", tr.Merges)
+	}
+	if len(tr.Remaining) != 1 {
+		t.Fatalf("droplets = %d, want 1", len(tr.Remaining))
+	}
+	d := tr.Remaining[0]
+	if len(d.Cells) != 1 || d.Cells[0] != m.Hold {
+		t.Errorf("merged droplet at %v, want %v", d.Cells, m.Hold)
+	}
+	if d.Volume != 2 {
+		t.Errorf("merged volume = %v, want 2", d.Volume)
+	}
+}
+
+// TestMixRotation runs one full loop rotation and verifies the droplet
+// returns to the hold cell.
+func TestMixRotation(t *testing.T) {
+	c := chip(t, 9)
+	m := c.MixModules[0]
+	loop := m.LoopCells()
+	var p pins.Program
+	events := []router.Event{{Cycle: 0, Kind: router.EvDispense, Cell: m.Hold}}
+	p.Append(pinAt(t, c, m.Hold))
+	for _, cell := range loop[1:] {
+		p.Append(pinAt(t, c, cell))
+	}
+	p.Append(pinAt(t, c, m.Hold))
+	tr, err := Run(c, &p, events)
+	if err != nil {
+		t.Fatalf("rotation failed: %v", err)
+	}
+	if got := tr.Remaining[0].Cells[0]; got != m.Hold {
+		t.Errorf("droplet ended at %v, want hold %v", got, m.Hold)
+	}
+	if tr.Splits != 0 || tr.Merges != 0 {
+		t.Errorf("rotation caused splits/merges: %d/%d", tr.Splits, tr.Merges)
+	}
+}
+
+// TestSharedLoopPinsRotateAllModules parks droplets in two mix modules
+// and rotates: both must follow the shared pins in lockstep (the paper's
+// synchronized mixing).
+func TestSharedLoopPinsRotateAllModules(t *testing.T) {
+	c := chip(t, 12)
+	m0, m1 := c.MixModules[0], c.MixModules[1]
+	var p pins.Program
+	events := []router.Event{
+		{Cycle: 0, Kind: router.EvDispense, Cell: m0.Hold},
+		{Cycle: 0, Kind: router.EvDispense, Cell: m1.Hold},
+	}
+	p.Append(pinAt(t, c, m0.Hold), pinAt(t, c, m1.Hold))
+	for _, cell := range m0.LoopCells()[1:] {
+		p.Append(pinAt(t, c, cell)) // shared pins drive both modules
+	}
+	p.Append(pinAt(t, c, m0.Hold), pinAt(t, c, m1.Hold))
+	tr, err := Run(c, &p, events)
+	if err != nil {
+		t.Fatalf("lockstep rotation failed: %v", err)
+	}
+	got := map[grid.Cell]bool{}
+	for _, d := range tr.Remaining {
+		got[d.Cells[0]] = true
+	}
+	if !got[m0.Hold] || !got[m1.Hold] {
+		t.Errorf("droplets ended at %v, want both holds", got)
+	}
+}
+
+// TestConcurrentBusTransportUnsafe demonstrates the Figure S4 hazard: two
+// droplets three cells apart on one bus share pins, so advancing one
+// moves the other into a tear.
+func TestConcurrentBusTransportUnsafe(t *testing.T) {
+	c := chip(t, 9)
+	var p pins.Program
+	events := []router.Event{
+		{Cycle: 0, Kind: router.EvDispense, Cell: grid.Cell{X: 0, Y: 0}},
+		{Cycle: 0, Kind: router.EvDispense, Cell: grid.Cell{X: 3, Y: 0}},
+	}
+	// Pins of cells 0 and 3 are identical (period 3): both droplets hold.
+	p.Append(pinAt(t, c, grid.Cell{X: 0, Y: 0}))
+	// Advance "the first" droplet: pin of cell 1 also drives cell 4:
+	// both droplets move; now try to hold the second while advancing the
+	// first again: impossible — pins of cells 2 and 4 both activate near
+	// droplet 2.
+	p.Append(pinAt(t, c, grid.Cell{X: 1, Y: 0}))
+	p.Append(pinAt(t, c, grid.Cell{X: 2, Y: 0}), pinAt(t, c, grid.Cell{X: 4, Y: 0}))
+	p.Append(pinAt(t, c, grid.Cell{X: 3, Y: 0}), pinAt(t, c, grid.Cell{X: 4, Y: 0}))
+	tr, err := Run(c, &p, events)
+	if err == nil && tr.Splits == 0 {
+		t.Fatalf("concurrent transport hazard not detected (no error, no unintended split)")
+	}
+}
+
+// TestOutputAbsorbs checks the output event removes the droplet and
+// accounts its volume.
+func TestOutputAbsorbs(t *testing.T) {
+	c := chip(t, 9)
+	cell := grid.Cell{X: 4, Y: 8}
+	var p pins.Program
+	events := []router.Event{
+		{Cycle: 0, Kind: router.EvDispense, Cell: cell},
+		{Cycle: 1, Kind: router.EvOutput, Cell: cell},
+	}
+	p.Append(pinAt(t, c, cell))
+	p.Append()
+	tr, err := Run(c, &p, events)
+	if err != nil {
+		t.Fatalf("output failed: %v", err)
+	}
+	if tr.Outputs != 1 || len(tr.Remaining) != 0 {
+		t.Errorf("outputs=%d remaining=%d, want 1/0", tr.Outputs, len(tr.Remaining))
+	}
+	if tr.VolumeOut != 1 {
+		t.Errorf("VolumeOut = %v, want 1", tr.VolumeOut)
+	}
+}
+
+func TestOutputWithoutDroplet(t *testing.T) {
+	c := chip(t, 9)
+	var p pins.Program
+	p.Append()
+	events := []router.Event{{Cycle: 0, Kind: router.EvOutput, Cell: grid.Cell{X: 4, Y: 8}}}
+	if _, err := Run(c, &p, events); err == nil {
+		t.Errorf("phantom output accepted")
+	}
+}
+
+func TestDispenseIntoOccupiedPort(t *testing.T) {
+	c := chip(t, 9)
+	var p pins.Program
+	p.Append(pinAt(t, c, grid.Cell{X: 4, Y: 0}))
+	events := []router.Event{
+		{Cycle: 0, Kind: router.EvDispense, Cell: grid.Cell{X: 4, Y: 0}},
+		{Cycle: 0, Kind: router.EvDispense, Cell: grid.Cell{X: 5, Y: 0}},
+	}
+	if _, err := Run(c, &p, events); err == nil {
+		t.Errorf("dispense into interference region accepted")
+	}
+}
+
+func TestVolumeConservation(t *testing.T) {
+	// Split then re-merge: volume must be conserved throughout.
+	c := chip(t, 9)
+	ssd := c.SSDModules[0]
+	bus := ssd.Bus
+	var p pins.Program
+	events := []router.Event{{Cycle: 0, Kind: router.EvDispense, Cell: bus}}
+	p.Append(pinAt(t, c, bus))
+	p.Append(pinAt(t, c, bus), pinAt(t, c, ssd.IO))
+	p.Append(pinAt(t, c, bus), pinAt(t, c, ssd.Hold)) // split: 0.5 + 0.5
+	p.Append(pinAt(t, c, bus), pinAt(t, c, ssd.Hold)) // hold both
+	p.Append(pinAt(t, c, bus), pinAt(t, c, ssd.IO))   // pull hold half back to IO: merge
+	tr, err := Run(c, &p, events)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if tr.Splits != 1 || tr.Merges != 1 {
+		t.Errorf("splits/merges = %d/%d, want 1/1", tr.Splits, tr.Merges)
+	}
+	total := tr.VolumeRemaining() + tr.VolumeOut
+	if math.Abs(total-tr.VolumeIn) > 1e-9 {
+		t.Errorf("volume not conserved: in=%v out+remaining=%v", tr.VolumeIn, total)
+	}
+}
