@@ -1,0 +1,29 @@
+# Development targets. `make check` is the gate CI (and PRs) must pass:
+# formatting, vet and the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: all build check fmt vet test race bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+check: fmt vet race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

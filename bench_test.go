@@ -160,6 +160,32 @@ func BenchmarkSynthesisThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkObserverOverhead compares Compile(PCR) with observation
+// disabled (nil observer: the default and the hot path every other
+// benchmark exercises) against a live observer recording every span and
+// counter. The disabled case must be indistinguishable from the seed's
+// un-instrumented compiler.
+func BenchmarkObserverOverhead(b *testing.B) {
+	a := fppc.PCR(fppc.DefaultTiming())
+	b.Run("disabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := fppc.Compile(a, fppc.Config{Target: fppc.TargetFPPC}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ob := fppc.NewObserver()
+			if _, err := fppc.Compile(a, fppc.WithObserver(fppc.Config{Target: fppc.TargetFPPC}, ob)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkASLParse measures the assay-language front end.
 func BenchmarkASLParse(b *testing.B) {
 	a := fppc.ProteinSplit(2, fppc.DefaultTiming())

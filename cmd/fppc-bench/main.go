@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +22,7 @@ import (
 
 	"fppc/internal/assays"
 	"fppc/internal/bench"
+	"fppc/internal/obs"
 	"fppc/internal/report"
 )
 
@@ -38,32 +40,54 @@ func run(args []string, out io.Writer) error {
 	dispense := fs.Int("dispense", 0, "override protein dispense latency in seconds (table 3)")
 	heights := fs.String("heights", "", "comma-separated FPPC heights for table 3 (default 9,12,15,18,21)")
 	markdown := fs.Bool("markdown", false, "emit all tables as Markdown with paper values inline")
+	jsonOut := fs.Bool("json", false, "emit the selected tables as JSON")
+	traceOut := fs.String("trace", "", "write a Chrome trace_event JSON file of the runs")
+	metricsOut := fs.String("metrics", "", "write pipeline metrics in Prometheus text format")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	var ob *obs.Observer
+	if *traceOut != "" || *metricsOut != "" {
+		ob = obs.New()
+	}
 	tm := assays.DefaultTiming()
 	if *markdown {
-		md, err := report.Markdown(tm)
+		md, err := report.MarkdownObserved(tm, ob)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, md)
-		return nil
+		return writeObs(out, ob, *traceOut, *metricsOut)
 	}
+	// doc collects the selected tables for -json output.
+	doc := struct {
+		Table1         []bench.Table1Row     `json:"table1,omitempty"`
+		Table1Averages *bench.Table1Averages `json:"table1_averages,omitempty"`
+		Table2         []bench.Table2Row     `json:"table2,omitempty"`
+		Table3         []bench.Table3Row     `json:"table3,omitempty"`
+	}{}
 	if *table == 0 || *table == 1 {
-		rows, avg, err := bench.Table1(tm)
+		rows, avg, err := bench.Table1Observed(tm, ob)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(out, bench.FormatTable1(rows, avg))
+		if *jsonOut {
+			doc.Table1, doc.Table1Averages = rows, &avg
+		} else {
+			fmt.Fprintln(out, bench.FormatTable1(rows, avg))
+		}
 	}
 	if *table == 0 || *table == 2 {
-		rows, err := bench.Table2(tm)
+		rows, err := bench.Table2Observed(tm, ob)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(out, bench.FormatTable2(rows))
+		if *jsonOut {
+			doc.Table2 = rows
+		} else {
+			fmt.Fprintln(out, bench.FormatTable2(rows))
+		}
 	}
 	if *table == 0 || *table == 3 {
 		var hs []int
@@ -76,14 +100,42 @@ func run(args []string, out io.Writer) error {
 				hs = append(hs, h)
 			}
 		}
-		rows, err := bench.Table3(tm, hs, *dispense)
+		rows, err := bench.Table3Observed(tm, hs, *dispense, ob)
 		if err != nil {
 			return err
 		}
-		if *dispense > 0 {
-			fmt.Fprintf(out, "(protein dispense latency overridden to %d s)\n", *dispense)
+		if *jsonOut {
+			doc.Table3 = rows
+		} else {
+			if *dispense > 0 {
+				fmt.Fprintf(out, "(protein dispense latency overridden to %d s)\n", *dispense)
+			}
+			fmt.Fprintln(out, bench.FormatTable3(rows))
 		}
-		fmt.Fprintln(out, bench.FormatTable3(rows))
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			return err
+		}
+	}
+	return writeObs(out, ob, *traceOut, *metricsOut)
+}
+
+// writeObs flushes the observer's trace and metrics files when requested.
+func writeObs(out io.Writer, ob *obs.Observer, tracePath, metricsPath string) error {
+	if tracePath != "" {
+		if err := ob.WriteChromeTraceFile(tracePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace written to %s\n", tracePath)
+	}
+	if metricsPath != "" {
+		if err := ob.WritePrometheusFile(metricsPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "metrics written to %s\n", metricsPath)
 	}
 	return nil
 }

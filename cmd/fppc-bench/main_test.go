@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -36,6 +39,52 @@ func TestRunTable2(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "Multi-Function") {
 		t.Errorf("table 2 incomplete")
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-table", "3", "-heights", "9", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Table3 []struct {
+			H      int
+			TotalS map[string]float64
+		} `json:"table3"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(doc.Table3) != 1 || doc.Table3[0].H != 9 {
+		t.Errorf("unexpected table3 rows: %+v", doc.Table3)
+	}
+	if doc.Table3[0].TotalS["PCR"] <= 0 {
+		t.Errorf("PCR total missing from JSON: %+v", doc.Table3[0])
+	}
+}
+
+func TestRunTraceAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "t.json")
+	metrics := filepath.Join(dir, "m.prom")
+	var out strings.Builder
+	if err := run([]string{"-table", "3", "-heights", "9", "-trace", trace, "-metrics", metrics}, &out); err != nil {
+		t.Fatal(err)
+	}
+	tj, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(tj), `"name":"compile"`) {
+		t.Errorf("trace missing compile spans")
+	}
+	mp, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(mp), "fppc_router_moves_total") {
+		t.Errorf("metrics missing router counters:\n%s", mp)
 	}
 }
 

@@ -38,6 +38,8 @@ func run(args []string, out io.Writer) error {
 	height := fs.Int("height", 0, "FPPC chip height (0 = 12x21)")
 	rotations := fs.Int("rotations", 1, "mixer rotations emitted per time-step")
 	watch := fs.Int("watch", 0, "print an array frame every N cycles (0 = off)")
+	traceOut := fs.String("trace", "", "write a Chrome trace_event JSON file (compile + simulate spans)")
+	metricsOut := fs.String("metrics", "", "write pipeline metrics in Prometheus text format")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -46,11 +48,16 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var ob *fppc.Observer
+	if *traceOut != "" || *metricsOut != "" {
+		ob = fppc.NewObserver()
+	}
 	res, err := fppc.Compile(assay, fppc.Config{
 		Target:     fppc.TargetFPPC,
 		FPPCHeight: *height,
 		AutoGrow:   true,
 		Router:     fppc.RouterOptions{EmitProgram: true, RotationsPerStep: *rotations},
+		Obs:        ob,
 	})
 	if err != nil {
 		return err
@@ -73,7 +80,7 @@ func run(args []string, out io.Writer) error {
 		}
 		trace = replay.Trace()
 	} else {
-		trace, err = fppc.Simulate(res.Chip, res.Routing.Program, res.Routing.Events)
+		trace, err = fppc.SimulateObserved(res.Chip, res.Routing.Program, res.Routing.Events, ob)
 		if err != nil {
 			return fmt.Errorf("simulation FAILED: %w", err)
 		}
@@ -97,6 +104,18 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "verified: every operation executed, volume conserved (%.1f in = %.1f out)\n",
 		trace.VolumeIn, trace.VolumeOut)
+	if *traceOut != "" {
+		if err := ob.WriteChromeTraceFile(*traceOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace written to %s\n", *traceOut)
+	}
+	if *metricsOut != "" {
+		if err := ob.WritePrometheusFile(*metricsOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "metrics written to %s\n", *metricsOut)
+	}
 	return nil
 }
 

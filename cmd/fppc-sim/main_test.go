@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -36,6 +38,32 @@ func TestRunRotations(t *testing.T) {
 	// More rotations per step means a longer program; both must verify.
 	if !strings.Contains(thick.String(), "verified") {
 		t.Errorf("thick program failed verification")
+	}
+}
+
+func TestRunTraceAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "t.json")
+	metrics := filepath.Join(dir, "m.prom")
+	var out strings.Builder
+	if err := run([]string{"-assay", "pcr", "-trace", trace, "-metrics", metrics}, &out); err != nil {
+		t.Fatal(err)
+	}
+	tj, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(tj), `"name":"simulate"`) || !strings.Contains(string(tj), `"name":"compile"`) {
+		t.Errorf("trace missing compile/simulate spans")
+	}
+	mp, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"fppc_sim_cycles_total", "fppc_sim_merges_total 7"} {
+		if !strings.Contains(string(mp), frag) {
+			t.Errorf("metrics missing %s:\n%s", frag, mp)
+		}
 	}
 }
 

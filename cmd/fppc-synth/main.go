@@ -19,6 +19,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"fppc"
 )
@@ -43,6 +44,9 @@ func run(args []string, out io.Writer) error {
 	gantt := fs.Bool("gantt", false, "print a module-occupancy Gantt chart of the schedule")
 	dot := fs.Bool("dot", false, "print the assay DAG in Graphviz dot format and exit")
 	dump := fs.String("dump-assay", "", "write the assay DAG as JSON to this file")
+	traceOut := fs.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
+	metricsOut := fs.String("metrics", "", "write pipeline metrics in Prometheus text format")
+	verbose := fs.Bool("v", false, "print the per-stage span summary after compiling")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,6 +71,11 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 	cfg := fppc.Config{FPPCHeight: *height, AutoGrow: *grow}
+	var ob *fppc.Observer
+	if *traceOut != "" || *metricsOut != "" || *verbose {
+		ob = fppc.NewObserver()
+		cfg.Obs = ob
+	}
 	switch *target {
 	case "fppc":
 		cfg.Target = fppc.TargetFPPC
@@ -109,6 +118,22 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out)
 		fmt.Fprint(out, res.Schedule.Gantt())
 	}
+	if *verbose {
+		fmt.Fprintln(out)
+		printSpans(out, ob)
+	}
+	if *traceOut != "" {
+		if err := ob.WriteChromeTraceFile(*traceOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace written to %s\n", *traceOut)
+	}
+	if *metricsOut != "" {
+		if err := ob.WritePrometheusFile(*metricsOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "metrics written to %s\n", *metricsOut)
+	}
 
 	if *program != "" {
 		f, err := os.Create(*program)
@@ -135,6 +160,47 @@ func run(args []string, out io.Writer) error {
 			*frames, fppc.LinkBandwidthBps(res.Chip.PinCount(), 100))
 	}
 	return nil
+}
+
+// printSpans renders the recorded spans as an aligned, indented summary
+// table. Singleton spans keep their args; repeated spans (the router's
+// per-boundary spans) collapse into one line with a count.
+func printSpans(out io.Writer, ob *fppc.Observer) {
+	type group struct {
+		name  string
+		depth int
+		n     int
+		total time.Duration
+		args  string
+	}
+	var groups []*group
+	idx := map[string]*group{}
+	for _, r := range ob.Tracer().Records() {
+		key := fmt.Sprintf("%d/%s", r.Depth, r.Name)
+		g := idx[key]
+		if g == nil {
+			g = &group{name: r.Name, depth: r.Depth, args: r.FormatArgs()}
+			idx[key] = g
+			groups = append(groups, g)
+		}
+		g.n++
+		g.total += r.Dur
+	}
+	width := 0
+	for _, g := range groups {
+		if w := 2*g.depth + len(g.name); w > width {
+			width = w
+		}
+	}
+	fmt.Fprintln(out, "stage timings:")
+	for _, g := range groups {
+		label := strings.Repeat("  ", g.depth) + g.name
+		suffix := g.args
+		if g.n > 1 {
+			suffix = fmt.Sprintf("x%d", g.n)
+		}
+		fmt.Fprintf(out, "  %-*s %12s  %s\n", width, label, g.total.Round(time.Microsecond), suffix)
+	}
 }
 
 // loadAssay resolves a JSON or ASL file, or a built-in benchmark name.

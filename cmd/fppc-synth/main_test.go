@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -83,6 +84,45 @@ output d waste
 	}
 	if !strings.Contains(out.String(), "spot") {
 		t.Errorf("ASL assay not compiled")
+	}
+}
+
+func TestRunTraceMetricsVerbose(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	metrics := filepath.Join(dir, "m.prom")
+	var out strings.Builder
+	if err := run([]string{"-assay", "pcr", "-v", "-trace", trace, "-metrics", metrics}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "stage timings:") {
+		t.Errorf("-v stage table missing:\n%s", out.String())
+	}
+	tj, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{`"ph":"X"`, `"name":"compile"`, `"name":"route_boundary"`} {
+		if !strings.Contains(string(tj), frag) {
+			t.Errorf("trace missing %s", frag)
+		}
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(tj, &events); err != nil {
+		t.Fatalf("trace is not a JSON event array: %v", err)
+	}
+	mp, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"fppc_router_retries_total 0",
+		`fppc_stage_duration_seconds{stage="route"}`,
+		"fppc_sched_timesteps",
+	} {
+		if !strings.Contains(string(mp), frag) {
+			t.Errorf("metrics missing %s", frag)
+		}
 	}
 }
 

@@ -34,6 +34,7 @@ import (
 	"fppc/internal/ctrl"
 	"fppc/internal/dag"
 	"fppc/internal/grid"
+	"fppc/internal/obs"
 	"fppc/internal/pins"
 	"fppc/internal/recovery"
 	"fppc/internal/router"
@@ -189,6 +190,27 @@ const (
 // bind, route, and optionally emit the per-cycle pin program.
 func Compile(a *Assay, cfg Config) (*Result, error) { return core.Compile(a, cfg) }
 
+// Observability.
+type (
+	// Observer records hierarchical spans (Compile > Schedule > Route >
+	// Simulate) and pipeline metrics across every synthesis stage. It
+	// exports Chrome trace_event JSON and Prometheus text. A nil Observer
+	// disables observation at near-zero cost.
+	Observer = obs.Observer
+	// SpanRecord is one completed span (name, depth, start, duration).
+	SpanRecord = obs.SpanRecord
+)
+
+// NewObserver returns an enabled observer with a fresh tracer and metric
+// registry.
+func NewObserver() *Observer { return obs.New() }
+
+// WithObserver returns a copy of cfg that records onto ob.
+func WithObserver(cfg Config, ob *Observer) Config {
+	cfg.Obs = ob
+	return cfg
+}
+
 // Pin programs and simulation.
 type (
 	// PinProgram is a compiled sequence of per-cycle pin activations.
@@ -205,6 +227,13 @@ type (
 // level, verifying droplet physics cycle by cycle.
 func Simulate(chip *Chip, prog *PinProgram, events []ReservoirEvent) (*SimTrace, error) {
 	return sim.Run(chip, prog, events)
+}
+
+// SimulateObserved is Simulate recording a "simulate" span and
+// electrode-level counters (cycles, droplet moves, interference checks,
+// merges, splits) onto ob.
+func SimulateObserved(chip *Chip, prog *PinProgram, events []ReservoirEvent, ob *Observer) (*SimTrace, error) {
+	return sim.RunObserved(chip, prog, events, ob)
 }
 
 // Replay is a stepwise simulator with ASCII frame rendering.

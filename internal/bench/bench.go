@@ -8,15 +8,19 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"fppc/internal/arch"
 	"fppc/internal/assays"
 	"fppc/internal/core"
 	"fppc/internal/dag"
+	"fppc/internal/obs"
 	"fppc/internal/pinmap"
 	"fppc/internal/router"
+	"fppc/internal/scheduler"
 )
 
 // ArchResult is one architecture's outcome for one assay.
@@ -26,6 +30,10 @@ type ArchResult struct {
 	Pins       int
 	RoutingS   float64
 	OpsS       float64
+	// SynthMS is the wall-clock synthesis time (schedule + place + route)
+	// in milliseconds — the compiler's own cost, as opposed to the assay
+	// execution times above.
+	SynthMS float64
 }
 
 // TotalS is operations plus routing, the paper's total time.
@@ -54,25 +62,45 @@ type Table1Averages struct {
 // reports insufficient resources, mirroring the paper's methodology for
 // Protein Split 5-7.
 func Table1(tm assays.Timing) ([]Table1Row, Table1Averages, error) {
+	return Table1Observed(tm, nil)
+}
+
+// Table1Observed is Table1 with pipeline observation: each benchmark
+// compiles under a "benchmark" span (args: name, target) and every
+// compilation's stage spans and metrics accumulate on ob.
+func Table1Observed(tm assays.Timing, ob *obs.Observer) ([]Table1Row, Table1Averages, error) {
 	var rows []Table1Row
 	for _, a := range assays.Table1Benchmarks(tm) {
 		row := Table1Row{Name: a.Name}
-		fp, err := core.Compile(a, core.Config{Target: core.TargetFPPC, AutoGrow: true})
+		fp, ms, err := timedCompile(a, core.Config{Target: core.TargetFPPC, AutoGrow: true, Obs: ob})
 		if err != nil {
 			return nil, Table1Averages{}, fmt.Errorf("bench: %s on FPPC: %w", a.Name, err)
 		}
-		row.FP = toArchResult(fp)
-		da, err := core.Compile(a, core.Config{Target: core.TargetDA, AutoGrow: true})
+		row.FP = toArchResult(fp, ms)
+		da, ms, err := timedCompile(a, core.Config{Target: core.TargetDA, AutoGrow: true, Obs: ob})
 		if err != nil {
 			return nil, Table1Averages{}, fmt.Errorf("bench: %s on DA: %w", a.Name, err)
 		}
-		row.DA = toArchResult(da)
+		row.DA = toArchResult(da, ms)
 		rows = append(rows, row)
 	}
 	return rows, averages(rows), nil
 }
 
-func toArchResult(r *core.Result) ArchResult {
+// timedCompile compiles under a per-benchmark span and measures the
+// synthesis wall-clock in milliseconds.
+func timedCompile(a *dag.Assay, cfg core.Config) (*core.Result, float64, error) {
+	sp := cfg.Obs.Span("benchmark")
+	sp.ArgStr("name", a.Name)
+	sp.ArgStr("target", cfg.Target.String())
+	t0 := time.Now()
+	r, err := core.Compile(a, cfg)
+	ms := float64(time.Since(t0)) / float64(time.Millisecond)
+	sp.End()
+	return r, ms, err
+}
+
+func toArchResult(r *core.Result, synthMS float64) ArchResult {
 	return ArchResult{
 		W:          r.Chip.W,
 		H:          r.Chip.H,
@@ -80,6 +108,7 @@ func toArchResult(r *core.Result) ArchResult {
 		Pins:       r.Chip.PinCount(),
 		RoutingS:   r.RoutingSeconds(),
 		OpsS:       r.OperationSeconds(),
+		SynthMS:    synthMS,
 	}
 }
 
@@ -100,16 +129,17 @@ func averages(rows []Table1Row) Table1Averages {
 func FormatTable1(rows []Table1Row, avg Table1Averages) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 1: Direct-Addressing DMFB (DA) vs Field-Programmable Pin-Constrained DMFB (FP)\n")
-	fmt.Fprintf(&b, "%-16s | %9s %9s | %6s %6s | %5s %5s | %8s %8s | %7s %7s | %8s %8s\n",
+	fmt.Fprintf(&b, "%-16s | %9s %9s | %6s %6s | %5s %5s | %8s %8s | %7s %7s | %8s %8s | %9s %9s\n",
 		"Benchmark", "DA dim", "FP dim", "DA el", "FP el", "DA pn", "FP pn",
-		"DA rt(s)", "FP rt(s)", "DA op", "FP op", "DA tot", "FP tot")
+		"DA rt(s)", "FP rt(s)", "DA op", "FP op", "DA tot", "FP tot",
+		"DA syn(ms)", "FP syn(ms)")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-16s | %9s %9s | %6d %6d | %5d %5d | %8.1f %8.1f | %7.0f %7.0f | %8.1f %8.1f\n",
+		fmt.Fprintf(&b, "%-16s | %9s %9s | %6d %6d | %5d %5d | %8.1f %8.1f | %7.0f %7.0f | %8.1f %8.1f | %9.1f %9.1f\n",
 			r.Name,
 			fmt.Sprintf("%dx%d", r.DA.W, r.DA.H), fmt.Sprintf("%dx%d", r.FP.W, r.FP.H),
 			r.DA.Electrodes, r.FP.Electrodes, r.DA.Pins, r.FP.Pins,
 			r.DA.RoutingS, r.FP.RoutingS, r.DA.OpsS, r.FP.OpsS,
-			r.DA.TotalS(), r.FP.TotalS())
+			r.DA.TotalS(), r.FP.TotalS(), r.DA.SynthMS, r.FP.SynthMS)
 	}
 	fmt.Fprintf(&b, "Avg. normalized improvement of FP over DA (>1 favors FP):\n")
 	fmt.Fprintf(&b, "  electrodes %.2f, pins %.2f, routing %.2f, operations %.2f, total %.2f\n",
@@ -153,6 +183,11 @@ var table2Published = []Table2Row{
 // field-programmable design needs no multi-function variant — any
 // sufficiently large chip runs everything).
 func Table2(tm assays.Timing) ([]Table2Row, error) {
+	return Table2Observed(tm, nil)
+}
+
+// Table2Observed is Table2 with pipeline observation on ob.
+func Table2Observed(tm assays.Timing, ob *obs.Observer) ([]Table2Row, error) {
 	rows := append([]Table2Row{}, table2Published...)
 	single := []*dag.Assay{assays.PCR(tm), assays.InVitroN(1, tm), assays.ProteinSplit(3, tm)}
 	maxH := 0
@@ -160,6 +195,7 @@ func Table2(tm assays.Timing) ([]Table2Row, error) {
 		r, err := core.Compile(a, core.Config{
 			Target: core.TargetFPPC, FPPCHeight: 9, AutoGrow: true,
 			Router: router.Options{EmitProgram: true, RotationsPerStep: 1},
+			Obs:    ob,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("bench: table 2 %s: %w", a.Name, err)
@@ -181,7 +217,7 @@ func Table2(tm assays.Timing) ([]Table2Row, error) {
 	worst := 0.0
 	var pins int
 	for _, a := range single {
-		r, err := core.Compile(a, core.Config{Target: core.TargetFPPC, FPPCHeight: maxH})
+		r, err := core.Compile(a, core.Config{Target: core.TargetFPPC, FPPCHeight: maxH, Obs: ob})
 		if err != nil {
 			return nil, fmt.Errorf("bench: table 2 multi-function %s: %w", a.Name, err)
 		}
@@ -233,6 +269,11 @@ var Table3Assays = []string{"PCR", "In-Vitro 1", "Protein Split 3"}
 // Table 3. dispense overrides the protein dispense latency when positive
 // (section 5.2's ablation uses 2).
 func Table3(tm assays.Timing, heights []int, dispense int) ([]Table3Row, error) {
+	return Table3Observed(tm, heights, dispense, nil)
+}
+
+// Table3Observed is Table3 with pipeline observation on ob.
+func Table3Observed(tm assays.Timing, heights []int, dispense int, ob *obs.Observer) ([]Table3Row, error) {
 	if len(heights) == 0 {
 		heights = []int{9, 12, 15, 18, 21}
 	}
@@ -266,7 +307,7 @@ func Table3(tm assays.Timing, heights []int, dispense int) ([]Table3Row, error) 
 			TotalS:     map[string]float64{},
 		}
 		for _, name := range Table3Assays {
-			r, err := core.Compile(mk(name), core.Config{Target: core.TargetFPPC, FPPCHeight: h})
+			r, err := core.Compile(mk(name), core.Config{Target: core.TargetFPPC, FPPCHeight: h, Obs: ob})
 			if err != nil {
 				if insufficientErr(err) {
 					row.TotalS[name] = -1
@@ -282,7 +323,8 @@ func Table3(tm assays.Timing, heights []int, dispense int) ([]Table3Row, error) 
 }
 
 func insufficientErr(err error) bool {
-	return err != nil && strings.Contains(err.Error(), "no progress")
+	var ir *scheduler.ErrInsufficientResources
+	return errors.As(err, &ir)
 }
 
 // FormatTable3 renders the sweep like the paper's Table 3.

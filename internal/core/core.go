@@ -14,6 +14,7 @@ import (
 
 	"fppc/internal/arch"
 	"fppc/internal/dag"
+	"fppc/internal/obs"
 	"fppc/internal/router"
 	"fppc/internal/scheduler"
 )
@@ -66,6 +67,12 @@ type Config struct {
 	// Supplemental S2's compatibility requirement — "the SSD modules have
 	// appropriate detectors" — becomes a real constraint with this set.
 	DetectorCount int
+
+	// Obs records stage spans (Compile > Schedule > Route) and pipeline
+	// metrics across every layer the compilation touches. Nil (the
+	// default) disables observation; the instrumented paths then cost
+	// only nil checks.
+	Obs *obs.Observer
 }
 
 // Result is a compiled assay.
@@ -129,12 +136,37 @@ func placePorts(chip *arch.Chip, a *dag.Assay, singleOutput bool) error {
 	return chip.PlacePorts(inputs, outs)
 }
 
+// ErrChipExhausted reports auto-grow giving up: no array within the
+// growth bounds schedules the assay. It wraps the last scheduling
+// failure and records how far the search went.
+type ErrChipExhausted struct {
+	Assay        string
+	Target       Target
+	LastW, LastH int
+	Attempts     int
+	Err          error
+}
+
+func (e *ErrChipExhausted) Error() string {
+	return fmt.Sprintf("core: %s does not fit any %s chip (%d sizes tried, last %dx%d): %v",
+		e.Assay, e.Target, e.Attempts, e.LastW, e.LastH, e.Err)
+}
+
+func (e *ErrChipExhausted) Unwrap() error { return e.Err }
+
 // Compile runs the full flow. With AutoGrow it retries on
 // ErrInsufficientResources with a taller (FPPC) or larger (DA) array.
 func Compile(a *dag.Assay, cfg Config) (*Result, error) {
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
+	sp := cfg.Obs.Span("compile")
+	sp.ArgStr("assay", a.Name)
+	sp.ArgStr("target", cfg.Target.String())
+	defer func() {
+		d := sp.End()
+		cfg.Obs.Gauge("fppc_stage_duration_seconds", "stage", "compile").Set(d.Seconds())
+	}()
 	switch cfg.Target {
 	case TargetFPPC:
 		return compileFPPC(a, cfg)
@@ -149,21 +181,28 @@ func compileFPPC(a *dag.Assay, cfg Config) (*Result, error) {
 	if h == 0 {
 		h = 21
 	}
+	grow := cfg.Obs.Counter("fppc_autogrow_iterations_total")
+	attempts := 0
 	for {
 		chip, err := arch.NewFPPC(h)
 		if err != nil {
 			return nil, err
 		}
-		res, err := compileOn(a, chip, cfg, scheduler.ScheduleFPPC)
+		attempts++
+		res, err := compileOn(a, chip, cfg, scheduler.ScheduleFPPCObserved)
 		if err == nil {
 			return res, nil
 		}
 		if !cfg.AutoGrow || !insufficient(err) {
 			return nil, err
 		}
+		grow.Inc()
 		h += 2
 		if h > 4*arch.FPPCWidth*40 {
-			return nil, fmt.Errorf("core: %s does not fit any FPPC chip (last: height %d): %w", a.Name, h, err)
+			return nil, &ErrChipExhausted{
+				Assay: a.Name, Target: TargetFPPC,
+				LastW: arch.FPPCWidth, LastH: h - 2, Attempts: attempts, Err: err,
+			}
 		}
 	}
 }
@@ -176,25 +215,32 @@ func compileDA(a *dag.Assay, cfg Config) (*Result, error) {
 	if h == 0 {
 		h = 19
 	}
+	grow := cfg.Obs.Counter("fppc_autogrow_iterations_total")
+	attempts := 0
 	for {
 		chip, err := arch.NewDA(w, h)
 		if err != nil {
 			return nil, err
 		}
-		res, err := compileOn(a, chip, cfg, scheduler.ScheduleDA)
+		attempts++
+		res, err := compileOn(a, chip, cfg, scheduler.ScheduleDAObserved)
 		if err == nil {
 			return res, nil
 		}
 		if !cfg.AutoGrow || !insufficient(err) {
 			return nil, err
 		}
+		grow.Inc()
 		if h >= 2*w {
 			w += 6
 		} else {
 			h += 4
 		}
 		if w > 200 {
-			return nil, fmt.Errorf("core: %s does not fit any DA chip: %w", a.Name, err)
+			return nil, &ErrChipExhausted{
+				Assay: a.Name, Target: TargetDA,
+				LastW: w, LastH: h, Attempts: attempts, Err: err,
+			}
 		}
 	}
 }
@@ -204,25 +250,53 @@ func insufficient(err error) bool {
 	return errors.As(err, &ir)
 }
 
-type scheduleFn func(*dag.Assay, *arch.Chip) (*scheduler.Schedule, error)
+type scheduleFn func(*dag.Assay, *arch.Chip, *obs.Observer) (*scheduler.Schedule, error)
+
+// stage runs fn under a span named name on the chip-attempt observer and
+// records its wall-clock in fppc_stage_duration_seconds{stage=name}.
+// Auto-grow reruns stages; the gauge keeps the last (successful) attempt.
+func stage(ob *obs.Observer, name string, chip *arch.Chip, fn func() error) error {
+	sp := ob.Span(name)
+	if chip != nil {
+		sp.ArgStr("chip", chip.Name)
+	}
+	err := fn()
+	d := sp.End()
+	ob.Gauge("fppc_stage_duration_seconds", "stage", name).Set(d.Seconds())
+	return err
+}
 
 func compileOn(a *dag.Assay, chip *arch.Chip, cfg Config, schedule scheduleFn) (*Result, error) {
+	ob := cfg.Obs
 	if cfg.DetectorCount > 0 {
 		chip.LimitDetectors(cfg.DetectorCount)
 	}
-	if err := placePorts(chip, a, cfg.SingleOutputPort); err != nil {
-		return nil, err
+	if err := stage(ob, "place_ports", chip, func() error {
+		return placePorts(chip, a, cfg.SingleOutputPort)
+	}); err != nil {
+		return nil, fmt.Errorf("core: port placement on %s: %w", chip.Name, err)
 	}
-	s, err := schedule(a, chip)
-	if err != nil {
+	var s *scheduler.Schedule
+	if err := stage(ob, "schedule", chip, func() error {
+		var err error
+		s, err = schedule(a, chip, ob)
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	if err := s.Validate(); err != nil {
 		return nil, fmt.Errorf("core: internal schedule validation failed: %w", err)
 	}
-	routing, err := router.Route(s, cfg.Router)
-	if err != nil {
+	opts := cfg.Router
+	opts.Obs = ob
+	var routing *router.Result
+	if err := stage(ob, "route", chip, func() error {
+		var err error
+		routing, err = router.Route(s, opts)
+		return err
+	}); err != nil {
 		return nil, err
 	}
+	ob.Gauge("fppc_route_total_cycles").Set(float64(routing.TotalCycles))
 	return &Result{Assay: a, Chip: chip, Schedule: s, Routing: routing}, nil
 }

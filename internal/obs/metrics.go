@@ -1,0 +1,308 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultBuckets is the histogram bucket layout used when the caller
+// passes none: a log-ish spread suited to cycle and iteration counts.
+var DefaultBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by d (no-op on nil).
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable float64 metric.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v (no-op on nil).
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a cumulative-bucket distribution metric.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets []float64 // sorted upper bounds, exclusive of +Inf
+	counts  []uint64  // len(buckets)+1; last is the +Inf bucket
+	sum     float64
+	count   uint64
+}
+
+// Observe records one sample (no-op on nil).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.buckets, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all samples (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	}
+	return "histogram"
+}
+
+// family groups every label combination of one metric name.
+type family struct {
+	kind    metricKind
+	buckets []float64
+	series  map[string]any // label string (or "") -> instrument
+	help    string
+}
+
+// Registry holds named metrics. All methods are nil-safe and safe for
+// concurrent use.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{fams: map[string]*family{}} }
+
+// Help sets the family's HELP text emitted before its samples.
+func (r *Registry) Help(name, text string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		f.help = text
+	} else {
+		r.fams[name] = &family{kind: kindCounter, series: map[string]any{}, help: text}
+	}
+}
+
+// labelString serializes alternating key/value pairs into the canonical
+// `k="v",k2="v2"` form (sorted by key). Panics on an odd pair count —
+// that is a programming error at an instrumentation site.
+func labelString(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q", labels))
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// lookup finds or creates the instrument for (name, labels); make builds
+// a new one. The family's kind is fixed by the first resolution.
+func (r *Registry) lookup(name string, kind metricKind, labels []string, make func() any) any {
+	ls := labelString(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{kind: kind, series: map[string]any{}}
+		r.fams[name] = f
+	} else if len(f.series) == 0 {
+		f.kind = kind // registered via Help only; adopt the first real kind
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %v, requested as %v", name, f.kind, kind))
+	}
+	inst, ok := f.series[ls]
+	if !ok {
+		inst = make()
+		f.series[ls] = inst
+	}
+	return inst
+}
+
+// Counter finds or creates a counter.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, kindCounter, labels, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge finds or creates a gauge.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, kindGauge, labels, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram finds or creates a histogram; nil buckets use
+// DefaultBuckets. The bucket layout is fixed by the family's first
+// resolution.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, kindHistogram, labels, func() any {
+		bs := buckets
+		if len(bs) == 0 {
+			bs = DefaultBuckets
+		}
+		bs = append([]float64(nil), bs...)
+		sort.Float64s(bs)
+		return &Histogram{buckets: bs, counts: make([]uint64, len(bs)+1)}
+	}).(*Histogram)
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus emits every metric in the Prometheus text exposition
+// format (families sorted by name, series by label set). A nil registry
+// writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		f := r.fams[name]
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %v\n", name, f.kind)
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, ls := range keys {
+			writeSeries(&b, name, ls, f.series[ls])
+		}
+	}
+	r.mu.Unlock()
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeSeries(b *strings.Builder, name, ls string, inst any) {
+	suffix := func(extra string) string {
+		if ls == "" && extra == "" {
+			return ""
+		}
+		sep := ""
+		if ls != "" && extra != "" {
+			sep = ","
+		}
+		return "{" + ls + sep + extra + "}"
+	}
+	switch m := inst.(type) {
+	case *Counter:
+		fmt.Fprintf(b, "%s%s %d\n", name, suffix(""), m.Value())
+	case *Gauge:
+		fmt.Fprintf(b, "%s%s %s\n", name, suffix(""), formatFloat(m.Value()))
+	case *Histogram:
+		m.mu.Lock()
+		cum := uint64(0)
+		for i, ub := range m.buckets {
+			cum += m.counts[i]
+			fmt.Fprintf(b, "%s_bucket%s %d\n", name, suffix(`le="`+formatFloat(ub)+`"`), cum)
+		}
+		cum += m.counts[len(m.buckets)]
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, suffix(`le="+Inf"`), cum)
+		fmt.Fprintf(b, "%s_sum%s %s\n", name, suffix(""), formatFloat(m.sum))
+		fmt.Fprintf(b, "%s_count%s %d\n", name, suffix(""), m.count)
+		m.mu.Unlock()
+	}
+}

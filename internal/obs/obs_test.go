@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a tracer driven by a manual clock plus the advance
+// function.
+func fakeClock() (*Tracer, func(time.Duration)) {
+	cur := time.Unix(1000, 0)
+	t := &Tracer{now: func() time.Time { return cur }}
+	t.start = cur
+	return t, func(d time.Duration) { cur = cur.Add(d) }
+}
+
+func TestSpanNestingAndOrder(t *testing.T) {
+	tr, tick := fakeClock()
+	root := tr.Span("compile")
+	tick(1 * time.Millisecond)
+	sched := tr.Span("schedule")
+	tick(2 * time.Millisecond)
+	sched.End()
+	route := tr.Span("route")
+	route.ArgInt("ts", 7)
+	tick(3 * time.Millisecond)
+	route.End()
+	tick(1 * time.Millisecond)
+	if d := root.End(); d != 7*time.Millisecond {
+		t.Fatalf("root duration = %v, want 7ms", d)
+	}
+
+	recs := tr.Records()
+	want := []struct {
+		name  string
+		depth int
+		start time.Duration
+		dur   time.Duration
+	}{
+		{"compile", 0, 0, 7 * time.Millisecond},
+		{"schedule", 1, 1 * time.Millisecond, 2 * time.Millisecond},
+		{"route", 1, 3 * time.Millisecond, 3 * time.Millisecond},
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records, want %d", len(recs), len(want))
+	}
+	for i, w := range want {
+		r := recs[i]
+		if r.Name != w.name || r.Depth != w.depth || r.Start != w.start || r.Dur != w.dur {
+			t.Errorf("record %d = %+v, want %+v", i, r, w)
+		}
+	}
+	if got := recs[2].FormatArgs(); got != "ts=7" {
+		t.Errorf("FormatArgs = %q, want %q", got, "ts=7")
+	}
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	tr, tick := fakeClock()
+	c := tr.Span("compile")
+	tick(500 * time.Microsecond)
+	s := tr.Span("schedule")
+	s.ArgInt("timesteps", 42)
+	s.ArgStr("assay", "PCR")
+	tick(250 * time.Microsecond)
+	s.End()
+	tick(250 * time.Microsecond)
+	c.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `[{"name":"compile","ph":"X","ts":0,"dur":1000,"pid":1,"tid":1},` +
+		`{"name":"schedule","ph":"X","ts":500,"dur":250,"pid":1,"tid":1,` +
+		`"args":{"assay":"PCR","timesteps":42}}]` + "\n"
+	if buf.String() != want {
+		t.Errorf("chrome trace:\n got %s\nwant %s", buf.String(), want)
+	}
+
+	// The output must be a well-formed trace_event array.
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	for _, ev := range events {
+		if ph := ev["ph"]; ph != "X" {
+			t.Errorf("event phase %v, want X", ph)
+		}
+	}
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Help("fppc_router_retries_total", "deadlock-breaking relocation sweeps")
+	r.Counter("fppc_router_retries_total").Add(3)
+	r.Gauge("fppc_stage_duration_seconds", "stage", "route").Set(0.25)
+	r.Gauge("fppc_stage_duration_seconds", "stage", "schedule").Set(1.5)
+	h := r.Histogram("fppc_route_cycles", []float64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# TYPE fppc_route_cycles histogram",
+		`fppc_route_cycles_bucket{le="10"} 1`,
+		`fppc_route_cycles_bucket{le="100"} 2`,
+		`fppc_route_cycles_bucket{le="+Inf"} 3`,
+		"fppc_route_cycles_sum 555",
+		"fppc_route_cycles_count 3",
+		"# HELP fppc_router_retries_total deadlock-breaking relocation sweeps",
+		"# TYPE fppc_router_retries_total counter",
+		"fppc_router_retries_total 3",
+		"# TYPE fppc_stage_duration_seconds gauge",
+		`fppc_stage_duration_seconds{stage="route"} 0.25`,
+		`fppc_stage_duration_seconds{stage="schedule"} 1.5`,
+		"",
+	}, "\n")
+	if buf.String() != want {
+		t.Errorf("prometheus text:\n got:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	o := New()
+	const goroutines, perG = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := o.Counter("fppc_test_total")
+			h := o.Histogram("fppc_test_hist", nil)
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				h.Observe(float64(i))
+				o.Gauge("fppc_test_gauge").Set(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := o.Counter("fppc_test_total").Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := o.Histogram("fppc_test_hist", nil).Count(); got != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	o := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := o.Span("work")
+				sp.ArgInt("i", int64(i))
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(o.Tracer().Records()); got != 400 {
+		t.Errorf("got %d spans, want 400", got)
+	}
+}
+
+// TestNoopAllocs pins the contract that lets hot paths stay instrumented
+// unconditionally: the disabled (nil-observer) path allocates nothing.
+func TestNoopAllocs(t *testing.T) {
+	var o *Observer
+	c := o.Counter("x") // nil
+	g := o.Gauge("x")
+	h := o.Histogram("x", nil)
+	n := testing.AllocsPerRun(200, func() {
+		sp := o.Span("compile")
+		sp.ArgInt("k", 1)
+		sp.ArgStr("s", "v")
+		sp.End()
+		c.Inc()
+		c.Add(5)
+		g.Set(2.5)
+		h.Observe(1)
+		o.Tracer().Records()
+	})
+	if n != 0 {
+		t.Fatalf("disabled path allocates %.1f times per run, want 0", n)
+	}
+}
+
+func TestNilExports(t *testing.T) {
+	var o *Observer
+	var buf bytes.Buffer
+	if err := o.Metrics().WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil registry wrote %q, err %v", buf.String(), err)
+	}
+	if err := o.Tracer().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("nil tracer wrote %q, want []", buf.String())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("m")
+	r.Gauge("m")
+}
+
+func TestOddLabelsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on odd label list")
+		}
+	}()
+	NewRegistry().Counter("m", "key-without-value")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "name", `a"b\c`+"\n").Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `m{name="a\"b\\c\n"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("escaped series missing:\n%s\nwant %s", buf.String(), want)
+	}
+}
+
+func TestHelpBeforeUse(t *testing.T) {
+	r := NewRegistry()
+	r.Help("m", "described first")
+	r.Gauge("m").Set(1)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# TYPE m gauge") {
+		t.Errorf("help-first registration kept wrong kind:\n%s", buf.String())
+	}
+}

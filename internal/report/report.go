@@ -9,6 +9,7 @@ import (
 
 	"fppc/internal/assays"
 	"fppc/internal/bench"
+	"fppc/internal/obs"
 )
 
 // Paper-published Table 1 values for the side-by-side columns.
@@ -31,21 +32,27 @@ var paperTable1 = map[string][4]float64{ // DA routing, FP routing, DA ops, FP o
 // Markdown runs all three tables and renders a Markdown document with
 // measured values beside the paper's.
 func Markdown(tm assays.Timing) (string, error) {
+	return MarkdownObserved(tm, nil)
+}
+
+// MarkdownObserved is Markdown with Table 1 compilations recorded on ob.
+func MarkdownObserved(tm assays.Timing, ob *obs.Observer) (string, error) {
 	var b strings.Builder
 	b.WriteString("# Regenerated evaluation (measured vs. paper)\n\n")
 
-	rows, avg, err := bench.Table1(tm)
+	rows, avg, err := bench.Table1Observed(tm, ob)
 	if err != nil {
 		return "", err
 	}
 	b.WriteString("## Table 1 — DA vs FP\n\n")
-	b.WriteString("| Benchmark | FP array | FP pins | DA rt s [paper] | FP rt s [paper] | DA op s [paper] | FP op s [paper] |\n")
-	b.WriteString("|---|---|---|---|---|---|---|\n")
+	b.WriteString("| Benchmark | FP array | FP pins | DA rt s [paper] | FP rt s [paper] | DA op s [paper] | FP op s [paper] | synth ms (DA/FP) |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
 	for _, r := range rows {
 		p := paperTable1[r.Name]
-		fmt.Fprintf(&b, "| %s | %dx%d | %d | %.1f [%.1f] | %.1f [%.1f] | %.0f [%.0f] | %.0f [%.0f] |\n",
+		fmt.Fprintf(&b, "| %s | %dx%d | %d | %.1f [%.1f] | %.1f [%.1f] | %.0f [%.0f] | %.0f [%.0f] | %.1f / %.1f |\n",
 			r.Name, r.FP.W, r.FP.H, r.FP.Pins,
-			r.DA.RoutingS, p[0], r.FP.RoutingS, p[1], r.DA.OpsS, p[2], r.FP.OpsS, p[3])
+			r.DA.RoutingS, p[0], r.FP.RoutingS, p[1], r.DA.OpsS, p[2], r.FP.OpsS, p[3],
+			r.DA.SynthMS, r.FP.SynthMS)
 	}
 	fmt.Fprintf(&b, "\nAverages (>1 favors FP): electrodes %.2f [1.82], pins %.2f [6.53], routing %.2f [0.68], operations %.2f [1.07], total %.2f [0.98]\n\n",
 		avg.Electrodes, avg.Pins, avg.Routing, avg.Operations, avg.Total)

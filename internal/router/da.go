@@ -7,6 +7,7 @@ import (
 	"fppc/internal/dag"
 	"fppc/internal/graphs"
 	"fppc/internal/grid"
+	"fppc/internal/obs"
 	"fppc/internal/scheduler"
 )
 
@@ -22,6 +23,8 @@ type daRouter struct {
 	// during which its halo is impassable (an operation is running or a
 	// droplet is stored there).
 	busy [][][2]int
+
+	cStalls *obs.Counter // cycles droplets wait on clearance/conflicts
 }
 
 // computeBusy reconstructs per-module occupancy from the schedule: ops
@@ -87,14 +90,27 @@ func RouteDA(s *scheduler.Schedule, opts Options) (*Result, error) {
 	if opts.EmitProgram {
 		return nil, fmt.Errorf("router: program emission is only supported for the FPPC architecture")
 	}
-	r := &daRouter{s: s, chip: s.Chip}
+	ob := opts.Obs
+	ob.Metrics().Help("fppc_router_retries_total", "deadlock-breaking relocation sweeps in the FPPC router")
+	ob.Counter("fppc_router_retries_total") // DA never relocates; export 0 for dashboard parity
+	cMoves := ob.Counter("fppc_router_moves_total")
+	hBoundaries := ob.Histogram("fppc_route_cycles", nil)
+	r := &daRouter{s: s, chip: s.Chip, cStalls: ob.Counter("fppc_router_stall_cycles_total")}
 	r.computeBusy()
 	res := &Result{}
 	for _, ts := range s.Boundaries() {
+		sp := ob.Span("route_boundary")
+		sp.ArgInt("ts", int64(ts))
+		sp.ArgInt("moves", int64(len(s.MovesAt(ts))))
 		cycles, err := r.routeBoundary(ts)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
+		sp.ArgInt("cycles", int64(cycles))
+		sp.End()
+		hBoundaries.Observe(float64(cycles))
+		cMoves.Add(int64(len(s.MovesAt(ts))))
 		res.Boundaries = append(res.Boundaries, BoundaryResult{TS: ts, Moves: len(s.MovesAt(ts)), Cycles: cycles})
 		res.TotalCycles += cycles
 		res.MoveCount += len(s.MovesAt(ts))
@@ -299,6 +315,7 @@ func (r *daRouter) routeBoundary(ts int) (int, error) {
 	total := 0
 	consol := 0
 	for i := range moves {
+		r.cStalls.Add(int64(start[i]))
 		if moves[i].Kind == scheduler.MoveStore && moves[i].NodeID < 0 {
 			consol += len(paths[i])
 			continue

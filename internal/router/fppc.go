@@ -6,6 +6,7 @@ import (
 	"fppc/internal/arch"
 	"fppc/internal/dag"
 	"fppc/internal/grid"
+	"fppc/internal/obs"
 	"fppc/internal/pins"
 	"fppc/internal/scheduler"
 )
@@ -52,6 +53,14 @@ type fppcRouter struct {
 	// splitAway maps a droplet produced by a split routed earlier in the
 	// same boundary to the bus cell where its half was left.
 	splitAway map[int]grid.Cell
+
+	// Pre-resolved instruments (nil-safe no-ops when opts.Obs is nil).
+	cRetries    *obs.Counter
+	cBufReloc   *obs.Counter
+	cMoves      *obs.Counter
+	cTransport  *obs.Counter // bus-transport phase cycles
+	cModuleIO   *obs.Counter // module entry/exit and reservoir phase cycles
+	hBoundaries *obs.Histogram
 }
 
 // RouteFPPC routes every sub-problem of an FPPC schedule.
@@ -59,13 +68,21 @@ func RouteFPPC(s *scheduler.Schedule, opts Options) (*Result, error) {
 	if s.Chip.Arch != arch.FPPC {
 		return nil, fmt.Errorf("router: RouteFPPC on %v chip", s.Chip.Arch)
 	}
+	ob := opts.Obs
+	ob.Metrics().Help("fppc_router_retries_total", "deadlock-breaking relocation sweeps in the FPPC router")
 	r := &fppcRouter{
-		s:        s,
-		chip:     s.Chip,
-		opts:     opts,
-		mixHeld:  make([]int, len(s.Chip.MixModules)),
-		ssdHeld:  make([]int, len(s.Chip.SSDModules)),
-		reserved: len(s.Chip.SSDModules) - 1,
+		s:           s,
+		chip:        s.Chip,
+		opts:        opts,
+		mixHeld:     make([]int, len(s.Chip.MixModules)),
+		ssdHeld:     make([]int, len(s.Chip.SSDModules)),
+		reserved:    len(s.Chip.SSDModules) - 1,
+		cRetries:    ob.Counter("fppc_router_retries_total"),
+		cBufReloc:   ob.Counter("fppc_router_buffer_relocations_total"),
+		cMoves:      ob.Counter("fppc_router_moves_total"),
+		cTransport:  ob.Counter("fppc_router_bus_cycles_total", "phase", "transport"),
+		cModuleIO:   ob.Counter("fppc_router_bus_cycles_total", "phase", "module_io"),
+		hBoundaries: ob.Histogram("fppc_route_cycles", nil),
 	}
 	for i := range r.mixHeld {
 		r.mixHeld[i] = -1
@@ -87,10 +104,18 @@ func RouteFPPC(s *scheduler.Schedule, opts Options) (*Result, error) {
 	for ts := 0; ts <= last; ts++ {
 		r.completeOps(ts)
 		if bi < len(boundaries) && boundaries[bi] == ts {
+			sp := ob.Span("route_boundary")
+			sp.ArgInt("ts", int64(ts))
+			sp.ArgInt("moves", int64(len(s.MovesAt(ts))))
 			cycles, err := r.routeBoundary(ts)
 			if err != nil {
+				sp.End()
 				return nil, err
 			}
+			sp.ArgInt("cycles", int64(cycles))
+			sp.End()
+			r.hBoundaries.Observe(float64(cycles))
+			r.cMoves.Add(int64(len(s.MovesAt(ts))))
 			res.Boundaries = append(res.Boundaries, BoundaryResult{
 				TS: ts, Moves: len(s.MovesAt(ts)), Cycles: cycles,
 			})
@@ -220,9 +245,12 @@ func (r *fppcRouter) routeBoundary(ts int) (int, error) {
 		// some other pending move needs; vacating it unblocks that
 		// dependent. Bounded to rule out relocation ping-pong.
 		relocations++
+		r.cRetries.Inc()
 		if relocations > len(moves)+1 {
-			return 0, fmt.Errorf("router: boundary %d: unresolvable routing dependencies (%d moves stuck after %d relocations)",
-				ts, remaining, relocations-1)
+			return 0, &ErrDeadlock{
+				TS: ts, Remaining: remaining, Relocations: relocations - 1,
+				Droplets: stuckDroplets(moves, done),
+			}
 		}
 		idx := -1
 		for i := range moves {
@@ -242,7 +270,10 @@ func (r *fppcRouter) routeBoundary(ts int) (int, error) {
 			}
 		}
 		if idx < 0 {
-			return 0, fmt.Errorf("router: boundary %d: unresolvable routing dependencies (%d moves stuck)", ts, remaining)
+			return 0, &ErrDeadlock{
+				TS: ts, Remaining: remaining, Relocations: relocations - 1,
+				Droplets: stuckDroplets(moves, done),
+			}
 		}
 		m := &moves[idx]
 		bufLoc, ok := r.tempStorage(moves, done)
@@ -257,9 +288,22 @@ func (r *fppcRouter) routeBoundary(ts int) (int, error) {
 		}
 		cycles += c
 		r.bufferRelocs++
+		r.cBufReloc.Inc()
 		m.From = bufLoc
 	}
 	return cycles, nil
+}
+
+// stuckDroplets lists the droplets of unrouted moves, for deadlock
+// diagnostics.
+func stuckDroplets(moves []scheduler.Move, done []bool) []int {
+	var out []int
+	for i, m := range moves {
+		if !done[i] {
+			out = append(out, m.Droplet)
+		}
+	}
+	return out
 }
 
 // dropletPresent reports whether the move's droplet is physically at its
@@ -387,6 +431,7 @@ func (r *fppcRouter) routeOne(ts int, m scheduler.Move) (int, error) {
 		r.event(EvDispense, cur, port.Fluid)
 		r.emit(r.pinOf(cur))
 		cycles++
+		r.cModuleIO.Inc()
 	case scheduler.LocMix, scheduler.LocSSD:
 		if away, ok := r.splitAway[m.Droplet]; ok {
 			// Second half of a split executed this boundary: it is
@@ -401,6 +446,7 @@ func (r *fppcRouter) routeOne(ts int, m scheduler.Move) (int, error) {
 		r.emit(r.pinOf(mod.IO))
 		r.emit(r.pinOf(mod.Bus))
 		cycles += 2
+		r.cModuleIO.Add(2)
 		cur = mod.Bus
 	default:
 		return 0, routeError(ts, m, "cannot route from %v", m.From)
@@ -417,6 +463,7 @@ func (r *fppcRouter) routeOne(ts int, m scheduler.Move) (int, error) {
 			r.event(EvOutput, busDst, outPort.Fluid)
 			r.emit() // all transport pins low; the reservoir absorbs
 			cycles++
+			r.cModuleIO.Inc()
 		}
 	case scheduler.LocMix, scheduler.LocSSD:
 		mod := r.moduleOf(m.To)
@@ -427,6 +474,7 @@ func (r *fppcRouter) routeOne(ts int, m scheduler.Move) (int, error) {
 				r.emit(r.pinOf(busDst), r.pinOf(mod.IO))
 				r.emit(r.pinOf(busDst), r.pinOf(mod.Hold))
 				cycles += 2
+				r.cModuleIO.Add(2)
 				// The staying half becomes the module's occupant; the
 				// away half waits on the bus.
 				r.setHeld(m.To, stayDroplet(r.s, m.NodeID, m.Away))
@@ -440,6 +488,7 @@ func (r *fppcRouter) routeOne(ts int, m scheduler.Move) (int, error) {
 				r.emit(r.pinOf(mod.IO))
 				r.emit(r.pinOf(mod.Hold))
 				cycles += 2
+				r.cModuleIO.Add(2)
 				r.setHeld(m.To, m.Droplet)
 			}
 		}
@@ -455,6 +504,7 @@ func (r *fppcRouter) routeOne(ts int, m scheduler.Move) (int, error) {
 		r.emit(r.pinOf(step))
 		cycles++
 	}
+	r.cTransport.Add(int64(len(path) - 1))
 	enter()
 	return cycles, nil
 }

@@ -18,9 +18,11 @@ package router
 
 import (
 	"fmt"
+	"strings"
 
 	"fppc/internal/arch"
 	"fppc/internal/grid"
+	"fppc/internal/obs"
 	"fppc/internal/pins"
 	"fppc/internal/scheduler"
 )
@@ -40,6 +42,11 @@ type Options struct {
 	// runs ~12 (100 cycles at 8 activations per lap); tests use fewer to
 	// keep programs small. Zero means one idle hold cycle per time-step.
 	RotationsPerStep int
+
+	// Obs records per-boundary spans and routing counters (retries,
+	// relocations, bus-phase cycles). Nil disables observation at the
+	// cost of a nil check per instrument call.
+	Obs *obs.Observer
 }
 
 // BoundaryResult reports one routing sub-problem.
@@ -85,10 +92,44 @@ func locKey(l scheduler.Location) scheduler.Location {
 	return l
 }
 
-// routeError wraps routing failures with context.
+// MoveError reports a failure routing one specific droplet transfer. It
+// carries the boundary time-step and droplet so callers (and the
+// operator reading an error out of a long Protein Split run) can tell
+// exactly which transfer stalled.
+type MoveError struct {
+	TS      int
+	Droplet int
+	Move    scheduler.Move
+	Msg     string
+}
+
+func (e *MoveError) Error() string {
+	return fmt.Sprintf("router: boundary %d, droplet %d (%v %v->%v): %s",
+		e.TS, e.Droplet, e.Move.Kind, e.Move.From, e.Move.To, e.Msg)
+}
+
+// ErrDeadlock reports a routing sub-problem whose pending moves cannot
+// be ordered even after buffer relocations (an externally built cyclic
+// sub-problem beyond Figure 10's single-buffer remedy).
+type ErrDeadlock struct {
+	TS          int   // boundary time-step
+	Remaining   int   // moves still unrouted
+	Relocations int   // buffer relocations attempted before giving up
+	Droplets    []int // droplets of the stuck moves
+}
+
+func (e *ErrDeadlock) Error() string {
+	ids := make([]string, len(e.Droplets))
+	for i, d := range e.Droplets {
+		ids[i] = fmt.Sprint(d)
+	}
+	return fmt.Sprintf("router: boundary %d: unresolvable routing dependencies (%d moves stuck, droplets [%s], %d relocations attempted)",
+		e.TS, e.Remaining, strings.Join(ids, " "), e.Relocations)
+}
+
+// routeError wraps routing failures with move context.
 func routeError(ts int, m scheduler.Move, msg string, args ...any) error {
-	return fmt.Errorf("router: boundary %d, droplet %d (%v %v->%v): %s",
-		ts, m.Droplet, m.Kind, m.From, m.To, fmt.Sprintf(msg, args...))
+	return &MoveError{TS: ts, Droplet: m.Droplet, Move: m, Msg: fmt.Sprintf(msg, args...)}
 }
 
 // bfsPath returns the shortest path (inclusive of both endpoints) from a

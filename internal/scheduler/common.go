@@ -5,6 +5,7 @@ import (
 
 	"fppc/internal/arch"
 	"fppc/internal/dag"
+	"fppc/internal/obs"
 )
 
 // policy selects the scheduling heuristics. The FPPC scheduler uses the
@@ -75,9 +76,18 @@ type base struct {
 	storedNow    int
 	peakStored   int
 	storageMoves int
+
+	// Observability: pre-resolved instruments so the scheduling loop pays
+	// only nil checks when observation is off.
+	ob         *obs.Observer
+	cDeferred  *obs.Counter // ready ops that could not start this pass
+	cMoves     *obs.Counter
+	cStoreRel  *obs.Counter
+	cEvictMix  *obs.Counter
+	cEvictPort *obs.Counter
 }
 
-func newBase(a *dag.Assay, chip *arch.Chip, pol policy) (*base, error) {
+func newBase(a *dag.Assay, chip *arch.Chip, pol policy, ob *obs.Observer) (*base, error) {
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
@@ -94,6 +104,12 @@ func newBase(a *dag.Assay, chip *arch.Chip, pol policy) (*base, error) {
 		portBusyTo: make([]int, len(chip.Ports)),
 		portParked: make([]int, len(chip.Ports)),
 		outPort:    map[string]int{},
+		ob:         ob,
+		cDeferred:  ob.Counter("fppc_sched_deferred_ops_total"),
+		cMoves:     ob.Counter("fppc_sched_moves_total"),
+		cStoreRel:  ob.Counter("fppc_sched_storage_relocations_total"),
+		cEvictMix:  ob.Counter("fppc_sched_evictions_total", "kind", "mix"),
+		cEvictPort: ob.Counter("fppc_sched_evictions_total", "kind", "port"),
 	}
 	for i := range b.ops {
 		b.ops[i] = BoundOp{NodeID: i, Start: -1, End: -1}
@@ -347,8 +363,10 @@ func (b *base) startedOrImminent(node int) bool {
 func (b *base) emitMove(ts int, d *droplet, kind MoveKind, to Location, nodeID int) {
 	b.moves = append(b.moves, Move{TS: ts, Droplet: d.id, Kind: kind, From: d.loc, To: to, NodeID: nodeID, Away: -1})
 	d.loc = to
+	b.cMoves.Inc()
 	if kind == MoveStore {
 		b.storageMoves++
+		b.cStoreRel.Inc()
 	}
 }
 
@@ -378,6 +396,8 @@ func (b *base) finishSchedule() *Schedule {
 			makespan = op.End
 		}
 	}
+	b.ob.Gauge("fppc_sched_timesteps").Set(float64(makespan))
+	b.ob.Gauge("fppc_sched_peak_stored").Set(float64(b.peakStored))
 	drops := make([]DropletRef, len(b.es.drops))
 	for i, d := range b.es.drops {
 		drops[i] = DropletRef{ID: d.id, Producer: d.producer, Consumer: d.consumer, ChildIdx: d.childIdx}

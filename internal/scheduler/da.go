@@ -5,6 +5,7 @@ import (
 
 	"fppc/internal/arch"
 	"fppc/internal/dag"
+	"fppc/internal/obs"
 )
 
 // daState models the direct-addressing baseline's resources: a pool of
@@ -21,10 +22,16 @@ type daState struct {
 
 // ScheduleDA runs the list scheduler against a direct-addressing chip.
 func ScheduleDA(a *dag.Assay, chip *arch.Chip) (*Schedule, error) {
+	return ScheduleDAObserved(a, chip, nil)
+}
+
+// ScheduleDAObserved is ScheduleDA with instrumentation recorded on ob
+// (nil disables).
+func ScheduleDAObserved(a *dag.Assay, chip *arch.Chip, ob *obs.Observer) (*Schedule, error) {
 	if chip.Arch != arch.DirectAddressing {
 		return nil, fmt.Errorf("scheduler: ScheduleDA on %v chip %s", chip.Arch, chip.Name)
 	}
-	b, err := newBase(a, chip, daPolicy)
+	b, err := newBase(a, chip, daPolicy, ob)
 	if err != nil {
 		return nil, err
 	}
@@ -43,6 +50,7 @@ func ScheduleDA(a *dag.Assay, chip *arch.Chip) (*Schedule, error) {
 				continue
 			}
 			if st.tryEvictPort(t) {
+				st.cEvictPort.Inc()
 				continue
 			}
 			break
@@ -193,6 +201,7 @@ func (st *daState) tryStart(t int) bool {
 		if st.startNode(id, t) {
 			return true
 		}
+		st.cDeferred.Inc()
 	}
 	return false
 }

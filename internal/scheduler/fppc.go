@@ -5,6 +5,7 @@ import (
 
 	"fppc/internal/arch"
 	"fppc/internal/dag"
+	"fppc/internal/obs"
 )
 
 // fppcState is the FPPC scheduler's resource model: typed modules with
@@ -26,10 +27,16 @@ type fppcState struct {
 // chip needs at least two SSD modules to schedule anything that stores,
 // detects or splits.
 func ScheduleFPPC(a *dag.Assay, chip *arch.Chip) (*Schedule, error) {
+	return ScheduleFPPCObserved(a, chip, nil)
+}
+
+// ScheduleFPPCObserved is ScheduleFPPC with list-scheduling iteration,
+// deferred-op and eviction instrumentation recorded on ob (nil disables).
+func ScheduleFPPCObserved(a *dag.Assay, chip *arch.Chip, ob *obs.Observer) (*Schedule, error) {
 	if chip.Arch != arch.FPPC {
 		return nil, fmt.Errorf("scheduler: ScheduleFPPC on %v chip %s", chip.Arch, chip.Name)
 	}
-	b, err := newBase(a, chip, fppcPolicy)
+	b, err := newBase(a, chip, fppcPolicy, ob)
 	if err != nil {
 		return nil, err
 	}
@@ -62,9 +69,11 @@ func ScheduleFPPC(a *dag.Assay, chip *arch.Chip) (*Schedule, error) {
 				continue
 			}
 			if st.tryEvict(t) {
+				st.cEvictMix.Inc()
 				continue
 			}
 			if st.tryEvictPort(t) {
+				st.cEvictPort.Inc()
 				continue
 			}
 			break
@@ -181,6 +190,7 @@ func (st *fppcState) tryStart(t int) bool {
 		if st.startNode(id, t) {
 			return true
 		}
+		st.cDeferred.Inc()
 	}
 	return false
 }

@@ -22,6 +22,7 @@ import (
 
 	"fppc/internal/arch"
 	"fppc/internal/grid"
+	"fppc/internal/obs"
 	"fppc/internal/pins"
 	"fppc/internal/router"
 )
@@ -125,7 +126,24 @@ func (t *Trace) VolumeRemaining() float64 {
 // returns the trace and the first physics violation encountered (the
 // trace is valid up to that cycle).
 func Run(chip *arch.Chip, prog *pins.Program, events []router.Event) (*Trace, error) {
-	s := &state{chip: chip, trace: &Trace{}}
+	return RunObserved(chip, prog, events, nil)
+}
+
+// RunObserved is Run with cycle, droplet-move and interference-check
+// metrics recorded on ob (nil disables).
+func RunObserved(chip *arch.Chip, prog *pins.Program, events []router.Event, ob *obs.Observer) (*Trace, error) {
+	sp := ob.Span("simulate")
+	sp.ArgInt("cycles", int64(prog.Len()))
+	defer sp.End()
+	s := &state{
+		chip:    chip,
+		trace:   &Trace{},
+		cCycles: ob.Counter("fppc_sim_cycles_total"),
+		cMoves:  ob.Counter("fppc_sim_droplet_moves_total"),
+		cChecks: ob.Counter("fppc_sim_interference_checks_total"),
+		cMerges: ob.Counter("fppc_sim_merges_total"),
+		cSplits: ob.Counter("fppc_sim_splits_total"),
+	}
 	evIdx := 0
 	for cyc := 0; cyc < prog.Len(); cyc++ {
 		for evIdx < len(events) && events[evIdx].Cycle == cyc {
@@ -135,6 +153,7 @@ func Run(chip *arch.Chip, prog *pins.Program, events []router.Event) (*Trace, er
 			evIdx++
 		}
 		active := pins.ActiveCells(chip, prog.Cycle(cyc))
+		s.cCycles.Inc()
 		if err := s.step(cyc, active); err != nil {
 			return s.finish(cyc), err
 		}
@@ -153,6 +172,12 @@ type state struct {
 
 	// residue records the dominant fluid last deposited on each cell.
 	residue map[grid.Cell]string
+
+	cCycles *obs.Counter
+	cMoves  *obs.Counter
+	cChecks *obs.Counter
+	cMerges *obs.Counter
+	cSplits *obs.Counter
 }
 
 // apply handles a reservoir event at the start of a cycle.
@@ -202,6 +227,7 @@ func (s *state) step(cyc int, active map[grid.Cell]bool) error {
 		if extra != nil {
 			newDrops = append(newDrops, extra)
 			s.trace.Splits++
+			s.cSplits.Inc()
 		}
 	}
 	s.drops = newDrops
@@ -270,6 +296,9 @@ func (s *state) advance(cyc int, d *Droplet, active map[grid.Cell]bool) (*Drople
 		case 0:
 			return nil, nil, &Error{Cycle: cyc, Droplet: d.ID, Cell: cur, Msg: "no activated electrode nearby: droplet drifts"}
 		case 1:
+			if pulls[0] != cur {
+				s.cMoves.Inc()
+			}
 			d.Cells[0] = pulls[0]
 			return d, nil, nil
 		case 2:
@@ -277,6 +306,7 @@ func (s *state) advance(cyc int, d *Droplet, active map[grid.Cell]bool) (*Drople
 			if (a == cur || b == cur) && grid.Adjacent4(a, b) {
 				// Own cell plus one neighbour: stretch across both.
 				d.Cells = []grid.Cell{a, b}
+				s.cMoves.Inc()
 				return d, nil, nil
 			}
 			if grid.Adjacent4(a, cur) && grid.Adjacent4(b, cur) {
@@ -298,6 +328,7 @@ func (s *state) advance(cyc int, d *Droplet, active map[grid.Cell]bool) (*Drople
 			p := pulls[0]
 			if onBody(p) || grid.Adjacent4(p, a) || grid.Adjacent4(p, b) {
 				d.Cells = []grid.Cell{p}
+				s.cMoves.Inc()
 				return d, nil, nil
 			}
 			return nil, nil, &Error{Cycle: cyc, Droplet: d.ID, Cell: a, Msg: "stretched droplet pulled to a detached electrode"}
@@ -326,6 +357,7 @@ func (s *state) advance(cyc int, d *Droplet, active map[grid.Cell]bool) (*Drople
 			d.Volume = half
 			other := &Droplet{ID: s.nextID, Cells: []grid.Cell{pull}, Volume: half, Solute: halfSolute}
 			s.nextID++
+			s.cMoves.Inc()
 			return d, other, nil
 		default:
 			return nil, nil, &Error{Cycle: cyc, Droplet: d.ID, Cell: a,
@@ -342,11 +374,13 @@ func (s *state) mergePass(cyc int) error {
 		merged := false
 		for i := 0; i < len(s.drops) && !merged; i++ {
 			for j := i + 1; j < len(s.drops); j++ {
+				s.cChecks.Inc()
 				if s.drops[i].near(s.drops[j]) {
 					s.trace.MergeLog = append(s.trace.MergeLog, MergeEvent{Cycle: cyc, Cell: s.drops[i].Cells[0]})
 					s.drops[i] = coalesce(s.drops[i], s.drops[j])
 					s.drops = append(s.drops[:j], s.drops[j+1:]...)
 					s.trace.Merges++
+					s.cMerges.Inc()
 					merged = true
 					break
 				}
