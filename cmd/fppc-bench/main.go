@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -43,17 +44,24 @@ func run(args []string, out io.Writer) error {
 	jsonOut := fs.Bool("json", false, "emit the selected tables as JSON")
 	traceOut := fs.String("trace", "", "write a Chrome trace_event JSON file of the runs")
 	metricsOut := fs.String("metrics", "", "write pipeline metrics in Prometheus text format")
+	timeout := fs.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	var ctx context.Context
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+	}
 	var ob *obs.Observer
 	if *traceOut != "" || *metricsOut != "" {
 		ob = obs.New()
 	}
 	tm := assays.DefaultTiming()
 	if *markdown {
-		md, err := report.MarkdownObserved(tm, ob)
+		md, err := report.MarkdownContext(ctx, tm, ob)
 		if err != nil {
 			return err
 		}
@@ -68,7 +76,7 @@ func run(args []string, out io.Writer) error {
 		Table3         []bench.Table3Row     `json:"table3,omitempty"`
 	}{}
 	if *table == 0 || *table == 1 {
-		rows, avg, err := bench.Table1Observed(tm, ob)
+		rows, avg, err := bench.Table1Context(ctx, tm, ob)
 		if err != nil {
 			return err
 		}
@@ -79,7 +87,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	if *table == 0 || *table == 2 {
-		rows, err := bench.Table2Observed(tm, ob)
+		rows, err := bench.Table2Context(ctx, tm, ob)
 		if err != nil {
 			return err
 		}
@@ -100,7 +108,7 @@ func run(args []string, out io.Writer) error {
 				hs = append(hs, h)
 			}
 		}
-		rows, err := bench.Table3Observed(tm, hs, *dispense, ob)
+		rows, err := bench.Table3Context(ctx, tm, hs, *dispense, ob)
 		if err != nil {
 			return err
 		}

@@ -1,11 +1,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"fppc"
 )
 
 func TestRunTable3Only(t *testing.T) {
@@ -92,5 +96,20 @@ func TestRunBadHeights(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-table", "3", "-heights", "x,y"}, &out); err == nil {
 		t.Errorf("bad heights accepted")
+	}
+}
+
+func TestRunTimeoutAbortsWithTypedError(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-table", "1", "-timeout", "1ns"}, &out)
+	if err == nil {
+		t.Fatal("expected a cancellation error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error %v does not unwrap to context.DeadlineExceeded", err)
+	}
+	var ce *fppc.CompileCanceledError
+	if !errors.As(err, &ce) {
+		t.Errorf("error %v is not a *fppc.CompileCanceledError", err)
 	}
 }

@@ -1,0 +1,94 @@
+// fppc-serve runs the compilation service: a long-running HTTP server
+// that compiles assays (ASL text or DAG JSON) into chip programs on
+// demand, with a bounded worker pool, a content-addressed compile
+// cache, request deduplication, per-request deadlines, and live
+// Prometheus metrics.
+//
+// Usage:
+//
+//	fppc-serve -addr :8093
+//	fppc-serve -addr 127.0.0.1:8093 -workers 4 -cache 512 -timeout 10s
+//
+// Endpoints:
+//
+//	POST /compile  — compile an assay (see doc/SERVICE.md for the schema)
+//	GET  /metrics  — Prometheus text exposition
+//	GET  /healthz  — liveness JSON
+//
+// SIGINT/SIGTERM drain in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fppc/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fppc-serve: ")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fppc-serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8093", "listen address")
+	workers := fs.Int("workers", 0, "max concurrent compilations (0 = GOMAXPROCS)")
+	cache := fs.Int("cache", 256, "compile cache capacity (entries)")
+	timeout := fs.Duration("timeout", 30*time.Second, "default per-request compile deadline")
+	maxTimeout := fs.Duration("max-timeout", 5*time.Minute, "hard cap on client-requested deadlines")
+	drain := fs.Duration("drain", 30*time.Second, "shutdown grace period for in-flight requests")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := service.New(service.Config{
+		Workers:        *workers,
+		CacheEntries:   *cache,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Fprintf(out, "fppc-serve: listening on %s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(out, "fppc-serve: shutting down (draining up to %s)\n", *drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServeLifecycle boots the server on an ephemeral port, drives one
+// compile request end to end, and verifies a graceful shutdown drains
+// the listener.
+func TestServeLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out lockedBuffer
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "2"}, &out)
+	}()
+
+	addr := waitForAddr(t, &out)
+	body, err := json.Marshal(map[string]any{
+		"asl": "assay \"t\"\nfluid a\nfluid b\nx = dispense a 2\ny = dispense b 2\nm = mix x y 3\noutput m waste\n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+addr+"/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /compile: HTTP %d", resp.StatusCode)
+	}
+	var cr struct {
+		Assay  string `json:"assay"`
+		Cached bool   `json:"cached"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Assay != "t" {
+		t.Errorf("assay = %q", cr.Assay)
+	}
+
+	cancel() // simulate SIGINT
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Errorf("missing drain notice in output:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-no-such-flag"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("expected flag error")
+	}
+	if err := run(context.Background(), []string{"-addr", "256.0.0.1:bad"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("expected listen error")
+	}
+}
+
+var addrRE = regexp.MustCompile(`listening on (\S+)`)
+
+func waitForAddr(t *testing.T, out *lockedBuffer) string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			return m[1]
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("server never reported its address; output: %q", out.String())
+	return ""
+}
+
+// lockedBuffer makes the test's capture writer safe against the server
+// goroutine writing while the test polls.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

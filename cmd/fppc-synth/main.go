@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -46,6 +47,7 @@ func run(args []string, out io.Writer) error {
 	dump := fs.String("dump-assay", "", "write the assay DAG as JSON to this file")
 	traceOut := fs.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing)")
 	metricsOut := fs.String("metrics", "", "write pipeline metrics in Prometheus text format")
+	timeout := fs.Duration("timeout", 0, "abort compilation after this long (0 = no limit)")
 	verbose := fs.Bool("v", false, "print the per-stage span summary after compiling")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,7 +92,13 @@ func run(args []string, out io.Writer) error {
 		}
 		cfg.Router = fppc.RouterOptions{EmitProgram: true, RotationsPerStep: 12}
 	}
-	res, err := fppc.Compile(assay, cfg)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := fppc.CompileContext(ctx, assay, cfg)
 	if err != nil {
 		return err
 	}

@@ -1,11 +1,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"fppc"
 )
 
 func TestRunBuiltins(t *testing.T) {
@@ -140,5 +144,20 @@ func TestRunErrors(t *testing.T) {
 		if err := run(args, &out); err == nil {
 			t.Errorf("%v: expected error", args)
 		}
+	}
+}
+
+func TestRunTimeoutAbortsWithTypedError(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-assay", "protein5", "-grow", "-timeout", "1ns"}, &out)
+	if err == nil {
+		t.Fatal("expected a cancellation error")
+	}
+	var ce *fppc.CompileCanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %v is not a *fppc.CompileCanceledError", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error %v does not unwrap to context.DeadlineExceeded", err)
 	}
 }

@@ -24,6 +24,7 @@
 package fppc
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
@@ -189,6 +190,17 @@ const (
 // Compile synthesizes an assay onto the selected architecture: schedule,
 // bind, route, and optionally emit the per-cycle pin program.
 func Compile(a *Assay, cfg Config) (*Result, error) { return core.Compile(a, cfg) }
+
+// CompileContext is Compile with cooperative cancellation: once ctx is
+// done the scheduler and router loops abort promptly and the call
+// returns a *CompileCanceledError wrapping the context's error.
+func CompileContext(ctx context.Context, a *Assay, cfg Config) (*Result, error) {
+	return core.CompileContext(ctx, a, cfg)
+}
+
+// CompileCanceledError is the typed error CompileContext returns when
+// the context expires or is canceled mid-compilation.
+type CompileCanceledError = core.ErrCanceled
 
 // Observability.
 type (

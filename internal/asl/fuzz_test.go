@@ -1,0 +1,80 @@
+package asl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzParse throws arbitrary text at the parser. The contract: Parse
+// never panics, and on success returns an assay that passes its own
+// validation (Parse validates internally, so a nil error with an
+// inconsistent DAG would be a parser bug).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// The package-doc example.
+		`assay "dilution"
+fluid protein ports=1
+fluid buffer  ports=2
+
+s      = dispense protein 7
+b1     = dispense buffer 7
+m1     = mix s b1 3
+k1, w1 = split m1
+r1     = detect k1 30
+output r1 product
+output w1 waste
+`,
+		// examples/multiplex/spotcheck.asl.
+		`# A one-off glucose spot check in the assay description language.
+assay "glucose-spot-check"
+fluid serum
+fluid glucose_ox
+
+s = dispense serum 2
+r = dispense glucose_ox 2
+m = mix s r 3
+d = detect m 7
+output d waste
+`,
+		// Store and comments.
+		"assay \"t\"\nfluid a\nx = dispense a 1 # inline\ny = store x 5\noutput y waste\n",
+		// Error-path seeds.
+		"",
+		"assay",
+		"assay \"\"",
+		"fluid",
+		"fluid f ports=zero",
+		"x = dispense nosuch 1",
+		"x = mix a b 1",
+		"a, b = split",
+		"x =",
+		"= dispense a 1",
+		"output",
+		"output x",
+		"x, y, z = split w",
+		"x = dispense a -1",
+		"x = dispense a 99999999999999999999",
+		"\x00\x01\x02",
+		"x = dispense a 1\nx = dispense a 1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		a, err := Parse(src)
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) && !strings.HasPrefix(err.Error(), "asl:") {
+				t.Errorf("non-asl error %T: %v", err, err)
+			}
+			return
+		}
+		if a == nil {
+			t.Fatal("nil assay with nil error")
+		}
+		if err := a.Validate(); err != nil {
+			t.Errorf("parsed assay fails validation: %v", err)
+		}
+	})
+}

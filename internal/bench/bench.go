@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -69,15 +70,22 @@ func Table1(tm assays.Timing) ([]Table1Row, Table1Averages, error) {
 // compiles under a "benchmark" span (args: name, target) and every
 // compilation's stage spans and metrics accumulate on ob.
 func Table1Observed(tm assays.Timing, ob *obs.Observer) ([]Table1Row, Table1Averages, error) {
+	return Table1Context(nil, tm, ob)
+}
+
+// Table1Context is Table1Observed under a context: cancellation or
+// deadline expiry aborts the sweep between (and cooperatively inside)
+// compilations. A nil ctx never cancels.
+func Table1Context(ctx context.Context, tm assays.Timing, ob *obs.Observer) ([]Table1Row, Table1Averages, error) {
 	var rows []Table1Row
 	for _, a := range assays.Table1Benchmarks(tm) {
 		row := Table1Row{Name: a.Name}
-		fp, ms, err := timedCompile(a, core.Config{Target: core.TargetFPPC, AutoGrow: true, Obs: ob})
+		fp, ms, err := timedCompile(ctx, a, core.Config{Target: core.TargetFPPC, AutoGrow: true, Obs: ob})
 		if err != nil {
 			return nil, Table1Averages{}, fmt.Errorf("bench: %s on FPPC: %w", a.Name, err)
 		}
 		row.FP = toArchResult(fp, ms)
-		da, ms, err := timedCompile(a, core.Config{Target: core.TargetDA, AutoGrow: true, Obs: ob})
+		da, ms, err := timedCompile(ctx, a, core.Config{Target: core.TargetDA, AutoGrow: true, Obs: ob})
 		if err != nil {
 			return nil, Table1Averages{}, fmt.Errorf("bench: %s on DA: %w", a.Name, err)
 		}
@@ -89,12 +97,12 @@ func Table1Observed(tm assays.Timing, ob *obs.Observer) ([]Table1Row, Table1Aver
 
 // timedCompile compiles under a per-benchmark span and measures the
 // synthesis wall-clock in milliseconds.
-func timedCompile(a *dag.Assay, cfg core.Config) (*core.Result, float64, error) {
+func timedCompile(ctx context.Context, a *dag.Assay, cfg core.Config) (*core.Result, float64, error) {
 	sp := cfg.Obs.Span("benchmark")
 	sp.ArgStr("name", a.Name)
 	sp.ArgStr("target", cfg.Target.String())
 	t0 := time.Now()
-	r, err := core.Compile(a, cfg)
+	r, err := core.CompileContext(ctx, a, cfg)
 	ms := float64(time.Since(t0)) / float64(time.Millisecond)
 	sp.End()
 	return r, ms, err
@@ -188,11 +196,17 @@ func Table2(tm assays.Timing) ([]Table2Row, error) {
 
 // Table2Observed is Table2 with pipeline observation on ob.
 func Table2Observed(tm assays.Timing, ob *obs.Observer) ([]Table2Row, error) {
+	return Table2Context(nil, tm, ob)
+}
+
+// Table2Context is Table2Observed under a context; a nil ctx never
+// cancels.
+func Table2Context(ctx context.Context, tm assays.Timing, ob *obs.Observer) ([]Table2Row, error) {
 	rows := append([]Table2Row{}, table2Published...)
 	single := []*dag.Assay{assays.PCR(tm), assays.InVitroN(1, tm), assays.ProteinSplit(3, tm)}
 	maxH := 0
 	for i, a := range single {
-		r, err := core.Compile(a, core.Config{
+		r, err := core.CompileContext(ctx, a, core.Config{
 			Target: core.TargetFPPC, FPPCHeight: 9, AutoGrow: true,
 			Router: router.Options{EmitProgram: true, RotationsPerStep: 1},
 			Obs:    ob,
@@ -217,7 +231,7 @@ func Table2Observed(tm assays.Timing, ob *obs.Observer) ([]Table2Row, error) {
 	worst := 0.0
 	var pins int
 	for _, a := range single {
-		r, err := core.Compile(a, core.Config{Target: core.TargetFPPC, FPPCHeight: maxH, Obs: ob})
+		r, err := core.CompileContext(ctx, a, core.Config{Target: core.TargetFPPC, FPPCHeight: maxH, Obs: ob})
 		if err != nil {
 			return nil, fmt.Errorf("bench: table 2 multi-function %s: %w", a.Name, err)
 		}
@@ -274,6 +288,12 @@ func Table3(tm assays.Timing, heights []int, dispense int) ([]Table3Row, error) 
 
 // Table3Observed is Table3 with pipeline observation on ob.
 func Table3Observed(tm assays.Timing, heights []int, dispense int, ob *obs.Observer) ([]Table3Row, error) {
+	return Table3Context(nil, tm, heights, dispense, ob)
+}
+
+// Table3Context is Table3Observed under a context; a nil ctx never
+// cancels.
+func Table3Context(ctx context.Context, tm assays.Timing, heights []int, dispense int, ob *obs.Observer) ([]Table3Row, error) {
 	if len(heights) == 0 {
 		heights = []int{9, 12, 15, 18, 21}
 	}
@@ -307,7 +327,7 @@ func Table3Observed(tm assays.Timing, heights []int, dispense int, ob *obs.Obser
 			TotalS:     map[string]float64{},
 		}
 		for _, name := range Table3Assays {
-			r, err := core.Compile(mk(name), core.Config{Target: core.TargetFPPC, FPPCHeight: h, Obs: ob})
+			r, err := core.CompileContext(ctx, mk(name), core.Config{Target: core.TargetFPPC, FPPCHeight: h, Obs: ob})
 			if err != nil {
 				if insufficientErr(err) {
 					row.TotalS[name] = -1

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"fppc/internal/assays"
+)
+
+// An already-cancelled context must abort compilation before any real
+// work happens and surface the typed *ErrCanceled.
+func TestCompileContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a := assays.ProteinSplit(5, assays.DefaultTiming())
+	start := time.Now()
+	res, err := CompileContext(ctx, a, Config{Target: TargetFPPC, AutoGrow: true})
+	if res != nil {
+		t.Fatalf("got result %v from cancelled compile", res.Summary())
+	}
+	var ce *ErrCanceled
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v (%T), want *ErrCanceled", err, err)
+	}
+	if ce.Assay != a.Name || ce.Target != TargetFPPC {
+		t.Errorf("ErrCanceled = %+v, want assay %q target fppc", ce, a.Name)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("errors.Is(err, context.Canceled) = false for %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("cancelled compile took %v, want prompt abort", d)
+	}
+}
+
+// A deadline that expires mid-flow is caught by the cooperative checks
+// in the scheduler/router loops and maps to context.DeadlineExceeded.
+func TestCompileContextDeadlineExceeded(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	a := assays.PCR(assays.DefaultTiming())
+	_, err := CompileContext(ctx, a, Config{Target: TargetDA})
+	var ce *ErrCanceled
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v (%T), want *ErrCanceled", err, err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("errors.Is(err, context.DeadlineExceeded) = false for %v", err)
+	}
+}
+
+// A nil context behaves like context.Background (the batch entry point).
+func TestCompileContextNil(t *testing.T) {
+	a := assays.PCR(assays.DefaultTiming())
+	res, err := CompileContext(nil, a, Config{Target: TargetFPPC})
+	if err != nil || res == nil {
+		t.Fatalf("CompileContext(nil, ...) = %v, %v", res, err)
+	}
+}

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -154,11 +155,41 @@ func (e *ErrChipExhausted) Error() string {
 
 func (e *ErrChipExhausted) Unwrap() error { return e.Err }
 
+// ErrCanceled reports a compilation aborted by its context: the deadline
+// expired or the caller canceled. Err is the context's error
+// (context.Canceled or context.DeadlineExceeded), reachable through
+// errors.Is; the service layer maps this to HTTP 504.
+type ErrCanceled struct {
+	Assay  string
+	Target Target
+	Err    error
+}
+
+func (e *ErrCanceled) Error() string {
+	return fmt.Sprintf("core: compilation of %s for %s canceled: %v", e.Assay, e.Target, e.Err)
+}
+
+func (e *ErrCanceled) Unwrap() error { return e.Err }
+
 // Compile runs the full flow. With AutoGrow it retries on
 // ErrInsufficientResources with a taller (FPPC) or larger (DA) array.
 func Compile(a *dag.Assay, cfg Config) (*Result, error) {
+	return CompileContext(context.Background(), a, cfg)
+}
+
+// CompileContext is Compile with cooperative cancellation: the scheduler
+// and router main loops check ctx and the whole flow aborts promptly
+// with a *ErrCanceled once the context is done. This is what makes
+// per-request deadlines real in the compilation service.
+func CompileContext(ctx context.Context, a *dag.Assay, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := a.Validate(); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, cancelErr(a, cfg, err)
 	}
 	sp := cfg.Obs.Span("compile")
 	sp.ArgStr("assay", a.Name)
@@ -167,16 +198,30 @@ func Compile(a *dag.Assay, cfg Config) (*Result, error) {
 		d := sp.End()
 		cfg.Obs.Gauge("fppc_stage_duration_seconds", "stage", "compile").Set(d.Seconds())
 	}()
+	var res *Result
+	var err error
 	switch cfg.Target {
 	case TargetFPPC:
-		return compileFPPC(a, cfg)
+		res, err = compileFPPC(ctx, a, cfg)
 	case TargetDA:
-		return compileDA(a, cfg)
+		res, err = compileDA(ctx, a, cfg)
+	default:
+		return nil, fmt.Errorf("core: unknown target %d", int(cfg.Target))
 	}
-	return nil, fmt.Errorf("core: unknown target %d", int(cfg.Target))
+	if err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+		return nil, cancelErr(a, cfg, err)
+	}
+	return res, err
 }
 
-func compileFPPC(a *dag.Assay, cfg Config) (*Result, error) {
+// cancelErr wraps a context abort into the typed *ErrCanceled and counts
+// it.
+func cancelErr(a *dag.Assay, cfg Config, err error) error {
+	cfg.Obs.Counter("fppc_compile_canceled_total").Inc()
+	return &ErrCanceled{Assay: a.Name, Target: cfg.Target, Err: err}
+}
+
+func compileFPPC(ctx context.Context, a *dag.Assay, cfg Config) (*Result, error) {
 	h := cfg.FPPCHeight
 	if h == 0 {
 		h = 21
@@ -189,7 +234,7 @@ func compileFPPC(a *dag.Assay, cfg Config) (*Result, error) {
 			return nil, err
 		}
 		attempts++
-		res, err := compileOn(a, chip, cfg, scheduler.ScheduleFPPCObserved)
+		res, err := compileOn(ctx, a, chip, cfg, scheduler.ScheduleFPPCContext)
 		if err == nil {
 			return res, nil
 		}
@@ -207,7 +252,7 @@ func compileFPPC(a *dag.Assay, cfg Config) (*Result, error) {
 	}
 }
 
-func compileDA(a *dag.Assay, cfg Config) (*Result, error) {
+func compileDA(ctx context.Context, a *dag.Assay, cfg Config) (*Result, error) {
 	w, h := cfg.DAWidth, cfg.DAHeight
 	if w == 0 {
 		w = 15
@@ -223,7 +268,7 @@ func compileDA(a *dag.Assay, cfg Config) (*Result, error) {
 			return nil, err
 		}
 		attempts++
-		res, err := compileOn(a, chip, cfg, scheduler.ScheduleDAObserved)
+		res, err := compileOn(ctx, a, chip, cfg, scheduler.ScheduleDAContext)
 		if err == nil {
 			return res, nil
 		}
@@ -250,7 +295,7 @@ func insufficient(err error) bool {
 	return errors.As(err, &ir)
 }
 
-type scheduleFn func(*dag.Assay, *arch.Chip, *obs.Observer) (*scheduler.Schedule, error)
+type scheduleFn func(context.Context, *dag.Assay, *arch.Chip, *obs.Observer) (*scheduler.Schedule, error)
 
 // stage runs fn under a span named name on the chip-attempt observer and
 // records its wall-clock in fppc_stage_duration_seconds{stage=name}.
@@ -266,7 +311,7 @@ func stage(ob *obs.Observer, name string, chip *arch.Chip, fn func() error) erro
 	return err
 }
 
-func compileOn(a *dag.Assay, chip *arch.Chip, cfg Config, schedule scheduleFn) (*Result, error) {
+func compileOn(ctx context.Context, a *dag.Assay, chip *arch.Chip, cfg Config, schedule scheduleFn) (*Result, error) {
 	ob := cfg.Obs
 	if cfg.DetectorCount > 0 {
 		chip.LimitDetectors(cfg.DetectorCount)
@@ -279,7 +324,7 @@ func compileOn(a *dag.Assay, chip *arch.Chip, cfg Config, schedule scheduleFn) (
 	var s *scheduler.Schedule
 	if err := stage(ob, "schedule", chip, func() error {
 		var err error
-		s, err = schedule(a, chip, ob)
+		s, err = schedule(ctx, a, chip, ob)
 		return err
 	}); err != nil {
 		return nil, err
@@ -292,7 +337,7 @@ func compileOn(a *dag.Assay, chip *arch.Chip, cfg Config, schedule scheduleFn) (
 	var routing *router.Result
 	if err := stage(ob, "route", chip, func() error {
 		var err error
-		routing, err = router.Route(s, opts)
+		routing, err = router.RouteContext(ctx, s, opts)
 		return err
 	}); err != nil {
 		return nil, err

@@ -1,0 +1,109 @@
+package ctrl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"fppc/internal/pins"
+)
+
+// DecodeStats reports what DecodeResync observed while recovering a
+// frame stream.
+type DecodeStats struct {
+	// Frames is the number of valid frames decoded.
+	Frames int
+	// Resyncs counts the times the decoder lost framing and had to scan
+	// for the next sync marker (one per contiguous corrupted region).
+	Resyncs int
+	// SkippedBytes is the total garbage discarded during those scans.
+	SkippedBytes int
+	// DroppedFrames is the number of frames lost according to gaps in
+	// the sequence numbers of the frames that did decode.
+	DroppedFrames int
+	// Truncated reports that the stream ended inside a frame.
+	Truncated bool
+}
+
+// DecodeResync parses a frame stream like Decode but survives
+// corruption: on a bad sync marker, bitmap width, or checksum it
+// discards bytes one at a time until the next byte sequence that
+// parses as a valid frame, and uses the sequence numbers to count how
+// many frames the corrupted region swallowed. This is what a driver
+// board must do on a real serial link, where a single flipped bit
+// otherwise desynchronizes the rest of the run.
+//
+// The returned program holds every frame that decoded; the stats
+// describe the damage. The error is non-nil only for read failures
+// other than end-of-stream.
+func DecodeResync(r io.Reader, pinCount int) (*pins.Program, DecodeStats, error) {
+	var st DecodeStats
+	if pinCount <= 0 {
+		return nil, st, fmt.Errorf("ctrl: pin count %d", pinCount)
+	}
+	nBytes := (pinCount + 7) / 8
+	frameLen := FrameBytes(pinCount)
+	size := 4096
+	if frameLen > size {
+		size = frameLen
+	}
+	br := bufio.NewReaderSize(r, size)
+	prog := &pins.Program{}
+	scanning := false // inside a contiguous corrupted region
+	var expect byte   // next expected sequence number
+	for {
+		frame, err := br.Peek(frameLen)
+		if len(frame) < frameLen {
+			if err != io.EOF && err != io.ErrUnexpectedEOF {
+				return prog, st, fmt.Errorf("ctrl: %w", err)
+			}
+			// A short tail that still starts with a sync marker is a
+			// truncated frame; anything else is trailing garbage.
+			if len(frame) > 0 {
+				if frame[0] == syncByte {
+					st.Truncated = true
+				} else {
+					if !scanning {
+						st.Resyncs++
+					}
+					st.SkippedBytes += len(frame)
+				}
+			}
+			return prog, st, nil
+		}
+		if !frameValid(frame, nBytes) {
+			if !scanning {
+				scanning = true
+				st.Resyncs++
+			}
+			br.Discard(1)
+			st.SkippedBytes++
+			continue
+		}
+		scanning = false
+		seq := frame[1]
+		st.DroppedFrames += int(seq - expect) // mod-256 gap
+		expect = seq + 1
+		var act []int
+		for p := 1; p <= pinCount; p++ {
+			if frame[3+(p-1)/8]&(1<<uint((p-1)%8)) != 0 {
+				act = append(act, p)
+			}
+		}
+		prog.Append(act...)
+		st.Frames++
+		br.Discard(frameLen)
+	}
+}
+
+// frameValid checks sync marker, bitmap width, and checksum.
+func frameValid(frame []byte, nBytes int) bool {
+	if frame[0] != syncByte || int(frame[2]) != nBytes {
+		return false
+	}
+	sum := byte(0)
+	for _, b := range frame[1 : 3+nBytes] {
+		sum ^= b
+	}
+	return frame[3+nBytes] == sum
+}

@@ -1,0 +1,229 @@
+package ctrl
+
+import (
+	"bytes"
+	"testing"
+
+	"fppc/internal/pins"
+)
+
+const resyncPins = 43 // the paper's 12x21 FPPC pin count; 9-byte frames
+
+// testProgram builds n cycles with distinct, checksum-poor activations
+// so corrupted regions cannot masquerade as valid frames.
+func testProgram(n int) *pins.Program {
+	p := &pins.Program{}
+	for i := 0; i < n; i++ {
+		p.Append(1+i%resyncPins, 1+(i*7)%resyncPins)
+	}
+	return p
+}
+
+func encode(t *testing.T, prog *pins.Program) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, prog, resyncPins); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func sameCycles(t *testing.T, got *pins.Program, want *pins.Program, wantIdx []int) {
+	t.Helper()
+	if got.Len() != len(wantIdx) {
+		t.Fatalf("decoded %d cycles, want %d", got.Len(), len(wantIdx))
+	}
+	for i, wi := range wantIdx {
+		g, w := got.Cycle(i), want.Cycle(wi)
+		if len(g) != len(w) {
+			t.Fatalf("cycle %d (orig %d): %v != %v", i, wi, g, w)
+		}
+		for j := range g {
+			if g[j] != w[j] {
+				t.Fatalf("cycle %d (orig %d): %v != %v", i, wi, g, w)
+			}
+		}
+	}
+}
+
+func seqRange(a, b int) []int {
+	var s []int
+	for i := a; i < b; i++ {
+		s = append(s, i)
+	}
+	return s
+}
+
+func TestDecodeResyncCleanStream(t *testing.T) {
+	prog := testProgram(20)
+	data := encode(t, prog)
+	got, st, err := DecodeResync(bytes.NewReader(data), resyncPins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCycles(t, got, prog, seqRange(0, 20))
+	want := DecodeStats{Frames: 20}
+	if st != want {
+		t.Errorf("stats = %+v, want %+v", st, want)
+	}
+}
+
+// A flipped bit mid-stream must cost exactly the damaged frame: the
+// decoder resynchronizes on the next frame and reports the loss.
+func TestDecodeResyncCorruptedFrameMidStream(t *testing.T) {
+	prog := testProgram(20)
+	data := encode(t, prog)
+	fl := FrameBytes(resyncPins)
+	data[5*fl+4] ^= 0x10 // bitmap byte of frame 5: checksum now fails
+
+	got, st, err := DecodeResync(bytes.NewReader(data), resyncPins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCycles(t, got, prog, append(seqRange(0, 5), seqRange(6, 20)...))
+	if st.Frames != 19 || st.DroppedFrames != 1 || st.Resyncs != 1 {
+		t.Errorf("stats = %+v, want 19 frames, 1 dropped, 1 resync", st)
+	}
+	if st.SkippedBytes != fl {
+		t.Errorf("skipped %d bytes, want the %d of the damaged frame", st.SkippedBytes, fl)
+	}
+	if st.Truncated {
+		t.Error("stream is not truncated")
+	}
+}
+
+// A corrupted sync marker is the worst case for a strict decoder; the
+// resync decoder must still only lose that frame.
+func TestDecodeResyncCorruptedSyncMarker(t *testing.T) {
+	prog := testProgram(10)
+	data := encode(t, prog)
+	fl := FrameBytes(resyncPins)
+	data[3*fl] = 0x00 // frame 3's sync byte
+
+	got, st, err := DecodeResync(bytes.NewReader(data), resyncPins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCycles(t, got, prog, append(seqRange(0, 3), seqRange(4, 10)...))
+	if st.DroppedFrames != 1 || st.Resyncs != 1 {
+		t.Errorf("stats = %+v, want 1 dropped, 1 resync", st)
+	}
+}
+
+// Garbage injected between frames must be skipped without losing any
+// frame.
+func TestDecodeResyncGarbageBetweenFrames(t *testing.T) {
+	prog := testProgram(8)
+	data := encode(t, prog)
+	fl := FrameBytes(resyncPins)
+	junk := []byte{0x00, 0xFF, 0x13, 0x37, 0x42}
+	spliced := append(append(append([]byte{}, data[:4*fl]...), junk...), data[4*fl:]...)
+
+	got, st, err := DecodeResync(bytes.NewReader(spliced), resyncPins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCycles(t, got, prog, seqRange(0, 8))
+	if st.DroppedFrames != 0 || st.Resyncs != 1 || st.SkippedBytes != len(junk) {
+		t.Errorf("stats = %+v, want 0 dropped, 1 resync, %d skipped", st, len(junk))
+	}
+}
+
+// Leading garbage before the first frame: all frames recovered.
+func TestDecodeResyncLeadingGarbage(t *testing.T) {
+	prog := testProgram(5)
+	data := append([]byte{0x01, 0x02, 0x03}, encode(t, prog)...)
+	got, st, err := DecodeResync(bytes.NewReader(data), resyncPins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCycles(t, got, prog, seqRange(0, 5))
+	if st.SkippedBytes != 3 || st.Resyncs != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// A stream cut off mid-frame keeps every complete frame and reports
+// the truncation.
+func TestDecodeResyncTruncatedFinalFrame(t *testing.T) {
+	prog := testProgram(6)
+	data := encode(t, prog)
+	fl := FrameBytes(resyncPins)
+	data = data[:5*fl+3] // frame 5 loses its tail
+
+	got, st, err := DecodeResync(bytes.NewReader(data), resyncPins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCycles(t, got, prog, seqRange(0, 5))
+	if !st.Truncated {
+		t.Error("truncation not reported")
+	}
+	if st.Frames != 5 {
+		t.Errorf("frames = %d, want 5", st.Frames)
+	}
+}
+
+// Two corrupted regions count as two resyncs and two dropped frames.
+func TestDecodeResyncTwoCorruptedRegions(t *testing.T) {
+	prog := testProgram(30)
+	data := encode(t, prog)
+	fl := FrameBytes(resyncPins)
+	data[4*fl+6] ^= 0x01
+	data[17*fl+2] ^= 0x80 // width byte of frame 17
+
+	got, st, err := DecodeResync(bytes.NewReader(data), resyncPins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIdx := append(seqRange(0, 4), seqRange(5, 17)...)
+	wantIdx = append(wantIdx, seqRange(18, 30)...)
+	sameCycles(t, got, prog, wantIdx)
+	if st.DroppedFrames != 2 || st.Resyncs != 2 {
+		t.Errorf("stats = %+v, want 2 dropped, 2 resyncs", st)
+	}
+}
+
+// Garbage-only input decodes to an empty program, not an error: the
+// driver keeps listening.
+func TestDecodeResyncGarbageOnly(t *testing.T) {
+	junk := bytes.Repeat([]byte{0xDE, 0xAD}, 50)
+	got, st, err := DecodeResync(bytes.NewReader(junk), resyncPins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("decoded %d frames from garbage", got.Len())
+	}
+	if st.SkippedBytes != len(junk) || st.Frames != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDecodeResyncEmptyStream(t *testing.T) {
+	got, st, err := DecodeResync(bytes.NewReader(nil), resyncPins)
+	if err != nil || got.Len() != 0 || st != (DecodeStats{}) {
+		t.Errorf("got %d frames, stats %+v, err %v", got.Len(), st, err)
+	}
+}
+
+func TestDecodeResyncBadPinCount(t *testing.T) {
+	if _, _, err := DecodeResync(bytes.NewReader(nil), 0); err == nil {
+		t.Fatal("expected an error for pin count 0")
+	}
+}
+
+// The strict and resync decoders must agree on clean streams.
+func TestDecodeResyncMatchesStrictDecode(t *testing.T) {
+	prog := testProgram(12)
+	data := encode(t, prog)
+	strict, err := Decode(bytes.NewReader(data), resyncPins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, _, err := DecodeResync(bytes.NewReader(data), resyncPins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCycles(t, loose, strict, seqRange(0, 12))
+}

@@ -1,0 +1,125 @@
+package dag
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"sort"
+)
+
+// fingerprintVersion is bumped whenever the canonical encoding changes,
+// so cached compilations keyed by old fingerprints can never be served
+// against new ones.
+const fingerprintVersion = "fppc/dag-fingerprint/v1"
+
+// Fingerprint returns a stable SHA-256 (hex) over a canonical encoding
+// of the assay's semantic content: operation kinds, durations, fluids,
+// the edge structure, and the effective reservoir count of every
+// dispensed fluid. It is invariant under renaming the assay, relabeling
+// nodes, and renumbering node IDs (any insertion order of the same
+// graph hashes identically), and changes whenever anything the
+// synthesis flow can observe changes. The compilation service uses it
+// as the content-addressed cache key.
+//
+// Each node is hashed structurally in both directions — a "down" hash
+// over its ancestor cone and an "up" hash over its descendant cone —
+// and the fingerprint digests the sorted multiset of per-node hashes,
+// so no node identifier ever enters the encoding.
+func (a *Assay) Fingerprint() (string, error) {
+	if err := a.Validate(); err != nil {
+		return "", err
+	}
+	order, err := a.TopologicalOrder()
+	if err != nil {
+		return "", err
+	}
+
+	nodeAttrs := func(h hash.Hash, n *Node) {
+		h.Write([]byte{byte(n.Kind)})
+		writeString(h, n.Fluid)
+		writeInt(h, n.Duration)
+	}
+
+	down := make([][sha256.Size]byte, len(a.Nodes))
+	for _, id := range order {
+		n := a.Nodes[id]
+		h := sha256.New()
+		h.Write([]byte("down"))
+		nodeAttrs(h, n)
+		writeSortedHashes(h, n.Parents, down)
+		copy(down[id][:], h.Sum(nil))
+	}
+	up := make([][sha256.Size]byte, len(a.Nodes))
+	for i := len(order) - 1; i >= 0; i-- {
+		n := a.Nodes[order[i]]
+		h := sha256.New()
+		h.Write([]byte("up"))
+		nodeAttrs(h, n)
+		writeSortedHashes(h, n.Children, up)
+		copy(up[n.ID][:], h.Sum(nil))
+	}
+
+	keys := make([][]byte, len(a.Nodes))
+	for i := range a.Nodes {
+		h := sha256.New()
+		h.Write(down[i][:])
+		h.Write(up[i][:])
+		keys[i] = h.Sum(nil)
+	}
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
+
+	final := sha256.New()
+	writeString(final, fingerprintVersion)
+	writeInt(final, len(a.Nodes))
+	for _, k := range keys {
+		final.Write(k)
+	}
+	// Reservoir ports per dispensed fluid (effective counts: entries for
+	// fluids the assay never dispenses are not semantic).
+	fluids := map[string]bool{}
+	for _, n := range a.Nodes {
+		if n.Kind == Dispense {
+			fluids[n.Fluid] = true
+		}
+	}
+	names := make([]string, 0, len(fluids))
+	for f := range fluids {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	writeInt(final, len(names))
+	for _, f := range names {
+		writeString(final, f)
+		writeInt(final, a.ReservoirCount(f))
+	}
+	return hex.EncodeToString(final.Sum(nil)), nil
+}
+
+// writeString emits a length-prefixed string so adjacent fields can
+// never be confused.
+func writeString(h hash.Hash, s string) {
+	writeInt(h, len(s))
+	h.Write([]byte(s))
+}
+
+func writeInt(h hash.Hash, v int) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+	h.Write(buf[:])
+}
+
+// writeSortedHashes digests the multiset of neighbor hashes (duplicates
+// kept: a split feeding both halves into one mix is two edges).
+func writeSortedHashes(h hash.Hash, ids []int, hs [][sha256.Size]byte) {
+	sorted := make([][]byte, len(ids))
+	for i, id := range ids {
+		sorted[i] = hs[id][:]
+	}
+	sort.Slice(sorted, func(i, j int) bool { return bytes.Compare(sorted[i], sorted[j]) < 0 })
+	writeInt(h, len(sorted))
+	for _, s := range sorted {
+		h.Write(s)
+	}
+}

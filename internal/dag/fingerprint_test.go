@@ -1,0 +1,176 @@
+package dag
+
+import "testing"
+
+// dilution builds a small assay; label and order let tests construct the
+// same semantic graph under different names and node numberings.
+func dilution(t *testing.T, prefix string, reversedChains bool) *Assay {
+	t.Helper()
+	a := New("dilution-" + prefix)
+	mk := func(k Kind, label, fluid string, dur int) *Node {
+		return a.Add(k, prefix+label, fluid, dur)
+	}
+	var s, b1, b2 *Node
+	if reversedChains {
+		b2 = mk(Dispense, "b2", "buffer", 7)
+		b1 = mk(Dispense, "b1", "buffer", 7)
+		s = mk(Dispense, "s", "protein", 7)
+	} else {
+		s = mk(Dispense, "s", "protein", 7)
+		b1 = mk(Dispense, "b1", "buffer", 7)
+		b2 = mk(Dispense, "b2", "buffer", 7)
+	}
+	m1 := mk(Mix, "m1", "", 3)
+	a.AddEdge(s, m1)
+	a.AddEdge(b1, m1)
+	sp := mk(Split, "sp", "", 0)
+	a.AddEdge(m1, sp)
+	m2 := mk(Mix, "m2", "", 3)
+	a.AddEdge(sp, m2)
+	a.AddEdge(b2, m2)
+	d := mk(Detect, "d", "", 30)
+	a.AddEdge(m2, d)
+	o1 := mk(Output, "o1", "waste", 0)
+	a.AddEdge(sp, o1)
+	o2 := mk(Output, "o2", "product", 0)
+	a.AddEdge(d, o2)
+	a.SetReservoirs("buffer", 2)
+	if err := a.Validate(); err != nil {
+		t.Fatalf("dilution assay invalid: %v", err)
+	}
+	return a
+}
+
+func fp(t *testing.T, a *Assay) string {
+	t.Helper()
+	s, err := a.Fingerprint()
+	if err != nil {
+		t.Fatalf("Fingerprint(%s): %v", a.Name, err)
+	}
+	return s
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	a := dilution(t, "", false)
+	if fp(t, a) != fp(t, a) {
+		t.Fatal("two fingerprints of the same assay differ")
+	}
+}
+
+// Renaming the assay and every node label, and renumbering node IDs by
+// building the graph in a different order, must not change the
+// fingerprint: it addresses content, not presentation.
+func TestFingerprintRelabelAndRenumberInvariance(t *testing.T) {
+	base := dilution(t, "", false)
+	relabeled := dilution(t, "renamed_", false)
+	renumbered := dilution(t, "x_", true)
+	if got, want := fp(t, relabeled), fp(t, base); got != want {
+		t.Errorf("relabeled fingerprint %s != base %s", got, want)
+	}
+	if got, want := fp(t, renumbered), fp(t, base); got != want {
+		t.Errorf("renumbered fingerprint %s != base %s", got, want)
+	}
+}
+
+// Every semantic change must move the fingerprint.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fp(t, dilution(t, "", false))
+	mutate := map[string]func(a *Assay){
+		"duration": func(a *Assay) { a.Nodes[0].Duration++ },
+		"kind": func(a *Assay) {
+			for _, n := range a.Nodes {
+				if n.Kind == Detect {
+					n.Kind = Store
+					return
+				}
+			}
+		},
+		"dispense fluid": func(a *Assay) { a.Nodes[0].Fluid = "plasma" },
+		"output fluid": func(a *Assay) {
+			for _, n := range a.Nodes {
+				if n.Kind == Output && n.Fluid == "waste" {
+					n.Fluid = "trash"
+					return
+				}
+			}
+		},
+		"reservoir count": func(a *Assay) { a.SetReservoirs("buffer", 3) },
+	}
+	for name, mut := range mutate {
+		a := dilution(t, "", false)
+		mut(a)
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%s mutation broke validity: %v", name, err)
+		}
+		if got := fp(t, a); got == base {
+			t.Errorf("%s change did not move the fingerprint", name)
+		}
+	}
+
+	// Structural change: route the split's second half through a store
+	// before its output.
+	a := New("structural")
+	f := a.Add(Dispense, "f", "sample", 2)
+	sp := a.Add(Split, "sp", "", 0)
+	a.AddEdge(f, sp)
+	o1 := a.Add(Output, "o1", "waste", 0)
+	a.AddEdge(sp, o1)
+	o2 := a.Add(Output, "o2", "waste", 0)
+	a.AddEdge(sp, o2)
+	plain := fp(t, a)
+
+	b := New("structural")
+	f = b.Add(Dispense, "f", "sample", 2)
+	sp = b.Add(Split, "sp", "", 0)
+	b.AddEdge(f, sp)
+	st := b.Add(Store, "st", "", 2)
+	b.AddEdge(sp, st)
+	o1 = b.Add(Output, "o1", "waste", 0)
+	b.AddEdge(st, o1)
+	o2 = b.Add(Output, "o2", "waste", 0)
+	b.AddEdge(sp, o2)
+	if fp(t, b) == plain {
+		t.Error("adding a store node did not move the fingerprint")
+	}
+}
+
+// Entries in Reservoirs for fluids the assay never dispenses are not
+// semantic and must not perturb the fingerprint.
+func TestFingerprintIgnoresUnusedReservoirs(t *testing.T) {
+	a := dilution(t, "", false)
+	base := fp(t, a)
+	a.SetReservoirs("glycerol", 4)
+	if got := fp(t, a); got != base {
+		t.Errorf("unused reservoir entry moved the fingerprint: %s != %s", got, base)
+	}
+}
+
+// Symmetric siblings that differ only upstream must still be told apart:
+// the up/down split catches changes a single-direction hash would miss.
+func TestFingerprintDistinguishesUpstreamTwins(t *testing.T) {
+	build := func(d1, d2 int) *Assay {
+		a := New("twins")
+		x := a.Add(Dispense, "x", "sample", d1)
+		y := a.Add(Dispense, "y", "reagent", d2)
+		m := a.Add(Mix, "m", "", 3)
+		a.AddEdge(x, m)
+		a.AddEdge(y, m)
+		o := a.Add(Output, "o", "waste", 0)
+		a.AddEdge(m, o)
+		return a
+	}
+	if fp(t, build(2, 5)) == fp(t, build(5, 2)) {
+		t.Error("swapping which fluid carries the long dispense did not move the fingerprint")
+	}
+	if fp(t, build(2, 5)) == fp(t, build(2, 6)) {
+		t.Error("upstream duration change did not move the fingerprint")
+	}
+}
+
+func TestFingerprintInvalidAssay(t *testing.T) {
+	a := New("bad")
+	a.Add(Mix, "m", "", 3) // mix with no parents: invalid
+	if _, err := a.Fingerprint(); err == nil {
+		t.Fatal("Fingerprint of invalid assay succeeded")
+	}
+}

@@ -32,6 +32,15 @@ func New() *Observer {
 	return &Observer{tracer: NewTracer(), metrics: NewRegistry()}
 }
 
+// NewMetricsOnly returns an Observer with a metric registry but no
+// tracer: counters, gauges and histograms record normally while Span
+// calls stay no-ops. Long-running processes (the compilation service)
+// use this — a tracer accumulates one record per span for its whole
+// lifetime, which is unbounded on a server.
+func NewMetricsOnly() *Observer {
+	return &Observer{metrics: NewRegistry()}
+}
+
 // Enabled reports whether the observer records anything.
 func (o *Observer) Enabled() bool { return o != nil }
 

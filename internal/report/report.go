@@ -4,6 +4,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -37,10 +38,17 @@ func Markdown(tm assays.Timing) (string, error) {
 
 // MarkdownObserved is Markdown with Table 1 compilations recorded on ob.
 func MarkdownObserved(tm assays.Timing, ob *obs.Observer) (string, error) {
+	return MarkdownContext(nil, tm, ob)
+}
+
+// MarkdownContext is MarkdownObserved under a context: cancellation or
+// deadline expiry aborts between (and cooperatively inside)
+// compilations. A nil ctx never cancels.
+func MarkdownContext(ctx context.Context, tm assays.Timing, ob *obs.Observer) (string, error) {
 	var b strings.Builder
 	b.WriteString("# Regenerated evaluation (measured vs. paper)\n\n")
 
-	rows, avg, err := bench.Table1Observed(tm, ob)
+	rows, avg, err := bench.Table1Context(ctx, tm, ob)
 	if err != nil {
 		return "", err
 	}
@@ -57,7 +65,7 @@ func MarkdownObserved(tm assays.Timing, ob *obs.Observer) (string, error) {
 	fmt.Fprintf(&b, "\nAverages (>1 favors FP): electrodes %.2f [1.82], pins %.2f [6.53], routing %.2f [0.68], operations %.2f [1.07], total %.2f [0.98]\n\n",
 		avg.Electrodes, avg.Pins, avg.Routing, avg.Operations, avg.Total)
 
-	t2, err := bench.Table2(tm)
+	t2, err := bench.Table2Context(ctx, tm, nil)
 	if err != nil {
 		return "", err
 	}
@@ -73,7 +81,7 @@ func MarkdownObserved(tm assays.Timing, ob *obs.Observer) (string, error) {
 	}
 	b.WriteString("\n")
 
-	t3, err := bench.Table3(tm, nil, 0)
+	t3, err := bench.Table3Context(ctx, tm, nil, 0, nil)
 	if err != nil {
 		return "", err
 	}

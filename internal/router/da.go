@@ -1,6 +1,7 @@
 package router
 
 import (
+	"context"
 	"fmt"
 
 	"fppc/internal/arch"
@@ -84,6 +85,10 @@ const daClearance = 3
 // counts (no pin program: the DA baseline is timing-only in this repo;
 // the electrode-level simulator validates the pin-constrained design).
 func RouteDA(s *scheduler.Schedule, opts Options) (*Result, error) {
+	return routeDA(nil, s, opts)
+}
+
+func routeDA(ctx context.Context, s *scheduler.Schedule, opts Options) (*Result, error) {
 	if s.Chip.Arch != arch.DirectAddressing {
 		return nil, fmt.Errorf("router: RouteDA on %v chip", s.Chip.Arch)
 	}
@@ -99,6 +104,9 @@ func RouteDA(s *scheduler.Schedule, opts Options) (*Result, error) {
 	r.computeBusy()
 	res := &Result{}
 	for _, ts := range s.Boundaries() {
+		if err := routeCanceled(ctx, ts); err != nil {
+			return nil, err
+		}
 		sp := ob.Span("route_boundary")
 		sp.ArgInt("ts", int64(ts))
 		sp.ArgInt("moves", int64(len(s.MovesAt(ts))))

@@ -1,6 +1,7 @@
 package router
 
 import (
+	"context"
 	"fmt"
 
 	"fppc/internal/arch"
@@ -65,6 +66,10 @@ type fppcRouter struct {
 
 // RouteFPPC routes every sub-problem of an FPPC schedule.
 func RouteFPPC(s *scheduler.Schedule, opts Options) (*Result, error) {
+	return routeFPPC(nil, s, opts)
+}
+
+func routeFPPC(ctx context.Context, s *scheduler.Schedule, opts Options) (*Result, error) {
 	if s.Chip.Arch != arch.FPPC {
 		return nil, fmt.Errorf("router: RouteFPPC on %v chip", s.Chip.Arch)
 	}
@@ -102,6 +107,9 @@ func RouteFPPC(s *scheduler.Schedule, opts Options) (*Result, error) {
 		last = boundaries[len(boundaries)-1]
 	}
 	for ts := 0; ts <= last; ts++ {
+		if err := routeCanceled(ctx, ts); err != nil {
+			return nil, err
+		}
 		r.completeOps(ts)
 		if bi < len(boundaries) && boundaries[bi] == ts {
 			sp := ob.Span("route_boundary")

@@ -17,6 +17,7 @@
 package router
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -187,11 +188,30 @@ func nearestOutputPort(c *arch.Chip, original int, from grid.Cell) int {
 
 // Route dispatches on the schedule's chip architecture.
 func Route(s *scheduler.Schedule, opts Options) (*Result, error) {
+	return RouteContext(nil, s, opts)
+}
+
+// RouteContext is Route with cooperative cancellation: the per-boundary
+// loops check ctx between sub-problems and abort with an error wrapping
+// ctx.Err(). A nil ctx never cancels.
+func RouteContext(ctx context.Context, s *scheduler.Schedule, opts Options) (*Result, error) {
 	switch s.Chip.Arch {
 	case arch.FPPC:
-		return RouteFPPC(s, opts)
+		return routeFPPC(ctx, s, opts)
 	case arch.DirectAddressing:
-		return RouteDA(s, opts)
+		return routeDA(ctx, s, opts)
 	}
 	return nil, fmt.Errorf("router: unknown architecture %v", s.Chip.Arch)
+}
+
+// routeCanceled returns an error wrapping ctx.Err() once the context is
+// done (nil ctx never cancels).
+func routeCanceled(ctx context.Context, ts int) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("router: canceled at time-step %d: %w", ts, err)
+	}
+	return nil
 }

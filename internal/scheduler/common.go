@@ -1,6 +1,7 @@
 package scheduler
 
 import (
+	"context"
 	"fmt"
 
 	"fppc/internal/arch"
@@ -416,3 +417,17 @@ func (b *base) finishSchedule() *Schedule {
 
 // pendingCount returns how many nodes remain unfinished.
 func (b *base) pendingCount() int { return b.assay.Len() - b.doneCnt }
+
+// canceled returns an error wrapping ctx.Err() once the context is done,
+// annotated with where the scheduling loop stopped. A nil ctx never
+// cancels, so the uncancellable entry points cost one nil check per
+// time-step.
+func canceled(ctx context.Context, assay, chip string, t int) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("scheduler: %s on %s canceled at time-step %d: %w", assay, chip, t, err)
+	}
+	return nil
+}

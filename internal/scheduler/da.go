@@ -1,6 +1,7 @@
 package scheduler
 
 import (
+	"context"
 	"fmt"
 
 	"fppc/internal/arch"
@@ -28,6 +29,12 @@ func ScheduleDA(a *dag.Assay, chip *arch.Chip) (*Schedule, error) {
 // ScheduleDAObserved is ScheduleDA with instrumentation recorded on ob
 // (nil disables).
 func ScheduleDAObserved(a *dag.Assay, chip *arch.Chip, ob *obs.Observer) (*Schedule, error) {
+	return ScheduleDAContext(nil, a, chip, ob)
+}
+
+// ScheduleDAContext is ScheduleDAObserved with cooperative cancellation
+// (see ScheduleFPPCContext). A nil ctx never cancels.
+func ScheduleDAContext(ctx context.Context, a *dag.Assay, chip *arch.Chip, ob *obs.Observer) (*Schedule, error) {
 	if chip.Arch != arch.DirectAddressing {
 		return nil, fmt.Errorf("scheduler: ScheduleDA on %v chip %s", chip.Arch, chip.Name)
 	}
@@ -44,6 +51,9 @@ func ScheduleDAObserved(a *dag.Assay, chip *arch.Chip, ob *obs.Observer) (*Sched
 		stored: make([][]int, len(chip.WorkMods)),
 	}
 	for t := 0; st.doneCnt < a.Len(); t++ {
+		if err := canceled(ctx, a.Name, chip.Name, t); err != nil {
+			return nil, err
+		}
 		st.completeAt(t)
 		for {
 			if st.tryStart(t) {

@@ -1,6 +1,7 @@
 package scheduler
 
 import (
+	"context"
 	"fmt"
 
 	"fppc/internal/arch"
@@ -33,6 +34,13 @@ func ScheduleFPPC(a *dag.Assay, chip *arch.Chip) (*Schedule, error) {
 // ScheduleFPPCObserved is ScheduleFPPC with list-scheduling iteration,
 // deferred-op and eviction instrumentation recorded on ob (nil disables).
 func ScheduleFPPCObserved(a *dag.Assay, chip *arch.Chip, ob *obs.Observer) (*Schedule, error) {
+	return ScheduleFPPCContext(nil, a, chip, ob)
+}
+
+// ScheduleFPPCContext is ScheduleFPPCObserved with cooperative
+// cancellation: the time-step loop checks ctx once per step and aborts
+// with an error wrapping ctx.Err(). A nil ctx never cancels.
+func ScheduleFPPCContext(ctx context.Context, a *dag.Assay, chip *arch.Chip, ob *obs.Observer) (*Schedule, error) {
 	if chip.Arch != arch.FPPC {
 		return nil, fmt.Errorf("scheduler: ScheduleFPPC on %v chip %s", chip.Arch, chip.Name)
 	}
@@ -63,6 +71,9 @@ func ScheduleFPPCObserved(a *dag.Assay, chip *arch.Chip, ob *obs.Observer) (*Sch
 	}
 
 	for t := 0; st.doneCnt < a.Len(); t++ {
+		if err := canceled(ctx, a.Name, chip.Name, t); err != nil {
+			return nil, err
+		}
 		st.completeAt(t)
 		for {
 			if st.tryStart(t) {

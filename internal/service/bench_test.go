@@ -1,0 +1,48 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// BenchmarkServeCacheHit measures the warm path: after one compilation,
+// every identical request must be answered from the cache without
+// touching the compiler. The post-loop assertion on the compile counter
+// proves no compilation work happened inside the measured loop.
+func BenchmarkServeCacheHit(b *testing.B) {
+	s := New(Config{Workers: 1})
+	body, err := json.Marshal(CompileRequest{ASL: dilutionASL})
+	if err != nil {
+		b.Fatal(err)
+	}
+	serve := func() int {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/compile", bytes.NewReader(body))
+		s.ServeHTTP(rec, req)
+		return rec.Code
+	}
+	if code := serve(); code != http.StatusOK {
+		b.Fatalf("warm-up: HTTP %d", code)
+	}
+	if got := s.cCompiles.Value(); got != 1 {
+		b.Fatalf("warm-up compiles = %d, want 1", got)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := serve(); code != http.StatusOK {
+			b.Fatalf("iteration %d: HTTP %d", i, code)
+		}
+	}
+	b.StopTimer()
+	if got := s.cCompiles.Value(); got != 1 {
+		b.Fatalf("compiles after %d cached requests = %d, want still 1", b.N, got)
+	}
+	if got := s.cHits.Value(); got != int64(b.N) {
+		b.Fatalf("cache hits = %d, want %d", got, b.N)
+	}
+}

@@ -1,0 +1,238 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"fppc/internal/asl"
+	"fppc/internal/core"
+	"fppc/internal/dag"
+	"fppc/internal/router"
+)
+
+// CompileRequest is the POST /compile body. Exactly one of ASL or DAG
+// supplies the assay.
+type CompileRequest struct {
+	// ASL is the assay in the textual assay description language.
+	ASL string `json:"asl,omitempty"`
+	// DAG is the assay as the dag package's JSON encoding.
+	DAG json.RawMessage `json:"dag,omitempty"`
+
+	// Target selects the architecture: "fppc" (default) or "da".
+	Target string `json:"target,omitempty"`
+	// Height fixes the FPPC chip height (0 = the 12x21 default).
+	Height int `json:"height,omitempty"`
+	// DAWidth/DAHeight fix the DA chip size (0 = the 15x19 default).
+	DAWidth  int `json:"da_width,omitempty"`
+	DAHeight int `json:"da_height,omitempty"`
+	// Grow enlarges the array until the assay fits.
+	Grow bool `json:"grow,omitempty"`
+	// SingleOutputPort places one reservoir per output fluid instead of
+	// two.
+	SingleOutputPort bool `json:"single_output_port,omitempty"`
+	// DetectorCount limits how many modules carry detectors (0 = all).
+	DetectorCount int `json:"detector_count,omitempty"`
+
+	// Sequence additionally returns the compiled per-cycle electrode
+	// sequence (pin program; FPPC target only).
+	Sequence bool `json:"sequence,omitempty"`
+	// RotationsPerStep sets mixer-loop rotations per time-step in the
+	// emitted sequence (0 = the hardware default of 12).
+	RotationsPerStep int `json:"rotations_per_step,omitempty"`
+
+	// TimeoutMS caps this request's compile time in milliseconds
+	// (0 = the server default; the server's -max-timeout always caps it).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// ChipInfo describes the chip the assay compiled onto.
+type ChipInfo struct {
+	Name       string `json:"name"`
+	W          int    `json:"w"`
+	H          int    `json:"h"`
+	Electrodes int    `json:"electrodes"`
+	Pins       int    `json:"pins"`
+}
+
+// CompileStats carries the synthesis metrics of the paper's tables.
+type CompileStats struct {
+	Makespan         int     `json:"makespan_steps"`
+	OpSeconds        float64 `json:"op_seconds"`
+	RoutingSeconds   float64 `json:"routing_seconds"`
+	TotalSeconds     float64 `json:"total_seconds"`
+	Moves            int     `json:"droplet_moves"`
+	StorageMoves     int     `json:"storage_relocations"`
+	PeakStored       int     `json:"peak_stored"`
+	RouteCycles      int     `json:"route_cycles"`
+	RouteSubproblems int     `json:"route_subproblems"`
+}
+
+// SequenceEvent is a reservoir action aligned to a sequence cycle.
+type SequenceEvent struct {
+	Cycle int    `json:"cycle"`
+	Kind  string `json:"kind"` // "dispense" or "output"
+	X     int    `json:"x"`
+	Y     int    `json:"y"`
+	Fluid string `json:"fluid,omitempty"`
+}
+
+// Sequence is the compiled per-cycle electrode actuation program.
+type Sequence struct {
+	PinCount int             `json:"pin_count"`
+	Cycles   [][]int         `json:"cycles"` // pins driven high per cycle
+	Events   []SequenceEvent `json:"events,omitempty"`
+}
+
+// CompileResponse is the POST /compile result.
+type CompileResponse struct {
+	Assay       string       `json:"assay"`
+	Target      string       `json:"target"`
+	Fingerprint string       `json:"fingerprint"`
+	Cached      bool         `json:"cached"`
+	Chip        ChipInfo     `json:"chip"`
+	Stats       CompileStats `json:"stats"`
+	Summary     string       `json:"summary"`
+	Sequence    *Sequence    `json:"sequence,omitempty"`
+	ElapsedMS   float64      `json:"elapsed_ms"`
+}
+
+// errorResponse is the body of every non-2xx reply.
+type errorResponse struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// badRequestError marks client errors (malformed JSON, unparseable
+// assay, bad parameters) so the handler maps them to HTTP 400.
+type badRequestError struct{ err error }
+
+func (e *badRequestError) Error() string { return e.err.Error() }
+func (e *badRequestError) Unwrap() error { return e.err }
+
+func badRequest(format string, args ...any) error {
+	return &badRequestError{fmt.Errorf(format, args...)}
+}
+
+// job is a fully validated compile request: the parsed assay, its
+// fingerprint, the core config, and the cache key binding them.
+type job struct {
+	assay    *dag.Assay
+	cfg      core.Config
+	req      CompileRequest
+	fp       string
+	cacheKey string
+}
+
+// entry is a cached compile outcome (response with the per-request
+// fields zeroed).
+type entry struct {
+	resp CompileResponse
+}
+
+// prepare validates the request into a job.
+func (s *Server) prepare(req CompileRequest) (*job, error) {
+	hasASL := strings.TrimSpace(req.ASL) != ""
+	hasDAG := len(req.DAG) > 0 && string(req.DAG) != "null"
+	if hasASL == hasDAG {
+		return nil, badRequest("exactly one of \"asl\" or \"dag\" must be set")
+	}
+	var assay *dag.Assay
+	if hasASL {
+		a, err := asl.Parse(req.ASL)
+		if err != nil {
+			return nil, &badRequestError{err}
+		}
+		assay = a
+	} else {
+		a := &dag.Assay{}
+		if err := json.Unmarshal(req.DAG, a); err != nil {
+			return nil, badRequest("dag: %v", err)
+		}
+		if err := a.Validate(); err != nil {
+			return nil, &badRequestError{err}
+		}
+		assay = a
+	}
+
+	cfg := core.Config{
+		FPPCHeight:       req.Height,
+		DAWidth:          req.DAWidth,
+		DAHeight:         req.DAHeight,
+		AutoGrow:         req.Grow,
+		SingleOutputPort: req.SingleOutputPort,
+		DetectorCount:    req.DetectorCount,
+		Obs:              s.ob,
+	}
+	switch req.Target {
+	case "", "fppc":
+		cfg.Target = core.TargetFPPC
+		req.Target = "fppc"
+	case "da":
+		cfg.Target = core.TargetDA
+	default:
+		return nil, badRequest("unknown target %q (want \"fppc\" or \"da\")", req.Target)
+	}
+	if req.Sequence {
+		if cfg.Target != core.TargetFPPC {
+			return nil, badRequest("sequence emission is only supported for the fppc target")
+		}
+		rot := req.RotationsPerStep
+		if rot <= 0 {
+			rot = 12
+		}
+		req.RotationsPerStep = rot
+		cfg.Router = router.Options{EmitProgram: true, RotationsPerStep: rot}
+	}
+
+	fp, err := assay.Fingerprint()
+	if err != nil {
+		return nil, &badRequestError{err}
+	}
+	key := fmt.Sprintf("%s|%s|%s|h%d|da%dx%d|grow%t|single%t|det%d|seq%t|rot%d",
+		fp, assay.Name, req.Target, req.Height, req.DAWidth, req.DAHeight,
+		req.Grow, req.SingleOutputPort, req.DetectorCount, req.Sequence, req.RotationsPerStep)
+	return &job{assay: assay, cfg: cfg, req: req, fp: fp, cacheKey: key}, nil
+}
+
+// buildEntry converts a compile result into the cacheable response.
+func (j *job) buildEntry(res *core.Result) *entry {
+	resp := CompileResponse{
+		Assay:       res.Assay.Name,
+		Target:      j.req.Target,
+		Fingerprint: j.fp,
+		Chip: ChipInfo{
+			Name: res.Chip.Name, W: res.Chip.W, H: res.Chip.H,
+			Electrodes: res.Chip.ElectrodeCount(), Pins: res.Chip.PinCount(),
+		},
+		Stats: CompileStats{
+			Makespan:         res.Schedule.Makespan,
+			OpSeconds:        res.OperationSeconds(),
+			RoutingSeconds:   res.RoutingSeconds(),
+			TotalSeconds:     res.TotalSeconds(),
+			Moves:            len(res.Schedule.Moves),
+			StorageMoves:     res.Schedule.StorageMoves,
+			PeakStored:       res.Schedule.PeakStored,
+			RouteCycles:      res.Routing.TotalCycles,
+			RouteSubproblems: len(res.Routing.Boundaries),
+		},
+		Summary: res.Summary(),
+	}
+	if prog := res.Routing.Program; prog != nil && j.req.Sequence {
+		seq := &Sequence{PinCount: res.Chip.PinCount(), Cycles: make([][]int, prog.Len())}
+		for i := 0; i < prog.Len(); i++ {
+			seq.Cycles[i] = append([]int(nil), prog.Cycle(i)...)
+		}
+		for _, ev := range res.Routing.Events {
+			kind := "dispense"
+			if ev.Kind == router.EvOutput {
+				kind = "output"
+			}
+			seq.Events = append(seq.Events, SequenceEvent{
+				Cycle: ev.Cycle, Kind: kind, X: ev.Cell.X, Y: ev.Cell.Y, Fluid: ev.Fluid,
+			})
+		}
+		resp.Sequence = seq
+	}
+	return &entry{resp: resp}
+}

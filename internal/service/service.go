@@ -1,0 +1,312 @@
+// Package service exposes the synthesis flow as a long-running
+// concurrent compilation service: POST /compile accepts an assay (ASL
+// text or DAG JSON) plus target and configuration and returns the
+// compiled program and its statistics; GET /metrics serves the
+// internal/obs Prometheus export; GET /healthz reports liveness.
+//
+// Under the hood the server runs a bounded worker pool, a
+// content-addressed LRU cache keyed by the assay's dag fingerprint plus
+// its configuration, singleflight deduplication of identical in-flight
+// requests, and per-request deadlines made real by core.CompileContext's
+// cooperative cancellation. This is the layer that turns the batch CLI
+// reproduction into a servable system: a lab tool resubmits protocols
+// against one pre-manufactured FPPC chip and gets pin programs back in
+// milliseconds once warm.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"fppc/internal/core"
+	"fppc/internal/obs"
+)
+
+// Config configures a Server. Zero values select the documented
+// defaults.
+type Config struct {
+	// Workers bounds concurrent compilations (default: GOMAXPROCS).
+	Workers int
+	// CacheEntries bounds the compile cache (default 256).
+	CacheEntries int
+	// DefaultTimeout applies when a request names no timeout_ms
+	// (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps any requested timeout (default 5m).
+	MaxTimeout time.Duration
+	// MaxBodyBytes bounds the request body (default 8 MiB).
+	MaxBodyBytes int64
+	// Obs receives service and pipeline metrics (default: a fresh
+	// metrics-only observer — a tracing observer would accumulate span
+	// records for the server's whole lifetime).
+	Obs *obs.Observer
+}
+
+// Server is the compilation service. It is an http.Handler; create one
+// with New.
+type Server struct {
+	cfg    Config
+	ob     *obs.Observer
+	sem    chan struct{}
+	cache  *lruCache
+	flight *group
+	queued atomic.Int64
+	start  time.Time
+	mux    *http.ServeMux
+
+	cHits     *obs.Counter
+	cMisses   *obs.Counter
+	cDedup    *obs.Counter
+	cCompiles *obs.Counter
+	cTimeouts *obs.Counter
+	gQueue    *obs.Gauge
+	gInflight *obs.Gauge
+	hCompile  *obs.Histogram
+}
+
+// New builds a ready-to-serve Server.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 256
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 5 * time.Minute
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	ob := cfg.Obs
+	if ob == nil {
+		ob = obs.NewMetricsOnly()
+	}
+	s := &Server{
+		cfg:    cfg,
+		ob:     ob,
+		sem:    make(chan struct{}, cfg.Workers),
+		cache:  newLRUCache(cfg.CacheEntries),
+		flight: newGroup(),
+		start:  time.Now(),
+		mux:    http.NewServeMux(),
+
+		cHits:     ob.Counter("fppc_service_cache_hits_total"),
+		cMisses:   ob.Counter("fppc_service_cache_misses_total"),
+		cDedup:    ob.Counter("fppc_service_dedup_total"),
+		cCompiles: ob.Counter("fppc_service_compiles_total"),
+		cTimeouts: ob.Counter("fppc_service_timeouts_total"),
+		gQueue:    ob.Gauge("fppc_service_queue_depth"),
+		gInflight: ob.Gauge("fppc_service_inflight"),
+		hCompile:  ob.Histogram("fppc_service_compile_seconds", []float64{.001, .005, .01, .05, .1, .5, 1, 5, 30, 120}),
+	}
+	m := ob.Metrics()
+	m.Help("fppc_service_cache_hits_total", "compile requests served from the content-addressed cache")
+	m.Help("fppc_service_cache_misses_total", "compile requests that required compilation")
+	m.Help("fppc_service_dedup_total", "requests coalesced onto an identical in-flight compilation")
+	m.Help("fppc_service_compiles_total", "compilations actually executed by the worker pool")
+	m.Help("fppc_service_timeouts_total", "requests aborted by deadline or client cancellation")
+	m.Help("fppc_service_queue_depth", "requests waiting for a worker slot")
+	m.Help("fppc_service_compile_seconds", "wall-clock compile latency (cache misses only)")
+	s.mux.HandleFunc("/compile", s.handleCompile)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// Observer returns the observer the server records onto.
+func (s *Server) Observer() *obs.Observer { return s.ob }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+	s.mux.ServeHTTP(rec, r)
+	// Unknown paths share one label so arbitrary URLs cannot grow the
+	// registry without bound.
+	endpoint := r.URL.Path
+	switch endpoint {
+	case "/compile", "/metrics", "/healthz":
+	default:
+		endpoint = "other"
+	}
+	s.ob.Counter("fppc_service_requests_total",
+		"endpoint", endpoint, "code", fmt.Sprint(rec.code)).Inc()
+}
+
+// statusRecorder captures the response code for the requests_total
+// counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Errorf("POST only"))
+		return
+	}
+	var req CompileRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	j, err := s.prepare(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	start := time.Now()
+	e, cached, err := s.compile(ctx, j)
+	if err != nil {
+		s.writeCompileError(w, err)
+		return
+	}
+	resp := e.resp // copy; per-request fields set below
+	resp.Cached = cached
+	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// compile serves the job from cache, an identical in-flight request, or
+// a fresh compilation on the worker pool — in that order.
+func (s *Server) compile(ctx context.Context, j *job) (*entry, bool, error) {
+	if e, ok := s.cache.get(j.cacheKey); ok {
+		s.cHits.Inc()
+		return e, true, nil
+	}
+	s.cMisses.Inc()
+	for {
+		e, shared, err := s.flight.do(ctx, j.cacheKey, func() (*entry, error) {
+			return s.runCompile(ctx, j)
+		})
+		if shared {
+			// The leader's deadline is not ours: if the leader died of
+			// cancellation but this request still has budget, retry as a
+			// fresh leader.
+			if err != nil && isCancellation(err) && ctx.Err() == nil {
+				continue
+			}
+			s.cDedup.Inc()
+		}
+		return e, false, err
+	}
+}
+
+// runCompile waits for a worker slot, compiles, and populates the cache.
+func (s *Server) runCompile(ctx context.Context, j *job) (*entry, error) {
+	s.gQueue.Set(float64(s.queued.Add(1)))
+	select {
+	case s.sem <- struct{}{}:
+		s.gQueue.Set(float64(s.queued.Add(-1)))
+	case <-ctx.Done():
+		s.gQueue.Set(float64(s.queued.Add(-1)))
+		return nil, ctx.Err()
+	}
+	defer func() { <-s.sem }()
+
+	s.gInflight.Set(float64(len(s.sem)))
+	s.cCompiles.Inc()
+	t0 := time.Now()
+	res, err := core.CompileContext(ctx, j.assay, j.cfg)
+	s.hCompile.Observe(time.Since(t0).Seconds())
+	s.gInflight.Set(float64(len(s.sem) - 1))
+	if err != nil {
+		return nil, err
+	}
+	e := j.buildEntry(res)
+	s.cache.put(j.cacheKey, e)
+	return e, nil
+}
+
+// isCancellation reports whether err stems from a context abort.
+func isCancellation(err error) bool {
+	var ce *core.ErrCanceled
+	return errors.As(err, &ce) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// writeCompileError maps compile failures to HTTP statuses: 504 for
+// deadline/cancellation (the typed core.ErrCanceled), 400 for invalid
+// requests, 422 for assays the flow cannot compile.
+func (s *Server) writeCompileError(w http.ResponseWriter, err error) {
+	switch {
+	case isCancellation(err):
+		s.cTimeouts.Inc()
+		writeError(w, http.StatusGatewayTimeout, "canceled", err)
+	default:
+		var br *badRequestError
+		if errors.As(err, &br) {
+			writeError(w, http.StatusBadRequest, "bad_request", err)
+			return
+		}
+		writeError(w, http.StatusUnprocessableEntity, "compile_failed", err)
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", fmt.Errorf("GET only"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.ob.Metrics().WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Health is the GET /healthz body.
+type Health struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Workers       int     `json:"workers"`
+	QueueDepth    int64   `json:"queue_depth"`
+	CacheEntries  int     `json:"cache_entries"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Health{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Workers:       s.cfg.Workers,
+		QueueDepth:    s.queued.Load(),
+		CacheEntries:  s.cache.len(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, kind string, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error(), Kind: kind})
+}

@@ -1,0 +1,52 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// call is one in-flight compilation shared by every request with the
+// same cache key.
+type call struct {
+	done chan struct{}
+	val  *entry
+	err  error
+}
+
+// group deduplicates concurrent identical work (a minimal singleflight):
+// the first caller for a key becomes the leader and runs fn; followers
+// block until the leader finishes — or their own context expires — and
+// share the leader's result. A follower abandoning the wait does not
+// cancel the leader.
+type group struct {
+	mu sync.Mutex
+	m  map[string]*call
+}
+
+func newGroup() *group { return &group{m: map[string]*call{}} }
+
+// do returns the value for key, shared=true when this caller coalesced
+// onto an existing in-flight call.
+func (g *group) do(ctx context.Context, key string, fn func() (*entry, error)) (val *entry, shared bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, false, c.err
+}
