@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build check fmt vet test race bench
+.PHONY: all build check fmt vet test race bench cover cover-update golden
 
 all: build
 
@@ -27,3 +27,16 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# cover enforces the coverage ratchet (scripts/coverage_floor.txt);
+# cover-update raises the floor to the current total.
+cover:
+	sh scripts/coverage.sh
+
+cover-update:
+	sh scripts/coverage.sh -update
+
+# golden regenerates the oracle's golden traces; CI fails if the result
+# differs from what is checked in.
+golden:
+	$(GO) test ./internal/oracle -run TestGoldenTraces -update

@@ -45,6 +45,7 @@ func run(args []string, out io.Writer) error {
 	traceOut := fs.String("trace", "", "write a Chrome trace_event JSON file of the runs")
 	metricsOut := fs.String("metrics", "", "write pipeline metrics in Prometheus text format")
 	timeout := fs.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
+	verify := fs.Bool("verify", false, "run the independent oracle over the Table 1 suite before reporting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,6 +61,12 @@ func run(args []string, out io.Writer) error {
 		ob = obs.New()
 	}
 	tm := assays.DefaultTiming()
+	if *verify {
+		if err := bench.VerifyTable1(ctx, tm); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "verified: all 13 benchmarks pass the independent oracle on both targets")
+	}
 	if *markdown {
 		md, err := report.MarkdownContext(ctx, tm, ob)
 		if err != nil {

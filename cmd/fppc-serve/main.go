@@ -53,6 +53,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "default per-request compile deadline")
 	maxTimeout := fs.Duration("max-timeout", 5*time.Minute, "hard cap on client-requested deadlines")
 	drain := fs.Duration("drain", 30*time.Second, "shutdown grace period for in-flight requests")
+	verify := fs.Bool("verify", false, "run the independent oracle on every compile (as if each request set verify:true)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,6 +63,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		CacheEntries:   *cache,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		ForceVerify:    *verify,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -40,6 +40,7 @@ func run(args []string, out io.Writer) error {
 	watch := fs.Int("watch", 0, "print an array frame every N cycles (0 = off)")
 	traceOut := fs.String("trace", "", "write a Chrome trace_event JSON file (compile + simulate spans)")
 	metricsOut := fs.String("metrics", "", "write pipeline metrics in Prometheus text format")
+	verify := fs.Bool("verify", false, "replay the program through the independent oracle and cross-check the simulator")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -104,6 +105,17 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "verified: every operation executed, volume conserved (%.1f in = %.1f out)\n",
 		trace.VolumeIn, trace.VolumeOut)
+	if *verify {
+		rep, err := fppc.VerifyCompiled(res, fppc.OracleOptions{})
+		if err != nil {
+			for _, v := range rep.Violations {
+				fmt.Fprintf(out, "oracle violation: %v\n", v)
+			}
+			return fmt.Errorf("ORACLE FAILED: %w", err)
+		}
+		fmt.Fprintf(out, "oracle: independent replay agrees with the simulator (%d cycles, footprint %s)\n",
+			rep.Cycles, rep.FootprintHash[:16])
+	}
 	if *traceOut != "" {
 		if err := ob.WriteChromeTraceFile(*traceOut); err != nil {
 			return err

@@ -36,6 +36,7 @@ import (
 	"fppc/internal/dag"
 	"fppc/internal/grid"
 	"fppc/internal/obs"
+	"fppc/internal/oracle"
 	"fppc/internal/pins"
 	"fppc/internal/recovery"
 	"fppc/internal/router"
@@ -289,6 +290,49 @@ func DecodeFrames(r io.Reader, pinCount int) (*PinProgram, error) {
 // LinkBandwidthBps returns the control-link bandwidth (bytes/second)
 // needed to drive a chip with the given pin count at hz cycles/second.
 func LinkBandwidthBps(pinCount, hz int) int { return ctrl.BandwidthBps(pinCount, hz) }
+
+// Independent verification oracle.
+type (
+	// OracleReport is the oracle's account of one program replay.
+	OracleReport = oracle.Report
+	// OracleOptions tunes the oracle.
+	OracleOptions = oracle.Options
+	// OracleViolation is one oracle finding.
+	OracleViolation = oracle.Violation
+	// MutationSweep summarizes a fault-injection campaign.
+	MutationSweep = oracle.SweepResult
+)
+
+// VerifyProgram replays a compiled pin program through the independent
+// electrode-level oracle (no code shared with Simulate) and reports
+// every fluidic-constraint violation it derives from the frames alone.
+func VerifyProgram(chip *Chip, prog *PinProgram, events []ReservoirEvent, opts OracleOptions) *OracleReport {
+	return oracle.Verify(chip, prog, events, opts)
+}
+
+// VerifyCompiled runs the full verification harness on a compiled
+// result: oracle replay, assay-DAG invariants, and a cross-check
+// against the simulator (frame-level when a pin program exists,
+// schedule-level otherwise).
+func VerifyCompiled(res *Result, opts OracleOptions) (*OracleReport, error) {
+	return oracle.VerifyCompiled(res, opts)
+}
+
+// AssayEquivalence checks two compilations of one assay (typically FPPC
+// vs the direct-addressing baseline) for assay-level equivalence: same
+// completed operation set, same output droplet count.
+func AssayEquivalence(a, b *Result) error { return oracle.AssayEquivalence(a, b) }
+
+// SweepMutations injects single-frame pin corruptions through the
+// controller link and counts how many the oracle catches.
+func SweepMutations(res *Result, opts OracleOptions, sample int, rng *rand.Rand) (*MutationSweep, error) {
+	return oracle.SweepMutations(res, opts, sample, rng)
+}
+
+// CanonicalAssay returns the assay renumbered into its canonical,
+// content-derived node order; compiling canonical forms makes the
+// pipeline invariant to how the caller numbered the DAG.
+func CanonicalAssay(a *Assay) (*Assay, error) { return a.Canonical() }
 
 // CycleSeconds is the electrode actuation period (10 ms at 100 Hz).
 const CycleSeconds = router.CycleSeconds

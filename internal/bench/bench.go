@@ -19,6 +19,7 @@ import (
 	"fppc/internal/core"
 	"fppc/internal/dag"
 	"fppc/internal/obs"
+	"fppc/internal/oracle"
 	"fppc/internal/pinmap"
 	"fppc/internal/router"
 	"fppc/internal/scheduler"
@@ -93,6 +94,30 @@ func Table1Context(ctx context.Context, tm assays.Timing, ob *obs.Observer) ([]T
 		rows = append(rows, row)
 	}
 	return rows, averages(rows), nil
+}
+
+// VerifyTable1 runs the independent verification harness over the full
+// Table 1 suite: every benchmark compiles for both targets (with pin
+// program emission on FPPC), the FPPC program replays through the
+// oracle with its simulator cross-check, and the two compilations are
+// checked for assay-level equivalence. It returns the first failure;
+// nil means every published number rests on a verified execution.
+func VerifyTable1(ctx context.Context, tm assays.Timing) error {
+	for _, a := range assays.Table1Benchmarks(tm) {
+		fpCfg := oracle.VerifyConfig(core.TargetFPPC)
+		fp, err := core.CompileContext(ctx, a, fpCfg)
+		if err != nil {
+			return fmt.Errorf("bench: verify %s on FPPC: %w", a.Name, err)
+		}
+		da, err := core.CompileContext(ctx, a.Clone(), oracle.VerifyConfig(core.TargetDA))
+		if err != nil {
+			return fmt.Errorf("bench: verify %s on DA: %w", a.Name, err)
+		}
+		if err := oracle.AssayEquivalence(fp, da); err != nil {
+			return fmt.Errorf("bench: verify %s: %w", a.Name, err)
+		}
+	}
+	return nil
 }
 
 // timedCompile compiles under a per-benchmark span and measures the

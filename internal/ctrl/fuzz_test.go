@@ -1,0 +1,114 @@
+package ctrl
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeResync throws arbitrary byte streams at the resynchronizing
+// decoder and checks the guarantees the resync tests pin down case by
+// case: no panic, no error on in-memory input, self-consistent stats,
+// every decoded activation in range, and agreement with the strict
+// decoder whenever the stats claim the stream was clean.
+func FuzzDecodeResync(f *testing.F) {
+	prog := testProgram(20)
+	var buf bytes.Buffer
+	if err := Encode(&buf, prog, resyncPins); err != nil {
+		f.Fatal(err)
+	}
+	clean := buf.Bytes()
+	fl := FrameBytes(resyncPins)
+
+	// Seeds mirror the table of handwritten resync cases.
+	f.Add(clean, resyncPins)
+	corruptBitmap := append([]byte(nil), clean...)
+	corruptBitmap[5*fl+4] ^= 0x10
+	f.Add(corruptBitmap, resyncPins)
+	corruptSync := append([]byte(nil), clean...)
+	corruptSync[3*fl] = 0x00
+	f.Add(corruptSync, resyncPins)
+	junk := []byte{0x00, 0xFF, 0x13, 0x37, 0x42}
+	spliced := append(append(append([]byte(nil), clean[:4*fl]...), junk...), clean[4*fl:]...)
+	f.Add(spliced, resyncPins)
+	f.Add(append([]byte{0x01, 0x02, 0x03}, clean...), resyncPins)
+	f.Add(clean[:5*fl+3], resyncPins)
+	twoRegions := append([]byte(nil), clean...)
+	twoRegions[4*fl+6] ^= 0x01
+	twoRegions[17*fl+2] ^= 0x80
+	f.Add(twoRegions, resyncPins)
+	f.Add(bytes.Repeat([]byte{0xDE, 0xAD}, 50), resyncPins)
+	f.Add([]byte{}, resyncPins)
+	f.Add([]byte{syncByte}, resyncPins)
+	f.Add(clean[:2*fl], 1)
+	f.Add(clean, 285) // the DA chip's pin count reads the same bytes differently
+
+	f.Fuzz(func(t *testing.T, data []byte, pinCount int) {
+		if pinCount < 1 || pinCount > 512 {
+			pinCount = 1 + ((pinCount%512)+512)%512
+		}
+		got, st, err := DecodeResync(bytes.NewReader(data), pinCount)
+		if err != nil {
+			t.Fatalf("in-memory stream returned a read error: %v", err)
+		}
+		if st.Frames != got.Len() {
+			t.Fatalf("stats report %d frames but program has %d cycles", st.Frames, got.Len())
+		}
+		frameLen := FrameBytes(pinCount)
+		if consumed := st.Frames*frameLen + st.SkippedBytes; consumed > len(data) {
+			t.Fatalf("accounted for %d bytes of a %d-byte stream", consumed, len(data))
+		}
+		if st.DroppedFrames < 0 || st.Resyncs < 0 || st.SkippedBytes < 0 {
+			t.Fatalf("negative stats: %+v", st)
+		}
+		if st.SkippedBytes > 0 && st.Resyncs == 0 {
+			t.Fatalf("skipped %d bytes without a resync", st.SkippedBytes)
+		}
+		for cyc := 0; cyc < got.Len(); cyc++ {
+			prev := 0
+			for _, p := range got.Cycle(cyc) {
+				if p < 1 || p > pinCount {
+					t.Fatalf("cycle %d drives pin %d outside [1,%d]", cyc, p, pinCount)
+				}
+				if p <= prev {
+					t.Fatalf("cycle %d pins not strictly increasing: %v", cyc, got.Cycle(cyc))
+				}
+				prev = p
+			}
+		}
+		// A decoded program must survive an encode/decode round trip.
+		var rt bytes.Buffer
+		if err := Encode(&rt, got, pinCount); err != nil {
+			t.Fatalf("re-encoding the decoded program: %v", err)
+		}
+		again, err := Decode(bytes.NewReader(rt.Bytes()), pinCount)
+		if err != nil {
+			t.Fatalf("strict decode of re-encoded program: %v", err)
+		}
+		if again.Len() != got.Len() {
+			t.Fatalf("round trip changed cycle count: %d != %d", again.Len(), got.Len())
+		}
+		// If the stats say the stream was pristine, the strict decoder
+		// must agree byte for byte.
+		if st.Resyncs == 0 && st.SkippedBytes == 0 && st.DroppedFrames == 0 &&
+			!st.Truncated && st.Frames*frameLen == len(data) {
+			strict, err := Decode(bytes.NewReader(data), pinCount)
+			if err != nil {
+				t.Fatalf("stats report a clean stream but strict decode failed: %v", err)
+			}
+			if strict.Len() != got.Len() {
+				t.Fatalf("strict decoded %d cycles, resync %d", strict.Len(), got.Len())
+			}
+			for cyc := 0; cyc < got.Len(); cyc++ {
+				g, s := got.Cycle(cyc), strict.Cycle(cyc)
+				if len(g) != len(s) {
+					t.Fatalf("cycle %d: %v != %v", cyc, g, s)
+				}
+				for i := range g {
+					if g[i] != s[i] {
+						t.Fatalf("cycle %d: %v != %v", cyc, g, s)
+					}
+				}
+			}
+		}
+	})
+}

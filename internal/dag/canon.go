@@ -1,0 +1,219 @@
+package dag
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"hash"
+	"sort"
+)
+
+// Renumbered returns a copy of the assay with node IDs permuted: the
+// node currently at index i moves to index perm[i]. Edges are re-linked
+// accordingly, so the result describes the same graph and hashes to the
+// same Fingerprint. perm must be a permutation of [0,len(Nodes)).
+//
+// This is the metamorphic twin-generator of the verification harness:
+// any synthesis pipeline property that holds for an assay must hold,
+// bit for bit, for every renumbering of it.
+func (a *Assay) Renumbered(perm []int) (*Assay, error) {
+	n := len(a.Nodes)
+	if len(perm) != n {
+		return nil, fmt.Errorf("dag: permutation length %d for %d nodes", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || p >= n || seen[p] {
+			return nil, fmt.Errorf("dag: not a permutation of [0,%d)", n)
+		}
+		seen[p] = true
+	}
+	out := New(a.Name)
+	if a.Reservoirs != nil {
+		out.Reservoirs = make(map[string]int, len(a.Reservoirs))
+		for f, c := range a.Reservoirs {
+			out.Reservoirs[f] = c
+		}
+	}
+	out.Nodes = make([]*Node, n)
+	for i, src := range a.Nodes {
+		m := &Node{ID: perm[i], Kind: src.Kind, Label: src.Label,
+			Fluid: src.Fluid, Duration: src.Duration}
+		for _, p := range src.Parents {
+			m.Parents = append(m.Parents, perm[p])
+		}
+		for _, c := range src.Children {
+			m.Children = append(m.Children, perm[c])
+		}
+		out.Nodes[perm[i]] = m
+	}
+	return out, nil
+}
+
+// Relabeled returns a copy with every node label rewritten by fn
+// (labels are presentation-only: the Fingerprint and every compiled
+// artifact must be unaffected).
+func (a *Assay) Relabeled(fn func(old string) string) *Assay {
+	c := a.Clone()
+	for _, n := range c.Nodes {
+		n.Label = fn(n.Label)
+	}
+	return c
+}
+
+// CanonicalOrder returns a node ordering derived from the assay's
+// content rather than its insertion order. It seeds each node with the
+// structural hashes the Fingerprint digests (ancestor-cone and
+// descendant-cone), then runs color refinement (each round rehashes a
+// node's color with its parents' and children's colors) with
+// individualization: while structurally indistinguishable classes
+// remain, one member is split off and refinement reruns. Members of such
+// a class are interchangeable under a graph automorphism, so which one
+// is split does not affect the resulting adjacency — two renumberings of
+// the same graph therefore canonicalize to identical orderings.
+func (a *Assay) CanonicalOrder() ([]int, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := a.TopologicalOrder()
+	if err != nil {
+		return nil, err
+	}
+	nodeAttrs := func(h hash.Hash, n *Node) {
+		h.Write([]byte{byte(n.Kind)})
+		writeString(h, n.Fluid)
+		writeInt(h, n.Duration)
+	}
+	down := make([][sha256.Size]byte, len(a.Nodes))
+	for _, id := range order {
+		n := a.Nodes[id]
+		h := sha256.New()
+		h.Write([]byte("down"))
+		nodeAttrs(h, n)
+		writeSortedHashes(h, n.Parents, down)
+		copy(down[id][:], h.Sum(nil))
+	}
+	up := make([][sha256.Size]byte, len(a.Nodes))
+	for i := len(order) - 1; i >= 0; i-- {
+		n := a.Nodes[order[i]]
+		h := sha256.New()
+		h.Write([]byte("up"))
+		nodeAttrs(h, n)
+		writeSortedHashes(h, n.Children, up)
+		copy(up[n.ID][:], h.Sum(nil))
+	}
+	color := make([][sha256.Size]byte, len(a.Nodes))
+	for i := range a.Nodes {
+		h := sha256.New()
+		h.Write(down[i][:])
+		h.Write(up[i][:])
+		copy(color[i][:], h.Sum(nil))
+	}
+	refineColors(a, color)
+	for indiv := 0; ; indiv++ {
+		id := smallestTiedNode(color)
+		if id < 0 {
+			break
+		}
+		h := sha256.New()
+		h.Write([]byte("indiv"))
+		h.Write(color[id][:])
+		writeInt(h, indiv)
+		copy(color[id][:], h.Sum(nil))
+		refineColors(a, color)
+	}
+	ids := make([]int, len(a.Nodes))
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		return bytes.Compare(color[ids[i]][:], color[ids[j]][:]) < 0
+	})
+	return ids, nil
+}
+
+// refineColors reruns Weisfeiler-Leman-style rounds — rehash every
+// node's color together with its parents' and children's sorted colors —
+// until the partition into color classes stops growing. A node's new
+// color includes its old one, so refinement never merges classes.
+func refineColors(a *Assay, color [][sha256.Size]byte) {
+	distinct := func() int {
+		set := make(map[[sha256.Size]byte]struct{}, len(color))
+		for _, c := range color {
+			set[c] = struct{}{}
+		}
+		return len(set)
+	}
+	for prev := distinct(); ; {
+		next := make([][sha256.Size]byte, len(color))
+		for i, n := range a.Nodes {
+			h := sha256.New()
+			h.Write(color[i][:])
+			h.Write([]byte("p"))
+			writeSortedHashes(h, n.Parents, color)
+			h.Write([]byte("c"))
+			writeSortedHashes(h, n.Children, color)
+			copy(next[i][:], h.Sum(nil))
+		}
+		copy(color, next)
+		cur := distinct()
+		if cur == prev {
+			return
+		}
+		prev = cur
+	}
+}
+
+// smallestTiedNode returns one member of the color class with the
+// smallest color among classes that still hold more than one node, or
+// -1 when every color is unique. Ties within the class are broken by
+// node index; refinement has proven the members mutually
+// indistinguishable, so the pick is automorphism-safe.
+func smallestTiedNode(color [][sha256.Size]byte) int {
+	best := -1
+	counts := make(map[[sha256.Size]byte]int, len(color))
+	for _, c := range color {
+		counts[c]++
+	}
+	for i, c := range color {
+		if counts[c] < 2 {
+			continue
+		}
+		if best < 0 || bytes.Compare(c[:], color[best][:]) < 0 {
+			best = i
+		}
+	}
+	return best
+}
+
+// Canonical returns the assay renumbered into canonical order: the node
+// with the smallest structural hash gets ID 0, and so on. Renumbered
+// variants of one graph canonicalize to structurally identical assays
+// (automorphic nodes may swap labels), so compiling the canonical form
+// makes the whole synthesis pipeline invariant to how the caller
+// happened to number the DAG — the property the fingerprint-keyed
+// compile cache silently assumes.
+func (a *Assay) Canonical() (*Assay, error) {
+	ids, err := a.CanonicalOrder()
+	if err != nil {
+		return nil, err
+	}
+	// ids[k] = old index that should land at new index k; Renumbered
+	// wants perm[old] = new.
+	perm := make([]int, len(ids))
+	for newID, oldID := range ids {
+		perm[oldID] = newID
+	}
+	c, err := a.Renumbered(perm)
+	if err != nil {
+		return nil, err
+	}
+	// Edge lists are multisets to every consumer (the fingerprint hashes
+	// them sorted); pin their order too so automorphic siblings cannot
+	// leave a trace of the original numbering.
+	for _, n := range c.Nodes {
+		sort.Ints(n.Parents)
+		sort.Ints(n.Children)
+	}
+	return c, nil
+}

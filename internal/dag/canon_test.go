@@ -1,0 +1,161 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// sampleAssay builds a small mix/split/output assay for permutation tests.
+func sampleAssay(t *testing.T) *Assay {
+	t.Helper()
+	a := New("canon-sample")
+	d1 := a.Add(Dispense, "D1", "sample", 2)
+	d2 := a.Add(Dispense, "D2", "buffer", 2)
+	m := a.Add(Mix, "M1", "", 3)
+	a.AddEdge(d1, m)
+	a.AddEdge(d2, m)
+	s := a.Add(Split, "S1", "", 0)
+	a.AddEdge(m, s)
+	o1 := a.Add(Output, "O1", "waste", 0)
+	o2 := a.Add(Output, "O2", "waste", 0)
+	a.AddEdge(s, o1)
+	a.AddEdge(s, o2)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func randPerm(rng *rand.Rand, n int) []int {
+	p := rng.Perm(n)
+	return p
+}
+
+func TestRenumberedPreservesStructureAndFingerprint(t *testing.T) {
+	a := sampleAssay(t)
+	fp, err := a.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		b, err := a.Renumbered(randPerm(rng, a.Len()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Validate(); err != nil {
+			t.Fatalf("trial %d: renumbered assay invalid: %v", trial, err)
+		}
+		fpb, err := b.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fpb != fp {
+			t.Fatalf("trial %d: fingerprint changed under renumbering", trial)
+		}
+	}
+}
+
+func TestRenumberedRejectsBadPermutations(t *testing.T) {
+	a := sampleAssay(t)
+	for _, perm := range [][]int{
+		{0, 1},                 // wrong length
+		{0, 1, 2, 3, 4, 4, 6},  // duplicate
+		{0, 1, 2, 3, 4, 5, 99}, // out of range
+		{-1, 1, 2, 3, 4, 5, 6}, // negative
+	} {
+		if _, err := a.Renumbered(perm); err == nil {
+			t.Errorf("Renumbered(%v) accepted a non-permutation", perm)
+		}
+	}
+}
+
+func TestRelabeledKeepsFingerprint(t *testing.T) {
+	a := sampleAssay(t)
+	fp, _ := a.Fingerprint()
+	b := a.Relabeled(func(old string) string { return "x-" + old })
+	fpb, err := b.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpb != fp {
+		t.Fatal("fingerprint changed under relabeling")
+	}
+	if b.Nodes[0].Label == a.Nodes[0].Label {
+		t.Fatal("Relabeled did not rewrite labels")
+	}
+}
+
+func TestCanonicalInvariantUnderRenumbering(t *testing.T) {
+	a := sampleAssay(t)
+	ca, err := a.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ca.Validate(); err != nil {
+		t.Fatalf("canonical assay invalid: %v", err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		b, err := a.Renumbered(randPerm(rng, a.Len()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := b.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameShape(ca, cb) {
+			t.Fatalf("trial %d: canonical forms differ structurally", trial)
+		}
+	}
+}
+
+// sameShape compares everything the synthesis flow observes (kinds,
+// fluids, durations, edges, reservoirs) while ignoring labels, which
+// automorphic nodes may legitimately swap.
+func sameShape(a, b *Assay) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.Nodes {
+		x, y := a.Nodes[i], b.Nodes[i]
+		if x.Kind != y.Kind || x.Fluid != y.Fluid || x.Duration != y.Duration {
+			return false
+		}
+		if len(x.Children) != len(y.Children) || len(x.Parents) != len(y.Parents) {
+			return false
+		}
+		for j := range x.Children {
+			if x.Children[j] != y.Children[j] {
+				return false
+			}
+		}
+		for j := range x.Parents {
+			if x.Parents[j] != y.Parents[j] {
+				return false
+			}
+		}
+	}
+	for f, n := range a.Reservoirs {
+		if b.ReservoirCount(f) != n {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCanonicalIdempotent(t *testing.T) {
+	a := sampleAssay(t)
+	c1, err := a.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := c1.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameShape(c1, c2) {
+		t.Fatal("Canonical is not idempotent")
+	}
+}

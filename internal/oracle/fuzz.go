@@ -1,0 +1,54 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fppc/internal/assays"
+	"fppc/internal/core"
+	"fppc/internal/router"
+)
+
+// VerifyConfig returns the compilation config the verification harness
+// uses for a target: auto-grow (so every well-formed assay compiles)
+// plus pin-program emission where the architecture supports it.
+func VerifyConfig(target core.Target) core.Config {
+	cfg := core.Config{Target: target, AutoGrow: true}
+	if target == core.TargetFPPC {
+		cfg.Router = router.Options{EmitProgram: true, RotationsPerStep: 1}
+	}
+	return cfg
+}
+
+// FuzzCase runs one randomized end-to-end pipeline check: generate a
+// random well-formed assay from the seed, compile it for both the FPPC
+// chip and the direct-addressing baseline, replay the FPPC program
+// through the oracle (with the simulator cross-check), and compare the
+// two compilations for assay-level equivalence. nodes controls the
+// approximate assay size.
+func FuzzCase(seed int64, nodes int) error {
+	rng := rand.New(rand.NewSource(seed))
+	a := assays.Random(rng, nodes, assays.DefaultTiming())
+	a.Name = fmt.Sprintf("fuzz-%d-%d", seed, nodes)
+	if err := a.Validate(); err != nil {
+		return fmt.Errorf("fuzz seed %d: generated assay invalid: %w", seed, err)
+	}
+	fppc, err := core.Compile(a, VerifyConfig(core.TargetFPPC))
+	if err != nil {
+		return fmt.Errorf("fuzz seed %d: fppc compile: %w", seed, err)
+	}
+	if _, err := VerifyCompiled(fppc, Options{}); err != nil {
+		return fmt.Errorf("fuzz seed %d: %w", seed, err)
+	}
+	da, err := core.Compile(a.Clone(), VerifyConfig(core.TargetDA))
+	if err != nil {
+		return fmt.Errorf("fuzz seed %d: da compile: %w", seed, err)
+	}
+	if _, err := VerifyCompiled(da, Options{}); err != nil {
+		return fmt.Errorf("fuzz seed %d: %w", seed, err)
+	}
+	if err := AssayEquivalence(fppc, da); err != nil {
+		return fmt.Errorf("fuzz seed %d: %w", seed, err)
+	}
+	return nil
+}

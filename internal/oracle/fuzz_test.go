@@ -1,0 +1,47 @@
+package oracle
+
+import (
+	"testing"
+)
+
+// TestPipelineFuzz200 is the CI acceptance run: 200 randomized
+// end-to-end cases (random DAG -> compile both targets -> oracle +
+// differential checks) must pass without a violation. Sizes cycle
+// through small, medium and larger assays so module pressure and
+// auto-grow both get exercised.
+func TestPipelineFuzz200(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: pipeline fuzz is the long CI run")
+	}
+	sizes := []int{6, 8, 10, 12, 14, 16, 20, 24}
+	for i := 0; i < 200; i++ {
+		seed := int64(1000 + i)
+		nodes := sizes[i%len(sizes)]
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			if err := FuzzCase(seed, nodes); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// FuzzPipeline is the native fuzz target over the same property; `go
+// test -fuzz=FuzzPipeline ./internal/oracle` explores seeds beyond the
+// fixed CI corpus.
+func FuzzPipeline(f *testing.F) {
+	for _, seed := range []int64{1, 7, 42, 1000, 31337} {
+		f.Add(seed, 10)
+	}
+	f.Fuzz(func(t *testing.T, seed int64, nodes int) {
+		if nodes < 4 {
+			nodes = 4
+		}
+		if nodes > 32 {
+			nodes = 32
+		}
+		if err := FuzzCase(seed, nodes); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package oracle
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fppc/internal/assays"
+	"fppc/internal/core"
+	"fppc/internal/dag"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trace files under testdata/")
+
+// goldenCases are the corpus: the paper's flagship assay plus the
+// smallest in-vitro benchmark, on both targets.
+func goldenCases() []struct {
+	file   string
+	assay  *dag.Assay
+	target core.Target
+} {
+	tm := assays.DefaultTiming()
+	return []struct {
+		file   string
+		assay  *dag.Assay
+		target core.Target
+	}{
+		{"pcr_fppc.golden", assays.PCR(tm), core.TargetFPPC},
+		{"pcr_da.golden", assays.PCR(tm), core.TargetDA},
+		{"invitro1_fppc.golden", assays.InVitroN(1, tm), core.TargetFPPC},
+		{"invitro1_da.golden", assays.InVitroN(1, tm), core.TargetDA},
+	}
+}
+
+// goldenSummary renders everything the pipeline promises to keep stable
+// for a compiled assay: chip geometry and pin count, schedule makespan,
+// routing cycles, the oracle's replay statistics, and digests of the
+// full per-cycle footprint trace and the emitted pin program.
+func goldenSummary(t *testing.T, res *core.Result, rep *Report) string {
+	t.Helper()
+	var b strings.Builder
+	fmt.Fprintf(&b, "assay: %s\n", res.Assay.Name)
+	fmt.Fprintf(&b, "chip: %s %dx%d electrodes=%d pins=%d\n",
+		res.Chip.Arch, res.Chip.W, res.Chip.H, res.Chip.ElectrodeCount(), res.Chip.PinCount())
+	fmt.Fprintf(&b, "makespan: %d\n", res.Schedule.Makespan)
+	fmt.Fprintf(&b, "routing-cycles: %d\n", res.Routing.TotalCycles)
+	fmt.Fprintf(&b, "oracle: cycles=%d dispenses=%d outputs=%d merges=%d splits=%d\n",
+		rep.Cycles, rep.Dispenses, rep.Outputs, rep.Merges, rep.Splits)
+	fmt.Fprintf(&b, "volume: in=%.6g out=%.6g left=%.6g remaining=%d\n",
+		rep.VolumeIn, rep.VolumeOut, rep.VolumeLeft, rep.RemainingDroplets)
+	fmt.Fprintf(&b, "footprint: %s\n", rep.FootprintHash)
+	fmt.Fprintf(&b, "program: %x\n", sha256.Sum256([]byte(ProgramText(res))))
+	return b.String()
+}
+
+// TestGoldenTraces pins the PCR and In-Vitro 1 end-to-end results on
+// both targets against testdata/. Run with -update after an intentional
+// pipeline change; CI regenerates and fails on any drift.
+func TestGoldenTraces(t *testing.T) {
+	for _, gc := range goldenCases() {
+		gc := gc
+		t.Run(gc.file, func(t *testing.T) {
+			res, err := core.Compile(gc.assay, VerifyConfig(gc.target))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := VerifyCompiled(res, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := goldenSummary(t, res, rep)
+			path := filepath.Join("testdata", gc.file)
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run `go test ./internal/oracle -run TestGoldenTraces -update` to create)", err)
+			}
+			if string(want) != got {
+				t.Errorf("golden mismatch for %s:\n--- want\n%s--- got\n%s", gc.file, want, got)
+			}
+		})
+	}
+}

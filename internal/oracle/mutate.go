@@ -1,0 +1,105 @@
+package oracle
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"fppc/internal/core"
+	"fppc/internal/ctrl"
+	"fppc/internal/pins"
+)
+
+// Mutant identifies a single-frame pin corruption: the given pin's bit
+// in the given frame's bitmap flipped. The frame checksum is refitted so
+// the corruption survives ctrl.Decode — modeling a fault the link layer
+// cannot see, such as a stuck driver bit or a bit flipped before
+// encoding. (Corruption that does NOT refit the checksum is already
+// caught by Decode itself; ctrl's tests cover that layer.)
+type Mutant struct {
+	Frame int
+	Pin   int
+}
+
+// MutantProgram encodes the program into ctrl frames, applies the
+// mutation, and decodes the stream back into a program.
+func MutantProgram(prog *pins.Program, pinCount int, m Mutant) (*pins.Program, error) {
+	if m.Frame < 0 || m.Frame >= prog.Len() || m.Pin < 1 || m.Pin > pinCount {
+		return nil, fmt.Errorf("oracle: mutant %+v out of range (%d frames, %d pins)",
+			m, prog.Len(), pinCount)
+	}
+	var buf bytes.Buffer
+	if err := ctrl.Encode(&buf, prog, pinCount); err != nil {
+		return nil, err
+	}
+	raw := buf.Bytes()
+	fb := ctrl.FrameBytes(pinCount)
+	mask := byte(1) << uint((m.Pin-1)%8)
+	raw[m.Frame*fb+3+(m.Pin-1)/8] ^= mask
+	// The checksum XORs the bitmap bytes, so the same mask refits it.
+	raw[m.Frame*fb+fb-1] ^= mask
+	return ctrl.Decode(bytes.NewReader(raw), pinCount)
+}
+
+// SweepResult summarizes a mutation campaign.
+type SweepResult struct {
+	Total  int
+	Caught int
+	// Missed lists the mutants whose replay neither violated an
+	// invariant nor deviated from the baseline footprints.
+	Missed []Mutant
+}
+
+// Rate is the caught fraction in [0,1].
+func (s *SweepResult) Rate() float64 {
+	if s.Total == 0 {
+		return 1
+	}
+	return float64(s.Caught) / float64(s.Total)
+}
+
+// SweepMutations replays mutated copies of a compiled FPPC program
+// through the oracle. A mutant counts as caught when the oracle either
+// flags a violation (frame-level or assay-level) or derives a different
+// per-cycle footprint digest than the unmutated baseline. sample > 0
+// draws that many mutants from rng; sample = 0 sweeps every pin of
+// every frame exhaustively.
+func SweepMutations(res *core.Result, opts Options, sample int, rng *rand.Rand) (*SweepResult, error) {
+	prog := res.Routing.Program
+	if prog == nil {
+		return nil, fmt.Errorf("oracle: result for %s carries no pin program to mutate", res.Assay.Name)
+	}
+	pinCount := res.Chip.PinCount()
+	base := Verify(res.Chip, prog, res.Routing.Events, opts)
+	base.CheckAssay(res.Assay)
+	if !base.Ok() {
+		return nil, fmt.Errorf("oracle: baseline replay is not clean: %w", base.Err())
+	}
+	var muts []Mutant
+	if sample > 0 {
+		for i := 0; i < sample; i++ {
+			muts = append(muts, Mutant{Frame: rng.Intn(prog.Len()), Pin: 1 + rng.Intn(pinCount)})
+		}
+	} else {
+		for f := 0; f < prog.Len(); f++ {
+			for p := 1; p <= pinCount; p++ {
+				muts = append(muts, Mutant{Frame: f, Pin: p})
+			}
+		}
+	}
+	out := &SweepResult{Total: len(muts)}
+	for _, m := range muts {
+		mp, err := MutantProgram(prog, pinCount, m)
+		if err != nil {
+			return nil, err
+		}
+		rep := Verify(res.Chip, mp, res.Routing.Events, opts)
+		rep.CheckAssay(res.Assay)
+		if !rep.Ok() || rep.FootprintHash != base.FootprintHash {
+			out.Caught++
+		} else {
+			out.Missed = append(out.Missed, m)
+		}
+	}
+	return out, nil
+}

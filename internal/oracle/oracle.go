@@ -1,0 +1,548 @@
+// Package oracle is an independent electrode-level verifier for
+// compiled pin-activation programs. It re-derives droplet positions and
+// fluidic-constraint violations directly from the per-cycle pin frames
+// and the chip's wiring table, sharing no position-tracking code with
+// internal/sim, and then checks end-to-end invariants against the assay
+// DAG: no unintended merges, no droplet loss, every operation
+// completed, and conservation of dispensed volume.
+//
+// The simulator (internal/sim) answers "what happens when this program
+// runs"; the oracle answers "is what happened correct" — and because
+// the two are implemented independently, their agreement on a program
+// is evidence rather than bookkeeping. The harness in this package
+// cross-checks them on every compiled benchmark, on randomized
+// pipeline fuzz cases, and against deliberately corrupted frame
+// streams (mutation mode), where the oracle must flag the fault.
+package oracle
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"math"
+	"sort"
+
+	"fppc/internal/arch"
+	"fppc/internal/dag"
+	"fppc/internal/grid"
+	"fppc/internal/pins"
+	"fppc/internal/router"
+)
+
+// ViolationKind classifies what the oracle observed going wrong.
+type ViolationKind int
+
+// Electrode-level violation kinds (found during frame replay) and
+// assay-level kinds (found when checking the finished run against the
+// DAG's expectations).
+const (
+	// DropletLost: no activated electrode holds or pulls the droplet;
+	// on real hardware it drifts unpredictably.
+	DropletLost ViolationKind = iota
+	// DropletTorn: activated electrodes pull one droplet in
+	// irreconcilable directions.
+	DropletTorn
+	// Overpull: more than two electrodes energized in a droplet's
+	// reach, leaving its motion undefined.
+	Overpull
+	// SpuriousActivation: a pin is driven high although none of its
+	// electrodes is near any droplet — actuation that cannot be doing
+	// work, the signature of a corrupted or mis-addressed frame.
+	SpuriousActivation
+	// DispenseConflict: a dispense lands inside the interference range
+	// of a droplet already on the array.
+	DispenseConflict
+	// OutputMiss: an output event fires with no droplet on the port.
+	OutputMiss
+	// EventOverrun: reservoir events remain after the program's last
+	// cycle.
+	EventOverrun
+	// OpCountMismatch: dispense/merge/split/output totals disagree with
+	// the assay DAG (assay-level).
+	OpCountMismatch
+	// ResidualDroplet: droplets remain on the array after the program
+	// ends (assay-level).
+	ResidualDroplet
+	// VolumeLeak: dispensed volume does not equal collected volume
+	// (assay-level).
+	VolumeLeak
+)
+
+var violationNames = [...]string{
+	"droplet-lost", "droplet-torn", "overpull", "spurious-activation",
+	"dispense-conflict", "output-miss", "event-overrun",
+	"op-count-mismatch", "residual-droplet", "volume-leak",
+}
+
+// String returns the kind's kebab-case name.
+func (k ViolationKind) String() string {
+	if k < DropletLost || int(k) >= len(violationNames) {
+		return fmt.Sprintf("ViolationKind(%d)", int(k))
+	}
+	return violationNames[k]
+}
+
+// Violation is one oracle finding. Cycle is -1 for assay-level
+// findings, Droplet is -1 when no specific droplet is implicated.
+type Violation struct {
+	Kind    ViolationKind
+	Cycle   int
+	Droplet int
+	Cell    grid.Cell
+	Pin     int
+	Msg     string
+}
+
+func (v Violation) String() string {
+	if v.Cycle < 0 {
+		return fmt.Sprintf("oracle: %v: %s", v.Kind, v.Msg)
+	}
+	return fmt.Sprintf("oracle: cycle %d: %v: %s", v.Cycle, v.Kind, v.Msg)
+}
+
+// Report is the oracle's account of one program replay.
+type Report struct {
+	Cycles    int
+	Dispenses int
+	Outputs   int
+	Merges    int
+	Splits    int
+
+	VolumeIn   float64
+	VolumeOut  float64
+	VolumeLeft float64
+
+	// RemainingDroplets counts bodies still on the array at the end.
+	RemainingDroplets int
+
+	// FootprintHash digests every cycle's droplet footprints (positions
+	// and volumes, droplet IDs excluded). Two replays with equal hashes
+	// executed the same fluidic behavior; mutation mode uses it to catch
+	// corruptions that perturb a droplet without breaking an invariant
+	// (e.g. a transient stretch that heals the next cycle).
+	FootprintHash string
+
+	Violations []Violation
+
+	// Truncated reports that replay stopped early because the violation
+	// budget (Options.MaxViolations) was exhausted; counts cover only
+	// the cycles replayed.
+	Truncated bool
+}
+
+// Ok reports a clean run.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 }
+
+// Err returns the first violation as an error, or nil.
+func (r *Report) Err() error {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%s", r.Violations[0].String())
+}
+
+// Options tune the oracle.
+type Options struct {
+	// MaxViolations stops replay once this many violations accumulate
+	// (0 = 32). Replay past the first violation is best-effort: once
+	// physics has been violated the derived positions are suspect.
+	MaxViolations int
+	// DisableSpuriousCheck turns off the spurious-activation invariant
+	// (useful when verifying hand-written programs that idle pins on
+	// purpose).
+	DisableSpuriousCheck bool
+}
+
+// blob is the oracle's independent droplet model: one or two occupied
+// cells plus the volume ledger.
+type blob struct {
+	id     int
+	cells  []grid.Cell
+	volume float64
+	solute map[string]float64
+}
+
+func (b *blob) covers(c grid.Cell) bool {
+	for _, bc := range b.cells {
+		if bc == c {
+			return true
+		}
+	}
+	return false
+}
+
+// verifier carries replay state.
+type verifier struct {
+	chip     *arch.Chip
+	pinCells [][]grid.Cell // pin id -> electrode cells, rebuilt from the wiring
+	blobs    []*blob
+	nextID   int
+	rep      *Report
+	opts     Options
+	fp       hash.Hash // running digest of per-cycle footprints
+
+	// justify collects the cells that legitimize activations this
+	// cycle: every live droplet cell plus cells vacated by this cycle's
+	// output events.
+	justify map[grid.Cell]bool
+}
+
+// Verify replays the program's pin frames on the chip and returns the
+// oracle's report. It never shares state with the simulator: active
+// electrodes are re-derived from the chip's electrode table and droplet
+// motion is re-computed from scratch each cycle.
+func Verify(chip *arch.Chip, prog *pins.Program, events []router.Event, opts Options) *Report {
+	if opts.MaxViolations <= 0 {
+		opts.MaxViolations = 32
+	}
+	v := &verifier{chip: chip, rep: &Report{}, opts: opts, fp: sha256.New()}
+	v.buildPinMap()
+	evIdx := 0
+	cyc := 0
+	for ; cyc < prog.Len(); cyc++ {
+		v.justify = make(map[grid.Cell]bool)
+		for evIdx < len(events) && events[evIdx].Cycle == cyc {
+			v.applyEvent(cyc, events[evIdx])
+			evIdx++
+		}
+		for _, b := range v.blobs {
+			for _, c := range b.cells {
+				v.justify[c] = true
+			}
+		}
+		act := prog.Cycle(cyc)
+		active := v.activeCells(cyc, act)
+		if !opts.DisableSpuriousCheck {
+			v.checkSpurious(cyc, act)
+		}
+		v.step(cyc, active)
+		v.mergePass(cyc)
+		v.hashFootprint(cyc)
+		if len(v.rep.Violations) >= opts.MaxViolations {
+			v.rep.Truncated = true
+			cyc++
+			break
+		}
+	}
+	if evIdx != len(events) && !v.rep.Truncated {
+		v.flag(Violation{Kind: EventOverrun, Cycle: prog.Len(), Droplet: -1,
+			Msg: fmt.Sprintf("%d reservoir events beyond the program's end", len(events)-evIdx)})
+	}
+	v.rep.Cycles = cyc
+	v.rep.RemainingDroplets = len(v.blobs)
+	for _, b := range v.blobs {
+		v.rep.VolumeLeft += b.volume
+	}
+	v.rep.FootprintHash = hex.EncodeToString(v.fp.Sum(nil))
+	return v.rep
+}
+
+// hashFootprint folds this cycle's droplet footprints into the running
+// digest, ID-independently: each blob renders as its sorted cells plus
+// volume, and the renderings are hashed in sorted order.
+func (v *verifier) hashFootprint(cyc int) {
+	lines := make([]string, 0, len(v.blobs))
+	for _, b := range v.blobs {
+		cells := append([]grid.Cell(nil), b.cells...)
+		sort.Slice(cells, func(i, j int) bool {
+			if cells[i].Y != cells[j].Y {
+				return cells[i].Y < cells[j].Y
+			}
+			return cells[i].X < cells[j].X
+		})
+		lines = append(lines, fmt.Sprintf("%v@%.9g", cells, b.volume))
+	}
+	sort.Strings(lines)
+	fmt.Fprintf(v.fp, "c%d:", cyc)
+	for _, l := range lines {
+		fmt.Fprint(v.fp, l, ";")
+	}
+}
+
+// buildPinMap derives pin -> cells from the electrode table, on purpose
+// not reusing arch.Chip.PinCells or pins.ActiveCells: the oracle trusts
+// only the wiring description.
+func (v *verifier) buildPinMap() {
+	v.pinCells = make([][]grid.Cell, v.chip.PinCount()+1)
+	for _, e := range v.chip.Electrodes() {
+		if e.Pin > 0 && e.Pin < len(v.pinCells) {
+			v.pinCells[e.Pin] = append(v.pinCells[e.Pin], e.Cell)
+		}
+	}
+}
+
+func (v *verifier) flag(viol Violation) {
+	v.rep.Violations = append(v.rep.Violations, viol)
+}
+
+func (v *verifier) applyEvent(cyc int, ev router.Event) {
+	switch ev.Kind {
+	case router.EvDispense:
+		for _, b := range v.blobs {
+			for _, c := range b.cells {
+				if grid.Chebyshev(c, ev.Cell) <= 1 {
+					v.flag(Violation{Kind: DispenseConflict, Cycle: cyc, Droplet: b.id, Cell: ev.Cell,
+						Msg: fmt.Sprintf("dispense at %v inside droplet %d's interference range", ev.Cell, b.id)})
+				}
+			}
+		}
+		v.blobs = append(v.blobs, &blob{
+			id: v.nextID, cells: []grid.Cell{ev.Cell}, volume: 1,
+			solute: map[string]float64{ev.Fluid: 1},
+		})
+		v.nextID++
+		v.rep.Dispenses++
+		v.rep.VolumeIn++
+	case router.EvOutput:
+		for i, b := range v.blobs {
+			if b.covers(ev.Cell) {
+				v.rep.Outputs++
+				v.rep.VolumeOut += b.volume
+				for _, c := range b.cells {
+					v.justify[c] = true // port actuation this cycle is not spurious
+				}
+				v.blobs = append(v.blobs[:i], v.blobs[i+1:]...)
+				return
+			}
+		}
+		v.flag(Violation{Kind: OutputMiss, Cycle: cyc, Droplet: -1, Cell: ev.Cell,
+			Msg: fmt.Sprintf("output event at %v with no droplet on the port", ev.Cell)})
+	default:
+		v.flag(Violation{Kind: EventOverrun, Cycle: cyc, Droplet: -1, Cell: ev.Cell,
+			Msg: fmt.Sprintf("unknown reservoir event kind %d", int(ev.Kind))})
+	}
+}
+
+// activeCells expands the frame's pin list into energized electrode
+// positions using the oracle's own wiring map.
+func (v *verifier) activeCells(cyc int, act pins.Activation) map[grid.Cell]bool {
+	out := make(map[grid.Cell]bool)
+	for _, pin := range act {
+		if pin <= 0 || pin >= len(v.pinCells) {
+			v.flag(Violation{Kind: SpuriousActivation, Cycle: cyc, Droplet: -1, Pin: pin,
+				Msg: fmt.Sprintf("pin %d outside the chip's [1,%d] range", pin, len(v.pinCells)-1)})
+			continue
+		}
+		for _, c := range v.pinCells[pin] {
+			out[c] = true
+		}
+	}
+	return out
+}
+
+// checkSpurious flags pins whose electrodes are all out of reach of
+// every droplet: energy spent where no fluid can respond. Legitimate
+// shared-pin programs always have at least one justified electrode per
+// driven pin (that is what the activation is for); a corrupted frame
+// usually does not.
+func (v *verifier) checkSpurious(cyc int, act pins.Activation) {
+	for _, pin := range act {
+		if pin <= 0 || pin >= len(v.pinCells) {
+			continue // already flagged by activeCells
+		}
+		justified := false
+	cells:
+		for _, c := range v.pinCells[pin] {
+			// On a justify cell or cardinally adjacent to one: only there
+			// can the activation move fluid (diagonal neighbours exert no
+			// pull), so anything farther is wasted actuation.
+			if v.justify[c] {
+				justified = true
+				break
+			}
+			for _, n := range c.Neighbors4() {
+				if v.justify[n] {
+					justified = true
+					break cells
+				}
+			}
+		}
+		if !justified {
+			v.flag(Violation{Kind: SpuriousActivation, Cycle: cyc, Droplet: -1, Pin: pin,
+				Msg: fmt.Sprintf("pin %d driven with no droplet near any of its %d electrodes", pin, len(v.pinCells[pin]))})
+		}
+	}
+}
+
+// step recomputes every droplet's position from the energized set.
+func (v *verifier) step(cyc int, active map[grid.Cell]bool) {
+	var next []*blob
+	for _, b := range v.blobs {
+		moved, extra := v.advance(cyc, b, active)
+		if moved != nil {
+			next = append(next, moved)
+		}
+		if extra != nil {
+			next = append(next, extra)
+			v.rep.Splits++
+		}
+	}
+	v.blobs = next
+}
+
+// reach collects the energized electrodes that can act on the blob: its
+// own cells plus cardinal neighbours, deduplicated, in deterministic
+// order (own cells first).
+func (v *verifier) reach(b *blob, active map[grid.Cell]bool) []grid.Cell {
+	seen := map[grid.Cell]bool{}
+	var out []grid.Cell
+	add := func(c grid.Cell) {
+		if !seen[c] {
+			seen[c] = true
+			if active[c] {
+				out = append(out, c)
+			}
+		}
+	}
+	for _, c := range b.cells {
+		add(c)
+	}
+	for _, c := range b.cells {
+		for _, n := range c.Neighbors4() {
+			add(n)
+		}
+	}
+	return out
+}
+
+// advance derives the blob's next footprint. A nil first return drops
+// the blob (after flagging); a non-nil second return is a split half.
+func (v *verifier) advance(cyc int, b *blob, active map[grid.Cell]bool) (*blob, *blob) {
+	pulls := v.reach(b, active)
+	switch {
+	case len(pulls) == 0:
+		v.flag(Violation{Kind: DropletLost, Cycle: cyc, Droplet: b.id, Cell: b.cells[0],
+			Msg: fmt.Sprintf("droplet %d at %v has no energized electrode in reach", b.id, b.cells[0])})
+		return nil, nil
+	case len(pulls) > 2:
+		v.flag(Violation{Kind: Overpull, Cycle: cyc, Droplet: b.id, Cell: b.cells[0],
+			Msg: fmt.Sprintf("droplet %d at %v reached by %d energized electrodes", b.id, b.cells[0], len(pulls))})
+		return nil, nil
+	case len(pulls) == 1:
+		b.cells = []grid.Cell{pulls[0]}
+		return b, nil
+	}
+	// Exactly two energized electrodes in reach.
+	p, q := pulls[0], pulls[1]
+	onBody := b.covers(p)
+	qOnBody := b.covers(q)
+	switch {
+	case onBody && qOnBody:
+		// Both under the body: hold the stretch.
+		b.cells = []grid.Cell{p, q}
+		return b, nil
+	case !onBody && !qOnBody:
+		// Neither energized electrode holds the body: the droplet is
+		// pulled toward two detached cells at once.
+		v.flag(Violation{Kind: DropletTorn, Cycle: cyc, Droplet: b.id, Cell: b.cells[0],
+			Msg: fmt.Sprintf("droplet %d at %v pulled apart by detached electrodes %v and %v", b.id, b.cells[0], p, q)})
+		return nil, nil
+	}
+	// Exactly one electrode under the body.
+	keep, pull := p, q
+	if qOnBody {
+		keep, pull = q, p
+	}
+	if len(b.cells) == 1 {
+		// A single-cell droplet held by its own electrode and pulled by
+		// a cardinal neighbour stretches across the pair.
+		b.cells = []grid.Cell{keep, pull}
+		return b, nil
+	}
+	// Stretched droplet with one end held and the other half pulled
+	// away: a split (paper Figure 8).
+	half := b.volume / 2
+	halfSolute := make(map[string]float64, len(b.solute))
+	for f, amt := range b.solute {
+		halfSolute[f] = amt / 2
+		b.solute[f] = amt / 2
+	}
+	b.cells = []grid.Cell{keep}
+	b.volume = half
+	other := &blob{id: v.nextID, cells: []grid.Cell{pull}, volume: half, solute: halfSolute}
+	v.nextID++
+	return b, other
+}
+
+// mergePass coalesces droplets within fluidic interference range
+// (Chebyshev distance <= 1), repeating until stable so chains collapse
+// in one cycle.
+func (v *verifier) mergePass(cyc int) {
+	for {
+		merged := false
+	scan:
+		for i := 0; i < len(v.blobs); i++ {
+			for j := i + 1; j < len(v.blobs); j++ {
+				if !blobsNear(v.blobs[i], v.blobs[j]) {
+					continue
+				}
+				a, b := v.blobs[i], v.blobs[j]
+				cells := append(append([]grid.Cell{}, a.cells...), b.cells...)
+				if len(cells) > 2 {
+					cells = cells[:2]
+				}
+				for f, amt := range b.solute {
+					a.solute[f] += amt
+				}
+				a.cells = cells
+				a.volume += b.volume
+				v.blobs = append(v.blobs[:j], v.blobs[j+1:]...)
+				v.rep.Merges++
+				merged = true
+				break scan
+			}
+		}
+		if !merged {
+			return
+		}
+	}
+}
+
+func blobsNear(a, b *blob) bool {
+	for _, ca := range a.cells {
+		for _, cb := range b.cells {
+			if grid.Chebyshev(ca, cb) <= 1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CheckAssay compares the replay totals against the assay DAG's
+// expectations — every operation completed, nothing extra happened, and
+// volume is conserved — appending any mismatch to the report. The
+// returned slice holds just the newly found violations.
+func (r *Report) CheckAssay(a *dag.Assay) []Violation {
+	st, err := a.ComputeStats()
+	if err != nil {
+		v := Violation{Kind: OpCountMismatch, Cycle: -1, Droplet: -1,
+			Msg: fmt.Sprintf("assay does not validate: %v", err)}
+		r.Violations = append(r.Violations, v)
+		return []Violation{v}
+	}
+	var found []Violation
+	expect := func(kind dag.Kind, got int) {
+		want := st.ByKind[kind]
+		if got != want {
+			found = append(found, Violation{Kind: OpCountMismatch, Cycle: -1, Droplet: -1,
+				Msg: fmt.Sprintf("%d %s events, assay has %d %s operations", got, kind, want, kind)})
+		}
+	}
+	expect(dag.Dispense, r.Dispenses)
+	expect(dag.Mix, r.Merges)
+	expect(dag.Split, r.Splits)
+	expect(dag.Output, r.Outputs)
+	if r.RemainingDroplets != 0 {
+		found = append(found, Violation{Kind: ResidualDroplet, Cycle: -1, Droplet: -1,
+			Msg: fmt.Sprintf("%d droplets (%.3g units) remain on the array", r.RemainingDroplets, r.VolumeLeft)})
+	}
+	if math.Abs(r.VolumeIn-r.VolumeOut-r.VolumeLeft) > 1e-9 ||
+		(r.RemainingDroplets == 0 && math.Abs(r.VolumeIn-r.VolumeOut) > 1e-9) {
+		found = append(found, Violation{Kind: VolumeLeak, Cycle: -1, Droplet: -1,
+			Msg: fmt.Sprintf("volume not conserved: %.6g in, %.6g out, %.6g left", r.VolumeIn, r.VolumeOut, r.VolumeLeft)})
+	}
+	r.Violations = append(r.Violations, found...)
+	return found
+}

@@ -8,6 +8,7 @@ import (
 	"fppc/internal/asl"
 	"fppc/internal/core"
 	"fppc/internal/dag"
+	"fppc/internal/oracle"
 	"fppc/internal/router"
 )
 
@@ -44,6 +45,13 @@ type CompileRequest struct {
 	// TimeoutMS caps this request's compile time in milliseconds
 	// (0 = the server default; the server's -max-timeout always caps it).
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+
+	// Verify runs the independent oracle on the compiled result before
+	// returning it: frame-level replay plus simulator cross-check when a
+	// pin program is emitted (fppc with sequence), schedule-level
+	// otherwise. A verification failure is a server-side correctness bug
+	// and maps to HTTP 500.
+	Verify bool `json:"verify,omitempty"`
 }
 
 // ChipInfo describes the chip the assay compiled onto.
@@ -84,17 +92,32 @@ type Sequence struct {
 	Events   []SequenceEvent `json:"events,omitempty"`
 }
 
+// VerificationInfo reports the oracle's account of a verified compile.
+type VerificationInfo struct {
+	Ok bool `json:"ok"`
+	// Mode is "frames" (pin-program replay with simulator cross-check)
+	// or "schedule" (binding-level checks; targets without a program).
+	Mode          string `json:"mode"`
+	Cycles        int    `json:"cycles,omitempty"`
+	Dispenses     int    `json:"dispenses"`
+	Outputs       int    `json:"outputs"`
+	Merges        int    `json:"merges"`
+	Splits        int    `json:"splits"`
+	FootprintHash string `json:"footprint_hash,omitempty"`
+}
+
 // CompileResponse is the POST /compile result.
 type CompileResponse struct {
-	Assay       string       `json:"assay"`
-	Target      string       `json:"target"`
-	Fingerprint string       `json:"fingerprint"`
-	Cached      bool         `json:"cached"`
-	Chip        ChipInfo     `json:"chip"`
-	Stats       CompileStats `json:"stats"`
-	Summary     string       `json:"summary"`
-	Sequence    *Sequence    `json:"sequence,omitempty"`
-	ElapsedMS   float64      `json:"elapsed_ms"`
+	Assay        string            `json:"assay"`
+	Target       string            `json:"target"`
+	Fingerprint  string            `json:"fingerprint"`
+	Cached       bool              `json:"cached"`
+	Chip         ChipInfo          `json:"chip"`
+	Stats        CompileStats      `json:"stats"`
+	Summary      string            `json:"summary"`
+	Sequence     *Sequence         `json:"sequence,omitempty"`
+	Verification *VerificationInfo `json:"verification,omitempty"`
+	ElapsedMS    float64           `json:"elapsed_ms"`
 }
 
 // errorResponse is the body of every non-2xx reply.
@@ -122,6 +145,7 @@ type job struct {
 	req      CompileRequest
 	fp       string
 	cacheKey string
+	verify   bool
 }
 
 // entry is a cached compile outcome (response with the per-request
@@ -189,10 +213,46 @@ func (s *Server) prepare(req CompileRequest) (*job, error) {
 	if err != nil {
 		return nil, &badRequestError{err}
 	}
-	key := fmt.Sprintf("%s|%s|%s|h%d|da%dx%d|grow%t|single%t|det%d|seq%t|rot%d",
+	// Compile the canonical form, not the submitted numbering. Raw
+	// compilation is sensitive to node IDs (scheduler tie-breaks), while
+	// the cache below is keyed by the numbering-invariant fingerprint —
+	// without canonicalization a cache hit could return a different
+	// program than the cold compile of the same request would have.
+	canon, err := assay.Canonical()
+	if err != nil {
+		return nil, &badRequestError{err}
+	}
+	verify := req.Verify || s.cfg.ForceVerify
+	key := fmt.Sprintf("%s|%s|%s|h%d|da%dx%d|grow%t|single%t|det%d|seq%t|rot%d|verify%t",
 		fp, assay.Name, req.Target, req.Height, req.DAWidth, req.DAHeight,
-		req.Grow, req.SingleOutputPort, req.DetectorCount, req.Sequence, req.RotationsPerStep)
-	return &job{assay: assay, cfg: cfg, req: req, fp: fp, cacheKey: key}, nil
+		req.Grow, req.SingleOutputPort, req.DetectorCount, req.Sequence, req.RotationsPerStep, verify)
+	return &job{assay: canon, cfg: cfg, req: req, fp: fp, cacheKey: key, verify: verify}, nil
+}
+
+// verificationError marks a compile whose result failed the oracle — a
+// server-side correctness bug, mapped to HTTP 500.
+type verificationError struct{ err error }
+
+func (e *verificationError) Error() string { return e.err.Error() }
+func (e *verificationError) Unwrap() error { return e.err }
+
+// runVerify replays the compiled result through the independent oracle
+// and renders the report for the response.
+func (j *job) runVerify(res *core.Result) (*VerificationInfo, error) {
+	rep, err := oracle.VerifyCompiled(res, oracle.Options{})
+	if err != nil {
+		return nil, &verificationError{err}
+	}
+	mode := "schedule"
+	if res.Routing.Program != nil {
+		mode = "frames"
+	}
+	return &VerificationInfo{
+		Ok: true, Mode: mode, Cycles: rep.Cycles,
+		Dispenses: rep.Dispenses, Outputs: rep.Outputs,
+		Merges: rep.Merges, Splits: rep.Splits,
+		FootprintHash: rep.FootprintHash,
+	}, nil
 }
 
 // buildEntry converts a compile result into the cacheable response.

@@ -42,6 +42,9 @@ type Config struct {
 	MaxTimeout time.Duration
 	// MaxBodyBytes bounds the request body (default 8 MiB).
 	MaxBodyBytes int64
+	// ForceVerify runs the independent oracle on every compile, as if
+	// each request had set "verify": true (the fppc-serve -verify flag).
+	ForceVerify bool
 	// Obs receives service and pipeline metrics (default: a fresh
 	// metrics-only observer — a tracing observer would accumulate span
 	// records for the server's whole lifetime).
@@ -60,14 +63,15 @@ type Server struct {
 	start  time.Time
 	mux    *http.ServeMux
 
-	cHits     *obs.Counter
-	cMisses   *obs.Counter
-	cDedup    *obs.Counter
-	cCompiles *obs.Counter
-	cTimeouts *obs.Counter
-	gQueue    *obs.Gauge
-	gInflight *obs.Gauge
-	hCompile  *obs.Histogram
+	cHits       *obs.Counter
+	cMisses     *obs.Counter
+	cDedup      *obs.Counter
+	cCompiles   *obs.Counter
+	cTimeouts   *obs.Counter
+	cVerifyFail *obs.Counter
+	gQueue      *obs.Gauge
+	gInflight   *obs.Gauge
+	hCompile    *obs.Histogram
 }
 
 // New builds a ready-to-serve Server.
@@ -100,14 +104,15 @@ func New(cfg Config) *Server {
 		start:  time.Now(),
 		mux:    http.NewServeMux(),
 
-		cHits:     ob.Counter("fppc_service_cache_hits_total"),
-		cMisses:   ob.Counter("fppc_service_cache_misses_total"),
-		cDedup:    ob.Counter("fppc_service_dedup_total"),
-		cCompiles: ob.Counter("fppc_service_compiles_total"),
-		cTimeouts: ob.Counter("fppc_service_timeouts_total"),
-		gQueue:    ob.Gauge("fppc_service_queue_depth"),
-		gInflight: ob.Gauge("fppc_service_inflight"),
-		hCompile:  ob.Histogram("fppc_service_compile_seconds", []float64{.001, .005, .01, .05, .1, .5, 1, 5, 30, 120}),
+		cHits:       ob.Counter("fppc_service_cache_hits_total"),
+		cMisses:     ob.Counter("fppc_service_cache_misses_total"),
+		cDedup:      ob.Counter("fppc_service_dedup_total"),
+		cCompiles:   ob.Counter("fppc_service_compiles_total"),
+		cTimeouts:   ob.Counter("fppc_service_timeouts_total"),
+		cVerifyFail: ob.Counter("fppc_service_verification_failures_total"),
+		gQueue:      ob.Gauge("fppc_service_queue_depth"),
+		gInflight:   ob.Gauge("fppc_service_inflight"),
+		hCompile:    ob.Histogram("fppc_service_compile_seconds", []float64{.001, .005, .01, .05, .1, .5, 1, 5, 30, 120}),
 	}
 	m := ob.Metrics()
 	m.Help("fppc_service_cache_hits_total", "compile requests served from the content-addressed cache")
@@ -115,6 +120,7 @@ func New(cfg Config) *Server {
 	m.Help("fppc_service_dedup_total", "requests coalesced onto an identical in-flight compilation")
 	m.Help("fppc_service_compiles_total", "compilations actually executed by the worker pool")
 	m.Help("fppc_service_timeouts_total", "requests aborted by deadline or client cancellation")
+	m.Help("fppc_service_verification_failures_total", "compiles whose result failed the independent oracle")
 	m.Help("fppc_service_queue_depth", "requests waiting for a worker slot")
 	m.Help("fppc_service_compile_seconds", "wall-clock compile latency (cache misses only)")
 	s.mux.HandleFunc("/compile", s.handleCompile)
@@ -241,6 +247,14 @@ func (s *Server) runCompile(ctx context.Context, j *job) (*entry, error) {
 		return nil, err
 	}
 	e := j.buildEntry(res)
+	if j.verify {
+		vi, err := j.runVerify(res)
+		if err != nil {
+			s.cVerifyFail.Inc()
+			return nil, err
+		}
+		e.resp.Verification = vi
+	}
 	s.cache.put(j.cacheKey, e)
 	return e, nil
 }
@@ -264,6 +278,11 @@ func (s *Server) writeCompileError(w http.ResponseWriter, err error) {
 		var br *badRequestError
 		if errors.As(err, &br) {
 			writeError(w, http.StatusBadRequest, "bad_request", err)
+			return
+		}
+		var ve *verificationError
+		if errors.As(err, &ve) {
+			writeError(w, http.StatusInternalServerError, "verification_failed", err)
 			return
 		}
 		writeError(w, http.StatusUnprocessableEntity, "compile_failed", err)

@@ -1,0 +1,117 @@
+package service
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"fppc/internal/assays"
+)
+
+// TestVerifyOption exercises the verify flag on both targets: the
+// response must carry an ok verification block, frame-level when a pin
+// program was emitted and schedule-level otherwise.
+func TestVerifyOption(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		req  CompileRequest
+		mode string
+	}{
+		{CompileRequest{ASL: dilutionASL, Sequence: true, RotationsPerStep: 1, Verify: true}, "frames"},
+		{CompileRequest{ASL: dilutionASL, Verify: true}, "schedule"},
+		{CompileRequest{ASL: dilutionASL, Target: "da", Verify: true}, "schedule"},
+	}
+	for _, tc := range cases {
+		var resp CompileResponse
+		if code := post(t, ts.URL, tc.req, &resp); code != http.StatusOK {
+			t.Fatalf("%s/%s: HTTP %d", tc.req.Target, tc.mode, code)
+		}
+		v := resp.Verification
+		if v == nil || !v.Ok || v.Mode != tc.mode {
+			t.Errorf("target %q sequence %t: verification = %+v, want ok in mode %q",
+				tc.req.Target, tc.req.Sequence, v, tc.mode)
+		}
+		if tc.mode == "frames" && (v.Cycles == 0 || v.FootprintHash == "") {
+			t.Errorf("frame-level verification missing replay detail: %+v", v)
+		}
+	}
+	// Without the flag the block is absent.
+	var plain CompileResponse
+	if code := post(t, ts.URL, CompileRequest{ASL: dilutionASL}, &plain); code != http.StatusOK {
+		t.Fatalf("plain: HTTP %d", code)
+	}
+	if plain.Verification != nil {
+		t.Errorf("unrequested verification block: %+v", plain.Verification)
+	}
+}
+
+// TestForceVerify checks the server-wide switch behind fppc-serve
+// -verify: every response carries a verification block even when the
+// request did not ask for one.
+func TestForceVerify(t *testing.T) {
+	s := New(Config{Workers: 2, ForceVerify: true})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	var resp CompileResponse
+	if code := post(t, ts.URL, CompileRequest{ASL: dilutionASL}, &resp); code != http.StatusOK {
+		t.Fatalf("HTTP %d", code)
+	}
+	if resp.Verification == nil || !resp.Verification.Ok {
+		t.Fatalf("forced verification missing: %+v", resp.Verification)
+	}
+}
+
+// TestCacheHitEqualsColdCompile is the service-level metamorphic check:
+// submitting a renumbered copy of a cached assay must (a) hit the cache
+// — the fingerprint is numbering-invariant — and (b) return exactly
+// what a cold compile of that renumbered copy on a fresh server would
+// have returned. Both hold only because prepare() canonicalizes the DAG
+// before compiling; without that the fingerprint-keyed cache would
+// serve a subtly different program than the cold path.
+func TestCacheHitEqualsColdCompile(t *testing.T) {
+	a := assays.PCR(assays.DefaultTiming())
+	twin, err := a.Renumbered(rand.New(rand.NewSource(9)).Perm(a.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawA, _ := json.Marshal(a)
+	rawTwin, _ := json.Marshal(twin)
+	req := func(raw []byte) CompileRequest {
+		return CompileRequest{DAG: json.RawMessage(raw), Sequence: true, RotationsPerStep: 1}
+	}
+
+	sWarm, tsWarm := newTestServer(t)
+	var first, hit CompileResponse
+	if code := post(t, tsWarm.URL, req(rawA), &first); code != http.StatusOK {
+		t.Fatalf("warm-up: HTTP %d", code)
+	}
+	if code := post(t, tsWarm.URL, req(rawTwin), &hit); code != http.StatusOK {
+		t.Fatalf("renumbered: HTTP %d", code)
+	}
+	if !hit.Cached {
+		t.Fatal("renumbered twin missed the cache despite an identical fingerprint")
+	}
+	if got := sWarm.cHits.Value(); got != 1 {
+		t.Errorf("cache hits = %d, want 1", got)
+	}
+
+	_, tsCold := newTestServer(t)
+	var cold CompileResponse
+	if code := post(t, tsCold.URL, req(rawTwin), &cold); code != http.StatusOK {
+		t.Fatalf("cold: HTTP %d", code)
+	}
+
+	// The hit and the cold compile must agree on everything but the
+	// per-request fields.
+	hit.Cached, cold.Cached = false, false
+	hit.ElapsedMS, cold.ElapsedMS = 0, 0
+	if !reflect.DeepEqual(hit, cold) {
+		t.Errorf("cache hit differs from cold compile:\nhit:  %+v\ncold: %+v", hit, cold)
+	}
+	if !reflect.DeepEqual(hit.Sequence, cold.Sequence) {
+		t.Error("cached pin program differs from cold compile")
+	}
+}

@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fppc/internal/arch"
+	"fppc/internal/grid"
+	"fppc/internal/pins"
+	"fppc/internal/router"
+)
+
+// daChip returns a minimal direct-addressing chip, where every cell has
+// its own pin — the edge cases below need arbitrary activation patterns
+// that the shared-pin FPPC layout cannot express.
+func daChip(t testing.TB) *arch.Chip {
+	t.Helper()
+	c, err := arch.NewDA(arch.MinDAWidth, arch.MinDAHeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestCornerCells drives a droplet in each corner of the array, where
+// only two cardinal neighbours exist: holding, stretching along an edge,
+// contracting back, and moving away must all work without the simulator
+// looking up cells outside the grid.
+func TestCornerCells(t *testing.T) {
+	c := daChip(t)
+	w, h := c.W, c.H
+	cases := []struct {
+		name   string
+		corner grid.Cell
+		step   grid.Cell // in-grid cardinal neighbour used to stretch/move
+	}{
+		{"top-left", grid.Cell{X: 0, Y: 0}, grid.Cell{X: 1, Y: 0}},
+		{"top-right", grid.Cell{X: w - 1, Y: 0}, grid.Cell{X: w - 2, Y: 0}},
+		{"bottom-left", grid.Cell{X: 0, Y: h - 1}, grid.Cell{X: 0, Y: h - 2}},
+		{"bottom-right", grid.Cell{X: w - 1, Y: h - 1}, grid.Cell{X: w - 1, Y: h - 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var p pins.Program
+			events := []router.Event{{Cycle: 0, Kind: router.EvDispense, Cell: tc.corner}}
+			p.Append(pinAt(t, c, tc.corner))                       // hold in the corner
+			p.Append(pinAt(t, c, tc.corner))                       // hold again
+			p.Append(pinAt(t, c, tc.corner), pinAt(t, c, tc.step)) // stretch along the edge
+			p.Append(pinAt(t, c, tc.corner))                       // contract back into the corner
+			p.Append(pinAt(t, c, tc.step))                         // move out of the corner
+			tr, err := Run(c, &p, events)
+			if err != nil {
+				t.Fatalf("corner run failed: %v", err)
+			}
+			if tr.Splits != 0 || tr.Merges != 0 {
+				t.Fatalf("splits=%d merges=%d, want none", tr.Splits, tr.Merges)
+			}
+			if len(tr.Remaining) != 1 || len(tr.Remaining[0].Cells) != 1 || tr.Remaining[0].Cells[0] != tc.step {
+				t.Errorf("droplet ended at %v, want %v", tr.Remaining, tc.step)
+			}
+		})
+	}
+}
+
+// TestCornerTear pins a corner droplet between its only two neighbours:
+// two opposing pulls with the droplet's own electrode dark must tear it,
+// exactly as in the interior.
+func TestCornerTear(t *testing.T) {
+	c := daChip(t)
+	corner := grid.Cell{X: 0, Y: 0}
+	var p pins.Program
+	events := []router.Event{{Cycle: 0, Kind: router.EvDispense, Cell: corner}}
+	p.Append(pinAt(t, c, corner))
+	p.Append(pinAt(t, c, grid.Cell{X: 1, Y: 0}), pinAt(t, c, grid.Cell{X: 0, Y: 1}))
+	_, err := Run(c, &p, events)
+	if err == nil || !strings.Contains(err.Error(), "tears") {
+		t.Errorf("corner tear = %v, want tear error", err)
+	}
+}
+
+// TestDispenseIntoInterferenceRing tables every cell of the Chebyshev-1
+// ring around a parked droplet: dispensing onto any of them violates the
+// fluidic constraint, while the first cell outside the ring is fine.
+func TestDispenseIntoInterferenceRing(t *testing.T) {
+	park := grid.Cell{X: 3, Y: 3}
+	cases := []struct {
+		name    string
+		at      grid.Cell
+		wantErr bool
+	}{
+		{"onto the droplet", park, true},
+		{"north", grid.Cell{X: 3, Y: 2}, true},
+		{"south", grid.Cell{X: 3, Y: 4}, true},
+		{"west", grid.Cell{X: 2, Y: 3}, true},
+		{"east", grid.Cell{X: 4, Y: 3}, true},
+		{"north-west", grid.Cell{X: 2, Y: 2}, true},
+		{"north-east", grid.Cell{X: 4, Y: 2}, true},
+		{"south-west", grid.Cell{X: 2, Y: 4}, true},
+		{"south-east", grid.Cell{X: 4, Y: 4}, true},
+		{"two cells east", grid.Cell{X: 5, Y: 3}, false},
+		{"two cells diagonal", grid.Cell{X: 5, Y: 5}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := daChip(t)
+			var p pins.Program
+			events := []router.Event{
+				{Cycle: 0, Kind: router.EvDispense, Cell: park},
+				{Cycle: 1, Kind: router.EvDispense, Cell: tc.at},
+			}
+			p.Append(pinAt(t, c, park))
+			p.Append(pinAt(t, c, park), pinAt(t, c, tc.at))
+			tr, err := Run(c, &p, events)
+			if tc.wantErr {
+				if err == nil || !strings.Contains(err.Error(), "interference") {
+					t.Fatalf("dispense at %v = %v, want interference error", tc.at, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("legal dispense at %v failed: %v", tc.at, err)
+			}
+			if tr.Dispenses != 2 || tr.Merges != 0 || len(tr.Remaining) != 2 {
+				t.Errorf("dispenses=%d merges=%d remaining=%d, want 2/0/2",
+					tr.Dispenses, tr.Merges, len(tr.Remaining))
+			}
+		})
+	}
+}
+
+// TestThreeWayMerge converges three droplets into mutual interference
+// range on the same cycle: the merge pass must coalesce all three (two
+// merge events), conserve volume and solute, and leave a body the next
+// activation can still contract onto a single electrode.
+func TestThreeWayMerge(t *testing.T) {
+	c := daChip(t)
+	center := grid.Cell{X: 4, Y: 3}
+	a, b, d := grid.Cell{X: 2, Y: 3}, grid.Cell{X: 6, Y: 3}, grid.Cell{X: 4, Y: 5}
+	var p pins.Program
+	events := []router.Event{
+		{Cycle: 0, Kind: router.EvDispense, Cell: a, Fluid: "A"},
+		{Cycle: 0, Kind: router.EvDispense, Cell: b, Fluid: "B"},
+		{Cycle: 0, Kind: router.EvDispense, Cell: d, Fluid: "C"},
+	}
+	p.Append(pinAt(t, c, a), pinAt(t, c, b), pinAt(t, c, d))
+	// One step each toward the center: the three landing cells are
+	// pairwise within Chebyshev distance 1 of each other via the center.
+	p.Append(pinAt(t, c, grid.Cell{X: 3, Y: 3}),
+		pinAt(t, c, grid.Cell{X: 5, Y: 3}),
+		pinAt(t, c, grid.Cell{X: 4, Y: 4}))
+	// Contract the merged body onto the center cell.
+	p.Append(pinAt(t, c, center))
+	tr, err := Run(c, &p, events)
+	if err != nil {
+		t.Fatalf("three-way merge failed: %v", err)
+	}
+	if tr.Merges != 2 {
+		t.Errorf("merges = %d, want 2 (three droplets coalescing)", tr.Merges)
+	}
+	if len(tr.MergeLog) != 2 || tr.MergeLog[0].Cycle != 1 || tr.MergeLog[1].Cycle != 1 {
+		t.Errorf("merge log = %+v, want two events on cycle 1", tr.MergeLog)
+	}
+	if len(tr.Remaining) != 1 {
+		t.Fatalf("remaining droplets = %d, want 1", len(tr.Remaining))
+	}
+	got := tr.Remaining[0]
+	if math.Abs(got.Volume-3) > 1e-9 {
+		t.Errorf("merged volume = %v, want 3", got.Volume)
+	}
+	for _, fluid := range []string{"A", "B", "C"} {
+		if cc := got.Concentration(fluid); math.Abs(cc-1.0/3) > 1e-9 {
+			t.Errorf("concentration of %s = %v, want 1/3", fluid, cc)
+		}
+	}
+	if len(got.Cells) != 1 || got.Cells[0] != center {
+		t.Errorf("merged droplet at %v, want %v", got.Cells, center)
+	}
+}

@@ -1,0 +1,28 @@
+#!/bin/sh
+# coverage.sh — run the test suite with coverage and enforce the ratchet:
+# total statement coverage must not drop below the floor recorded in
+# scripts/coverage_floor.txt. Raise the floor with `scripts/coverage.sh
+# -update` after landing work that improves coverage; never lower it.
+set -eu
+
+cd "$(dirname "$0")/.."
+floor_file=scripts/coverage_floor.txt
+profile="${COVERPROFILE:-$(mktemp)}"
+
+go test -count=1 -coverprofile="$profile" ./... >/dev/null
+total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+floor=$(cat "$floor_file")
+
+if [ "${1:-}" = "-update" ]; then
+    echo "$total" >"$floor_file"
+    echo "coverage floor updated: $floor% -> $total%"
+    exit 0
+fi
+
+echo "total coverage: $total% (floor: $floor%)"
+if awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t < f) }'; then
+    echo "FAIL: coverage $total% dropped below the ratchet floor of $floor%" >&2
+    echo "(if this drop is intentional, lower $floor_file in the same change" >&2
+    echo "and justify it in the commit message)" >&2
+    exit 1
+fi
