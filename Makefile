@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build check fmt vet test race bench cover cover-update golden
+.PHONY: all build check fmt vet test race bench bench-all cover cover-update golden
 
 all: build
 
@@ -25,7 +25,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench regenerates BENCH_PR4.json: the Table 1 rows from
+# fppc-bench -json plus go test -bench on the simulator and service hot
+# paths. CI uploads the file as an artifact. bench-all still sweeps
+# every micro-benchmark in the repo without writing the artifact.
 bench:
+	$(GO) run ./scripts/benchjson -o BENCH_PR4.json
+
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # cover enforces the coverage ratchet (scripts/coverage_floor.txt);

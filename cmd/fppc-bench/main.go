@@ -18,6 +18,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -25,6 +26,7 @@ import (
 	"fppc/internal/bench"
 	"fppc/internal/obs"
 	"fppc/internal/report"
+	"fppc/internal/telemetry"
 )
 
 func main() {
@@ -46,6 +48,7 @@ func run(args []string, out io.Writer) error {
 	metricsOut := fs.String("metrics", "", "write pipeline metrics in Prometheus text format")
 	timeout := fs.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 	verify := fs.Bool("verify", false, "run the independent oracle over the Table 1 suite before reporting")
+	telemetryDir := fs.String("telemetry-dir", "", "collect chip telemetry for the Table 1 FPPC runs and write per-benchmark snapshot JSONs into this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -83,7 +86,21 @@ func run(args []string, out io.Writer) error {
 		Table3         []bench.Table3Row     `json:"table3,omitempty"`
 	}{}
 	if *table == 0 || *table == 1 {
-		rows, avg, err := bench.Table1Context(ctx, tm, ob)
+		var rows []bench.Table1Row
+		var avg bench.Table1Averages
+		var err error
+		if *telemetryDir != "" {
+			var snaps map[string]*telemetry.Snapshot
+			rows, avg, snaps, err = bench.Table1Telemetry(ctx, tm, ob)
+			if err == nil {
+				err = writeTelemetryDir(*telemetryDir, snaps)
+			}
+			if err == nil {
+				fmt.Fprintf(out, "telemetry snapshots written to %s\n", *telemetryDir)
+			}
+		} else {
+			rows, avg, err = bench.Table1Context(ctx, tm, ob)
+		}
 		if err != nil {
 			return err
 		}
@@ -136,6 +153,30 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return writeObs(out, ob, *traceOut, *metricsOut)
+}
+
+// writeTelemetryDir writes one chip-telemetry snapshot JSON per
+// benchmark, named by a filesystem-safe slug of the benchmark name.
+func writeTelemetryDir(dir string, snaps map[string]*telemetry.Snapshot) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, snap := range snaps {
+		slug := strings.Map(func(r rune) rune {
+			switch {
+			case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+				return r
+			case r >= 'A' && r <= 'Z':
+				return r + ('a' - 'A')
+			default:
+				return '-'
+			}
+		}, name)
+		if err := snap.WriteJSONFile(filepath.Join(dir, slug+".json")); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // writeObs flushes the observer's trace and metrics files when requested.

@@ -92,6 +92,39 @@ func TestRunTraceAndMetrics(t *testing.T) {
 	}
 }
 
+func TestRunTelemetryDir(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-table", "1", "-telemetry-dir", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "telemetry snapshots written to") {
+		t.Errorf("telemetry note missing:\n%.200s", out.String())
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 13 {
+		t.Fatalf("wrote %d snapshot files, want 13 (one per Table 1 benchmark)", len(ents))
+	}
+	// Spot-check one snapshot parses and carries electrode data.
+	raw, err := os.ReadFile(filepath.Join(dir, "pcr.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Cycles         int   `json:"cycles"`
+		PinActivations int64 `json:"total_pin_activations"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Cycles == 0 || snap.PinActivations == 0 {
+		t.Errorf("pcr snapshot empty: %+v", snap)
+	}
+}
+
 func TestRunBadHeights(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-table", "3", "-heights", "x,y"}, &out); err == nil {

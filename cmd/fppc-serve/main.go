@@ -11,9 +11,11 @@
 //
 // Endpoints:
 //
-//	POST /compile  — compile an assay (see doc/SERVICE.md for the schema)
-//	GET  /metrics  — Prometheus text exposition
-//	GET  /healthz  — liveness JSON
+//	POST /compile          — compile an assay (see doc/SERVICE.md for the schema)
+//	GET  /metrics          — Prometheus text exposition, incl. Go runtime gauges
+//	GET  /healthz          — liveness JSON
+//	GET  /debug/telemetry  — chip telemetry snapshot of the latest compile
+//	GET  /debug/pprof/...  — net/http/pprof profiles
 //
 // SIGINT/SIGTERM drain in-flight requests before exit.
 package main

@@ -9,6 +9,14 @@
 //	fppc-sim -assay pcr
 //	fppc-sim -assay protein2 -rotations 12
 //	fppc-sim -assay invitro1 -watch 25   # ASCII frames every 25 cycles
+//	fppc-sim -assay pcr -telemetry t.json -heatmap   # chip wear telemetry
+//
+// Every observability flag composes with every other: -verify replays
+// the same program through the independent oracle after the simulator
+// pass, -trace/-metrics record the compile and simulate spans, and
+// -telemetry/-telemetry-csv/-heatmap/-heatmap-svg export the chip
+// telemetry collected during the replay (including under -watch, which
+// feeds the same collector stepwise). See doc/OBSERVABILITY.md.
 package main
 
 import (
@@ -41,6 +49,10 @@ func run(args []string, out io.Writer) error {
 	traceOut := fs.String("trace", "", "write a Chrome trace_event JSON file (compile + simulate spans)")
 	metricsOut := fs.String("metrics", "", "write pipeline metrics in Prometheus text format")
 	verify := fs.Bool("verify", false, "replay the program through the independent oracle and cross-check the simulator")
+	telemetryOut := fs.String("telemetry", "", "write a chip telemetry snapshot (electrode wear, duty cycles, congestion) as JSON")
+	telemetryCSV := fs.String("telemetry-csv", "", "write per-electrode telemetry as CSV")
+	heatmap := fs.Bool("heatmap", false, "print an ASCII electrode-actuation heatmap after the replay")
+	heatmapSVG := fs.String("heatmap-svg", "", "write the actuation heatmap as an SVG file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,16 +65,21 @@ func run(args []string, out io.Writer) error {
 	if *traceOut != "" || *metricsOut != "" {
 		ob = fppc.NewObserver()
 	}
+	var tc *fppc.TelemetryCollector
+	if *telemetryOut != "" || *telemetryCSV != "" || *heatmap || *heatmapSVG != "" {
+		tc = fppc.NewTelemetryCollector()
+	}
 	res, err := fppc.Compile(assay, fppc.Config{
 		Target:     fppc.TargetFPPC,
 		FPPCHeight: *height,
 		AutoGrow:   true,
-		Router:     fppc.RouterOptions{EmitProgram: true, RotationsPerStep: *rotations},
+		Router:     fppc.RouterOptions{EmitProgram: true, RotationsPerStep: *rotations, Telemetry: tc},
 		Obs:        ob,
 	})
 	if err != nil {
 		return err
 	}
+	tc.AttachSchedule(res.Schedule)
 	fmt.Fprintln(out, res.Summary())
 	fmt.Fprintf(out, "program: %d cycles, %d reservoir events\n",
 		res.Routing.Program.Len(), len(res.Routing.Events))
@@ -70,6 +87,7 @@ func run(args []string, out io.Writer) error {
 	var trace *fppc.SimTrace
 	if *watch > 0 {
 		replay := fppc.NewReplay(res.Chip, res.Routing.Program, res.Routing.Events)
+		replay.Collect(tc)
 		for !replay.Done() {
 			if replay.Cycle()%*watch == 0 {
 				fmt.Fprintln(out, replay.Frame())
@@ -81,7 +99,7 @@ func run(args []string, out io.Writer) error {
 		}
 		trace = replay.Trace()
 	} else {
-		trace, err = fppc.SimulateObserved(res.Chip, res.Routing.Program, res.Routing.Events, ob)
+		trace, err = fppc.SimulateCollected(res.Chip, res.Routing.Program, res.Routing.Events, ob, tc)
 		if err != nil {
 			return fmt.Errorf("simulation FAILED: %w", err)
 		}
@@ -115,6 +133,31 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "oracle: independent replay agrees with the simulator (%d cycles, footprint %s)\n",
 			rep.Cycles, rep.FootprintHash[:16])
+	}
+	if tc != nil {
+		snap := tc.Snapshot()
+		fmt.Fprintln(out, snap.Summary())
+		if *heatmap {
+			fmt.Fprint(out, snap.ActuationGrid().ASCII())
+		}
+		if *telemetryOut != "" {
+			if err := snap.WriteJSONFile(*telemetryOut); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "telemetry written to %s\n", *telemetryOut)
+		}
+		if *telemetryCSV != "" {
+			if err := snap.WriteCSVFile(*telemetryCSV); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "telemetry CSV written to %s\n", *telemetryCSV)
+		}
+		if *heatmapSVG != "" {
+			if err := os.WriteFile(*heatmapSVG, []byte(snap.ActuationGrid().SVG()), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "heatmap written to %s\n", *heatmapSVG)
+		}
 	}
 	if *traceOut != "" {
 		if err := ob.WriteChromeTraceFile(*traceOut); err != nil {

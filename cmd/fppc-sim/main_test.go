@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -64,6 +65,110 @@ func TestRunTraceAndMetrics(t *testing.T) {
 		if !strings.Contains(string(mp), frag) {
 			t.Errorf("metrics missing %s:\n%s", frag, mp)
 		}
+	}
+}
+
+// simSnapshot is the subset of the telemetry JSON the CLI tests check.
+type simSnapshot struct {
+	Cycles         int   `json:"cycles"`
+	PinActivations int64 `json:"total_pin_activations"`
+	Electrodes     []struct {
+		Actuations int64 `json:"actuations"`
+	} `json:"electrodes"`
+}
+
+func readSnapshot(t *testing.T, path string) simSnapshot {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap simSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestRunAllObservabilityFlags runs every observability flag at once on
+// PCR: -verify, -trace, -metrics, and the whole telemetry family. The
+// flags must compose — same compile, same replay, every exporter fed.
+func TestRunAllObservabilityFlags(t *testing.T) {
+	dir := t.TempDir()
+	tj := filepath.Join(dir, "telemetry.json")
+	tcsv := filepath.Join(dir, "telemetry.csv")
+	svg := filepath.Join(dir, "heat.svg")
+	trace := filepath.Join(dir, "trace.json")
+	metrics := filepath.Join(dir, "metrics.prom")
+	var out strings.Builder
+	err := run([]string{"-assay", "pcr",
+		"-verify",
+		"-trace", trace, "-metrics", metrics,
+		"-telemetry", tj, "-telemetry-csv", tcsv,
+		"-heatmap", "-heatmap-svg", svg,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, frag := range []string{
+		"verified: every operation executed",
+		"oracle: independent replay agrees",
+		"telemetry: ",
+		"telemetry written to",
+		"telemetry CSV written to",
+		"heatmap written to",
+		"trace written to",
+		"metrics written to",
+	} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("output missing %q:\n%s", frag, got)
+		}
+	}
+
+	snap := readSnapshot(t, tj)
+	if snap.Cycles == 0 || snap.PinActivations == 0 {
+		t.Fatalf("snapshot empty: %+v", snap)
+	}
+	// PCR on the default 12x21 chip: one CSV row per electrode cell.
+	csvRaw, err := os.ReadFile(tcsv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := strings.Count(string(csvRaw), "\n"); rows != len(snap.Electrodes)+1 {
+		t.Errorf("CSV has %d rows, want %d electrodes + header", rows, len(snap.Electrodes))
+	}
+	svgRaw, err := os.ReadFile(svg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(svgRaw), "<svg") {
+		t.Errorf("heatmap file is not SVG: %.60s", svgRaw)
+	}
+	// The ASCII heatmap rides on stdout: at least one saturated glyph.
+	if !strings.Contains(got, "@") {
+		t.Errorf("ASCII heatmap missing from output:\n%s", got)
+	}
+}
+
+// TestRunWatchWithTelemetry checks the stepwise -watch replay feeds the
+// same collector as the batch path: identical totals either way.
+func TestRunWatchWithTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	batch := filepath.Join(dir, "batch.json")
+	watch := filepath.Join(dir, "watch.json")
+	var out strings.Builder
+	if err := run([]string{"-assay", "pcr", "-telemetry", batch}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-assay", "pcr", "-watch", "50", "-telemetry", watch}, &out); err != nil {
+		t.Fatal(err)
+	}
+	b, w := readSnapshot(t, batch), readSnapshot(t, watch)
+	if b.Cycles != w.Cycles || b.PinActivations != w.PinActivations {
+		t.Errorf("watch replay diverged: batch %d cycles/%d activations, watch %d/%d",
+			b.Cycles, b.PinActivations, w.Cycles, w.PinActivations)
 	}
 }
 

@@ -41,6 +41,7 @@ import (
 	"fppc/internal/recovery"
 	"fppc/internal/router"
 	"fppc/internal/sim"
+	"fppc/internal/telemetry"
 )
 
 // Assay model.
@@ -247,6 +248,33 @@ func Simulate(chip *Chip, prog *PinProgram, events []ReservoirEvent) (*SimTrace,
 // merges, splits) onto ob.
 func SimulateObserved(chip *Chip, prog *PinProgram, events []ReservoirEvent, ob *Observer) (*SimTrace, error) {
 	return sim.RunObserved(chip, prog, events, ob)
+}
+
+// Chip-level execution telemetry.
+type (
+	// TelemetryCollector accumulates cycle-accurate chip telemetry
+	// (per-electrode actuations, duty cycles, bus occupancy, congestion,
+	// droplet traces, router stalls) from the simulator, the oracle, or
+	// the router. A nil collector disables every hook at the cost of one
+	// nil check.
+	TelemetryCollector = telemetry.Collector
+	// TelemetrySnapshot is an immutable digest of collected telemetry
+	// with JSON/CSV exporters and heatmap builders.
+	TelemetrySnapshot = telemetry.Snapshot
+	// TelemetryGrid is a W x H value field renderable as an ASCII or SVG
+	// heatmap.
+	TelemetryGrid = telemetry.Grid
+)
+
+// NewTelemetryCollector returns an empty collector; bind it by passing
+// it to SimulateCollected, RouterOptions.Telemetry, or
+// OracleOptions.Collector.
+func NewTelemetryCollector() *TelemetryCollector { return telemetry.New() }
+
+// SimulateCollected is SimulateObserved additionally feeding every
+// pin-activation frame and droplet footprint into tc.
+func SimulateCollected(chip *Chip, prog *PinProgram, events []ReservoirEvent, ob *Observer, tc *TelemetryCollector) (*SimTrace, error) {
+	return sim.RunCollected(chip, prog, events, ob, tc)
 }
 
 // Replay is a stepwise simulator with ASCII frame rendering.

@@ -46,6 +46,10 @@ type Table1Row struct {
 	Name string
 	DA   ArchResult
 	FP   ArchResult
+
+	// FPTelemetry carries the FPPC chip's execution telemetry digest
+	// when the run collected it (Table1Telemetry); nil otherwise.
+	FPTelemetry *RowTelemetry `json:"FPTelemetry,omitempty"`
 }
 
 // Table1Averages holds the bottom row of Table 1: the per-benchmark

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"fppc/internal/assays"
+	"fppc/internal/core"
+	"fppc/internal/obs"
+	"fppc/internal/router"
+	"fppc/internal/sim"
+	"fppc/internal/telemetry"
+)
+
+// RowTelemetry summarizes one benchmark's chip-level execution
+// telemetry on the FPPC target: how much the electrodes worked and
+// where wear concentrates (see doc/OBSERVABILITY.md for duty-cycle
+// interpretation).
+type RowTelemetry struct {
+	Cycles            int                       `json:"cycles"`
+	PinActivations    int64                     `json:"pin_activations"`
+	MaxDuty           float64                   `json:"max_duty"`
+	MeanDuty          float64                   `json:"mean_duty"`
+	Hottest           []telemetry.ElectrodeStat `json:"hottest_electrodes"`
+	StallCycles       int64                     `json:"stall_cycles"`
+	BufferRelocations int64                     `json:"buffer_relocations"`
+}
+
+// Table1Telemetry is Table1Context with chip telemetry: each FPPC
+// compile emits its pin program, replays it through the simulator with
+// a collector, and attaches the wear digest to the row. The full
+// snapshots are returned keyed by benchmark name for the -telemetry-dir
+// exporters. Timing columns remain comparable to Table1Context (the
+// replay happens outside timedCompile).
+func Table1Telemetry(ctx context.Context, tm assays.Timing, ob *obs.Observer) ([]Table1Row, Table1Averages, map[string]*telemetry.Snapshot, error) {
+	var rows []Table1Row
+	snaps := map[string]*telemetry.Snapshot{}
+	for _, a := range assays.Table1Benchmarks(tm) {
+		row := Table1Row{Name: a.Name}
+		tc := telemetry.New()
+		fp, ms, err := timedCompile(ctx, a, core.Config{
+			Target: core.TargetFPPC, AutoGrow: true, Obs: ob,
+			Router: router.Options{EmitProgram: true, RotationsPerStep: 1, Telemetry: tc},
+		})
+		if err != nil {
+			return nil, Table1Averages{}, nil, fmt.Errorf("bench: %s on FPPC: %w", a.Name, err)
+		}
+		row.FP = toArchResult(fp, ms)
+		tc.AttachSchedule(fp.Schedule)
+		if _, err := sim.RunCollected(fp.Chip, fp.Routing.Program, fp.Routing.Events, ob, tc); err != nil {
+			return nil, Table1Averages{}, nil, fmt.Errorf("bench: %s telemetry replay: %w", a.Name, err)
+		}
+		snap := tc.Snapshot()
+		snaps[a.Name] = snap
+		row.FPTelemetry = &RowTelemetry{
+			Cycles:            snap.Cycles,
+			PinActivations:    snap.PinActivations,
+			MaxDuty:           snap.MaxDuty,
+			MeanDuty:          snap.MeanDuty,
+			Hottest:           snap.Hottest,
+			StallCycles:       snap.Router.StallCycles,
+			BufferRelocations: snap.Router.BufferRelocations,
+		}
+		da, ms, err := timedCompile(ctx, a, core.Config{Target: core.TargetDA, AutoGrow: true, Obs: ob})
+		if err != nil {
+			return nil, Table1Averages{}, nil, fmt.Errorf("bench: %s on DA: %w", a.Name, err)
+		}
+		row.DA = toArchResult(da, ms)
+		rows = append(rows, row)
+	}
+	return rows, averages(rows), snaps, nil
+}

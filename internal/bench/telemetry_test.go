@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"testing"
+
+	"fppc/internal/assays"
+)
+
+// TestTable1Telemetry checks the telemetry-enabled harness produces the
+// same row set as Table1 plus a populated wear digest per benchmark.
+func TestTable1Telemetry(t *testing.T) {
+	rows, avg, snaps, err := Table1Telemetry(nil, assays.DefaultTiming(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 13 || len(snaps) != 13 {
+		t.Fatalf("got %d rows, %d snapshots, want 13 each", len(rows), len(snaps))
+	}
+	if avg.Pins < 6 || avg.Pins > 7 {
+		t.Errorf("pin reduction %.2f out of the paper's range", avg.Pins)
+	}
+	for _, row := range rows {
+		rt := row.FPTelemetry
+		if rt == nil {
+			t.Fatalf("%s: no telemetry digest", row.Name)
+		}
+		if rt.Cycles == 0 || rt.PinActivations == 0 || len(rt.Hottest) == 0 {
+			t.Errorf("%s: empty digest %+v", row.Name, rt)
+		}
+		if rt.MaxDuty <= 0 || rt.MaxDuty > 1 || rt.MeanDuty > rt.MaxDuty {
+			t.Errorf("%s: implausible duty max=%.3f mean=%.3f", row.Name, rt.MaxDuty, rt.MeanDuty)
+		}
+		snap := snaps[row.Name]
+		if snap == nil || snap.PinActivations != rt.PinActivations {
+			t.Errorf("%s: snapshot and digest disagree", row.Name)
+		}
+	}
+}

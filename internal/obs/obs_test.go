@@ -129,6 +129,55 @@ func TestPrometheusGolden(t *testing.T) {
 	}
 }
 
+// TestPrometheusExportDeterminism pins the full exposition document:
+// families sorted by name, series sorted by label string, label keys
+// sorted within a series regardless of call-site order, label values
+// escaped, and byte-identical output across repeated writes.
+func TestPrometheusExportDeterminism(t *testing.T) {
+	r := NewRegistry()
+	// Insertion order deliberately scrambled relative to sorted output.
+	r.Counter("fppc_z_total", "b", "2", "a", "1").Add(7)
+	r.Counter("fppc_z_total", "a", "1", "b", "1").Add(5)
+	r.Help("fppc_a_total", `weird "help" stays verbatim`)
+	r.Counter("fppc_a_total").Inc()
+	r.Gauge("fppc_m_value", "path", `C:\tmp`+"\n", "q", `say "hi"`).Set(2.5)
+	h := r.Histogram("fppc_h_cycles", []float64{1, 10}, "stage", "route")
+	h.Observe(0.5)
+	h.Observe(100)
+
+	want := strings.Join([]string{
+		`# HELP fppc_a_total weird "help" stays verbatim`,
+		"# TYPE fppc_a_total counter",
+		"fppc_a_total 1",
+		"# TYPE fppc_h_cycles histogram",
+		`fppc_h_cycles_bucket{stage="route",le="1"} 1`,
+		`fppc_h_cycles_bucket{stage="route",le="10"} 1`,
+		`fppc_h_cycles_bucket{stage="route",le="+Inf"} 2`,
+		`fppc_h_cycles_sum{stage="route"} 100.5`,
+		`fppc_h_cycles_count{stage="route"} 2`,
+		"# TYPE fppc_m_value gauge",
+		`fppc_m_value{path="C:\\tmp\n",q="say \"hi\""} 2.5`,
+		"# TYPE fppc_z_total counter",
+		`fppc_z_total{a="1",b="1"} 5`,
+		`fppc_z_total{a="1",b="2"} 7`,
+		"",
+	}, "\n")
+	var first bytes.Buffer
+	if err := r.WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != want {
+		t.Errorf("prometheus text:\n got:\n%s\nwant:\n%s", first.String(), want)
+	}
+	var second bytes.Buffer
+	if err := r.WritePrometheus(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Errorf("repeated export not byte-identical:\n%s\nvs\n%s", first.String(), second.String())
+	}
+}
+
 func TestConcurrentCounters(t *testing.T) {
 	o := New()
 	const goroutines, perG = 8, 1000

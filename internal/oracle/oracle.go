@@ -28,6 +28,7 @@ import (
 	"fppc/internal/grid"
 	"fppc/internal/pins"
 	"fppc/internal/router"
+	"fppc/internal/telemetry"
 )
 
 // ViolationKind classifies what the oracle observed going wrong.
@@ -152,6 +153,11 @@ type Options struct {
 	// (useful when verifying hand-written programs that idle pins on
 	// purpose).
 	DisableSpuriousCheck bool
+	// Collector, when non-nil, receives chip-level execution telemetry
+	// from the replay (internal/telemetry). Because the oracle derives
+	// positions independently of the simulator, a snapshot collected
+	// here cross-checks one collected by sim.RunCollected.
+	Collector *telemetry.Collector
 }
 
 // blob is the oracle's independent droplet model: one or two occupied
@@ -198,6 +204,7 @@ func Verify(chip *arch.Chip, prog *pins.Program, events []router.Event, opts Opt
 	}
 	v := &verifier{chip: chip, rep: &Report{}, opts: opts, fp: sha256.New()}
 	v.buildPinMap()
+	opts.Collector.BindChip(chip)
 	evIdx := 0
 	cyc := 0
 	for ; cyc < prog.Len(); cyc++ {
@@ -216,8 +223,14 @@ func Verify(chip *arch.Chip, prog *pins.Program, events []router.Event, opts Opt
 		if !opts.DisableSpuriousCheck {
 			v.checkSpurious(cyc, act)
 		}
+		opts.Collector.Frame(act)
 		v.step(cyc, active)
 		v.mergePass(cyc)
+		if opts.Collector != nil {
+			for _, b := range v.blobs {
+				opts.Collector.Occupy(b.id, b.cells)
+			}
+		}
 		v.hashFootprint(cyc)
 		if len(v.rep.Violations) >= opts.MaxViolations {
 			v.rep.Truncated = true

@@ -10,6 +10,7 @@ import (
 	"fppc/internal/grid"
 	"fppc/internal/obs"
 	"fppc/internal/scheduler"
+	"fppc/internal/telemetry"
 )
 
 // daRouter routes one direct-addressing schedule. Every electrode is
@@ -25,7 +26,8 @@ type daRouter struct {
 	// droplet is stored there).
 	busy [][][2]int
 
-	cStalls *obs.Counter // cycles droplets wait on clearance/conflicts
+	cStalls *obs.Counter         // cycles droplets wait on clearance/conflicts
+	tc      *telemetry.Collector // chip telemetry pass-through (nil disables)
 }
 
 // computeBusy reconstructs per-module occupancy from the schedule: ops
@@ -100,7 +102,8 @@ func routeDA(ctx context.Context, s *scheduler.Schedule, opts Options) (*Result,
 	ob.Counter("fppc_router_retries_total") // DA never relocates; export 0 for dashboard parity
 	cMoves := ob.Counter("fppc_router_moves_total")
 	hBoundaries := ob.Histogram("fppc_route_cycles", nil)
-	r := &daRouter{s: s, chip: s.Chip, cStalls: ob.Counter("fppc_router_stall_cycles_total")}
+	r := &daRouter{s: s, chip: s.Chip, tc: opts.Telemetry,
+		cStalls: ob.Counter("fppc_router_stall_cycles_total")}
 	r.computeBusy()
 	res := &Result{}
 	for _, ts := range s.Boundaries() {
@@ -324,6 +327,7 @@ func (r *daRouter) routeBoundary(ts int) (int, error) {
 	consol := 0
 	for i := range moves {
 		r.cStalls.Add(int64(start[i]))
+		r.tc.RouterStall(start[i])
 		if moves[i].Kind == scheduler.MoveStore && moves[i].NodeID < 0 {
 			consol += len(paths[i])
 			continue

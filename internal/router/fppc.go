@@ -297,6 +297,7 @@ func (r *fppcRouter) routeBoundary(ts int) (int, error) {
 		cycles += c
 		r.bufferRelocs++
 		r.cBufReloc.Inc()
+		r.opts.Telemetry.RouterRelocation()
 		m.From = bufLoc
 	}
 	return cycles, nil

@@ -26,6 +26,7 @@ import (
 	"fppc/internal/obs"
 	"fppc/internal/pins"
 	"fppc/internal/scheduler"
+	"fppc/internal/telemetry"
 )
 
 // CycleSeconds is the duration of one electrode actuation cycle: 10 ms at
@@ -48,6 +49,10 @@ type Options struct {
 	// relocations, bus-phase cycles). Nil disables observation at the
 	// cost of a nil check per instrument call.
 	Obs *obs.Observer
+
+	// Telemetry receives stall/relocation counts for chip-level
+	// execution telemetry (internal/telemetry). Nil disables.
+	Telemetry *telemetry.Collector
 }
 
 // BoundaryResult reports one routing sub-problem.

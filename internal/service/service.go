@@ -2,7 +2,10 @@
 // concurrent compilation service: POST /compile accepts an assay (ASL
 // text or DAG JSON) plus target and configuration and returns the
 // compiled program and its statistics; GET /metrics serves the
-// internal/obs Prometheus export; GET /healthz reports liveness.
+// internal/obs Prometheus export plus runtime gauges; GET /healthz
+// reports liveness; GET /debug/telemetry returns the chip-level
+// execution telemetry of the last compile; /debug/pprof/* serves the
+// standard Go profiles.
 //
 // Under the hood the server runs a bounded worker pool, a
 // content-addressed LRU cache keyed by the assay's dag fingerprint plus
@@ -20,12 +23,15 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"fppc/internal/core"
 	"fppc/internal/obs"
+	"fppc/internal/telemetry"
 )
 
 // Config configures a Server. Zero values select the documented
@@ -63,6 +69,10 @@ type Server struct {
 	start  time.Time
 	mux    *http.ServeMux
 
+	// lastTelemetry holds the chip-level telemetry record of the most
+	// recent compile, served by GET /debug/telemetry.
+	lastTelemetry atomic.Pointer[TelemetryRecord]
+
 	cHits       *obs.Counter
 	cMisses     *obs.Counter
 	cDedup      *obs.Counter
@@ -72,6 +82,12 @@ type Server struct {
 	gQueue      *obs.Gauge
 	gInflight   *obs.Gauge
 	hCompile    *obs.Histogram
+
+	// Runtime gauges, refreshed on every GET /metrics scrape.
+	gGoroutines  *obs.Gauge
+	gHeapBytes   *obs.Gauge
+	gGCPauses    *obs.Gauge
+	gGCPauseSecs *obs.Gauge
 }
 
 // New builds a ready-to-serve Server.
@@ -113,6 +129,11 @@ func New(cfg Config) *Server {
 		gQueue:      ob.Gauge("fppc_service_queue_depth"),
 		gInflight:   ob.Gauge("fppc_service_inflight"),
 		hCompile:    ob.Histogram("fppc_service_compile_seconds", []float64{.001, .005, .01, .05, .1, .5, 1, 5, 30, 120}),
+
+		gGoroutines:  ob.Gauge("fppc_runtime_goroutines"),
+		gHeapBytes:   ob.Gauge("fppc_runtime_heap_bytes"),
+		gGCPauses:    ob.Gauge("fppc_runtime_gc_pauses_total"),
+		gGCPauseSecs: ob.Gauge("fppc_runtime_gc_pause_seconds_total"),
 	}
 	m := ob.Metrics()
 	m.Help("fppc_service_cache_hits_total", "compile requests served from the content-addressed cache")
@@ -123,9 +144,19 @@ func New(cfg Config) *Server {
 	m.Help("fppc_service_verification_failures_total", "compiles whose result failed the independent oracle")
 	m.Help("fppc_service_queue_depth", "requests waiting for a worker slot")
 	m.Help("fppc_service_compile_seconds", "wall-clock compile latency (cache misses only)")
+	m.Help("fppc_runtime_goroutines", "live goroutines (runtime/metrics, sampled per scrape)")
+	m.Help("fppc_runtime_heap_bytes", "heap bytes occupied by live objects")
+	m.Help("fppc_runtime_gc_pauses_total", "stop-the-world GC pauses since process start")
+	m.Help("fppc_runtime_gc_pause_seconds_total", "estimated total GC pause time (bucket midpoints)")
 	s.mux.HandleFunc("/compile", s.handleCompile)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/debug/telemetry", s.handleTelemetry)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return s
 }
 
@@ -136,10 +167,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 	s.mux.ServeHTTP(rec, r)
 	// Unknown paths share one label so arbitrary URLs cannot grow the
-	// registry without bound.
+	// registry without bound; all pprof profiles share one label too.
 	endpoint := r.URL.Path
-	switch endpoint {
-	case "/compile", "/metrics", "/healthz":
+	switch {
+	case endpoint == "/compile" || endpoint == "/metrics" ||
+		endpoint == "/healthz" || endpoint == "/debug/telemetry":
+	case strings.HasPrefix(endpoint, "/debug/pprof/"):
+		endpoint = "/debug/pprof"
 	default:
 		endpoint = "other"
 	}
@@ -239,8 +273,11 @@ func (s *Server) runCompile(ctx context.Context, j *job) (*entry, error) {
 
 	s.gInflight.Set(float64(len(s.sem)))
 	s.cCompiles.Inc()
+	tc := telemetry.New()
+	cfg := j.cfg
+	cfg.Router.Telemetry = tc
 	t0 := time.Now()
-	res, err := core.CompileContext(ctx, j.assay, j.cfg)
+	res, err := core.CompileContext(ctx, j.assay, cfg)
 	s.hCompile.Observe(time.Since(t0).Seconds())
 	s.gInflight.Set(float64(len(s.sem) - 1))
 	if err != nil {
@@ -255,6 +292,7 @@ func (s *Server) runCompile(ctx context.Context, j *job) (*entry, error) {
 		}
 		e.resp.Verification = vi
 	}
+	s.collectTelemetry(j, res, tc)
 	s.cache.put(j.cacheKey, e)
 	return e, nil
 }
@@ -294,6 +332,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", fmt.Errorf("GET only"))
 		return
 	}
+	s.sampleRuntime()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.ob.Metrics().WritePrometheus(w); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)

@@ -1,0 +1,174 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestDebugTelemetryEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	if code := getJSON(t, ts.URL+"/debug/telemetry", nil); code != http.StatusNotFound {
+		t.Fatalf("before any compile: HTTP %d, want 404", code)
+	}
+
+	var cr CompileResponse
+	if code := post(t, ts.URL, CompileRequest{ASL: dilutionASL, Sequence: true, RotationsPerStep: 1}, &cr); code != http.StatusOK {
+		t.Fatalf("compile: HTTP %d", code)
+	}
+
+	var rec TelemetryRecord
+	if code := getJSON(t, ts.URL+"/debug/telemetry", &rec); code != http.StatusOK {
+		t.Fatalf("after compile: HTTP %d", code)
+	}
+	if rec.Assay != "dilution" || rec.Target != "fppc" || rec.Fingerprint != cr.Fingerprint {
+		t.Fatalf("record = %+v, want the dilution compile", rec)
+	}
+	if rec.Telemetry == nil || rec.Telemetry.PinActivations == 0 {
+		t.Fatalf("snapshot missing electrode data: %+v", rec.Telemetry)
+	}
+	if len(rec.Telemetry.Modules) == 0 {
+		t.Fatal("snapshot missing the module timeline")
+	}
+	if rec.Telemetry.Cycles == 0 || len(rec.Telemetry.Hottest) == 0 {
+		t.Fatalf("snapshot incomplete: %d cycles, %d hottest", rec.Telemetry.Cycles, len(rec.Telemetry.Hottest))
+	}
+
+	// Cache hits serve the compile without refreshing telemetry.
+	before := rec.CollectedAt
+	if code := post(t, ts.URL, CompileRequest{ASL: dilutionASL, Sequence: true, RotationsPerStep: 1}, &cr); code != http.StatusOK || !cr.Cached {
+		t.Fatalf("second compile: HTTP %d cached=%t", code, cr.Cached)
+	}
+	if code := getJSON(t, ts.URL+"/debug/telemetry", &rec); code != http.StatusOK || !rec.CollectedAt.Equal(before) {
+		t.Fatalf("cache hit refreshed telemetry (HTTP %d)", code)
+	}
+}
+
+// TestDebugTelemetryWithoutSequence covers program-less compiles: the
+// record still carries the schedule timeline and router stats, with no
+// electrode data.
+func TestDebugTelemetryWithoutSequence(t *testing.T) {
+	_, ts := newTestServer(t)
+	var cr CompileResponse
+	if code := post(t, ts.URL, CompileRequest{ASL: dilutionASL, Target: "da"}, &cr); code != http.StatusOK {
+		t.Fatalf("compile: HTTP %d", code)
+	}
+	var rec TelemetryRecord
+	if code := getJSON(t, ts.URL+"/debug/telemetry", &rec); code != http.StatusOK {
+		t.Fatalf("HTTP %d", code)
+	}
+	if rec.Target != "da" || rec.Telemetry == nil {
+		t.Fatalf("record = %+v", rec)
+	}
+	if rec.Telemetry.PinActivations != 0 {
+		t.Fatalf("DA compile emitted no program, yet %d pin activations recorded", rec.Telemetry.PinActivations)
+	}
+	if len(rec.Telemetry.Modules) == 0 {
+		t.Fatal("schedule timeline missing from a program-less compile")
+	}
+}
+
+// TestConcurrentTelemetryCollection exercises telemetry collection from
+// the worker pool under the race detector: distinct compiles run
+// concurrently, each with its own collector, all publishing to the
+// shared last-telemetry slot while readers scrape /debug/telemetry and
+// /metrics.
+func TestConcurrentTelemetryCollection(t *testing.T) {
+	_, ts := newTestServer(t)
+	const writers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Unique fluid name per goroutine defeats the cache and
+			// singleflight so every request truly compiles.
+			asl := strings.ReplaceAll(dilutionASL, "protein", fmt.Sprintf("protein%d", i))
+			var cr CompileResponse
+			if code := post(t, ts.URL, CompileRequest{ASL: asl, Sequence: true, RotationsPerStep: 1}, &cr); code != http.StatusOK {
+				t.Errorf("writer %d: HTTP %d", i, code)
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				getJSON(t, ts.URL+"/debug/telemetry", nil)
+				metricsBody(t, ts.URL)
+			}
+		}()
+	}
+	wg.Wait()
+	var rec TelemetryRecord
+	if code := getJSON(t, ts.URL+"/debug/telemetry", &rec); code != http.StatusOK {
+		t.Fatalf("final read: HTTP %d", code)
+	}
+	if rec.Telemetry == nil || rec.Telemetry.PinActivations == 0 {
+		t.Fatalf("final record incomplete: %+v", rec.Telemetry)
+	}
+}
+
+func TestRuntimeGaugesOnMetrics(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := metricsBody(t, ts.URL)
+	for _, metric := range []string{
+		"fppc_runtime_goroutines ",
+		"fppc_runtime_heap_bytes ",
+		"fppc_runtime_gc_pauses_total ",
+		"fppc_runtime_gc_pause_seconds_total ",
+	} {
+		if !strings.Contains(body, metric) {
+			t.Errorf("metrics output missing %s", strings.TrimSpace(metric))
+		}
+	}
+	// Goroutines is a live sample, never zero on a running process.
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "fppc_runtime_goroutines ") && strings.TrimSpace(strings.TrimPrefix(line, "fppc_runtime_goroutines")) == "0" {
+			t.Error("fppc_runtime_goroutines sampled as 0")
+		}
+	}
+}
+
+func TestPprofEndpoints(t *testing.T) {
+	s, ts := newTestServer(t)
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: HTTP %d", path, resp.StatusCode)
+		}
+	}
+	// All pprof paths share one endpoint label on the request counter.
+	var buf strings.Builder
+	if err := s.Observer().Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `endpoint="/debug/pprof"`) {
+		t.Error("pprof requests not folded into the /debug/pprof endpoint label")
+	}
+}

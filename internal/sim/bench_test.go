@@ -1,0 +1,83 @@
+package sim_test
+
+import (
+	"testing"
+
+	"fppc/internal/assays"
+	"fppc/internal/core"
+	"fppc/internal/router"
+	"fppc/internal/sim"
+	"fppc/internal/telemetry"
+)
+
+func compileBenchProgram(b *testing.B) *core.Result {
+	b.Helper()
+	res, err := core.Compile(assays.PCR(assays.DefaultTiming()), core.Config{
+		Target: core.TargetFPPC,
+		Router: router.Options{EmitProgram: true, RotationsPerStep: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkSimTelemetryOff is the disabled-path baseline: a nil
+// collector must add no allocations to the replay loop (compare
+// allocs/op with BenchmarkSimTelemetryOn — the delta is what telemetry
+// costs, and the Off number matches plain sim.Run).
+func BenchmarkSimTelemetryOff(b *testing.B) {
+	res := compileBenchProgram(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunCollected(res.Chip, res.Routing.Program, res.Routing.Events, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimTelemetryOn measures the enabled path: one collector per
+// replay, full electrode/congestion/trace collection plus the snapshot.
+func BenchmarkSimTelemetryOn(b *testing.B) {
+	res := compileBenchProgram(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc := telemetry.New()
+		if _, err := sim.RunCollected(res.Chip, res.Routing.Program, res.Routing.Events, nil, tc); err != nil {
+			b.Fatal(err)
+		}
+		if tc.Snapshot().PinActivations == 0 {
+			b.Fatal("collector recorded nothing")
+		}
+	}
+}
+
+// TestRunCollectedMatchesRun pins that telemetry collection does not
+// perturb the physics: traces with and without a collector agree.
+func TestRunCollectedMatchesRun(t *testing.T) {
+	res, err := core.Compile(assays.PCR(assays.DefaultTiming()), core.Config{
+		Target: core.TargetFPPC,
+		Router: router.Options{EmitProgram: true, RotationsPerStep: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := sim.Run(res.Chip, res.Routing.Program, res.Routing.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := telemetry.New()
+	collected, err := sim.RunCollected(res.Chip, res.Routing.Program, res.Routing.Events, nil, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cycles != collected.Cycles || plain.Merges != collected.Merges ||
+		plain.Splits != collected.Splits || plain.Outputs != collected.Outputs {
+		t.Fatalf("traces diverge: plain %+v, collected %+v", plain, collected)
+	}
+	if tc.Cycles() != plain.Cycles {
+		t.Fatalf("collector saw %d cycles, sim ran %d", tc.Cycles(), plain.Cycles)
+	}
+}

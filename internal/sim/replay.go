@@ -8,6 +8,7 @@ import (
 	"fppc/internal/grid"
 	"fppc/internal/pins"
 	"fppc/internal/router"
+	"fppc/internal/telemetry"
 )
 
 // Replay is a stepwise simulator: the same physics as Run, advanced one
@@ -31,6 +32,13 @@ func NewReplay(chip *arch.Chip, prog *pins.Program, events []router.Event) *Repl
 		events: events,
 		st:     &state{chip: chip, trace: &Trace{}},
 	}
+}
+
+// Collect streams chip-level execution telemetry from the remaining
+// steps into tc (nil disables), mirroring RunCollected.
+func (r *Replay) Collect(tc *telemetry.Collector) {
+	tc.BindChip(r.chip)
+	r.st.tc = tc
 }
 
 // Done reports whether the program is exhausted or a violation occurred.
@@ -67,6 +75,7 @@ func (r *Replay) Step() bool {
 		r.evIdx++
 	}
 	active := pins.ActiveCells(r.chip, r.prog.Cycle(r.cycle))
+	r.st.tc.Frame(r.prog.Cycle(r.cycle))
 	if err := r.st.step(r.cycle, active); err != nil {
 		r.err = err
 		return false

@@ -25,6 +25,7 @@ import (
 	"fppc/internal/obs"
 	"fppc/internal/pins"
 	"fppc/internal/router"
+	"fppc/internal/telemetry"
 )
 
 // Droplet is a body of fluid on the array occupying one cell, or two
@@ -132,12 +133,22 @@ func Run(chip *arch.Chip, prog *pins.Program, events []router.Event) (*Trace, er
 // RunObserved is Run with cycle, droplet-move and interference-check
 // metrics recorded on ob (nil disables).
 func RunObserved(chip *arch.Chip, prog *pins.Program, events []router.Event, ob *obs.Observer) (*Trace, error) {
+	return RunCollected(chip, prog, events, ob, nil)
+}
+
+// RunCollected is RunObserved additionally streaming chip-level
+// execution telemetry — per-electrode actuations, congestion, droplet
+// motion — into tc (nil disables; the hooks then cost one nil check
+// per cycle, pinned by BenchmarkSimTelemetryOff).
+func RunCollected(chip *arch.Chip, prog *pins.Program, events []router.Event, ob *obs.Observer, tc *telemetry.Collector) (*Trace, error) {
 	sp := ob.Span("simulate")
 	sp.ArgInt("cycles", int64(prog.Len()))
 	defer sp.End()
+	tc.BindChip(chip)
 	s := &state{
 		chip:    chip,
 		trace:   &Trace{},
+		tc:      tc,
 		cCycles: ob.Counter("fppc_sim_cycles_total"),
 		cMoves:  ob.Counter("fppc_sim_droplet_moves_total"),
 		cChecks: ob.Counter("fppc_sim_interference_checks_total"),
@@ -154,6 +165,7 @@ func RunObserved(chip *arch.Chip, prog *pins.Program, events []router.Event, ob 
 		}
 		active := pins.ActiveCells(chip, prog.Cycle(cyc))
 		s.cCycles.Inc()
+		s.tc.Frame(prog.Cycle(cyc))
 		if err := s.step(cyc, active); err != nil {
 			return s.finish(cyc), err
 		}
@@ -169,6 +181,7 @@ type state struct {
 	drops  []*Droplet
 	nextID int
 	trace  *Trace
+	tc     *telemetry.Collector // nil when telemetry is off
 
 	// residue records the dominant fluid last deposited on each cell.
 	residue map[grid.Cell]string
@@ -232,7 +245,15 @@ func (s *state) step(cyc int, active map[grid.Cell]bool) error {
 	}
 	s.drops = newDrops
 	s.trackResidue()
-	return s.mergePass(cyc)
+	if err := s.mergePass(cyc); err != nil {
+		return err
+	}
+	if s.tc != nil {
+		for _, d := range s.drops {
+			s.tc.Occupy(d.ID, d.Cells)
+		}
+	}
+	return nil
 }
 
 // trackResidue updates per-cell residue footprints and counts crossings

@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteJSONFile writes the snapshot as indented JSON to path.
+func (s *Snapshot) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteCSV writes the per-electrode wear table as CSV: one row per
+// wired cell (row-major) with its pin, kind, actuation count, duty
+// cycle and droplet-cycle congestion count.
+func (s *Snapshot) WriteCSV(w io.Writer) error {
+	visits := map[CellRef]int64{}
+	for _, c := range s.Congestion.Cells {
+		visits[CellRef{X: c.X, Y: c.Y}] = c.Visits
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"x", "y", "pin", "kind", "actuations", "duty", "droplet_cycles"}); err != nil {
+		return err
+	}
+	for _, e := range s.Electrodes {
+		rec := []string{
+			strconv.Itoa(e.X), strconv.Itoa(e.Y), strconv.Itoa(e.Pin), e.Kind,
+			strconv.FormatInt(e.Actuations, 10),
+			strconv.FormatFloat(e.Duty, 'f', 6, 64),
+			strconv.FormatInt(visits[CellRef{X: e.X, Y: e.Y}], 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the per-electrode wear table to path.
+func (s *Snapshot) WriteCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Summary is the one-line digest the CLIs print: total work, worst
+// wear, and where it concentrates.
+func (s *Snapshot) Summary() string {
+	msg := fmt.Sprintf("telemetry: %d cycles, %d pin activations, %d electrode actuations, max duty %.3f",
+		s.Cycles, s.PinActivations, s.ElectrodeActuations, s.MaxDuty)
+	if len(s.Hottest) > 0 {
+		h := s.Hottest[0]
+		msg += fmt.Sprintf(" (pin %d at (%d,%d))", h.Pin, h.X, h.Y)
+	}
+	return msg
+}

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Grid is a W×H field of intensities for heatmap rendering. V is
+// row-major; NaN marks cells with no electrode (rendered blank) as
+// opposed to electrodes that simply never actuated (rendered cold).
+type Grid struct {
+	W, H int
+	V    []float64
+}
+
+// ActuationGrid returns the per-electrode actuation counts as a
+// renderable grid — the wear heatmap.
+func (s *Snapshot) ActuationGrid() Grid {
+	g := blankGrid(s.Chip.W, s.Chip.H)
+	for _, e := range s.Electrodes {
+		g.V[e.Y*g.W+e.X] = float64(e.Actuations)
+	}
+	return g
+}
+
+// CongestionGrid returns per-cell droplet-cycles as a renderable grid —
+// where droplets spent their time.
+func (s *Snapshot) CongestionGrid() Grid {
+	g := blankGrid(s.Chip.W, s.Chip.H)
+	for _, e := range s.Electrodes {
+		g.V[e.Y*g.W+e.X] = 0
+	}
+	for _, c := range s.Congestion.Cells {
+		g.V[c.Y*g.W+c.X] = float64(c.Visits)
+	}
+	return g
+}
+
+func blankGrid(w, h int) Grid {
+	g := Grid{W: w, H: h, V: make([]float64, w*h)}
+	for i := range g.V {
+		g.V[i] = math.NaN()
+	}
+	return g
+}
+
+// asciiRamp maps normalized intensity to glyphs, coldest to hottest.
+// Zero-intensity electrodes render as '.'; NaN (no electrode) as ' '.
+const asciiRamp = ":-=+*#%@"
+
+// ASCII renders the grid as a character heatmap, one row per line,
+// scaled to the grid's maximum value.
+func (g Grid) ASCII() string {
+	max := g.max()
+	var b strings.Builder
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			v := g.V[y*g.W+x]
+			switch {
+			case math.IsNaN(v):
+				b.WriteByte(' ')
+			case v == 0 || max == 0:
+				b.WriteByte('.')
+			default:
+				i := int(v / max * float64(len(asciiRamp)-1))
+				b.WriteByte(asciiRamp[i])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SVG renders the grid as a scalable heatmap: one 10×10 rect per cell,
+// colored on a white→red ramp, with a tooltip carrying the raw value.
+func (g Grid) SVG() string {
+	const cell = 10
+	max := g.max()
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		g.W*cell, g.H*cell, g.W*cell, g.H*cell)
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="#222"/>`, g.W*cell, g.H*cell)
+	b.WriteByte('\n')
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			v := g.V[y*g.W+x]
+			if math.IsNaN(v) {
+				continue
+			}
+			t := 0.0
+			if max > 0 {
+				t = v / max
+			}
+			// white (cold) to red (hot)
+			gb := int(255 * (1 - t))
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="rgb(255,%d,%d)"><title>(%d,%d): %g</title></rect>`,
+				x*cell, y*cell, cell, cell, gb, gb, x, y, v)
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// max returns the largest non-NaN value in the grid (0 when empty).
+func (g Grid) max() float64 {
+	max := 0.0
+	for _, v := range g.V {
+		if !math.IsNaN(v) && v > max {
+			max = v
+		}
+	}
+	return max
+}

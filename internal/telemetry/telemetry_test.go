@@ -1,0 +1,293 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fppc/internal/arch"
+	"fppc/internal/grid"
+	"fppc/internal/pins"
+)
+
+func testChip(t *testing.T) *arch.Chip {
+	t.Helper()
+	chip, err := arch.NewFPPC(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chip
+}
+
+func TestFrameCountsPinAndElectrodeActuations(t *testing.T) {
+	chip := testChip(t)
+	c := ForChip(chip)
+
+	var prog pins.Program
+	prog.Append(1)
+	prog.Append(1, 2)
+	prog.Append() // idle cycle still counts toward duty denominators
+	for i := 0; i < prog.Len(); i++ {
+		c.Frame(prog.Cycle(i))
+	}
+
+	s := c.Snapshot()
+	if s.Cycles != 3 {
+		t.Fatalf("cycles = %d, want 3", s.Cycles)
+	}
+	if s.PinActivations != 3 {
+		t.Fatalf("pin activations = %d, want 3 (pin 1 twice, pin 2 once)", s.PinActivations)
+	}
+	wantElec := int64(2*len(chip.PinCells(1)) + len(chip.PinCells(2)))
+	if s.ElectrodeActuations != wantElec {
+		t.Fatalf("electrode actuations = %d, want %d", s.ElectrodeActuations, wantElec)
+	}
+	var p1 PinStat
+	for _, p := range s.Pins {
+		if p.Pin == 1 {
+			p1 = p
+		}
+	}
+	if p1.Activations != 2 || p1.Duty <= 0 {
+		t.Fatalf("pin 1 stat = %+v, want 2 activations with positive duty", p1)
+	}
+	if s.MaxDuty <= 0 || s.MaxDuty > 1 {
+		t.Fatalf("max duty = %v, want in (0,1]", s.MaxDuty)
+	}
+}
+
+// TestFrameIgnoresOutOfRangePins mirrors the oracle's tolerance for
+// corrupted frames: telemetry must not panic or misattribute them.
+func TestFrameIgnoresOutOfRangePins(t *testing.T) {
+	chip := testChip(t)
+	c := ForChip(chip)
+	c.Frame(pins.Activation{-3, 0, chip.PinCount() + 7})
+	s := c.Snapshot()
+	if s.PinActivations != 0 {
+		t.Fatalf("pin activations = %d, want 0 for out-of-range pins", s.PinActivations)
+	}
+	if s.Cycles != 1 {
+		t.Fatalf("cycles = %d, want 1", s.Cycles)
+	}
+}
+
+func TestOccupyBuildsCongestionAndTraces(t *testing.T) {
+	chip := testChip(t)
+	c := ForChip(chip)
+	a, b := grid.Cell{X: 1, Y: 1}, grid.Cell{X: 2, Y: 1}
+
+	c.Frame(nil)
+	c.Occupy(7, []grid.Cell{a})
+	c.Frame(nil)
+	c.Occupy(7, []grid.Cell{a}) // hold: no new path entry
+	c.Frame(nil)
+	c.Occupy(7, []grid.Cell{b}) // move: new path entry
+
+	s := c.Snapshot()
+	if len(s.Droplets) != 1 {
+		t.Fatalf("droplets = %d, want 1", len(s.Droplets))
+	}
+	d := s.Droplets[0]
+	if d.ID != 7 || d.Cycles != 3 {
+		t.Fatalf("droplet = %+v, want id 7 over 3 cycles", d)
+	}
+	if len(d.Path) != 2 {
+		t.Fatalf("path has %d footprints, want 2 (appear, move)", len(d.Path))
+	}
+	if d.Path[0].Cycle != 0 || d.Path[1].Cycle != 2 {
+		t.Fatalf("path cycles = %d,%d, want 0,2", d.Path[0].Cycle, d.Path[1].Cycle)
+	}
+	if s.Congestion.MaxVisits != 2 {
+		t.Fatalf("max visits = %d, want 2 (cell a held twice)", s.Congestion.MaxVisits)
+	}
+	var total int64
+	for _, cs := range s.Congestion.Cells {
+		total += cs.Visits
+	}
+	if total != 3 {
+		t.Fatalf("total droplet-cycles = %d, want 3", total)
+	}
+}
+
+func TestModuleTimelineAndRouterStats(t *testing.T) {
+	c := New()
+	c.RouterStall(4)
+	c.RouterStall(2)
+	c.RouterRelocation()
+	s := c.Snapshot()
+	if s.Router.StallCycles != 6 || s.Router.BufferRelocations != 1 {
+		t.Fatalf("router stats = %+v, want 6 stalls, 1 relocation", s.Router)
+	}
+}
+
+func TestHottestRankingAndTopK(t *testing.T) {
+	stats := []ElectrodeStat{
+		{X: 0, Y: 0, Actuations: 1},
+		{X: 1, Y: 0, Actuations: 9},
+		{X: 2, Y: 0, Actuations: 0},
+		{X: 3, Y: 0, Actuations: 5},
+	}
+	got := hottest(stats, 2)
+	if len(got) != 2 || got[0].X != 1 || got[1].X != 3 {
+		t.Fatalf("hottest = %+v, want (1,0) then (3,0)", got)
+	}
+	if all := hottest(stats, 10); len(all) != 3 {
+		t.Fatalf("hottest(10) kept %d, want 3 (zero-actuation cells dropped)", len(all))
+	}
+}
+
+func TestExportJSONAndCSV(t *testing.T) {
+	chip := testChip(t)
+	c := ForChip(chip)
+	c.Frame(pins.Activation{1})
+	c.Occupy(0, []grid.Cell{{X: 1, Y: 1}})
+	s := c.Snapshot()
+
+	var js bytes.Buffer
+	if err := s.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"total_pin_activations": 1`, `"hottest_electrodes"`, `"chip"`} {
+		if !strings.Contains(js.String(), want) {
+			t.Errorf("JSON missing %s", want)
+		}
+	}
+
+	var csv bytes.Buffer
+	if err := s.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if lines[0] != "x,y,pin,kind,actuations,duty,droplet_cycles" {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	if len(lines) != 1+len(s.Electrodes) {
+		t.Fatalf("CSV has %d rows, want %d", len(lines)-1, len(s.Electrodes))
+	}
+
+	if sum := s.Summary(); !strings.Contains(sum, "pin activations") {
+		t.Fatalf("summary = %q", sum)
+	}
+}
+
+func TestExportFiles(t *testing.T) {
+	chip := testChip(t)
+	c := ForChip(chip)
+	c.Frame(pins.Activation{1})
+	s := c.Snapshot()
+	dir := t.TempDir()
+
+	jp := filepath.Join(dir, "snap.json")
+	if err := s.WriteJSONFile(jp); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(jp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.PinActivations != s.PinActivations {
+		t.Errorf("round-trip lost activations: %d != %d", back.PinActivations, s.PinActivations)
+	}
+
+	cp := filepath.Join(dir, "snap.csv")
+	if err := s.WriteCSVFile(cp); err != nil {
+		t.Fatal(err)
+	}
+	csvRaw, err := os.ReadFile(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csvRaw), "x,y,pin,kind,") {
+		t.Errorf("CSV file header wrong: %.40s", csvRaw)
+	}
+
+	// Unwritable paths surface the OS error.
+	if err := s.WriteJSONFile(filepath.Join(dir, "no/such/dir.json")); err == nil {
+		t.Error("WriteJSONFile into a missing directory succeeded")
+	}
+	if err := s.WriteCSVFile(filepath.Join(dir, "no/such/dir.csv")); err == nil {
+		t.Error("WriteCSVFile into a missing directory succeeded")
+	}
+}
+
+func TestBound(t *testing.T) {
+	var nilC *Collector
+	if nilC.Bound() {
+		t.Error("nil collector reports bound")
+	}
+	c := New()
+	if c.Bound() {
+		t.Error("unbound collector reports bound")
+	}
+	c.BindChip(testChip(t))
+	if !c.Bound() {
+		t.Error("bound collector reports unbound")
+	}
+	// AttachSchedule is nil-safe on both receiver and argument.
+	nilC.AttachSchedule(nil)
+	c.AttachSchedule(nil)
+}
+
+// TestHooksDisabledZeroAllocs pins the obs discipline: a nil collector
+// and an unbound collector cost zero allocations on every hot-path
+// hook, so instrumented loops pay nothing when telemetry is off.
+func TestHooksDisabledZeroAllocs(t *testing.T) {
+	act := pins.Activation{1, 2, 3}
+	cells := []grid.Cell{{X: 1, Y: 1}}
+	var nilC *Collector
+	unbound := New()
+	for name, c := range map[string]*Collector{"nil": nilC, "unbound": unbound} {
+		c := c
+		if n := testing.AllocsPerRun(100, func() {
+			c.Frame(act)
+			c.Occupy(0, cells)
+			c.RouterStall(3)
+			c.RouterRelocation()
+			c.BindChip(nil)
+			c.Cycles()
+		}); n != 0 {
+			t.Errorf("%s collector hooks allocate %v per run, want 0", name, n)
+		}
+	}
+}
+
+func TestNilCollectorSnapshot(t *testing.T) {
+	var c *Collector
+	s := c.Snapshot()
+	if s == nil || s.Cycles != 0 {
+		t.Fatalf("nil collector snapshot = %+v", s)
+	}
+}
+
+func TestBindChipResetsOnNewChip(t *testing.T) {
+	chipA := testChip(t)
+	chipB, err := arch.NewFPPC(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ForChip(chipA)
+	c.Frame(pins.Activation{1})
+	c.RouterStall(5)
+	c.BindChip(chipA) // idempotent: same chip keeps counts
+	if c.Cycles() != 1 {
+		t.Fatalf("rebind to same chip reset cycles to %d", c.Cycles())
+	}
+	c.BindChip(chipB) // new chip resets per-cell state, keeps router scalars
+	s := c.Snapshot()
+	if s.Cycles != 0 || s.PinActivations != 0 {
+		t.Fatalf("rebind kept per-cell state: %+v", s)
+	}
+	if s.Router.StallCycles != 5 {
+		t.Fatalf("rebind dropped router scalars: %+v", s.Router)
+	}
+	if s.Chip.H != chipB.H {
+		t.Fatalf("snapshot chip = %+v, want height %d", s.Chip, chipB.H)
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestParseBench(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: fppc/internal/sim
+BenchmarkSimTelemetryOff-8   	    2286	    506732 ns/op	  138392 B/op	    1525 allocs/op
+BenchmarkSimTelemetryOn-8    	    1879	    638543 ns/op	  240576 B/op	    2014 allocs/op
+BenchmarkNoMem               	  100000	     10500 ns/op
+PASS
+ok  	fppc/internal/sim	3.292s
+`
+	got := parseBench("./internal/sim", out)
+	if len(got) != 3 {
+		t.Fatalf("parsed %d lines, want 3", len(got))
+	}
+	first := got[0]
+	if first.Package != "internal/sim" || first.Name != "BenchmarkSimTelemetryOff" {
+		t.Errorf("identity = %q %q", first.Package, first.Name)
+	}
+	if first.Iterations != 2286 || first.NsPerOp != 506732 || first.BytesPerOp != 138392 || first.AllocsPerOp != 1525 {
+		t.Errorf("values = %+v", first)
+	}
+	// Lines without -benchmem columns parse with zero memory stats.
+	if got[2].Name != "BenchmarkNoMem" || got[2].BytesPerOp != 0 || got[2].AllocsPerOp != 0 {
+		t.Errorf("memless line = %+v", got[2])
+	}
+}
+
+func TestParseBenchIgnoresNoise(t *testing.T) {
+	if got := parseBench("./x", "PASS\nok x 1.0s\n--- FAIL: TestY\n"); len(got) != 0 {
+		t.Errorf("parsed noise: %+v", got)
+	}
+}
