@@ -43,7 +43,9 @@ cover:
 cover-update:
 	sh scripts/coverage.sh -update
 
-# golden regenerates the oracle's golden traces; CI fails if the result
+# golden regenerates the golden corpora — the oracle's pristine traces
+# and the degraded-chip (fault-aware) compiles; CI fails if the result
 # differs from what is checked in.
 golden:
 	$(GO) test ./internal/oracle -run TestGoldenTraces -update
+	$(GO) test ./internal/faults -run TestGoldenDegraded -update

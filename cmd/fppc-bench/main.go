@@ -8,6 +8,8 @@
 //	fppc-bench -table 3 -dispense 2   # section 5.2 dispense ablation
 //	fppc-bench -markdown         # all tables as Markdown with paper values
 //	fppc-bench -table 0          # everything (default)
+//	fppc-bench -faults 3         # chaos campaign: random hardware faults
+//	                             # over every benchmark, zero tolerated misses
 package main
 
 import (
@@ -24,6 +26,8 @@ import (
 
 	"fppc/internal/assays"
 	"fppc/internal/bench"
+	"fppc/internal/core"
+	"fppc/internal/faults"
 	"fppc/internal/obs"
 	"fppc/internal/report"
 	"fppc/internal/telemetry"
@@ -49,6 +53,9 @@ func run(args []string, out io.Writer) error {
 	timeout := fs.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 	verify := fs.Bool("verify", false, "run the independent oracle over the Table 1 suite before reporting")
 	telemetryDir := fs.String("telemetry-dir", "", "collect chip telemetry for the Table 1 FPPC runs and write per-benchmark snapshot JSONs into this directory")
+	faultMax := fs.Int("faults", 0, "run the chaos campaign before reporting: up to N random hardware faults per set over every Table 1 benchmark (0 = off)")
+	faultRuns := fs.Int("fault-runs", 3, "fault sets per benchmark for -faults")
+	faultSeed := fs.Int64("fault-seed", 1, "random seed for -faults")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,6 +71,25 @@ func run(args []string, out io.Writer) error {
 		ob = obs.New()
 	}
 	tm := assays.DefaultTiming()
+	if *faultMax > 0 {
+		res, err := faults.Campaign(assays.Table1Benchmarks(tm), faults.CampaignConfig{
+			Target:    core.TargetFPPC,
+			Runs:      *faultRuns,
+			MaxFaults: *faultMax,
+			AllowDead: true,
+			Seed:      *faultSeed,
+		})
+		if err != nil {
+			return fmt.Errorf("fault campaign: %w", err)
+		}
+		for _, r := range res.Runs {
+			fmt.Fprintf(out, "chaos: %-18s %-15s %s\n", r.Assay, r.Outcome, r.Faults)
+		}
+		fmt.Fprintf(out, "chaos campaign: %s\n", res.Summary())
+		if res.Missed > 0 {
+			return fmt.Errorf("fault campaign: %d runs MISSED a hardware fault", res.Missed)
+		}
+	}
 	if *verify {
 		if err := bench.VerifyTable1(ctx, tm); err != nil {
 			return err

@@ -146,3 +146,22 @@ func TestRunTimeoutAbortsWithTypedError(t *testing.T) {
 		t.Errorf("error %v is not a *fppc.CompileCanceledError", err)
 	}
 }
+
+func TestRunChaosCampaign(t *testing.T) {
+	var out strings.Builder
+	// -table 2 keeps the post-campaign report small; one fault set per
+	// benchmark keeps the campaign itself a few seconds.
+	if err := run([]string{"-faults", "1", "-fault-runs", "1", "-table", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if strings.Count(s, "chaos: ") != 13 {
+		t.Errorf("expected 13 chaos run lines:\n%s", s)
+	}
+	if !strings.Contains(s, "chaos campaign: 13 runs") {
+		t.Errorf("campaign summary missing:\n%s", s)
+	}
+	if !strings.Contains(s, "0 missed") {
+		t.Errorf("campaign summary does not report zero missed:\n%s", s)
+	}
+}

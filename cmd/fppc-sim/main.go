@@ -10,6 +10,7 @@
 //	fppc-sim -assay protein2 -rotations 12
 //	fppc-sim -assay invitro1 -watch 25   # ASCII frames every 25 cycles
 //	fppc-sim -assay pcr -telemetry t.json -heatmap   # chip wear telemetry
+//	fppc-sim -assay pcr -inject "open@5,2;dead#7" -verify   # degraded chip
 //
 // Every observability flag composes with every other: -verify replays
 // the same program through the independent oracle after the simulator
@@ -53,6 +54,7 @@ func run(args []string, out io.Writer) error {
 	telemetryCSV := fs.String("telemetry-csv", "", "write per-electrode telemetry as CSV")
 	heatmap := fs.Bool("heatmap", false, "print an ASCII electrode-actuation heatmap after the replay")
 	heatmapSVG := fs.String("heatmap-svg", "", "write the actuation heatmap as an SVG file")
+	inject := fs.String("inject", "", `declare hardware faults ("open@x,y;closed@x,y;dead#pin"): the compiler synthesizes around them and the replay injects them`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,6 +62,13 @@ func run(args []string, out io.Writer) error {
 	assay, err := builtin(*name)
 	if err != nil {
 		return err
+	}
+	var faultSet *fppc.FaultSet
+	if *inject != "" {
+		faultSet, err = fppc.ParseFaultSpec(*inject)
+		if err != nil {
+			return err
+		}
 	}
 	var ob *fppc.Observer
 	if *traceOut != "" || *metricsOut != "" {
@@ -69,18 +78,33 @@ func run(args []string, out io.Writer) error {
 	if *telemetryOut != "" || *telemetryCSV != "" || *heatmap || *heatmapSVG != "" {
 		tc = fppc.NewTelemetryCollector()
 	}
-	res, err := fppc.Compile(assay, fppc.Config{
+	if faultSet != nil && *watch > 0 {
+		return fmt.Errorf("-watch does not compose with -inject (the stepwise replay has no injector)")
+	}
+	cfg := fppc.Config{
 		Target:     fppc.TargetFPPC,
 		FPPCHeight: *height,
 		AutoGrow:   true,
 		Router:     fppc.RouterOptions{EmitProgram: true, RotationsPerStep: *rotations, Telemetry: tc},
 		Obs:        ob,
-	})
+	}
+	cfg = fppc.WithFaults(cfg, faultSet)
+	res, err := fppc.Compile(assay, cfg)
 	if err != nil {
 		return err
 	}
 	tc.AttachSchedule(res.Schedule)
 	fmt.Fprintln(out, res.Summary())
+	if faultSet != nil {
+		disabled := 0
+		for _, m := range res.Chip.Modules() {
+			if m.Disabled {
+				disabled++
+			}
+		}
+		fmt.Fprintf(out, "faults: %s (%d declared, %d module slots disabled, replay injected)\n",
+			faultSet, faultSet.Len(), disabled)
+	}
 	fmt.Fprintf(out, "program: %d cycles, %d reservoir events\n",
 		res.Routing.Program.Len(), len(res.Routing.Events))
 
@@ -99,7 +123,7 @@ func run(args []string, out io.Writer) error {
 		}
 		trace = replay.Trace()
 	} else {
-		trace, err = fppc.SimulateCollected(res.Chip, res.Routing.Program, res.Routing.Events, ob, tc)
+		trace, err = fppc.SimulateInjected(res.Chip, res.Routing.Program, res.Routing.Events, ob, tc, faultSet)
 		if err != nil {
 			return fmt.Errorf("simulation FAILED: %w", err)
 		}
@@ -124,7 +148,12 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "verified: every operation executed, volume conserved (%.1f in = %.1f out)\n",
 		trace.VolumeIn, trace.VolumeOut)
 	if *verify {
-		rep, err := fppc.VerifyCompiled(res, fppc.OracleOptions{})
+		var opts fppc.OracleOptions
+		if faultSet != nil {
+			opts.Faults = faultSet
+			opts.KnownFaults = true
+		}
+		rep, err := fppc.VerifyCompiled(res, opts)
 		if err != nil {
 			for _, v := range rep.Violations {
 				fmt.Fprintf(out, "oracle violation: %v\n", v)

@@ -178,3 +178,31 @@ func TestRunUnknownAssay(t *testing.T) {
 		t.Errorf("unknown assay accepted")
 	}
 }
+
+func TestRunInjectedFaults(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-assay", "pcr", "-inject", "open@5,2;closed@9,4", "-verify"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"faults: open@5,2;closed@9,4 (2 declared",
+		"replay injected",
+		"verified: every operation executed",
+		"oracle: independent replay agrees",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunInjectErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-assay", "pcr", "-inject", "bogus@1,2"}, &out); err == nil {
+		t.Error("malformed fault spec accepted")
+	}
+	if err := run([]string{"-assay", "pcr", "-inject", "open@5,2", "-watch", "10"}, &out); err == nil {
+		t.Error("-watch with -inject accepted")
+	}
+}

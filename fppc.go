@@ -34,6 +34,7 @@ import (
 	"fppc/internal/core"
 	"fppc/internal/ctrl"
 	"fppc/internal/dag"
+	"fppc/internal/faults"
 	"fppc/internal/grid"
 	"fppc/internal/obs"
 	"fppc/internal/oracle"
@@ -361,6 +362,104 @@ func SweepMutations(res *Result, opts OracleOptions, sample int, rng *rand.Rand)
 // content-derived node order; compiling canonical forms makes the
 // pipeline invariant to how the caller numbered the DAG.
 func CanonicalAssay(a *Assay) (*Assay, error) { return a.Canonical() }
+
+// Hardware fault model and chaos harness.
+type (
+	// FaultSet is an immutable set of declared hardware defects
+	// (stuck-open/stuck-closed electrodes, dead pin drivers). It plugs
+	// into Config.Faults for fault-aware resynthesis, into
+	// SimulateInjected for degraded replays, and into
+	// OracleOptions.Faults for fault-aware verification.
+	FaultSet = faults.Set
+	// Fault is one declared hardware defect.
+	Fault = faults.Fault
+	// FaultKind classifies a hardware defect.
+	FaultKind = faults.Kind
+	// FaultConflictError rejects a cell declared both stuck-open and
+	// stuck-closed.
+	FaultConflictError = faults.ConflictError
+	// FaultCampaignConfig parameterizes a chaos campaign.
+	FaultCampaignConfig = faults.CampaignConfig
+	// FaultCampaignResult aggregates a chaos campaign's classified runs.
+	FaultCampaignResult = faults.CampaignResult
+	// FaultRunReport is one classified chaos run.
+	FaultRunReport = faults.RunReport
+	// FaultOutcome classifies a chaos run (masked, resynthesized,
+	// unsynthesizable, missed).
+	FaultOutcome = faults.Outcome
+	// UnsynthesizableError is the typed failure of a degraded-chip
+	// compile: the fixed-size chip with its declared faults cannot host
+	// the assay.
+	UnsynthesizableError = core.ErrUnsynthesizable
+)
+
+// Hardware fault kinds.
+const (
+	FaultStuckOpen   = faults.StuckOpen
+	FaultStuckClosed = faults.StuckClosed
+	FaultDeadPin     = faults.DeadPin
+)
+
+// Chaos-run outcomes.
+const (
+	FaultMasked          = faults.Masked
+	FaultResynthesized   = faults.Resynthesized
+	FaultUnsynthesizable = faults.Unsynthesizable
+	FaultMissed          = faults.Missed
+)
+
+// NewFaultSet builds a fault set, rejecting contradictory declarations
+// with a *FaultConflictError.
+func NewFaultSet(fs ...Fault) (*FaultSet, error) { return faults.New(fs...) }
+
+// ParseFaultSpec parses the CLI/service fault syntax:
+// "open@x,y;closed@x,y;dead#pin".
+func ParseFaultSpec(spec string) (*FaultSet, error) { return faults.ParseSpec(spec) }
+
+// FaultsFromWear derives a degradation fault set from a telemetry
+// snapshot: electrodes at or above the duty threshold are declared
+// stuck-open (dielectric wear-out).
+func FaultsFromWear(snap *TelemetrySnapshot, threshold float64) (*FaultSet, error) {
+	return faults.FromWear(snap, threshold)
+}
+
+// RandomFaultSet draws n distinct random faults on the chip.
+func RandomFaultSet(rng *rand.Rand, chip *Chip, n int, allowDead bool) (*FaultSet, error) {
+	return faults.RandomSet(rng, chip, n, allowDead)
+}
+
+// WithFaults returns a copy of cfg that synthesizes around the fault
+// set: faulted module slots are excluded, routes avoid dead cells, and
+// failures surface as *UnsynthesizableError (auto-grow is vetoed — a
+// fault set describes one physical chip).
+func WithFaults(cfg Config, set *FaultSet) Config {
+	cfg.Faults = set
+	return cfg
+}
+
+// SimulateInjected replays a compiled program on faulted hardware: the
+// fault set perturbs each cycle's energized-electrode frame before the
+// droplet physics runs.
+func SimulateInjected(chip *Chip, prog *PinProgram, events []ReservoirEvent, ob *Observer, tc *TelemetryCollector, set *FaultSet) (*SimTrace, error) {
+	var inj sim.Injector
+	if set != nil {
+		inj = set
+	}
+	return sim.RunInjected(chip, prog, events, ob, tc, inj)
+}
+
+// ClassifyFault runs the full chaos check for one assay and fault set:
+// compile pristine, inject, detect, resynthesize when detected.
+func ClassifyFault(a *Assay, target Target, set *FaultSet) (FaultRunReport, error) {
+	return faults.Classify(a, target, set)
+}
+
+// FaultCampaign sweeps randomized fault sets over the benchmark assays,
+// classifying every run (the chaos harness; a missed run means a fault
+// corrupted an assay without any verification layer noticing).
+func FaultCampaign(benchmarks []*Assay, cfg FaultCampaignConfig) (*FaultCampaignResult, error) {
+	return faults.Campaign(benchmarks, cfg)
+}
 
 // CycleSeconds is the electrode actuation period (10 ms at 100 Hz).
 const CycleSeconds = router.CycleSeconds

@@ -1,0 +1,176 @@
+package fppc_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fppc"
+)
+
+// TestPublicFaultSpecAndSets exercises the fault-declaration surface the
+// way a lab tool would: parse the CLI syntax, build sets directly, and
+// hit the conflict rejection.
+func TestPublicFaultSpecAndSets(t *testing.T) {
+	set, err := fppc.ParseFaultSpec("open@5,2; dead#7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 2 || set.String() != "open@5,2;dead#7" {
+		t.Errorf("parsed set = %q (len %d)", set, set.Len())
+	}
+	cell := fppc.Cell{X: 3, Y: 4}
+	if _, err := fppc.NewFaultSet(
+		fppc.Fault{Kind: fppc.FaultStuckOpen, Cell: cell},
+		fppc.Fault{Kind: fppc.FaultStuckClosed, Cell: cell},
+	); err == nil {
+		t.Fatal("contradictory fault set accepted")
+	} else {
+		var ce *fppc.FaultConflictError
+		if !errors.As(err, &ce) {
+			t.Errorf("conflict error not typed: %v", err)
+		}
+	}
+
+	chip, err := fppc.NewFPPCChip(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := fppc.RandomFaultSet(rand.New(rand.NewSource(11)), chip, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rnd.Len() != 3 {
+		t.Errorf("random set has %d faults, want 3", rnd.Len())
+	}
+}
+
+// TestPublicDegradedCompile runs the whole degraded-chip story through
+// the facade: compile around declared faults, replay with injection, and
+// verify with the known-fault oracle. It also derives a wear-based fault
+// set from the replay's telemetry.
+func TestPublicDegradedCompile(t *testing.T) {
+	chip, err := fppc.NewFPPCChip(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := fppc.NewFaultSet(fppc.Fault{Kind: fppc.FaultStuckOpen, Cell: chip.MixModules[0].Hold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fppc.Config{
+		Target: fppc.TargetFPPC,
+		Router: fppc.RouterOptions{EmitProgram: true, RotationsPerStep: 1},
+	}
+	res, err := fppc.CompileContext(context.Background(), fppc.PCR(fppc.DefaultTiming()), fppc.WithFaults(cfg, set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := fppc.NewTelemetryCollector()
+	trace, err := fppc.SimulateInjected(res.Chip, res.Routing.Program, res.Routing.Events, nil, tc, set)
+	if err != nil {
+		t.Fatalf("injected replay failed: %v", err)
+	}
+	if trace.Outputs == 0 {
+		t.Error("degraded replay produced no outputs")
+	}
+	if _, err := fppc.VerifyCompiled(res, fppc.OracleOptions{Faults: set, KnownFaults: true}); err != nil {
+		t.Fatalf("known-fault oracle rejected the degraded program: %v", err)
+	}
+
+	// Wear-derived degradation: an impossible duty threshold yields an
+	// empty set, a non-positive one is rejected.
+	worn, err := fppc.FaultsFromWear(tc.Snapshot(), 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worn.Len() != 0 {
+		t.Errorf("duty > 200%% matched %d electrodes", worn.Len())
+	}
+	if _, err := fppc.FaultsFromWear(tc.Snapshot(), 0); err == nil {
+		t.Error("non-positive wear threshold accepted")
+	}
+
+	// A nil set composes: SimulateInjected degenerates to Simulate.
+	if _, err := fppc.SimulateInjected(res.Chip, res.Routing.Program, res.Routing.Events, nil, nil, nil); err != nil {
+		t.Fatalf("nil-set injection failed: %v", err)
+	}
+}
+
+// TestPublicChaosHarness drives classification and a miniature campaign
+// through the facade.
+func TestPublicChaosHarness(t *testing.T) {
+	tm := fppc.DefaultTiming()
+	chip, err := fppc.NewFPPCChip(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := fppc.NewFaultSet(fppc.Fault{Kind: fppc.FaultStuckOpen, Cell: chip.MixModules[0].Hold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fppc.ClassifyFault(fppc.PCR(tm), fppc.TargetFPPC, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcome == fppc.FaultMissed {
+		t.Fatalf("fault missed: %+v", rep)
+	}
+
+	res, err := fppc.FaultCampaign(
+		[]*fppc.Assay{fppc.PCR(tm), fppc.InVitroN(1, tm)},
+		fppc.FaultCampaignConfig{Target: fppc.TargetFPPC, Runs: 1, MaxFaults: 1, Seed: 5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 2 || res.Missed != 0 {
+		t.Fatalf("campaign = %s", res.Summary())
+	}
+}
+
+// TestPublicVerificationSurface covers the facade's verification and
+// observability one-liners end to end: observed/collected replays, the
+// raw oracle, cross-target equivalence, and the mutation sweep.
+func TestPublicVerificationSurface(t *testing.T) {
+	tm := fppc.DefaultTiming()
+	canon, err := fppc.CanonicalAssay(fppc.PCR(tm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob := fppc.NewObserver()
+	cfg := fppc.WithObserver(fppc.Config{
+		Target: fppc.TargetFPPC,
+		Router: fppc.RouterOptions{EmitProgram: true, RotationsPerStep: 1},
+	}, ob)
+	res, err := fppc.Compile(canon, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fppc.SimulateObserved(res.Chip, res.Routing.Program, res.Routing.Events, ob); err != nil {
+		t.Fatal(err)
+	}
+	tc := fppc.NewTelemetryCollector()
+	if _, err := fppc.SimulateCollected(res.Chip, res.Routing.Program, res.Routing.Events, ob, tc); err != nil {
+		t.Fatal(err)
+	}
+	rep := fppc.VerifyProgram(res.Chip, res.Routing.Program, res.Routing.Events, fppc.OracleOptions{})
+	if !rep.Ok() {
+		t.Fatalf("oracle rejected a pristine program: %v", rep.Violations)
+	}
+	da, err := fppc.Compile(fppc.PCR(tm), fppc.Config{Target: fppc.TargetDA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fppc.AssayEquivalence(res, da); err != nil {
+		t.Errorf("FPPC and DA compilations not equivalent: %v", err)
+	}
+	sweep, err := fppc.SweepMutations(res, fppc.OracleOptions{}, 4, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.Total == 0 {
+		t.Error("mutation sweep injected nothing")
+	}
+}

@@ -425,3 +425,65 @@ func TestCellKindString(t *testing.T) {
 		t.Errorf("ArchKind names collide")
 	}
 }
+
+func TestFilterAttach(t *testing.T) {
+	c, err := NewFPPC(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inBefore, outBefore := len(c.inputAttach), len(c.outputAttach)
+	drop := c.inputAttach[0]
+	c.FilterAttach(func(cell grid.Cell) bool { return cell != drop })
+	if len(c.inputAttach) != inBefore-1 {
+		t.Errorf("input attach points = %d, want %d", len(c.inputAttach), inBefore-1)
+	}
+	if len(c.outputAttach) != outBefore {
+		t.Errorf("output attach points shrank: %d -> %d", outBefore, len(c.outputAttach))
+	}
+	// The dropped cell can no longer host a port.
+	if err := c.PlacePorts(map[string]int{"sample": 1}, []string{"waste"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range c.Ports {
+		if p.Cell == drop {
+			t.Errorf("port placed on the filtered cell %v", drop)
+		}
+	}
+	// Losing every attach point makes port placement fail.
+	c.FilterAttach(func(grid.Cell) bool { return false })
+	if err := c.PlacePorts(map[string]int{"sample": 1}, nil); err == nil {
+		t.Error("PlacePorts succeeded with no attach points left")
+	}
+}
+
+func TestLimitDetectors(t *testing.T) {
+	c, err := NewFPPC(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(mods []*Module) int {
+		n := 0
+		for _, m := range mods {
+			if m.Detector {
+				n++
+			}
+		}
+		return n
+	}
+	c.LimitDetectors(1)
+	if got := count(c.SSDModules); got != 1 {
+		t.Errorf("FPPC detectors = %d, want 1", got)
+	}
+	c.LimitDetectors(-1)
+	if got := count(c.SSDModules); got != len(c.SSDModules) {
+		t.Errorf("detectors = %d, want all %d", got, len(c.SSDModules))
+	}
+	d, err := NewDA(15, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.LimitDetectors(2)
+	if got := count(d.WorkMods); got != 2 {
+		t.Errorf("DA detectors = %d, want 2", got)
+	}
+}

@@ -94,6 +94,12 @@ type Module struct {
 	Hold grid.Cell // cell a stored droplet parks on
 	IO   grid.Cell // dedicated entry/exit electrode
 	Bus  grid.Cell // transport-bus cell adjacent to IO
+
+	// Disabled marks a module the synthesis flow must not bind operations
+	// to — set by fault-aware compilation when a hardware defect makes any
+	// of the module's cells unusable (see internal/faults). The electrodes
+	// stay wired; only scheduling and routing treat the slot as absent.
+	Disabled bool
 }
 
 // LoopCells returns the 8 cells of a mix module's rotation loop in
@@ -271,6 +277,24 @@ func (c *Chip) PlacePorts(inputs map[string]int, outputs []string) error {
 		out++
 	}
 	return nil
+}
+
+// FilterAttach drops every reservoir attach point rejected by keep,
+// modeling perimeter electrodes lost to hardware faults: a dispense ring
+// whose attach cell cannot actuate can no longer host a port. Call
+// before PlacePorts; already-placed ports are not revisited.
+func (c *Chip) FilterAttach(keep func(grid.Cell) bool) {
+	filter := func(cells []grid.Cell) []grid.Cell {
+		out := cells[:0]
+		for _, cell := range cells {
+			if keep(cell) {
+				out = append(out, cell)
+			}
+		}
+		return out
+	}
+	c.inputAttach = filter(c.inputAttach)
+	c.outputAttach = filter(c.outputAttach)
 }
 
 // LimitDetectors equips only the first n SSD (or DA work) modules with

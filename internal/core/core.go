@@ -15,6 +15,7 @@ import (
 
 	"fppc/internal/arch"
 	"fppc/internal/dag"
+	"fppc/internal/grid"
 	"fppc/internal/obs"
 	"fppc/internal/router"
 	"fppc/internal/scheduler"
@@ -74,7 +75,31 @@ type Config struct {
 	// default) disables observation; the instrumented paths then cost
 	// only nil checks.
 	Obs *obs.Observer
+
+	// Faults declares hardware defects the flow must synthesize around
+	// (the canonical implementation is faults.Set). When non-nil and
+	// non-empty, the chip is restricted before port placement — faulted
+	// module slots are disabled, lost reservoir rings pruned — the router
+	// refuses to path droplets through blocked cells, and AutoGrow is
+	// ignored: a fault set describes one physical chip at fixed
+	// coordinates, so there is no larger chip to fall back to. Failures
+	// surface as *ErrUnsynthesizable.
+	Faults FaultModel
 }
+
+// FaultModel is core's view of a hardware fault set. Restrict mutates
+// the freshly built chip to reflect the faults (disabling modules,
+// pruning reservoir attach points) and rejects faults that do not name
+// real electrodes or pins; Blocked reports cells the router must not
+// path droplets through; Len counts declared faults.
+type FaultModel interface {
+	Len() int
+	Restrict(chip *arch.Chip) error
+	Blocked(chip *arch.Chip, cell grid.Cell) bool
+}
+
+// faulted reports whether the config carries a non-empty fault set.
+func (c Config) faulted() bool { return c.Faults != nil && c.Faults.Len() > 0 }
 
 // Result is a compiled assay.
 type Result struct {
@@ -154,6 +179,25 @@ func (e *ErrChipExhausted) Error() string {
 }
 
 func (e *ErrChipExhausted) Unwrap() error { return e.Err }
+
+// ErrUnsynthesizable reports that the degraded chip — the configured
+// size with Config.Faults applied — cannot host the assay: too few
+// working module slots, a lost reservoir ring, or no fault-free route.
+// It wraps the underlying stage failure. The service layer maps this to
+// HTTP 422 with kind "unsynthesizable".
+type ErrUnsynthesizable struct {
+	Assay  string
+	Target Target
+	Faults int // declared fault count
+	Err    error
+}
+
+func (e *ErrUnsynthesizable) Error() string {
+	return fmt.Sprintf("core: %s is unsynthesizable on the degraded %s chip (%d faults): %v",
+		e.Assay, e.Target, e.Faults, e.Err)
+}
+
+func (e *ErrUnsynthesizable) Unwrap() error { return e.Err }
 
 // ErrCanceled reports a compilation aborted by its context: the deadline
 // expired or the caller canceled. Err is the context's error
@@ -238,6 +282,9 @@ func compileFPPC(ctx context.Context, a *dag.Assay, cfg Config) (*Result, error)
 		if err == nil {
 			return res, nil
 		}
+		if cfg.faulted() {
+			return nil, unsynthesizable(a, cfg, err)
+		}
 		if !cfg.AutoGrow || !insufficient(err) {
 			return nil, err
 		}
@@ -272,6 +319,9 @@ func compileDA(ctx context.Context, a *dag.Assay, cfg Config) (*Result, error) {
 		if err == nil {
 			return res, nil
 		}
+		if cfg.faulted() {
+			return nil, unsynthesizable(a, cfg, err)
+		}
 		if !cfg.AutoGrow || !insufficient(err) {
 			return nil, err
 		}
@@ -295,6 +345,14 @@ func insufficient(err error) bool {
 	return errors.As(err, &ir)
 }
 
+// unsynthesizable wraps a degraded-chip compilation failure in the typed
+// error and counts it. Context aborts pass through the wrapper's Unwrap
+// chain, so CompileContext still converts them to *ErrCanceled.
+func unsynthesizable(a *dag.Assay, cfg Config, err error) error {
+	cfg.Obs.Counter("fppc_compile_unsynthesizable_total").Inc()
+	return &ErrUnsynthesizable{Assay: a.Name, Target: cfg.Target, Faults: cfg.Faults.Len(), Err: err}
+}
+
 type scheduleFn func(context.Context, *dag.Assay, *arch.Chip, *obs.Observer) (*scheduler.Schedule, error)
 
 // stage runs fn under a span named name on the chip-attempt observer and
@@ -316,6 +374,15 @@ func compileOn(ctx context.Context, a *dag.Assay, chip *arch.Chip, cfg Config, s
 	if cfg.DetectorCount > 0 {
 		chip.LimitDetectors(cfg.DetectorCount)
 	}
+	if cfg.faulted() {
+		// Restriction must precede port placement: a faulted perimeter
+		// cell takes its reservoir attach point with it.
+		if err := stage(ob, "restrict", chip, func() error {
+			return cfg.Faults.Restrict(chip)
+		}); err != nil {
+			return nil, fmt.Errorf("core: fault restriction on %s: %w", chip.Name, err)
+		}
+	}
 	if err := stage(ob, "place_ports", chip, func() error {
 		return placePorts(chip, a, cfg.SingleOutputPort)
 	}); err != nil {
@@ -334,6 +401,9 @@ func compileOn(ctx context.Context, a *dag.Assay, chip *arch.Chip, cfg Config, s
 	}
 	opts := cfg.Router
 	opts.Obs = ob
+	if cfg.faulted() {
+		opts.Avoid = func(c grid.Cell) bool { return cfg.Faults.Blocked(chip, c) }
+	}
 	var routing *router.Result
 	if err := stage(ob, "route", chip, func() error {
 		var err error

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"fppc/internal/arch"
+	"fppc/internal/assays"
+	"fppc/internal/grid"
+)
+
+// stubFaults is a minimal FaultModel for exercising core's fault wiring
+// without importing internal/faults (which would cycle back into core).
+type stubFaults struct {
+	n           int
+	restrictErr error
+}
+
+func (s stubFaults) Len() int                           { return s.n }
+func (s stubFaults) Restrict(*arch.Chip) error          { return s.restrictErr }
+func (s stubFaults) Blocked(*arch.Chip, grid.Cell) bool { return false }
+
+// A fault restriction the chip cannot absorb surfaces as the typed
+// *ErrUnsynthesizable on both targets, and auto-grow is vetoed: the
+// fault set describes one physical chip, so there is no larger array to
+// retry on.
+func TestFaultedCompileUnsynthesizable(t *testing.T) {
+	a := assays.PCR(assays.DefaultTiming())
+	for _, target := range []Target{TargetFPPC, TargetDA} {
+		_, err := Compile(a.Clone(), Config{
+			Target:   target,
+			AutoGrow: true,
+			Faults:   stubFaults{n: 2, restrictErr: fmt.Errorf("ring lost")},
+		})
+		var uns *ErrUnsynthesizable
+		if !errors.As(err, &uns) {
+			t.Fatalf("%v: error not typed: %v", target, err)
+		}
+		if uns.Faults != 2 || uns.Target != target {
+			t.Errorf("%v: wrong metadata in %+v", target, uns)
+		}
+		if !strings.Contains(uns.Error(), "unsynthesizable") || !strings.Contains(uns.Error(), "ring lost") {
+			t.Errorf("%v: unhelpful message %q", target, uns.Error())
+		}
+		if uns.Unwrap() == nil {
+			t.Errorf("%v: wrapped cause lost", target)
+		}
+	}
+}
+
+// A zero-length fault model is a no-op: Config.faulted() gates all
+// restriction work, so compilation proceeds exactly as pristine.
+func TestEmptyFaultModelIsPristine(t *testing.T) {
+	a := assays.PCR(assays.DefaultTiming())
+	res, err := Compile(a, Config{
+		Target: TargetFPPC,
+		Faults: stubFaults{n: 0, restrictErr: fmt.Errorf("must never be called")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Makespan <= 0 {
+		t.Errorf("implausible makespan %d", res.Schedule.Makespan)
+	}
+}
+
+// The typed pipeline errors must render every field a caller diagnoses
+// with and expose their cause through Unwrap.
+func TestTypedErrorRendering(t *testing.T) {
+	cause := fmt.Errorf("no slot")
+	ex := &ErrChipExhausted{Assay: "pcr", Target: TargetFPPC, LastW: 12, LastH: 29, Attempts: 5, Err: cause}
+	if !strings.Contains(ex.Error(), "5 sizes tried") || !strings.Contains(ex.Error(), "12x29") {
+		t.Errorf("exhausted message %q", ex.Error())
+	}
+	if !errors.Is(ex, cause) {
+		t.Error("ErrChipExhausted hides its cause")
+	}
+	ca := &ErrCanceled{Assay: "pcr", Target: TargetDA, Err: fmt.Errorf("deadline")}
+	if !strings.Contains(ca.Error(), "canceled") {
+		t.Errorf("canceled message %q", ca.Error())
+	}
+}

@@ -1,0 +1,23 @@
+package faults
+
+import (
+	"testing"
+)
+
+// FuzzFaultCampaign is the native fuzz target over the chaos invariant:
+// any random well-formed assay under any random 1-3 fault set must
+// compile, inject and classify without a panic, and the outcome must
+// never be missed — no injected fault silently corrupts an assay. A
+// pinned corpus of 100+ seeds lives under testdata/fuzz/ so every `go
+// test` run replays them; `go test -fuzz=FuzzFaultCampaign
+// ./internal/faults` explores beyond it.
+func FuzzFaultCampaign(f *testing.F) {
+	for _, seed := range []int64{1, 7, 42, 1000, 31337} {
+		f.Add(seed, 10, 2)
+	}
+	f.Fuzz(func(t *testing.T, seed int64, nodes, nFaults int) {
+		if err := FuzzCase(seed, nodes, nFaults); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package faults
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fppc/internal/arch"
+	"fppc/internal/assays"
+	"fppc/internal/core"
+	"fppc/internal/oracle"
+)
+
+var update = flag.Bool("update", false, "rewrite the degraded-chip golden files under testdata/")
+
+// degradedGoldenCases pin the fault-aware compile end to end: PCR with
+// two faulted cells on each target. The fault cells are derived from
+// chip geometry (not hard-coded coordinates) so the corpus survives
+// cosmetic geometry refactors but still drifts when fault-aware
+// synthesis changes its output.
+func degradedGoldenCases(t *testing.T) []struct {
+	file   string
+	target core.Target
+	set    *Set
+} {
+	t.Helper()
+	fchip, err := arch.NewFPPC(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dchip, err := arch.NewDA(15, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fppcSet := mustSet(t,
+		Fault{Kind: StuckOpen, Cell: fchip.MixModules[0].Hold},
+		Fault{Kind: StuckClosed, Cell: fchip.SSDModules[1].Hold},
+	)
+	daSet := mustSet(t,
+		Fault{Kind: StuckOpen, Cell: dchip.WorkMods[0].Rect.Cells()[0]},
+		Fault{Kind: StuckClosed, Cell: dchip.WorkMods[3].Rect.Cells()[0]},
+	)
+	return []struct {
+		file   string
+		target core.Target
+		set    *Set
+	}{
+		{"pcr_degraded_fppc.golden", core.TargetFPPC, fppcSet},
+		{"pcr_degraded_da.golden", core.TargetDA, daSet},
+	}
+}
+
+// degradedSummary renders what fault-aware compilation promises to keep
+// stable: the fault spec, which module slots were disabled, the degraded
+// chip's vitals, the schedule and routing shape, the known-fault oracle
+// replay, and digests of the footprint trace and pin program.
+func degradedSummary(res *core.Result, rep *oracle.Report, set *Set) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "assay: %s\n", res.Assay.Name)
+	fmt.Fprintf(&b, "faults: %s\n", set)
+	disabled := 0
+	for _, m := range res.Chip.Modules() {
+		if m.Disabled {
+			disabled++
+		}
+	}
+	fmt.Fprintf(&b, "chip: %s %dx%d electrodes=%d pins=%d disabled-modules=%d\n",
+		res.Chip.Arch, res.Chip.W, res.Chip.H, res.Chip.ElectrodeCount(), res.Chip.PinCount(), disabled)
+	fmt.Fprintf(&b, "makespan: %d\n", res.Schedule.Makespan)
+	fmt.Fprintf(&b, "routing-cycles: %d\n", res.Routing.TotalCycles)
+	fmt.Fprintf(&b, "oracle: cycles=%d dispenses=%d outputs=%d merges=%d splits=%d violations=%d\n",
+		rep.Cycles, rep.Dispenses, rep.Outputs, rep.Merges, rep.Splits, len(rep.Violations))
+	fmt.Fprintf(&b, "volume: in=%.6g out=%.6g left=%.6g remaining=%d\n",
+		rep.VolumeIn, rep.VolumeOut, rep.VolumeLeft, rep.RemainingDroplets)
+	fmt.Fprintf(&b, "footprint: %s\n", rep.FootprintHash)
+	fmt.Fprintf(&b, "program: %x\n", sha256.Sum256([]byte(oracle.ProgramText(res))))
+	return b.String()
+}
+
+// TestGoldenDegraded pins PCR compiled around two hardware faults on
+// both targets against testdata/. Run with -update (make golden) after
+// an intentional synthesis change; the golden-sync CI job regenerates
+// and fails on drift.
+func TestGoldenDegraded(t *testing.T) {
+	a := assays.PCR(assays.DefaultTiming())
+	for _, gc := range degradedGoldenCases(t) {
+		gc := gc
+		t.Run(gc.file, func(t *testing.T) {
+			cfg := oracle.VerifyConfig(gc.target)
+			cfg.AutoGrow = false
+			cfg.Faults = gc.set
+			res, err := core.Compile(a.Clone(), cfg)
+			if err != nil {
+				t.Fatalf("degraded compile: %v", err)
+			}
+			rep, err := oracle.VerifyCompiled(res, oracle.Options{Faults: gc.set, KnownFaults: true})
+			if err != nil {
+				t.Fatalf("degraded verify: %v", err)
+			}
+			got := degradedSummary(res, rep, gc.set)
+			path := filepath.Join("testdata", gc.file)
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run `make golden` to create)", err)
+			}
+			if string(want) != got {
+				t.Errorf("golden mismatch for %s:\n--- want\n%s--- got\n%s", gc.file, want, got)
+			}
+		})
+	}
+}

@@ -38,7 +38,14 @@ func (r *Report) firstHard() *Violation {
 // are right. The oracle's spurious-activation findings are deliberately
 // stricter than the simulator and are not counted as disagreements.
 func CompareSim(res *core.Result, rep *Report) []string {
-	trace, simErr := sim.Run(res.Chip, res.Routing.Program, res.Routing.Events)
+	return CompareSimInjected(res, rep, nil)
+}
+
+// CompareSimInjected is CompareSim with the same hardware fault set
+// applied to both replays, so a degraded-chip verification still
+// cross-checks two independent implementations of the broken physics.
+func CompareSimInjected(res *core.Result, rep *Report, inj sim.Injector) []string {
+	trace, simErr := sim.RunInjected(res.Chip, res.Routing.Program, res.Routing.Events, nil, nil, inj)
 	var diffs []string
 	hard := rep.firstHard()
 	if simErr != nil {
@@ -87,7 +94,11 @@ func VerifyCompiled(res *core.Result, opts Options) (*Report, error) {
 	}
 	rep := Verify(res.Chip, res.Routing.Program, res.Routing.Events, opts)
 	rep.CheckAssay(res.Assay)
-	if diffs := CompareSim(res, rep); len(diffs) > 0 {
+	var inj sim.Injector
+	if opts.Faults != nil {
+		inj = opts.Faults
+	}
+	if diffs := CompareSimInjected(res, rep, inj); len(diffs) > 0 {
 		return rep, fmt.Errorf("oracle: %s: oracle/sim disagreement: %s",
 			res.Assay.Name, strings.Join(diffs, "; "))
 	}

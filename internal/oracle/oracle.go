@@ -68,12 +68,18 @@ const (
 	// VolumeLeak: dispensed volume does not equal collected volume
 	// (assay-level).
 	VolumeLeak
+	// RefusedActuation: a driven pin reaches an electrode that a declared
+	// hardware fault (stuck-open cell or dead pin driver) prevents from
+	// energizing. Only raised when Options.Faults is set; this is the
+	// invariant that catches faults the droplet physics masks.
+	RefusedActuation
 )
 
 var violationNames = [...]string{
 	"droplet-lost", "droplet-torn", "overpull", "spurious-activation",
 	"dispense-conflict", "output-miss", "event-overrun",
 	"op-count-mismatch", "residual-droplet", "volume-leak",
+	"refused-actuation",
 }
 
 // String returns the kind's kebab-case name.
@@ -158,6 +164,40 @@ type Options struct {
 	// positions independently of the simulator, a snapshot collected
 	// here cross-checks one collected by sim.RunCollected.
 	Collector *telemetry.Collector
+	// Faults declares hardware defects to inject into the replay: the
+	// energized set is transformed each cycle (stuck-open cells refuse,
+	// stuck-closed cells energize spuriously) and fault-specific
+	// invariants run. The canonical implementation is faults.Set.
+	Faults FaultInjector
+	// KnownFaults switches the fault invariants from detection to
+	// re-verification. With it false (detection, the default) every
+	// commanded actuation of a refusing electrode and every stuck-closed
+	// electrode is flagged — the replay asks "would a controller notice
+	// this chip is broken?". With it true the program is expected to have
+	// been resynthesized around the declared faults: refused actuations
+	// are flagged only when they would have moved fluid (the faulted cell
+	// borders a droplet), because shared FPPC pins make harmless commands
+	// to faulted electrodes unavoidable, and stuck-closed cells are left
+	// to the droplet physics, which flags them the moment a droplet
+	// strays into their reach.
+	KnownFaults bool
+}
+
+// FaultPoint locates one faulted electrode implicated in an injection.
+type FaultPoint struct {
+	Cell grid.Cell
+	Pin  int
+}
+
+// FaultInjector is the oracle's view of a hardware fault set. Transform
+// rewrites a cycle's energized set to what the broken chip physically
+// does; Refused lists the electrodes a frame commands that cannot
+// energize (stuck-open cells, dead pin drivers); StuckOn lists the
+// electrodes that are energized no matter what is driven.
+type FaultInjector interface {
+	Transform(chip *arch.Chip, active map[grid.Cell]bool)
+	Refused(chip *arch.Chip, act pins.Activation) []FaultPoint
+	StuckOn(chip *arch.Chip) []FaultPoint
 }
 
 // blob is the oracle's independent droplet model: one or two occupied
@@ -192,6 +232,12 @@ type verifier struct {
 	// cycle: every live droplet cell plus cells vacated by this cycle's
 	// output events.
 	justify map[grid.Cell]bool
+
+	// refusedSeen/stuckSeen deduplicate fault findings: each faulted
+	// electrode is reported at most once per replay, so a dead bus-phase
+	// pin does not exhaust the violation budget by itself.
+	refusedSeen map[grid.Cell]bool
+	stuckSeen   map[grid.Cell]bool
 }
 
 // Verify replays the program's pin frames on the chip and returns the
@@ -204,6 +250,10 @@ func Verify(chip *arch.Chip, prog *pins.Program, events []router.Event, opts Opt
 	}
 	v := &verifier{chip: chip, rep: &Report{}, opts: opts, fp: sha256.New()}
 	v.buildPinMap()
+	if opts.Faults != nil {
+		v.refusedSeen = map[grid.Cell]bool{}
+		v.stuckSeen = map[grid.Cell]bool{}
+	}
 	opts.Collector.BindChip(chip)
 	evIdx := 0
 	cyc := 0
@@ -222,6 +272,9 @@ func Verify(chip *arch.Chip, prog *pins.Program, events []router.Event, opts Opt
 		active := v.activeCells(cyc, act)
 		if !opts.DisableSpuriousCheck {
 			v.checkSpurious(cyc, act)
+		}
+		if opts.Faults != nil {
+			v.injectFaults(cyc, act, active)
 		}
 		opts.Collector.Frame(act)
 		v.step(cyc, active)
@@ -376,6 +429,60 @@ func (v *verifier) checkSpurious(cyc int, act pins.Activation) {
 				Msg: fmt.Sprintf("pin %d driven with no droplet near any of its %d electrodes", pin, len(v.pinCells[pin]))})
 		}
 	}
+}
+
+// injectFaults applies the declared hardware faults to this cycle's
+// energized set and runs the fault invariants. In detection mode
+// (KnownFaults false) any command to a refusing electrode and any
+// stuck-closed electrode energizing while its pin is idle is flagged; in
+// known-faults mode only refused actuations that border a droplet are —
+// on a correctly resynthesized program neither occurs. Either way the
+// active set is rewritten to the broken chip's physical truth before the
+// droplet physics runs, so physics-level consequences (lost droplets,
+// overpulls near a stuck-closed cell) surface through the ordinary
+// invariants.
+func (v *verifier) injectFaults(cyc int, act pins.Activation, active map[grid.Cell]bool) {
+	for _, p := range v.opts.Faults.Refused(v.chip, act) {
+		if v.refusedSeen[p.Cell] {
+			continue
+		}
+		if v.opts.KnownFaults && !v.nearJustified(p.Cell) {
+			continue
+		}
+		v.refusedSeen[p.Cell] = true
+		v.flag(Violation{Kind: RefusedActuation, Cycle: cyc, Droplet: -1, Cell: p.Cell, Pin: p.Pin,
+			Msg: fmt.Sprintf("pin %d driven but electrode %v cannot energize (stuck-open or dead driver)", p.Pin, p.Cell)})
+	}
+	if !v.opts.KnownFaults {
+		driven := make(map[int]bool, len(act))
+		for _, pin := range act {
+			driven[pin] = true
+		}
+		for _, p := range v.opts.Faults.StuckOn(v.chip) {
+			if v.stuckSeen[p.Cell] || driven[p.Pin] {
+				continue
+			}
+			v.stuckSeen[p.Cell] = true
+			v.flag(Violation{Kind: SpuriousActivation, Cycle: cyc, Droplet: -1, Cell: p.Cell, Pin: p.Pin,
+				Msg: fmt.Sprintf("electrode %v energized while pin %d is idle: stuck-closed", p.Cell, p.Pin)})
+		}
+	}
+	v.opts.Faults.Transform(v.chip, active)
+}
+
+// nearJustified reports whether the cell is on, or cardinally adjacent
+// to, a cell that legitimizes actuation this cycle — the only positions
+// where a refusing electrode actually costs the program fluid motion.
+func (v *verifier) nearJustified(c grid.Cell) bool {
+	if v.justify[c] {
+		return true
+	}
+	for _, n := range c.Neighbors4() {
+		if v.justify[n] {
+			return true
+		}
+	}
+	return false
 }
 
 // step recomputes every droplet's position from the energized set.

@@ -7,6 +7,7 @@ import (
 	"fppc/internal/assays"
 	"fppc/internal/core"
 	"fppc/internal/dag"
+	"fppc/internal/oracle"
 )
 
 func TestPlanMidTreeFailure(t *testing.T) {
@@ -138,5 +139,46 @@ func TestRecoveryCompilesAndRuns(t *testing.T) {
 	if rec.TotalSeconds() >= orig.TotalSeconds() {
 		t.Errorf("single-chain recovery (%.1fs) not cheaper than the full assay (%.1fs)",
 			rec.TotalSeconds(), orig.TotalSeconds())
+	}
+}
+
+// TestPropertyPlansVerifyOnBothTargets is the recovery property check:
+// for every Table 1 benchmark, failing the first non-dispense operation
+// yields a recovery plan that re-compiles and replays cleanly through
+// the independent oracle on both targets. The plan is a synthesized
+// assay — waste outputs, re-labeled nodes, pruned reservoirs — so this
+// exercises dag surgery end to end, not just Validate.
+func TestPropertyPlansVerifyOnBothTargets(t *testing.T) {
+	benchmarks := assays.Table1Benchmarks(assays.DefaultTiming())
+	if testing.Short() {
+		benchmarks = benchmarks[:7]
+	}
+	for _, a := range benchmarks {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			failed := -1
+			for _, n := range a.Nodes {
+				if n.Kind != dag.Dispense {
+					failed = n.ID
+					break
+				}
+			}
+			if failed < 0 {
+				t.Fatal("benchmark has no failable operation")
+			}
+			plan, err := Plan(a, []int{failed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, target := range []core.Target{core.TargetFPPC, core.TargetDA} {
+				res, err := core.Compile(plan.Assay.Clone(), oracle.VerifyConfig(target))
+				if err != nil {
+					t.Fatalf("%v: recovery plan does not compile: %v", target, err)
+				}
+				if _, err := oracle.VerifyCompiled(res, oracle.Options{}); err != nil {
+					t.Errorf("%v: recovery plan fails the oracle: %v", target, err)
+				}
+			}
+		})
 	}
 }

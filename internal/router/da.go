@@ -21,6 +21,7 @@ import (
 type daRouter struct {
 	s    *scheduler.Schedule
 	chip *arch.Chip
+	opts Options
 	// busy maps module index to the half-open [from, to) boundary ranges
 	// during which its halo is impassable (an operation is running or a
 	// droplet is stored there).
@@ -102,7 +103,7 @@ func routeDA(ctx context.Context, s *scheduler.Schedule, opts Options) (*Result,
 	ob.Counter("fppc_router_retries_total") // DA never relocates; export 0 for dashboard parity
 	cMoves := ob.Counter("fppc_router_moves_total")
 	hBoundaries := ob.Histogram("fppc_route_cycles", nil)
-	r := &daRouter{s: s, chip: s.Chip, tc: opts.Telemetry,
+	r := &daRouter{s: s, chip: s.Chip, opts: opts, tc: opts.Telemetry,
 		cStalls: ob.Counter("fppc_router_stall_cycles_total")}
 	r.computeBusy()
 	res := &Result{}
@@ -180,7 +181,7 @@ func (r *daRouter) pathFor(ts int, m scheduler.Move) ([]grid.Cell, error) {
 		}
 	}
 	ok := func(c grid.Cell) bool {
-		return r.chip.InBounds(c) && !blocked[c]
+		return r.chip.InBounds(c) && !blocked[c] && !r.opts.avoided(c)
 	}
 	path := bfsPath(src, dst, ok)
 	if path == nil {

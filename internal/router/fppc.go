@@ -81,7 +81,7 @@ func routeFPPC(ctx context.Context, s *scheduler.Schedule, opts Options) (*Resul
 		opts:        opts,
 		mixHeld:     make([]int, len(s.Chip.MixModules)),
 		ssdHeld:     make([]int, len(s.Chip.SSDModules)),
-		reserved:    len(s.Chip.SSDModules) - 1,
+		reserved:    scheduler.ReservedSSD(s.Chip),
 		cRetries:    ob.Counter("fppc_router_retries_total"),
 		cBufReloc:   ob.Counter("fppc_router_buffer_relocations_total"),
 		cMoves:      ob.Counter("fppc_router_moves_total"),
@@ -391,28 +391,29 @@ func (r *fppcRouter) tempStorage(moves []scheduler.Move, done []bool) (scheduler
 		}
 		return false
 	}
-	if r.ssdHeld[r.reserved] == -1 {
+	if r.reserved >= 0 && r.ssdHeld[r.reserved] == -1 {
 		return scheduler.Location{Kind: scheduler.LocSSD, Index: r.reserved}, true
 	}
 	for s := range r.ssdHeld {
 		l := scheduler.Location{Kind: scheduler.LocSSD, Index: s}
-		if r.ssdHeld[s] == -1 && !targeted(l) {
+		if !r.chip.SSDModules[s].Disabled && r.ssdHeld[s] == -1 && !targeted(l) {
 			return l, true
 		}
 	}
 	for k := range r.mixHeld {
 		l := scheduler.Location{Kind: scheduler.LocMix, Index: k}
-		if r.mixHeld[k] == -1 && !targeted(l) {
+		if !r.chip.MixModules[k].Disabled && r.mixHeld[k] == -1 && !targeted(l) {
 			return l, true
 		}
 	}
 	return scheduler.Location{}, false
 }
 
-// busCellOK reports whether the cell is a transport-bus electrode.
+// busCellOK reports whether the cell is a transport-bus electrode the
+// droplet may travel through (not blocked by a declared fault).
 func (r *fppcRouter) busCellOK(c grid.Cell) bool {
 	e := r.chip.ElectrodeAt(c)
-	return e != nil && (e.Kind == arch.BusH || e.Kind == arch.BusV)
+	return e != nil && (e.Kind == arch.BusH || e.Kind == arch.BusV) && !r.opts.avoided(c)
 }
 
 // moduleOf resolves a module location.

@@ -53,7 +53,17 @@ type Options struct {
 	// Telemetry receives stall/relocation counts for chip-level
 	// execution telemetry (internal/telemetry). Nil disables.
 	Telemetry *telemetry.Collector
+
+	// Avoid marks cells droplets must not travel through — set by
+	// fault-aware compilation to keep routes off faulted electrodes and
+	// out of a stuck-closed cell's pull radius. Nil blocks nothing.
+	// Module-interior cells are governed by module disabling, not Avoid;
+	// the router consults it for transport (bus/street) cells.
+	Avoid func(grid.Cell) bool
 }
+
+// avoided reports whether the cell is blocked by the Avoid predicate.
+func (o Options) avoided(c grid.Cell) bool { return o.Avoid != nil && o.Avoid(c) }
 
 // BoundaryResult reports one routing sub-problem.
 type BoundaryResult struct {

@@ -196,7 +196,7 @@ func (st *daState) moduleFor(id, t int) int {
 		}
 	}
 	for w := range st.busyTo {
-		if st.busyTo[w] <= t && len(st.stored[w]) == 0 {
+		if !st.chip.WorkMods[w].Disabled && st.busyTo[w] <= t && len(st.stored[w]) == 0 {
 			return w
 		}
 	}
@@ -286,7 +286,7 @@ func (st *daState) begin(id, t, dur int, loc Location) {
 func (st *daState) freeStorageSlots(t int) int {
 	n := 0
 	for w := range st.busyTo {
-		if st.busyTo[w] <= t {
+		if !st.chip.WorkMods[w].Disabled && st.busyTo[w] <= t {
 			n += arch.DAStorePerMod - len(st.stored[w])
 		}
 	}
@@ -299,7 +299,7 @@ func (st *daState) freeStorageSlots(t int) int {
 func (st *daState) storageModule(t int) int {
 	best := -1
 	for w := range st.busyTo {
-		if st.busyTo[w] > t || len(st.stored[w]) >= arch.DAStorePerMod {
+		if st.chip.WorkMods[w].Disabled || st.busyTo[w] > t || len(st.stored[w]) >= arch.DAStorePerMod {
 			continue
 		}
 		if len(st.stored[w]) > 0 {

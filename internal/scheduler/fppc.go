@@ -13,13 +13,32 @@ import (
 // single-droplet occupancy, one SSD reserved for the router (section 4.3).
 type fppcState struct {
 	*base
-	mixBusyTo []int // per mix module: first free time-step
-	mixParked []int // droplet parked in the module, or -1
-	ssdBusyTo []int
-	ssdParked []int
-	splitStep []int // last time-step each SSD hosted a split
-	usableSSD int   // SSD modules available to the scheduler (last is reserved)
-	runningTo []int // end times of in-flight ops (for progress checks)
+	mixBusyTo   []int // per mix module: first free time-step
+	mixParked   []int // droplet parked in the module, or -1
+	ssdBusyTo   []int
+	ssdParked   []int
+	splitStep   []int // last time-step each SSD hosted a split
+	reservedSSD int   // router's buffer SSD (ReservedSSD), or -1
+	runningTo   []int // end times of in-flight ops (for progress checks)
+}
+
+// ReservedSSD returns the SSD module the FPPC router keeps as its
+// cycle-breaking buffer — the highest-indexed enabled module — or -1
+// when every SSD is disabled. The scheduler never binds operations to
+// it; the router and fault-aware compilation share this choice.
+func ReservedSSD(chip *arch.Chip) int {
+	for i := len(chip.SSDModules) - 1; i >= 0; i-- {
+		if !chip.SSDModules[i].Disabled {
+			return i
+		}
+	}
+	return -1
+}
+
+// ssdUsable reports whether the scheduler may bind to the SSD module:
+// not disabled by a hardware fault and not the router's reserved buffer.
+func (st *fppcState) ssdUsable(idx int) bool {
+	return idx != st.reservedSSD && !st.chip.SSDModules[idx].Disabled
 }
 
 // ScheduleFPPC runs the module-type-aware list scheduler against a
@@ -52,13 +71,13 @@ func ScheduleFPPCContext(ctx context.Context, a *dag.Assay, chip *arch.Chip, ob 
 		return nil, err
 	}
 	st := &fppcState{
-		base:      b,
-		mixBusyTo: make([]int, len(chip.MixModules)),
-		mixParked: make([]int, len(chip.MixModules)),
-		ssdBusyTo: make([]int, len(chip.SSDModules)),
-		ssdParked: make([]int, len(chip.SSDModules)),
-		splitStep: make([]int, len(chip.SSDModules)),
-		usableSSD: len(chip.SSDModules) - 1,
+		base:        b,
+		mixBusyTo:   make([]int, len(chip.MixModules)),
+		mixParked:   make([]int, len(chip.MixModules)),
+		ssdBusyTo:   make([]int, len(chip.SSDModules)),
+		ssdParked:   make([]int, len(chip.SSDModules)),
+		splitStep:   make([]int, len(chip.SSDModules)),
+		reservedSSD: ReservedSSD(chip),
 	}
 	for i := range st.mixParked {
 		st.mixParked[i] = -1
@@ -163,7 +182,7 @@ func (st *fppcState) release(d *droplet) {
 // freeMix returns the lowest-numbered idle, unoccupied mix module, or -1.
 func (st *fppcState) freeMix(t int) int {
 	for m := range st.mixBusyTo {
-		if st.mixBusyTo[m] <= t && st.mixParked[m] == -1 {
+		if !st.chip.MixModules[m].Disabled && st.mixBusyTo[m] <= t && st.mixParked[m] == -1 {
 			return m
 		}
 	}
@@ -172,8 +191,8 @@ func (st *fppcState) freeMix(t int) int {
 
 // freeSSD returns the lowest-numbered idle, unoccupied usable SSD, or -1.
 func (st *fppcState) freeSSD(t int) int {
-	for s := 0; s < st.usableSSD; s++ {
-		if st.ssdBusyTo[s] <= t && st.ssdParked[s] == -1 {
+	for s := range st.ssdBusyTo {
+		if st.ssdUsable(s) && st.ssdBusyTo[s] <= t && st.ssdParked[s] == -1 {
 			return s
 		}
 	}
@@ -183,8 +202,8 @@ func (st *fppcState) freeSSD(t int) int {
 // freeSSDCount returns how many usable SSDs are idle and unoccupied.
 func (st *fppcState) freeSSDCount(t int) int {
 	n := 0
-	for s := 0; s < st.usableSSD; s++ {
-		if st.ssdBusyTo[s] <= t && st.ssdParked[s] == -1 {
+	for s := range st.ssdBusyTo {
+		if st.ssdUsable(s) && st.ssdBusyTo[s] <= t && st.ssdParked[s] == -1 {
 			n++
 		}
 	}
@@ -260,7 +279,7 @@ func (st *fppcState) startNode(id, t int) bool {
 		}
 		s := -1
 		for _, d := range st.es.byCons[id] {
-			if d.loc.Kind == LocSSD && d.loc.Index < st.usableSSD &&
+			if d.loc.Kind == LocSSD && st.ssdUsable(d.loc.Index) &&
 				st.ssdBusyTo[d.loc.Index] <= t && ok(d.loc.Index) {
 				s = d.loc.Index
 				break
@@ -299,7 +318,7 @@ func (st *fppcState) nearestFreeMix(t int, inputs []*droplet) int {
 	type cand struct{ idx, cost int }
 	best := cand{-1, 1 << 30}
 	for m := range st.mixBusyTo {
-		if st.mixBusyTo[m] > t || st.mixParked[m] != -1 {
+		if st.chip.MixModules[m].Disabled || st.mixBusyTo[m] > t || st.mixParked[m] != -1 {
 			continue
 		}
 		cost := m // mild bias toward low indices (near the top ports)
@@ -327,8 +346,8 @@ func (st *fppcState) nearestFreeMix(t int, inputs []*droplet) int {
 // (detector requirements); nil accepts all.
 func (st *fppcState) nearestFreeSSD(t int, inputs []*droplet, ok func(int) bool) int {
 	best, bestCost := -1, 1<<30
-	for sIdx := 0; sIdx < st.usableSSD; sIdx++ {
-		if st.ssdBusyTo[sIdx] > t || st.ssdParked[sIdx] != -1 || (ok != nil && !ok(sIdx)) {
+	for sIdx := range st.ssdBusyTo {
+		if !st.ssdUsable(sIdx) || st.ssdBusyTo[sIdx] > t || st.ssdParked[sIdx] != -1 || (ok != nil && !ok(sIdx)) {
 			continue
 		}
 		cost := sIdx
@@ -365,7 +384,7 @@ func (st *fppcState) startSplit(id, t int) bool {
 	// the same routing sub-problem would create an unorderable cyclic
 	// dependency between the two splits' bus halves.
 	s := -1
-	if in.loc.Kind == LocSSD && in.loc.Index < st.usableSSD &&
+	if in.loc.Kind == LocSSD && st.ssdUsable(in.loc.Index) &&
 		st.ssdBusyTo[in.loc.Index] <= t && st.splitStep[in.loc.Index] != t {
 		s = in.loc.Index
 	} else {
@@ -390,8 +409,8 @@ func (st *fppcState) startSplit(id, t int) bool {
 	s2 := -1
 	if !awayToOutput {
 		// Temporarily treat s as taken while searching.
-		for cand := 0; cand < st.usableSSD; cand++ {
-			if cand != s && st.ssdBusyTo[cand] <= t && st.ssdParked[cand] == -1 {
+		for cand := range st.ssdBusyTo {
+			if cand != s && st.ssdUsable(cand) && st.ssdBusyTo[cand] <= t && st.ssdParked[cand] == -1 {
 				s2 = cand
 				break
 			}

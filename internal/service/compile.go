@@ -8,6 +8,7 @@ import (
 	"fppc/internal/asl"
 	"fppc/internal/core"
 	"fppc/internal/dag"
+	"fppc/internal/faults"
 	"fppc/internal/oracle"
 	"fppc/internal/router"
 )
@@ -41,6 +42,15 @@ type CompileRequest struct {
 	// RotationsPerStep sets mixer-loop rotations per time-step in the
 	// emitted sequence (0 = the hardware default of 12).
 	RotationsPerStep int `json:"rotations_per_step,omitempty"`
+
+	// Faults declares hardware defects on the target chip as a fault
+	// spec ("open@x,y;closed@x,y;dead#pin"): the compiler synthesizes
+	// around them, skipping faulted module slots and routing cells.
+	// Malformed or self-contradictory specs are HTTP 400; a spec the
+	// chip cannot absorb (fault on a non-electrode cell, or too much
+	// capacity lost) is HTTP 422 kind "unsynthesizable", because that
+	// judgement needs the chip itself.
+	Faults string `json:"faults,omitempty"`
 
 	// TimeoutMS caps this request's compile time in milliseconds
 	// (0 = the server default; the server's -max-timeout always caps it).
@@ -146,6 +156,7 @@ type job struct {
 	fp       string
 	cacheKey string
 	verify   bool
+	faults   *faults.Set
 }
 
 // entry is a cached compile outcome (response with the per-request
@@ -208,6 +219,20 @@ func (s *Server) prepare(req CompileRequest) (*job, error) {
 		req.RotationsPerStep = rot
 		cfg.Router = router.Options{EmitProgram: true, RotationsPerStep: rot}
 	}
+	// A malformed or self-contradictory fault spec is the client's
+	// mistake (400); whether the chip can absorb a well-formed spec is
+	// only known after placement and maps to 422 at compile time.
+	var faultSet *faults.Set
+	if strings.TrimSpace(req.Faults) != "" {
+		set, err := faults.ParseSpec(req.Faults)
+		if err != nil {
+			return nil, &badRequestError{fmt.Errorf("faults: %w", err)}
+		}
+		if set.Len() > 0 {
+			faultSet = set
+			cfg.Faults = set
+		}
+	}
 
 	fp, err := assay.Fingerprint()
 	if err != nil {
@@ -223,10 +248,14 @@ func (s *Server) prepare(req CompileRequest) (*job, error) {
 		return nil, &badRequestError{err}
 	}
 	verify := req.Verify || s.cfg.ForceVerify
-	key := fmt.Sprintf("%s|%s|%s|h%d|da%dx%d|grow%t|single%t|det%d|seq%t|rot%d|verify%t",
+	// The fault component uses the set's canonical String (sorted,
+	// deduplicated), so "open@5,2; dead#7" and "dead#7;open@5,2" share a
+	// cache entry.
+	key := fmt.Sprintf("%s|%s|%s|h%d|da%dx%d|grow%t|single%t|det%d|seq%t|rot%d|verify%t|faults:%s",
 		fp, assay.Name, req.Target, req.Height, req.DAWidth, req.DAHeight,
-		req.Grow, req.SingleOutputPort, req.DetectorCount, req.Sequence, req.RotationsPerStep, verify)
-	return &job{assay: canon, cfg: cfg, req: req, fp: fp, cacheKey: key, verify: verify}, nil
+		req.Grow, req.SingleOutputPort, req.DetectorCount, req.Sequence, req.RotationsPerStep, verify,
+		faultSet.String())
+	return &job{assay: canon, cfg: cfg, req: req, fp: fp, cacheKey: key, verify: verify, faults: faultSet}, nil
 }
 
 // verificationError marks a compile whose result failed the oracle — a
@@ -237,9 +266,16 @@ func (e *verificationError) Error() string { return e.err.Error() }
 func (e *verificationError) Unwrap() error { return e.err }
 
 // runVerify replays the compiled result through the independent oracle
-// and renders the report for the response.
+// and renders the report for the response. Declared faults are injected
+// into the replay in known-fault mode: the oracle tolerates refusals the
+// compiler already routed around but still fails on any real divergence.
 func (j *job) runVerify(res *core.Result) (*VerificationInfo, error) {
-	rep, err := oracle.VerifyCompiled(res, oracle.Options{})
+	opts := oracle.Options{}
+	if j.faults != nil {
+		opts.Faults = j.faults
+		opts.KnownFaults = true
+	}
+	rep, err := oracle.VerifyCompiled(res, opts)
 	if err != nil {
 		return nil, &verificationError{err}
 	}

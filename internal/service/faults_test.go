@@ -1,0 +1,225 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"fppc/internal/arch"
+	"fppc/internal/assays"
+	"fppc/internal/faults"
+	"fppc/internal/grid"
+)
+
+// pcrDAG marshals the PCR benchmark for fault-compile requests.
+func pcrDAG(t *testing.T) json.RawMessage {
+	t.Helper()
+	raw, err := json.Marshal(assays.PCR(assays.DefaultTiming()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// faultChip builds the default service chip so tests can derive fault
+// specs from real geometry instead of hard-coded coordinates.
+func faultChip(t *testing.T) *arch.Chip {
+	t.Helper()
+	chip, err := arch.NewFPPC(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chip
+}
+
+// holdSpec returns a fault spec stuck-opening the i-th mix module's hold
+// cell — a fault the scheduler can always route around on PCR.
+func holdSpec(t *testing.T, chip *arch.Chip, i int) string {
+	t.Helper()
+	set, err := faults.New(faults.Fault{Kind: faults.StuckOpen, Cell: chip.MixModules[i%len(chip.MixModules)].Hold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set.String()
+}
+
+// killAllMixSpec faults every mix module's hold cell, leaving the chip
+// without mix capacity: structurally unsynthesizable for PCR.
+func killAllMixSpec(t *testing.T, chip *arch.Chip) string {
+	t.Helper()
+	var fs []faults.Fault
+	for _, m := range chip.MixModules {
+		fs = append(fs, faults.Fault{Kind: faults.StuckOpen, Cell: m.Hold})
+	}
+	set, err := faults.New(fs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set.String()
+}
+
+// A compile request declaring faults must resynthesize around them, the
+// known-fault oracle must accept the degraded program, and the cache key
+// must separate faulted from pristine compiles of the same assay.
+func TestCompileWithFaults(t *testing.T) {
+	s, ts := newTestServer(t)
+	chip := faultChip(t)
+	req := CompileRequest{DAG: pcrDAG(t), Faults: holdSpec(t, chip, 0), Verify: true}
+
+	var degraded CompileResponse
+	if code := post(t, ts.URL, req, &degraded); code != http.StatusOK {
+		t.Fatalf("degraded compile: HTTP %d", code)
+	}
+	if degraded.Verification == nil || !degraded.Verification.Ok {
+		t.Fatalf("degraded compile not verified: %+v", degraded.Verification)
+	}
+	if degraded.Cached {
+		t.Error("first degraded compile claimed cached")
+	}
+
+	// The same assay without faults is a different cache entry.
+	pristine := CompileRequest{DAG: pcrDAG(t), Verify: true}
+	var presp CompileResponse
+	if code := post(t, ts.URL, pristine, &presp); code != http.StatusOK {
+		t.Fatalf("pristine compile: HTTP %d", code)
+	}
+	if presp.Cached {
+		t.Error("pristine compile hit the degraded cache entry")
+	}
+
+	// Repeating the degraded request must hit the cache, and spec order
+	// must not matter: the key uses the canonical fault string.
+	var again CompileResponse
+	if code := post(t, ts.URL, req, &again); code != http.StatusOK {
+		t.Fatalf("repeat degraded compile: HTTP %d", code)
+	}
+	if !again.Cached {
+		t.Error("repeated degraded request not served from cache")
+	}
+	if got := s.cFaultResynth.Value(); got != 1 {
+		t.Errorf("fault resynthesized counter = %d, want 1", got)
+	}
+	body := metricsBody(t, ts.URL)
+	if !strings.Contains(body, `fppc_service_fault_compiles_total{outcome="resynthesized"} 1`) {
+		t.Errorf("/metrics missing fault outcome counter:\n%s", body)
+	}
+}
+
+// Malformed and self-contradictory fault specs are the client's mistake:
+// HTTP 400 before any compilation starts.
+func TestFaultSpecBadRequests(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, spec := range []string{
+		"open@5",              // missing coordinate
+		"stuck@5,2",           // unknown kind
+		"dead#zero",           // non-numeric pin
+		"open@5,2;closed@5,2", // same cell both ways
+	} {
+		var eresp errorResponse
+		code := post(t, ts.URL, CompileRequest{DAG: pcrDAG(t), Faults: spec}, &eresp)
+		if code != http.StatusBadRequest {
+			t.Errorf("spec %q: HTTP %d, want 400 (%+v)", spec, code, eresp)
+		}
+	}
+}
+
+// A well-formed fault set the chip cannot absorb — here, every mix
+// module lost — is 422 with the dedicated "unsynthesizable" kind, not a
+// generic compile failure, and feeds the outcome counter.
+func TestFaultsUnsynthesizableReturns422(t *testing.T) {
+	s, ts := newTestServer(t)
+	req := CompileRequest{DAG: pcrDAG(t), Faults: killAllMixSpec(t, faultChip(t))}
+	var eresp errorResponse
+	code := post(t, ts.URL, req, &eresp)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("HTTP %d, want 422 (%+v)", code, eresp)
+	}
+	if eresp.Kind != "unsynthesizable" {
+		t.Errorf("kind = %q, want \"unsynthesizable\"", eresp.Kind)
+	}
+	if got := s.cFaultUnsynth.Value(); got == 0 {
+		t.Error("unsynthesizable counter not incremented")
+	}
+
+	// A fault on a cell that is not an electrode is also chip-dependent
+	// knowledge, so it surfaces as 422, not 400.
+	chip := faultChip(t)
+	bare := ""
+	for y := 0; y < chip.H && bare == ""; y++ {
+		for x := 0; x < chip.W; x++ {
+			if chip.ElectrodeAt(grid.Cell{X: x, Y: y}) == nil {
+				bare = fmt.Sprintf("open@%d,%d", x, y)
+				break
+			}
+		}
+	}
+	if bare == "" {
+		t.Skip("chip has no bare cell")
+	}
+	var e2 errorResponse
+	if code := post(t, ts.URL, CompileRequest{DAG: pcrDAG(t), Faults: bare}, &e2); code != http.StatusUnprocessableEntity {
+		t.Errorf("bare-cell fault: HTTP %d, want 422 (%+v)", code, e2)
+	} else if e2.Kind != "unsynthesizable" {
+		t.Errorf("bare-cell fault kind = %q, want \"unsynthesizable\"", e2.Kind)
+	}
+}
+
+// Concurrent degraded-chip requests — distinct fault sets plus an
+// unsynthesizable one — must stay race-free across the cache,
+// singleflight and the fault-outcome counters. This is the test the CI
+// -race run leans on for the fault path.
+func TestConcurrentFaultRequestsRace(t *testing.T) {
+	s, ts := newTestServer(t)
+	chip := faultChip(t)
+	raw := pcrDAG(t)
+	specs := make([]string, 4)
+	for i := range specs {
+		specs[i] = holdSpec(t, chip, i)
+	}
+	doomed := killAllMixSpec(t, chip)
+
+	const perSpec = 3
+	var wg sync.WaitGroup
+	errs := make(chan string, len(specs)*perSpec+2)
+	for _, spec := range specs {
+		for r := 0; r < perSpec; r++ {
+			wg.Add(1)
+			go func(spec string) {
+				defer wg.Done()
+				var resp CompileResponse
+				if code := post(t, ts.URL, CompileRequest{DAG: raw, Faults: spec, Verify: true}, &resp); code != http.StatusOK {
+					errs <- fmt.Sprintf("%s: unexpected HTTP %d", spec, code)
+				}
+			}(spec)
+		}
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var eresp errorResponse
+			code := post(t, ts.URL, CompileRequest{DAG: raw, Faults: doomed}, &eresp)
+			if code != http.StatusUnprocessableEntity || eresp.Kind != "unsynthesizable" {
+				errs <- fmt.Sprintf("doomed: HTTP %d kind %q", code, eresp.Kind)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	// Each distinct fault set compiles exactly once (cache + singleflight);
+	// identical in-flight failures may coalesce, so at least one of the
+	// doomed requests must have reached the compiler.
+	if got := s.cFaultResynth.Value(); got != int64(len(specs)) {
+		t.Errorf("resynthesized counter = %d, want %d", got, len(specs))
+	}
+	if got := s.cFaultUnsynth.Value(); got == 0 {
+		t.Error("unsynthesizable counter not incremented")
+	}
+}

@@ -73,15 +73,17 @@ type Server struct {
 	// recent compile, served by GET /debug/telemetry.
 	lastTelemetry atomic.Pointer[TelemetryRecord]
 
-	cHits       *obs.Counter
-	cMisses     *obs.Counter
-	cDedup      *obs.Counter
-	cCompiles   *obs.Counter
-	cTimeouts   *obs.Counter
-	cVerifyFail *obs.Counter
-	gQueue      *obs.Gauge
-	gInflight   *obs.Gauge
-	hCompile    *obs.Histogram
+	cHits         *obs.Counter
+	cMisses       *obs.Counter
+	cDedup        *obs.Counter
+	cCompiles     *obs.Counter
+	cTimeouts     *obs.Counter
+	cVerifyFail   *obs.Counter
+	cFaultResynth *obs.Counter
+	cFaultUnsynth *obs.Counter
+	gQueue        *obs.Gauge
+	gInflight     *obs.Gauge
+	hCompile      *obs.Histogram
 
 	// Runtime gauges, refreshed on every GET /metrics scrape.
 	gGoroutines  *obs.Gauge
@@ -120,15 +122,17 @@ func New(cfg Config) *Server {
 		start:  time.Now(),
 		mux:    http.NewServeMux(),
 
-		cHits:       ob.Counter("fppc_service_cache_hits_total"),
-		cMisses:     ob.Counter("fppc_service_cache_misses_total"),
-		cDedup:      ob.Counter("fppc_service_dedup_total"),
-		cCompiles:   ob.Counter("fppc_service_compiles_total"),
-		cTimeouts:   ob.Counter("fppc_service_timeouts_total"),
-		cVerifyFail: ob.Counter("fppc_service_verification_failures_total"),
-		gQueue:      ob.Gauge("fppc_service_queue_depth"),
-		gInflight:   ob.Gauge("fppc_service_inflight"),
-		hCompile:    ob.Histogram("fppc_service_compile_seconds", []float64{.001, .005, .01, .05, .1, .5, 1, 5, 30, 120}),
+		cHits:         ob.Counter("fppc_service_cache_hits_total"),
+		cMisses:       ob.Counter("fppc_service_cache_misses_total"),
+		cDedup:        ob.Counter("fppc_service_dedup_total"),
+		cCompiles:     ob.Counter("fppc_service_compiles_total"),
+		cTimeouts:     ob.Counter("fppc_service_timeouts_total"),
+		cVerifyFail:   ob.Counter("fppc_service_verification_failures_total"),
+		cFaultResynth: ob.Counter("fppc_service_fault_compiles_total", "outcome", "resynthesized"),
+		cFaultUnsynth: ob.Counter("fppc_service_fault_compiles_total", "outcome", "unsynthesizable"),
+		gQueue:        ob.Gauge("fppc_service_queue_depth"),
+		gInflight:     ob.Gauge("fppc_service_inflight"),
+		hCompile:      ob.Histogram("fppc_service_compile_seconds", []float64{.001, .005, .01, .05, .1, .5, 1, 5, 30, 120}),
 
 		gGoroutines:  ob.Gauge("fppc_runtime_goroutines"),
 		gHeapBytes:   ob.Gauge("fppc_runtime_heap_bytes"),
@@ -142,6 +146,7 @@ func New(cfg Config) *Server {
 	m.Help("fppc_service_compiles_total", "compilations actually executed by the worker pool")
 	m.Help("fppc_service_timeouts_total", "requests aborted by deadline or client cancellation")
 	m.Help("fppc_service_verification_failures_total", "compiles whose result failed the independent oracle")
+	m.Help("fppc_service_fault_compiles_total", "degraded-chip compile requests by outcome: resynthesized around the declared faults, or unsynthesizable")
 	m.Help("fppc_service_queue_depth", "requests waiting for a worker slot")
 	m.Help("fppc_service_compile_seconds", "wall-clock compile latency (cache misses only)")
 	m.Help("fppc_runtime_goroutines", "live goroutines (runtime/metrics, sampled per scrape)")
@@ -281,7 +286,16 @@ func (s *Server) runCompile(ctx context.Context, j *job) (*entry, error) {
 	s.hCompile.Observe(time.Since(t0).Seconds())
 	s.gInflight.Set(float64(len(s.sem) - 1))
 	if err != nil {
+		// Counted here, not in the response writer, so singleflight
+		// followers sharing this error don't inflate the outcome counter.
+		var uns *core.ErrUnsynthesizable
+		if errors.As(err, &uns) {
+			s.cFaultUnsynth.Inc()
+		}
 		return nil, err
+	}
+	if j.faults != nil {
+		s.cFaultResynth.Inc()
 	}
 	e := j.buildEntry(res)
 	if j.verify {
@@ -306,7 +320,9 @@ func isCancellation(err error) bool {
 
 // writeCompileError maps compile failures to HTTP statuses: 504 for
 // deadline/cancellation (the typed core.ErrCanceled), 400 for invalid
-// requests, 422 for assays the flow cannot compile.
+// requests, 422 kind "unsynthesizable" when the declared hardware
+// faults leave the chip with too little capacity, and 422 kind
+// "compile_failed" for assays the flow cannot compile at all.
 func (s *Server) writeCompileError(w http.ResponseWriter, err error) {
 	switch {
 	case isCancellation(err):
@@ -321,6 +337,11 @@ func (s *Server) writeCompileError(w http.ResponseWriter, err error) {
 		var ve *verificationError
 		if errors.As(err, &ve) {
 			writeError(w, http.StatusInternalServerError, "verification_failed", err)
+			return
+		}
+		var uns *core.ErrUnsynthesizable
+		if errors.As(err, &uns) {
+			writeError(w, http.StatusUnprocessableEntity, "unsynthesizable", err)
 			return
 		}
 		writeError(w, http.StatusUnprocessableEntity, "compile_failed", err)

@@ -141,6 +141,24 @@ func RunObserved(chip *arch.Chip, prog *pins.Program, events []router.Event, ob 
 // motion — into tc (nil disables; the hooks then cost one nil check
 // per cycle, pinned by BenchmarkSimTelemetryOff).
 func RunCollected(chip *arch.Chip, prog *pins.Program, events []router.Event, ob *obs.Observer, tc *telemetry.Collector) (*Trace, error) {
+	return RunInjected(chip, prog, events, ob, tc, nil)
+}
+
+// Injector mutates the set of energized cells each cycle before the
+// droplet physics runs, modeling hardware faults: a stuck-open electrode
+// is removed from the active set even when its pin is driven, a
+// stuck-closed electrode is added even when its pin is idle. The
+// canonical implementation is faults.Set.
+type Injector interface {
+	Transform(chip *arch.Chip, active map[grid.Cell]bool)
+}
+
+// RunInjected is RunCollected with a hardware fault injector applied to
+// every cycle's active-cell set (nil behaves exactly like RunCollected).
+// The replay reports how the *physical* degraded chip would behave; the
+// telemetry collector still records the commanded frames, matching what
+// the controller believes it sent.
+func RunInjected(chip *arch.Chip, prog *pins.Program, events []router.Event, ob *obs.Observer, tc *telemetry.Collector, inj Injector) (*Trace, error) {
 	sp := ob.Span("simulate")
 	sp.ArgInt("cycles", int64(prog.Len()))
 	defer sp.End()
@@ -164,6 +182,9 @@ func RunCollected(chip *arch.Chip, prog *pins.Program, events []router.Event, ob
 			evIdx++
 		}
 		active := pins.ActiveCells(chip, prog.Cycle(cyc))
+		if inj != nil {
+			inj.Transform(chip, active)
+		}
 		s.cCycles.Inc()
 		s.tc.Frame(prog.Cycle(cyc))
 		if err := s.step(cyc, active); err != nil {
