@@ -26,6 +26,7 @@ import (
 
 	"fppc/internal/assays"
 	"fppc/internal/bench"
+	"fppc/internal/cli"
 	"fppc/internal/core"
 	"fppc/internal/faults"
 	"fppc/internal/obs"
@@ -56,9 +57,18 @@ func run(args []string, out io.Writer) error {
 	faultMax := fs.Int("faults", 0, "run the chaos campaign before reporting: up to N random hardware faults per set over every Table 1 benchmark (0 = off)")
 	faultRuns := fs.Int("fault-runs", 3, "fault sets per benchmark for -faults")
 	faultSeed := fs.Int64("fault-seed", 1, "random seed for -faults")
+	common := cli.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if common.PrintVersion(out) {
+		return nil
+	}
+	logger, err := common.Logger(os.Stderr)
+	if err != nil {
+		return err
+	}
+	logger.Debug("benchmarking", "table", *table, "markdown", *markdown)
 
 	var ctx context.Context
 	if *timeout > 0 {

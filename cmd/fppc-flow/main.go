@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"fppc"
+	"fppc/internal/cli"
 )
 
 func main() {
@@ -34,9 +35,18 @@ func run(args []string, out io.Writer) error {
 	name := fs.String("assay", "protein1", "built-in assay: pcr, invitroN, proteinN, dilutionN")
 	file := fs.String("file", "", ".asl assay file (overrides -assay)")
 	fluid := fs.String("fluid", "", "fluid to report concentrations for (default: first dispensed)")
+	common := cli.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if common.PrintVersion(out) {
+		return nil
+	}
+	logger, err := common.Logger(os.Stderr)
+	if err != nil {
+		return err
+	}
+	logger.Debug("analyzing flow", "assay", *name, "file", *file)
 
 	var assay *fppc.Assay
 	if *file != "" {

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"fppc"
+	"fppc/internal/cli"
 )
 
 func main() {
@@ -38,12 +39,20 @@ func run(args []string, out io.Writer) error {
 	check := fs.Bool("check", false, "run the fluidic design-rule checker")
 	wiring := fs.Bool("wiring", false, "print the PCB wiring-cost estimate")
 	export := fs.String("export", "", "write the chip wiring description as JSON to this file")
+	common := cli.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if common.PrintVersion(out) {
+		return nil
+	}
+	logger, err := common.Logger(os.Stderr)
+	if err != nil {
+		return err
+	}
+	logger.Debug("rendering layout", "da", *da, "height", *height)
 
 	var chip *fppc.Chip
-	var err error
 	if *da {
 		chip, err = fppc.NewDAChip(*w, *h)
 	} else {

@@ -1,0 +1,291 @@
+// fppc-load drives a compilation service with realistic traffic and
+// reports latency percentiles and throughput per mix. It is an
+// open-loop generator: requests launch on a fixed clock regardless of
+// how fast earlier ones complete, so queueing delay shows up in the
+// measured latency instead of being hidden by back-pressure (the
+// coordinated-omission trap of closed-loop benchmarks).
+//
+// Usage:
+//
+//	fppc-load                               # in-process server, all mixes
+//	fppc-load -addr http://127.0.0.1:8093   # live server
+//	fppc-load -rate 200 -n 500 -mix cache_hot,fault_variants
+//	fppc-load -o BENCH_PR6.json             # write the JSON artifact
+//
+// Mixes:
+//
+//	cache_hot      — the same PCR request over and over: cache hit path
+//	fault_variants — PCR under rotating hardware fault specs: compile path
+//	verify         — rotating assays with the oracle enabled
+//	mixed_targets  — alternating FPPC / direct-addressing targets
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fppc"
+	"fppc/internal/arch"
+	"fppc/internal/cli"
+	"fppc/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fppc-load: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// mixResult is one row of the JSON artifact.
+type mixResult struct {
+	Name       string  `json:"name"`
+	Requests   int     `json:"requests"`
+	Errors     int     `json:"errors"`
+	CacheHits  int     `json:"cache_hits"`
+	P50MS      float64 `json:"p50_ms"`
+	P95MS      float64 `json:"p95_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	MaxMS      float64 `json:"max_ms"`
+	Throughput float64 `json:"throughput_rps"`
+	ElapsedS   float64 `json:"elapsed_s"`
+}
+
+// artifact is the BENCH_PR6.json schema.
+type artifact struct {
+	GeneratedBy string      `json:"generated_by"`
+	Addr        string      `json:"addr"`
+	RateHz      float64     `json:"rate_hz"`
+	PerMix      int         `json:"requests_per_mix"`
+	Mixes       []mixResult `json:"mixes"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fppc-load", flag.ContinueOnError)
+	addr := fs.String("addr", "", "base URL of a live fppc-serve (empty = spin an in-process server)")
+	rate := fs.Float64("rate", 100, "request launch rate per second (open loop)")
+	n := fs.Int("n", 100, "requests per mix")
+	mixNames := fs.String("mix", "cache_hot,fault_variants,verify,mixed_targets", "comma-separated mixes to run")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+	output := fs.String("o", "", "write the JSON artifact to this file")
+	workers := fs.Int("workers", 0, "in-process server worker pool (0 = GOMAXPROCS)")
+	common := cli.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if common.PrintVersion(out) {
+		return nil
+	}
+	logger, err := common.Logger(os.Stderr)
+	if err != nil {
+		return err
+	}
+	if *rate <= 0 || *n <= 0 {
+		return fmt.Errorf("-rate and -n must be positive")
+	}
+
+	base := strings.TrimSuffix(*addr, "/")
+	target := base
+	if base == "" {
+		ts := httptest.NewServer(service.New(service.Config{Workers: *workers}))
+		defer ts.Close()
+		base = ts.URL
+		target = "in-process"
+		logger.Debug("started in-process server", "url", ts.URL)
+	}
+
+	mixes, err := buildMixes(*mixNames)
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: *timeout}
+	art := artifact{GeneratedBy: "fppc-load", Addr: target, RateHz: *rate, PerMix: *n}
+	fmt.Fprintf(out, "%-16s %8s %7s %6s %9s %9s %9s %11s\n",
+		"mix", "requests", "errors", "hits", "p50(ms)", "p95(ms)", "p99(ms)", "rps")
+	for _, m := range mixes {
+		logger.Debug("running mix", "mix", m.name, "n", *n, "rate", *rate)
+		res := runMix(client, base, m, *n, *rate)
+		art.Mixes = append(art.Mixes, res)
+		fmt.Fprintf(out, "%-16s %8d %7d %6d %9.2f %9.2f %9.2f %11.1f\n",
+			res.Name, res.Requests, res.Errors, res.CacheHits,
+			res.P50MS, res.P95MS, res.P99MS, res.Throughput)
+	}
+	if *output != "" {
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*output, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "artifact written to %s\n", *output)
+	}
+	for _, r := range art.Mixes {
+		if r.Errors > 0 {
+			return fmt.Errorf("mix %s: %d of %d requests failed", r.Name, r.Errors, r.Requests)
+		}
+	}
+	return nil
+}
+
+// mix names a traffic pattern and generates its i-th request body.
+type mix struct {
+	name string
+	gen  func(i int) service.CompileRequest
+}
+
+// buildMixes resolves the -mix list into request generators.
+func buildMixes(names string) ([]mix, error) {
+	tm := fppc.DefaultTiming()
+	dag := func(a *fppc.Assay) json.RawMessage {
+		raw, err := json.Marshal(a)
+		if err != nil {
+			panic(err) // built-in assays always marshal
+		}
+		return raw
+	}
+	pcr := dag(fppc.PCR(tm))
+	rotation := []json.RawMessage{pcr, dag(fppc.InVitroN(1, tm)), dag(fppc.InVitroN(2, tm))}
+
+	// Valid single-fault specs: each mix-module hold cell of the
+	// 12x21 workhorse chip is synthesizable-around, so rotating
+	// through them yields distinct cache keys that all compile.
+	chip, err := arch.NewFPPC(21)
+	if err != nil {
+		return nil, err
+	}
+	var specs []string
+	for _, m := range chip.MixModules {
+		specs = append(specs, fmt.Sprintf("open@%d,%d", m.Hold.X, m.Hold.Y))
+	}
+
+	all := map[string]mix{
+		"cache_hot": {name: "cache_hot", gen: func(i int) service.CompileRequest {
+			return service.CompileRequest{DAG: pcr}
+		}},
+		"fault_variants": {name: "fault_variants", gen: func(i int) service.CompileRequest {
+			return service.CompileRequest{DAG: pcr, Faults: specs[i%len(specs)]}
+		}},
+		"verify": {name: "verify", gen: func(i int) service.CompileRequest {
+			return service.CompileRequest{DAG: rotation[i%len(rotation)], Verify: true}
+		}},
+		"mixed_targets": {name: "mixed_targets", gen: func(i int) service.CompileRequest {
+			req := service.CompileRequest{DAG: rotation[i%len(rotation)]}
+			if i%2 == 1 {
+				req.Target = "da"
+			}
+			return req
+		}},
+	}
+	var out []mix
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		m, ok := all[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown mix %q (cache_hot, fault_variants, verify, mixed_targets)", name)
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no mixes selected")
+	}
+	return out, nil
+}
+
+// runMix fires n requests at the fixed open-loop rate and aggregates
+// latencies once every in-flight request has returned.
+func runMix(client *http.Client, base string, m mix, n int, rate float64) mixResult {
+	type sample struct {
+		dur    time.Duration
+		cached bool
+		err    bool
+	}
+	samples := make([]sample, n)
+	interval := time.Duration(float64(time.Second) / rate)
+	var wg sync.WaitGroup
+	start := time.Now()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			<-tick.C
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(m.gen(i))
+			t0 := time.Now()
+			resp, err := client.Post(base+"/compile", "application/json", bytes.NewReader(body))
+			samples[i].dur = time.Since(t0)
+			if err != nil {
+				samples[i].err = true
+				return
+			}
+			defer resp.Body.Close()
+			var parsed struct {
+				Cached bool `json:"cached"`
+			}
+			if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&parsed) != nil {
+				samples[i].err = true
+				return
+			}
+			samples[i].cached = parsed.Cached
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := mixResult{Name: m.name, Requests: n, ElapsedS: elapsed.Seconds()}
+	durs := make([]time.Duration, 0, n)
+	for _, s := range samples {
+		if s.err {
+			res.Errors++
+			continue
+		}
+		if s.cached {
+			res.CacheHits++
+		}
+		durs = append(durs, s.dur)
+	}
+	if len(durs) > 0 {
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		res.P50MS = ms(percentile(durs, 0.50))
+		res.P95MS = ms(percentile(durs, 0.95))
+		res.P99MS = ms(percentile(durs, 0.99))
+		res.MaxMS = ms(durs[len(durs)-1])
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(n-res.Errors) / elapsed.Seconds()
+	}
+	return res
+}
+
+// percentile returns the q-quantile of the sorted durations using the
+// nearest-rank method.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

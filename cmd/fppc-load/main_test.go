@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	durs := make([]time.Duration, 100)
+	for i := range durs {
+		durs[i] = time.Duration(i+1) * time.Millisecond
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.95, 95 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{1.0, 100 * time.Millisecond},
+	} {
+		if got := percentile(durs, tc.q); got != tc.want {
+			t.Errorf("percentile(%.2f) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := percentile([]time.Duration{7 * time.Millisecond}, 0.5); got != 7*time.Millisecond {
+		t.Errorf("singleton percentile = %v", got)
+	}
+}
+
+func TestBuildMixes(t *testing.T) {
+	mixes, err := buildMixes("cache_hot, verify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mixes) != 2 || mixes[0].name != "cache_hot" || mixes[1].name != "verify" {
+		t.Fatalf("unexpected mixes %+v", mixes)
+	}
+	if _, err := buildMixes("bogus"); err == nil {
+		t.Error("unknown mix accepted")
+	}
+	if _, err := buildMixes(""); err == nil {
+		t.Error("empty mix list accepted")
+	}
+}
+
+func TestFaultVariantSpecsDiffer(t *testing.T) {
+	mixes, err := buildMixes("fault_variants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := mixes[0].gen(0), mixes[0].gen(1)
+	if a.Faults == "" || a.Faults == b.Faults {
+		t.Errorf("fault variants should rotate specs: %q vs %q", a.Faults, b.Faults)
+	}
+}
+
+func TestEndToEndInProcess(t *testing.T) {
+	outFile := filepath.Join(t.TempDir(), "bench.json")
+	var buf bytes.Buffer
+	err := run([]string{"-n", "8", "-rate", "500", "-mix", "cache_hot,mixed_targets", "-o", outFile}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatalf("artifact is not JSON: %v", err)
+	}
+	if len(art.Mixes) != 2 {
+		t.Fatalf("got %d mixes, want 2", len(art.Mixes))
+	}
+	for _, m := range art.Mixes {
+		if m.Requests != 8 || m.Errors != 0 {
+			t.Errorf("mix %s: requests=%d errors=%d", m.Name, m.Requests, m.Errors)
+		}
+		if m.P50MS <= 0 || m.P99MS < m.P50MS {
+			t.Errorf("mix %s: implausible percentiles p50=%v p99=%v", m.Name, m.P50MS, m.P99MS)
+		}
+		if m.Throughput <= 0 {
+			t.Errorf("mix %s: throughput %v", m.Name, m.Throughput)
+		}
+	}
+	if !strings.Contains(buf.String(), "cache_hot") {
+		t.Errorf("summary table missing mix name:\n%s", buf.String())
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-version"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "fppc ") {
+		t.Errorf("version output = %q", buf.String())
+	}
+}

@@ -11,11 +11,14 @@
 //
 // Endpoints:
 //
-//	POST /compile          — compile an assay (see doc/SERVICE.md for the schema)
-//	GET  /metrics          — Prometheus text exposition, incl. Go runtime gauges
-//	GET  /healthz          — liveness JSON
-//	GET  /debug/telemetry  — chip telemetry snapshot of the latest compile
-//	GET  /debug/pprof/...  — net/http/pprof profiles
+//	POST /compile            — compile an assay (see doc/SERVICE.md for the schema)
+//	GET  /metrics            — Prometheus text exposition, incl. Go runtime gauges
+//	GET  /healthz            — liveness JSON
+//	GET  /version            — build identity JSON
+//	GET  /debug/telemetry    — chip telemetry snapshot of the latest compile
+//	GET  /debug/requests     — flight-recorder digests of recent requests
+//	GET  /debug/requests/{id} — one journal entry with its Chrome trace
+//	GET  /debug/pprof/...    — net/http/pprof profiles
 //
 // SIGINT/SIGTERM drain in-flight requests before exit.
 package main
@@ -34,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"fppc/internal/cli"
 	"fppc/internal/service"
 )
 
@@ -56,16 +60,37 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	maxTimeout := fs.Duration("max-timeout", 5*time.Minute, "hard cap on client-requested deadlines")
 	drain := fs.Duration("drain", 30*time.Second, "shutdown grace period for in-flight requests")
 	verify := fs.Bool("verify", false, "run the independent oracle on every compile (as if each request set verify:true)")
+	journalN := fs.Int("journal", 256, "request journal capacity in entries (0 disables the flight recorder)")
+	slo := fs.Duration("slo", 2*time.Second, "compile latency objective for fppc_service_slo_violations_total (0 disables)")
+	common := cli.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if common.PrintVersion(out) {
+		return nil
+	}
+	logger, err := common.Logger(os.Stderr)
+	if err != nil {
+		return err
+	}
 
+	journalCfg := *journalN
+	if journalCfg == 0 {
+		journalCfg = -1 // Config treats 0 as "default"; -1 disables.
+	}
+	sloCfg := *slo
+	if sloCfg == 0 {
+		sloCfg = -1
+	}
 	srv := service.New(service.Config{
 		Workers:        *workers,
 		CacheEntries:   *cache,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		ForceVerify:    *verify,
+		JournalEntries: journalCfg,
+		SLO:            sloCfg,
+		Logger:         logger,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

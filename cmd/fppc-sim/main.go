@@ -29,8 +29,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"fppc"
+	"fppc/internal/cli"
 )
 
 func main() {
@@ -55,9 +57,19 @@ func run(args []string, out io.Writer) error {
 	heatmap := fs.Bool("heatmap", false, "print an ASCII electrode-actuation heatmap after the replay")
 	heatmapSVG := fs.String("heatmap-svg", "", "write the actuation heatmap as an SVG file")
 	inject := fs.String("inject", "", `declare hardware faults ("open@x,y;closed@x,y;dead#pin"): the compiler synthesizes around them and the replay injects them`)
+	common := cli.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if common.PrintVersion(out) {
+		return nil
+	}
+	logger, err := common.Logger(os.Stderr)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	defer func() { logger.Debug("done", "assay", *name, "dur", time.Since(start)) }()
 
 	assay, err := builtin(*name)
 	if err != nil {

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"fppc"
+	"fppc/internal/cli"
 )
 
 func main() {
@@ -49,7 +50,15 @@ func run(args []string, out io.Writer) error {
 	metricsOut := fs.String("metrics", "", "write pipeline metrics in Prometheus text format")
 	timeout := fs.Duration("timeout", 0, "abort compilation after this long (0 = no limit)")
 	verbose := fs.Bool("v", false, "print the per-stage span summary after compiling")
+	common := cli.Register(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if common.PrintVersion(out) {
+		return nil
+	}
+	logger, err := common.Logger(os.Stderr)
+	if err != nil {
 		return err
 	}
 
@@ -98,10 +107,13 @@ func run(args []string, out io.Writer) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	logger.Debug("compiling", "assay", assay.Name, "target", *target, "grow", *grow)
+	start := time.Now()
 	res, err := fppc.CompileContext(ctx, assay, cfg)
 	if err != nil {
 		return err
 	}
+	logger.Debug("compiled", "assay", assay.Name, "dur", time.Since(start))
 	fmt.Fprintln(out, res.Summary())
 	st, err := assay.ComputeStats()
 	if err != nil {

@@ -1,0 +1,78 @@
+// Package cli holds the flag plumbing shared by every fppc command:
+// structured logging setup (-log-level, -log-format) built on log/slog,
+// so all binaries emit the same text or JSON log lines to stderr, and
+// the service's access logs, journal entries and traces correlate on
+// one request-id vocabulary.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+
+	"fppc/internal/version"
+)
+
+// NewLogger builds a slog.Logger writing to w at the given level
+// ("debug", "info", "warn", "error") in the given format ("text" or
+// "json"). Level and format match the -log-level and -log-format flags.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "", "info":
+		lv = slog.LevelInfo
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+	}
+}
+
+// Common holds the flags every fppc command shares: -version,
+// -log-level and -log-format. Register them with Register, then read
+// them back after flag parsing via PrintVersion and Logger.
+type Common struct {
+	version   bool
+	logLevel  string
+	logFormat string
+}
+
+// Register installs the shared flags on fs and returns the handle that
+// resolves them after parsing.
+func Register(fs *flag.FlagSet) *Common {
+	c := &Common{}
+	fs.BoolVar(&c.version, "version", false, "print build version and exit")
+	fs.StringVar(&c.logLevel, "log-level", "info", "log verbosity: debug, info, warn or error")
+	fs.StringVar(&c.logFormat, "log-format", "text", "log output format: text or json")
+	return c
+}
+
+// PrintVersion reports whether -version was set, printing the build
+// identity to w when it was; callers exit immediately on true.
+func (c *Common) PrintVersion(w io.Writer) bool {
+	if c.version {
+		fmt.Fprintln(w, version.String())
+	}
+	return c.version
+}
+
+// Logger builds the slog.Logger selected by the parsed -log-level and
+// -log-format flags, writing to w.
+func (c *Common) Logger(w io.Writer) (*slog.Logger, error) {
+	return NewLogger(w, c.logLevel, c.logFormat)
+}

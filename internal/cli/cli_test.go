@@ -1,0 +1,104 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestTextLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "warn", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("suppressed")
+	lg.Warn("kept", "k", "v")
+	out := buf.String()
+	if strings.Contains(out, "suppressed") {
+		t.Errorf("info leaked through warn level:\n%s", out)
+	}
+	if !strings.Contains(out, "kept") || !strings.Contains(out, "k=v") {
+		t.Errorf("warn line missing:\n%s", out)
+	}
+}
+
+func TestJSONLoggerFormat(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "debug", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("event", "request_id", "r00000001")
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, buf.String())
+	}
+	if line["msg"] != "event" || line["request_id"] != "r00000001" {
+		t.Errorf("unexpected line %v", line)
+	}
+}
+
+func TestDefaultsAndCaseFolding(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewLogger(&buf, "", ""); err != nil {
+		t.Errorf("empty level/format should default: %v", err)
+	}
+	if _, err := NewLogger(&buf, "WARNING", "TEXT"); err != nil {
+		t.Errorf("case-insensitive parse failed: %v", err)
+	}
+}
+
+func TestCommonFlags(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	c := Register(fs)
+	if err := fs.Parse([]string{"-version", "-log-level", "debug", "-log-format", "json"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if !c.PrintVersion(&buf) {
+		t.Error("PrintVersion = false after -version")
+	}
+	if !strings.HasPrefix(buf.String(), "fppc ") {
+		t.Errorf("version line = %q", buf.String())
+	}
+	var logBuf bytes.Buffer
+	lg, err := c.Logger(&logBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("probe")
+	var line map[string]any
+	if err := json.Unmarshal(logBuf.Bytes(), &line); err != nil {
+		t.Fatalf("expected JSON debug line, got %q", logBuf.String())
+	}
+}
+
+func TestCommonDefaultsNoVersion(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c := Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if c.PrintVersion(&buf) || buf.Len() != 0 {
+		t.Error("PrintVersion should be a no-op without -version")
+	}
+	if _, err := c.Logger(&buf); err != nil {
+		t.Errorf("default flags should build a logger: %v", err)
+	}
+}
+
+func TestRejectsUnknownLevelAndFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewLogger(&buf, "loud", "text"); err == nil {
+		t.Error("unknown level accepted")
+	}
+	if _, err := NewLogger(&buf, "info", "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,254 @@
+// Package journal is the service's flight recorder: a fixed-capacity
+// ring buffer holding a compact digest of each recent request — id,
+// assay fingerprint, target, fault spec, cache outcome, per-stage
+// durations, verification outcome, error class, response size, and the
+// request-scoped trace spans of the compile that did the work.
+//
+// The package follows the internal/obs discipline: every method is
+// nil-safe, and the disabled path (a nil *Journal) performs zero
+// allocations, so the service threads journal calls through its hot
+// path unconditionally. Begin and Commit each take one short mutex
+// section; entries are immutable once committed, so readers get stable
+// snapshots without copying entry contents.
+package journal
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fppc/internal/obs"
+)
+
+// Stage indexes the per-request pipeline stages whose durations an
+// Entry records.
+type Stage int
+
+// The request lifecycle stages, in pipeline order. Parse and
+// Canonicalize run on every request; Schedule, Route and Verify run
+// only on the request that executes the compile (a cache miss's
+// singleflight leader) and stay zero on hits and followers.
+const (
+	StageParse Stage = iota
+	StageCanonicalize
+	StageSchedule
+	StageRoute
+	StageVerify
+	NumStages
+)
+
+var stageNames = [NumStages]string{"parse", "canonicalize", "schedule", "route", "verify"}
+
+func (s Stage) String() string {
+	if s < 0 || s >= NumStages {
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+	return stageNames[s]
+}
+
+// StageNames returns the stage label values in pipeline order.
+func StageNames() [NumStages]string { return stageNames }
+
+// Cache outcomes of a compile request.
+const (
+	OutcomeHit      = "hit"      // served from the content-addressed cache
+	OutcomeMiss     = "miss"     // this request executed the compile
+	OutcomeFollower = "follower" // coalesced onto an identical in-flight compile
+)
+
+// Verification outcomes.
+const (
+	VerifyOK     = "ok"
+	VerifyFailed = "failed"
+)
+
+// Entry is one recorded request. An Entry is produced by Begin, filled
+// through its nil-safe setters while the request runs, and frozen by
+// Commit; after Commit it must not be mutated.
+type Entry struct {
+	Seq   uint64    // monotonically increasing commit-independent sequence
+	ID    string    // request id ("r" + zero-padded hex of Seq)
+	Start time.Time // when the request began
+
+	Assay       string // assay name (empty until the request parses)
+	Fingerprint string // dag.Fingerprint of the assay
+	Target      string // "fppc" or "da"
+	Faults      string // canonical fault spec ("" when pristine)
+
+	Outcome    string                   // OutcomeHit, OutcomeMiss, OutcomeFollower
+	Stages     [NumStages]time.Duration // per-stage wall clock (see Stage)
+	Verify     string                   // "", VerifyOK or VerifyFailed
+	ErrorClass string                   // "", or the error kind of a non-2xx reply
+
+	Status  int           // HTTP status of the reply
+	Bytes   int64         // response body bytes written
+	Elapsed time.Duration // total request wall clock
+
+	// Spans holds the request-scoped trace of the compile that built the
+	// served result (set on the executing request only).
+	Spans []obs.SpanRecord
+}
+
+// SetStage records the duration of one stage (no-op on nil).
+func (e *Entry) SetStage(s Stage, d time.Duration) {
+	if e == nil || s < 0 || s >= NumStages {
+		return
+	}
+	e.Stages[s] = d
+}
+
+// SetAssay records what the request asked to compile (no-op on nil).
+func (e *Entry) SetAssay(assay, fingerprint, target, faults string) {
+	if e == nil {
+		return
+	}
+	e.Assay, e.Fingerprint, e.Target, e.Faults = assay, fingerprint, target, faults
+}
+
+// SetOutcome records the cache outcome (no-op on nil).
+func (e *Entry) SetOutcome(o string) {
+	if e == nil {
+		return
+	}
+	e.Outcome = o
+}
+
+// SetVerify records the verification outcome (no-op on nil).
+func (e *Entry) SetVerify(v string) {
+	if e == nil {
+		return
+	}
+	e.Verify = v
+}
+
+// SetErrorClass records the error kind of a failed request (no-op on
+// nil).
+func (e *Entry) SetErrorClass(c string) {
+	if e == nil {
+		return
+	}
+	e.ErrorClass = c
+}
+
+// SetSpans attaches the request-scoped trace (no-op on nil).
+func (e *Entry) SetSpans(spans []obs.SpanRecord) {
+	if e == nil {
+		return
+	}
+	e.Spans = spans
+}
+
+// Finish records the reply's status, body size and total latency
+// (no-op on nil). Called once, immediately before Commit.
+func (e *Entry) Finish(status int, bytes int64, elapsed time.Duration) {
+	if e == nil {
+		return
+	}
+	e.Status, e.Bytes, e.Elapsed = status, bytes, elapsed
+}
+
+// Journal is the ring buffer. A nil *Journal is a disabled journal:
+// Begin returns nil and every other method is a cheap no-op.
+type Journal struct {
+	mu   sync.Mutex
+	seq  uint64
+	buf  []*Entry // ring storage, len == capacity
+	next int      // slot the next commit overwrites
+	n    int      // committed entries (≤ len(buf))
+}
+
+// New returns a journal keeping the most recent capacity entries, or
+// nil (a disabled journal) when capacity <= 0.
+func New(capacity int) *Journal {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Journal{buf: make([]*Entry, capacity)}
+}
+
+// Enabled reports whether the journal records anything.
+func (j *Journal) Enabled() bool { return j != nil }
+
+// Cap returns the ring capacity (0 when disabled).
+func (j *Journal) Cap() int {
+	if j == nil {
+		return 0
+	}
+	return len(j.buf)
+}
+
+// Len returns the number of committed entries (0 when disabled).
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// Begin allocates the next entry with a fresh unique id and the current
+// time. On a nil journal it returns nil without reading the clock.
+func (j *Journal) Begin() *Entry {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	j.seq++
+	seq := j.seq
+	j.mu.Unlock()
+	return &Entry{Seq: seq, ID: fmt.Sprintf("r%08x", seq), Start: time.Now()}
+}
+
+// Commit freezes the entry into the ring, evicting the oldest entry
+// once full. Committing a nil entry (the disabled path) is a no-op.
+func (j *Journal) Commit(e *Entry) {
+	if j == nil || e == nil {
+		return
+	}
+	j.mu.Lock()
+	j.buf[j.next] = e
+	j.next = (j.next + 1) % len(j.buf)
+	if j.n < len(j.buf) {
+		j.n++
+	}
+	j.mu.Unlock()
+}
+
+// Snapshot returns up to limit committed entries, newest first (all of
+// them when limit <= 0). Entries are immutable after Commit, so the
+// returned pointers are safe to read concurrently.
+func (j *Journal) Snapshot(limit int) []*Entry {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := j.n
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]*Entry, 0, n)
+	for i := 0; i < n; i++ {
+		// next-1 is the newest committed slot; walk backwards.
+		idx := (j.next - 1 - i + 2*len(j.buf)) % len(j.buf)
+		out = append(out, j.buf[idx])
+	}
+	return out
+}
+
+// Get returns the committed entry with the given request id.
+func (j *Journal) Get(id string) (*Entry, bool) {
+	if j == nil {
+		return nil, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i := 0; i < j.n; i++ {
+		idx := (j.next - 1 - i + 2*len(j.buf)) % len(j.buf)
+		if e := j.buf[idx]; e != nil && e.ID == id {
+			return e, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,185 @@
+package journal
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStageNames(t *testing.T) {
+	want := []string{"parse", "canonicalize", "schedule", "route", "verify"}
+	names := StageNames()
+	if int(NumStages) != len(want) {
+		t.Fatalf("NumStages = %d, want %d", NumStages, len(want))
+	}
+	for i, w := range want {
+		if names[i] != w || Stage(i).String() != w {
+			t.Errorf("stage %d = %q/%q, want %q", i, names[i], Stage(i), w)
+		}
+	}
+	if got := Stage(99).String(); got != "stage(99)" {
+		t.Errorf("out-of-range stage = %q", got)
+	}
+}
+
+// TestRingCapacityAndEvictionOrder pins the flight-recorder property:
+// the ring never holds more than its capacity, evicts strictly oldest
+// first, and Snapshot returns newest-first.
+func TestRingCapacityAndEvictionOrder(t *testing.T) {
+	j := New(4)
+	if j.Cap() != 4 || j.Len() != 0 {
+		t.Fatalf("fresh journal cap=%d len=%d", j.Cap(), j.Len())
+	}
+	var committed []*Entry
+	for i := 0; i < 10; i++ {
+		e := j.Begin()
+		e.SetOutcome(OutcomeMiss)
+		j.Commit(e)
+		committed = append(committed, e)
+		if j.Len() > 4 {
+			t.Fatalf("after %d commits, len = %d > capacity", i+1, j.Len())
+		}
+	}
+	snap := j.Snapshot(0)
+	if len(snap) != 4 {
+		t.Fatalf("snapshot has %d entries, want 4", len(snap))
+	}
+	// Newest first: seq 10, 9, 8, 7.
+	for i, e := range snap {
+		want := committed[len(committed)-1-i]
+		if e != want {
+			t.Errorf("snapshot[%d].Seq = %d, want %d", i, e.Seq, want.Seq)
+		}
+	}
+	if limited := j.Snapshot(2); len(limited) != 2 || limited[0].Seq != 10 || limited[1].Seq != 9 {
+		t.Errorf("Snapshot(2) = %d entries, first seqs %v", len(limited), limited)
+	}
+}
+
+func TestGetByID(t *testing.T) {
+	j := New(3)
+	var last *Entry
+	for i := 0; i < 5; i++ {
+		last = j.Begin()
+		j.Commit(last)
+	}
+	if e, ok := j.Get(last.ID); !ok || e != last {
+		t.Fatalf("Get(%q) = %v, %v", last.ID, e, ok)
+	}
+	// Seq 1 and 2 are evicted (capacity 3, 5 commits).
+	if _, ok := j.Get("r00000001"); ok {
+		t.Error("evicted entry still reachable by id")
+	}
+	if _, ok := j.Get("no-such-id"); ok {
+		t.Error("unknown id found")
+	}
+}
+
+// TestIDUniquenessConcurrent drives Begin/Commit from many goroutines
+// (run under -race in CI) and checks every issued id is unique and the
+// capacity bound holds throughout.
+func TestIDUniquenessConcurrent(t *testing.T) {
+	const goroutines, perG = 8, 200
+	j := New(64)
+	ids := make(chan string, goroutines*perG)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				e := j.Begin()
+				e.SetStage(StageParse, time.Microsecond)
+				e.Finish(200, 128, time.Millisecond)
+				j.Commit(e)
+				ids <- e.ID
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := map[string]bool{}
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate request id %q", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != goroutines*perG {
+		t.Fatalf("got %d unique ids, want %d", len(seen), goroutines*perG)
+	}
+	if j.Len() != 64 {
+		t.Fatalf("len = %d, want the capacity 64", j.Len())
+	}
+}
+
+func TestSettersRecord(t *testing.T) {
+	j := New(1)
+	e := j.Begin()
+	e.SetAssay("pcr", "sha256:abc", "fppc", "open@5,2")
+	e.SetOutcome(OutcomeHit)
+	e.SetVerify(VerifyOK)
+	e.SetErrorClass("")
+	e.SetStage(StageSchedule, 3*time.Millisecond)
+	e.SetStage(Stage(-1), time.Second) // out of range: ignored
+	e.SetStage(NumStages, time.Second) // out of range: ignored
+	e.Finish(200, 512, 5*time.Millisecond)
+	j.Commit(e)
+	got := j.Snapshot(0)[0]
+	if got.Assay != "pcr" || got.Fingerprint != "sha256:abc" || got.Target != "fppc" || got.Faults != "open@5,2" {
+		t.Errorf("assay fields = %+v", got)
+	}
+	if got.Outcome != OutcomeHit || got.Verify != VerifyOK || got.Status != 200 || got.Bytes != 512 {
+		t.Errorf("outcome fields = %+v", got)
+	}
+	if got.Stages[StageSchedule] != 3*time.Millisecond {
+		t.Errorf("schedule stage = %v", got.Stages[StageSchedule])
+	}
+}
+
+// TestDisabledZeroAllocs pins the obs discipline for the journal: the
+// disabled (nil-journal) request path allocates nothing — the same bar
+// as telemetry's TestHooksDisabledZeroAllocs.
+func TestDisabledZeroAllocs(t *testing.T) {
+	var j *Journal
+	if j.Enabled() || j.Cap() != 0 || j.Len() != 0 {
+		t.Fatal("nil journal claims to be enabled")
+	}
+	n := testing.AllocsPerRun(200, func() {
+		e := j.Begin()
+		e.SetAssay("pcr", "fp", "fppc", "")
+		e.SetOutcome(OutcomeMiss)
+		e.SetStage(StageParse, time.Microsecond)
+		e.SetStage(StageRoute, time.Millisecond)
+		e.SetVerify(VerifyOK)
+		e.SetErrorClass("compile_failed")
+		e.SetSpans(nil)
+		e.Finish(200, 1024, time.Millisecond)
+		j.Commit(e)
+		j.Snapshot(10)
+		j.Get("r00000001")
+	})
+	if n != 0 {
+		t.Fatalf("disabled journal path allocates %.1f times per run, want 0", n)
+	}
+}
+
+func TestNewRejectsNonPositiveCapacity(t *testing.T) {
+	for _, c := range []int{0, -1, -100} {
+		if j := New(c); j != nil {
+			t.Errorf("New(%d) = %v, want nil", c, j)
+		}
+	}
+}
+
+func TestIDFormat(t *testing.T) {
+	j := New(2)
+	e := j.Begin()
+	if want := fmt.Sprintf("r%08x", e.Seq); e.ID != want {
+		t.Errorf("id = %q, want %q", e.ID, want)
+	}
+	if e.Start.IsZero() {
+		t.Error("Begin left Start zero")
+	}
+}

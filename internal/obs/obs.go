@@ -41,6 +41,17 @@ func NewMetricsOnly() *Observer {
 	return &Observer{metrics: NewRegistry()}
 }
 
+// NewRequestScoped returns an Observer with a fresh tracer that records
+// onto the shared registry reg. This is how a long-running server gets
+// bounded tracing: each request carries its own tracer, whose spans are
+// harvested (Tracer().Records()) into the request's journal entry and
+// then dropped with the observer, while metrics keep accumulating on
+// the process-wide registry. A nil registry yields a tracer-only
+// observer.
+func NewRequestScoped(reg *Registry) *Observer {
+	return &Observer{tracer: NewTracer(), metrics: reg}
+}
+
 // Enabled reports whether the observer records anything.
 func (o *Observer) Enabled() bool { return o != nil }
 

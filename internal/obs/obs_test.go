@@ -306,3 +306,52 @@ func TestHelpBeforeUse(t *testing.T) {
 		t.Errorf("help-first registration kept wrong kind:\n%s", buf.String())
 	}
 }
+
+// TestRequestScopedObserver pins the server tracing contract: a
+// request-scoped observer records spans on its own tracer while metrics
+// land on the shared registry, so per-request traces stay bounded and
+// process-wide counters keep accumulating.
+func TestRequestScopedObserver(t *testing.T) {
+	shared := NewRegistry()
+	a := NewRequestScoped(shared)
+	b := NewRequestScoped(shared)
+	a.Counter("fppc_shared_total").Inc()
+	b.Counter("fppc_shared_total").Inc()
+	if got := shared.Counter("fppc_shared_total").Value(); got != 2 {
+		t.Errorf("shared counter = %d, want 2", got)
+	}
+	a.Span("only-a").End()
+	if n := len(a.Tracer().Records()); n != 1 {
+		t.Errorf("a recorded %d spans, want 1", n)
+	}
+	if n := len(b.Tracer().Records()); n != 0 {
+		t.Errorf("b recorded %d spans, want 0 (tracers must not be shared)", n)
+	}
+	// A nil registry still yields a usable tracer-only observer.
+	c := NewRequestScoped(nil)
+	c.Counter("x").Inc() // no-op, must not panic
+	c.Span("work").End()
+	if n := len(c.Tracer().Records()); n != 1 {
+		t.Errorf("tracer-only observer recorded %d spans, want 1", n)
+	}
+}
+
+// TestChromeTraceJSONFromRecords renders harvested records without the
+// tracer that produced them — the journal's full-entry trace path.
+func TestChromeTraceJSONFromRecords(t *testing.T) {
+	tr, tick := fakeClock()
+	sp := tr.Span("compile")
+	tick(2 * time.Millisecond)
+	sp.End()
+	got := ChromeTraceJSON(tr.Records())
+	var direct bytes.Buffer
+	if err := tr.WriteChromeTrace(&direct); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != direct.String() {
+		t.Errorf("record-level render differs from tracer render:\n%s\nvs\n%s", got, direct.String())
+	}
+	if empty := ChromeTraceJSON(nil); strings.TrimSpace(string(empty)) != "[]" {
+		t.Errorf("empty trace = %q, want []", empty)
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -158,7 +159,23 @@ type chromeEvent struct {
 // WriteChromeTrace emits the recorded spans as a Chrome trace_event JSON
 // array. On a nil tracer it writes an empty array.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
-	recs := t.Records()
+	return WriteChromeTrace(w, t.Records())
+}
+
+// ChromeTraceJSON renders span records as a Chrome trace_event JSON
+// document ("[]" plus newline for an empty set). Used by the service to
+// embed a request-scoped trace in journal entries and compile responses.
+func ChromeTraceJSON(recs []SpanRecord) []byte {
+	var buf bytes.Buffer
+	// Encoding span records cannot fail: every value is a
+	// JSON-marshalable scalar or map of scalars.
+	_ = WriteChromeTrace(&buf, recs)
+	return buf.Bytes()
+}
+
+// WriteChromeTrace emits span records as a Chrome trace_event JSON
+// array, independent of the tracer that recorded them.
+func WriteChromeTrace(w io.Writer, recs []SpanRecord) error {
 	events := make([]chromeEvent, 0, len(recs))
 	for _, r := range recs {
 		ev := chromeEvent{

@@ -4,11 +4,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+	"time"
 
 	"fppc/internal/asl"
 	"fppc/internal/core"
 	"fppc/internal/dag"
 	"fppc/internal/faults"
+	"fppc/internal/journal"
+	"fppc/internal/obs"
 	"fppc/internal/oracle"
 	"fppc/internal/router"
 )
@@ -62,6 +65,13 @@ type CompileRequest struct {
 	// otherwise. A verification failure is a server-side correctness bug
 	// and maps to HTTP 500.
 	Verify bool `json:"verify,omitempty"`
+
+	// Trace returns the compile's request-scoped trace inline: the
+	// response trace field carries Chrome trace_event JSON (loadable in
+	// chrome://tracing or Perfetto). For cached or deduplicated results
+	// this is the trace of the compile that produced the entry, not of
+	// this request. Trace does not affect the cache key.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // ChipInfo describes the chip the assay compiled onto.
@@ -128,6 +138,14 @@ type CompileResponse struct {
 	Sequence     *Sequence         `json:"sequence,omitempty"`
 	Verification *VerificationInfo `json:"verification,omitempty"`
 	ElapsedMS    float64           `json:"elapsed_ms"`
+
+	// RequestID correlates this reply with the X-Request-Id header, the
+	// access log, and the journal entry at /debug/requests/{id} (empty
+	// when both the journal and logging are disabled).
+	RequestID string `json:"request_id,omitempty"`
+	// Trace is the compile's Chrome trace_event JSON, present when the
+	// request set "trace": true.
+	Trace json.RawMessage `json:"trace,omitempty"`
 }
 
 // errorResponse is the body of every non-2xx reply.
@@ -159,20 +177,24 @@ type job struct {
 	faults   *faults.Set
 }
 
-// entry is a cached compile outcome (response with the per-request
-// fields zeroed).
+// entry is a cached compile outcome: the response with the per-request
+// fields zeroed, plus the request-scoped trace of the compile that
+// built it (served inline for "trace": true requests).
 type entry struct {
-	resp CompileResponse
+	resp  CompileResponse
+	spans []obs.SpanRecord
 }
 
-// prepare validates the request into a job.
-func (s *Server) prepare(req CompileRequest) (*job, error) {
+// prepare validates the request into a job, timing the parse and
+// canonicalize stages onto the journal entry and the stage histograms.
+func (s *Server) prepare(req CompileRequest, rec *journal.Entry) (*job, error) {
 	hasASL := strings.TrimSpace(req.ASL) != ""
 	hasDAG := len(req.DAG) > 0 && string(req.DAG) != "null"
 	if hasASL == hasDAG {
 		return nil, badRequest("exactly one of \"asl\" or \"dag\" must be set")
 	}
 	var assay *dag.Assay
+	tParse := time.Now()
 	if hasASL {
 		a, err := asl.Parse(req.ASL)
 		if err != nil {
@@ -189,6 +211,9 @@ func (s *Server) prepare(req CompileRequest) (*job, error) {
 		}
 		assay = a
 	}
+	dParse := time.Since(tParse)
+	rec.SetStage(journal.StageParse, dParse)
+	s.hStage[journal.StageParse].Observe(dParse.Seconds())
 
 	cfg := core.Config{
 		FPPCHeight:       req.Height,
@@ -234,6 +259,7 @@ func (s *Server) prepare(req CompileRequest) (*job, error) {
 		}
 	}
 
+	tCanon := time.Now()
 	fp, err := assay.Fingerprint()
 	if err != nil {
 		return nil, &badRequestError{err}
@@ -247,6 +273,10 @@ func (s *Server) prepare(req CompileRequest) (*job, error) {
 	if err != nil {
 		return nil, &badRequestError{err}
 	}
+	dCanon := time.Since(tCanon)
+	rec.SetStage(journal.StageCanonicalize, dCanon)
+	s.hStage[journal.StageCanonicalize].Observe(dCanon.Seconds())
+	rec.SetAssay(assay.Name, fp, req.Target, faultSet.String())
 	verify := req.Verify || s.cfg.ForceVerify
 	// The fault component uses the set's canonical String (sorted,
 	// deduplicated), so "open@5,2; dead#7" and "dead#7;open@5,2" share a

@@ -1,0 +1,147 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"fppc/internal/journal"
+	"fppc/internal/obs"
+	"fppc/internal/version"
+)
+
+// RequestDigest is one row of GET /debug/requests: the flight
+// recorder's compact account of a recent compile request.
+type RequestDigest struct {
+	ID          string    `json:"id"`
+	Time        time.Time `json:"time"`
+	Assay       string    `json:"assay,omitempty"`
+	Fingerprint string    `json:"fingerprint,omitempty"`
+	Target      string    `json:"target,omitempty"`
+	Faults      string    `json:"faults,omitempty"`
+	// Outcome is "hit", "miss" or "follower" (empty when the request
+	// failed before reaching the cache).
+	Outcome string `json:"outcome,omitempty"`
+	// StageMS holds per-stage wall-clock milliseconds for the stages
+	// this request executed (parse/canonicalize on every request;
+	// schedule/route/verify only on the request that ran the compile).
+	StageMS map[string]float64 `json:"stage_ms,omitempty"`
+	// Verify is "ok" or "failed" when the oracle ran.
+	Verify string `json:"verify,omitempty"`
+	// Error is the error kind of a non-2xx reply.
+	Error         string  `json:"error,omitempty"`
+	Status        int     `json:"status"`
+	ResponseBytes int64   `json:"response_bytes"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+}
+
+// RequestDetail is the GET /debug/requests/{id} body: the digest plus
+// the request-scoped trace of the compile, as Chrome trace_event JSON.
+type RequestDetail struct {
+	RequestDigest
+	Trace json.RawMessage `json:"trace,omitempty"`
+}
+
+// digestEntry renders a committed journal entry as its wire digest.
+func digestEntry(e *journal.Entry) RequestDigest {
+	d := RequestDigest{
+		ID:            e.ID,
+		Time:          e.Start,
+		Assay:         e.Assay,
+		Fingerprint:   e.Fingerprint,
+		Target:        e.Target,
+		Faults:        e.Faults,
+		Outcome:       e.Outcome,
+		Verify:        e.Verify,
+		Error:         e.ErrorClass,
+		Status:        e.Status,
+		ResponseBytes: e.Bytes,
+		ElapsedMS:     float64(e.Elapsed) / float64(time.Millisecond),
+	}
+	names := journal.StageNames()
+	for i, dur := range e.Stages {
+		if dur > 0 {
+			if d.StageMS == nil {
+				d.StageMS = make(map[string]float64, len(names))
+			}
+			d.StageMS[names[i]] = float64(dur) / float64(time.Millisecond)
+		}
+	}
+	return d
+}
+
+// journalUnavailable writes the 404 shared by both journal endpoints
+// when the flight recorder is disabled.
+func (s *Server) journalUnavailable(w http.ResponseWriter) bool {
+	if s.journal.Enabled() {
+		return false
+	}
+	writeError(w, http.StatusNotFound, "journal_disabled",
+		fmt.Errorf("the request journal is disabled (fppc-serve -journal 0)"))
+	return true
+}
+
+// handleRequests serves GET /debug/requests: recent request digests,
+// newest first. ?n=K limits the reply to the K most recent.
+func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", fmt.Errorf("GET only"))
+		return
+	}
+	if s.journalUnavailable(w) {
+		return
+	}
+	limit := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("n must be a non-negative integer, got %q", v))
+			return
+		}
+		limit = n
+	}
+	entries := s.journal.Snapshot(limit)
+	out := make([]RequestDigest, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, digestEntry(e))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleRequestByID serves GET /debug/requests/{id}: the full journal
+// entry including the compile's Chrome trace.
+func (s *Server) handleRequestByID(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", fmt.Errorf("GET only"))
+		return
+	}
+	if s.journalUnavailable(w) {
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/debug/requests/")
+	e, ok := s.journal.Get(id)
+	if id == "" || strings.Contains(id, "/") || !ok {
+		writeError(w, http.StatusNotFound, "not_found",
+			fmt.Errorf("no journal entry %q (the ring keeps the last %d requests)", id, s.journal.Cap()))
+		return
+	}
+	det := RequestDetail{RequestDigest: digestEntry(e)}
+	if len(e.Spans) > 0 {
+		det.Trace = json.RawMessage(bytes.TrimSpace(obs.ChromeTraceJSON(e.Spans)))
+	}
+	writeJSON(w, http.StatusOK, det)
+}
+
+// handleVersion serves GET /version: the build identity of the binary
+// (module version plus VCS revision via runtime/debug.ReadBuildInfo).
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", fmt.Errorf("GET only"))
+		return
+	}
+	writeJSON(w, http.StatusOK, version.Get())
+}

@@ -3,9 +3,11 @@
 // text or DAG JSON) plus target and configuration and returns the
 // compiled program and its statistics; GET /metrics serves the
 // internal/obs Prometheus export plus runtime gauges; GET /healthz
-// reports liveness; GET /debug/telemetry returns the chip-level
-// execution telemetry of the last compile; /debug/pprof/* serves the
-// standard Go profiles.
+// reports liveness; GET /version reports the build identity; GET
+// /debug/telemetry returns the chip-level execution telemetry of the
+// last compile; GET /debug/requests (and /debug/requests/{id}) serves
+// the flight-recorder journal of recent requests; /debug/pprof/* serves
+// the standard Go profiles.
 //
 // Under the hood the server runs a bounded worker pool, a
 // content-addressed LRU cache keyed by the assay's dag fingerprint plus
@@ -15,21 +17,36 @@
 // reproduction into a servable system: a lab tool resubmits protocols
 // against one pre-manufactured FPPC chip and gets pin programs back in
 // milliseconds once warm.
+//
+// Request lifecycle observability: each compile request gets a unique
+// id (echoed as X-Request-Id, in the response body, in the structured
+// access log, and as the journal key) and a request-scoped obs tracer
+// whose spans flush into the journal entry when the compile finishes —
+// bounded tracing on a long-lived server, where a process-wide tracer
+// would accumulate spans forever. Per-stage latencies feed the
+// fppc_service_stage_seconds histograms, and requests slower than the
+// configured compile-latency objective increment
+// fppc_service_slo_violations_total.
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"fppc/internal/core"
+	"fppc/internal/journal"
 	"fppc/internal/obs"
 	"fppc/internal/telemetry"
 )
@@ -55,41 +72,75 @@ type Config struct {
 	// metrics-only observer — a tracing observer would accumulate span
 	// records for the server's whole lifetime).
 	Obs *obs.Observer
+	// JournalEntries bounds the flight-recorder request journal
+	// (default 256; negative disables the journal entirely, which also
+	// turns off per-request tracing for requests that do not ask for an
+	// inline trace).
+	JournalEntries int
+	// Logger receives structured access logs with request-id
+	// correlation (nil disables logging).
+	Logger *slog.Logger
+	// SLO is the compile-latency objective: /compile requests slower
+	// than this increment fppc_service_slo_violations_total (default
+	// 2s; negative disables SLO accounting).
+	SLO time.Duration
 }
 
 // Server is the compilation service. It is an http.Handler; create one
 // with New.
 type Server struct {
-	cfg    Config
-	ob     *obs.Observer
-	sem    chan struct{}
-	cache  *lruCache
-	flight *group
-	queued atomic.Int64
-	start  time.Time
-	mux    *http.ServeMux
+	cfg     Config
+	ob      *obs.Observer
+	sem     chan struct{}
+	cache   *lruCache
+	flight  *group
+	queued  atomic.Int64
+	start   time.Time
+	mux     *http.ServeMux
+	journal *journal.Journal
+	logger  *slog.Logger
+	slo     time.Duration
+	// reqSeq issues request ids when logging is on but the journal
+	// (which otherwise issues them) is disabled.
+	reqSeq atomic.Uint64
 
 	// lastTelemetry holds the chip-level telemetry record of the most
 	// recent compile, served by GET /debug/telemetry.
 	lastTelemetry atomic.Pointer[TelemetryRecord]
 
-	cHits         *obs.Counter
-	cMisses       *obs.Counter
-	cDedup        *obs.Counter
-	cCompiles     *obs.Counter
-	cTimeouts     *obs.Counter
-	cVerifyFail   *obs.Counter
-	cFaultResynth *obs.Counter
-	cFaultUnsynth *obs.Counter
-	gQueue        *obs.Gauge
-	gInflight     *obs.Gauge
-	hCompile      *obs.Histogram
+	cHits          *obs.Counter
+	cMisses        *obs.Counter
+	cDedup         *obs.Counter
+	cCompiles      *obs.Counter
+	cTimeouts      *obs.Counter
+	cVerifyFail    *obs.Counter
+	cFaultResynth  *obs.Counter
+	cFaultUnsynth  *obs.Counter
+	cSLOViolations *obs.Counter
+	gQueue         *obs.Gauge
+	gInflight      *obs.Gauge
+	gSLOObjective  *obs.Gauge
+	hCompile       *obs.Histogram
+	// hStage holds the per-stage latency histograms, pre-resolved once
+	// (registry lookups take the registry lock — the obs hot-path rule).
+	hStage [journal.NumStages]*obs.Histogram
+	// reqCount pre-resolves the requests_total counters per endpoint:
+	// the common 200 counter is a read-only map lookup and other codes
+	// go through a per-endpoint sync.Map, so the per-request path never
+	// rebuilds label strings under the registry lock.
+	reqCount map[string]*endpointCounters
 
 	// Runtime gauges, refreshed on every GET /metrics scrape.
 	gGoroutines  *obs.Gauge
 	gHeapBytes   *obs.Gauge
 	gGCPauses    *obs.Gauge
 	gGCPauseSecs *obs.Gauge
+}
+
+// endpointCounters caches the requests_total series of one endpoint.
+type endpointCounters struct {
+	ok    *obs.Counter // status 200, the hot path
+	other sync.Map     // int status -> *obs.Counter, resolved on first use
 }
 
 // New builds a ready-to-serve Server.
@@ -109,18 +160,29 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 8 << 20
 	}
+	journalCap := cfg.JournalEntries
+	if journalCap == 0 {
+		journalCap = 256
+	}
+	slo := cfg.SLO
+	if slo == 0 {
+		slo = 2 * time.Second
+	}
 	ob := cfg.Obs
 	if ob == nil {
 		ob = obs.NewMetricsOnly()
 	}
 	s := &Server{
-		cfg:    cfg,
-		ob:     ob,
-		sem:    make(chan struct{}, cfg.Workers),
-		cache:  newLRUCache(cfg.CacheEntries),
-		flight: newGroup(),
-		start:  time.Now(),
-		mux:    http.NewServeMux(),
+		cfg:     cfg,
+		ob:      ob,
+		sem:     make(chan struct{}, cfg.Workers),
+		cache:   newLRUCache(cfg.CacheEntries),
+		flight:  newGroup(),
+		start:   time.Now(),
+		mux:     http.NewServeMux(),
+		journal: journal.New(journalCap), // nil (disabled) when negative
+		logger:  cfg.Logger,
+		slo:     slo,
 
 		cHits:         ob.Counter("fppc_service_cache_hits_total"),
 		cMisses:       ob.Counter("fppc_service_cache_misses_total"),
@@ -139,6 +201,24 @@ func New(cfg Config) *Server {
 		gGCPauses:    ob.Gauge("fppc_runtime_gc_pauses_total"),
 		gGCPauseSecs: ob.Gauge("fppc_runtime_gc_pause_seconds_total"),
 	}
+	if slo > 0 {
+		// The SLO series exist only when an objective is configured, so
+		// a disabled SLO leaves no dead series on /metrics. Both fields
+		// stay nil otherwise: nil obs instruments are no-ops.
+		s.cSLOViolations = ob.Counter("fppc_service_slo_violations_total")
+		s.gSLOObjective = ob.Gauge("fppc_service_slo_objective_seconds")
+		s.gSLOObjective.Set(slo.Seconds())
+	}
+	stageBuckets := []float64{.0001, .0005, .001, .005, .01, .05, .1, .5, 1, 5, 30}
+	for st, name := range journal.StageNames() {
+		s.hStage[st] = ob.Histogram("fppc_service_stage_seconds", stageBuckets, "stage", name)
+	}
+	s.reqCount = make(map[string]*endpointCounters, len(knownEndpoints))
+	for _, ep := range knownEndpoints {
+		s.reqCount[ep] = &endpointCounters{
+			ok: ob.Counter("fppc_service_requests_total", "endpoint", ep, "code", "200"),
+		}
+	}
 	m := ob.Metrics()
 	m.Help("fppc_service_cache_hits_total", "compile requests served from the content-addressed cache")
 	m.Help("fppc_service_cache_misses_total", "compile requests that required compilation")
@@ -149,6 +229,12 @@ func New(cfg Config) *Server {
 	m.Help("fppc_service_fault_compiles_total", "degraded-chip compile requests by outcome: resynthesized around the declared faults, or unsynthesizable")
 	m.Help("fppc_service_queue_depth", "requests waiting for a worker slot")
 	m.Help("fppc_service_compile_seconds", "wall-clock compile latency (cache misses only)")
+	m.Help("fppc_service_stage_seconds", "per-request latency by pipeline stage (parse/canonicalize on every request; schedule/route/verify on the request that executes the compile)")
+	if slo > 0 {
+		m.Help("fppc_service_slo_violations_total", "compile requests slower than the configured latency objective")
+		m.Help("fppc_service_slo_objective_seconds", "the configured compile-latency objective")
+	}
+	m.Help("fppc_service_requests_total", "HTTP requests by endpoint and status code")
 	m.Help("fppc_runtime_goroutines", "live goroutines (runtime/metrics, sampled per scrape)")
 	m.Help("fppc_runtime_heap_bytes", "heap bytes occupied by live objects")
 	m.Help("fppc_runtime_gc_pauses_total", "stop-the-world GC pauses since process start")
@@ -156,6 +242,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/compile", s.handleCompile)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/version", s.handleVersion)
+	s.mux.HandleFunc("/debug/requests", s.handleRequests)
+	s.mux.HandleFunc("/debug/requests/", s.handleRequestByID)
 	s.mux.HandleFunc("/debug/telemetry", s.handleTelemetry)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -168,29 +257,98 @@ func New(cfg Config) *Server {
 // Observer returns the observer the server records onto.
 func (s *Server) Observer() *obs.Observer { return s.ob }
 
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
-	s.mux.ServeHTTP(rec, r)
-	// Unknown paths share one label so arbitrary URLs cannot grow the
-	// registry without bound; all pprof profiles share one label too.
-	endpoint := r.URL.Path
-	switch {
-	case endpoint == "/compile" || endpoint == "/metrics" ||
-		endpoint == "/healthz" || endpoint == "/debug/telemetry":
-	case strings.HasPrefix(endpoint, "/debug/pprof/"):
-		endpoint = "/debug/pprof"
-	default:
-		endpoint = "other"
-	}
-	s.ob.Counter("fppc_service_requests_total",
-		"endpoint", endpoint, "code", fmt.Sprint(rec.code)).Inc()
+// Journal returns the flight-recorder request journal (nil when
+// disabled).
+func (s *Server) Journal() *journal.Journal { return s.journal }
+
+// knownEndpoints are the label values requests_total may carry; unknown
+// paths share "other" so arbitrary URLs cannot grow the registry
+// without bound, and all pprof profiles and journal entry lookups share
+// one label each.
+var knownEndpoints = []string{
+	"/compile", "/metrics", "/healthz", "/version",
+	"/debug/telemetry", "/debug/requests", "/debug/pprof", "other",
 }
 
-// statusRecorder captures the response code for the requests_total
-// counter.
+// endpointLabel collapses a request path onto a knownEndpoints value.
+func endpointLabel(path string) string {
+	switch {
+	case path == "/compile" || path == "/metrics" || path == "/healthz" ||
+		path == "/version" || path == "/debug/telemetry" || path == "/debug/requests":
+		return path
+	case strings.HasPrefix(path, "/debug/requests/"):
+		return "/debug/requests"
+	case strings.HasPrefix(path, "/debug/pprof/"):
+		return "/debug/pprof"
+	default:
+		return "other"
+	}
+}
+
+// requestCounter returns the pre-resolved requests_total counter for
+// (endpoint, code) without taking the registry lock on the hot path.
+func (s *Server) requestCounter(endpoint string, code int) *obs.Counter {
+	ec := s.reqCount[endpoint]
+	if ec == nil { // unreachable: endpointLabel only emits known values
+		return s.ob.Counter("fppc_service_requests_total", "endpoint", endpoint, "code", strconv.Itoa(code))
+	}
+	if code == http.StatusOK {
+		return ec.ok
+	}
+	if c, ok := ec.other.Load(code); ok {
+		return c.(*obs.Counter)
+	}
+	c := s.ob.Counter("fppc_service_requests_total", "endpoint", endpoint, "code", strconv.Itoa(code))
+	ec.other.Store(code, c)
+	return c
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+	s.mux.ServeHTTP(rec, r)
+	elapsed := time.Since(t0)
+	endpoint := endpointLabel(r.URL.Path)
+	s.requestCounter(endpoint, rec.code).Inc()
+	if endpoint == "/compile" {
+		if s.slo > 0 && elapsed > s.slo {
+			s.cSLOViolations.Inc()
+		}
+		// The journal entry (begun by handleCompile) is committed here,
+		// where the final status, body size and total latency are known.
+		if rec.entry != nil {
+			rec.entry.Finish(rec.code, rec.bytes, elapsed)
+			s.journal.Commit(rec.entry)
+		}
+	}
+	if s.logger != nil {
+		lvl := slog.LevelDebug
+		if endpoint == "/compile" {
+			lvl = slog.LevelInfo
+		}
+		attrs := make([]slog.Attr, 0, 6)
+		attrs = append(attrs,
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rec.code),
+			slog.Int64("bytes", rec.bytes),
+			slog.Float64("dur_ms", float64(elapsed)/float64(time.Millisecond)))
+		if rec.reqID != "" {
+			attrs = append(attrs, slog.String("request_id", rec.reqID))
+		}
+		s.logger.LogAttrs(r.Context(), lvl, "request", attrs...)
+	}
+}
+
+// statusRecorder captures the response code and body size, and carries
+// the compile request's journal entry and id from the handler back to
+// ServeHTTP, which commits and logs once the reply is fully written.
 type statusRecorder struct {
 	http.ResponseWriter
-	code int
+	code  int
+	bytes int64
+	entry *journal.Entry
+	reqID string
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
@@ -198,8 +356,32 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	// One journal entry per compile request; its id correlates the
+	// response (header and body), the access log, and the journal. When
+	// both journal and logging are disabled this whole block is no-ops
+	// and allocates nothing.
+	rec := s.journal.Begin()
+	reqID := ""
+	if rec != nil {
+		reqID = rec.ID
+	} else if s.logger != nil {
+		reqID = fmt.Sprintf("r%08x", s.reqSeq.Add(1))
+	}
+	if sr, ok := w.(*statusRecorder); ok {
+		sr.entry, sr.reqID = rec, reqID
+	}
+	if reqID != "" {
+		w.Header().Set("X-Request-Id", reqID)
+	}
 	if r.Method != http.MethodPost {
+		rec.SetErrorClass("method_not_allowed")
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
 			fmt.Errorf("POST only"))
 		return
@@ -208,11 +390,13 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		rec.SetErrorClass("bad_request")
 		writeError(w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
-	j, err := s.prepare(req)
+	j, err := s.prepare(req, rec)
 	if err != nil {
+		rec.SetErrorClass("bad_request")
 		writeError(w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
@@ -228,30 +412,51 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	start := time.Now()
-	e, cached, err := s.compile(ctx, j)
+	e, outcome, err := s.compile(ctx, j, rec)
+	rec.SetOutcome(outcome)
 	if err != nil {
-		s.writeCompileError(w, err)
+		code, kind := classifyCompileError(err)
+		if kind == "canceled" {
+			s.cTimeouts.Inc()
+		}
+		if kind == "verification_failed" {
+			rec.SetVerify(journal.VerifyFailed)
+		}
+		rec.SetErrorClass(kind)
+		writeError(w, code, kind, err)
 		return
 	}
 	resp := e.resp // copy; per-request fields set below
-	resp.Cached = cached
+	resp.Cached = outcome == journal.OutcomeHit
 	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	resp.RequestID = reqID
+	if resp.Verification != nil {
+		rec.SetVerify(journal.VerifyOK)
+	}
+	if req.Trace && len(e.spans) > 0 {
+		// The trace of the compile that produced this result — for hits
+		// and followers, that compile ran on an earlier request.
+		resp.Trace = json.RawMessage(bytes.TrimSpace(obs.ChromeTraceJSON(e.spans)))
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // compile serves the job from cache, an identical in-flight request, or
-// a fresh compilation on the worker pool — in that order.
-func (s *Server) compile(ctx context.Context, j *job) (*entry, bool, error) {
+// a fresh compilation on the worker pool — in that order — and reports
+// which of the three happened as a journal outcome.
+func (s *Server) compile(ctx context.Context, j *job, rec *journal.Entry) (*entry, string, error) {
 	if e, ok := s.cache.get(j.cacheKey); ok {
 		s.cHits.Inc()
-		return e, true, nil
+		return e, journal.OutcomeHit, nil
 	}
 	s.cMisses.Inc()
 	for {
+		leader := false
 		e, shared, err := s.flight.do(ctx, j.cacheKey, func() (*entry, error) {
-			return s.runCompile(ctx, j)
+			leader = true
+			return s.runCompile(ctx, j, rec)
 		})
-		if shared {
+		if shared && !leader {
 			// The leader's deadline is not ours: if the leader died of
 			// cancellation but this request still has budget, retry as a
 			// fresh leader.
@@ -259,13 +464,18 @@ func (s *Server) compile(ctx context.Context, j *job) (*entry, bool, error) {
 				continue
 			}
 			s.cDedup.Inc()
+			return e, journal.OutcomeFollower, err
 		}
-		return e, false, err
+		return e, journal.OutcomeMiss, err
 	}
 }
 
-// runCompile waits for a worker slot, compiles, and populates the cache.
-func (s *Server) runCompile(ctx context.Context, j *job) (*entry, error) {
+// runCompile waits for a worker slot, compiles under a request-scoped
+// tracer, and populates the cache. The tracer's spans and the
+// schedule/route/verify stage durations land on the caller's journal
+// entry (rec is the singleflight leader's entry; followers share the
+// result but executed none of the stages).
+func (s *Server) runCompile(ctx context.Context, j *job, rec *journal.Entry) (*entry, error) {
 	s.gQueue.Set(float64(s.queued.Add(1)))
 	select {
 	case s.sem <- struct{}{}:
@@ -279,12 +489,28 @@ func (s *Server) runCompile(ctx context.Context, j *job) (*entry, error) {
 	s.gInflight.Set(float64(len(s.sem)))
 	s.cCompiles.Inc()
 	tc := telemetry.New()
+	// A per-request observer bounds tracing on a long-lived server: its
+	// spans are harvested below and dropped with the request, while its
+	// metrics land on the shared process-wide registry.
+	reqOb := obs.NewRequestScoped(s.ob.Metrics())
 	cfg := j.cfg
+	cfg.Obs = reqOb
 	cfg.Router.Telemetry = tc
 	t0 := time.Now()
 	res, err := core.CompileContext(ctx, j.assay, cfg)
 	s.hCompile.Observe(time.Since(t0).Seconds())
 	s.gInflight.Set(float64(len(s.sem) - 1))
+	spans := reqOb.Tracer().Records()
+	schedD, routeD := sumStageSpans(spans)
+	rec.SetStage(journal.StageSchedule, schedD)
+	rec.SetStage(journal.StageRoute, routeD)
+	rec.SetSpans(spans)
+	if schedD > 0 {
+		s.hStage[journal.StageSchedule].Observe(schedD.Seconds())
+	}
+	if routeD > 0 {
+		s.hStage[journal.StageRoute].Observe(routeD.Seconds())
+	}
 	if err != nil {
 		// Counted here, not in the response writer, so singleflight
 		// followers sharing this error don't inflate the outcome counter.
@@ -298,17 +524,37 @@ func (s *Server) runCompile(ctx context.Context, j *job) (*entry, error) {
 		s.cFaultResynth.Inc()
 	}
 	e := j.buildEntry(res)
+	e.spans = spans
 	if j.verify {
-		vi, err := j.runVerify(res)
-		if err != nil {
+		tv := time.Now()
+		vi, verr := j.runVerify(res)
+		dv := time.Since(tv)
+		rec.SetStage(journal.StageVerify, dv)
+		s.hStage[journal.StageVerify].Observe(dv.Seconds())
+		if verr != nil {
 			s.cVerifyFail.Inc()
-			return nil, err
+			return nil, verr
 		}
 		e.resp.Verification = vi
 	}
 	s.collectTelemetry(j, res, tc)
 	s.cache.put(j.cacheKey, e)
 	return e, nil
+}
+
+// sumStageSpans totals the scheduler and router span durations of a
+// request-scoped trace (auto-grow may run each stage several times; the
+// journal records the total spent, matching what the request paid).
+func sumStageSpans(recs []obs.SpanRecord) (schedule, route time.Duration) {
+	for _, r := range recs {
+		switch r.Name {
+		case "schedule":
+			schedule += r.Dur
+		case "route":
+			route += r.Dur
+		}
+	}
+	return schedule, route
 }
 
 // isCancellation reports whether err stems from a context abort.
@@ -318,34 +564,30 @@ func isCancellation(err error) bool {
 		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// writeCompileError maps compile failures to HTTP statuses: 504 for
-// deadline/cancellation (the typed core.ErrCanceled), 400 for invalid
-// requests, 422 kind "unsynthesizable" when the declared hardware
-// faults leave the chip with too little capacity, and 422 kind
-// "compile_failed" for assays the flow cannot compile at all.
-func (s *Server) writeCompileError(w http.ResponseWriter, err error) {
-	switch {
-	case isCancellation(err):
-		s.cTimeouts.Inc()
-		writeError(w, http.StatusGatewayTimeout, "canceled", err)
-	default:
-		var br *badRequestError
-		if errors.As(err, &br) {
-			writeError(w, http.StatusBadRequest, "bad_request", err)
-			return
-		}
-		var ve *verificationError
-		if errors.As(err, &ve) {
-			writeError(w, http.StatusInternalServerError, "verification_failed", err)
-			return
-		}
-		var uns *core.ErrUnsynthesizable
-		if errors.As(err, &uns) {
-			writeError(w, http.StatusUnprocessableEntity, "unsynthesizable", err)
-			return
-		}
-		writeError(w, http.StatusUnprocessableEntity, "compile_failed", err)
+// classifyCompileError maps compile failures to HTTP statuses and error
+// kinds: 504 for deadline/cancellation (the typed core.ErrCanceled),
+// 400 for invalid requests, 500 for oracle verification failures, 422
+// kind "unsynthesizable" when the declared hardware faults leave the
+// chip with too little capacity, and 422 kind "compile_failed" for
+// assays the flow cannot compile at all. The kind doubles as the
+// journal entry's error class.
+func classifyCompileError(err error) (int, string) {
+	if isCancellation(err) {
+		return http.StatusGatewayTimeout, "canceled"
 	}
+	var br *badRequestError
+	if errors.As(err, &br) {
+		return http.StatusBadRequest, "bad_request"
+	}
+	var ve *verificationError
+	if errors.As(err, &ve) {
+		return http.StatusInternalServerError, "verification_failed"
+	}
+	var uns *core.ErrUnsynthesizable
+	if errors.As(err, &uns) {
+		return http.StatusUnprocessableEntity, "unsynthesizable"
+	}
+	return http.StatusUnprocessableEntity, "compile_failed"
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

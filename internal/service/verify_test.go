@@ -108,6 +108,7 @@ func TestCacheHitEqualsColdCompile(t *testing.T) {
 	// per-request fields.
 	hit.Cached, cold.Cached = false, false
 	hit.ElapsedMS, cold.ElapsedMS = 0, 0
+	hit.RequestID, cold.RequestID = "", ""
 	if !reflect.DeepEqual(hit, cold) {
 		t.Errorf("cache hit differs from cold compile:\nhit:  %+v\ncold: %+v", hit, cold)
 	}

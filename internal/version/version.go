@@ -1,0 +1,75 @@
+// Package version reports the build identity of the fppc binaries:
+// module version, VCS revision, and Go toolchain, read once from
+// runtime/debug.ReadBuildInfo. Every CLI exposes it as -version and the
+// service as GET /version, so a deployed binary can always be traced
+// back to the commit that produced it.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Info is the build identity of the running binary.
+type Info struct {
+	// Module is the main module path ("fppc").
+	Module string `json:"module"`
+	// Version is the module version ("(devel)" for source builds).
+	Version string `json:"version"`
+	// Revision is the VCS commit hash, when stamped by the toolchain.
+	Revision string `json:"revision,omitempty"`
+	// Time is the VCS commit time (RFC 3339), when stamped.
+	Time string `json:"time,omitempty"`
+	// Modified reports uncommitted changes in the build's worktree.
+	Modified bool `json:"modified,omitempty"`
+	// Go is the toolchain that built the binary.
+	Go string `json:"go"`
+}
+
+var get = sync.OnceValue(func() Info {
+	info := Info{Module: "fppc", Version: "(devel)", Go: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Path != "" {
+		info.Module = bi.Main.Path
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+})
+
+// Get returns the build identity (computed once).
+func Get() Info { return get() }
+
+// String renders the identity as one line for -version output, e.g.
+// "fppc (devel) rev 1a2b3c4 go1.24.0".
+func String() string {
+	info := Get()
+	s := fmt.Sprintf("%s %s", info.Module, info.Version)
+	if info.Revision != "" {
+		rev := info.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+		if info.Modified {
+			s += "+dirty"
+		}
+	}
+	return s + " " + info.Go
+}

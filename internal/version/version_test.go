@@ -1,0 +1,36 @@
+package version
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestGetReportsModuleAndToolchain(t *testing.T) {
+	info := Get()
+	if info.Module != "fppc" {
+		t.Errorf("module = %q, want fppc", info.Module)
+	}
+	if info.Version == "" {
+		t.Error("version is empty")
+	}
+	if info.Go != runtime.Version() {
+		t.Errorf("go = %q, want %q", info.Go, runtime.Version())
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	s := String()
+	if !strings.HasPrefix(s, "fppc ") {
+		t.Errorf("version line %q does not start with the module name", s)
+	}
+	if !strings.Contains(s, runtime.Version()) {
+		t.Errorf("version line %q misses the toolchain", s)
+	}
+}
+
+func TestGetIsStable(t *testing.T) {
+	if Get() != Get() {
+		t.Error("Get is not idempotent")
+	}
+}
