@@ -35,13 +35,14 @@ bench:
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
-# loadbench regenerates BENCH_PR6.json: service latency percentiles and
-# throughput per traffic mix from the open-loop load generator, run
-# against an in-process server. CI uploads the file as an artifact.
-# Override LOADBENCH_FLAGS for longer runs or a live -addr.
+# loadbench regenerates BENCH_PR7.json: service latency percentiles and
+# throughput per traffic mix from the open-loop load generator (compile
+# mixes plus the chip-fleet mix with its per-chip placement/migration
+# summary), run against an in-process server. CI uploads the file as an
+# artifact. Override LOADBENCH_FLAGS for longer runs or a live -addr.
 LOADBENCH_FLAGS ?= -n 200 -rate 200
 loadbench:
-	$(GO) run ./cmd/fppc-load $(LOADBENCH_FLAGS) -o BENCH_PR6.json
+	$(GO) run ./cmd/fppc-load $(LOADBENCH_FLAGS) -o BENCH_PR7.json
 
 # cover enforces the coverage ratchet (scripts/coverage_floor.txt);
 # cover-update raises the floor to the current total.

@@ -1,0 +1,121 @@
+// fppc-fleet runs the canned chip-fleet degradation scenario and prints
+// its timeline: a fleet of mixed-architecture chips takes a batch of
+// benchmark assays, one chip wears out mid-run, and the reconciler
+// migrates the stranded jobs — fault-aware recompile via the recovery
+// planner, oracle-verified on the destination. Time is virtual
+// (schedule steps) and every random choice flows from -seed, so the
+// same flags always print the same timeline.
+//
+// Usage:
+//
+//	fppc-fleet                          # 4 chips, 20 jobs, seed 1
+//	fppc-fleet -chips 6 -jobs 40 -seed 7
+//	fppc-fleet -o fleet.json            # write the full result as JSON
+//
+// The exit status is non-zero if any job is lost (ends failed instead
+// of completing or migrating) — CI runs this as the fleet smoke test.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"fppc/internal/cli"
+	"fppc/internal/fleet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fppc-fleet: ")
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fppc-fleet", flag.ContinueOnError)
+	chips := fs.Int("chips", 4, "fleet size (minimum 2; architectures rotate, one chip has a manufacturing defect)")
+	jobs := fs.Int("jobs", 20, "benchmark assays to submit")
+	seed := fs.Int64("seed", 1, "seed for the mid-run wear injection")
+	cells := fs.Int("cells", 2, "electrodes the wear injection wears out")
+	ratedLife := fs.Int64("rated-life", 0, "per-electrode actuation budget (0 = fleet default)")
+	output := fs.String("o", "", "write the full scenario result as JSON to this file")
+	common := cli.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if common.PrintVersion(out) {
+		return nil
+	}
+	logger, err := common.Logger(os.Stderr)
+	if err != nil {
+		return err
+	}
+	logger.Debug("running scenario", "chips", *chips, "jobs", *jobs, "seed", *seed)
+
+	res, err := fleet.RunScenario(ctx, fleet.ScenarioConfig{
+		Chips:        *chips,
+		Jobs:         *jobs,
+		Seed:         *seed,
+		DegradeCells: *cells,
+		RatedLife:    *ratedLife,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "fleet: %d chips, %d jobs, seed %d\n", *chips, *jobs, *seed)
+	for _, c := range res.Chips {
+		fmt.Fprintf(out, "  %-8s %-4s %2dx%-2d %-8s faults=%d wear=%.4f\n",
+			c.ID, c.Target, c.W, c.H, c.Health, c.FaultCount, c.MaxWear)
+	}
+	fmt.Fprintf(out, "timeline (virtual steps; wear injected on %s at step %d):\n",
+		res.DegradedChip, res.DegradedAtStep)
+	for _, e := range res.Events {
+		fmt.Fprintf(out, "  [%4d] %-9s %s\n", e.Step, e.Kind, eventLine(e))
+	}
+	fmt.Fprintf(out, "outcome: %d placed, %d migrated, %d completed, %d failed (final step %d)\n",
+		res.Placed, res.Migrated, res.Completed, res.Failed, res.FinalStep)
+
+	if *output != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*output, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "result written to %s\n", *output)
+	}
+	if len(res.Lost) > 0 {
+		return fmt.Errorf("%d jobs lost: %v", len(res.Lost), res.Lost)
+	}
+	fmt.Fprintln(out, "no jobs lost")
+	return nil
+}
+
+// eventLine renders one event's specifics for the timeline.
+func eventLine(e fleet.Event) string {
+	switch e.Kind {
+	case fleet.EventMigrated:
+		return fmt.Sprintf("%s %s -> %s: %s", e.Job, e.From, e.To, e.Detail)
+	case fleet.EventDegraded:
+		return fmt.Sprintf("%s now %s", e.Chip, e.Detail)
+	case fleet.EventSubmitted:
+		return fmt.Sprintf("%s (%s)", e.Job, e.Detail)
+	default:
+		s := e.Job
+		if e.Chip != "" {
+			s += " on " + e.Chip
+		}
+		if e.Detail != "" {
+			s += ": " + e.Detail
+		}
+		return s
+	}
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fppc/internal/fleet"
+)
+
+// TestScenarioCLI runs the pinned-seed scenario end to end: the
+// timeline must show a wear-triggered migration, no job may be lost,
+// and the JSON artifact must round-trip.
+func TestScenarioCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the benchmark suite across a fleet")
+	}
+	outFile := filepath.Join(t.TempDir(), "fleet.json")
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-chips", "4", "-jobs", "12", "-seed", "1", "-o", outFile}, &buf); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	text := buf.String()
+	for _, want := range []string{"degraded", "migrated", "recovery plan", "oracle verified", "no jobs lost"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("timeline missing %q:\n%s", want, text)
+		}
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res fleet.ScenarioResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("artifact is not JSON: %v", err)
+	}
+	if len(res.Lost) != 0 || res.Failed != 0 {
+		t.Errorf("lost jobs in artifact: %+v", res)
+	}
+	if res.Migrated < 1 {
+		t.Errorf("no migrations recorded: %+v", res)
+	}
+	if len(res.Jobs) != 12 || len(res.Chips) != 4 {
+		t.Errorf("artifact shape: %d jobs, %d chips", len(res.Jobs), len(res.Chips))
+	}
+}
+
+// TestScenarioCLIDeterministic checks the same flags print the same
+// timeline, byte for byte.
+func TestScenarioCLIDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the scenario twice")
+	}
+	render := func() string {
+		var buf bytes.Buffer
+		if err := run(context.Background(), []string{"-jobs", "6", "-seed", "3"}, &buf); err != nil {
+			t.Fatalf("run: %v\n%s", err, buf.String())
+		}
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("timeline not deterministic:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-chips", "1"}, &bytes.Buffer{}); err == nil {
+		t.Error("fleet of one accepted")
+	}
+	if err := run(context.Background(), []string{"-no-such-flag"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-version"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "fppc ") {
+		t.Errorf("version output = %q", buf.String())
+	}
+}

@@ -18,10 +18,14 @@
 //	fault_variants — PCR under rotating hardware fault specs: compile path
 //	verify         — rotating assays with the oracle enabled
 //	mixed_targets  — alternating FPPC / direct-addressing targets
+//	fleet          — submissions to the chip-fleet control plane, with a
+//	                 mid-run wear injection forcing migrations; the
+//	                 artifact gains a per-chip placement/migration summary
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -38,6 +42,8 @@ import (
 	"fppc"
 	"fppc/internal/arch"
 	"fppc/internal/cli"
+	"fppc/internal/fleet"
+	"fppc/internal/obs"
 	"fppc/internal/service"
 )
 
@@ -63,13 +69,42 @@ type mixResult struct {
 	ElapsedS   float64 `json:"elapsed_s"`
 }
 
-// artifact is the BENCH_PR6.json schema.
+// artifact is the loadbench JSON schema (BENCH_PR6.json / BENCH_PR7.json).
 type artifact struct {
 	GeneratedBy string      `json:"generated_by"`
 	Addr        string      `json:"addr"`
 	RateHz      float64     `json:"rate_hz"`
 	PerMix      int         `json:"requests_per_mix"`
 	Mixes       []mixResult `json:"mixes"`
+	// Fleet is present when the fleet mix ran: the control plane's view
+	// of where the submitted jobs landed and what the wear injection
+	// forced to move.
+	Fleet *fleetSummary `json:"fleet,omitempty"`
+}
+
+// fleetChipStat is one chip's share of the fleet-mix traffic.
+type fleetChipStat struct {
+	Chip        string  `json:"chip"`
+	Target      string  `json:"target"`
+	Hosted      int     `json:"hosted"` // jobs on this chip when the mix settled
+	MigratedIn  int     `json:"migrated_in"`
+	MigratedOut int     `json:"migrated_out"`
+	Faults      string  `json:"faults,omitempty"`
+	MaxWear     float64 `json:"max_wear"`
+	// Throughput is hosted jobs per wall-clock second of the mix run.
+	Throughput float64 `json:"throughput_jobs_per_s"`
+}
+
+// fleetSummary aggregates the fleet mix outcome for the artifact.
+type fleetSummary struct {
+	Chips        int             `json:"chips"`
+	Jobs         int             `json:"jobs"`
+	Placed       int             `json:"placed"`
+	Migrated     int             `json:"migrated"`
+	Failed       int             `json:"failed"`
+	Completed    int             `json:"completed"`
+	DegradedChip string          `json:"degraded_chip,omitempty"`
+	PerChip      []fleetChipStat `json:"per_chip"`
 }
 
 func run(args []string, out io.Writer) error {
@@ -77,7 +112,8 @@ func run(args []string, out io.Writer) error {
 	addr := fs.String("addr", "", "base URL of a live fppc-serve (empty = spin an in-process server)")
 	rate := fs.Float64("rate", 100, "request launch rate per second (open loop)")
 	n := fs.Int("n", 100, "requests per mix")
-	mixNames := fs.String("mix", "cache_hot,fault_variants,verify,mixed_targets", "comma-separated mixes to run")
+	mixNames := fs.String("mix", "cache_hot,fault_variants,verify,mixed_targets,fleet", "comma-separated mixes to run")
+	fleetChips := fs.Int("fleet-chips", 4, "in-process fleet size for the fleet mix")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
 	output := fs.String("o", "", "write the JSON artifact to this file")
 	workers := fs.Int("workers", 0, "in-process server worker pool (0 = GOMAXPROCS)")
@@ -96,19 +132,54 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-rate and -n must be positive")
 	}
 
+	// The fleet mix talks to different endpoints and yields a different
+	// summary, so it is split off from the compile mixes here.
+	wantFleet := false
+	var compileNames []string
+	for _, name := range strings.Split(*mixNames, ",") {
+		if strings.TrimSpace(name) == "fleet" {
+			wantFleet = true
+			continue
+		}
+		compileNames = append(compileNames, name)
+	}
+
 	base := strings.TrimSuffix(*addr, "/")
 	target := base
 	if base == "" {
-		ts := httptest.NewServer(service.New(service.Config{Workers: *workers}))
+		cfg := service.Config{Workers: *workers}
+		if wantFleet {
+			specs, err := fleet.ScenarioSpecs(*fleetChips)
+			if err != nil {
+				return err
+			}
+			ob := obs.NewMetricsOnly()
+			fl, err := fleet.New(fleet.Config{Chips: specs, Obs: ob, MaxEvents: 8 * *n})
+			if err != nil {
+				return err
+			}
+			cfg.Obs = ob
+			cfg.Fleet = fl
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			go fl.Run(ctx, 50*time.Millisecond)
+		}
+		ts := httptest.NewServer(service.New(cfg))
 		defer ts.Close()
 		base = ts.URL
 		target = "in-process"
 		logger.Debug("started in-process server", "url", ts.URL)
 	}
 
-	mixes, err := buildMixes(*mixNames)
-	if err != nil {
-		return err
+	var mixes []mix
+	if len(compileNames) > 0 {
+		var err error
+		mixes, err = buildMixes(strings.Join(compileNames, ","))
+		if err != nil {
+			return err
+		}
+	} else if !wantFleet {
+		return fmt.Errorf("no mixes selected")
 	}
 	client := &http.Client{Timeout: *timeout}
 	art := artifact{GeneratedBy: "fppc-load", Addr: target, RateHz: *rate, PerMix: *n}
@@ -121,6 +192,24 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "%-16s %8d %7d %6d %9.2f %9.2f %9.2f %11.1f\n",
 			res.Name, res.Requests, res.Errors, res.CacheHits,
 			res.P50MS, res.P95MS, res.P99MS, res.Throughput)
+	}
+	if wantFleet {
+		logger.Debug("running mix", "mix", "fleet", "n", *n, "rate", *rate)
+		res, fsum, err := runFleetMix(client, base, *n, *rate)
+		if err != nil {
+			return err
+		}
+		art.Mixes = append(art.Mixes, res)
+		art.Fleet = fsum
+		fmt.Fprintf(out, "%-16s %8d %7d %6d %9.2f %9.2f %9.2f %11.1f\n",
+			res.Name, res.Requests, res.Errors, res.CacheHits,
+			res.P50MS, res.P95MS, res.P99MS, res.Throughput)
+		fmt.Fprintf(out, "fleet: %d jobs over %d chips, %d placements, %d migrations, %d failed (degraded %s)\n",
+			fsum.Jobs, fsum.Chips, fsum.Placed, fsum.Migrated, fsum.Failed, fsum.DegradedChip)
+		for _, c := range fsum.PerChip {
+			fmt.Fprintf(out, "  %-8s %-4s hosts %3d (in %d, out %d)  %6.1f jobs/s  wear %.4f\n",
+				c.Chip, c.Target, c.Hosted, c.MigratedIn, c.MigratedOut, c.Throughput, c.MaxWear)
+		}
 	}
 	if *output != "" {
 		data, err := json.MarshalIndent(art, "", "  ")
@@ -273,6 +362,216 @@ func runMix(client *http.Client, base string, m mix, n int, rate float64) mixRes
 		res.Throughput = float64(n-res.Errors) / elapsed.Seconds()
 	}
 	return res
+}
+
+// runFleetMix drives the chip-fleet control plane: n job submissions at
+// the open-loop rate (rotating the benchmark assays), one seeded wear
+// injection on the busiest chip halfway through, then a wait for the
+// reconciler to settle every job. Latency percentiles cover the
+// submission round trip (202 Accepted); the fleet summary reports where
+// jobs landed and what the degradation forced to move.
+func runFleetMix(client *http.Client, base string, n int, rate float64) (mixResult, *fleetSummary, error) {
+	tm := fppc.DefaultTiming()
+	rotation := make([]json.RawMessage, 0, 3)
+	for _, a := range []*fppc.Assay{fppc.PCR(tm), fppc.InVitroN(1, tm), fppc.InVitroN(2, tm)} {
+		raw, err := json.Marshal(a)
+		if err != nil {
+			return mixResult{}, nil, err
+		}
+		rotation = append(rotation, raw)
+	}
+
+	type sample struct {
+		dur time.Duration
+		err bool
+	}
+	samples := make([]sample, n)
+	interval := time.Duration(float64(time.Second) / rate)
+	var wg sync.WaitGroup
+	start := time.Now()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	degraded := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			<-tick.C
+		}
+		if i == n/2 {
+			// Halfway: wear out the busiest chip so the reconciler has to
+			// migrate its jobs while submissions keep arriving.
+			chip, err := degradeBusiest(client, base)
+			if err != nil {
+				return mixResult{}, nil, fmt.Errorf("wear injection: %w", err)
+			}
+			degraded = chip
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(service.FleetJobRequest{DAG: rotation[i%len(rotation)]})
+			t0 := time.Now()
+			resp, err := client.Post(base+"/fleet/jobs", "application/json", bytes.NewReader(body))
+			samples[i].dur = time.Since(t0)
+			if err != nil {
+				samples[i].err = true
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				samples[i].err = true
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Let the reconciler settle: every job out of pending (placement is
+	// asynchronous; nothing here advances the virtual clock, so settled
+	// jobs sit in placed or failed).
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		jobs, err := fetchJobs(client, base)
+		if err != nil {
+			return mixResult{}, nil, err
+		}
+		pending := 0
+		for _, j := range jobs {
+			if j.State == fleet.JobPending {
+				pending++
+			}
+		}
+		if pending == 0 && len(jobs) > 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	elapsed := time.Since(start)
+
+	res := mixResult{Name: "fleet", Requests: n, ElapsedS: elapsed.Seconds()}
+	durs := make([]time.Duration, 0, n)
+	for _, s := range samples {
+		if s.err {
+			res.Errors++
+			continue
+		}
+		durs = append(durs, s.dur)
+	}
+	if len(durs) > 0 {
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		res.P50MS = ms(percentile(durs, 0.50))
+		res.P95MS = ms(percentile(durs, 0.95))
+		res.P99MS = ms(percentile(durs, 0.99))
+		res.MaxMS = ms(durs[len(durs)-1])
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(n-res.Errors) / elapsed.Seconds()
+	}
+
+	jobs, err := fetchJobs(client, base)
+	if err != nil {
+		return mixResult{}, nil, err
+	}
+	sum, err := fleetSummarize(client, base, elapsed)
+	if err != nil {
+		return mixResult{}, nil, err
+	}
+	sum.Jobs = len(jobs)
+	sum.DegradedChip = degraded
+	return res, sum, nil
+}
+
+// degradeBusiest injects seeded wear into the chip hosting the most
+// jobs and returns its id.
+func degradeBusiest(client *http.Client, base string) (string, error) {
+	resp, err := client.Get(base + "/fleet/chips")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var chips []fleet.ChipStatus
+	if err := json.NewDecoder(resp.Body).Decode(&chips); err != nil {
+		return "", err
+	}
+	victim, best := "", -1
+	for _, c := range chips {
+		if n := len(c.Jobs); n > best {
+			best, victim = n, c.ID
+		}
+	}
+	if victim == "" {
+		return "", fmt.Errorf("no chips in the fleet")
+	}
+	body, _ := json.Marshal(service.FleetDegradeRequest{Chip: victim, Seed: 7})
+	dr, err := client.Post(base+"/debug/fleet/degrade", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer dr.Body.Close()
+	if dr.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("degrade %s: HTTP %d", victim, dr.StatusCode)
+	}
+	return victim, nil
+}
+
+// fetchJobs lists the fleet's jobs.
+func fetchJobs(client *http.Client, base string) ([]fleet.JobStatus, error) {
+	resp, err := client.Get(base + "/fleet/jobs")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /fleet/jobs: HTTP %d (does the server run with -fleet?)", resp.StatusCode)
+	}
+	var jobs []fleet.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+		return nil, err
+	}
+	return jobs, nil
+}
+
+// fleetSummarize reads /debug/fleet and folds the event log into
+// per-chip placement and migration counts.
+func fleetSummarize(client *http.Client, base string, elapsed time.Duration) (*fleetSummary, error) {
+	resp, err := client.Get(base + "/debug/fleet")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var dbg service.FleetDebugResponse
+	if err := json.NewDecoder(resp.Body).Decode(&dbg); err != nil {
+		return nil, err
+	}
+	sum := &fleetSummary{
+		Chips:     len(dbg.Chips),
+		Placed:    dbg.Placed,
+		Migrated:  dbg.Migrated,
+		Failed:    dbg.Failed,
+		Completed: dbg.Completed,
+	}
+	in := map[string]int{}
+	out := map[string]int{}
+	for _, e := range dbg.Events {
+		if e.Kind == fleet.EventMigrated {
+			in[e.To]++
+			out[e.From]++
+		}
+	}
+	for _, c := range dbg.Chips {
+		stat := fleetChipStat{
+			Chip:        c.ID,
+			Target:      c.Target,
+			Hosted:      len(c.Jobs),
+			MigratedIn:  in[c.ID],
+			MigratedOut: out[c.ID],
+			Faults:      c.Faults,
+			MaxWear:     c.MaxWear,
+		}
+		if elapsed > 0 {
+			stat.Throughput = float64(stat.Hosted) / elapsed.Seconds()
+		}
+		sum.PerChip = append(sum.PerChip, stat)
+	}
+	return sum, nil
 }
 
 // percentile returns the q-quantile of the sorted durations using the

@@ -31,6 +31,9 @@ func TestPercentileNearestRank(t *testing.T) {
 	if got := percentile([]time.Duration{7 * time.Millisecond}, 0.5); got != 7*time.Millisecond {
 		t.Errorf("singleton percentile = %v", got)
 	}
+	if got := percentile(durs, 0.0); got != 1*time.Millisecond {
+		t.Errorf("zero-quantile percentile = %v", got)
+	}
 }
 
 func TestBuildMixes(t *testing.T) {
@@ -91,6 +94,59 @@ func TestEndToEndInProcess(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "cache_hot") {
 		t.Errorf("summary table missing mix name:\n%s", buf.String())
+	}
+}
+
+// TestFleetMixInProcess runs the fleet mix against an in-process server
+// and checks the artifact's fleet summary: every job lands somewhere,
+// the mid-run wear injection forces at least one migration, and nothing
+// is lost.
+func TestFleetMixInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives the fleet control plane end to end")
+	}
+	outFile := filepath.Join(t.TempDir(), "bench.json")
+	var buf bytes.Buffer
+	err := run([]string{"-n", "12", "-rate", "500", "-mix", "fleet", "-o", outFile}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatalf("artifact is not JSON: %v", err)
+	}
+	if len(art.Mixes) != 1 || art.Mixes[0].Name != "fleet" {
+		t.Fatalf("mixes: %+v", art.Mixes)
+	}
+	f := art.Fleet
+	if f == nil {
+		t.Fatal("artifact has no fleet summary")
+	}
+	if f.Chips != 4 || f.Jobs != 12 {
+		t.Errorf("fleet summary: %+v", f)
+	}
+	if f.Failed != 0 {
+		t.Errorf("%d jobs lost: %+v", f.Failed, f)
+	}
+	if f.Migrated < 1 {
+		t.Errorf("wear injection forced no migrations: %+v", f)
+	}
+	if f.DegradedChip == "" {
+		t.Error("no degraded chip recorded")
+	}
+	hosted := 0
+	for _, c := range f.PerChip {
+		hosted += c.Hosted
+	}
+	if hosted != f.Jobs {
+		t.Errorf("hosted %d != jobs %d (virtual clock never ticks here)", hosted, f.Jobs)
+	}
+	if !strings.Contains(buf.String(), "migrations") {
+		t.Errorf("summary output missing fleet line:\n%s", buf.String())
 	}
 }
 

@@ -20,6 +20,17 @@
 //	GET  /debug/requests/{id} — one journal entry with its Chrome trace
 //	GET  /debug/pprof/...    — net/http/pprof profiles
 //
+// With -fleet N the server also runs the chip-fleet control plane over
+// N simulated chips (mixed FPPC/DA architectures, one with a benign
+// manufacturing defect):
+//
+//	POST /fleet/jobs          — submit an assay for placement (202; the reconciler places it)
+//	GET  /fleet/jobs          — list every job
+//	GET  /fleet/jobs/{id}     — one job's placement state
+//	GET  /fleet/chips         — chip health, faults, wear, placements
+//	GET  /debug/fleet         — the placed/migrated/failed event log (?n=K)
+//	POST /debug/fleet/degrade — inject seeded wear into one chip
+//
 // SIGINT/SIGTERM drain in-flight requests before exit.
 package main
 
@@ -38,6 +49,8 @@ import (
 	"time"
 
 	"fppc/internal/cli"
+	"fppc/internal/fleet"
+	"fppc/internal/obs"
 	"fppc/internal/service"
 )
 
@@ -62,6 +75,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	verify := fs.Bool("verify", false, "run the independent oracle on every compile (as if each request set verify:true)")
 	journalN := fs.Int("journal", 256, "request journal capacity in entries (0 disables the flight recorder)")
 	slo := fs.Duration("slo", 2*time.Second, "compile latency objective for fppc_service_slo_violations_total (0 disables)")
+	fleetN := fs.Int("fleet", 0, "attach a chip-fleet control plane over N simulated chips (0 disables)")
+	reconcile := fs.Duration("reconcile", 500*time.Millisecond, "fleet reconcile loop interval (with -fleet)")
 	common := cli.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,6 +97,20 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if sloCfg == 0 {
 		sloCfg = -1
 	}
+	// The fleet shares the server's metric registry so its series land
+	// on /metrics, and runs its own reconcile loop until shutdown.
+	var fl *fleet.Fleet
+	ob := obs.NewMetricsOnly()
+	if *fleetN > 0 {
+		specs, err := fleet.ScenarioSpecs(*fleetN)
+		if err != nil {
+			return err
+		}
+		fl, err = fleet.New(fleet.Config{Chips: specs, Obs: ob})
+		if err != nil {
+			return err
+		}
+	}
 	srv := service.New(service.Config{
 		Workers:        *workers,
 		CacheEntries:   *cache,
@@ -91,7 +120,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		JournalEntries: journalCfg,
 		SLO:            sloCfg,
 		Logger:         logger,
+		Obs:            ob,
+		Fleet:          fl,
 	})
+	var fleetDone chan struct{}
+	if fl != nil {
+		fleetDone = make(chan struct{})
+		go func() {
+			defer close(fleetDone)
+			fl.Run(ctx, *reconcile)
+		}()
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -99,6 +138,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	hs := &http.Server{
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if fl != nil {
+		fmt.Fprintf(out, "fppc-serve: fleet control plane over %d chips (reconcile every %s)\n", *fleetN, *reconcile)
 	}
 	fmt.Fprintf(out, "fppc-serve: listening on %s\n", ln.Addr())
 
@@ -115,6 +157,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	defer cancel()
 	if err := hs.Shutdown(shutCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
+	}
+	if fleetDone != nil {
+		<-fleetDone
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err

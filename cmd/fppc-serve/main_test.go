@@ -64,6 +64,69 @@ func TestServeLifecycle(t *testing.T) {
 	}
 }
 
+// TestServeFleetFlag boots with -fleet 2, submits a job to the control
+// plane, and waits for the background reconciler to place it.
+func TestServeFleetFlag(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out lockedBuffer
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "2", "-fleet", "2", "-reconcile", "50ms"}, &out)
+	}()
+
+	addr := waitForAddr(t, &out)
+	body, err := json.Marshal(map[string]any{
+		"asl": "assay \"t\"\nfluid a\nfluid b\nx = dispense a 2\ny = dispense b 2\nm = mix x y 3\noutput m waste\n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+addr+"/fleet/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || st.ID == "" {
+		t.Fatalf("POST /fleet/jobs: HTTP %d, %+v", resp.StatusCode, st)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) && st.State != "placed" {
+		r, err := http.Get("http://" + addr + "/fleet/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.State != "placed" {
+		t.Fatalf("job never placed: %+v", st)
+	}
+	if !strings.Contains(out.String(), "fleet control plane over 2 chips") {
+		t.Errorf("missing fleet banner:\n%s", out.String())
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run(context.Background(), []string{"-no-such-flag"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("expected flag error")

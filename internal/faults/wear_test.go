@@ -1,0 +1,191 @@
+package faults
+
+import (
+	"testing"
+
+	"fppc/internal/arch"
+	"fppc/internal/assays"
+	"fppc/internal/core"
+	"fppc/internal/grid"
+	"fppc/internal/router"
+	"fppc/internal/sim"
+	"fppc/internal/telemetry"
+)
+
+// compileSnapshot compiles PCR on the workhorse chip and replays it
+// through the collector, producing a real wear-contributing snapshot.
+func compileSnapshot(t *testing.T) *telemetry.Snapshot {
+	t.Helper()
+	tc := telemetry.New()
+	res, err := core.Compile(assays.PCR(assays.DefaultTiming()), core.Config{
+		Target: core.TargetFPPC,
+		Router: router.Options{EmitProgram: true, Telemetry: tc},
+	})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	tc.AttachSchedule(res.Schedule)
+	if _, err := sim.RunCollected(res.Chip, res.Routing.Program, res.Routing.Events, nil, tc); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return tc.Snapshot()
+}
+
+func TestWearAbsorbAccumulates(t *testing.T) {
+	snap := compileSnapshot(t)
+	w := NewWearState()
+	w.Absorb(snap)
+	w.Absorb(snap)
+	if w.Cycles() != 2*int64(snap.Cycles) {
+		t.Fatalf("cycles = %d, want %d", w.Cycles(), 2*snap.Cycles)
+	}
+	var checked int
+	for _, e := range snap.Electrodes {
+		if e.Actuations == 0 {
+			continue
+		}
+		c := grid.Cell{X: e.X, Y: e.Y}
+		if got := w.Actuations(c); got != 2*e.Actuations {
+			t.Fatalf("actuations at %v = %d, want %d", c, got, 2*e.Actuations)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("snapshot recorded no actuated electrodes")
+	}
+}
+
+func TestWearFaultSetMatchesFromWear(t *testing.T) {
+	snap := compileSnapshot(t)
+	chip, err := arch.NewFPPC(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWearState()
+	w.Absorb(snap)
+	// Rate the life so the hottest electrode is exactly worn out.
+	var maxActs int64
+	for _, e := range snap.Electrodes {
+		if e.Actuations > maxActs {
+			maxActs = e.Actuations
+		}
+	}
+	set, err := w.FaultSet(chip, maxActs)
+	if err != nil {
+		t.Fatalf("FaultSet: %v", err)
+	}
+	if set.Len() == 0 {
+		t.Fatal("no electrode at rated life despite rating = max actuations")
+	}
+	// Every derived fault is stuck-open at a fully consumed electrode.
+	for _, f := range set.Faults() {
+		if f.Kind != StuckOpen {
+			t.Fatalf("wear fault %v is not stuck-open", f)
+		}
+		if got := w.Consumed(f.Cell, maxActs); got < 1.0 {
+			t.Fatalf("faulted cell %v consumed %.3f < 1.0", f.Cell, got)
+		}
+	}
+	// The export Snapshot round-trips through the FromWear bridge.
+	viaBridge, err := FromWear(w.Snapshot(chip, maxActs), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaBridge.String() != set.String() {
+		t.Fatalf("FaultSet %q != FromWear(Snapshot) %q", set, viaBridge)
+	}
+}
+
+func TestWearAdvanceSeededDeterministic(t *testing.T) {
+	chip, err := arch.NewFPPC(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(seed int64) string {
+		w := NewWearState()
+		w.AdvanceSeeded(chip, seed, 1000, 3)
+		w.AdvanceSeeded(chip, seed+1, 500, 2)
+		set, err := w.FaultSet(chip, 900)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return set.String()
+	}
+	a, b := run(7), run(7)
+	if a != b {
+		t.Fatalf("same seed diverged: %q vs %q", a, b)
+	}
+	if a == "" {
+		t.Fatal("seeded advance past rated life produced no faults")
+	}
+	if c := run(8); c == a {
+		t.Logf("note: seeds 7 and 8 wore the same cells (%q)", a)
+	}
+}
+
+func TestWearAdvanceSeededPrefersWornCells(t *testing.T) {
+	chip, err := arch.NewFPPC(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWearState()
+	hot := chip.Electrodes()[0].Cell
+	w.acts[hot] = 10_000
+	w.AdvanceSeeded(chip, 42, 5000, 1)
+	if w.Actuations(hot) != 15_000 {
+		t.Fatalf("most-worn cell not advanced: acts = %d", w.Actuations(hot))
+	}
+}
+
+func TestWearCloneIsIndependent(t *testing.T) {
+	chip, err := arch.NewFPPC(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWearState()
+	w.AdvanceSeeded(chip, 1, 100, 2)
+	cl := w.Clone()
+	cl.AdvanceSeeded(chip, 2, 100, 2)
+	if cl.Cycles() != 200 || w.Cycles() != 100 {
+		t.Fatalf("clone not independent: clone cycles %d, original %d", cl.Cycles(), w.Cycles())
+	}
+}
+
+func TestWearNilSafety(t *testing.T) {
+	var w *WearState
+	w.Absorb(nil)
+	w.AdvanceSeeded(nil, 1, 10, 1)
+	if w.Cycles() != 0 || w.MaxConsumed(100) != 0 || w.Consumed(grid.Cell{}, 100) != 0 {
+		t.Fatal("nil WearState not inert")
+	}
+	if got := w.Clone(); got == nil || got.Cycles() != 0 {
+		t.Fatal("nil Clone not empty")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	base, err := ParseSpec("closed@3,4;dead#5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra, err := ParseSpec("open@3,4;open@7,8;dead#5;dead#6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Merge(base, extra).String()
+	// The wear-derived open@3,4 contradicts the base stuck-closed and is
+	// dropped; dead#5 deduplicates.
+	want := "open@7,8;closed@3,4;dead#5;dead#6"
+	if got != want {
+		t.Fatalf("Merge = %q, want %q", got, want)
+	}
+	if s := Merge(nil, nil); s.Len() != 0 {
+		t.Fatalf("Merge(nil,nil) = %q", s)
+	}
+	if s := Merge(base, nil); s.String() != base.String() {
+		t.Fatalf("Merge(base,nil) = %q", s)
+	}
+	if s := Merge(nil, extra); s.String() != extra.String() {
+		t.Fatalf("Merge(nil,extra) = %q", s)
+	}
+}

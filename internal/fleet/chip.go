@@ -1,0 +1,210 @@
+package fleet
+
+import (
+	"fmt"
+
+	"fppc/internal/arch"
+	"fppc/internal/core"
+	"fppc/internal/faults"
+	"fppc/internal/obs"
+)
+
+// ChipSpec declares one simulated physical chip of the fleet.
+type ChipSpec struct {
+	// ID names the chip; must be unique within the fleet.
+	ID string `json:"id"`
+	// Target is the chip's architecture: "fppc" (default) or "da".
+	Target string `json:"target"`
+	// Height fixes the FPPC array height (0 = the 12x21 workhorse).
+	Height int `json:"height,omitempty"`
+	// W, H fix the DA array size (0 = the paper's 15x19).
+	W int `json:"w,omitempty"`
+	H int `json:"h,omitempty"`
+	// Faults is the chip's manufacturing fault spec — defects present
+	// from day one, in the internal/faults spec syntax.
+	Faults string `json:"faults,omitempty"`
+	// RatedLife is the per-electrode actuation budget before wear
+	// declares it stuck-open (0 = the fleet default).
+	RatedLife int64 `json:"rated_life,omitempty"`
+}
+
+// chip is the fleet's live record of one physical chip: the spec, the
+// pristine reference array (never mutated — compiles build and restrict
+// their own), the base fault set, the accumulated wear, and the derived
+// effective fault set the placer and reconciler act on.
+type chip struct {
+	spec      ChipSpec
+	ref       *arch.Chip
+	base      *faults.Set
+	wear      *faults.WearState
+	ratedLife int64
+
+	// effective = base ∪ wear-derived, refreshed whenever wear advances.
+	effective *faults.Set
+	effSpec   string
+	degraded  bool
+
+	jobs map[string]bool // ids of jobs currently placed here
+
+	gWear, gFaults, gJobs *obs.Gauge
+}
+
+// ChipStatus is the exported view of one chip (GET /fleet/chips).
+type ChipStatus struct {
+	ID         string   `json:"id"`
+	Target     string   `json:"target"`
+	W          int      `json:"w"`
+	H          int      `json:"h"`
+	Health     string   `json:"health"` // "healthy" or "degraded"
+	Faults     string   `json:"faults,omitempty"`
+	FaultCount int      `json:"fault_count"`
+	BaseFaults int      `json:"base_faults"`
+	MaxWear    float64  `json:"max_wear"` // worst electrode life fraction consumed
+	WearCycles int64    `json:"wear_cycles"`
+	RatedLife  int64    `json:"rated_life"`
+	Jobs       []string `json:"jobs,omitempty"`
+}
+
+// newChip validates a spec and builds the live record.
+func newChip(spec ChipSpec, defaultRatedLife int64, ob *obs.Observer) (*chip, error) {
+	if spec.ID == "" {
+		return nil, fmt.Errorf("fleet: chip spec needs an id")
+	}
+	var (
+		ref *arch.Chip
+		err error
+	)
+	switch spec.Target {
+	case "", "fppc":
+		spec.Target = "fppc"
+		h := spec.Height
+		if h == 0 {
+			h = 21
+		}
+		spec.Height = h
+		ref, err = arch.NewFPPC(h)
+	case "da":
+		if spec.W == 0 {
+			spec.W = 15
+		}
+		if spec.H == 0 {
+			spec.H = 19
+		}
+		ref, err = arch.NewDA(spec.W, spec.H)
+	default:
+		return nil, fmt.Errorf("fleet: chip %s: unknown target %q (want \"fppc\" or \"da\")", spec.ID, spec.Target)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fleet: chip %s: %w", spec.ID, err)
+	}
+	base, err := faults.ParseSpec(spec.Faults)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: chip %s: %w", spec.ID, err)
+	}
+	if base.Len() > 0 {
+		// Validate the base faults against a throwaway copy of the array
+		// (Restrict mutates the chip it degrades).
+		tmp, err := buildArray(spec)
+		if err != nil {
+			return nil, err
+		}
+		if err := base.Restrict(tmp); err != nil {
+			return nil, fmt.Errorf("fleet: chip %s: %w", spec.ID, err)
+		}
+	}
+	rated := spec.RatedLife
+	if rated <= 0 {
+		rated = defaultRatedLife
+	}
+	spec.RatedLife = rated
+	c := &chip{
+		spec:      spec,
+		ref:       ref,
+		base:      base,
+		wear:      faults.NewWearState(),
+		ratedLife: rated,
+		effective: base,
+		effSpec:   base.String(),
+		jobs:      make(map[string]bool),
+		gWear:     ob.Gauge("fppc_fleet_chip_wear", "chip", spec.ID),
+		gFaults:   ob.Gauge("fppc_fleet_chip_faults", "chip", spec.ID),
+		gJobs:     ob.Gauge("fppc_fleet_chip_jobs", "chip", spec.ID),
+	}
+	c.gFaults.Set(float64(base.Len()))
+	return c, nil
+}
+
+// buildArray constructs a fresh pristine array from the spec.
+func buildArray(spec ChipSpec) (*arch.Chip, error) {
+	if spec.Target == "da" {
+		return arch.NewDA(spec.W, spec.H)
+	}
+	return arch.NewFPPC(spec.Height)
+}
+
+// refreshEffective rederives the effective fault set from base + wear
+// and updates the chip gauges. Reports whether the set changed.
+func (c *chip) refreshEffective() bool {
+	wearSet, err := c.wear.FaultSet(c.ref, c.ratedLife)
+	if err != nil {
+		// Unreachable: ratedLife is validated positive at construction.
+		wearSet = nil
+	}
+	eff := faults.Merge(c.base, wearSet)
+	spec := eff.String()
+	changed := spec != c.effSpec
+	c.effective = eff
+	c.effSpec = spec
+	c.degraded = eff.Len() > c.base.Len()
+	c.gWear.Set(c.wear.MaxConsumed(c.ratedLife))
+	c.gFaults.Set(float64(eff.Len()))
+	return changed
+}
+
+// coreConfig is the compile configuration targeting this chip with the
+// given fault set. AutoGrow stays off: a fleet chip is one physical
+// array at fixed coordinates.
+func coreConfig(spec ChipSpec, set *faults.Set) core.Config {
+	cfg := core.Config{}
+	if spec.Target == "da" {
+		cfg.Target = core.TargetDA
+		cfg.DAWidth, cfg.DAHeight = spec.W, spec.H
+	} else {
+		cfg.Target = core.TargetFPPC
+		cfg.FPPCHeight = spec.Height
+	}
+	if set.Len() > 0 {
+		cfg.Faults = set
+	}
+	return cfg
+}
+
+// health renders the chip's health label.
+func (c *chip) health() string {
+	if c.degraded {
+		return "degraded"
+	}
+	return "healthy"
+}
+
+// status snapshots the chip for export; the caller holds the fleet lock.
+func (c *chip) status() ChipStatus {
+	st := ChipStatus{
+		ID:         c.spec.ID,
+		Target:     c.spec.Target,
+		W:          c.ref.W,
+		H:          c.ref.H,
+		Health:     c.health(),
+		Faults:     c.effSpec,
+		FaultCount: c.effective.Len(),
+		BaseFaults: c.base.Len(),
+		MaxWear:    c.wear.MaxConsumed(c.ratedLife),
+		WearCycles: c.wear.Cycles(),
+		RatedLife:  c.ratedLife,
+	}
+	for id := range c.jobs {
+		st.Jobs = append(st.Jobs, id)
+	}
+	sortStrings(st.Jobs)
+	return st
+}

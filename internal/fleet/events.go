@@ -1,0 +1,53 @@
+package fleet
+
+// Event kinds, in the order they typically appear in a job's life.
+const (
+	EventSubmitted = "submitted" // job registered; Detail = assay name
+	EventPlaced    = "placed"    // job placed on Chip; Detail = score summary
+	EventDegraded  = "degraded"  // Chip's effective fault set grew; Detail = new spec
+	EventMigrated  = "migrated"  // job moved From -> To; Detail = recovery + verification summary
+	EventCompleted = "completed" // job's makespan elapsed on Chip
+	EventFailed    = "failed"    // no feasible chip; Detail = last error
+)
+
+// Event is one entry of the fleet's transition log (GET /debug/fleet).
+type Event struct {
+	Seq  int64  `json:"seq"`
+	Step int64  `json:"step"` // virtual clock when the transition happened
+	Kind string `json:"kind"`
+	Job  string `json:"job,omitempty"`
+	Chip string `json:"chip,omitempty"`
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+	// Detail carries the human-readable specifics: placement score,
+	// recovery-plan size, oracle verdict, failure cause.
+	Detail string `json:"detail,omitempty"`
+}
+
+// appendEventLocked stamps and records an event; the caller holds mu.
+// The log is bounded: once full, the oldest events fall off.
+func (f *Fleet) appendEventLocked(e Event) {
+	f.evSeq++
+	e.Seq = f.evSeq
+	e.Step = f.clock
+	if len(f.events) == f.maxEvents {
+		copy(f.events, f.events[1:])
+		f.events[len(f.events)-1] = e
+		return
+	}
+	f.events = append(f.events, e)
+}
+
+// Events returns the most recent n events, oldest first (n <= 0: all
+// retained events).
+func (f *Fleet) Events(n int) []Event {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	evs := f.events
+	if n > 0 && n < len(evs) {
+		evs = evs[len(evs)-n:]
+	}
+	out := make([]Event, len(evs))
+	copy(out, evs)
+	return out
+}

@@ -1,0 +1,346 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"fppc/internal/arch"
+	"fppc/internal/assays"
+	"fppc/internal/faults"
+	"fppc/internal/grid"
+)
+
+// newTestFleet builds a fleet over the given specs, failing the test on
+// config errors.
+func newTestFleet(t *testing.T, specs ...ChipSpec) *Fleet {
+	t.Helper()
+	f, err := New(Config{Chips: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// killAllMixSpec faults every mix module's hold electrode on the
+// default FPPC array, leaving it structurally unable to mix: any
+// mixing assay is unsynthesizable there.
+func killAllMixSpec(t *testing.T) string {
+	t.Helper()
+	chip, err := arch.NewFPPC(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fs []faults.Fault
+	for _, m := range chip.MixModules {
+		fs = append(fs, faults.Fault{Kind: faults.StuckOpen, Cell: m.Hold})
+	}
+	set, err := faults.New(fs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set.String()
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	if _, err := New(Config{Chips: []ChipSpec{{}}}); err == nil {
+		t.Error("chip without id accepted")
+	}
+	if _, err := New(Config{Chips: []ChipSpec{{ID: "a", Target: "pla"}}}); err == nil {
+		t.Error("unknown target accepted")
+	}
+	if _, err := New(Config{Chips: []ChipSpec{{ID: "a"}, {ID: "a"}}}); err == nil {
+		t.Error("duplicate chip id accepted")
+	}
+	if _, err := New(Config{Chips: []ChipSpec{{ID: "a", Faults: "open@"}}}); err == nil {
+		t.Error("malformed fault spec accepted")
+	}
+	// A fault on a cell that is not an electrode is chip-dependent
+	// knowledge the registry must still reject at construction.
+	chip, err := arch.NewFPPC(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := ""
+	for y := 0; y < chip.H && bare == ""; y++ {
+		for x := 0; x < chip.W; x++ {
+			if chip.ElectrodeAt(grid.Cell{X: x, Y: y}) == nil {
+				bare = fmt.Sprintf("open@%d,%d", x, y)
+				break
+			}
+		}
+	}
+	if bare != "" {
+		if _, err := New(Config{Chips: []ChipSpec{{ID: "a", Faults: bare}}}); err == nil {
+			t.Errorf("fault on bare cell %s accepted", bare)
+		}
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	f := newTestFleet(t, ChipSpec{ID: "c0"})
+	if _, err := f.Submit(assays.PCR(assays.DefaultTiming()), "quantum"); err == nil {
+		t.Error("unknown target constraint accepted")
+	}
+}
+
+// The basic lifecycle: submit -> reconcile places (verified) ->
+// tick past the makespan completes, freeing the chip.
+func TestLifecyclePlaceAndComplete(t *testing.T) {
+	f := newTestFleet(t, ChipSpec{ID: "c0"})
+	st, err := f.Submit(assays.PCR(assays.DefaultTiming()), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobPending || st.ID == "" {
+		t.Fatalf("submit status = %+v", st)
+	}
+
+	stats := f.Reconcile(context.Background())
+	if stats.Placed != 1 {
+		t.Fatalf("reconcile stats = %+v, want 1 placement", stats)
+	}
+	got, ok := f.Job(st.ID)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+	if got.State != JobPlaced || got.Chip != "c0" {
+		t.Fatalf("after reconcile: %+v", got)
+	}
+	if !got.Verified {
+		t.Error("placement not oracle-verified")
+	}
+	if got.Makespan <= 0 {
+		t.Errorf("makespan = %d", got.Makespan)
+	}
+	chips := f.Chips()
+	if len(chips) != 1 || len(chips[0].Jobs) != 1 {
+		t.Fatalf("chip status: %+v", chips)
+	}
+	if chips[0].MaxWear <= 0 {
+		t.Error("placement charged no wear to the chip")
+	}
+
+	f.Tick(int64(got.Makespan))
+	got, _ = f.Job(st.ID)
+	if got.State != JobCompleted {
+		t.Fatalf("after tick: state = %s", got.State)
+	}
+	if n := len(f.Chips()[0].Jobs); n != 0 {
+		t.Errorf("chip still holds %d jobs after completion", n)
+	}
+	placed, migrated, failed, completed := f.Counts()
+	if placed != 1 || migrated != 0 || failed != 0 || completed != 1 {
+		t.Errorf("counts = %d/%d/%d/%d", placed, migrated, failed, completed)
+	}
+
+	// The event log tells the story in order.
+	var kinds []string
+	for _, e := range f.Events(0) {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []string{EventSubmitted, EventPlaced, EventCompleted}
+	if strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Errorf("event kinds = %v, want %v", kinds, want)
+	}
+}
+
+// A fleet with no feasible chip fails the job permanently and says why.
+func TestNoFeasibleChipFailsJob(t *testing.T) {
+	f := newTestFleet(t, ChipSpec{ID: "c0", Faults: killAllMixSpec(t)})
+	st, err := f.Submit(assays.PCR(assays.DefaultTiming()), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := f.Reconcile(context.Background())
+	if stats.Failed != 1 {
+		t.Fatalf("stats = %+v, want 1 failure", stats)
+	}
+	got, _ := f.Job(st.ID)
+	if got.State != JobFailed {
+		t.Fatalf("state = %s, want failed", got.State)
+	}
+	if !strings.Contains(got.Error, "no feasible chip") {
+		t.Errorf("error = %q", got.Error)
+	}
+}
+
+// A target constraint restricts placement to that architecture.
+func TestTargetConstraint(t *testing.T) {
+	f := newTestFleet(t, ChipSpec{ID: "pc", Target: "fppc"}, ChipSpec{ID: "da", Target: "da"})
+	st, err := f.Submit(assays.PCR(assays.DefaultTiming()), "da")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Reconcile(context.Background())
+	got, _ := f.Job(st.ID)
+	if got.State != JobPlaced || got.Chip != "da" {
+		t.Fatalf("constrained job: %+v", got)
+	}
+}
+
+// Degrading the only chip mid-run resynthesizes the job in place when
+// the recovery assay still fits around the new faults.
+func TestInPlaceResynthesis(t *testing.T) {
+	f := newTestFleet(t, ChipSpec{ID: "c0"})
+	st, err := f.Submit(assays.PCR(assays.DefaultTiming()), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Reconcile(context.Background())
+	got, _ := f.Job(st.ID)
+	if got.State != JobPlaced {
+		t.Fatalf("not placed: %+v", got)
+	}
+	f.Tick(int64(got.Makespan / 2))
+	if _, err := f.AdvanceWear("c0", 3, 2_000_000, 2); err != nil {
+		t.Fatal(err)
+	}
+	stats := f.Reconcile(context.Background())
+	got, _ = f.Job(st.ID)
+	switch got.State {
+	case JobPlaced:
+		if stats.Migrated != 1 || got.Migrations != 1 {
+			t.Fatalf("stats = %+v, job = %+v, want an in-place migration", stats, got)
+		}
+		if !got.Verified {
+			t.Error("resynthesized placement not verified")
+		}
+	case JobFailed:
+		// Also legitimate: the worn electrodes can make the only chip
+		// unsynthesizable. But then the job must say so.
+		if !strings.Contains(got.Error, "no feasible chip") {
+			t.Errorf("failure without cause: %+v", got)
+		}
+	default:
+		t.Fatalf("unexpected state %s", got.State)
+	}
+}
+
+// AdvanceWear validates the chip id and reports the grown fault set.
+func TestAdvanceWear(t *testing.T) {
+	f := newTestFleet(t, ChipSpec{ID: "c0"})
+	if _, err := f.AdvanceWear("nope", 1, 10, 1); err == nil {
+		t.Error("unknown chip accepted")
+	}
+	spec, err := f.AdvanceWear("c0", 1, 2_000_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec == "" {
+		t.Fatal("wear past rated life produced no faults")
+	}
+	c := f.Chips()[0]
+	if c.Health != "degraded" || c.FaultCount == 0 {
+		t.Errorf("chip after wear: %+v", c)
+	}
+}
+
+// The event log stays bounded, dropping the oldest entries.
+func TestEventLogBounded(t *testing.T) {
+	f, err := New(Config{Chips: []ChipSpec{{ID: "c0"}}, MaxEvents: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := f.Submit(assays.PCR(assays.DefaultTiming()), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs := f.Events(0)
+	if len(evs) != 4 {
+		t.Fatalf("log holds %d events, want 4", len(evs))
+	}
+	if evs[0].Seq != 7 || evs[3].Seq != 10 {
+		t.Errorf("retained wrong window: %+v", evs)
+	}
+	if got := f.Events(2); len(got) != 2 || got[1].Seq != 10 {
+		t.Errorf("Events(2) = %+v", got)
+	}
+}
+
+// The -race hammer: concurrent submission, reconciliation, wear
+// injection, ticking, and every read surface at once. The assertions
+// are loose — the point is that the race detector stays quiet and no
+// job is lost in a transition.
+func TestConcurrentSubmitReconcileReadRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hammers the compiler")
+	}
+	f := newTestFleet(t,
+		ChipSpec{ID: "c0"}, ChipSpec{ID: "c1", Height: 27}, ChipSpec{ID: "c2", Target: "da"})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	const jobs = 12
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := f.Submit(scenarioAssay(i), ""); err != nil {
+				t.Errorf("submit %d: %v", i, err)
+			}
+		}(i)
+	}
+	var loops sync.WaitGroup
+	loops.Add(3)
+	go func() { // reconciler
+		defer loops.Done()
+		for ctx.Err() == nil {
+			f.Reconcile(ctx)
+		}
+	}()
+	go func() { // readers
+		defer loops.Done()
+		for ctx.Err() == nil {
+			f.Chips()
+			f.Jobs()
+			f.Events(8)
+			f.Counts()
+			f.Clock()
+		}
+	}()
+	go func() { // time + degradation
+		defer loops.Done()
+		seed := int64(1)
+		for ctx.Err() == nil {
+			f.Tick(1)
+			if _, err := f.AdvanceWear("c0", seed, 1000, 1); err != nil {
+				t.Errorf("advance wear: %v", err)
+			}
+			seed++
+		}
+	}()
+	wg.Wait()
+	// Drain until every job is terminal.
+	for i := 0; i < 200; i++ {
+		done := true
+		for _, j := range f.Jobs() {
+			if j.State == JobPending || j.State == JobPlaced {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		f.Tick(5)
+		f.Reconcile(ctx)
+	}
+	cancel()
+	loops.Wait()
+
+	if got := len(f.Jobs()); got != jobs {
+		t.Fatalf("jobs = %d, want %d", got, jobs)
+	}
+	for _, j := range f.Jobs() {
+		if j.State != JobCompleted && j.State != JobFailed {
+			t.Errorf("job %s stuck in %s", j.ID, j.State)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"fppc/internal/assays"
+	"fppc/internal/obs"
+)
+
+// TestRunLoopPlacesSubmissions drives the background reconcile loop:
+// a submission kicks it, and the job comes out placed without any
+// explicit Reconcile call.
+func TestRunLoopPlacesSubmissions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles through the background loop")
+	}
+	ob := obs.NewMetricsOnly()
+	f, err := New(Config{Chips: []ChipSpec{{ID: "c0"}}, Obs: ob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Observer() != ob {
+		t.Error("Observer() does not return the configured observer")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		f.Run(ctx, 10*time.Millisecond)
+	}()
+	st, err := f.Submit(assays.PCR(assays.DefaultTiming()), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if got, _ := f.Job(st.ID); got.State == JobPlaced {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	<-done
+	got, _ := f.Job(st.ID)
+	if got.State != JobPlaced {
+		t.Fatalf("background loop never placed the job: %+v", got)
+	}
+	if got, _ = f.Job(st.ID); !got.Verified {
+		t.Errorf("placed job not verified: %+v", got)
+	}
+}
+
+// TestMigrationFailsWhenNoChipFeasible exercises the lost-job path: the
+// hosting chip degrades beyond repair while the only other chip was
+// never synthesizable for the assay, so neither migration nor in-place
+// resynthesis can save the job.
+func TestMigrationFailsWhenNoChipFeasible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles across a degrading fleet")
+	}
+	f := newTestFleet(t,
+		ChipSpec{ID: "c0"},
+		ChipSpec{ID: "c1", Faults: killAllMixSpec(t)})
+	st, err := f.Submit(assays.PCR(assays.DefaultTiming()), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Reconcile(context.Background())
+	placed, _ := f.Job(st.ID)
+	if placed.State != JobPlaced || placed.Chip != "c0" {
+		t.Fatalf("expected placement on the clean chip: %+v", placed)
+	}
+
+	// Wear out a huge swath of c0's most-actuated electrodes — the
+	// job's own footprint — so no resynthesis can dodge them.
+	if _, err := f.AdvanceWear("c0", 1, 2_000_000, 80); err != nil {
+		t.Fatal(err)
+	}
+	f.Reconcile(context.Background())
+
+	got, _ := f.Job(st.ID)
+	if got.State != JobFailed {
+		t.Fatalf("job should be lost with no feasible chip anywhere: %+v", got)
+	}
+	if got.Error == "" {
+		t.Error("failed job carries no error")
+	}
+	_, _, failed, _ := f.Counts()
+	if failed != 1 {
+		t.Errorf("failed count = %d, want 1", failed)
+	}
+	sawFailed := false
+	for _, e := range f.Events(0) {
+		if e.Kind == EventFailed && e.Job == st.ID {
+			sawFailed = true
+			if e.Detail == "" {
+				t.Error("failed event has no detail")
+			}
+		}
+	}
+	if !sawFailed {
+		t.Errorf("no failed event in log: %+v", f.Events(0))
+	}
+}
+
+// TestDAMigration degrades a direct-addressing chip under a placed
+// job. DA placements carry no electrode map (timing-only baseline), so
+// any fault-set change conservatively invalidates them and the job
+// must move to the other DA chip.
+func TestDAMigration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles across a degrading fleet")
+	}
+	f := newTestFleet(t,
+		ChipSpec{ID: "d0", Target: "da"},
+		ChipSpec{ID: "d1", Target: "da"})
+	st, err := f.Submit(assays.PCR(assays.DefaultTiming()), "da")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Reconcile(context.Background())
+	placed, _ := f.Job(st.ID)
+	if placed.State != JobPlaced {
+		t.Fatalf("DA placement failed: %+v", placed)
+	}
+	if _, err := f.AdvanceWear(placed.Chip, 3, 2_000_000, 1); err != nil {
+		t.Fatal(err)
+	}
+	f.Reconcile(context.Background())
+	got, _ := f.Job(st.ID)
+	if got.State != JobPlaced || got.Chip == placed.Chip || got.Migrations != 1 {
+		t.Fatalf("DA job should have migrated off the degraded chip: %+v", got)
+	}
+}
+
+// TestScenarioRejectsTinyFleet covers the config validation path.
+func TestScenarioRejectsTinyFleet(t *testing.T) {
+	if _, err := RunScenario(context.Background(), ScenarioConfig{Chips: 1}); err == nil {
+		t.Error("one-chip scenario accepted")
+	}
+}
+
+// TestBuildArray covers both architecture branches.
+func TestBuildArray(t *testing.T) {
+	da, err := buildArray(ChipSpec{Target: "da", W: 15, H: 19})
+	if err != nil || da == nil {
+		t.Fatalf("da array: %v", err)
+	}
+	fp, err := buildArray(ChipSpec{Target: "fppc", Height: 21})
+	if err != nil || fp == nil {
+		t.Fatalf("fppc array: %v", err)
+	}
+}
+
+// TestCompiledFailure covers the rejection-rendering branches.
+func TestCompiledFailure(t *testing.T) {
+	errTest := errors.New("boom")
+	if got := (&compiled{err: errTest}).failure(); got != "boom" {
+		t.Errorf("err branch = %q", got)
+	}
+	if got := (&compiled{verifyErr: errTest, verified: false}).failure(); got != "oracle: boom" {
+		t.Errorf("verify branch = %q", got)
+	}
+	if got := (&compiled{}).failure(); got != "" {
+		t.Errorf("clean branch = %q", got)
+	}
+}
+
+// TestJobLookupMiss covers the not-found branch.
+func TestJobLookupMiss(t *testing.T) {
+	f := newTestFleet(t, ChipSpec{ID: "c0"})
+	if _, ok := f.Job("nope"); ok {
+		t.Error("unknown job id resolved")
+	}
+}
+
+// TestJoinReasons covers the per-chip rejection formatting.
+func TestJoinReasons(t *testing.T) {
+	got := joinReasons([]string{"c0: no route", "c1: too worn"})
+	if !strings.Contains(got, "c0: no route") || !strings.Contains(got, "c1: too worn") {
+		t.Errorf("joinReasons = %q", got)
+	}
+	if got := joinReasons(nil); got != "no compatible chips" {
+		t.Errorf("joinReasons(nil) = %q", got)
+	}
+}

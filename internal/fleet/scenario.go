@@ -1,0 +1,258 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+
+	"fppc/internal/arch"
+	"fppc/internal/assays"
+	"fppc/internal/dag"
+	"fppc/internal/faults"
+	"fppc/internal/obs"
+)
+
+// ScenarioConfig parameterizes the canned fleet scenario: N chips of
+// mixed architecture (one with a manufacturing defect), M benchmark
+// jobs, and a seeded wear injection on the busiest chip mid-run. The
+// same config always produces the same timeline — time is virtual and
+// every random choice flows from Seed.
+type ScenarioConfig struct {
+	// Chips is the fleet size (default 4, minimum 2).
+	Chips int
+	// Jobs is how many benchmark assays to submit (default 20).
+	Jobs int
+	// Seed drives the wear injection (default 1).
+	Seed int64
+	// RatedLife overrides the per-electrode actuation budget (0 = fleet
+	// default).
+	RatedLife int64
+	// DegradeCells is how many of the busiest chip's most-worn
+	// electrodes the injection wears out (default 2).
+	DegradeCells int
+	// Obs receives the fleet metrics (nil: private metrics-only observer).
+	Obs *obs.Observer
+}
+
+// ScenarioResult is the timeline and final state of one scenario run.
+type ScenarioResult struct {
+	Chips  []ChipStatus `json:"chips"`
+	Jobs   []JobStatus  `json:"jobs"`
+	Events []Event      `json:"events"`
+
+	Placed    int `json:"placed"`
+	Migrated  int `json:"migrated"`
+	Failed    int `json:"failed"`
+	Completed int `json:"completed"`
+
+	// Lost lists the jobs that ended failed — neither completed in place
+	// nor migrated. A healthy scenario has none.
+	Lost []string `json:"lost,omitempty"`
+
+	DegradedChip   string `json:"degraded_chip"`
+	DegradedSpec   string `json:"degraded_spec"`
+	DegradedAtStep int64  `json:"degraded_at_step"`
+	FinalStep      int64  `json:"final_step"`
+}
+
+// ScenarioSpecs builds the scenario's chip specs: a rotation of the
+// 12x21 FPPC workhorse, a taller 12x27 variant, an FPPC with a benign
+// manufacturing defect (one mix module's hold electrode stuck open),
+// and the paper's 15x19 direct-addressing array.
+func ScenarioSpecs(n int) ([]ChipSpec, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("fleet: scenario needs at least 2 chips, got %d", n)
+	}
+	specs := make([]ChipSpec, 0, n)
+	for i := 0; i < n; i++ {
+		spec := ChipSpec{ID: fmt.Sprintf("chip-%02d", i)}
+		switch i % 4 {
+		case 0: // the workhorse
+		case 1:
+			spec.Height = 27
+		case 2:
+			fs, err := holdFaultSpec(i)
+			if err != nil {
+				return nil, err
+			}
+			spec.Faults = fs
+		case 3:
+			spec.Target = "da"
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+// holdFaultSpec renders a stuck-open fault on the i-th mix module's
+// hold electrode of the default FPPC array — a defect synthesis can
+// always route around.
+func holdFaultSpec(i int) (string, error) {
+	chip, err := arch.NewFPPC(21)
+	if err != nil {
+		return "", err
+	}
+	m := chip.MixModules[i%len(chip.MixModules)]
+	set, err := faults.New(faults.Fault{Kind: faults.StuckOpen, Cell: m.Hold})
+	if err != nil {
+		return "", err
+	}
+	return set.String(), nil
+}
+
+// scenarioAssay returns the i-th job's assay: the benchmark rotation
+// PCR, In-Vitro 1, In-Vitro 2.
+func scenarioAssay(i int) *dag.Assay {
+	tm := assays.DefaultTiming()
+	switch i % 3 {
+	case 0:
+		return assays.PCR(tm)
+	case 1:
+		return assays.InVitroN(1, tm)
+	default:
+		return assays.InVitroN(2, tm)
+	}
+}
+
+// RunScenario executes the canned degradation scenario: build the
+// fleet, submit every job, reconcile until all are placed, advance
+// virtual time to the middle of the busiest chip's shortest run, inject
+// seeded wear there, and keep reconciling/ticking until every job
+// reaches a terminal state. It returns the full event timeline and
+// final fleet state.
+func RunScenario(ctx context.Context, cfg ScenarioConfig) (*ScenarioResult, error) {
+	if cfg.Chips <= 0 {
+		cfg.Chips = 4
+	}
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 20
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.DegradeCells <= 0 {
+		cfg.DegradeCells = 2
+	}
+	specs, err := ScenarioSpecs(cfg.Chips)
+	if err != nil {
+		return nil, err
+	}
+	f, err := New(Config{
+		Chips:     specs,
+		RatedLife: cfg.RatedLife,
+		MaxEvents: 8 * cfg.Jobs * 4, // every job can transition a few times; keep them all
+		Obs:       cfg.Obs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Jobs; i++ {
+		if _, err := f.Submit(scenarioAssay(i), ""); err != nil {
+			return nil, err
+		}
+	}
+	f.Reconcile(ctx)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	victim, rated := busiestChip(f)
+	if victim != "" {
+		// Stop mid-flight: half the shortest remaining run on the victim,
+		// so its jobs are provably in progress when the wear lands.
+		if mk := shortestPlacedMakespan(f, victim); mk > 1 {
+			f.Tick(int64(mk / 2))
+		}
+		spec, err := f.AdvanceWear(victim, cfg.Seed, rated, cfg.DegradeCells)
+		if err != nil {
+			return nil, err
+		}
+		_ = spec
+	}
+	degradedAt := f.Clock()
+
+	// Drain: reconcile (migrations first, then any re-placements), then
+	// advance time past the longest remaining run; repeat until every
+	// job is terminal. The bound is generous — each job can migrate at
+	// most once per degradation event in practice.
+	for iter := 0; iter < cfg.Jobs*4+16; iter++ {
+		f.Reconcile(ctx)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		remaining := int64(0)
+		live := false
+		clock := f.Clock()
+		for _, j := range f.Jobs() {
+			switch j.State {
+			case JobPending:
+				live = true
+			case JobPlaced:
+				live = true
+				if end := j.PlacedAtStep + int64(j.Makespan) - clock; end > remaining {
+					remaining = end
+				}
+			}
+		}
+		if !live {
+			break
+		}
+		if remaining <= 0 {
+			remaining = 1
+		}
+		f.Tick(remaining)
+	}
+
+	placed, migrated, failed, completed := f.Counts()
+	res := &ScenarioResult{
+		Chips:          f.Chips(),
+		Jobs:           f.Jobs(),
+		Events:         f.Events(0),
+		Placed:         placed,
+		Migrated:       migrated,
+		Failed:         failed,
+		Completed:      completed,
+		DegradedChip:   victim,
+		DegradedAtStep: degradedAt,
+		FinalStep:      f.Clock(),
+	}
+	for _, c := range res.Chips {
+		if c.ID == victim {
+			res.DegradedSpec = c.Faults
+		}
+	}
+	for _, j := range res.Jobs {
+		if j.State == JobFailed {
+			res.Lost = append(res.Lost, j.ID)
+		}
+	}
+	return res, nil
+}
+
+// busiestChip picks the chip carrying the most placed jobs (ties break
+// toward the lower id) and returns its id and rated life.
+func busiestChip(f *Fleet) (string, int64) {
+	var id string
+	var rated int64
+	best := -1
+	for _, c := range f.Chips() {
+		if n := len(c.Jobs); n > best {
+			best, id, rated = n, c.ID, c.RatedLife
+		}
+	}
+	return id, rated
+}
+
+// shortestPlacedMakespan finds the smallest remaining makespan among
+// jobs placed on the chip (0 if none).
+func shortestPlacedMakespan(f *Fleet, chipID string) int {
+	mk := 0
+	for _, j := range f.Jobs() {
+		if j.State != JobPlaced || j.Chip != chipID {
+			continue
+		}
+		if mk == 0 || j.Makespan < mk {
+			mk = j.Makespan
+		}
+	}
+	return mk
+}

@@ -185,31 +185,38 @@ type entry struct {
 	spans []obs.SpanRecord
 }
 
-// prepare validates the request into a job, timing the parse and
-// canonicalize stages onto the journal entry and the stage histograms.
-func (s *Server) prepare(req CompileRequest, rec *journal.Entry) (*job, error) {
-	hasASL := strings.TrimSpace(req.ASL) != ""
-	hasDAG := len(req.DAG) > 0 && string(req.DAG) != "null"
+// parseAssayInput decodes the assay from exactly one of the two wire
+// forms (ASL text or dag JSON); errors are client mistakes (HTTP 400).
+func parseAssayInput(aslText string, raw json.RawMessage) (*dag.Assay, error) {
+	hasASL := strings.TrimSpace(aslText) != ""
+	hasDAG := len(raw) > 0 && string(raw) != "null"
 	if hasASL == hasDAG {
 		return nil, badRequest("exactly one of \"asl\" or \"dag\" must be set")
 	}
-	var assay *dag.Assay
-	tParse := time.Now()
 	if hasASL {
-		a, err := asl.Parse(req.ASL)
+		a, err := asl.Parse(aslText)
 		if err != nil {
 			return nil, &badRequestError{err}
 		}
-		assay = a
-	} else {
-		a := &dag.Assay{}
-		if err := json.Unmarshal(req.DAG, a); err != nil {
-			return nil, badRequest("dag: %v", err)
-		}
-		if err := a.Validate(); err != nil {
-			return nil, &badRequestError{err}
-		}
-		assay = a
+		return a, nil
+	}
+	a := &dag.Assay{}
+	if err := json.Unmarshal(raw, a); err != nil {
+		return nil, badRequest("dag: %v", err)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, &badRequestError{err}
+	}
+	return a, nil
+}
+
+// prepare validates the request into a job, timing the parse and
+// canonicalize stages onto the journal entry and the stage histograms.
+func (s *Server) prepare(req CompileRequest, rec *journal.Entry) (*job, error) {
+	tParse := time.Now()
+	assay, err := parseAssayInput(req.ASL, req.DAG)
+	if err != nil {
+		return nil, err
 	}
 	dParse := time.Since(tParse)
 	rec.SetStage(journal.StageParse, dParse)

@@ -1,0 +1,405 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fppc/internal/assays"
+	"fppc/internal/fleet"
+	"fppc/internal/obs"
+)
+
+// newFleetTestServer builds a server with an attached two-chip fleet
+// sharing the server's observer (so fleet series land on /metrics), and
+// starts the reconcile loop for the test's lifetime.
+func newFleetTestServer(t *testing.T) (*Server, *httptest.Server, *fleet.Fleet) {
+	t.Helper()
+	ob := obs.NewMetricsOnly()
+	fl, err := fleet.New(fleet.Config{
+		Chips: []fleet.ChipSpec{{ID: "c0"}, {ID: "c1", Height: 27}},
+		Obs:   ob,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Workers: 4, Obs: ob, Fleet: fl})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fl.Run(ctx, 50*time.Millisecond)
+	}()
+	t.Cleanup(func() { cancel(); <-done })
+	return s, ts, fl
+}
+
+// fleetPost posts v to url+path and decodes the reply into out.
+func fleetPost(t *testing.T, url, path string, v, out any) int {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s reply (HTTP %d): %v", path, resp.StatusCode, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// fleetGet fetches url+path and decodes the body into out.
+func fleetGet(t *testing.T, url, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s reply (HTTP %d): %v", path, resp.StatusCode, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// awaitJob polls /fleet/jobs/{id} until pred accepts the status.
+func awaitJob(t *testing.T, url, id string, pred func(fleet.JobStatus) bool, what string) fleet.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	var st fleet.JobStatus
+	for time.Now().Before(deadline) {
+		if code := fleetGet(t, url, "/fleet/jobs/"+id, &st); code != http.StatusOK {
+			t.Fatalf("job %s: HTTP %d", id, code)
+		}
+		if pred(st) {
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never became %s; last: %+v", id, what, st)
+	return st
+}
+
+// Without an attached fleet every fleet endpoint is a clean 404, so
+// deployments that don't opt in expose nothing.
+func TestFleetDisabled(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, path := range []string{"/fleet/jobs", "/fleet/chips", "/debug/fleet"} {
+		var eresp errorResponse
+		if code := fleetGet(t, ts.URL, path, &eresp); code != http.StatusNotFound {
+			t.Errorf("%s: HTTP %d, want 404", path, code)
+		} else if eresp.Kind != "fleet_disabled" {
+			t.Errorf("%s: kind %q, want fleet_disabled", path, eresp.Kind)
+		}
+	}
+	var eresp errorResponse
+	if code := fleetPost(t, ts.URL, "/debug/fleet/degrade", FleetDegradeRequest{Chip: "c0"}, &eresp); code != http.StatusNotFound {
+		t.Errorf("degrade: HTTP %d, want 404", code)
+	}
+}
+
+// The full control-plane round trip over HTTP: submit, watch the
+// reconciler place and verify, degrade the hosting chip, watch the job
+// migrate to the other chip, and read the whole story from /debug/fleet.
+func TestFleetJobLifecycleE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives real compiles through the reconciler")
+	}
+	_, ts, _ := newFleetTestServer(t)
+
+	raw, err := json.Marshal(assays.PCR(assays.DefaultTiming()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st fleet.JobStatus
+	if code := fleetPost(t, ts.URL, "/fleet/jobs", FleetJobRequest{DAG: raw}, &st); code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	if st.ID == "" || st.State != fleet.JobPending {
+		t.Fatalf("submit status: %+v", st)
+	}
+
+	placed := awaitJob(t, ts.URL, st.ID, func(j fleet.JobStatus) bool {
+		return j.State == fleet.JobPlaced
+	}, "placed")
+	if placed.Chip == "" || !placed.Verified {
+		t.Fatalf("placement: %+v", placed)
+	}
+
+	var chips []fleet.ChipStatus
+	if code := fleetGet(t, ts.URL, "/fleet/chips", &chips); code != http.StatusOK {
+		t.Fatalf("chips: HTTP %d", code)
+	}
+	if len(chips) != 2 {
+		t.Fatalf("chips: %+v", chips)
+	}
+	hosting := false
+	for _, c := range chips {
+		if c.ID == placed.Chip {
+			hosting = len(c.Jobs) == 1 && c.Jobs[0] == st.ID
+		}
+	}
+	if !hosting {
+		t.Fatalf("hosting chip does not list the job: %+v", chips)
+	}
+
+	// Wear out the hosting chip; the reconciler must move the job.
+	var dresp map[string]string
+	if code := fleetPost(t, ts.URL, "/debug/fleet/degrade", FleetDegradeRequest{Chip: placed.Chip, Seed: 42}, &dresp); code != http.StatusOK {
+		t.Fatalf("degrade: HTTP %d", code)
+	}
+	if dresp["faults"] == "" {
+		t.Fatalf("degrade produced no faults: %v", dresp)
+	}
+	migrated := awaitJob(t, ts.URL, st.ID, func(j fleet.JobStatus) bool {
+		return j.Migrations > 0
+	}, "migrated")
+	if migrated.Chip == placed.Chip {
+		t.Errorf("job did not leave the degraded chip: %+v", migrated)
+	}
+	if migrated.State != fleet.JobPlaced || !migrated.Verified {
+		t.Errorf("migrated job: %+v", migrated)
+	}
+
+	var dbg FleetDebugResponse
+	if code := fleetGet(t, ts.URL, "/debug/fleet", &dbg); code != http.StatusOK {
+		t.Fatalf("debug/fleet: HTTP %d", code)
+	}
+	if dbg.Placed < 1 || dbg.Migrated < 1 {
+		t.Errorf("debug counts: %+v", dbg)
+	}
+	kinds := map[string]bool{}
+	migDetail := ""
+	for _, e := range dbg.Events {
+		kinds[e.Kind] = true
+		if e.Kind == fleet.EventMigrated {
+			migDetail = e.Detail
+		}
+	}
+	for _, k := range []string{fleet.EventSubmitted, fleet.EventPlaced, fleet.EventDegraded, fleet.EventMigrated} {
+		if !kinds[k] {
+			t.Errorf("event log missing %q: %+v", k, dbg.Events)
+		}
+	}
+	if !strings.Contains(migDetail, "recovery plan") || !strings.Contains(migDetail, "oracle verified") {
+		t.Errorf("migration detail does not prove the recovery path: %q", migDetail)
+	}
+
+	// The job list includes the job; a bounded event query works too.
+	var jobs []fleet.JobStatus
+	if code := fleetGet(t, ts.URL, "/fleet/jobs", &jobs); code != http.StatusOK || len(jobs) != 1 {
+		t.Fatalf("jobs list: HTTP %d, %+v", code, jobs)
+	}
+	var bounded FleetDebugResponse
+	if code := fleetGet(t, ts.URL, "/debug/fleet?n=2", &bounded); code != http.StatusOK || len(bounded.Events) != 2 {
+		t.Fatalf("bounded events: HTTP %d, %d events", code, len(bounded.Events))
+	}
+}
+
+// Client mistakes map to clean 4xx replies.
+func TestFleetBadRequests(t *testing.T) {
+	_, ts, _ := newFleetTestServer(t)
+	raw, err := json.Marshal(assays.PCR(assays.DefaultTiming()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		req  FleetJobRequest
+	}{
+		{"neither asl nor dag", FleetJobRequest{}},
+		{"both asl and dag", FleetJobRequest{ASL: dilutionASL, DAG: raw}},
+		{"bad target", FleetJobRequest{DAG: raw, Target: "quantum"}},
+	}
+	for _, c := range cases {
+		var eresp errorResponse
+		if code := fleetPost(t, ts.URL, "/fleet/jobs", c.req, &eresp); code != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400", c.name, code)
+		}
+	}
+	var eresp errorResponse
+	if code := fleetGet(t, ts.URL, "/fleet/jobs/j9999", &eresp); code != http.StatusNotFound {
+		t.Errorf("unknown job: HTTP %d, want 404", code)
+	}
+	if code := fleetPost(t, ts.URL, "/debug/fleet/degrade", FleetDegradeRequest{Chip: "nope"}, &eresp); code != http.StatusNotFound {
+		t.Errorf("unknown chip: HTTP %d, want 404", code)
+	}
+	if code := fleetPost(t, ts.URL, "/debug/fleet/degrade", FleetDegradeRequest{}, &eresp); code != http.StatusBadRequest {
+		t.Errorf("missing chip: HTTP %d, want 400", code)
+	}
+	if code := fleetGet(t, ts.URL, "/debug/fleet?n=bogus", &eresp); code != http.StatusBadRequest {
+		t.Errorf("bad n: HTTP %d, want 400", code)
+	}
+	if code := fleetGet(t, ts.URL, "/fleet/jobs/a/b", &eresp); code != http.StatusBadRequest {
+		t.Errorf("nested job path: HTTP %d, want 400", code)
+	}
+	for _, path := range []string{"/fleet/jobs/j0001", "/fleet/chips", "/debug/fleet"} {
+		if code := fleetPost(t, ts.URL, path, struct{}{}, &eresp); code != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s: HTTP %d, want 405", path, code)
+		}
+	}
+	if code := fleetGet(t, ts.URL, "/debug/fleet/degrade", &eresp); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET degrade: HTTP %d, want 405", code)
+	}
+}
+
+// The fleet series land on /metrics next to the service's own, and the
+// export stays Prometheus-conformant and byte-identical across
+// rewrites (the repo's exposition rules).
+func TestFleetMetricsOnSharedRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles through the reconciler")
+	}
+	s, ts, _ := newFleetTestServer(t)
+	raw, err := json.Marshal(assays.PCR(assays.DefaultTiming()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st fleet.JobStatus
+	if code := fleetPost(t, ts.URL, "/fleet/jobs", FleetJobRequest{DAG: raw}, &st); code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	awaitJob(t, ts.URL, st.ID, func(j fleet.JobStatus) bool { return j.State == fleet.JobPlaced }, "placed")
+
+	body := metricsBody(t, ts.URL)
+	for _, want := range []string{
+		`fppc_fleet_jobs_total{outcome="placed"} 1`,
+		`fppc_fleet_jobs_total{outcome="migrated"} 0`,
+		"fppc_fleet_chips 2",
+		"fppc_fleet_jobs_running 1",
+		`fppc_fleet_chip_wear{chip="`,
+		`fppc_fleet_chip_jobs{chip="`,
+		"# HELP fppc_fleet_jobs_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, grepLines(body, "fppc_fleet"))
+		}
+	}
+	var first, second bytes.Buffer
+	if err := s.Observer().Metrics().WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Observer().Metrics().WritePrometheus(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("WritePrometheus output not byte-identical with fleet series registered")
+	}
+}
+
+// The -race hammer over the HTTP surface: concurrent submissions, the
+// background reconcile loop, wear injections, and status reads all at
+// once. Assertions are loose; the race detector is the judge.
+func TestFleetConcurrentHTTPRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hammers the compiler concurrently")
+	}
+	_, ts, _ := newFleetTestServer(t)
+	raw, err := json.Marshal(assays.PCR(assays.DefaultTiming()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawIV, err := json.Marshal(assays.InVitroN(1, assays.DefaultTiming()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const jobs = 8
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := raw
+			if i%2 == 1 {
+				body = rawIV
+			}
+			var st fleet.JobStatus
+			if code := fleetPost(t, ts.URL, "/fleet/jobs", FleetJobRequest{DAG: body}, &st); code != http.StatusAccepted {
+				t.Errorf("submit %d: HTTP %d", i, code)
+			}
+		}(i)
+	}
+	stop := make(chan struct{})
+	var aux sync.WaitGroup
+	aux.Add(2)
+	go func() { // reader
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var chips []fleet.ChipStatus
+			fleetGet(t, ts.URL, "/fleet/chips", &chips)
+			var dbg FleetDebugResponse
+			fleetGet(t, ts.URL, "/debug/fleet?n=4", &dbg)
+		}
+	}()
+	go func() { // degrader
+		defer aux.Done()
+		seed := int64(1)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			fleetPost(t, ts.URL, "/debug/fleet/degrade",
+				FleetDegradeRequest{Chip: "c0", Seed: seed, Cycles: 1000, Cells: 1}, nil)
+			seed++
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	wg.Wait()
+
+	// Wait for the reconciler to settle every job somewhere terminalish
+	// (placed counts: nobody ticks the virtual clock here).
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		var list []fleet.JobStatus
+		fleetGet(t, ts.URL, "/fleet/jobs", &list)
+		settled := len(list) == jobs
+		for _, j := range list {
+			if j.State == fleet.JobPending {
+				settled = false
+			}
+		}
+		if settled {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	close(stop)
+	aux.Wait()
+
+	var list []fleet.JobStatus
+	if code := fleetGet(t, ts.URL, "/fleet/jobs", &list); code != http.StatusOK {
+		t.Fatalf("jobs: HTTP %d", code)
+	}
+	if len(list) != jobs {
+		t.Fatalf("jobs = %d, want %d", len(list), jobs)
+	}
+	for _, j := range list {
+		if j.State == fleet.JobPending {
+			t.Errorf("job %s still pending after settle window", j.ID)
+		}
+	}
+}

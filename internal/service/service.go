@@ -7,7 +7,10 @@
 // /debug/telemetry returns the chip-level execution telemetry of the
 // last compile; GET /debug/requests (and /debug/requests/{id}) serves
 // the flight-recorder journal of recent requests; /debug/pprof/* serves
-// the standard Go profiles.
+// the standard Go profiles. With an attached fleet (Config.Fleet) the
+// server additionally exposes the chip-fleet control plane:
+// POST/GET /fleet/jobs, GET /fleet/jobs/{id}, GET /fleet/chips,
+// GET /debug/fleet, and POST /debug/fleet/degrade.
 //
 // Under the hood the server runs a bounded worker pool, a
 // content-addressed LRU cache keyed by the assay's dag fingerprint plus
@@ -46,6 +49,7 @@ import (
 	"time"
 
 	"fppc/internal/core"
+	"fppc/internal/fleet"
 	"fppc/internal/journal"
 	"fppc/internal/obs"
 	"fppc/internal/telemetry"
@@ -84,6 +88,13 @@ type Config struct {
 	// than this increment fppc_service_slo_violations_total (default
 	// 2s; negative disables SLO accounting).
 	SLO time.Duration
+	// Fleet attaches a chip-fleet control plane, enabling the
+	// /fleet/jobs, /fleet/chips and /debug/fleet endpoints (nil: those
+	// endpoints answer 404 "fleet_disabled"). Build the fleet on the
+	// same obs.Observer as the server so its counters and per-chip
+	// gauges land on GET /metrics; the caller owns the reconcile loop
+	// (fleet.Run or explicit Reconcile calls).
+	Fleet *fleet.Fleet
 }
 
 // Server is the compilation service. It is an http.Handler; create one
@@ -100,6 +111,7 @@ type Server struct {
 	journal *journal.Journal
 	logger  *slog.Logger
 	slo     time.Duration
+	fleet   *fleet.Fleet
 	// reqSeq issues request ids when logging is on but the journal
 	// (which otherwise issues them) is disabled.
 	reqSeq atomic.Uint64
@@ -183,6 +195,7 @@ func New(cfg Config) *Server {
 		journal: journal.New(journalCap), // nil (disabled) when negative
 		logger:  cfg.Logger,
 		slo:     slo,
+		fleet:   cfg.Fleet,
 
 		cHits:         ob.Counter("fppc_service_cache_hits_total"),
 		cMisses:       ob.Counter("fppc_service_cache_misses_total"),
@@ -246,6 +259,11 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/debug/requests", s.handleRequests)
 	s.mux.HandleFunc("/debug/requests/", s.handleRequestByID)
 	s.mux.HandleFunc("/debug/telemetry", s.handleTelemetry)
+	s.mux.HandleFunc("/fleet/jobs", s.handleFleetJobs)
+	s.mux.HandleFunc("/fleet/jobs/", s.handleFleetJobByID)
+	s.mux.HandleFunc("/fleet/chips", s.handleFleetChips)
+	s.mux.HandleFunc("/debug/fleet", s.handleFleetDebug)
+	s.mux.HandleFunc("/debug/fleet/degrade", s.handleFleetDegrade)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -267,19 +285,25 @@ func (s *Server) Journal() *journal.Journal { return s.journal }
 // one label each.
 var knownEndpoints = []string{
 	"/compile", "/metrics", "/healthz", "/version",
-	"/debug/telemetry", "/debug/requests", "/debug/pprof", "other",
+	"/debug/telemetry", "/debug/requests", "/debug/pprof",
+	"/fleet/jobs", "/fleet/chips", "/debug/fleet", "other",
 }
 
 // endpointLabel collapses a request path onto a knownEndpoints value.
 func endpointLabel(path string) string {
 	switch {
 	case path == "/compile" || path == "/metrics" || path == "/healthz" ||
-		path == "/version" || path == "/debug/telemetry" || path == "/debug/requests":
+		path == "/version" || path == "/debug/telemetry" || path == "/debug/requests" ||
+		path == "/fleet/jobs" || path == "/fleet/chips" || path == "/debug/fleet":
 		return path
 	case strings.HasPrefix(path, "/debug/requests/"):
 		return "/debug/requests"
 	case strings.HasPrefix(path, "/debug/pprof/"):
 		return "/debug/pprof"
+	case strings.HasPrefix(path, "/fleet/jobs/"):
+		return "/fleet/jobs"
+	case strings.HasPrefix(path, "/debug/fleet/"):
+		return "/debug/fleet"
 	default:
 		return "other"
 	}
