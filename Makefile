@@ -25,12 +25,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench regenerates BENCH_PR4.json: the Table 1 rows from
+# bench regenerates BENCH_PR8.json: the Table 1 rows from
 # fppc-bench -json plus go test -bench on the simulator and service hot
 # paths. CI uploads the file as an artifact. bench-all still sweeps
 # every micro-benchmark in the repo without writing the artifact.
 bench:
-	$(GO) run ./scripts/benchjson -o BENCH_PR4.json
+	$(GO) run ./scripts/benchjson -o BENCH_PR8.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...

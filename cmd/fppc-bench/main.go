@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	fppc-bench -table 1          # DA vs FPPC across the 13 benchmarks
+//	fppc-bench -table 1          # DA vs FPPC vs enhanced FPPC across the 13 benchmarks
 //	fppc-bench -table 2          # comparison to assay-specific designs
 //	fppc-bench -table 3          # FPPC array-size sweep
 //	fppc-bench -table 3 -dispense 2   # section 5.2 dispense ablation
@@ -104,7 +104,7 @@ func run(args []string, out io.Writer) error {
 		if err := bench.VerifyTable1(ctx, tm); err != nil {
 			return err
 		}
-		fmt.Fprintln(out, "verified: all 13 benchmarks pass the independent oracle on both targets")
+		fmt.Fprintln(out, "verified: all 13 benchmarks pass the independent oracle and pairwise schedule equivalence on every registered target")
 	}
 	if *markdown {
 		md, err := report.MarkdownContext(ctx, tm, ob)

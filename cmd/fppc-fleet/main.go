@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	fppc-fleet                          # 4 chips, 20 jobs, seed 1
+//	fppc-fleet                          # 5 chips, 20 jobs, seed 1
 //	fppc-fleet -chips 6 -jobs 40 -seed 7
 //	fppc-fleet -o fleet.json            # write the full result as JSON
 //
@@ -39,7 +39,7 @@ func main() {
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fppc-fleet", flag.ContinueOnError)
-	chips := fs.Int("chips", 4, "fleet size (minimum 2; architectures rotate, one chip has a manufacturing defect)")
+	chips := fs.Int("chips", 5, "fleet size (minimum 2; architectures rotate, one chip has a manufacturing defect)")
 	jobs := fs.Int("jobs", 20, "benchmark assays to submit")
 	seed := fs.Int64("seed", 1, "seed for the mid-run wear injection")
 	cells := fs.Int("cells", 2, "electrodes the wear injection wears out")

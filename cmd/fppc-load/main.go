@@ -17,7 +17,8 @@
 //	cache_hot      — the same PCR request over and over: cache hit path
 //	fault_variants — PCR under rotating hardware fault specs: compile path
 //	verify         — rotating assays with the oracle enabled
-//	mixed_targets  — alternating FPPC / direct-addressing targets
+//	mixed_targets  — rotating through every registered target
+//	                 (fppc, da, enhanced-fppc)
 //	fleet          — submissions to the chip-fleet control plane, with a
 //	                 mid-run wear injection forcing migrations; the
 //	                 artifact gains a per-chip placement/migration summary
@@ -113,7 +114,7 @@ func run(args []string, out io.Writer) error {
 	rate := fs.Float64("rate", 100, "request launch rate per second (open loop)")
 	n := fs.Int("n", 100, "requests per mix")
 	mixNames := fs.String("mix", "cache_hot,fault_variants,verify,mixed_targets,fleet", "comma-separated mixes to run")
-	fleetChips := fs.Int("fleet-chips", 4, "in-process fleet size for the fleet mix")
+	fleetChips := fs.Int("fleet-chips", 5, "in-process fleet size for the fleet mix")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
 	output := fs.String("o", "", "write the JSON artifact to this file")
 	workers := fs.Int("workers", 0, "in-process server worker pool (0 = GOMAXPROCS)")
@@ -247,6 +248,10 @@ func buildMixes(names string) ([]mix, error) {
 	}
 	pcr := dag(fppc.PCR(tm))
 	rotation := []json.RawMessage{pcr, dag(fppc.InVitroN(1, tm)), dag(fppc.InVitroN(2, tm))}
+	var targetNames []string
+	for _, spec := range fppc.Targets() {
+		targetNames = append(targetNames, spec.Name)
+	}
 
 	// Valid single-fault specs: each mix-module hold cell of the
 	// 12x21 workhorse chip is synthesizable-around, so rotating
@@ -272,9 +277,7 @@ func buildMixes(names string) ([]mix, error) {
 		}},
 		"mixed_targets": {name: "mixed_targets", gen: func(i int) service.CompileRequest {
 			req := service.CompileRequest{DAG: rotation[i%len(rotation)]}
-			if i%2 == 1 {
-				req.Target = "da"
-			}
+			req.Target = targetNames[i%len(targetNames)]
 			return req
 		}},
 	}

@@ -126,7 +126,7 @@ func TestFleetMixInProcess(t *testing.T) {
 	if f == nil {
 		t.Fatal("artifact has no fleet summary")
 	}
-	if f.Chips != 4 || f.Jobs != 12 {
+	if f.Chips != 5 || f.Jobs != 12 {
 		t.Errorf("fleet summary: %+v", f)
 	}
 	if f.Failed != 0 {

@@ -12,6 +12,7 @@
 // Endpoints:
 //
 //	POST /compile            — compile an assay (see doc/SERVICE.md for the schema)
+//	GET  /targets            — registered chip architectures with capability flags
 //	GET  /metrics            — Prometheus text exposition, incl. Go runtime gauges
 //	GET  /healthz            — liveness JSON
 //	GET  /version            — build identity JSON
@@ -21,8 +22,8 @@
 //	GET  /debug/pprof/...    — net/http/pprof profiles
 //
 // With -fleet N the server also runs the chip-fleet control plane over
-// N simulated chips (mixed FPPC/DA architectures, one with a benign
-// manufacturing defect):
+// N simulated chips (a rotation over every registered architecture,
+// one with a benign manufacturing defect):
 //
 //	POST /fleet/jobs          — submit an assay for placement (202; the reconciler places it)
 //	GET  /fleet/jobs          — list every job

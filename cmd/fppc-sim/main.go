@@ -7,6 +7,7 @@
 // Usage:
 //
 //	fppc-sim -assay pcr
+//	fppc-sim -assay pcr -target enhanced-fppc   # the 10x16 enhanced chip
 //	fppc-sim -assay protein2 -rotations 12
 //	fppc-sim -assay invitro1 -watch 25   # ASCII frames every 25 cycles
 //	fppc-sim -assay pcr -telemetry t.json -heatmap   # chip wear telemetry
@@ -46,7 +47,8 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fppc-sim", flag.ContinueOnError)
 	name := fs.String("assay", "pcr", "built-in assay: pcr, invitroN, proteinN")
-	height := fs.Int("height", 0, "FPPC chip height (0 = 12x21)")
+	target := fs.String("target", "", "architecture to simulate (a registered pin-program target: fppc, enhanced-fppc; default fppc)")
+	height := fs.Int("height", 0, "FPPC chip height (0 = 12x21; fppc target only)")
 	rotations := fs.Int("rotations", 1, "mixer rotations emitted per time-step")
 	watch := fs.Int("watch", 0, "print an array frame every N cycles (0 = off)")
 	traceOut := fs.String("trace", "", "write a Chrome trace_event JSON file (compile + simulate spans)")
@@ -75,6 +77,13 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	spec, err := fppc.ParseTarget(*target)
+	if err != nil {
+		return err
+	}
+	if !spec.Capabilities.PinProgram {
+		return fmt.Errorf("the %s target emits no pin program to replay; pick a pin-program target (fppc, enhanced-fppc)", spec.Name)
+	}
 	var faultSet *fppc.FaultSet
 	if *inject != "" {
 		faultSet, err = fppc.ParseFaultSpec(*inject)
@@ -94,7 +103,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-watch does not compose with -inject (the stepwise replay has no injector)")
 	}
 	cfg := fppc.Config{
-		Target:     fppc.TargetFPPC,
+		Target:     spec.ID,
 		FPPCHeight: *height,
 		AutoGrow:   true,
 		Router:     fppc.RouterOptions{EmitProgram: true, RotationsPerStep: *rotations, Telemetry: tc},

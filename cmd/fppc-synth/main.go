@@ -6,6 +6,7 @@
 //
 //	fppc-synth -assay pcr
 //	fppc-synth -assay invitro3 -target da
+//	fppc-synth -assay pcr -target enhanced-fppc
 //	fppc-synth -assay protein4 -grow -gantt
 //	fppc-synth -file myassay.asl -program out.pins -frames out.bin
 package main
@@ -38,7 +39,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fppc-synth", flag.ContinueOnError)
 	name := fs.String("assay", "pcr", "built-in assay: pcr, invitroN (N=1..5), proteinN (N=1..7)")
 	file := fs.String("file", "", "JSON or .asl assay file (overrides -assay)")
-	target := fs.String("target", "fppc", "architecture: fppc or da")
+	target := fs.String("target", "", "architecture (a registered target: fppc, da, enhanced-fppc; default fppc)")
 	height := fs.Int("height", 0, "FPPC chip height (0 = 12x21 default)")
 	grow := fs.Bool("grow", false, "grow the array until the assay fits")
 	program := fs.String("program", "", "write the compiled pin program to this file")
@@ -87,17 +88,14 @@ func run(args []string, out io.Writer) error {
 		ob = fppc.NewObserver()
 		cfg.Obs = ob
 	}
-	switch *target {
-	case "fppc":
-		cfg.Target = fppc.TargetFPPC
-	case "da":
-		cfg.Target = fppc.TargetDA
-	default:
-		return fmt.Errorf("unknown target %q", *target)
+	spec, err := fppc.ParseTarget(*target)
+	if err != nil {
+		return err
 	}
+	cfg.Target = spec.ID
 	if *program != "" || *frames != "" {
-		if cfg.Target != fppc.TargetFPPC {
-			return fmt.Errorf("pin programs are only emitted for the fppc target")
+		if !spec.Capabilities.PinProgram {
+			return fmt.Errorf("pin programs are only emitted for pin-program targets (fppc, enhanced-fppc), not %s", spec.Name)
 		}
 		cfg.Router = fppc.RouterOptions{EmitProgram: true, RotationsPerStep: 12}
 	}
@@ -107,7 +105,7 @@ func run(args []string, out io.Writer) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	logger.Debug("compiling", "assay", assay.Name, "target", *target, "grow", *grow)
+	logger.Debug("compiling", "assay", assay.Name, "target", spec.Name, "grow", *grow)
 	start := time.Now()
 	res, err := fppc.CompileContext(ctx, assay, cfg)
 	if err != nil {

@@ -182,13 +182,27 @@ type (
 	RouterOptions = router.Options
 	// Target selects the architecture.
 	Target = core.Target
+	// TargetSpec describes one registered architecture: geometry,
+	// module inventory, scheduler/router strategy and capability flags.
+	TargetSpec = core.TargetSpec
+	// TargetCapabilities are the feature flags a target advertises
+	// (pin program, telemetry wear, dynamic fault detection, ...).
+	TargetCapabilities = core.Capabilities
 )
 
 // Compilation targets.
 const (
-	TargetFPPC = core.TargetFPPC
-	TargetDA   = core.TargetDA
+	TargetFPPC         = core.TargetFPPC
+	TargetDA           = core.TargetDA
+	TargetEnhancedFPPC = core.TargetEnhancedFPPC
 )
+
+// Targets lists every registered architecture in registration order.
+func Targets() []*TargetSpec { return core.Targets() }
+
+// ParseTarget resolves a target's wire name ("fppc", "da",
+// "enhanced-fppc"; "" selects the FPPC default) to its registered spec.
+func ParseTarget(name string) (*TargetSpec, error) { return core.ParseTarget(name) }
 
 // Compile synthesizes an assay onto the selected architecture: schedule,
 // bind, route, and optionally emit the per-cycle pin program.

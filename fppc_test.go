@@ -67,7 +67,7 @@ func TestPublicAPISimulate(t *testing.T) {
 
 func TestPublicAPIBothTargets(t *testing.T) {
 	a := fppc.ProteinSplit(1, fppc.DefaultTiming())
-	for _, target := range []fppc.Target{fppc.TargetFPPC, fppc.TargetDA} {
+	for _, target := range []fppc.Target{fppc.TargetFPPC, fppc.TargetDA, fppc.TargetEnhancedFPPC} {
 		res, err := fppc.Compile(a, fppc.Config{Target: target, AutoGrow: true})
 		if err != nil {
 			t.Fatalf("target %v: %v", target, err)
@@ -75,6 +75,34 @@ func TestPublicAPIBothTargets(t *testing.T) {
 		if res.TotalSeconds() <= 0 {
 			t.Errorf("target %v: empty result", target)
 		}
+	}
+}
+
+func TestPublicAPITargetRegistry(t *testing.T) {
+	specs := fppc.Targets()
+	if len(specs) < 3 {
+		t.Fatalf("registered targets = %d, want at least fppc, da, enhanced-fppc", len(specs))
+	}
+	for _, spec := range specs {
+		got, err := fppc.ParseTarget(spec.Name)
+		if err != nil || got.ID != spec.ID {
+			t.Errorf("ParseTarget(%q) = %v, %v", spec.Name, got, err)
+		}
+	}
+	def, err := fppc.ParseTarget("")
+	if err != nil || def.ID != fppc.TargetFPPC {
+		t.Errorf(`ParseTarget("") = %v, %v; want the fppc default`, def, err)
+	}
+	if _, err := fppc.ParseTarget("not-a-chip"); err == nil {
+		t.Error("ParseTarget accepted an unknown name")
+	}
+	enh, err := fppc.ParseTarget("enhanced-fppc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := enh.Capabilities
+	if !caps.PinProgram || !caps.FixedPortCapacity {
+		t.Errorf("enhanced-fppc capabilities = %+v, want pin program + fixed port capacity", caps)
 	}
 }
 

@@ -110,9 +110,11 @@ func (m *Module) LoopCells() []grid.Cell {
 	}
 	r := m.Rect
 	top, bot := r.Y0, r.Y0+1
-	// Hold is the rightmost top cell; loop runs down, left along the
-	// bottom, up, and right along the top back to hold.
-	return []grid.Cell{
+	// The clockwise ring, starting from the rightmost top cell: down,
+	// left along the bottom, up, and right along the top. The returned
+	// slice is rotated so the hold cell — wherever the architecture put
+	// it on the ring — comes first.
+	ring := []grid.Cell{
 		{X: r.X1 - 1, Y: top},
 		{X: r.X1 - 1, Y: bot},
 		{X: r.X1 - 2, Y: bot},
@@ -122,20 +124,37 @@ func (m *Module) LoopCells() []grid.Cell {
 		{X: r.X1 - 3, Y: top},
 		{X: r.X1 - 2, Y: top},
 	}
+	start := 0
+	for i, cell := range ring {
+		if cell == m.Hold {
+			start = i
+			break
+		}
+	}
+	if start == 0 {
+		return ring
+	}
+	out := make([]grid.Cell, 0, len(ring))
+	out = append(out, ring[start:]...)
+	return append(out, ring[:start]...)
 }
 
 // Kind of chip architecture.
 type ArchKind int
 
-// The two evaluated architectures.
+// The evaluated architectures.
 const (
 	FPPC ArchKind = iota
 	DirectAddressing
+	EnhancedFPPC
 )
 
 func (k ArchKind) String() string {
-	if k == FPPC {
+	switch k {
+	case FPPC:
 		return "field-programmable pin-constrained"
+	case EnhancedFPPC:
+		return "enhanced field-programmable pin-constrained"
 	}
 	return "direct-addressing"
 }
@@ -162,6 +181,17 @@ type Chip struct {
 	MixModules []*Module // FPPC mix column (nil for DA)
 	SSDModules []*Module // FPPC SSD column (nil for DA)
 	WorkMods   []*Module // DA generic modules (nil for FPPC)
+
+	// MixLoopShared reports that all mix-module loop cells share the
+	// architecture's common rotation pins, so every module's loop
+	// energizes in lockstep (the classic FPPC wiring). When false each
+	// module owns dedicated loop pins and rotates independently.
+	MixLoopShared bool
+
+	// InterchangeSSD is the index of the SSD module designated as the
+	// interchange resource (the router's preferred cycle-breaking
+	// buffer), or -1 when no module is so designated.
+	InterchangeSSD int
 
 	Ports []*Port
 
@@ -241,11 +271,30 @@ func (c *Chip) addElectrode(cell grid.Cell, kind CellKind, pin int, module int) 
 	return pin
 }
 
+// PortCapacityError reports that PlacePorts ran out of perimeter attach
+// points. Targets whose perimeter grows with the array treat it as a
+// retryable sizing failure; fixed-perimeter targets surface it as the
+// assay being unsynthesizable.
+type PortCapacityError struct {
+	Chip  string
+	Input bool   // input side exhausted (otherwise output)
+	Have  int    // attach points available on that side
+	Fluid string // fluid that could not be placed (inputs only)
+}
+
+func (e *PortCapacityError) Error() string {
+	if e.Input {
+		return fmt.Sprintf("arch: chip %s has only %d input attach points, need more for %q",
+			e.Chip, e.Have, e.Fluid)
+	}
+	return fmt.Sprintf("arch: chip %s has only %d output attach points", e.Chip, e.Have)
+}
+
 // PlacePorts assigns reservoir attach points for the given fluids.
 // inputs maps each fluid to its number of ports (dag.Assay.Reservoirs);
 // outputs is the list of distinct output fluids (one port each). Existing
-// ports are replaced. Returns an error if the perimeter runs out of
-// attachment cells.
+// ports are replaced. Returns a *PortCapacityError if the perimeter runs
+// out of attachment cells.
 func (c *Chip) PlacePorts(inputs map[string]int, outputs []string) error {
 	c.Ports = c.Ports[:0]
 	in, out := 0, 0
@@ -262,8 +311,7 @@ func (c *Chip) PlacePorts(inputs map[string]int, outputs []string) error {
 		}
 		for i := 0; i < n; i++ {
 			if in >= len(c.inputAttach) {
-				return fmt.Errorf("arch: chip %s has only %d input attach points, need more for %q",
-					c.Name, len(c.inputAttach), f)
+				return &PortCapacityError{Chip: c.Name, Input: true, Have: len(c.inputAttach), Fluid: f}
 			}
 			c.Ports = append(c.Ports, &Port{Fluid: f, Cell: c.inputAttach[in], Input: true})
 			in++
@@ -271,7 +319,7 @@ func (c *Chip) PlacePorts(inputs map[string]int, outputs []string) error {
 	}
 	for _, f := range outputs {
 		if out >= len(c.outputAttach) {
-			return fmt.Errorf("arch: chip %s has only %d output attach points", c.Name, len(c.outputAttach))
+			return &PortCapacityError{Chip: c.Name, Have: len(c.outputAttach)}
 		}
 		c.Ports = append(c.Ports, &Port{Fluid: f, Cell: c.outputAttach[out], Input: false})
 		out++
@@ -301,7 +349,7 @@ func (c *Chip) FilterAttach(keep func(grid.Cell) bool) {
 // detectors, modeling a cheaper chip configuration. n < 0 equips all.
 func (c *Chip) LimitDetectors(n int) {
 	mods := c.SSDModules
-	if c.Arch == DirectAddressing {
+	if len(mods) == 0 {
 		mods = c.WorkMods
 	}
 	for i, m := range mods {

@@ -67,6 +67,8 @@ func NewDA(w, h int) (*Chip, error) {
 		H:          h,
 		electrodes: map[grid.Cell]*Electrode{},
 		pins:       make([][]grid.Cell, 1),
+
+		InterchangeSSD: -1,
 	}
 
 	// Module slots first so cell kinds are known.

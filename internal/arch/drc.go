@@ -30,7 +30,7 @@ func CheckDesignRules(c *Chip) error {
 	if err := c.Validate(); err != nil {
 		return err
 	}
-	if c.Arch == FPPC {
+	if c.Arch != DirectAddressing {
 		if err := checkThreePhaseRule(c); err != nil {
 			return err
 		}

@@ -1,0 +1,152 @@
+package arch
+
+import (
+	"fmt"
+
+	"fppc/internal/grid"
+)
+
+// Enhanced FPPC layout constants (Grissom, McDaniel & Brisk, "A
+// low-cost field-programmable pin-constrained digital microfluidic
+// biochip", TCAD 2014 — the 10x16 enhanced variant whose pin map ships
+// in SNIPPETS.md). The chip keeps the FPPC's fixed column plan — a
+// central vertical bus flanked by a mix column and an SSD column — but
+// wires every electrode to its own pin, trading pin count for
+// per-module control:
+//
+//	col 0     interference (no electrodes)
+//	cols 1-4  mix modules, 4 wide x 2 tall, dedicated loop pins
+//	col 5     mix-module I/O electrodes
+//	col 6     central vertical transport bus
+//	col 7     SSD-module I/O electrodes
+//	col 8     SSD-module hold electrodes
+//	col 9     interference (no electrodes)
+//	row 0 and row H-1: horizontal transport buses spanning the width
+//
+// Because every pin is dedicated there are no 3-phase constraints and
+// modules need not rotate in lockstep; the cost is one pin per
+// electrode (82 pins at the published 10x16 size) and a perimeter that
+// does not grow with height — reservoirs attach only along the top and
+// bottom bus rows, so port capacity is fixed at EnhancedWidth each way.
+const (
+	EnhancedWidth = 10
+
+	// EnhancedBaseHeight is the published 10x16 array (4 mix modules,
+	// 6 SSD modules, 82 electrodes on 82 pins).
+	EnhancedBaseHeight = 16
+
+	colEnhMixX0   = 1
+	colEnhMixX1   = 5 // exclusive
+	colEnhMixIO   = 5
+	colEnhBus     = 6
+	colEnhSSDIO   = 7
+	colEnhSSDHold = 8
+
+	// MinEnhancedHeight is the smallest array with at least one mix
+	// module and two SSD modules (one of which the scheduler reserves).
+	MinEnhancedHeight = 8
+)
+
+// EnhancedMixCount returns how many mix modules a height-H enhanced
+// chip carries (rows 3k+3..3k+4, two clear of the bottom bus).
+func EnhancedMixCount(h int) int { return (h - 4) / 3 }
+
+// EnhancedSSDCount returns how many SSD modules a height-H enhanced
+// chip carries (rows 2k+3).
+func EnhancedSSDCount(h int) int { return (h - 4) / 2 }
+
+// NewEnhancedFPPC builds the enhanced (individually addressable)
+// field-programmable pin-constrained chip at the given height (width is
+// fixed at 10). At EnhancedBaseHeight the pin assignment reproduces the
+// published 10x16 map exactly: top bus pins 1-10, bottom bus 11-20, mix
+// loops 21-52, mix I/O 53-56, SSD I/O 57-62, SSD holds 63-68, central
+// bus 69-82. The middle SSD module is designated the interchange
+// resource (the router's cycle-breaking buffer) and carries no
+// detector.
+func NewEnhancedFPPC(h int) (*Chip, error) {
+	if h < MinEnhancedHeight {
+		return nil, fmt.Errorf("arch: enhanced FPPC height %d below minimum %d", h, MinEnhancedHeight)
+	}
+	c := &Chip{
+		Name:           fmt.Sprintf("enhanced-fppc-%dx%d", EnhancedWidth, h),
+		Arch:           EnhancedFPPC,
+		W:              EnhancedWidth,
+		H:              h,
+		electrodes:     map[grid.Cell]*Electrode{},
+		pins:           make([][]grid.Cell, 1),
+		InterchangeSSD: EnhancedSSDCount(h) / 2,
+	}
+	mixN, ssdN := EnhancedMixCount(h), EnhancedSSDCount(h)
+
+	// Horizontal transport buses: every cell on its own pin (top row
+	// pins 1..W, bottom row W+1..2W).
+	for x := 0; x < EnhancedWidth; x++ {
+		c.addElectrode(grid.Cell{X: x, Y: 0}, BusH, x+1, -1)
+	}
+	for x := 0; x < EnhancedWidth; x++ {
+		c.addElectrode(grid.Cell{X: x, Y: h - 1}, BusH, EnhancedWidth+x+1, -1)
+	}
+
+	// Mix modules: rows 3k+3..3k+4, all eight loop cells on dedicated
+	// pins (2W+8k+1 .. 2W+8k+8, row-major). Unlike the shared-pin FPPC,
+	// each module rotates independently; the hold cell sits at the
+	// bottom-right of the loop, adjacent to the I/O electrode.
+	for k := 0; k < mixN; k++ {
+		y0 := 3*k + 3
+		m := &Module{
+			Kind:  Mix,
+			Index: k,
+			Rect:  grid.Rect{X0: colEnhMixX0, Y0: y0, X1: colEnhMixX1, Y1: y0 + 2},
+			Hold:  grid.Cell{X: colEnhMixX1 - 1, Y: y0 + 1},
+			IO:    grid.Cell{X: colEnhMixIO, Y: y0 + 1},
+			Bus:   grid.Cell{X: colEnhBus, Y: y0 + 1},
+		}
+		for dy := 0; dy < 2; dy++ {
+			for x := colEnhMixX0; x < colEnhMixX1; x++ {
+				cell := grid.Cell{X: x, Y: y0 + dy}
+				kind := MixLoop
+				if cell == m.Hold {
+					kind = MixHold
+				}
+				pin := 2*EnhancedWidth + 8*k + 4*dy + (x - colEnhMixX0) + 1
+				c.addElectrode(cell, kind, pin, k)
+			}
+		}
+		c.addElectrode(m.IO, MixIO, 2*EnhancedWidth+8*mixN+k+1, k)
+		c.MixModules = append(c.MixModules, m)
+	}
+
+	// SSD modules: one hold + one I/O electrode at rows 2k+3, dedicated
+	// pins (I/O block first, then the hold block, as published).
+	for k := 0; k < ssdN; k++ {
+		y := 2*k + 3
+		m := &Module{
+			Kind:     SSD,
+			Index:    k,
+			Detector: k != c.InterchangeSSD,
+			Rect:     grid.Rect{X0: colEnhSSDHold, Y0: y, X1: colEnhSSDHold + 1, Y1: y + 1},
+			Hold:     grid.Cell{X: colEnhSSDHold, Y: y},
+			IO:       grid.Cell{X: colEnhSSDIO, Y: y},
+			Bus:      grid.Cell{X: colEnhBus, Y: y},
+		}
+		c.addElectrode(m.IO, SSDIO, 2*EnhancedWidth+9*mixN+k+1, k)
+		c.addElectrode(m.Hold, SSDHold, 2*EnhancedWidth+9*mixN+ssdN+k+1, k)
+		c.SSDModules = append(c.SSDModules, m)
+	}
+
+	// Central vertical bus, one pin per cell after every module pin.
+	for y := 1; y < h-1; y++ {
+		c.addElectrode(grid.Cell{X: colEnhBus, Y: y}, BusV, 2*EnhancedWidth+9*mixN+2*ssdN+y, -1)
+	}
+
+	// Reservoir attach points: the perimeter is just the two bus rows —
+	// inputs along the top, outputs along the bottom, both center-out
+	// from the bus column so busy reservoirs sit nearest the modules.
+	// Capacity is fixed at EnhancedWidth ports each way regardless of
+	// height (the FixedPortCapacity capability flag).
+	for _, x := range centerOut(colEnhBus, EnhancedWidth) {
+		c.inputAttach = append(c.inputAttach, grid.Cell{X: x, Y: 0})
+		c.outputAttach = append(c.outputAttach, grid.Cell{X: x, Y: h - 1})
+	}
+	return c, nil
+}

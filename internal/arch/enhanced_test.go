@@ -1,0 +1,180 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+
+	"fppc/internal/grid"
+)
+
+// TestEnhancedPublishedCounts pins the published 10x16 layout: 82
+// electrodes, each on its own pin, 4 mix + 6 SSD modules, and the pin
+// blocks laid out exactly as the TCAD 2014 map (top bus 1-10, bottom bus
+// 11-20, mix loops 21-52, mix I/O 53-56, SSD I/O 57-62, SSD holds 63-68,
+// central bus 69-82).
+func TestEnhancedPublishedCounts(t *testing.T) {
+	c, err := NewEnhancedFPPC(EnhancedBaseHeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.W != 10 || c.H != 16 {
+		t.Fatalf("size = %dx%d, want 10x16", c.W, c.H)
+	}
+	if got := c.ElectrodeCount(); got != 82 {
+		t.Errorf("electrodes = %d, want 82", got)
+	}
+	if got := c.PinCount(); got != 82 {
+		t.Errorf("pins = %d, want 82", got)
+	}
+	if len(c.MixModules) != 4 || len(c.SSDModules) != 6 {
+		t.Errorf("modules = %d mix + %d ssd, want 4 + 6", len(c.MixModules), len(c.SSDModules))
+	}
+	// Every pin drives exactly one electrode: the defining property.
+	for pin := 1; pin <= c.PinCount(); pin++ {
+		if cells := c.PinCells(pin); len(cells) != 1 {
+			t.Errorf("pin %d wired to %d electrodes, want 1", pin, len(cells))
+		}
+	}
+	// Spot-check the published blocks.
+	checks := []struct {
+		cell grid.Cell
+		pin  int
+	}{
+		{grid.Cell{X: 0, Y: 0}, 1},   // top bus start
+		{grid.Cell{X: 9, Y: 0}, 10},  // top bus end
+		{grid.Cell{X: 0, Y: 15}, 11}, // bottom bus start
+		{grid.Cell{X: 9, Y: 15}, 20}, // bottom bus end
+		{grid.Cell{X: 1, Y: 3}, 21},  // mix 0 loop, first cell
+		{grid.Cell{X: 4, Y: 4}, 28},  // mix 0 loop, last cell (= hold)
+		{grid.Cell{X: 4, Y: 13}, 52}, // mix 3 loop, last cell
+		{grid.Cell{X: 5, Y: 4}, 53},  // mix 0 I/O
+		{grid.Cell{X: 5, Y: 13}, 56}, // mix 3 I/O
+		{grid.Cell{X: 7, Y: 3}, 57},  // SSD 0 I/O
+		{grid.Cell{X: 7, Y: 13}, 62}, // SSD 5 I/O
+		{grid.Cell{X: 8, Y: 3}, 63},  // SSD 0 hold
+		{grid.Cell{X: 8, Y: 13}, 68}, // SSD 5 hold
+		{grid.Cell{X: 6, Y: 1}, 69},  // central bus top
+		{grid.Cell{X: 6, Y: 14}, 82}, // central bus bottom
+	}
+	for _, chk := range checks {
+		e := c.ElectrodeAt(chk.cell)
+		if e == nil {
+			t.Errorf("no electrode at %v (want pin %d)", chk.cell, chk.pin)
+			continue
+		}
+		if e.Pin != chk.pin {
+			t.Errorf("pin at %v = %d, want %d", chk.cell, e.Pin, chk.pin)
+		}
+	}
+	// The middle SSD is the interchange resource: reserved for routing,
+	// no detector; all other SSDs carry detectors.
+	if c.InterchangeSSD != 3 {
+		t.Errorf("interchange SSD = %d, want 3 (row 9, the published resource location)", c.InterchangeSSD)
+	}
+	for i, m := range c.SSDModules {
+		if want := i != c.InterchangeSSD; m.Detector != want {
+			t.Errorf("SSD %d detector = %v, want %v", i, m.Detector, want)
+		}
+	}
+	if c.MixLoopShared {
+		t.Error("enhanced chip reports shared mix loops")
+	}
+}
+
+// TestEnhancedDesignRules runs the full FPPC-family rule set (3-phase,
+// intersections, module I/O, reachability, isolation) across heights.
+func TestEnhancedDesignRules(t *testing.T) {
+	for h := MinEnhancedHeight; h <= 40; h++ {
+		c, err := NewEnhancedFPPC(h)
+		if err != nil {
+			t.Fatalf("h=%d: %v", h, err)
+		}
+		if err := CheckDesignRules(c); err != nil {
+			t.Errorf("h=%d: %v", h, err)
+		}
+		if got := len(c.MixModules); got != EnhancedMixCount(h) {
+			t.Errorf("h=%d: %d mix modules, count formula says %d", h, got, EnhancedMixCount(h))
+		}
+		if got := len(c.SSDModules); got != EnhancedSSDCount(h) {
+			t.Errorf("h=%d: %d SSD modules, count formula says %d", h, got, EnhancedSSDCount(h))
+		}
+	}
+}
+
+func TestEnhancedRejectsTooSmall(t *testing.T) {
+	if _, err := NewEnhancedFPPC(MinEnhancedHeight - 1); err == nil {
+		t.Error("no error below minimum height")
+	}
+}
+
+// TestEnhancedLoopStartsAtHold: LoopCells must rotate the ring so the
+// hold cell leads even though the enhanced hold sits at the bottom-right
+// (ring position 1), and consecutive cells stay cardinally adjacent so a
+// droplet can follow the sweep.
+func TestEnhancedLoopStartsAtHold(t *testing.T) {
+	c, err := NewEnhancedFPPC(EnhancedBaseHeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range c.MixModules {
+		loop := m.LoopCells()
+		if len(loop) != 8 {
+			t.Fatalf("mix %d loop has %d cells", m.Index, len(loop))
+		}
+		if loop[0] != m.Hold {
+			t.Errorf("mix %d loop starts at %v, want hold %v", m.Index, loop[0], m.Hold)
+		}
+		for i := range loop {
+			next := loop[(i+1)%len(loop)]
+			if !grid.Adjacent4(loop[i], next) {
+				t.Errorf("mix %d loop cells %v and %v not adjacent", m.Index, loop[i], next)
+			}
+		}
+	}
+}
+
+// TestEnhancedFixedAttachCapacity: the perimeter is the two bus rows, so
+// attach capacity stays at EnhancedWidth per side at every height.
+func TestEnhancedFixedAttachCapacity(t *testing.T) {
+	for _, h := range []int{MinEnhancedHeight, EnhancedBaseHeight, 30} {
+		c, err := NewEnhancedFPPC(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c.inputAttach) != EnhancedWidth || len(c.outputAttach) != EnhancedWidth {
+			t.Errorf("h=%d: attach = %d in / %d out, want %d each",
+				h, len(c.inputAttach), len(c.outputAttach), EnhancedWidth)
+		}
+	}
+}
+
+func TestEnhancedExportImportRoundTrip(t *testing.T) {
+	c, err := NewEnhancedFPPC(EnhancedBaseHeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PlacePorts(map[string]int{"sample": 2}, []string{"waste"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := ExportJSON(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	in, err := ImportJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Arch != EnhancedFPPC {
+		t.Errorf("imported arch = %v, want EnhancedFPPC", in.Arch)
+	}
+	if in.InterchangeSSD != c.InterchangeSSD {
+		t.Errorf("imported interchange = %d, want %d", in.InterchangeSSD, c.InterchangeSSD)
+	}
+	if in.MixLoopShared {
+		t.Error("imported chip reports shared mix loops")
+	}
+	if in.ElectrodeCount() != c.ElectrodeCount() || in.PinCount() != c.PinCount() {
+		t.Errorf("imported counts %d/%d, want %d/%d",
+			in.ElectrodeCount(), in.PinCount(), c.ElectrodeCount(), c.PinCount())
+	}
+}

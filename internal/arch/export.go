@@ -12,13 +12,15 @@ import (
 // external tool) needs to interpret pin programs: the grid size, every
 // electrode's position/kind/pin, module geometry and port placement.
 type chipJSON struct {
-	Name       string          `json:"name"`
-	Arch       string          `json:"arch"`
-	W          int             `json:"w"`
-	H          int             `json:"h"`
-	Electrodes []electrodeJSON `json:"electrodes"`
-	Modules    []moduleJSON    `json:"modules"`
-	Ports      []portJSON      `json:"ports,omitempty"`
+	Name          string          `json:"name"`
+	Arch          string          `json:"arch"`
+	W             int             `json:"w"`
+	H             int             `json:"h"`
+	MixLoopShared bool            `json:"mix_loop_shared,omitempty"`
+	Interchange   *int            `json:"interchange_ssd,omitempty"`
+	Electrodes    []electrodeJSON `json:"electrodes"`
+	Modules       []moduleJSON    `json:"modules"`
+	Ports         []portJSON      `json:"ports,omitempty"`
 }
 
 type electrodeJSON struct {
@@ -48,7 +50,11 @@ type portJSON struct {
 
 // ExportJSON writes the chip's complete wiring description.
 func ExportJSON(w io.Writer, c *Chip) error {
-	out := chipJSON{Name: c.Name, Arch: c.Arch.String(), W: c.W, H: c.H}
+	out := chipJSON{Name: c.Name, Arch: c.Arch.String(), W: c.W, H: c.H, MixLoopShared: c.MixLoopShared}
+	if c.InterchangeSSD >= 0 {
+		ic := c.InterchangeSSD
+		out.Interchange = &ic
+	}
 	for _, e := range c.Electrodes() {
 		out.Electrodes = append(out.Electrodes, electrodeJSON{
 			X: e.Cell.X, Y: e.Cell.Y, Kind: e.Kind.String(), Pin: e.Pin, Mod: e.Module,
@@ -97,17 +103,24 @@ func ImportJSON(r io.Reader) (*Chip, error) {
 		return nil, err
 	}
 	c := &Chip{
-		Name:       in.Name,
-		W:          in.W,
-		H:          in.H,
-		electrodes: map[grid.Cell]*Electrode{},
-		pins:       make([][]grid.Cell, 1),
+		Name:           in.Name,
+		W:              in.W,
+		H:              in.H,
+		MixLoopShared:  in.MixLoopShared,
+		InterchangeSSD: -1,
+		electrodes:     map[grid.Cell]*Electrode{},
+		pins:           make([][]grid.Cell, 1),
+	}
+	if in.Interchange != nil {
+		c.InterchangeSSD = *in.Interchange
 	}
 	switch in.Arch {
 	case FPPC.String():
 		c.Arch = FPPC
 	case DirectAddressing.String():
 		c.Arch = DirectAddressing
+	case EnhancedFPPC.String():
+		c.Arch = EnhancedFPPC
 	default:
 		return nil, fmt.Errorf("arch: unknown architecture %q", in.Arch)
 	}

@@ -76,6 +76,9 @@ func NewFPPC(h int) (*Chip, error) {
 		H:          h,
 		electrodes: map[grid.Cell]*Electrode{},
 		pins:       make([][]grid.Cell, numSharedPins+1),
+
+		MixLoopShared:  true,
+		InterchangeSSD: -1,
 	}
 
 	// Horizontal transport buses, pins 1..3 cycling with x.

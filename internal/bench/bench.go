@@ -41,32 +41,50 @@ type ArchResult struct {
 // TotalS is operations plus routing, the paper's total time.
 func (a ArchResult) TotalS() float64 { return a.OpsS + a.RoutingS }
 
-// Table1Row compares both architectures on one assay.
+// Table1Row compares the registered architectures on one assay.
 type Table1Row struct {
 	Name string
 	DA   ArchResult
 	FP   ArchResult
+
+	// EFP is the enhanced FPPC chip's outcome; nil when the assay is
+	// unsynthesizable there (the fixed 10-port perimeter excludes the
+	// larger in-vitro benchmarks), with EFPNote carrying the typed
+	// refusal.
+	EFP     *ArchResult `json:"EFP,omitempty"`
+	EFPNote string      `json:"EFPNote,omitempty"`
 
 	// FPTelemetry carries the FPPC chip's execution telemetry digest
 	// when the run collected it (Table1Telemetry); nil otherwise.
 	FPTelemetry *RowTelemetry `json:"FPTelemetry,omitempty"`
 }
 
-// Table1Averages holds the bottom row of Table 1: the per-benchmark
+// Table1Averages holds the bottom rows of Table 1: the per-benchmark
 // FP-over-DA improvement factors averaged across the suite (values above
-// 1 favor the field-programmable chip).
+// 1 favor the field-programmable chip), plus the same factors for the
+// enhanced FPPC chip over DA, averaged across the EFPRows benchmarks
+// its fixed perimeter can host.
 type Table1Averages struct {
 	Electrodes float64
 	Pins       float64
 	Routing    float64
 	Operations float64
 	Total      float64
+
+	EFPElectrodes float64 `json:"EFPElectrodes,omitempty"`
+	EFPPins       float64 `json:"EFPPins,omitempty"`
+	EFPRouting    float64 `json:"EFPRouting,omitempty"`
+	EFPOperations float64 `json:"EFPOperations,omitempty"`
+	EFPTotal      float64 `json:"EFPTotal,omitempty"`
+	EFPRows       int     `json:"EFPRows,omitempty"`
 }
 
-// Table1 runs the thirteen-assay comparison. Arrays start at the paper's
-// 12x21 (FPPC) and 15x19 (DA) and grow per assay when the scheduler
-// reports insufficient resources, mirroring the paper's methodology for
-// Protein Split 5-7.
+// Table1 runs the thirteen-assay comparison across the three registered
+// targets. Arrays start at the paper's 12x21 (FPPC), 15x19 (DA) and
+// 10x16 (enhanced FPPC) and grow per assay when the scheduler reports
+// insufficient resources, mirroring the paper's methodology for Protein
+// Split 5-7. Benchmarks the enhanced chip's fixed reservoir perimeter
+// cannot host carry a nil EFP column.
 func Table1(tm assays.Timing) ([]Table1Row, Table1Averages, error) {
 	return Table1Observed(tm, nil)
 }
@@ -95,29 +113,59 @@ func Table1Context(ctx context.Context, tm assays.Timing, ob *obs.Observer) ([]T
 			return nil, Table1Averages{}, fmt.Errorf("bench: %s on DA: %w", a.Name, err)
 		}
 		row.DA = toArchResult(da, ms)
+		row.EFP, row.EFPNote, err = enhancedResult(ctx, a, ob)
+		if err != nil {
+			return nil, Table1Averages{}, fmt.Errorf("bench: %s on enhanced FPPC: %w", a.Name, err)
+		}
 		rows = append(rows, row)
 	}
 	return rows, averages(rows), nil
 }
 
+// enhancedResult compiles one benchmark on the enhanced FPPC target.
+// A typed unsynthesizable refusal (the fixed perimeter cannot host the
+// assay) is a legitimate matrix entry, returned as a nil result plus
+// the note; any other failure is an error.
+func enhancedResult(ctx context.Context, a *dag.Assay, ob *obs.Observer) (*ArchResult, string, error) {
+	r, ms, err := timedCompile(ctx, a, core.Config{Target: core.TargetEnhancedFPPC, AutoGrow: true, Obs: ob})
+	if err != nil {
+		var uns *core.ErrUnsynthesizable
+		if errors.As(err, &uns) {
+			return nil, err.Error(), nil
+		}
+		return nil, "", err
+	}
+	res := toArchResult(r, ms)
+	return &res, "", nil
+}
+
 // VerifyTable1 runs the independent verification harness over the full
-// Table 1 suite: every benchmark compiles for both targets (with pin
-// program emission on FPPC), the FPPC program replays through the
-// oracle with its simulator cross-check, and the two compilations are
-// checked for assay-level equivalence. It returns the first failure;
-// nil means every published number rests on a verified execution.
+// cross-target Table 1 matrix: every benchmark compiles on every
+// registered target (pin programs are emitted and replayed through the
+// oracle with its simulator cross-check wherever the target supports
+// them; a target may refuse an assay only with the typed
+// *core.ErrUnsynthesizable), and all successful compilations of each
+// assay are checked pairwise for schedule-level equivalence. It returns
+// the first failure; nil means every published number rests on a
+// verified execution.
 func VerifyTable1(ctx context.Context, tm assays.Timing) error {
 	for _, a := range assays.Table1Benchmarks(tm) {
-		fpCfg := oracle.VerifyConfig(core.TargetFPPC)
-		fp, err := core.CompileContext(ctx, a, fpCfg)
-		if err != nil {
-			return fmt.Errorf("bench: verify %s on FPPC: %w", a.Name, err)
+		var results []*core.Result
+		for _, spec := range core.Targets() {
+			res, err := core.CompileContext(ctx, a.Clone(), oracle.VerifyConfig(spec.ID))
+			if err != nil {
+				var uns *core.ErrUnsynthesizable
+				if errors.As(err, &uns) {
+					continue
+				}
+				return fmt.Errorf("bench: verify %s on %s: %w", a.Name, spec.Name, err)
+			}
+			results = append(results, res)
 		}
-		da, err := core.CompileContext(ctx, a.Clone(), oracle.VerifyConfig(core.TargetDA))
-		if err != nil {
-			return fmt.Errorf("bench: verify %s on DA: %w", a.Name, err)
+		if len(results) < 2 {
+			return fmt.Errorf("bench: verify %s: only %d targets synthesized it; the matrix needs at least 2", a.Name, len(results))
 		}
-		if err := oracle.AssayEquivalence(fp, da); err != nil {
+		if err := oracle.EquivalenceMatrix(results); err != nil {
 			return fmt.Errorf("bench: verify %s: %w", a.Name, err)
 		}
 	}
@@ -158,29 +206,59 @@ func averages(rows []Table1Row) Table1Averages {
 		avg.Routing += r.DA.RoutingS / r.FP.RoutingS / n
 		avg.Operations += r.DA.OpsS / r.FP.OpsS / n
 		avg.Total += r.DA.TotalS() / r.FP.TotalS() / n
+		if r.EFP != nil {
+			avg.EFPRows++
+			avg.EFPElectrodes += float64(r.DA.Electrodes) / float64(r.EFP.Electrodes)
+			avg.EFPPins += float64(r.DA.Pins) / float64(r.EFP.Pins)
+			avg.EFPRouting += r.DA.RoutingS / r.EFP.RoutingS
+			avg.EFPOperations += r.DA.OpsS / r.EFP.OpsS
+			avg.EFPTotal += r.DA.TotalS() / r.EFP.TotalS()
+		}
+	}
+	if m := float64(avg.EFPRows); m > 0 {
+		avg.EFPElectrodes /= m
+		avg.EFPPins /= m
+		avg.EFPRouting /= m
+		avg.EFPOperations /= m
+		avg.EFPTotal /= m
 	}
 	return avg
 }
 
-// FormatTable1 renders the comparison like the paper's Table 1.
+// FormatTable1 renders the cross-target comparison like the paper's
+// Table 1, extended with the enhanced FPPC (EFP) columns; "-" marks
+// benchmarks the enhanced chip's fixed perimeter cannot host.
 func FormatTable1(rows []Table1Row, avg Table1Averages) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Table 1: Direct-Addressing DMFB (DA) vs Field-Programmable Pin-Constrained DMFB (FP)\n")
-	fmt.Fprintf(&b, "%-16s | %9s %9s | %6s %6s | %5s %5s | %8s %8s | %7s %7s | %8s %8s | %9s %9s\n",
-		"Benchmark", "DA dim", "FP dim", "DA el", "FP el", "DA pn", "FP pn",
-		"DA rt(s)", "FP rt(s)", "DA op", "FP op", "DA tot", "FP tot",
-		"DA syn(ms)", "FP syn(ms)")
+	fmt.Fprintf(&b, "Table 1: Direct-Addressing DMFB (DA) vs Field-Programmable Pin-Constrained DMFB (FP) vs Enhanced FPPC (EFP)\n")
+	fmt.Fprintf(&b, "%-16s | %9s %9s %9s | %6s %6s %6s | %5s %5s %5s | %8s %8s %8s | %8s %8s %8s\n",
+		"Benchmark", "DA dim", "FP dim", "EFP dim", "DA el", "FP el", "EFP el",
+		"DA pn", "FP pn", "EFP pn",
+		"DA rt(s)", "FP rt(s)", "EFP rt", "DA tot", "FP tot", "EFP tot")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-16s | %9s %9s | %6d %6d | %5d %5d | %8.1f %8.1f | %7.0f %7.0f | %8.1f %8.1f | %9.1f %9.1f\n",
+		efpDim, efpEl, efpPn, efpRt, efpTot := "-", "-", "-", "-", "-"
+		if r.EFP != nil {
+			efpDim = fmt.Sprintf("%dx%d", r.EFP.W, r.EFP.H)
+			efpEl = fmt.Sprintf("%d", r.EFP.Electrodes)
+			efpPn = fmt.Sprintf("%d", r.EFP.Pins)
+			efpRt = fmt.Sprintf("%.1f", r.EFP.RoutingS)
+			efpTot = fmt.Sprintf("%.1f", r.EFP.TotalS())
+		}
+		fmt.Fprintf(&b, "%-16s | %9s %9s %9s | %6d %6d %6s | %5d %5d %5s | %8.1f %8.1f %8s | %8.1f %8.1f %8s\n",
 			r.Name,
-			fmt.Sprintf("%dx%d", r.DA.W, r.DA.H), fmt.Sprintf("%dx%d", r.FP.W, r.FP.H),
-			r.DA.Electrodes, r.FP.Electrodes, r.DA.Pins, r.FP.Pins,
-			r.DA.RoutingS, r.FP.RoutingS, r.DA.OpsS, r.FP.OpsS,
-			r.DA.TotalS(), r.FP.TotalS(), r.DA.SynthMS, r.FP.SynthMS)
+			fmt.Sprintf("%dx%d", r.DA.W, r.DA.H), fmt.Sprintf("%dx%d", r.FP.W, r.FP.H), efpDim,
+			r.DA.Electrodes, r.FP.Electrodes, efpEl, r.DA.Pins, r.FP.Pins, efpPn,
+			r.DA.RoutingS, r.FP.RoutingS, efpRt,
+			r.DA.TotalS(), r.FP.TotalS(), efpTot)
 	}
 	fmt.Fprintf(&b, "Avg. normalized improvement of FP over DA (>1 favors FP):\n")
 	fmt.Fprintf(&b, "  electrodes %.2f, pins %.2f, routing %.2f, operations %.2f, total %.2f\n",
 		avg.Electrodes, avg.Pins, avg.Routing, avg.Operations, avg.Total)
+	if avg.EFPRows > 0 {
+		fmt.Fprintf(&b, "Avg. normalized improvement of EFP over DA across the %d/%d synthesizable benchmarks:\n", avg.EFPRows, len(rows))
+		fmt.Fprintf(&b, "  electrodes %.2f, pins %.2f, routing %.2f, operations %.2f, total %.2f\n",
+			avg.EFPElectrodes, avg.EFPPins, avg.EFPRouting, avg.EFPOperations, avg.EFPTotal)
+	}
 	return b.String()
 }
 

@@ -60,9 +60,50 @@ func TestTable1Shapes(t *testing.T) {
 		t.Errorf("Protein Split 5: DA ops %.0f should exceed FP %.0f",
 			rows[10].DA.OpsS, rows[10].FP.OpsS)
 	}
+	// The enhanced FPPC column: everything the fixed 10-port perimeter
+	// can host synthesizes (rows 3-5 are In-Vitro 3-5, which need 12-16
+	// input ports); refused rows carry the typed note instead.
+	for i, r := range rows {
+		wantRefused := i >= 3 && i <= 5
+		if refused := r.EFP == nil; refused != wantRefused {
+			t.Errorf("%s: EFP refused=%t, want %t (note %q)", r.Name, refused, wantRefused, r.EFPNote)
+			continue
+		}
+		if r.EFP == nil {
+			if !strings.Contains(r.EFPNote, "unsynthesizable") {
+				t.Errorf("%s: EFP note %q does not name the typed refusal", r.Name, r.EFPNote)
+			}
+			continue
+		}
+		if r.EFPNote != "" {
+			t.Errorf("%s: synthesized EFP row carries note %q", r.Name, r.EFPNote)
+		}
+		if r.EFP.W != 10 {
+			t.Errorf("%s: EFP width = %d, want 10", r.Name, r.EFP.W)
+		}
+		if r.EFP.Pins != r.EFP.Electrodes {
+			t.Errorf("%s: EFP pins %d != electrodes %d (every electrode has its own pin)",
+				r.Name, r.EFP.Pins, r.EFP.Electrodes)
+		}
+	}
+	if avg.EFPRows != 10 {
+		t.Errorf("EFP averaged over %d rows, want 10", avg.EFPRows)
+	}
+	// Both DA and enhanced FPPC wire one pin per electrode, so the pin
+	// ratio must track the electrode ratio exactly.
+	if avg.EFPPins != avg.EFPElectrodes {
+		t.Errorf("EFP pin ratio %.2f != electrode ratio %.2f (both are one pin per electrode)",
+			avg.EFPPins, avg.EFPElectrodes)
+	}
+	if avg.EFPElectrodes < 2 || avg.EFPElectrodes > 5 {
+		t.Errorf("EFP electrode ratio vs DA = %.2f, want ~3.5 (82-electrode chip vs full DA array)", avg.EFPElectrodes)
+	}
 	out := FormatTable1(rows, avg)
 	if !strings.Contains(out, "Protein Split 7") || !strings.Contains(out, "pins") {
 		t.Errorf("FormatTable1 output incomplete")
+	}
+	if !strings.Contains(out, "EFP") || !strings.Contains(out, "-") {
+		t.Errorf("FormatTable1 missing the EFP matrix columns:\n%s", out)
 	}
 }
 

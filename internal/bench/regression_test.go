@@ -1,12 +1,26 @@
 package bench
 
 import (
+	"context"
 	"math"
 	"testing"
 
 	"fppc/internal/assays"
 	"fppc/internal/core"
 )
+
+// TestVerifyTable1Matrix runs the cross-target differential suite the
+// `fppc-bench -verify` flag exposes: every benchmark on every
+// registered target, oracle-verified, pairwise schedule-equivalent,
+// with typed unsynthesizable refusals as the only tolerated failure.
+func TestVerifyTable1Matrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("verifies all 13 benchmarks on every registered target")
+	}
+	if err := VerifyTable1(context.Background(), assays.DefaultTiming()); err != nil {
+		t.Fatal(err)
+	}
+}
 
 // TestCalibrationRegression pins the exact measured operation times of
 // the whole suite (seconds; deterministic). These are the numbers

@@ -66,6 +66,10 @@ func Table1Telemetry(ctx context.Context, tm assays.Timing, ob *obs.Observer) ([
 			return nil, Table1Averages{}, nil, fmt.Errorf("bench: %s on DA: %w", a.Name, err)
 		}
 		row.DA = toArchResult(da, ms)
+		row.EFP, row.EFPNote, err = enhancedResult(ctx, a, ob)
+		if err != nil {
+			return nil, Table1Averages{}, nil, fmt.Errorf("bench: %s on enhanced FPPC: %w", a.Name, err)
+		}
 		rows = append(rows, row)
 	}
 	return rows, averages(rows), snaps, nil

@@ -24,20 +24,24 @@ import (
 // TimeStepSeconds is the scheduler granularity (paper: 1 s time-steps).
 const TimeStepSeconds = 1.0
 
-// Target selects the architecture to compile for.
+// Target selects the architecture to compile for. The constants below
+// are the IDs of the built-in registered targets; everything else about
+// a target — its geometry, stages, capability flags — lives in its
+// TargetSpec (see registry.go).
 type Target int
 
-// Compilation targets.
+// Built-in compilation targets.
 const (
 	TargetFPPC Target = iota
 	TargetDA
+	TargetEnhancedFPPC
 )
 
 func (t Target) String() string {
-	if t == TargetFPPC {
-		return "fppc"
+	if spec, ok := LookupTarget(t); ok {
+		return spec.Name
 	}
-	return "da"
+	return fmt.Sprintf("target(%d)", int(t))
 }
 
 // Config controls compilation.
@@ -180,19 +184,24 @@ func (e *ErrChipExhausted) Error() string {
 
 func (e *ErrChipExhausted) Unwrap() error { return e.Err }
 
-// ErrUnsynthesizable reports that the degraded chip — the configured
-// size with Config.Faults applied — cannot host the assay: too few
-// working module slots, a lost reservoir ring, or no fault-free route.
-// It wraps the underlying stage failure. The service layer maps this to
-// HTTP 422 with kind "unsynthesizable".
+// ErrUnsynthesizable reports that the chip cannot host the assay under
+// conditions no amount of growth fixes: a degraded chip (the configured
+// size with Config.Faults applied) with too few working module slots, a
+// lost reservoir ring or no fault-free route — or, on fixed-perimeter
+// targets, an assay needing more reservoir ports than the architecture
+// ever provides. It wraps the underlying stage failure. The service
+// layer maps this to HTTP 422 with kind "unsynthesizable".
 type ErrUnsynthesizable struct {
 	Assay  string
 	Target Target
-	Faults int // declared fault count
+	Faults int // declared fault count (0: a capacity limit, not damage)
 	Err    error
 }
 
 func (e *ErrUnsynthesizable) Error() string {
+	if e.Faults == 0 {
+		return fmt.Sprintf("core: %s is unsynthesizable on the %s chip: %v", e.Assay, e.Target, e.Err)
+	}
 	return fmt.Sprintf("core: %s is unsynthesizable on the degraded %s chip (%d faults): %v",
 		e.Assay, e.Target, e.Faults, e.Err)
 }
@@ -242,16 +251,11 @@ func CompileContext(ctx context.Context, a *dag.Assay, cfg Config) (*Result, err
 		d := sp.End()
 		cfg.Obs.Gauge("fppc_stage_duration_seconds", "stage", "compile").Set(d.Seconds())
 	}()
-	var res *Result
-	var err error
-	switch cfg.Target {
-	case TargetFPPC:
-		res, err = compileFPPC(ctx, a, cfg)
-	case TargetDA:
-		res, err = compileDA(ctx, a, cfg)
-	default:
+	spec, ok := LookupTarget(cfg.Target)
+	if !ok {
 		return nil, fmt.Errorf("core: unknown target %d", int(cfg.Target))
 	}
+	res, err := compileTarget(ctx, a, cfg, spec)
 	if err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err()) {
 		return nil, cancelErr(a, cfg, err)
 	}
@@ -265,78 +269,44 @@ func cancelErr(a *dag.Assay, cfg Config, err error) error {
 	return &ErrCanceled{Assay: a.Name, Target: cfg.Target, Err: err}
 }
 
-func compileFPPC(ctx context.Context, a *dag.Assay, cfg Config) (*Result, error) {
-	h := cfg.FPPCHeight
-	if h == 0 {
-		h = 21
-	}
+// compileTarget runs the size-search loop for any registered target:
+// build the chip at the spec's default size, attempt the full flow, and
+// on an insufficient-resources failure ask the spec for the next size
+// (when the config and the target both allow growing).
+func compileTarget(ctx context.Context, a *dag.Assay, cfg Config, spec *TargetSpec) (*Result, error) {
+	d := spec.DefaultDims(cfg)
 	grow := cfg.Obs.Counter("fppc_autogrow_iterations_total")
 	attempts := 0
 	for {
-		chip, err := arch.NewFPPC(h)
+		chip, err := spec.NewChip(d)
 		if err != nil {
 			return nil, err
 		}
 		attempts++
-		res, err := compileOn(ctx, a, chip, cfg, scheduler.ScheduleFPPCContext)
+		res, err := compileOn(ctx, a, chip, cfg, spec)
 		if err == nil {
 			return res, nil
 		}
 		if cfg.faulted() {
 			return nil, unsynthesizable(a, cfg, err)
 		}
-		if !cfg.AutoGrow || !insufficient(err) {
-			return nil, err
-		}
-		grow.Inc()
-		h += 2
-		if h > 4*arch.FPPCWidth*40 {
-			return nil, &ErrChipExhausted{
-				Assay: a.Name, Target: TargetFPPC,
-				LastW: arch.FPPCWidth, LastH: h - 2, Attempts: attempts, Err: err,
-			}
-		}
-	}
-}
-
-func compileDA(ctx context.Context, a *dag.Assay, cfg Config) (*Result, error) {
-	w, h := cfg.DAWidth, cfg.DAHeight
-	if w == 0 {
-		w = 15
-	}
-	if h == 0 {
-		h = 19
-	}
-	grow := cfg.Obs.Counter("fppc_autogrow_iterations_total")
-	attempts := 0
-	for {
-		chip, err := arch.NewDA(w, h)
-		if err != nil {
-			return nil, err
-		}
-		attempts++
-		res, err := compileOn(ctx, a, chip, cfg, scheduler.ScheduleDAContext)
-		if err == nil {
-			return res, nil
-		}
-		if cfg.faulted() {
+		if spec.Capabilities.FixedPortCapacity && portCapacity(err) {
+			// Growth never adds ports on this target, so the assay can
+			// never fit — a capacity limit of the architecture itself.
 			return nil, unsynthesizable(a, cfg, err)
 		}
-		if !cfg.AutoGrow || !insufficient(err) {
+		if !cfg.AutoGrow || !spec.Capabilities.AutoGrow || !insufficient(err) {
 			return nil, err
 		}
 		grow.Inc()
-		if h >= 2*w {
-			w += 6
-		} else {
-			h += 4
-		}
-		if w > 200 {
+		next, ok := spec.Grow(d)
+		if !ok {
 			return nil, &ErrChipExhausted{
-				Assay: a.Name, Target: TargetDA,
-				LastW: w, LastH: h, Attempts: attempts, Err: err,
+				Assay: a.Name, Target: spec.ID,
+				LastW: d.W, LastH: d.H, Attempts: attempts, Err: err,
 			}
 		}
+		d = next
 	}
 }
 
@@ -345,15 +315,22 @@ func insufficient(err error) bool {
 	return errors.As(err, &ir)
 }
 
-// unsynthesizable wraps a degraded-chip compilation failure in the typed
-// error and counts it. Context aborts pass through the wrapper's Unwrap
-// chain, so CompileContext still converts them to *ErrCanceled.
-func unsynthesizable(a *dag.Assay, cfg Config, err error) error {
-	cfg.Obs.Counter("fppc_compile_unsynthesizable_total").Inc()
-	return &ErrUnsynthesizable{Assay: a.Name, Target: cfg.Target, Faults: cfg.Faults.Len(), Err: err}
+func portCapacity(err error) bool {
+	var pc *arch.PortCapacityError
+	return errors.As(err, &pc)
 }
 
-type scheduleFn func(context.Context, *dag.Assay, *arch.Chip, *obs.Observer) (*scheduler.Schedule, error)
+// unsynthesizable wraps a compilation failure no growth fixes in the
+// typed error and counts it. Context aborts pass through the wrapper's
+// Unwrap chain, so CompileContext still converts them to *ErrCanceled.
+func unsynthesizable(a *dag.Assay, cfg Config, err error) error {
+	cfg.Obs.Counter("fppc_compile_unsynthesizable_total").Inc()
+	faults := 0
+	if cfg.Faults != nil {
+		faults = cfg.Faults.Len()
+	}
+	return &ErrUnsynthesizable{Assay: a.Name, Target: cfg.Target, Faults: faults, Err: err}
+}
 
 // stage runs fn under a span named name on the chip-attempt observer and
 // records its wall-clock in fppc_stage_duration_seconds{stage=name}.
@@ -369,7 +346,7 @@ func stage(ob *obs.Observer, name string, chip *arch.Chip, fn func() error) erro
 	return err
 }
 
-func compileOn(ctx context.Context, a *dag.Assay, chip *arch.Chip, cfg Config, schedule scheduleFn) (*Result, error) {
+func compileOn(ctx context.Context, a *dag.Assay, chip *arch.Chip, cfg Config, spec *TargetSpec) (*Result, error) {
 	ob := cfg.Obs
 	if cfg.DetectorCount > 0 {
 		chip.LimitDetectors(cfg.DetectorCount)
@@ -391,7 +368,7 @@ func compileOn(ctx context.Context, a *dag.Assay, chip *arch.Chip, cfg Config, s
 	var s *scheduler.Schedule
 	if err := stage(ob, "schedule", chip, func() error {
 		var err error
-		s, err = schedule(ctx, a, chip, ob)
+		s, err = spec.Schedule(ctx, a, chip, ob)
 		return err
 	}); err != nil {
 		return nil, err
@@ -407,7 +384,7 @@ func compileOn(ctx context.Context, a *dag.Assay, chip *arch.Chip, cfg Config, s
 	var routing *router.Result
 	if err := stage(ob, "route", chip, func() error {
 		var err error
-		routing, err = router.RouteContext(ctx, s, opts)
+		routing, err = spec.Route(ctx, s, opts)
 		return err
 	}); err != nil {
 		return nil, err

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fppc/internal/arch"
+	"fppc/internal/router"
+	"fppc/internal/scheduler"
+)
+
+func init() {
+	RegisterTarget(TargetSpec{
+		ID:          TargetDA,
+		Name:        "da",
+		Description: "direct-addressing baseline (every electrode on its own pin, CODES+ISSS 2012)",
+		Capabilities: Capabilities{
+			AutoGrow: true,
+		},
+		DefaultDims: func(cfg Config) Dims {
+			w, h := cfg.DAWidth, cfg.DAHeight
+			if w == 0 {
+				w = 15
+			}
+			if h == 0 {
+				h = 19
+			}
+			return Dims{W: w, H: h}
+		},
+		Grow: func(d Dims) (Dims, bool) {
+			w, h := d.W, d.H
+			if h >= 2*w {
+				w += 6
+			} else {
+				h += 4
+			}
+			if w > 200 {
+				return d, false
+			}
+			return Dims{W: w, H: h}, true
+		},
+		NewChip:   func(d Dims) (*arch.Chip, error) { return arch.NewDA(d.W, d.H) },
+		ApplyDims: func(cfg *Config, d Dims) { cfg.DAWidth, cfg.DAHeight = d.W, d.H },
+		Schedule:  scheduler.ScheduleDAContext,
+		Route:     router.RouteDAContext,
+	})
+}

@@ -154,21 +154,24 @@ func Classify(a *dag.Assay, target core.Target, set *Set) (RunReport, error) {
 	return classify(a, target, set, pristine)
 }
 
-// classify dispatches on the target given an already-compiled pristine
-// result (Campaign reuses one pristine compile across many fault sets).
+// classify dispatches on the target's capability flags given an
+// already-compiled pristine result (Campaign reuses one pristine compile
+// across many fault sets): targets with dynamic fault detection replay
+// the pin program against the degraded hardware; the rest are screened
+// statically at schedule level.
 func classify(a *dag.Assay, target core.Target, set *Set, pristine *core.Result) (RunReport, error) {
 	rep := RunReport{Assay: a.Name, Target: target, Faults: set.String()}
-	if target == core.TargetFPPC {
-		return classifyFPPC(a, set, pristine, rep)
+	if spec, ok := core.LookupTarget(target); ok && spec.Capabilities.DynamicFaultDetection {
+		return classifyDynamic(a, set, pristine, rep)
 	}
-	return classifyDA(a, set, pristine, rep)
+	return classifyStatic(a, set, pristine, rep)
 }
 
-// classifyFPPC plays the pristine pin program on the faulted hardware.
+// classifyDynamic plays the pristine pin program on the faulted hardware.
 // Detection is dynamic: the strict oracle (faults injected but NOT
 // disclosed as known) must flag a refused actuation, a stuck-closed
 // energization, or a downstream physics/assay violation.
-func classifyFPPC(a *dag.Assay, set *Set, pristine *core.Result, rep RunReport) (RunReport, error) {
+func classifyDynamic(a *dag.Assay, set *Set, pristine *core.Result, rep RunReport) (RunReport, error) {
 	orep := oracle.Verify(pristine.Chip, pristine.Routing.Program, pristine.Routing.Events,
 		oracle.Options{Faults: set})
 	orep.CheckAssay(a)
@@ -196,14 +199,19 @@ func classifyFPPC(a *dag.Assay, set *Set, pristine *core.Result, rep RunReport) 
 	return resynthesize(a, set, pristine, rep, fmt.Sprintf("oracle flagged %d violations", len(orep.Violations)))
 }
 
-// classifyDA classifies against the timing-only DA baseline. There is no
-// pin program to replay, so detection is static: the fault set is
-// checked against the pristine schedule's bindings. Any fault touching a
-// bound module, a reservoir port, or an open street cell (which routes
-// may cross) forces resynthesis; Missed is structurally impossible
-// because detection examines the full declared fault set.
-func classifyDA(a *dag.Assay, set *Set, pristine *core.Result, rep RunReport) (RunReport, error) {
-	probe, err := arch.NewDA(pristine.Chip.W, pristine.Chip.H)
+// classifyStatic classifies targets without dynamic fault detection
+// (the timing-only DA baseline). There is no pin program to replay, so
+// detection is static: the fault set is checked against the pristine
+// schedule's bindings. Any fault touching a bound module, a reservoir
+// port, or an open street cell (which routes may cross) forces
+// resynthesis; Missed is structurally impossible because detection
+// examines the full declared fault set.
+func classifyStatic(a *dag.Assay, set *Set, pristine *core.Result, rep RunReport) (RunReport, error) {
+	spec, ok := core.LookupTarget(rep.Target)
+	if !ok {
+		return rep, fmt.Errorf("faults: unregistered target %v", rep.Target)
+	}
+	probe, err := spec.NewChip(core.Dims{W: pristine.Chip.W, H: pristine.Chip.H})
 	if err != nil {
 		return rep, err
 	}
@@ -258,10 +266,8 @@ func resynthesize(a *dag.Assay, set *Set, pristine *core.Result, rep RunReport, 
 	cfg := oracle.VerifyConfig(rep.Target)
 	cfg.AutoGrow = false
 	cfg.Faults = set
-	if rep.Target == core.TargetFPPC {
-		cfg.FPPCHeight = pristine.Chip.H
-	} else {
-		cfg.DAWidth, cfg.DAHeight = pristine.Chip.W, pristine.Chip.H
+	if spec, ok := core.LookupTarget(rep.Target); ok {
+		spec.ApplyDims(&cfg, core.Dims{W: pristine.Chip.W, H: pristine.Chip.H})
 	}
 	res, err := core.Compile(a.Clone(), cfg)
 	if err != nil {

@@ -36,6 +36,10 @@ func degradedGoldenCases(t *testing.T) []struct {
 	if err != nil {
 		t.Fatal(err)
 	}
+	echip, err := arch.NewEnhancedFPPC(arch.EnhancedBaseHeight)
+	if err != nil {
+		t.Fatal(err)
+	}
 	fppcSet := mustSet(t,
 		Fault{Kind: StuckOpen, Cell: fchip.MixModules[0].Hold},
 		Fault{Kind: StuckClosed, Cell: fchip.SSDModules[1].Hold},
@@ -44,6 +48,10 @@ func degradedGoldenCases(t *testing.T) []struct {
 		Fault{Kind: StuckOpen, Cell: dchip.WorkMods[0].Rect.Cells()[0]},
 		Fault{Kind: StuckClosed, Cell: dchip.WorkMods[3].Rect.Cells()[0]},
 	)
+	enhSet := mustSet(t,
+		Fault{Kind: StuckOpen, Cell: echip.MixModules[0].Hold},
+		Fault{Kind: StuckClosed, Cell: echip.SSDModules[1].Hold},
+	)
 	return []struct {
 		file   string
 		target core.Target
@@ -51,6 +59,7 @@ func degradedGoldenCases(t *testing.T) []struct {
 	}{
 		{"pcr_degraded_fppc.golden", core.TargetFPPC, fppcSet},
 		{"pcr_degraded_da.golden", core.TargetDA, daSet},
+		{"pcr_degraded_enhanced.golden", core.TargetEnhancedFPPC, enhSet},
 	}
 }
 

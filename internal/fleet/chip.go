@@ -13,9 +13,11 @@ import (
 type ChipSpec struct {
 	// ID names the chip; must be unique within the fleet.
 	ID string `json:"id"`
-	// Target is the chip's architecture: "fppc" (default) or "da".
+	// Target is the chip's architecture by registered name: "fppc" (the
+	// default), "da", or "enhanced-fppc".
 	Target string `json:"target"`
-	// Height fixes the FPPC array height (0 = the 12x21 workhorse).
+	// Height fixes the array height of fixed-width targets (fppc,
+	// enhanced-fppc); 0 selects the target's default.
 	Height int `json:"height,omitempty"`
 	// W, H fix the DA array size (0 = the paper's 15x19).
 	W int `json:"w,omitempty"`
@@ -70,30 +72,19 @@ func newChip(spec ChipSpec, defaultRatedLife int64, ob *obs.Observer) (*chip, er
 	if spec.ID == "" {
 		return nil, fmt.Errorf("fleet: chip spec needs an id")
 	}
-	var (
-		ref *arch.Chip
-		err error
-	)
-	switch spec.Target {
-	case "", "fppc":
-		spec.Target = "fppc"
-		h := spec.Height
-		if h == 0 {
-			h = 21
-		}
-		spec.Height = h
-		ref, err = arch.NewFPPC(h)
-	case "da":
-		if spec.W == 0 {
-			spec.W = 15
-		}
-		if spec.H == 0 {
-			spec.H = 19
-		}
-		ref, err = arch.NewDA(spec.W, spec.H)
-	default:
-		return nil, fmt.Errorf("fleet: chip %s: unknown target %q (want \"fppc\" or \"da\")", spec.ID, spec.Target)
+	tspec, err := core.ParseTarget(spec.Target)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: chip %s: %w", spec.ID, err)
 	}
+	spec.Target = tspec.Name
+	// Resolve the array size through the target's own defaulting, then
+	// write it back so the spec records the actual manufactured size.
+	dims := targetDims(spec, tspec)
+	var sizes core.Config
+	tspec.ApplyDims(&sizes, dims)
+	spec.Height = sizes.FPPCHeight
+	spec.W, spec.H = sizes.DAWidth, sizes.DAHeight
+	ref, err := tspec.NewChip(dims)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: chip %s: %w", spec.ID, err)
 	}
@@ -134,12 +125,21 @@ func newChip(spec ChipSpec, defaultRatedLife int64, ob *obs.Observer) (*chip, er
 	return c, nil
 }
 
+// targetDims resolves a chip spec's array size through the target's
+// own defaulting (zero spec fields select the target default).
+func targetDims(spec ChipSpec, tspec *core.TargetSpec) core.Dims {
+	return tspec.DefaultDims(core.Config{
+		FPPCHeight: spec.Height, DAWidth: spec.W, DAHeight: spec.H,
+	})
+}
+
 // buildArray constructs a fresh pristine array from the spec.
 func buildArray(spec ChipSpec) (*arch.Chip, error) {
-	if spec.Target == "da" {
-		return arch.NewDA(spec.W, spec.H)
+	tspec, ok := core.LookupTargetName(spec.Target)
+	if !ok {
+		return nil, fmt.Errorf("fleet: chip %s: unknown target %q", spec.ID, spec.Target)
 	}
-	return arch.NewFPPC(spec.Height)
+	return tspec.NewChip(targetDims(spec, tspec))
 }
 
 // refreshEffective rederives the effective fault set from base + wear
@@ -166,12 +166,9 @@ func (c *chip) refreshEffective() bool {
 // array at fixed coordinates.
 func coreConfig(spec ChipSpec, set *faults.Set) core.Config {
 	cfg := core.Config{}
-	if spec.Target == "da" {
-		cfg.Target = core.TargetDA
-		cfg.DAWidth, cfg.DAHeight = spec.W, spec.H
-	} else {
-		cfg.Target = core.TargetFPPC
-		cfg.FPPCHeight = spec.Height
+	if tspec, ok := core.LookupTargetName(spec.Target); ok {
+		cfg.Target = tspec.ID
+		tspec.ApplyDims(&cfg, targetDims(spec, tspec))
 	}
 	if set.Len() > 0 {
 		cfg.Faults = set

@@ -32,9 +32,11 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"fppc/internal/core"
 	"fppc/internal/dag"
 	"fppc/internal/faults"
 	"fppc/internal/grid"
@@ -219,15 +221,16 @@ func (j *Job) status() JobStatus {
 }
 
 // Submit registers a job for placement. Target constrains the chip
-// architecture ("fppc", "da", or "" for any). The assay is canonicalized
-// up front so every placement compile is deterministic. Submission only
-// records desired state; the reconciler (kicked here, and run by the
-// owner's loop) performs the placement.
+// architecture to one registered target name ("" accepts any). The
+// assay is canonicalized up front so every placement compile is
+// deterministic. Submission only records desired state; the reconciler
+// (kicked here, and run by the owner's loop) performs the placement.
 func (f *Fleet) Submit(a *dag.Assay, target string) (JobStatus, error) {
-	switch target {
-	case "", "fppc", "da":
-	default:
-		return JobStatus{}, fmt.Errorf("fleet: unknown target constraint %q (want \"fppc\", \"da\" or empty)", target)
+	if target != "" {
+		if _, ok := core.LookupTargetName(target); !ok {
+			return JobStatus{}, fmt.Errorf("fleet: unknown target constraint %q (want one of %s, or empty)",
+				target, strings.Join(core.TargetNames(), ", "))
+		}
 	}
 	if err := a.Validate(); err != nil {
 		return JobStatus{}, err

@@ -84,10 +84,10 @@ func (f *Fleet) runCompile(ctx context.Context, e *compiled, assay *dag.Assay, s
 	cfg := coreConfig(spec, set)
 	tc := telemetry.New()
 	cfg.Router.Telemetry = tc
-	if spec.Target != "da" {
-		// The DA baseline is timing-only (no pin program), so only FPPC
-		// compiles yield electrode-level telemetry; DA placements carry
-		// schedule spans but no wear contribution or used-cell map.
+	if tspec, ok := core.LookupTargetName(spec.Target); ok && tspec.Capabilities.PinProgram {
+		// Only pin-program targets yield electrode-level telemetry;
+		// placements on timing-only baselines (DA) carry schedule spans
+		// but no wear contribution or used-cell map.
 		cfg.Router.EmitProgram = true
 	}
 	res, err := core.CompileContext(ctx, assay, cfg)

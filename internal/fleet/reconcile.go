@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"fppc/internal/core"
 	"fppc/internal/dag"
 	"fppc/internal/recovery"
 )
@@ -96,9 +97,14 @@ func (f *Fleet) Reconcile(ctx context.Context) Stats {
 // placementInvalidLocked reports whether the chip's current fault set
 // breaks the job's compiled program: some electrode the program
 // actuates is now unusable but was usable when the program compiled.
-// Placements without an electrode map (DA targets have no pin program)
-// are conservatively invalidated by any fault-set change.
+// Placements on targets without the pin-program capability (no
+// electrode-level telemetry, so no actuation map) are conservatively
+// invalidated by any fault-set change, as is a pin-program placement
+// whose telemetry replay yielded no map.
 func (f *Fleet) placementInvalidLocked(j *Job, c *chip) bool {
+	if spec, ok := core.LookupTargetName(c.spec.Target); !ok || !spec.Capabilities.PinProgram {
+		return true
+	}
 	if len(j.used) == 0 {
 		return true
 	}

@@ -17,7 +17,8 @@ import (
 // same config always produces the same timeline — time is virtual and
 // every random choice flows from Seed.
 type ScenarioConfig struct {
-	// Chips is the fleet size (default 4, minimum 2).
+	// Chips is the fleet size (default 5, one of each spec-rotation
+	// variant; minimum 2).
 	Chips int
 	// Jobs is how many benchmark assays to submit (default 20).
 	Jobs int
@@ -57,7 +58,8 @@ type ScenarioResult struct {
 // ScenarioSpecs builds the scenario's chip specs: a rotation of the
 // 12x21 FPPC workhorse, a taller 12x27 variant, an FPPC with a benign
 // manufacturing defect (one mix module's hold electrode stuck open),
-// and the paper's 15x19 direct-addressing array.
+// the paper's 15x19 direct-addressing array, and the 10x16 enhanced
+// FPPC chip.
 func ScenarioSpecs(n int) ([]ChipSpec, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("fleet: scenario needs at least 2 chips, got %d", n)
@@ -65,7 +67,7 @@ func ScenarioSpecs(n int) ([]ChipSpec, error) {
 	specs := make([]ChipSpec, 0, n)
 	for i := 0; i < n; i++ {
 		spec := ChipSpec{ID: fmt.Sprintf("chip-%02d", i)}
-		switch i % 4 {
+		switch i % 5 {
 		case 0: // the workhorse
 		case 1:
 			spec.Height = 27
@@ -77,6 +79,8 @@ func ScenarioSpecs(n int) ([]ChipSpec, error) {
 			spec.Faults = fs
 		case 3:
 			spec.Target = "da"
+		case 4:
+			spec.Target = "enhanced-fppc"
 		}
 		specs = append(specs, spec)
 	}
@@ -121,7 +125,7 @@ func scenarioAssay(i int) *dag.Assay {
 // final fleet state.
 func RunScenario(ctx context.Context, cfg ScenarioConfig) (*ScenarioResult, error) {
 	if cfg.Chips <= 0 {
-		cfg.Chips = 4
+		cfg.Chips = 5
 	}
 	if cfg.Jobs <= 0 {
 		cfg.Jobs = 20

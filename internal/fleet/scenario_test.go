@@ -7,7 +7,8 @@ import (
 	"testing"
 )
 
-// The pinned-seed scenario is the PR's acceptance gate: 4 chips, 20
+// The pinned-seed scenario is the PR's acceptance gate: 5 chips (one
+// of each rotation variant, spanning all three architectures), 20
 // jobs, injected mid-run degradation — every job must end completed
 // (directly or after migration), none lost, and the event log must show
 // at least one migration that recompiled via recovery.Plan and was
@@ -23,8 +24,17 @@ func TestScenarioPinnedSeedNoLostJobs(t *testing.T) {
 	if len(res.Jobs) != 20 {
 		t.Fatalf("jobs = %d, want 20", len(res.Jobs))
 	}
-	if len(res.Chips) != 4 {
-		t.Fatalf("chips = %d, want 4", len(res.Chips))
+	if len(res.Chips) != 5 {
+		t.Fatalf("chips = %d, want 5", len(res.Chips))
+	}
+	targets := map[string]bool{}
+	for _, c := range res.Chips {
+		targets[c.Target] = true
+	}
+	for _, want := range []string{"fppc", "da", "enhanced-fppc"} {
+		if !targets[want] {
+			t.Errorf("scenario fleet has no %s chip", want)
+		}
 	}
 	if len(res.Lost) != 0 {
 		t.Fatalf("lost jobs: %v (failed=%d)", res.Lost, res.Failed)
@@ -124,7 +134,7 @@ func TestScenarioSpecsValidation(t *testing.T) {
 		t.Fatalf("got %d specs", len(specs))
 	}
 	seen := map[string]bool{}
-	faulted, da := 0, 0
+	faulted, da, enhanced := 0, 0, 0
 	for _, s := range specs {
 		if seen[s.ID] {
 			t.Errorf("duplicate chip id %s", s.ID)
@@ -133,11 +143,14 @@ func TestScenarioSpecsValidation(t *testing.T) {
 		if s.Faults != "" {
 			faulted++
 		}
-		if s.Target == "da" {
+		switch s.Target {
+		case "da":
 			da++
+		case "enhanced-fppc":
+			enhanced++
 		}
 	}
-	if faulted == 0 || da == 0 {
-		t.Errorf("spec rotation missing variants: faulted=%d da=%d", faulted, da)
+	if faulted == 0 || da == 0 || enhanced == 0 {
+		t.Errorf("spec rotation missing variants: faulted=%d da=%d enhanced=%d", faulted, da, enhanced)
 	}
 }

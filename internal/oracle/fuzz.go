@@ -11,10 +11,10 @@ import (
 
 // VerifyConfig returns the compilation config the verification harness
 // uses for a target: auto-grow (so every well-formed assay compiles)
-// plus pin-program emission where the architecture supports it.
+// plus pin-program emission where the target's capabilities support it.
 func VerifyConfig(target core.Target) core.Config {
 	cfg := core.Config{Target: target, AutoGrow: true}
-	if target == core.TargetFPPC {
+	if spec, ok := core.LookupTarget(target); ok && spec.Capabilities.PinProgram {
 		cfg.Router = router.Options{EmitProgram: true, RotationsPerStep: 1}
 	}
 	return cfg

@@ -17,7 +17,7 @@ import (
 var update = flag.Bool("update", false, "rewrite the golden trace files under testdata/")
 
 // goldenCases are the corpus: the paper's flagship assay plus the
-// smallest in-vitro benchmark, on both targets.
+// smallest in-vitro benchmark, on every registered target.
 func goldenCases() []struct {
 	file   string
 	assay  *dag.Assay
@@ -31,8 +31,10 @@ func goldenCases() []struct {
 	}{
 		{"pcr_fppc.golden", assays.PCR(tm), core.TargetFPPC},
 		{"pcr_da.golden", assays.PCR(tm), core.TargetDA},
+		{"pcr_enhanced.golden", assays.PCR(tm), core.TargetEnhancedFPPC},
 		{"invitro1_fppc.golden", assays.InVitroN(1, tm), core.TargetFPPC},
 		{"invitro1_da.golden", assays.InVitroN(1, tm), core.TargetDA},
+		{"invitro1_enhanced.golden", assays.InVitroN(1, tm), core.TargetEnhancedFPPC},
 	}
 }
 

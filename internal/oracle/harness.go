@@ -110,7 +110,7 @@ func VerifyCompiled(res *core.Result, opts Options) (*Report, error) {
 
 // verifySchedule is the program-less path: re-validate the binding and
 // project the schedule's operation counts into a report so callers see
-// the same shape for both targets.
+// the same shape for every target.
 func verifySchedule(res *core.Result) (*Report, error) {
 	rep := &Report{}
 	if err := res.Schedule.Validate(); err != nil {
@@ -183,6 +183,22 @@ func AssayEquivalence(a, b *core.Result) error {
 	}
 	if repA.Outputs != repB.Outputs {
 		return fmt.Errorf("oracle: output droplet counts differ: %d vs %d", repA.Outputs, repB.Outputs)
+	}
+	return nil
+}
+
+// EquivalenceMatrix checks AssayEquivalence across every pair of
+// compilations of the same assay — the cross-target differential check:
+// all targets that could synthesize the assay must have produced
+// equivalent results. Order does not matter; fewer than two results is
+// trivially consistent.
+func EquivalenceMatrix(results []*core.Result) error {
+	for i := 0; i < len(results); i++ {
+		for j := i + 1; j < len(results); j++ {
+			if err := AssayEquivalence(results[i], results[j]); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

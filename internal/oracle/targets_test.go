@@ -1,0 +1,89 @@
+package oracle
+
+import (
+	"errors"
+	"testing"
+
+	"fppc/internal/assays"
+	"fppc/internal/core"
+	"fppc/internal/dag"
+)
+
+// TestRegisteredTargetsRoundTrip drives every registered target through
+// the full parse -> compile -> simulate -> oracle loop on PCR. A target
+// added to the registry gets this coverage for free; one that cannot
+// survive the loop fails here by name.
+func TestRegisteredTargetsRoundTrip(t *testing.T) {
+	for _, spec := range core.Targets() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			parsed, err := core.ParseTarget(spec.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if parsed.ID != spec.ID {
+				t.Fatalf("ParseTarget(%q).ID = %d, want %d", spec.Name, parsed.ID, spec.ID)
+			}
+			res, err := core.Compile(assays.PCR(assays.DefaultTiming()), VerifyConfig(parsed.ID))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := VerifyCompiled(res, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spec.Capabilities.PinProgram {
+				if res.Routing.Program == nil {
+					t.Fatal("PinProgram target compiled without a program")
+				}
+				if rep.Cycles == 0 {
+					t.Error("oracle replayed zero cycles")
+				}
+			} else if res.Routing.Program != nil {
+				t.Error("program emitted by a target without the PinProgram capability")
+			}
+			if rep.Outputs == 0 {
+				t.Error("no output droplets verified")
+			}
+		})
+	}
+}
+
+// TestCrossTargetEquivalence compiles representative assays on every
+// registered target and checks pairwise assay-level equivalence of all
+// successful compilations. Targets may refuse an assay only with the
+// typed *core.ErrUnsynthesizable (capacity limits), never with an
+// untyped error. The full Table 1 sweep lives in bench.VerifyTable1;
+// this keeps the property in the oracle's own test suite.
+func TestCrossTargetEquivalence(t *testing.T) {
+	tm := assays.DefaultTiming()
+	for _, a := range []*dag.Assay{
+		assays.PCR(tm),
+		assays.InVitroN(1, tm),
+		assays.InVitroN(3, tm), // needs 12 input ports: unsynthesizable on enhanced-fppc
+		assays.ProteinSplit(2, tm),
+	} {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			var results []*core.Result
+			for _, spec := range core.Targets() {
+				res, err := core.Compile(a.Clone(), VerifyConfig(spec.ID))
+				if err != nil {
+					var us *core.ErrUnsynthesizable
+					if !errors.As(err, &us) {
+						t.Fatalf("%s: %v (want success or *core.ErrUnsynthesizable)", spec.Name, err)
+					}
+					t.Logf("%s: unsynthesizable (accepted): %v", spec.Name, err)
+					continue
+				}
+				results = append(results, res)
+			}
+			if len(results) < 2 {
+				t.Fatalf("only %d targets synthesized %s; matrix needs at least 2", len(results), a.Name)
+			}
+			if err := EquivalenceMatrix(results); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}

@@ -70,7 +70,7 @@ func RouteFPPC(s *scheduler.Schedule, opts Options) (*Result, error) {
 }
 
 func routeFPPC(ctx context.Context, s *scheduler.Schedule, opts Options) (*Result, error) {
-	if s.Chip.Arch != arch.FPPC {
+	if s.Chip.Arch == arch.DirectAddressing {
 		return nil, fmt.Errorf("router: RouteFPPC on %v chip", s.Chip.Arch)
 	}
 	ob := opts.Obs
@@ -596,8 +596,12 @@ func (r *fppcRouter) event(kind EventKind, cell grid.Cell, fluid string) {
 }
 
 // emitOpPhase appends the operation-phase cycles for time-step ts: when a
-// mix operation is active, the shared loop pins rotate every mix-module
-// droplet in lockstep (section 3.1.3); otherwise a single hold cycle.
+// mix operation is active, the loop pins rotate every held mix-module
+// droplet (section 3.1.3); otherwise a single hold cycle. On shared-loop
+// chips the architecture's common rotation pins sweep every module in
+// lockstep; on dedicated-pin chips each occupied module's own loop pins
+// fire on the same cycle (empty modules stay dark, which the oracle's
+// spurious-activation check demands).
 func (r *fppcRouter) emitOpPhase(ts int) {
 	mixing := false
 	for _, op := range r.s.Ops {
@@ -610,22 +614,39 @@ func (r *fppcRouter) emitOpPhase(ts int) {
 		r.emit()
 		return
 	}
-	loop := r.chip.MixModules[0].LoopCells()
-	for n := 0; n < r.opts.RotationsPerStep; n++ {
-		// Seven shared loop positions, then back onto the hold pins. The
-		// hold step uses every mix module's hold pin so all rotating
-		// droplets re-park simultaneously.
-		for _, cell := range loop[1:] {
-			r.emitRotation(r.pinOf(cell))
-		}
-		var holds []int
-		for k := range r.chip.MixModules {
-			if r.mixHeld[k] >= 0 {
-				holds = append(holds, r.pinOf(r.chip.MixModules[k].Hold))
-			}
-		}
-		r.emitRotation(holds...)
+	loops := make([][]grid.Cell, len(r.chip.MixModules))
+	for k, m := range r.chip.MixModules {
+		loops[k] = m.LoopCells()
 	}
+	for n := 0; n < r.opts.RotationsPerStep; n++ {
+		// Seven loop positions, then back onto the hold pins via the final
+		// heldMixHolds cycle so all rotating droplets re-park simultaneously.
+		for i := 1; i < 8; i++ {
+			var act []int
+			if r.chip.MixLoopShared {
+				act = []int{r.pinOf(loops[0][i])}
+			} else {
+				for k := range r.chip.MixModules {
+					if r.mixHeld[k] >= 0 {
+						act = append(act, r.pinOf(loops[k][i]))
+					}
+				}
+			}
+			r.emitRotation(act...)
+		}
+		r.emitRotation(r.heldMixHolds()...)
+	}
+}
+
+// heldMixHolds lists the hold pins of occupied mix modules.
+func (r *fppcRouter) heldMixHolds() []int {
+	var out []int
+	for k, held := range r.mixHeld {
+		if held >= 0 {
+			out = append(out, r.pinOf(r.chip.MixModules[k].Hold))
+		}
+	}
+	return out
 }
 
 // emitRotation is emit() but with mix-module hold pins suppressed (the

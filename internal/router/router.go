@@ -211,12 +211,25 @@ func Route(s *scheduler.Schedule, opts Options) (*Result, error) {
 // ctx.Err(). A nil ctx never cancels.
 func RouteContext(ctx context.Context, s *scheduler.Schedule, opts Options) (*Result, error) {
 	switch s.Chip.Arch {
-	case arch.FPPC:
+	case arch.FPPC, arch.EnhancedFPPC:
 		return routeFPPC(ctx, s, opts)
 	case arch.DirectAddressing:
 		return routeDA(ctx, s, opts)
 	}
 	return nil, fmt.Errorf("router: unknown architecture %v", s.Chip.Arch)
+}
+
+// RouteFPPCContext is the sequential bus router with cooperative
+// cancellation, serving both FPPC-family architectures. Target plug-ins
+// reference it directly.
+func RouteFPPCContext(ctx context.Context, s *scheduler.Schedule, opts Options) (*Result, error) {
+	return routeFPPC(ctx, s, opts)
+}
+
+// RouteDAContext is the concurrent direct-addressing router with
+// cooperative cancellation. Target plug-ins reference it directly.
+func RouteDAContext(ctx context.Context, s *scheduler.Schedule, opts Options) (*Result, error) {
+	return routeDA(ctx, s, opts)
 }
 
 // routeCanceled returns an error wrapping ctx.Err() once the context is

@@ -22,11 +22,16 @@ type fppcState struct {
 	runningTo   []int // end times of in-flight ops (for progress checks)
 }
 
-// ReservedSSD returns the SSD module the FPPC router keeps as its
-// cycle-breaking buffer — the highest-indexed enabled module — or -1
-// when every SSD is disabled. The scheduler never binds operations to
-// it; the router and fault-aware compilation share this choice.
+// ReservedSSD returns the SSD module the FPPC-family router keeps as
+// its cycle-breaking buffer — the chip's designated interchange module
+// when it has one (and it survived fault filtering), otherwise the
+// highest-indexed enabled module — or -1 when every SSD is disabled.
+// The scheduler never binds operations to it; the router and
+// fault-aware compilation share this choice.
 func ReservedSSD(chip *arch.Chip) int {
+	if i := chip.InterchangeSSD; i >= 0 && i < len(chip.SSDModules) && !chip.SSDModules[i].Disabled {
+		return i
+	}
 	for i := len(chip.SSDModules) - 1; i >= 0; i-- {
 		if !chip.SSDModules[i].Disabled {
 			return i
@@ -60,7 +65,7 @@ func ScheduleFPPCObserved(a *dag.Assay, chip *arch.Chip, ob *obs.Observer) (*Sch
 // cancellation: the time-step loop checks ctx once per step and aborts
 // with an error wrapping ctx.Err(). A nil ctx never cancels.
 func ScheduleFPPCContext(ctx context.Context, a *dag.Assay, chip *arch.Chip, ob *obs.Observer) (*Schedule, error) {
-	if chip.Arch != arch.FPPC {
+	if chip.Arch == arch.DirectAddressing {
 		return nil, fmt.Errorf("scheduler: ScheduleFPPC on %v chip %s", chip.Arch, chip.Name)
 	}
 	b, err := newBase(a, chip, fppcPolicy, ob)
@@ -310,6 +315,19 @@ func (st *fppcState) startNode(id, t int) bool {
 	return false
 }
 
+// moduleRow returns the chip row a droplet at the given module location
+// parks on (its hold cell), or -1 for ports. Using the chip's own
+// geometry keeps the distance heuristics architecture-independent.
+func (st *fppcState) moduleRow(loc Location) int {
+	switch loc.Kind {
+	case LocMix:
+		return st.chip.MixModules[loc.Index].Hold.Y
+	case LocSSD:
+		return st.chip.SSDModules[loc.Index].Hold.Y
+	}
+	return -1
+}
+
 // nearestFreeMix picks the idle, unoccupied mix module closest (by
 // module row distance) to the input droplets' current SSD rows, reducing
 // transport length; falls back to the lowest index for port-sourced
@@ -322,11 +340,10 @@ func (st *fppcState) nearestFreeMix(t int, inputs []*droplet) int {
 			continue
 		}
 		cost := m // mild bias toward low indices (near the top ports)
+		mr := st.chip.MixModules[m].Hold.Y
 		for _, d := range inputs {
 			if d.loc.Kind == LocSSD {
-				// mix module m spans rows 3m+2..3m+3; SSD s sits at row 2s+2.
-				mr, sr := 3*m+2, 2*d.loc.Index+2
-				diff := mr - sr
+				diff := mr - st.moduleRow(d.loc)
 				if diff < 0 {
 					diff = -diff
 				}
@@ -341,9 +358,9 @@ func (st *fppcState) nearestFreeMix(t int, inputs []*droplet) int {
 }
 
 // nearestFreeSSD picks the idle, unoccupied usable SSD closest to the
-// input droplet's current module row (mix module m sits at rows 3m+2..3,
-// SSD s at row 2s+2), with a mild low-index bias. ok filters candidates
-// (detector requirements); nil accepts all.
+// input droplet's current module row (measured between hold cells), with
+// a mild low-index bias. ok filters candidates (detector requirements);
+// nil accepts all.
 func (st *fppcState) nearestFreeSSD(t int, inputs []*droplet, ok func(int) bool) int {
 	best, bestCost := -1, 1<<30
 	for sIdx := range st.ssdBusyTo {
@@ -351,16 +368,10 @@ func (st *fppcState) nearestFreeSSD(t int, inputs []*droplet, ok func(int) bool)
 			continue
 		}
 		cost := sIdx
+		sr := st.chip.SSDModules[sIdx].Hold.Y
 		for _, d := range inputs {
-			row := -1
-			switch d.loc.Kind {
-			case LocMix:
-				row = 3*d.loc.Index + 2
-			case LocSSD:
-				row = 2*d.loc.Index + 2
-			}
-			if row >= 0 {
-				diff := (2*sIdx + 2) - row
+			if row := st.moduleRow(d.loc); row >= 0 {
+				diff := sr - row
 				if diff < 0 {
 					diff = -diff
 				}

@@ -24,7 +24,9 @@ type CompileRequest struct {
 	// DAG is the assay as the dag package's JSON encoding.
 	DAG json.RawMessage `json:"dag,omitempty"`
 
-	// Target selects the architecture: "fppc" (default) or "da".
+	// Target selects the architecture by registered name: "fppc" (the
+	// default), "da", or "enhanced-fppc". GET /targets lists what the
+	// server knows along with each target's capabilities.
 	Target string `json:"target,omitempty"`
 	// Height fixes the FPPC chip height (0 = the 12x21 default).
 	Height int `json:"height,omitempty"`
@@ -40,7 +42,7 @@ type CompileRequest struct {
 	DetectorCount int `json:"detector_count,omitempty"`
 
 	// Sequence additionally returns the compiled per-cycle electrode
-	// sequence (pin program; FPPC target only).
+	// sequence (targets with the pin-program capability only).
 	Sequence bool `json:"sequence,omitempty"`
 	// RotationsPerStep sets mixer-loop rotations per time-step in the
 	// emitted sequence (0 = the hardware default of 12).
@@ -231,18 +233,17 @@ func (s *Server) prepare(req CompileRequest, rec *journal.Entry) (*job, error) {
 		DetectorCount:    req.DetectorCount,
 		Obs:              s.ob,
 	}
-	switch req.Target {
-	case "", "fppc":
-		cfg.Target = core.TargetFPPC
-		req.Target = "fppc"
-	case "da":
-		cfg.Target = core.TargetDA
-	default:
-		return nil, badRequest("unknown target %q (want \"fppc\" or \"da\")", req.Target)
+	spec, err := core.ParseTarget(req.Target)
+	if err != nil {
+		return nil, &badRequestError{err}
 	}
+	cfg.Target = spec.ID
+	// Normalize to the registered wire name so "" and "fppc" share a
+	// cache entry and the response echoes the canonical spelling.
+	req.Target = spec.Name
 	if req.Sequence {
-		if cfg.Target != core.TargetFPPC {
-			return nil, badRequest("sequence emission is only supported for the fppc target")
+		if !spec.Capabilities.PinProgram {
+			return nil, badRequest("sequence emission is not supported by the %s target (no pin program)", spec.Name)
 		}
 		rot := req.RotationsPerStep
 		if rot <= 0 {

@@ -1,0 +1,59 @@
+package service
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fppc/internal/core"
+)
+
+// FuzzTargetParsing throws arbitrary target names at the compile
+// request path. The contract: prepare never panics; a name the
+// registry does not know is rejected as a client error (the HTTP 400
+// mapping); an accepted name is normalized to the registered wire name
+// so the cache key and the response echo the canonical spelling; and
+// the sequence option is gated purely by the resolved target's
+// pin-program capability.
+func FuzzTargetParsing(f *testing.F) {
+	seeds := append([]string{
+		"", "FPPC", "Da", " fppc", "fppc ", "fppc\n",
+		"enhanced_fppc", "enhancedfppc", "enhanced-fppc2",
+		"qpu", "fppc\x00", "тargет", strings.Repeat("a", 4096),
+	}, core.TargetNames()...)
+	for _, s := range seeds {
+		f.Add(s, false)
+		f.Add(s, true)
+	}
+	srv := New(Config{Workers: 1})
+	f.Fuzz(func(t *testing.T, target string, sequence bool) {
+		req := CompileRequest{ASL: dilutionASL, Target: target, Sequence: sequence, RotationsPerStep: 1}
+		j, err := srv.prepare(req, nil)
+		spec, perr := core.ParseTarget(target)
+		if perr != nil {
+			if err == nil {
+				t.Fatalf("prepare accepted target %q that the registry rejects", target)
+			}
+			var br *badRequestError
+			if !errors.As(err, &br) {
+				t.Fatalf("unknown target %q: got %T (%v), want *badRequestError", target, err, err)
+			}
+			return
+		}
+		if sequence && !spec.Capabilities.PinProgram {
+			if err == nil {
+				t.Fatalf("sequence request accepted for %q, which emits no pin program", spec.Name)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("prepare(target=%q): %v", target, err)
+		}
+		if j.req.Target != spec.Name {
+			t.Errorf("request target %q not normalized to %q", j.req.Target, spec.Name)
+		}
+		if j.cfg.Target != spec.ID {
+			t.Errorf("config target %d, want %d (%s)", int(j.cfg.Target), int(spec.ID), spec.Name)
+		}
+	})
+}

@@ -462,13 +462,17 @@ func stringsAreSorted(keys []string) bool {
 func TestConcurrentCompileAndIntrospection(t *testing.T) {
 	_, ts := newTestServer(t)
 	heights := []int{0, 15, 18, 21}
+	targets := []string{"fppc", "enhanced-fppc"}
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			for j := 0; j < 5; j++ {
-				req := CompileRequest{ASL: dilutionASL, Height: heights[(i+j)%len(heights)]}
+				req := CompileRequest{ASL: dilutionASL, Target: targets[i%len(targets)]}
+				if req.Target == "fppc" {
+					req.Height = heights[(i+j)%len(heights)]
+				}
 				var resp CompileResponse
 				if code := post(t, ts.URL, req, &resp); code != http.StatusOK {
 					t.Errorf("compile: HTTP %d", code)

@@ -1,7 +1,9 @@
 // Package service exposes the synthesis flow as a long-running
 // concurrent compilation service: POST /compile accepts an assay (ASL
 // text or DAG JSON) plus target and configuration and returns the
-// compiled program and its statistics; GET /metrics serves the
+// compiled program and its statistics; GET /targets lists the
+// registered architecture targets with their capability flags and
+// default chips; GET /metrics serves the
 // internal/obs Prometheus export plus runtime gauges; GET /healthz
 // reports liveness; GET /version reports the build identity; GET
 // /debug/telemetry returns the chip-level execution telemetry of the
@@ -253,6 +255,7 @@ func New(cfg Config) *Server {
 	m.Help("fppc_runtime_gc_pauses_total", "stop-the-world GC pauses since process start")
 	m.Help("fppc_runtime_gc_pause_seconds_total", "estimated total GC pause time (bucket midpoints)")
 	s.mux.HandleFunc("/compile", s.handleCompile)
+	s.mux.HandleFunc("/targets", s.handleTargets)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/version", s.handleVersion)
@@ -284,7 +287,7 @@ func (s *Server) Journal() *journal.Journal { return s.journal }
 // without bound, and all pprof profiles and journal entry lookups share
 // one label each.
 var knownEndpoints = []string{
-	"/compile", "/metrics", "/healthz", "/version",
+	"/compile", "/targets", "/metrics", "/healthz", "/version",
 	"/debug/telemetry", "/debug/requests", "/debug/pprof",
 	"/fleet/jobs", "/fleet/chips", "/debug/fleet", "other",
 }
@@ -292,9 +295,10 @@ var knownEndpoints = []string{
 // endpointLabel collapses a request path onto a knownEndpoints value.
 func endpointLabel(path string) string {
 	switch {
-	case path == "/compile" || path == "/metrics" || path == "/healthz" ||
-		path == "/version" || path == "/debug/telemetry" || path == "/debug/requests" ||
-		path == "/fleet/jobs" || path == "/fleet/chips" || path == "/debug/fleet":
+	case path == "/compile" || path == "/targets" || path == "/metrics" ||
+		path == "/healthz" || path == "/version" || path == "/debug/telemetry" ||
+		path == "/debug/requests" || path == "/fleet/jobs" || path == "/fleet/chips" ||
+		path == "/debug/fleet":
 		return path
 	case strings.HasPrefix(path, "/debug/requests/"):
 		return "/debug/requests"
@@ -612,6 +616,67 @@ func classifyCompileError(err error) (int, string) {
 		return http.StatusUnprocessableEntity, "unsynthesizable"
 	}
 	return http.StatusUnprocessableEntity, "compile_failed"
+}
+
+// TargetCapabilities is the wire form of a target's capability flags.
+type TargetCapabilities struct {
+	PinProgram            bool `json:"pin_program"`
+	TelemetryWear         bool `json:"telemetry_wear"`
+	DynamicFaultDetection bool `json:"dynamic_fault_detection"`
+	AutoGrow              bool `json:"auto_grow"`
+	FixedPortCapacity     bool `json:"fixed_port_capacity"`
+}
+
+// TargetInfo describes one registered architecture target: its wire
+// name (usable as the compile request's "target" field), its default
+// chip, and the capabilities it advertises.
+type TargetInfo struct {
+	Name         string             `json:"name"`
+	Description  string             `json:"description"`
+	Chip         *ChipInfo          `json:"default_chip,omitempty"`
+	Capabilities TargetCapabilities `json:"capabilities"`
+}
+
+// TargetsResponse is the GET /targets body.
+type TargetsResponse struct {
+	Targets []TargetInfo `json:"targets"`
+}
+
+// listTargets renders the registry. Computed per request — the registry
+// is tiny and building the default chips is microseconds — so a target
+// registered after server start still shows up.
+func listTargets() TargetsResponse {
+	specs := core.Targets()
+	resp := TargetsResponse{Targets: make([]TargetInfo, 0, len(specs))}
+	for _, spec := range specs {
+		info := TargetInfo{
+			Name:        spec.Name,
+			Description: spec.Description,
+			Capabilities: TargetCapabilities{
+				PinProgram:            spec.Capabilities.PinProgram,
+				TelemetryWear:         spec.Capabilities.TelemetryWear,
+				DynamicFaultDetection: spec.Capabilities.DynamicFaultDetection,
+				AutoGrow:              spec.Capabilities.AutoGrow,
+				FixedPortCapacity:     spec.Capabilities.FixedPortCapacity,
+			},
+		}
+		if chip, err := spec.NewChip(spec.DefaultDims(core.Config{})); err == nil {
+			info.Chip = &ChipInfo{
+				Name: chip.Name, W: chip.W, H: chip.H,
+				Electrodes: chip.ElectrodeCount(), Pins: chip.PinCount(),
+			}
+		}
+		resp.Targets = append(resp.Targets, info)
+	}
+	return resp
+}
+
+func (s *Server) handleTargets(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", fmt.Errorf("GET only"))
+		return
+	}
+	writeJSON(w, http.StatusOK, listTargets())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"fppc/internal/assays"
+	"fppc/internal/core"
 )
 
 const dilutionASL = `
@@ -71,9 +72,9 @@ func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	return s, ts
 }
 
-func TestCompileASLBothTargets(t *testing.T) {
+func TestCompileASLAllTargets(t *testing.T) {
 	_, ts := newTestServer(t)
-	for _, target := range []string{"fppc", "da"} {
+	for _, target := range []string{"fppc", "da", "enhanced-fppc"} {
 		var resp CompileResponse
 		code := post(t, ts.URL, CompileRequest{ASL: dilutionASL, Target: target}, &resp)
 		if code != http.StatusOK {
@@ -91,13 +92,13 @@ func TestCompileASLBothTargets(t *testing.T) {
 	}
 }
 
-func TestCompileDAGBothTargets(t *testing.T) {
+func TestCompileDAGAllTargets(t *testing.T) {
 	_, ts := newTestServer(t)
 	raw, err := json.Marshal(assays.PCR(assays.DefaultTiming()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, target := range []string{"fppc", "da"} {
+	for _, target := range []string{"fppc", "da", "enhanced-fppc"} {
 		var resp CompileResponse
 		code := post(t, ts.URL, CompileRequest{DAG: raw, Target: target}, &resp)
 		if code != http.StatusOK {
@@ -203,10 +204,73 @@ func TestSequenceEmission(t *testing.T) {
 	if len(resp.Sequence.Events) == 0 {
 		t.Error("sequence has no reservoir events")
 	}
-	// Sequence emission is FPPC-only.
+	// Any pin-program target can emit a sequence; enhanced-fppc drives
+	// every electrode on its own pin.
+	var enh CompileResponse
+	if code := post(t, ts.URL, CompileRequest{ASL: dilutionASL, Target: "enhanced-fppc", Sequence: true, RotationsPerStep: 1}, &enh); code != http.StatusOK {
+		t.Fatalf("enhanced-fppc+sequence: HTTP %d", code)
+	}
+	if enh.Sequence == nil || enh.Sequence.PinCount != enh.Chip.Electrodes {
+		t.Errorf("enhanced-fppc sequence = %+v; want pin_count == electrodes (%d)", enh.Sequence, enh.Chip.Electrodes)
+	}
+	// Targets without the pin-program capability reject it.
 	var eresp errorResponse
 	if code := post(t, ts.URL, CompileRequest{ASL: dilutionASL, Target: "da", Sequence: true}, &eresp); code != http.StatusBadRequest {
 		t.Errorf("da+sequence: HTTP %d, want 400", code)
+	}
+}
+
+// GET /targets advertises the registry: every registered target with
+// its wire name, default chip and capability flags, ordered by ID.
+func TestTargetsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/targets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	var tr TargetsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Targets) != len(core.Targets()) {
+		t.Fatalf("%d targets advertised, registry has %d", len(tr.Targets), len(core.Targets()))
+	}
+	byName := map[string]TargetInfo{}
+	for _, ti := range tr.Targets {
+		if ti.Name == "" || ti.Description == "" || ti.Chip == nil || ti.Chip.Electrodes <= 0 {
+			t.Errorf("incomplete target info %+v", ti)
+		}
+		byName[ti.Name] = ti
+	}
+	enh, ok := byName["enhanced-fppc"]
+	if !ok {
+		t.Fatal("enhanced-fppc not advertised")
+	}
+	if !enh.Capabilities.PinProgram || !enh.Capabilities.FixedPortCapacity {
+		t.Errorf("enhanced-fppc capabilities = %+v", enh.Capabilities)
+	}
+	if enh.Chip.Pins != enh.Chip.Electrodes {
+		t.Errorf("enhanced-fppc default chip %+v; want one pin per electrode", enh.Chip)
+	}
+	if da := byName["da"]; da.Capabilities.PinProgram {
+		t.Error("da advertises a pin program")
+	}
+	// Wrong method.
+	del, err := http.NewRequest(http.MethodDelete, ts.URL+"/targets", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE /targets: HTTP %d, want 405", dresp.StatusCode)
 	}
 }
 
