@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build check fmt vet test race bench bench-all loadbench cover cover-update golden
+.PHONY: all build check fmt vet test race bench bench-all benchdiff bench-baseline loadbench cover cover-update golden
 
 all: build
 
@@ -25,24 +25,39 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench regenerates BENCH_PR8.json: the Table 1 rows from
-# fppc-bench -json plus go test -bench on the simulator and service hot
-# paths. CI uploads the file as an artifact. bench-all still sweeps
-# every micro-benchmark in the repo without writing the artifact.
+# bench regenerates BENCH.json — the canonical benchmark artifact:
+# Table 1 rows and the per-stage cost matrix (wall/CPU/allocs/bytes per
+# compile stage, target and benchmark) from fppc-bench -json, plus
+# go test -bench on the simulator and service hot paths. The PR-tagged
+# copy records this PR's snapshot; benchdiff and CI read the stable
+# path. bench-all still sweeps every micro-benchmark in the repo
+# without writing the artifact.
 bench:
-	$(GO) run ./scripts/benchjson -o BENCH_PR8.json
+	$(GO) run ./scripts/benchjson -o BENCH.json
+	cp BENCH.json BENCH_PR9.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
-# loadbench regenerates BENCH_PR7.json: service latency percentiles and
-# throughput per traffic mix from the open-loop load generator (compile
-# mixes plus the chip-fleet mix with its per-chip placement/migration
-# summary), run against an in-process server. CI uploads the file as an
+# benchdiff compares a fresh BENCH.json against the committed baseline
+# — the perf ratchet. Deterministic count metrics (allocs, bytes) past
+# +30% fail; time metrics warn. bench-baseline blesses the current
+# numbers as the new baseline after an intentional change.
+benchdiff: bench
+	$(GO) run ./scripts/benchdiff -md benchdiff.md scripts/bench_baseline.json BENCH.json
+
+bench-baseline: bench
+	cp BENCH.json scripts/bench_baseline.json
+
+# loadbench regenerates BENCH_LOAD.json: service latency percentiles
+# and throughput per traffic mix from the open-loop load generator
+# (compile mixes plus the chip-fleet mix with its per-chip
+# placement/migration summary), run against an in-process server, with
+# a runtime/metrics GC and heap summary. CI uploads the file as an
 # artifact. Override LOADBENCH_FLAGS for longer runs or a live -addr.
 LOADBENCH_FLAGS ?= -n 200 -rate 200
 loadbench:
-	$(GO) run ./cmd/fppc-load $(LOADBENCH_FLAGS) -o BENCH_PR7.json
+	$(GO) run ./cmd/fppc-load $(LOADBENCH_FLAGS) -o BENCH_LOAD.json
 
 # cover enforces the coverage ratchet (scripts/coverage_floor.txt);
 # cover-update raises the floor to the current total.

@@ -49,6 +49,7 @@ func run(args []string, out io.Writer) error {
 	heights := fs.String("heights", "", "comma-separated FPPC heights for table 3 (default 9,12,15,18,21)")
 	markdown := fs.Bool("markdown", false, "emit all tables as Markdown with paper values inline")
 	jsonOut := fs.Bool("json", false, "emit the selected tables as JSON")
+	cost := fs.Bool("cost", true, "with -json and table 0|1: emit the per-stage cost matrix (wall, CPU, allocs, bytes per benchmark x target)")
 	traceOut := fs.String("trace", "", "write a Chrome trace_event JSON file of the runs")
 	metricsOut := fs.String("metrics", "", "write pipeline metrics in Prometheus text format")
 	timeout := fs.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
@@ -120,6 +121,7 @@ func run(args []string, out io.Writer) error {
 		Table1Averages *bench.Table1Averages `json:"table1_averages,omitempty"`
 		Table2         []bench.Table2Row     `json:"table2,omitempty"`
 		Table3         []bench.Table3Row     `json:"table3,omitempty"`
+		Cost           []bench.CostRow       `json:"cost,omitempty"`
 	}{}
 	if *table == 0 || *table == 1 {
 		var rows []bench.Table1Row
@@ -180,6 +182,13 @@ func run(args []string, out io.Writer) error {
 			}
 			fmt.Fprintln(out, bench.FormatTable3(rows))
 		}
+	}
+	if *jsonOut && *cost && (*table == 0 || *table == 1) {
+		rows, err := bench.CostMatrix(ctx, tm)
+		if err != nil {
+			return err
+		}
+		doc.Cost = rows
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(out)

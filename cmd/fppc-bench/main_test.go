@@ -68,6 +68,57 @@ func TestRunJSONOutput(t *testing.T) {
 	}
 }
 
+func TestRunJSONCostMatrix(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-table", "1", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Table1 []struct{ Name string } `json:"table1"`
+		Cost   []struct {
+			Benchmark, Target, Stage string
+			WallMS                   float64
+			Allocs, Bytes            int64
+			Note                     string
+		} `json:"cost"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%.300s", err, out.String())
+	}
+	if len(doc.Cost) == 0 {
+		t.Fatal("cost section missing from -json -table 1 output")
+	}
+	targets := map[string]bool{}
+	compileRows := 0
+	for _, r := range doc.Cost {
+		targets[r.Target] = true
+		if r.Stage == "compile" {
+			compileRows++
+			if r.Note == "" && (r.Allocs <= 0 || r.Bytes <= 0) {
+				t.Errorf("compile cost row without heap numbers: %+v", r)
+			}
+		}
+	}
+	for _, want := range []string{"fppc", "da", "enhanced-fppc"} {
+		if !targets[want] {
+			t.Errorf("cost matrix missing target %q (have %v)", want, targets)
+		}
+	}
+	if want := len(doc.Table1) * 3; compileRows != want {
+		t.Errorf("cost matrix has %d compile rows, want %d (benchmarks x targets)", compileRows, want)
+	}
+}
+
+func TestRunJSONCostDisabled(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-table", "1", "-json", "-cost=false"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), `"cost"`) {
+		t.Error("-cost=false still emitted the cost section")
+	}
+}
+
 func TestRunTraceAndMetrics(t *testing.T) {
 	dir := t.TempDir()
 	trace := filepath.Join(dir, "t.json")

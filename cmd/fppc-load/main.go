@@ -10,7 +10,7 @@
 //	fppc-load                               # in-process server, all mixes
 //	fppc-load -addr http://127.0.0.1:8093   # live server
 //	fppc-load -rate 200 -n 500 -mix cache_hot,fault_variants
-//	fppc-load -o BENCH_PR6.json             # write the JSON artifact
+//	fppc-load -o BENCH_LOAD.json            # write the JSON artifact
 //
 // Mixes:
 //
@@ -22,6 +22,10 @@
 //	fleet          — submissions to the chip-fleet control plane, with a
 //	                 mid-run wear injection forcing migrations; the
 //	                 artifact gains a per-chip placement/migration summary
+//
+// In-process runs also record a runtime summary in the artifact: GC
+// cycle and pause totals plus heap allocation over the whole run, from
+// runtime/metrics.
 package main
 
 import (
@@ -70,7 +74,8 @@ type mixResult struct {
 	ElapsedS   float64 `json:"elapsed_s"`
 }
 
-// artifact is the loadbench JSON schema (BENCH_PR6.json / BENCH_PR7.json).
+// artifact is the loadbench JSON schema (BENCH_LOAD.json; diffable
+// with scripts/benchdiff).
 type artifact struct {
 	GeneratedBy string      `json:"generated_by"`
 	Addr        string      `json:"addr"`
@@ -81,6 +86,9 @@ type artifact struct {
 	// of where the submitted jobs landed and what the wear injection
 	// forced to move.
 	Fleet *fleetSummary `json:"fleet,omitempty"`
+	// Runtime is present for in-process runs: GC pause and heap-alloc
+	// totals over the whole run, from runtime/metrics.
+	Runtime *runtimeSummary `json:"runtime,omitempty"`
 }
 
 // fleetChipStat is one chip's share of the fleet-mix traffic.
@@ -184,6 +192,10 @@ func run(args []string, out io.Writer) error {
 	}
 	client := &http.Client{Timeout: *timeout}
 	art := artifact{GeneratedBy: "fppc-load", Addr: target, RateHz: *rate, PerMix: *n}
+	var runtimeStart runtimeSnapshot
+	if target == "in-process" {
+		runtimeStart = takeRuntimeSnapshot()
+	}
 	fmt.Fprintf(out, "%-16s %8s %7s %6s %9s %9s %9s %11s\n",
 		"mix", "requests", "errors", "hits", "p50(ms)", "p95(ms)", "p99(ms)", "rps")
 	for _, m := range mixes {
@@ -211,6 +223,10 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "  %-8s %-4s hosts %3d (in %d, out %d)  %6.1f jobs/s  wear %.4f\n",
 				c.Chip, c.Target, c.Hosted, c.MigratedIn, c.MigratedOut, c.Throughput, c.MaxWear)
 		}
+	}
+	if target == "in-process" {
+		art.Runtime = diffRuntime(runtimeStart, takeRuntimeSnapshot())
+		printRuntimeSummary(out, art.Runtime)
 	}
 	if *output != "" {
 		data, err := json.MarshalIndent(art, "", "  ")

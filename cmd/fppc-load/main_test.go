@@ -95,6 +95,20 @@ func TestEndToEndInProcess(t *testing.T) {
 	if !strings.Contains(buf.String(), "cache_hot") {
 		t.Errorf("summary table missing mix name:\n%s", buf.String())
 	}
+	// In-process runs carry the runtime/metrics summary: hundreds of
+	// compiles cannot allocate nothing.
+	if art.Runtime == nil {
+		t.Fatal("in-process artifact has no runtime summary")
+	}
+	if art.Runtime.HeapAllocBytes == 0 || art.Runtime.HeapAllocObjects == 0 {
+		t.Errorf("runtime summary reports no allocation: %+v", art.Runtime)
+	}
+	if art.Runtime.HeapLiveBytes == 0 {
+		t.Errorf("runtime summary reports empty live heap: %+v", art.Runtime)
+	}
+	if !strings.Contains(buf.String(), "runtime:") {
+		t.Errorf("summary output missing runtime line:\n%s", buf.String())
+	}
 }
 
 // TestFleetMixInProcess runs the fleet mix against an in-process server

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime/metrics"
+)
+
+// runtimeSummary is the artifact's account of GC and heap behaviour
+// over the whole load run, from runtime/metrics deltas between start
+// and finish. It is only emitted for in-process runs, where the
+// generator and the server share one runtime — against a live -addr
+// the numbers would describe the client, not the service.
+type runtimeSummary struct {
+	GCCycles         uint64  `json:"gc_cycles"`
+	GCPauses         uint64  `json:"gc_pauses"`
+	GCPauseTotalMS   float64 `json:"gc_pause_total_ms"`
+	GCPauseMaxMS     float64 `json:"gc_pause_max_ms"`
+	HeapAllocBytes   uint64  `json:"heap_alloc_bytes"`
+	HeapAllocObjects uint64  `json:"heap_alloc_objects"`
+	// HeapLiveBytes is the live heap at the end of the run (a level,
+	// not a delta).
+	HeapLiveBytes uint64 `json:"heap_live_bytes"`
+}
+
+// runtimeSnapshot holds the cumulative runtime/metrics values a
+// summary is differenced from.
+type runtimeSnapshot struct {
+	cycles, allocBytes, allocObjects, liveBytes uint64
+	// pauses copies the /gc/pauses:seconds histogram (metrics.Read may
+	// reuse the returned histogram on later reads).
+	pauseCounts  []uint64
+	pauseBuckets []float64
+}
+
+var snapshotNames = []string{
+	"/gc/cycles/total:gc-cycles",
+	"/gc/heap/allocs:bytes",
+	"/gc/heap/allocs:objects",
+	"/memory/classes/heap/objects:bytes",
+	"/gc/pauses:seconds",
+}
+
+func takeRuntimeSnapshot() runtimeSnapshot {
+	samples := make([]metrics.Sample, len(snapshotNames))
+	for i, name := range snapshotNames {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	var snap runtimeSnapshot
+	for _, sm := range samples {
+		switch sm.Name {
+		case "/gc/cycles/total:gc-cycles":
+			snap.cycles = sm.Value.Uint64()
+		case "/gc/heap/allocs:bytes":
+			snap.allocBytes = sm.Value.Uint64()
+		case "/gc/heap/allocs:objects":
+			snap.allocObjects = sm.Value.Uint64()
+		case "/memory/classes/heap/objects:bytes":
+			snap.liveBytes = sm.Value.Uint64()
+		case "/gc/pauses:seconds":
+			if h := sm.Value.Float64Histogram(); h != nil {
+				snap.pauseCounts = append([]uint64(nil), h.Counts...)
+				snap.pauseBuckets = append([]float64(nil), h.Buckets...)
+			}
+		}
+	}
+	return snap
+}
+
+// diffRuntime reduces two snapshots to the artifact summary. The pause
+// total is a bucket-midpoint estimate and the max is the upper bound
+// of the highest bucket that gained events (runtime/metrics exposes
+// distributions, not exact totals).
+func diffRuntime(start, end runtimeSnapshot) *runtimeSummary {
+	sum := &runtimeSummary{
+		GCCycles:         end.cycles - start.cycles,
+		HeapAllocBytes:   end.allocBytes - start.allocBytes,
+		HeapAllocObjects: end.allocObjects - start.allocObjects,
+		HeapLiveBytes:    end.liveBytes,
+	}
+	for i, n := range end.pauseCounts {
+		if i < len(start.pauseCounts) {
+			n -= start.pauseCounts[i]
+		}
+		if n == 0 {
+			continue
+		}
+		sum.GCPauses += n
+		lo, hi := end.pauseBuckets[i], end.pauseBuckets[i+1]
+		if math.IsInf(lo, -1) {
+			lo = 0
+		}
+		if math.IsInf(hi, 1) {
+			hi = lo
+		}
+		sum.GCPauseTotalMS += float64(n) * (lo + hi) / 2 * 1e3
+		if ms := hi * 1e3; ms > sum.GCPauseMaxMS {
+			sum.GCPauseMaxMS = ms
+		}
+	}
+	return sum
+}
+
+func printRuntimeSummary(out io.Writer, r *runtimeSummary) {
+	fmt.Fprintf(out, "runtime: %d GC cycles, %d pauses totalling ~%.2f ms (max ~%.2f ms); %.1f MB allocated (%d objects), %.1f MB live\n",
+		r.GCCycles, r.GCPauses, r.GCPauseTotalMS, r.GCPauseMaxMS,
+		float64(r.HeapAllocBytes)/(1<<20), r.HeapAllocObjects,
+		float64(r.HeapLiveBytes)/(1<<20))
+}

@@ -19,6 +19,10 @@
 //	GET  /debug/telemetry    — chip telemetry snapshot of the latest compile
 //	GET  /debug/requests     — flight-recorder digests of recent requests
 //	GET  /debug/requests/{id} — one journal entry with its Chrome trace
+//	GET  /debug/requests/{id}/profile — the pprof capture the SLO watchdog linked to that request
+//	POST /debug/profile      — on-demand bounded CPU/heap capture ({"kind":"cpu","seconds":5})
+//	GET  /debug/profile      — the triggered-capture ring, newest first
+//	GET  /debug/profile/{id} — one capture's raw pprof bytes
 //	GET  /debug/pprof/...    — net/http/pprof profiles
 //
 // With -fleet N the server also runs the chip-fleet control plane over
@@ -76,6 +80,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	verify := fs.Bool("verify", false, "run the independent oracle on every compile (as if each request set verify:true)")
 	journalN := fs.Int("journal", 256, "request journal capacity in entries (0 disables the flight recorder)")
 	slo := fs.Duration("slo", 2*time.Second, "compile latency objective for fppc_service_slo_violations_total (0 disables)")
+	profiles := fs.Int("profiles", 16, "triggered pprof capture ring capacity (0 disables /debug/profile and SLO auto-capture)")
+	profileCPU := fs.Duration("profile-cpu", time.Second, "CPU capture window for SLO-triggered profiles")
+	profileCooldown := fs.Duration("profile-cooldown", 30*time.Second, "minimum spacing between SLO-triggered captures (0 = no cooldown)")
 	fleetN := fs.Int("fleet", 0, "attach a chip-fleet control plane over N simulated chips (0 disables)")
 	reconcile := fs.Duration("reconcile", 500*time.Millisecond, "fleet reconcile loop interval (with -fleet)")
 	common := cli.Register(fs)
@@ -98,6 +105,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if sloCfg == 0 {
 		sloCfg = -1
 	}
+	profilesCfg := *profiles
+	if profilesCfg == 0 {
+		profilesCfg = -1 // Config treats 0 as "default"; -1 disables.
+	}
+	cooldownCfg := *profileCooldown
+	if cooldownCfg == 0 {
+		cooldownCfg = -1
+	}
 	// The fleet shares the server's metric registry so its series land
 	// on /metrics, and runs its own reconcile loop until shutdown.
 	var fl *fleet.Fleet
@@ -113,16 +128,19 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 	srv := service.New(service.Config{
-		Workers:        *workers,
-		CacheEntries:   *cache,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		ForceVerify:    *verify,
-		JournalEntries: journalCfg,
-		SLO:            sloCfg,
-		Logger:         logger,
-		Obs:            ob,
-		Fleet:          fl,
+		Workers:         *workers,
+		CacheEntries:    *cache,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		ForceVerify:     *verify,
+		JournalEntries:  journalCfg,
+		SLO:             sloCfg,
+		ProfileEntries:  profilesCfg,
+		ProfileCPU:      *profileCPU,
+		ProfileCooldown: cooldownCfg,
+		Logger:          logger,
+		Obs:             ob,
+		Fleet:           fl,
 	})
 	var fleetDone chan struct{}
 	if fl != nil {

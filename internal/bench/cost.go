@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+
+	"fppc/internal/assays"
+	"fppc/internal/core"
+	"fppc/internal/dag"
+	"fppc/internal/obs"
+	"fppc/internal/perf"
+)
+
+// CostRow is one (benchmark, target, stage) cell of the cost matrix:
+// where the synthesis milliseconds, CPU time and heap traffic go. The
+// stage named "compile" is the whole pipeline (it encloses the others);
+// the remaining stages are the compiler's own span names (restrict,
+// place_ports, schedule, route, ...). Rows for targets that refuse a
+// benchmark carry the typed refusal in Note and zero costs.
+type CostRow struct {
+	Benchmark string
+	Target    string
+	Stage     string
+	Calls     int
+	WallMS    float64
+	CPUMS     float64
+	Allocs    int64
+	Bytes     int64
+	Note      string `json:"Note,omitempty"`
+}
+
+// CostMatrix compiles every Table 1 benchmark on every registered
+// target under a cost-sampling tracer and returns the per-stage cost
+// rows. Each compile runs on a locked OS thread with a fresh tracer so
+// the thread-CPU and heap-counter deltas attribute to that compile
+// alone (concurrent background allocation still leaks into the heap
+// numbers, which is why fppc-bench runs the matrix sequentially).
+func CostMatrix(ctx context.Context, tm assays.Timing) ([]CostRow, error) {
+	var rows []CostRow
+	for _, a := range assays.Table1Benchmarks(tm) {
+		for _, spec := range core.Targets() {
+			stages, note, err := costCompile(ctx, a.Clone(), spec.ID)
+			if err != nil {
+				return nil, fmt.Errorf("bench: cost %s on %s: %w", a.Name, spec.Name, err)
+			}
+			if note != "" {
+				rows = append(rows, CostRow{Benchmark: a.Name, Target: spec.Name, Stage: "compile", Note: note})
+				continue
+			}
+			for _, sc := range stages {
+				rows = append(rows, CostRow{
+					Benchmark: a.Name,
+					Target:    spec.Name,
+					Stage:     sc.Stage,
+					Calls:     sc.Calls,
+					WallMS:    float64(sc.Wall.Nanoseconds()) / 1e6,
+					CPUMS:     float64(sc.CPU.Nanoseconds()) / 1e6,
+					Allocs:    sc.Allocs,
+					Bytes:     sc.Bytes,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// costCompile runs one compile under a cost-sampling tracer and returns
+// its aggregated stage costs, or the typed unsynthesizable note.
+func costCompile(ctx context.Context, a *dag.Assay, target core.Target) ([]perf.StageCost, string, error) {
+	ob := obs.New()
+	ob.Tracer().SetCostSampler(perf.Sampler())
+	// Pin the goroutine so RUSAGE_THREAD charges this compile's CPU to
+	// the sampled thread, not to whichever threads the scheduler picked.
+	runtime.LockOSThread()
+	_, err := core.CompileContext(ctx, a, core.Config{Target: target, AutoGrow: true, Obs: ob})
+	runtime.UnlockOSThread()
+	if err != nil {
+		var uns *core.ErrUnsynthesizable
+		if errors.As(err, &uns) {
+			return nil, err.Error(), nil
+		}
+		return nil, "", err
+	}
+	return perf.Aggregate(ob.Tracer().Records()), "", nil
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"fppc/internal/assays"
+	"fppc/internal/core"
+)
+
+func TestCostMatrixCoversEveryBenchmarkAndTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark sweep")
+	}
+	rows, err := CostMatrix(context.Background(), assays.DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every (benchmark, target) pair must appear: either with real stage
+	// rows or with a refusal note on the compile row.
+	type cell struct{ bench, target string }
+	seen := map[cell][]CostRow{}
+	for _, r := range rows {
+		c := cell{r.Benchmark, r.Target}
+		seen[c] = append(seen[c], r)
+	}
+	benchmarks := assays.Table1Benchmarks(assays.DefaultTiming())
+	targets := core.Targets()
+	if want := len(benchmarks) * len(targets); len(seen) != want {
+		t.Fatalf("cost matrix has %d cells, want %d (benchmarks x targets)", len(seen), want)
+	}
+	for _, a := range benchmarks {
+		for _, spec := range targets {
+			cellRows := seen[cell{a.Name, spec.Name}]
+			if len(cellRows) == 0 {
+				t.Errorf("no cost rows for %s on %s", a.Name, spec.Name)
+				continue
+			}
+			if len(cellRows) == 1 && cellRows[0].Note != "" {
+				continue // legitimate typed refusal
+			}
+			stages := map[string]CostRow{}
+			for _, r := range cellRows {
+				stages[r.Stage] = r
+			}
+			compile, ok := stages["compile"]
+			if !ok {
+				t.Errorf("%s on %s: no compile row (stages %v)", a.Name, spec.Name, stageNamesOf(cellRows))
+				continue
+			}
+			for _, st := range []string{"schedule", "route"} {
+				if _, ok := stages[st]; !ok {
+					t.Errorf("%s on %s: missing %s stage row", a.Name, spec.Name, st)
+				}
+			}
+			if compile.Allocs <= 0 || compile.Bytes <= 0 {
+				t.Errorf("%s on %s: compile row has no heap cost: %+v", a.Name, spec.Name, compile)
+			}
+			if compile.WallMS <= 0 {
+				t.Errorf("%s on %s: compile row has no wall clock: %+v", a.Name, spec.Name, compile)
+			}
+		}
+	}
+}
+
+func stageNamesOf(rows []CostRow) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.Stage
+	}
+	return out
+}
+
+func TestCostMatrixHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	time.Sleep(2 * time.Millisecond)
+	if _, err := CostMatrix(ctx, assays.DefaultTiming()); err == nil {
+		t.Fatal("expired context did not abort the cost sweep")
+	}
+}

@@ -87,6 +87,10 @@ type Entry struct {
 	// Spans holds the request-scoped trace of the compile that built the
 	// served result (set on the executing request only).
 	Spans []obs.SpanRecord
+
+	// Profile is the id of the pprof capture linked to this request
+	// ("" when none) — set when the SLO watchdog fired mid-request.
+	Profile string
 }
 
 // SetStage records the duration of one stage (no-op on nil).
@@ -128,6 +132,14 @@ func (e *Entry) SetErrorClass(c string) {
 		return
 	}
 	e.ErrorClass = c
+}
+
+// SetProfile links a captured pprof profile id (no-op on nil).
+func (e *Entry) SetProfile(id string) {
+	if e == nil {
+		return
+	}
+	e.Profile = id
 }
 
 // SetSpans attaches the request-scoped trace (no-op on nil).

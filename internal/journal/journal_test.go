@@ -154,6 +154,7 @@ func TestDisabledZeroAllocs(t *testing.T) {
 		e.SetStage(StageRoute, time.Millisecond)
 		e.SetVerify(VerifyOK)
 		e.SetErrorClass("compile_failed")
+		e.SetProfile("p000001")
 		e.SetSpans(nil)
 		e.Finish(200, 1024, time.Millisecond)
 		j.Commit(e)

@@ -1,0 +1,93 @@
+// Package perf is the repo's performance-observability layer: it puts
+// numbers behind the paper's "fast enough for online use" claim and
+// gives ROADMAP's synthesis-speed work its before/after instrument.
+//
+// Three pieces:
+//
+//   - a stage-level cost sampler (Sampler) that plugs into an
+//     obs.Tracer so every compile-stage span carries CPU-time, heap
+//     alloc-count and alloc-bytes deltas next to its wall clock, and an
+//     Aggregate that folds the annotated span records into per-stage
+//     cost rows (the `cost` section of the BENCH.json artifact);
+//
+//   - a triggered pprof Capturer: bounded CPU and heap profile capture,
+//     on demand or armed as a per-request SLO Watchdog that fires while
+//     the offending request is still running, stored in a fixed ring
+//     and linked to the request's journal entry;
+//
+//   - the fppc_perf_* metric series accounting for captures and drops.
+//
+// Everything follows the internal/obs discipline: nil receivers are
+// cheap no-ops and the disabled path allocates nothing.
+package perf
+
+import (
+	"runtime"
+	"time"
+
+	"fppc/internal/obs"
+)
+
+// Sampler returns an obs.CostSampler reading the Go heap counters
+// (runtime.MemStats Mallocs and TotalAlloc — cumulative, so deltas are
+// GC-proof) and the calling thread's CPU time. CPU attribution is
+// thread-level: callers that want per-stage CPU to mean "this compile's
+// CPU" should pin the goroutine with runtime.LockOSThread for the
+// measured region, as bench.CostMatrix does. ReadMemStats briefly
+// stops the world, so this is a profiling-run tool, not an always-on
+// service default.
+func Sampler() obs.CostSampler {
+	return func() obs.CostSample {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return obs.CostSample{
+			CPU:    threadCPU(),
+			Allocs: int64(ms.Mallocs),
+			Bytes:  int64(ms.TotalAlloc),
+		}
+	}
+}
+
+// StageCost is the aggregated cost of one span name across a trace:
+// how many times the stage ran, and its summed wall clock, CPU time,
+// heap allocations and heap bytes. Nested stages are aggregated
+// independently, so a parent stage (compile) includes its children.
+type StageCost struct {
+	Stage  string
+	Calls  int
+	Wall   time.Duration
+	CPU    time.Duration
+	Allocs int64
+	Bytes  int64
+}
+
+// Aggregate folds span records into per-stage cost rows, grouped by
+// span name in first-seen order. Wall clock always accumulates; CPU,
+// allocs and bytes accumulate from the cost annotations a sampling
+// tracer attaches (zero when the trace ran without a sampler).
+func Aggregate(recs []obs.SpanRecord) []StageCost {
+	idx := make(map[string]int, 8)
+	var out []StageCost
+	for _, r := range recs {
+		i, ok := idx[r.Name]
+		if !ok {
+			i = len(out)
+			idx[r.Name] = i
+			out = append(out, StageCost{Stage: r.Name})
+		}
+		sc := &out[i]
+		sc.Calls++
+		sc.Wall += r.Dur
+		for _, a := range r.Args {
+			switch a.Key {
+			case obs.CostArgCPU:
+				sc.CPU += time.Duration(a.Num)
+			case obs.CostArgAllocs:
+				sc.Allocs += int64(a.Num)
+			case obs.CostArgBytes:
+				sc.Bytes += int64(a.Num)
+			}
+		}
+	}
+	return out
+}

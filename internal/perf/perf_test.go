@@ -1,0 +1,247 @@
+package perf
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"fppc/internal/obs"
+)
+
+// escapeSink defeats stack allocation in tests that need real heap
+// traffic inside a measured region.
+var escapeSink []byte
+
+func TestSamplerMonotone(t *testing.T) {
+	s := Sampler()
+	a := s()
+	// Burn some heap so the counters must advance.
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 1024))
+	}
+	runtime.KeepAlive(sink)
+	b := s()
+	if b.Allocs < a.Allocs {
+		t.Errorf("Allocs went backwards: %d -> %d", a.Allocs, b.Allocs)
+	}
+	if b.Allocs == a.Allocs {
+		t.Errorf("Allocs did not advance over 64 slice allocations")
+	}
+	if b.Bytes <= a.Bytes {
+		t.Errorf("Bytes did not advance: %d -> %d", a.Bytes, b.Bytes)
+	}
+	if b.CPU < a.CPU {
+		t.Errorf("CPU went backwards: %v -> %v", a.CPU, b.CPU)
+	}
+}
+
+func TestTracerCostAnnotations(t *testing.T) {
+	tr := obs.NewTracer()
+	tr.SetCostSampler(Sampler())
+	sp := tr.Span("work")
+	escapeSink = make([]byte, 1<<16)
+	sp.End()
+
+	recs := tr.Records()
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	got := map[string]float64{}
+	for _, a := range recs[0].Args {
+		if a.IsNum {
+			got[a.Key] = a.Num
+		}
+	}
+	for _, k := range []string{obs.CostArgCPU, obs.CostArgAllocs, obs.CostArgBytes} {
+		if _, ok := got[k]; !ok {
+			t.Errorf("span missing cost annotation %q (have %v)", k, recs[0].Args)
+		}
+	}
+	if got[obs.CostArgBytes] < 1<<16 {
+		t.Errorf("bytes delta %v, want >= %d for a 64 KiB allocation", got[obs.CostArgBytes], 1<<16)
+	}
+	if got[obs.CostArgAllocs] < 1 {
+		t.Errorf("allocs delta %v, want >= 1", got[obs.CostArgAllocs])
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	num := func(k string, v float64) obs.Arg { return obs.Arg{Key: k, Num: v, IsNum: true} }
+	recs := []obs.SpanRecord{
+		{Name: "compile", Dur: 10 * time.Millisecond, Args: []obs.Arg{
+			num(obs.CostArgCPU, 5e6), num(obs.CostArgAllocs, 100), num(obs.CostArgBytes, 4096),
+		}},
+		{Name: "route", Dur: 4 * time.Millisecond, Args: []obs.Arg{
+			num(obs.CostArgCPU, 2e6), num(obs.CostArgAllocs, 60), num(obs.CostArgBytes, 1024),
+		}},
+		{Name: "route", Dur: 3 * time.Millisecond, Args: []obs.Arg{
+			num(obs.CostArgCPU, 1e6), num(obs.CostArgAllocs, 40), num(obs.CostArgBytes, 512),
+			{Key: "ignored", Str: "x"},
+		}},
+	}
+	got := Aggregate(recs)
+	if len(got) != 2 {
+		t.Fatalf("got %d stages, want 2: %+v", len(got), got)
+	}
+	if got[0].Stage != "compile" || got[1].Stage != "route" {
+		t.Fatalf("stage order %q,%q, want compile,route (first-seen order)", got[0].Stage, got[1].Stage)
+	}
+	r := got[1]
+	if r.Calls != 2 || r.Wall != 7*time.Millisecond || r.CPU != 3*time.Millisecond ||
+		r.Allocs != 100 || r.Bytes != 1536 {
+		t.Errorf("route aggregate = %+v, want calls=2 wall=7ms cpu=3ms allocs=100 bytes=1536", r)
+	}
+}
+
+func TestCapturerHeap(t *testing.T) {
+	c := NewCapturer(CaptureConfig{Obs: obs.New()})
+	id := c.CaptureHeap(TriggerManual, "r00000001")
+	if id == "" {
+		t.Fatal("CaptureHeap returned empty id")
+	}
+	st, data, ok := c.Get(id)
+	if !ok {
+		t.Fatalf("Get(%q) not found", id)
+	}
+	if st.State != StateReady {
+		t.Fatalf("state = %q, want ready (err=%q)", st.State, st.Error)
+	}
+	if len(data) == 0 || st.Bytes != len(data) {
+		t.Errorf("profile bytes = %d (status says %d), want > 0 and equal", len(data), st.Bytes)
+	}
+	if st.Kind != KindHeap || st.Trigger != TriggerManual || st.RequestID != "r00000001" {
+		t.Errorf("status = %+v, want heap/manual/r00000001", st)
+	}
+	if got := c.List(); len(got) != 1 || got[0].ID != id {
+		t.Errorf("List = %+v, want the one capture", got)
+	}
+}
+
+func TestCapturerCPU(t *testing.T) {
+	c := NewCapturer(CaptureConfig{Obs: obs.New()})
+	id := c.CaptureCPU(TriggerManual, "", 50*time.Millisecond)
+	if id == "" {
+		t.Fatal("CaptureCPU returned empty id")
+	}
+	st, data, ok := c.Get(id)
+	if !ok || st.State != StateReady {
+		t.Fatalf("capture %q state=%q ok=%v err=%q", id, st.State, ok, st.Error)
+	}
+	if len(data) == 0 {
+		t.Error("CPU profile is empty")
+	}
+}
+
+func TestCapturerRingEviction(t *testing.T) {
+	c := NewCapturer(CaptureConfig{Entries: 2, Obs: obs.New()})
+	a := c.CaptureHeap(TriggerManual, "")
+	b := c.CaptureHeap(TriggerManual, "")
+	d := c.CaptureHeap(TriggerManual, "")
+	if _, _, ok := c.Get(a); ok {
+		t.Errorf("oldest capture %q should have been evicted", a)
+	}
+	for _, id := range []string{b, d} {
+		if _, _, ok := c.Get(id); !ok {
+			t.Errorf("capture %q missing from ring", id)
+		}
+	}
+	if got := c.List(); len(got) != 2 || got[0].ID != d || got[1].ID != b {
+		t.Errorf("List = %+v, want [%s %s] newest first", got, d, b)
+	}
+}
+
+func TestWatchdogFiresOnBreach(t *testing.T) {
+	c := NewCapturer(CaptureConfig{SLOCapture: 50 * time.Millisecond, Cooldown: -1, Obs: obs.New()})
+	w := c.Watch("r00000002", 5*time.Millisecond)
+	time.Sleep(30 * time.Millisecond) // the "request" breaches its SLO
+	id := w.Finish()
+	if id == "" {
+		t.Fatal("watchdog fired but Finish returned no profile id")
+	}
+	st, _, ok := c.Get(id)
+	if !ok {
+		t.Fatalf("profile %q not in ring", id)
+	}
+	if st.Trigger != TriggerSLO || st.Kind != KindCPU || st.RequestID != "r00000002" {
+		t.Errorf("status = %+v, want cpu/slo/r00000002", st)
+	}
+	if st.State != StateReady {
+		t.Errorf("state = %q, want ready (Finish waits for completion); err=%q", st.State, st.Error)
+	}
+}
+
+func TestWatchdogFastRequestNoCapture(t *testing.T) {
+	c := NewCapturer(CaptureConfig{Cooldown: -1, Obs: obs.New()})
+	w := c.Watch("r00000003", time.Hour)
+	if id := w.Finish(); id != "" {
+		t.Errorf("fast request captured profile %q, want none", id)
+	}
+	if got := c.List(); len(got) != 0 {
+		t.Errorf("ring has %d captures, want 0", len(got))
+	}
+}
+
+func TestWatchdogCooldown(t *testing.T) {
+	c := NewCapturer(CaptureConfig{SLOCapture: 20 * time.Millisecond, Cooldown: time.Hour, Obs: obs.New()})
+	w1 := c.Watch("ra", time.Millisecond)
+	time.Sleep(10 * time.Millisecond)
+	if id := w1.Finish(); id == "" {
+		t.Fatal("first breach should capture")
+	}
+	w2 := c.Watch("rb", time.Millisecond)
+	time.Sleep(10 * time.Millisecond)
+	if id := w2.Finish(); id != "" {
+		t.Errorf("second breach inside cooldown captured %q, want drop", id)
+	}
+	reg := obs.NewRegistry()
+	// The drop must be accounted. Recreate the counter handle off the
+	// capturer's own registry instead: ask the capturer's obs.
+	_ = reg
+	if n := c.dropped("cooldown").Value(); n != 1 {
+		t.Errorf("cooldown drops = %d, want 1", n)
+	}
+}
+
+// TestDisabledZeroAllocs pins the disabled-profiler contract: a nil
+// Capturer and nil Watchdog cost nothing on the hot path, same as the
+// nil-journal and nil-observer disciplines.
+func TestDisabledZeroAllocs(t *testing.T) {
+	var c *Capturer
+	var w *Watchdog
+	got := testing.AllocsPerRun(200, func() {
+		if id := c.CaptureHeap(TriggerManual, "r"); id != "" {
+			t.Fatal("nil capturer captured")
+		}
+		if id := c.CaptureCPU(TriggerManual, "r", time.Second); id != "" {
+			t.Fatal("nil capturer captured")
+		}
+		if wd := c.Watch("r", time.Second); wd != nil {
+			t.Fatal("nil capturer armed a watchdog")
+		}
+		if id := w.Finish(); id != "" {
+			t.Fatal("nil watchdog returned a profile")
+		}
+		c.List()
+		c.Get("p000001")
+	})
+	if got != 0 {
+		t.Errorf("disabled capturer allocated %.1f per run, want 0", got)
+	}
+}
+
+// A tracer without a cost sampler must not pay for the feature: the
+// span fast path stays at its pre-cost allocation count (one span
+// struct, one record append amortized).
+func TestNoSamplerNoExtraCost(t *testing.T) {
+	tr := obs.NewTracer()
+	sp := tr.Span("x")
+	sp.End()
+	for _, r := range tr.Records() {
+		for _, a := range r.Args {
+			if a.Key == obs.CostArgCPU || a.Key == obs.CostArgAllocs || a.Key == obs.CostArgBytes {
+				t.Errorf("sampler-less tracer recorded cost arg %q", a.Key)
+			}
+		}
+	}
+}

@@ -1,0 +1,24 @@
+//go:build linux
+
+package perf
+
+import (
+	"syscall"
+	"time"
+)
+
+// rusageThread is RUSAGE_THREAD: resource usage for the calling thread
+// only. syscall does not export the constant, but the Linux ABI value
+// is stable.
+const rusageThread = 1
+
+// threadCPU returns the cumulative user+system CPU time of the calling
+// OS thread. Combined with runtime.LockOSThread this attributes CPU to
+// the measured work rather than to whatever else the scheduler ran.
+func threadCPU() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(rusageThread, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}

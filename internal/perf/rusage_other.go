@@ -1,0 +1,9 @@
+//go:build !linux
+
+package perf
+
+import "time"
+
+// threadCPU reports 0 off Linux: RUSAGE_THREAD is Linux-specific and
+// cost rows degrade gracefully to wall/allocs/bytes-only there.
+func threadCPU() time.Duration { return 0 }

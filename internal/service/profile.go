@@ -1,0 +1,139 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"fppc/internal/journal"
+	"fppc/internal/perf"
+)
+
+// profileRequest is the POST /debug/profile body.
+type profileRequest struct {
+	// Kind selects "cpu" or "heap" (default "heap": instantaneous, never
+	// contends with other captures).
+	Kind string `json:"kind,omitempty"`
+	// Seconds is the CPU capture window (default 2, capped by the
+	// server's MaxCPU; ignored for heap).
+	Seconds int `json:"seconds,omitempty"`
+}
+
+// profileListResponse is the GET /debug/profile body.
+type profileListResponse struct {
+	Profiles []perf.ProfileStatus `json:"profiles"`
+}
+
+// profilesUnavailable writes the 404 shared by the profile endpoints
+// when triggered capture is disabled.
+func (s *Server) profilesUnavailable(w http.ResponseWriter) bool {
+	if s.capturer != nil {
+		return false
+	}
+	writeError(w, http.StatusNotFound, "profiles_disabled",
+		fmt.Errorf("triggered profile capture is disabled (fppc-serve -profiles 0)"))
+	return true
+}
+
+// handleProfile serves /debug/profile: GET lists the capture ring
+// (newest first); POST takes a capture on demand — heap captures return
+// immediately, CPU captures block for the requested window, like
+// /debug/pprof/profile does.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	if s.profilesUnavailable(w) {
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, profileListResponse{Profiles: s.capturer.List()})
+	case http.MethodPost:
+		var req profileRequest
+		if r.Body != nil && r.ContentLength != 0 {
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				writeError(w, http.StatusBadRequest, "bad_request", err)
+				return
+			}
+		}
+		var id string
+		switch req.Kind {
+		case "", perf.KindHeap:
+			id = s.capturer.CaptureHeap(perf.TriggerManual, "")
+		case perf.KindCPU:
+			id = s.capturer.CaptureCPU(perf.TriggerManual, "", time.Duration(req.Seconds)*time.Second)
+			if id == "" {
+				writeError(w, http.StatusConflict, "profile_busy",
+					fmt.Errorf("another CPU profile capture is already running"))
+				return
+			}
+		default:
+			writeError(w, http.StatusBadRequest, "bad_request",
+				fmt.Errorf("kind must be %q or %q, got %q", perf.KindCPU, perf.KindHeap, req.Kind))
+			return
+		}
+		st, _, _ := s.capturer.Get(id)
+		writeJSON(w, http.StatusOK, st)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", fmt.Errorf("GET or POST only"))
+	}
+}
+
+// handleProfileByID serves GET /debug/profile/{id}: the raw pprof bytes
+// of one capture.
+func (s *Server) handleProfileByID(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", fmt.Errorf("GET only"))
+		return
+	}
+	if s.profilesUnavailable(w) {
+		return
+	}
+	id := r.URL.Path[len("/debug/profile/"):]
+	st, data, ok := s.capturer.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found",
+			fmt.Errorf("no profile %q (the ring keeps the most recent captures)", id))
+		return
+	}
+	s.serveProfile(w, st, data)
+}
+
+// serveRequestProfile serves GET /debug/requests/{id}/profile: the
+// pprof capture linked to one journal entry, next to its Chrome trace.
+func (s *Server) serveRequestProfile(w http.ResponseWriter, e *journal.Entry) {
+	if s.profilesUnavailable(w) {
+		return
+	}
+	if e.Profile == "" {
+		writeError(w, http.StatusNotFound, "no_profile",
+			fmt.Errorf("request %s has no linked profile (captures happen on SLO breach)", e.ID))
+		return
+	}
+	st, data, ok := s.capturer.Get(e.Profile)
+	if !ok {
+		writeError(w, http.StatusNotFound, "profile_evicted",
+			fmt.Errorf("profile %s was evicted from the capture ring", e.Profile))
+		return
+	}
+	s.serveProfile(w, st, data)
+}
+
+// serveProfile writes one capture: pprof bytes when ready, the status
+// JSON with 202 while a CPU window is still open, 500 when the capture
+// failed.
+func (s *Server) serveProfile(w http.ResponseWriter, st perf.ProfileStatus, data []byte) {
+	switch st.State {
+	case perf.StatePending:
+		writeJSON(w, http.StatusAccepted, st)
+	case perf.StateFailed:
+		writeError(w, http.StatusInternalServerError, "profile_failed", fmt.Errorf("%s", st.Error))
+	default:
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Profile-Kind", st.Kind)
+		w.Header().Set("X-Profile-Id", st.ID)
+		if st.RequestID != "" {
+			w.Header().Set("X-Request-Id", st.RequestID)
+		}
+		w.Write(data)
+	}
+}

@@ -1,0 +1,275 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"fppc/internal/assays"
+	"fppc/internal/perf"
+)
+
+// rawGet fetches url without decoding, returning status, headers and
+// body.
+func rawGet(t *testing.T, url string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
+func TestManualHeapProfile(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/debug/profile", "application/json", strings.NewReader(`{"kind":"heap"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st perf.ProfileStatus
+	decodeBody(t, resp, &st)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /debug/profile: HTTP %d", resp.StatusCode)
+	}
+	if st.ID == "" || st.Kind != perf.KindHeap || st.Trigger != perf.TriggerManual || st.State != perf.StateReady {
+		t.Fatalf("capture status %+v, want ready heap/manual", st)
+	}
+	if st.Bytes <= 0 {
+		t.Errorf("capture reports %d bytes, want > 0", st.Bytes)
+	}
+
+	var list profileListResponse
+	if code := get(t, ts.URL+"/debug/profile", &list); code != http.StatusOK {
+		t.Fatalf("GET /debug/profile: HTTP %d", code)
+	}
+	if len(list.Profiles) != 1 || list.Profiles[0].ID != st.ID {
+		t.Errorf("profile list %+v, want the one capture", list.Profiles)
+	}
+
+	code, hdr, body := rawGet(t, ts.URL+"/debug/profile/"+st.ID)
+	if code != http.StatusOK {
+		t.Fatalf("GET /debug/profile/%s: HTTP %d", st.ID, code)
+	}
+	if got := hdr.Get("X-Profile-Kind"); got != perf.KindHeap {
+		t.Errorf("X-Profile-Kind = %q, want heap", got)
+	}
+	if hdr.Get("Content-Type") != "application/octet-stream" {
+		t.Errorf("Content-Type = %q", hdr.Get("Content-Type"))
+	}
+	if len(body) != st.Bytes {
+		t.Errorf("served %d profile bytes, status says %d", len(body), st.Bytes)
+	}
+}
+
+func decodeBody(t *testing.T, resp *http.Response, out any) {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, out); err != nil {
+		t.Fatalf("decoding (HTTP %d): %v\n%s", resp.StatusCode, err, b)
+	}
+}
+
+func TestManualCPUProfileServedOverHTTP(t *testing.T) {
+	s, ts := newTestServer(t)
+	// Drive the capturer directly with a sub-second window (the HTTP
+	// body only takes whole seconds), then fetch over HTTP.
+	id := s.capturer.CaptureCPU(perf.TriggerManual, "", 50*time.Millisecond)
+	if id == "" {
+		t.Fatal("CaptureCPU returned no id")
+	}
+	code, hdr, body := rawGet(t, ts.URL+"/debug/profile/"+id)
+	if code != http.StatusOK {
+		t.Fatalf("GET /debug/profile/%s: HTTP %d\n%s", id, code, body)
+	}
+	if hdr.Get("X-Profile-Kind") != perf.KindCPU {
+		t.Errorf("X-Profile-Kind = %q, want cpu", hdr.Get("X-Profile-Kind"))
+	}
+	if len(body) == 0 {
+		t.Error("empty CPU profile body")
+	}
+}
+
+func TestProfileBadRequests(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/debug/profile", "application/json", strings.NewReader(`{"kind":"goroutine"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown kind: HTTP %d, want 400", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/debug/profile", nil)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE /debug/profile: HTTP %d, want 405", resp2.StatusCode)
+	}
+	var e errorResponse
+	if code := get(t, ts.URL+"/debug/profile/p999999", &e); code != http.StatusNotFound || e.Kind != "not_found" {
+		t.Errorf("unknown profile id: HTTP %d kind %q", code, e.Kind)
+	}
+}
+
+// TestSLOBreachAutoCapturesProfile is the acceptance path: a request
+// slower than the objective auto-captures a CPU profile, the journal
+// digest links it, and GET /debug/requests/{id}/profile serves it.
+func TestSLOBreachAutoCapturesProfile(t *testing.T) {
+	s := New(Config{
+		Workers:         2,
+		SLO:             time.Millisecond, // the protein tail breaches by hundreds of ms
+		ProfileCPU:      50 * time.Millisecond,
+		ProfileCooldown: -1,
+	})
+	ts := newServerFor(t, s)
+	// Protein Split 7 synthesizes in hundreds of milliseconds — slow
+	// enough that the watchdog provably fires while it is in flight (a
+	// sub-millisecond compile can finish before the timer goroutine even
+	// schedules, which is correct: it was not breaching long enough to
+	// catch).
+	raw, err := json.Marshal(assays.ProteinSplit(7, assays.DefaultTiming()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp CompileResponse
+	if code := post(t, ts.URL, CompileRequest{DAG: raw, Grow: true}, &resp); code != http.StatusOK {
+		t.Fatalf("compile: HTTP %d", code)
+	}
+	if resp.RequestID == "" {
+		t.Fatal("no request id on the compile response")
+	}
+
+	var det RequestDetail
+	if code := get(t, ts.URL+"/debug/requests/"+resp.RequestID, &det); code != http.StatusOK {
+		t.Fatalf("journal entry: HTTP %d", code)
+	}
+	if det.Profile == "" {
+		t.Fatal("SLO-breaching request has no linked profile in its journal digest")
+	}
+
+	code, hdr, body := rawGet(t, ts.URL+"/debug/requests/"+resp.RequestID+"/profile")
+	if code != http.StatusOK {
+		t.Fatalf("GET /debug/requests/{id}/profile: HTTP %d\n%s", code, body)
+	}
+	if hdr.Get("X-Profile-Kind") != perf.KindCPU {
+		t.Errorf("X-Profile-Kind = %q, want cpu", hdr.Get("X-Profile-Kind"))
+	}
+	if hdr.Get("X-Request-Id") != resp.RequestID {
+		t.Errorf("X-Request-Id = %q, want %q", hdr.Get("X-Request-Id"), resp.RequestID)
+	}
+	if len(body) == 0 {
+		t.Error("linked profile body is empty")
+	}
+
+	// The capture is accounted on the shared registry.
+	mb := metricsBody(t, ts.URL)
+	if !strings.Contains(mb, `fppc_perf_profiles_total{kind="cpu",trigger="slo"} 1`) {
+		t.Errorf("slo capture not counted:\n%s", grepLines(mb, "fppc_perf"))
+	}
+}
+
+func TestFastRequestHasNoProfile(t *testing.T) {
+	s := New(Config{Workers: 2, SLO: time.Hour})
+	ts := newServerFor(t, s)
+	var resp CompileResponse
+	if code := post(t, ts.URL, CompileRequest{ASL: dilutionASL}, &resp); code != http.StatusOK {
+		t.Fatalf("compile: HTTP %d", code)
+	}
+	var e errorResponse
+	if code := get(t, ts.URL+"/debug/requests/"+resp.RequestID+"/profile", &e); code != http.StatusNotFound || e.Kind != "no_profile" {
+		t.Errorf("fast request profile: HTTP %d kind %q, want 404 no_profile", code, e.Kind)
+	}
+}
+
+func TestProfilesDisabled(t *testing.T) {
+	s := New(Config{Workers: 2, ProfileEntries: -1, SLO: time.Nanosecond})
+	ts := newServerFor(t, s)
+	// A breaching compile must still succeed with capture disabled.
+	var resp CompileResponse
+	if code := post(t, ts.URL, CompileRequest{ASL: dilutionASL}, &resp); code != http.StatusOK {
+		t.Fatalf("compile: HTTP %d", code)
+	}
+	var e errorResponse
+	if code := get(t, ts.URL+"/debug/profile", &e); code != http.StatusNotFound || e.Kind != "profiles_disabled" {
+		t.Errorf("GET /debug/profile: HTTP %d kind %q, want 404 profiles_disabled", code, e.Kind)
+	}
+	if code := get(t, ts.URL+"/debug/requests/"+resp.RequestID+"/profile", &e); code != http.StatusNotFound || e.Kind != "profiles_disabled" {
+		t.Errorf("request profile: HTTP %d kind %q, want 404 profiles_disabled", code, e.Kind)
+	}
+	if !strings.Contains(metricsBody(t, ts.URL), "fppc_perf") {
+		// Disabled capture registers no fppc_perf series at all.
+		return
+	}
+	t.Errorf("fppc_perf series exported with profiles disabled:\n%s", grepLines(metricsBody(t, ts.URL), "fppc_perf"))
+}
+
+// TestPerfMetricsConformance checks the fppc_perf_* series against the
+// repo's Prometheus exposition rules: TYPE/HELP lines, sorted labels,
+// and byte-identical output across rewrites.
+func TestPerfMetricsConformance(t *testing.T) {
+	s, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/debug/profile", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /debug/profile: HTTP %d", resp.StatusCode)
+	}
+
+	var first, second bytes.Buffer
+	if err := s.Observer().Metrics().WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Observer().Metrics().WritePrometheus(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("WritePrometheus output is not byte-identical across rewrites")
+	}
+	body := first.String()
+
+	for name, kind := range map[string]string{
+		"fppc_perf_profiles_total":         "counter",
+		"fppc_perf_profiles_dropped_total": "counter",
+		"fppc_perf_profile_last_bytes":     "gauge",
+	} {
+		if !strings.Contains(body, "# TYPE "+name+" "+kind) {
+			t.Errorf("missing TYPE line for %s (%s):\n%s", name, kind, grepLines(body, name))
+		}
+		if !strings.Contains(body, "# HELP "+name+" ") {
+			t.Errorf("missing HELP line for %s", name)
+		}
+	}
+	if !strings.Contains(body, `fppc_perf_profiles_total{kind="heap",trigger="manual"} 1`) {
+		t.Errorf("manual heap capture not counted:\n%s", grepLines(body, "fppc_perf"))
+	}
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, "fppc_perf_profiles_total{") {
+			continue
+		}
+		labels := line[strings.Index(line, "{")+1 : strings.Index(line, "}")]
+		if !stringsAreSorted(labelKeys(strings.Split(labels, ","))) {
+			t.Errorf("labels not sorted: %s", line)
+		}
+	}
+	if !strings.Contains(body, "fppc_perf_profile_last_bytes ") {
+		t.Errorf("last-bytes gauge missing:\n%s", grepLines(body, "fppc_perf"))
+	}
+}

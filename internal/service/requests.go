@@ -37,6 +37,9 @@ type RequestDigest struct {
 	Status        int     `json:"status"`
 	ResponseBytes int64   `json:"response_bytes"`
 	ElapsedMS     float64 `json:"elapsed_ms"`
+	// Profile is the id of the pprof capture the SLO watchdog linked to
+	// this request, retrievable at /debug/requests/{id}/profile.
+	Profile string `json:"profile,omitempty"`
 }
 
 // RequestDetail is the GET /debug/requests/{id} body: the digest plus
@@ -61,6 +64,7 @@ func digestEntry(e *journal.Entry) RequestDigest {
 		Status:        e.Status,
 		ResponseBytes: e.Bytes,
 		ElapsedMS:     float64(e.Elapsed) / float64(time.Millisecond),
+		Profile:       e.Profile,
 	}
 	names := journal.StageNames()
 	for i, dur := range e.Stages {
@@ -123,10 +127,15 @@ func (s *Server) handleRequestByID(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := strings.TrimPrefix(r.URL.Path, "/debug/requests/")
+	id, wantProfile := strings.CutSuffix(id, "/profile")
 	e, ok := s.journal.Get(id)
 	if id == "" || strings.Contains(id, "/") || !ok {
 		writeError(w, http.StatusNotFound, "not_found",
 			fmt.Errorf("no journal entry %q (the ring keeps the last %d requests)", id, s.journal.Cap()))
+		return
+	}
+	if wantProfile {
+		s.serveRequestProfile(w, e)
 		return
 	}
 	det := RequestDetail{RequestDigest: digestEntry(e)}

@@ -54,6 +54,7 @@ import (
 	"fppc/internal/fleet"
 	"fppc/internal/journal"
 	"fppc/internal/obs"
+	"fppc/internal/perf"
 	"fppc/internal/telemetry"
 )
 
@@ -90,6 +91,17 @@ type Config struct {
 	// than this increment fppc_service_slo_violations_total (default
 	// 2s; negative disables SLO accounting).
 	SLO time.Duration
+	// ProfileEntries bounds the triggered pprof capture ring (default
+	// 16; negative disables triggered capture — both the /debug/profile
+	// endpoints and the SLO watchdog).
+	ProfileEntries int
+	// ProfileCPU is the CPU capture window of an SLO-triggered profile
+	// (default 1s).
+	ProfileCPU time.Duration
+	// ProfileCooldown spaces SLO-triggered captures so a burst of slow
+	// requests does not profile continuously (default 30s; negative
+	// disables the cooldown).
+	ProfileCooldown time.Duration
 	// Fleet attaches a chip-fleet control plane, enabling the
 	// /fleet/jobs, /fleet/chips and /debug/fleet endpoints (nil: those
 	// endpoints answer 404 "fleet_disabled"). Build the fleet on the
@@ -114,6 +126,9 @@ type Server struct {
 	logger  *slog.Logger
 	slo     time.Duration
 	fleet   *fleet.Fleet
+	// capturer takes bounded pprof profiles on SLO breach or on demand
+	// (nil when disabled; every perf call is nil-safe).
+	capturer *perf.Capturer
 	// reqSeq issues request ids when logging is on but the journal
 	// (which otherwise issues them) is disabled.
 	reqSeq atomic.Uint64
@@ -216,6 +231,14 @@ func New(cfg Config) *Server {
 		gGCPauses:    ob.Gauge("fppc_runtime_gc_pauses_total"),
 		gGCPauseSecs: ob.Gauge("fppc_runtime_gc_pause_seconds_total"),
 	}
+	if cfg.ProfileEntries >= 0 {
+		s.capturer = perf.NewCapturer(perf.CaptureConfig{
+			Entries:    cfg.ProfileEntries,
+			SLOCapture: cfg.ProfileCPU,
+			Cooldown:   cfg.ProfileCooldown,
+			Obs:        ob,
+		})
+	}
 	if slo > 0 {
 		// The SLO series exist only when an objective is configured, so
 		// a disabled SLO leaves no dead series on /metrics. Both fields
@@ -262,6 +285,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/debug/requests", s.handleRequests)
 	s.mux.HandleFunc("/debug/requests/", s.handleRequestByID)
 	s.mux.HandleFunc("/debug/telemetry", s.handleTelemetry)
+	s.mux.HandleFunc("/debug/profile", s.handleProfile)
+	s.mux.HandleFunc("/debug/profile/", s.handleProfileByID)
 	s.mux.HandleFunc("/fleet/jobs", s.handleFleetJobs)
 	s.mux.HandleFunc("/fleet/jobs/", s.handleFleetJobByID)
 	s.mux.HandleFunc("/fleet/chips", s.handleFleetChips)
@@ -288,7 +313,7 @@ func (s *Server) Journal() *journal.Journal { return s.journal }
 // one label each.
 var knownEndpoints = []string{
 	"/compile", "/targets", "/metrics", "/healthz", "/version",
-	"/debug/telemetry", "/debug/requests", "/debug/pprof",
+	"/debug/telemetry", "/debug/requests", "/debug/pprof", "/debug/profile",
 	"/fleet/jobs", "/fleet/chips", "/debug/fleet", "other",
 }
 
@@ -297,11 +322,14 @@ func endpointLabel(path string) string {
 	switch {
 	case path == "/compile" || path == "/targets" || path == "/metrics" ||
 		path == "/healthz" || path == "/version" || path == "/debug/telemetry" ||
-		path == "/debug/requests" || path == "/fleet/jobs" || path == "/fleet/chips" ||
+		path == "/debug/requests" || path == "/debug/profile" ||
+		path == "/fleet/jobs" || path == "/fleet/chips" ||
 		path == "/debug/fleet":
 		return path
 	case strings.HasPrefix(path, "/debug/requests/"):
 		return "/debug/requests"
+	case strings.HasPrefix(path, "/debug/profile/"):
+		return "/debug/profile"
 	case strings.HasPrefix(path, "/debug/pprof/"):
 		return "/debug/pprof"
 	case strings.HasPrefix(path, "/fleet/jobs/"):
@@ -438,6 +466,23 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
+
+	// Arm the SLO watchdog: if this request is still in flight when the
+	// objective expires, it is breaching right now, and a short CPU
+	// capture catches the guilty work. The deferred Finish runs before
+	// ServeHTTP commits the journal entry, so the profile link lands on
+	// the entry while it is still mutable.
+	if s.slo > 0 {
+		wd := s.capturer.Watch(reqID, s.slo)
+		defer func() {
+			if id := wd.Finish(); id != "" {
+				rec.SetProfile(id)
+				if s.logger != nil {
+					s.logger.Warn("slo breach profiled", "request_id", reqID, "profile", id)
+				}
+			}
+		}()
+	}
 
 	start := time.Now()
 	e, outcome, err := s.compile(ctx, j, rec)

@@ -1,0 +1,341 @@
+// Command benchdiff compares two benchmark artifacts and reports
+// regressions with noise-aware thresholds — the perf ratchet CI runs
+// against the committed baseline (scripts/bench_baseline.json),
+// mirroring the coverage ratchet in scripts/coverage.sh.
+//
+// Usage:
+//
+//	go run ./scripts/benchdiff OLD.json NEW.json [-md benchdiff.md] [-time-fail]
+//
+// It understands two schemas, auto-detected:
+//
+//   - make bench artifacts (BENCH.json): Table 1 SynthMS per target,
+//     the per-stage cost matrix (wall/CPU/allocs/bytes), and the
+//     go test -bench micro rows (ns/op, B/op, allocs/op);
+//   - make loadbench artifacts (BENCH_LOAD.json): per-mix throughput
+//     and latency percentiles.
+//
+// Deterministic count metrics (allocs, bytes) carry a fail tier: they
+// are machine-independent, so a >30% growth is a real regression
+// wherever the two artifacts were produced. Time metrics (SynthMS,
+// wall, CPU, ns/op, p95, throughput) are cross-machine noisy, so they
+// warn by default and only fail with -time-fail (for runs produced on
+// the same machine). Rows below the absolute floors are skipped —
+// a 40% swing on a 0.3 ms row is scheduler noise, not signal.
+//
+// Exit status: 0 when no fail-tier findings, 1 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+type archRes struct {
+	SynthMS float64
+}
+
+type table1Row struct {
+	Name string
+	DA   archRes
+	FP   archRes
+	EFP  *archRes
+}
+
+type costRow struct {
+	Benchmark string
+	Target    string
+	Stage     string
+	WallMS    float64
+	CPUMS     float64
+	Allocs    int64
+	Bytes     int64
+	Note      string
+}
+
+type microBench struct {
+	Package     string  `json:"package"`
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type mixRow struct {
+	Name       string  `json:"name"`
+	P95MS      float64 `json:"p95_ms"`
+	Throughput float64 `json:"throughput_rps"`
+}
+
+// doc is the union of both artifact schemas; the decoder fills
+// whichever sections the file carries.
+type doc struct {
+	Tables struct {
+		Table1 []table1Row `json:"table1"`
+		Cost   []costRow   `json:"cost"`
+	} `json:"tables"`
+	Benchmarks []microBench `json:"benchmarks"`
+	Mixes      []mixRow     `json:"mixes"`
+}
+
+// metric classes decide the threshold tier.
+const (
+	classCount = "count" // deterministic: allocs, bytes
+	classTime  = "time"  // machine-dependent: ms, ns/op, rps
+)
+
+// row is one comparable metric extracted from an artifact. Higher is
+// worse unless invert (throughput).
+type row struct {
+	key    string // stable identity across artifacts
+	class  string
+	invert bool
+	value  float64
+	floor  float64 // skip when both sides are below this
+}
+
+type options struct {
+	warnCount, failCount float64
+	warnTime, failTime   float64
+	timeFail             bool
+	minMS                float64
+	minNs                float64
+	minAllocs            float64
+	minBytes             float64
+}
+
+// finding is one threshold crossing.
+type finding struct {
+	key      string
+	class    string
+	old, new float64
+	ratio    float64 // relative regression, positive is worse
+	fail     bool
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	fs := flag.NewFlagSet("benchdiff", flag.ExitOnError)
+	md := fs.String("md", "", "also write a markdown summary to this path")
+	timeFail := fs.Bool("time-fail", false, "escalate time-metric regressions past the fail threshold to failures (same-machine artifacts only)")
+	warnCount := fs.Float64("warn-count", 0.10, "warn when a count metric grows by this fraction")
+	failCount := fs.Float64("fail-count", 0.30, "fail when a count metric grows by this fraction")
+	warnTime := fs.Float64("warn-time", 0.25, "warn when a time metric grows by this fraction")
+	failTime := fs.Float64("fail-time", 0.50, "with -time-fail: fail when a time metric grows by this fraction")
+	minMS := fs.Float64("min-ms", 1.0, "skip millisecond rows where both sides are below this")
+	minNs := fs.Float64("min-ns", 1000, "skip ns/op rows where both sides are below this")
+	minAllocs := fs.Float64("min-allocs", 500, "skip allocs rows where both sides are below this")
+	minBytes := fs.Float64("min-bytes", 65536, "skip byte rows where both sides are below this")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] OLD.json NEW.json")
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
+	if fs.NArg() != 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	opts := options{
+		warnCount: *warnCount, failCount: *failCount,
+		warnTime: *warnTime, failTime: *failTime, timeFail: *timeFail,
+		minMS: *minMS, minNs: *minNs, minAllocs: *minAllocs, minBytes: *minBytes,
+	}
+	failed, err := run(fs.Arg(0), fs.Arg(1), opts, *md, os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func run(oldPath, newPath string, opts options, mdPath string, out io.Writer) (failed bool, err error) {
+	oldRows, err := loadRows(oldPath, opts)
+	if err != nil {
+		return false, err
+	}
+	newRows, err := loadRows(newPath, opts)
+	if err != nil {
+		return false, err
+	}
+	findings, missing, added := diff(oldRows, newRows, opts)
+
+	report := render(oldPath, newPath, findings, missing, added, len(oldRows), opts)
+	fmt.Fprint(out, report)
+	if mdPath != "" {
+		if err := os.WriteFile(mdPath, []byte(report), 0o644); err != nil {
+			return false, err
+		}
+	}
+	for _, f := range findings {
+		if f.fail {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func loadRows(path string, opts options) (map[string]row, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d doc
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	rows := map[string]row{}
+	add := func(r row) {
+		if r.value > 0 {
+			rows[r.key] = r
+		}
+	}
+	for _, t := range d.Tables.Table1 {
+		add(row{key: "table1/" + t.Name + "/fppc/synth_ms", class: classTime, value: t.FP.SynthMS, floor: opts.minMS})
+		add(row{key: "table1/" + t.Name + "/da/synth_ms", class: classTime, value: t.DA.SynthMS, floor: opts.minMS})
+		if t.EFP != nil {
+			add(row{key: "table1/" + t.Name + "/enhanced-fppc/synth_ms", class: classTime, value: t.EFP.SynthMS, floor: opts.minMS})
+		}
+	}
+	for _, c := range d.Tables.Cost {
+		if c.Note != "" {
+			continue
+		}
+		base := fmt.Sprintf("cost/%s/%s/%s/", c.Benchmark, c.Target, c.Stage)
+		add(row{key: base + "wall_ms", class: classTime, value: c.WallMS, floor: opts.minMS})
+		add(row{key: base + "cpu_ms", class: classTime, value: c.CPUMS, floor: opts.minMS})
+		add(row{key: base + "allocs", class: classCount, value: float64(c.Allocs), floor: opts.minAllocs})
+		add(row{key: base + "bytes", class: classCount, value: float64(c.Bytes), floor: opts.minBytes})
+	}
+	for _, b := range d.Benchmarks {
+		base := "bench/" + b.Package + "/" + b.Name + "/"
+		add(row{key: base + "ns_op", class: classTime, value: b.NsPerOp, floor: opts.minNs})
+		add(row{key: base + "allocs_op", class: classCount, value: float64(b.AllocsPerOp), floor: opts.minAllocs})
+		add(row{key: base + "bytes_op", class: classCount, value: float64(b.BytesPerOp), floor: opts.minBytes})
+	}
+	for _, m := range d.Mixes {
+		add(row{key: "load/" + m.Name + "/p95_ms", class: classTime, value: m.P95MS, floor: opts.minMS})
+		add(row{key: "load/" + m.Name + "/throughput_rps", class: classTime, invert: true, value: m.Throughput})
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("%s: no comparable rows (not a bench or loadbench artifact?)", path)
+	}
+	return rows, nil
+}
+
+// diff compares the two row sets, returning threshold findings plus
+// the keys missing from / new in the second artifact.
+func diff(oldRows, newRows map[string]row, opts options) (findings []finding, missing, added []string) {
+	for key, o := range oldRows {
+		n, ok := newRows[key]
+		if !ok {
+			missing = append(missing, key)
+			continue
+		}
+		// Sub-floor rows are noise on both sides.
+		if o.floor > 0 && o.value < o.floor && n.value < o.floor {
+			continue
+		}
+		// ratio > 0 means "worse": slower, more allocs, or (inverted)
+		// less throughput.
+		var ratio float64
+		if o.invert {
+			ratio = (o.value - n.value) / o.value
+		} else {
+			ratio = (n.value - o.value) / o.value
+		}
+		warn, fail := opts.warnTime, math.Inf(1)
+		if o.class == classCount {
+			warn, fail = opts.warnCount, opts.failCount
+		} else if opts.timeFail {
+			fail = opts.failTime
+		}
+		if ratio < warn {
+			continue
+		}
+		findings = append(findings, finding{
+			key: key, class: o.class, old: o.value, new: n.value,
+			ratio: ratio, fail: ratio >= fail,
+		})
+	}
+	for key := range newRows {
+		if _, ok := oldRows[key]; !ok {
+			added = append(added, key)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].fail != findings[j].fail {
+			return findings[i].fail
+		}
+		return findings[i].ratio > findings[j].ratio
+	})
+	sort.Strings(missing)
+	sort.Strings(added)
+	return findings, missing, added
+}
+
+// render produces the report, written to stdout and (verbatim) to the
+// -md file: it is plain enough to read in a terminal and valid
+// markdown for the CI artifact.
+func render(oldPath, newPath string, findings []finding, missing, added []string, total int, opts options) string {
+	var b strings.Builder
+	fails, warns := 0, 0
+	for _, f := range findings {
+		if f.fail {
+			fails++
+		} else {
+			warns++
+		}
+	}
+	fmt.Fprintf(&b, "# benchdiff: %s vs %s\n\n", oldPath, newPath)
+	fmt.Fprintf(&b, "%d comparable rows; %d fail, %d warn", total, fails, warns)
+	if !opts.timeFail {
+		fmt.Fprintf(&b, " (time metrics warn-only; -time-fail escalates)")
+	}
+	fmt.Fprintf(&b, "\n\n")
+	if len(findings) > 0 {
+		fmt.Fprintf(&b, "| tier | metric | old | new | change |\n")
+		fmt.Fprintf(&b, "|------|--------|----:|----:|-------:|\n")
+		for _, f := range findings {
+			tier := "warn"
+			if f.fail {
+				tier = "FAIL"
+			}
+			fmt.Fprintf(&b, "| %s | `%s` | %s | %s | +%.0f%% |\n",
+				tier, f.key, formatVal(f.old), formatVal(f.new), f.ratio*100)
+		}
+		fmt.Fprintf(&b, "\n")
+	} else {
+		fmt.Fprintf(&b, "No regressions past thresholds.\n\n")
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(&b, "%d rows in the baseline are missing from the new artifact (renamed or removed benchmarks):\n\n", len(missing))
+		for _, k := range missing {
+			fmt.Fprintf(&b, "- `%s`\n", k)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	if len(added) > 0 {
+		fmt.Fprintf(&b, "%d new rows have no baseline yet (refresh with `make bench-baseline`):\n\n", len(added))
+		for _, k := range added {
+			fmt.Fprintf(&b, "- `%s`\n", k)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}
+
+func formatVal(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3g", v)
+}

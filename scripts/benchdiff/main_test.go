@@ -1,0 +1,223 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sampleDoc builds a small bench artifact; scale multiplies every
+// metric so tests can inject a uniform regression.
+func sampleDoc(scale float64) map[string]any {
+	ms := func(v float64) float64 { return v * scale }
+	n := func(v float64) int64 { return int64(v * scale) }
+	return map[string]any{
+		"tables": map[string]any{
+			"table1": []map[string]any{
+				{
+					"Name": "PCR (mixing tree)",
+					"DA":   map[string]any{"SynthMS": ms(2.0)},
+					"FP":   map[string]any{"SynthMS": ms(3.0)},
+					"EFP":  map[string]any{"SynthMS": ms(2.5)},
+				},
+			},
+			"cost": []map[string]any{
+				{
+					"Benchmark": "PCR (mixing tree)", "Target": "fppc", "Stage": "compile",
+					"WallMS": ms(3.0), "CPUMS": ms(2.8), "Allocs": n(120000), "Bytes": n(9000000),
+				},
+			},
+		},
+		"benchmarks": []map[string]any{
+			{
+				"package": "fppc/internal/sim", "name": "BenchmarkStep",
+				"ns_per_op": ms(45000), "bytes_per_op": n(230000), "allocs_per_op": n(1200),
+			},
+		},
+	}
+}
+
+func writeDoc(t *testing.T, name string, doc map[string]any) string {
+	t.Helper()
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+var defaultOpts = options{
+	warnCount: 0.10, failCount: 0.30,
+	warnTime: 0.25, failTime: 0.50,
+	minMS: 1.0, minNs: 1000, minAllocs: 500, minBytes: 65536,
+}
+
+// TestSelfDiffPasses pins the ratchet's no-op case: comparing an
+// artifact against itself reports nothing and exits zero.
+func TestSelfDiffPasses(t *testing.T) {
+	path := writeDoc(t, "base.json", sampleDoc(1))
+	var out strings.Builder
+	failed, err := run(path, path, defaultOpts, "", &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("self-diff failed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "No regressions past thresholds") {
+		t.Errorf("self-diff report:\n%s", out.String())
+	}
+}
+
+// TestInjectedRegressionFails is the acceptance criterion: a synthetic
+// 50% growth in every metric must trip the count-metric fail tier.
+func TestInjectedRegressionFails(t *testing.T) {
+	oldPath := writeDoc(t, "base.json", sampleDoc(1))
+	newPath := writeDoc(t, "regressed.json", sampleDoc(1.5))
+	var out strings.Builder
+	failed, err := run(oldPath, newPath, defaultOpts, "", &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("injected +50%% regression passed:\n%s", out.String())
+	}
+	report := out.String()
+	// Deterministic count rows fail; time rows only warn by default.
+	if !strings.Contains(report, "| FAIL | `cost/PCR (mixing tree)/fppc/compile/allocs`") {
+		t.Errorf("allocs row not failed:\n%s", report)
+	}
+	if !strings.Contains(report, "| warn | `table1/PCR (mixing tree)/fppc/synth_ms`") {
+		t.Errorf("synth time row not warned:\n%s", report)
+	}
+}
+
+// TestTimeFailEscalates: with -time-fail, a big time regression fails
+// even when counts are stable.
+func TestTimeFailEscalates(t *testing.T) {
+	base := sampleDoc(1)
+	slow := sampleDoc(1)
+	slow["tables"].(map[string]any)["table1"].([]map[string]any)[0]["FP"] = map[string]any{"SynthMS": 9.0}
+	oldPath := writeDoc(t, "base.json", base)
+	newPath := writeDoc(t, "slow.json", slow)
+
+	opts := defaultOpts
+	var out strings.Builder
+	failed, err := run(oldPath, newPath, opts, "", &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("time regression failed without -time-fail:\n%s", out.String())
+	}
+	opts.timeFail = true
+	out.Reset()
+	failed, err = run(oldPath, newPath, opts, "", &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("3x synth slowdown passed under -time-fail:\n%s", out.String())
+	}
+}
+
+// TestFloorSkipsNoiseRows: a huge relative swing on a sub-floor row is
+// scheduler noise and must not even warn.
+func TestFloorSkipsNoiseRows(t *testing.T) {
+	base := sampleDoc(1)
+	base["tables"].(map[string]any)["table1"].([]map[string]any)[0]["FP"] = map[string]any{"SynthMS": 0.2}
+	noisy := sampleDoc(1)
+	noisy["tables"].(map[string]any)["table1"].([]map[string]any)[0]["FP"] = map[string]any{"SynthMS": 0.9}
+	oldPath := writeDoc(t, "base.json", base)
+	newPath := writeDoc(t, "noisy.json", noisy)
+	var out strings.Builder
+	failed, err := run(oldPath, newPath, defaultOpts, "", &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed || strings.Contains(out.String(), "synth_ms") {
+		t.Errorf("sub-floor +350%% row reported:\n%s", out.String())
+	}
+}
+
+// TestMissingAndNewRowsReported: renames surface as missing/new rows
+// (warn-level prose, not failures).
+func TestMissingAndNewRowsReported(t *testing.T) {
+	base := sampleDoc(1)
+	renamed := sampleDoc(1)
+	renamed["benchmarks"].([]map[string]any)[0]["name"] = "BenchmarkStepV2"
+	oldPath := writeDoc(t, "base.json", base)
+	newPath := writeDoc(t, "renamed.json", renamed)
+	var out strings.Builder
+	failed, err := run(oldPath, newPath, defaultOpts, "", &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("rename treated as failure:\n%s", out.String())
+	}
+	report := out.String()
+	if !strings.Contains(report, "bench/fppc/internal/sim/BenchmarkStep/ns_op") ||
+		!strings.Contains(report, "bench/fppc/internal/sim/BenchmarkStepV2/ns_op") {
+		t.Errorf("missing/new rows not reported:\n%s", report)
+	}
+}
+
+// TestLoadbenchSchema: loadbench artifacts compare p95 and inverted
+// throughput (lower rps is the regression).
+func TestLoadbenchSchema(t *testing.T) {
+	mk := func(p95, rps float64) map[string]any {
+		return map[string]any{
+			"mixes": []map[string]any{
+				{"name": "cache-friendly", "p95_ms": p95, "throughput_rps": rps},
+			},
+		}
+	}
+	oldPath := writeDoc(t, "base.json", mk(20, 400))
+	newPath := writeDoc(t, "slow.json", mk(21, 250))
+	var out strings.Builder
+	failed, err := run(oldPath, newPath, defaultOpts, "", &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("throughput drop failed without -time-fail:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "| warn | `load/cache-friendly/throughput_rps` | 400 | 250 | +38% |") {
+		t.Errorf("inverted throughput row not warned:\n%s", out.String())
+	}
+}
+
+// TestMarkdownArtifact: -md writes the same report to disk for the CI
+// artifact upload.
+func TestMarkdownArtifact(t *testing.T) {
+	path := writeDoc(t, "base.json", sampleDoc(1))
+	mdPath := filepath.Join(t.TempDir(), "benchdiff.md")
+	var out strings.Builder
+	if _, err := run(path, path, defaultOpts, mdPath, &out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(mdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != out.String() {
+		t.Error("markdown artifact differs from stdout report")
+	}
+}
+
+// TestRejectsEmptyDoc: a file with no recognizable sections is an
+// error, not a silent all-pass.
+func TestRejectsEmptyDoc(t *testing.T) {
+	path := writeDoc(t, "empty.json", map[string]any{"unrelated": true})
+	var out strings.Builder
+	if _, err := run(path, path, defaultOpts, "", &out); err == nil {
+		t.Fatal("empty artifact accepted")
+	}
+}

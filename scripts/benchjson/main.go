@@ -1,9 +1,10 @@
 // Command benchjson produces the repo's benchmark artifact: the paper
-// tables from `fppc-bench -json` plus `go test -bench` results for the
-// simulator and service hot paths, merged into one JSON document
-// (BENCH_PR8.json at the repo root; uploaded by the CI bench job).
+// tables and per-stage cost matrix from `fppc-bench -json` plus
+// `go test -bench` results for the simulator and service hot paths,
+// merged into one JSON document (BENCH.json at the repo root; uploaded
+// by the CI bench job and diffed by scripts/benchdiff).
 //
-// Usage: go run ./scripts/benchjson [-o BENCH_PR8.json] [-quick]
+// Usage: go run ./scripts/benchjson [-o BENCH.json] [-benchtime 1x]
 package main
 
 import (
@@ -40,7 +41,7 @@ var benchPackages = []string{"./internal/sim", "./internal/service"}
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
-	out := flag.String("o", "BENCH_PR8.json", "output file")
+	out := flag.String("o", "BENCH.json", "output file")
 	quick := flag.String("benchtime", "", "override -benchtime (e.g. 1x for smoke runs)")
 	flag.Parse()
 	if err := run(*out, *quick); err != nil {
