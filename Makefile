@@ -34,7 +34,7 @@ race:
 # without writing the artifact.
 bench:
 	$(GO) run ./scripts/benchjson -o BENCH.json
-	cp BENCH.json BENCH_PR9.json
+	cp BENCH.json BENCH_PR10.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...

@@ -74,6 +74,24 @@ type Config struct {
 	// appropriate detectors" — becomes a real constraint with this set.
 	DetectorCount int
 
+	// Workers bounds the concurrency of parallelizable work inside one
+	// compilation: the scheduler's precomputation passes and the DA
+	// router's per-boundary path searches. 0 or 1 runs everything
+	// sequentially. Every worker count produces byte-identical
+	// artifacts; the differential tests enforce that.
+	Workers int
+
+	// Memo, when non-nil, caches compiled results keyed by the assay's
+	// structural hash, the target and the output-affecting config knobs,
+	// so recompiling a structurally identical DAG (a recovery plan, a
+	// fleet migration, a service retry) returns a deep clone of the
+	// cached artifacts instead of redoing the flow. Clones are
+	// byte-identical to a cold compile. Memoization is skipped — never
+	// wrong, just bypassed — for configs whose output the key cannot
+	// capture: fault models and router avoid predicates (arbitrary code),
+	// and telemetry sinks (replaying bytes would skip their callbacks).
+	Memo *Memo
+
 	// Obs records stage spans (Compile > Schedule > Route) and pipeline
 	// metrics across every layer the compilation touches. Nil (the
 	// default) disables observation; the instrumented paths then cost
@@ -255,7 +273,23 @@ func CompileContext(ctx context.Context, a *dag.Assay, cfg Config) (*Result, err
 	if !ok {
 		return nil, fmt.Errorf("core: unknown target %d", int(cfg.Target))
 	}
+	key, memoable := memoKey(a, cfg, spec)
+	if memoable {
+		if e, hit := cfg.Memo.lookup(key); hit {
+			if res, err := replay(a, cfg, spec, e); err == nil {
+				cfg.Obs.Counter("fppc_memo_total", "outcome", "hit").Inc()
+				return res, nil
+			}
+			// A replay failure (it should not happen: the cached compile
+			// succeeded on this very configuration) falls through to a
+			// cold compile rather than surfacing a cache artifact.
+		}
+		cfg.Obs.Counter("fppc_memo_total", "outcome", "miss").Inc()
+	}
 	res, err := compileTarget(ctx, a, cfg, spec)
+	if memoable && err == nil {
+		cfg.Memo.store(key, res)
+	}
 	if err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err()) {
 		return nil, cancelErr(a, cfg, err)
 	}
@@ -368,7 +402,7 @@ func compileOn(ctx context.Context, a *dag.Assay, chip *arch.Chip, cfg Config, s
 	var s *scheduler.Schedule
 	if err := stage(ob, "schedule", chip, func() error {
 		var err error
-		s, err = spec.Schedule(ctx, a, chip, ob)
+		s, err = spec.Schedule(ctx, a, chip, scheduler.Opts{Obs: ob, Workers: cfg.Workers})
 		return err
 	}); err != nil {
 		return nil, err
@@ -378,6 +412,7 @@ func compileOn(ctx context.Context, a *dag.Assay, chip *arch.Chip, cfg Config, s
 	}
 	opts := cfg.Router
 	opts.Obs = ob
+	opts.Workers = cfg.Workers
 	if cfg.faulted() {
 		opts.Avoid = func(c grid.Cell) bool { return cfg.Faults.Blocked(chip, c) }
 	}

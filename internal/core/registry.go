@@ -9,7 +9,6 @@ import (
 
 	"fppc/internal/arch"
 	"fppc/internal/dag"
-	"fppc/internal/obs"
 	"fppc/internal/router"
 	"fppc/internal/scheduler"
 )
@@ -40,8 +39,11 @@ type Capabilities struct {
 	FixedPortCapacity bool
 }
 
-// ScheduleFunc is a target's scheduling stage.
-type ScheduleFunc func(ctx context.Context, a *dag.Assay, chip *arch.Chip, ob *obs.Observer) (*scheduler.Schedule, error)
+// ScheduleFunc is a target's scheduling stage. Opts carries the
+// observer plus the worker budget for parallelizable precomputation;
+// implementations must produce byte-identical schedules for every
+// worker count.
+type ScheduleFunc func(ctx context.Context, a *dag.Assay, chip *arch.Chip, opts scheduler.Opts) (*scheduler.Schedule, error)
 
 // RouteFunc is a target's routing stage.
 type RouteFunc func(ctx context.Context, s *scheduler.Schedule, opts router.Options) (*router.Result, error)

@@ -9,7 +9,6 @@ import (
 	"fppc/internal/arch"
 	"fppc/internal/assays"
 	"fppc/internal/dag"
-	"fppc/internal/obs"
 	"fppc/internal/router"
 	"fppc/internal/scheduler"
 )
@@ -23,7 +22,7 @@ func testSpec(id Target, name string) TargetSpec {
 		Grow:        func(d Dims) (Dims, bool) { return d, false },
 		NewChip:     func(Dims) (*arch.Chip, error) { return nil, nil },
 		ApplyDims:   func(*Config, Dims) {},
-		Schedule: func(context.Context, *dag.Assay, *arch.Chip, *obs.Observer) (*scheduler.Schedule, error) {
+		Schedule: func(context.Context, *dag.Assay, *arch.Chip, scheduler.Opts) (*scheduler.Schedule, error) {
 			return nil, nil
 		},
 		Route: func(context.Context, *scheduler.Schedule, router.Options) (*router.Result, error) {

@@ -38,7 +38,7 @@ func init() {
 		},
 		NewChip:   func(d Dims) (*arch.Chip, error) { return arch.NewDA(d.W, d.H) },
 		ApplyDims: func(cfg *Config, d Dims) { cfg.DAWidth, cfg.DAHeight = d.W, d.H },
-		Schedule:  scheduler.ScheduleDAContext,
+		Schedule:  scheduler.ScheduleDAWith,
 		Route:     router.RouteDAContext,
 	})
 }

@@ -36,7 +36,7 @@ func init() {
 		},
 		NewChip:   func(d Dims) (*arch.Chip, error) { return arch.NewEnhancedFPPC(d.H) },
 		ApplyDims: func(cfg *Config, d Dims) { cfg.FPPCHeight = d.H },
-		Schedule:  scheduler.ScheduleFPPCContext,
+		Schedule:  scheduler.ScheduleFPPCWith,
 		Route:     router.RouteFPPCContext,
 	})
 }

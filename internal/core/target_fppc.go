@@ -33,7 +33,7 @@ func init() {
 		},
 		NewChip:   func(d Dims) (*arch.Chip, error) { return arch.NewFPPC(d.H) },
 		ApplyDims: func(cfg *Config, d Dims) { cfg.FPPCHeight = d.H },
-		Schedule:  scheduler.ScheduleFPPCContext,
+		Schedule:  scheduler.ScheduleFPPCWith,
 		Route:     router.RouteFPPCContext,
 	})
 }

@@ -136,6 +136,26 @@ func (a *Assay) Len() int { return len(a.Nodes) }
 // Validate checks structural well-formedness: IDs dense and consistent,
 // per-kind in/out degrees, symmetric parent/child lists, and acyclicity.
 func (a *Assay) Validate() error {
+	_, err := a.ValidateAndOrder()
+	return err
+}
+
+// ValidateAndOrder runs the same checks as Validate and returns the
+// deterministic topological order, computing it once. Hot callers (the
+// schedulers re-validate per auto-grow attempt) use this to avoid
+// ordering the graph twice.
+func (a *Assay) ValidateAndOrder() ([]int, error) {
+	if err := a.validateStructure(); err != nil {
+		return nil, err
+	}
+	order, err := a.TopologicalOrder()
+	if err != nil {
+		return nil, fmt.Errorf("dag %s: %v", a.Name, err)
+	}
+	return order, nil
+}
+
+func (a *Assay) validateStructure() error {
 	for i, n := range a.Nodes {
 		if n == nil {
 			return fmt.Errorf("dag %s: nil node at %d", a.Name, i)
@@ -175,9 +195,6 @@ func (a *Assay) Validate() error {
 			}
 		}
 	}
-	if _, err := a.TopologicalOrder(); err != nil {
-		return fmt.Errorf("dag %s: %v", a.Name, err)
-	}
 	return nil
 }
 
@@ -199,28 +216,21 @@ func (a *Assay) TopologicalOrder() ([]int, error) {
 	for _, nd := range a.Nodes {
 		indeg[nd.ID] = len(nd.Parents)
 	}
-	var ready []int
+	var ready intMinHeap
 	for i := 0; i < n; i++ {
 		if indeg[i] == 0 {
-			ready = append(ready, i)
+			ready.push(i)
 		}
 	}
 	order := make([]int, 0, n)
 	for len(ready) > 0 {
-		// Pick smallest for determinism; ready stays small.
-		mi := 0
-		for i := 1; i < len(ready); i++ {
-			if ready[i] < ready[mi] {
-				mi = i
-			}
-		}
-		v := ready[mi]
-		ready = append(ready[:mi], ready[mi+1:]...)
+		// Pop smallest for determinism (Kahn with a min-queue).
+		v := ready.pop()
 		order = append(order, v)
 		for _, c := range a.Nodes[v].Children {
 			indeg[c]--
 			if indeg[c] == 0 {
-				ready = append(ready, c)
+				ready.push(c)
 			}
 		}
 	}
@@ -228,6 +238,48 @@ func (a *Assay) TopologicalOrder() ([]int, error) {
 		return nil, fmt.Errorf("cycle detected (%d of %d nodes ordered)", len(order), n)
 	}
 	return order, nil
+}
+
+// intMinHeap is a minimal binary min-heap over node IDs, giving
+// TopologicalOrder its smallest-ID tie-break in O(log n) per pop.
+type intMinHeap []int
+
+func (h *intMinHeap) push(v int) {
+	*h = append(*h, v)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		p := (i - 1) / 2
+		if s[p] <= s[i] {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func (h *intMinHeap) pop() int {
+	s := *h
+	v := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(s) && s[l] < s[m] {
+			m = l
+		}
+		if r < len(s) && s[r] < s[m] {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	*h = s
+	return v
 }
 
 // CriticalPath returns the longest chain of operation durations in

@@ -1,0 +1,92 @@
+package dag
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"hash"
+)
+
+// structuralHashVersion is bumped whenever the raw encoding changes, so
+// memoized compilations keyed by old hashes can never be served against
+// new ones.
+const structuralHashVersion = "fppc/dag-structural/v1"
+
+// StructuralHash returns a SHA-256 (hex) over the assay's raw structure
+// in node-ID order: per node its kind, fluid, duration and child IDs,
+// plus the effective reservoir count of every dispensed fluid.
+//
+// Unlike Fingerprint, this hash is deliberately sensitive to node
+// numbering: the synthesis pipeline's tie-breaks consult node IDs, so
+// two renumberings of one graph can compile to different (equally
+// valid) artifacts. A compile memo keyed by StructuralHash therefore
+// only ever replays a result for an input the pipeline would have
+// treated identically — the soundness condition incremental
+// recompilation depends on. Labels and the assay name are excluded:
+// they appear in no compiled artifact.
+func (a *Assay) StructuralHash() string {
+	h := sha256.New()
+	writeString(h, structuralHashVersion)
+	writeInt(h, len(a.Nodes))
+	for _, n := range a.Nodes {
+		h.Write([]byte{byte(n.Kind)})
+		writeString(h, n.Fluid)
+		writeInt(h, n.Duration)
+		writeInt(h, len(n.Children))
+		for _, c := range n.Children {
+			writeInt(h, c)
+		}
+	}
+	// Reservoir counts in node order of first dispense, so no sorting
+	// (and no map iteration) enters the encoding.
+	seen := map[string]bool{}
+	for _, n := range a.Nodes {
+		if n.Kind != Dispense || seen[n.Fluid] {
+			continue
+		}
+		seen[n.Fluid] = true
+		writeString(h, n.Fluid)
+		writeInt(h, a.ReservoirCount(n.Fluid))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ConeFingerprint is the renumbering-invariant fingerprint of one
+// node's ancestor cone: the sub-DAG of everything the node transitively
+// depends on, plus the node's own attributes. Two nodes — in the same
+// assay or across assays — share a ConeFingerprint exactly when their
+// ancestor cones are isomorphic with identical kinds, fluids and
+// durations, which makes the cone the unit of cross-compile reuse: an
+// edited assay keeps the cone fingerprints of every subgraph the edit
+// did not reach.
+type ConeFingerprint [sha256.Size]byte
+
+// ConeFingerprints returns the per-node ancestor-cone fingerprints,
+// indexed by node ID. These are the "down" hashes Fingerprint already
+// digests, exposed so the compile memo can index chip-size outcomes by
+// subgraph (a recompile of a slightly-edited DAG votes for the chip
+// size its surviving cones last succeeded on). The assay must validate.
+func (a *Assay) ConeFingerprints() ([]ConeFingerprint, error) {
+	order, err := a.TopologicalOrder()
+	if err != nil {
+		return nil, err
+	}
+	nodeAttrs := func(h hash.Hash, n *Node) {
+		h.Write([]byte{byte(n.Kind)})
+		writeString(h, n.Fluid)
+		writeInt(h, n.Duration)
+	}
+	down := make([][sha256.Size]byte, len(a.Nodes))
+	for _, id := range order {
+		n := a.Nodes[id]
+		h := sha256.New()
+		h.Write([]byte("down"))
+		nodeAttrs(h, n)
+		writeSortedHashes(h, n.Parents, down)
+		copy(down[id][:], h.Sum(nil))
+	}
+	out := make([]ConeFingerprint, len(down))
+	for i, d := range down {
+		out[i] = ConeFingerprint(d)
+	}
+	return out, nil
+}

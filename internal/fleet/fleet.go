@@ -80,6 +80,12 @@ type Fleet struct {
 	compileTimeout time.Duration
 	compiles       compileCache
 
+	// memo is the structural compile memo shared across chips and
+	// jobs: a migration or re-submission whose DAG is structurally
+	// identical to an earlier compile on a same-sized healthy chip
+	// replays the cached artifacts instead of resynthesizing.
+	memo *core.Memo
+
 	// reconMu serializes reconciliation passes; the state mutex mu is
 	// released around compiles so submissions and reads never block on
 	// synthesis.
@@ -112,6 +118,7 @@ func New(cfg Config) (*Fleet, error) {
 	f := &Fleet{
 		chips:          make(map[string]*chip),
 		jobs:           make(map[string]*Job),
+		memo:           core.NewMemo(0),
 		maxEvents:      cfg.MaxEvents,
 		kick:           make(chan struct{}, 1),
 		compileTimeout: cfg.CompileTimeout,

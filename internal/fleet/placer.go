@@ -82,6 +82,7 @@ func (f *Fleet) compileFor(ctx context.Context, assay *dag.Assay, fp string, spe
 // injection.
 func (f *Fleet) runCompile(ctx context.Context, e *compiled, assay *dag.Assay, spec ChipSpec, set *faults.Set) {
 	cfg := coreConfig(spec, set)
+	cfg.Memo = f.memo
 	tc := telemetry.New()
 	cfg.Router.Telemetry = tc
 	if tspec, ok := core.LookupTargetName(spec.Target); ok && tspec.Capabilities.PinProgram {

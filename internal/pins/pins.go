@@ -53,16 +53,37 @@ func (p *Program) Append(pins ...int) {
 // must not mutate it.
 func (p *Program) Cycle(i int) Activation { return p.cycles[i] }
 
+// Clone returns a program that can be appended to independently of the
+// original. The per-cycle activations are shared — they are immutable by
+// the Cycle contract — so a clone is cheap even for long programs.
+func (p *Program) Clone() *Program {
+	if p == nil {
+		return nil
+	}
+	return &Program{cycles: append([]Activation(nil), p.cycles...)}
+}
+
 // ActiveCells expands an activation into the set of energized electrodes
 // on the chip.
 func ActiveCells(c *arch.Chip, act Activation) map[grid.Cell]bool {
-	out := make(map[grid.Cell]bool)
+	return ActiveCellsInto(c, act, nil)
+}
+
+// ActiveCellsInto is ActiveCells writing into dst (cleared first), so a
+// replay loop can reuse one map across cycles instead of allocating one
+// per cycle. A nil dst allocates, making ActiveCells a trivial wrapper.
+func ActiveCellsInto(c *arch.Chip, act Activation, dst map[grid.Cell]bool) map[grid.Cell]bool {
+	if dst == nil {
+		dst = make(map[grid.Cell]bool)
+	} else {
+		clear(dst)
+	}
 	for _, pin := range act {
 		for _, cell := range c.PinCells(pin) {
-			out[cell] = true
+			dst[cell] = true
 		}
 	}
-	return out
+	return dst
 }
 
 // Validate checks that every referenced pin exists on the chip.

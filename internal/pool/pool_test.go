@@ -1,0 +1,124 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDoRunsEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		p := New(workers)
+		const n = 100
+		var counts [n]atomic.Int32
+		if err := p.Do(context.Background(), n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: fn(%d) ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// The error contract is what keeps parallel stages byte-compatible
+// with sequential loops: the LOWEST failing index wins, regardless of
+// completion order.
+func TestDoReturnsLowestIndexError(t *testing.T) {
+	p := New(8)
+	for trial := 0; trial < 50; trial++ {
+		err := p.Do(context.Background(), 32, func(i int) error {
+			if i%3 == 1 { // fails at 1, 4, 7, ...
+				return fmt.Errorf("task %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "task 1" {
+			t.Fatalf("trial %d: err = %v, want task 1 (lowest failing index)", trial, err)
+		}
+	}
+}
+
+func TestDoNilPoolAndSmallNRunInline(t *testing.T) {
+	var p *Pool
+	ran := 0
+	if err := p.Do(context.Background(), 3, func(i int) error { ran++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 3 {
+		t.Fatalf("nil pool ran %d tasks, want 3", ran)
+	}
+	if err := New(4).Do(context.Background(), 0, func(int) error { t.Fatal("ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := New(workers)
+	var inFlight, peak atomic.Int32
+	var mu sync.Mutex
+	if err := p.Do(context.Background(), 50, func(i int) error {
+		cur := inFlight.Add(1)
+		mu.Lock()
+		if cur > peak.Load() {
+			peak.Store(cur)
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > workers {
+		t.Errorf("peak concurrency %d exceeds the %d-worker bound", got, workers)
+	}
+}
+
+// Cancellation skips unstarted tasks, surfaces the context error, and —
+// the leak half of the contract — joins every worker before returning.
+func TestDoCancellationJoinsWorkers(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	p := New(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	err := p.Do(ctx, 1000, func(i int) error {
+		if started.Add(1) == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := int(started.Load()); n >= 1000 {
+		t.Errorf("all %d tasks ran despite cancellation", n)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			t.Fatalf("workers leaked: %d goroutines, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestWorkersDefaults(t *testing.T) {
+	if got := New(0).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("New(0).Workers() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	var nilPool *Pool
+	if got := nilPool.Workers(); got != 1 {
+		t.Errorf("nil pool Workers() = %d, want 1", got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fppc/internal/graphs"
 	"fppc/internal/grid"
 	"fppc/internal/obs"
+	"fppc/internal/pool"
 	"fppc/internal/scheduler"
 	"fppc/internal/telemetry"
 )
@@ -27,8 +28,11 @@ type daRouter struct {
 	// droplet is stored there).
 	busy [][][2]int
 
-	cStalls *obs.Counter         // cycles droplets wait on clearance/conflicts
-	tc      *telemetry.Collector // chip telemetry pass-through (nil disables)
+	pf *pathFinder // reusable BFS workspace for the sequential path
+
+	cStalls    *obs.Counter         // cycles droplets wait on clearance/conflicts
+	tc         *telemetry.Collector // chip telemetry pass-through (nil disables)
+	stallTotal int                  // run-wide stall cycles, lands on Result.StallCycles
 }
 
 // computeBusy reconstructs per-module occupancy from the schedule: ops
@@ -41,9 +45,21 @@ func (r *daRouter) computeBusy() {
 			r.busy[w] = append(r.busy[w], [2]int{from, to})
 		}
 	}
-	for _, op := range r.s.Ops {
+	for i := range r.s.Ops {
+		op := &r.s.Ops[i]
 		if op.Loc.Kind == scheduler.LocWork && op.End > op.Start {
 			add(op.Loc.Index, op.Start, op.End)
+		}
+	}
+	// Group the TS-sorted move list by droplet in one pass: each
+	// droplet's subsequence keeps its original order, so the per-droplet
+	// timeline walk below visits exactly the moves the old full-list
+	// scan per droplet did.
+	storesBy := make([][]int32, len(r.s.Droplets))
+	for i := range r.s.Moves {
+		m := &r.s.Moves[i]
+		if m.Kind == scheduler.MoveStore {
+			storesBy[m.Droplet] = append(storesBy[m.Droplet], int32(i))
 		}
 	}
 	// Droplet parking timeline: producer end (or split boundary), then
@@ -55,14 +71,10 @@ func (r *daRouter) computeBusy() {
 			at = prod.Start
 		}
 		loc := prod.Loc
-		for _, m := range r.s.Moves {
-			if m.Droplet != d.ID {
-				continue
-			}
-			if m.Kind == scheduler.MoveStore {
-				add(moduleIdx(loc), at, m.TS)
-				at, loc = m.TS, m.To
-			}
+		for _, mi := range storesBy[d.ID] {
+			m := &r.s.Moves[mi]
+			add(moduleIdx(loc), at, m.TS)
+			at, loc = m.TS, m.To
 		}
 		add(moduleIdx(loc), at, cons.Start)
 	}
@@ -104,6 +116,7 @@ func routeDA(ctx context.Context, s *scheduler.Schedule, opts Options) (*Result,
 	cMoves := ob.Counter("fppc_router_moves_total")
 	hBoundaries := ob.Histogram("fppc_route_cycles", nil)
 	r := &daRouter{s: s, chip: s.Chip, opts: opts, tc: opts.Telemetry,
+		pf:      newPathFinder(s.Chip.W, s.Chip.H),
 		cStalls: ob.Counter("fppc_router_stall_cycles_total")}
 	r.computeBusy()
 	res := &Result{}
@@ -111,9 +124,10 @@ func routeDA(ctx context.Context, s *scheduler.Schedule, opts Options) (*Result,
 		if err := routeCanceled(ctx, ts); err != nil {
 			return nil, err
 		}
+		nMoves := len(s.MovesSpan(ts))
 		sp := ob.Span("route_boundary")
 		sp.ArgInt("ts", int64(ts))
-		sp.ArgInt("moves", int64(len(s.MovesAt(ts))))
+		sp.ArgInt("moves", int64(nMoves))
 		cycles, err := r.routeBoundary(ts)
 		if err != nil {
 			sp.End()
@@ -122,11 +136,12 @@ func routeDA(ctx context.Context, s *scheduler.Schedule, opts Options) (*Result,
 		sp.ArgInt("cycles", int64(cycles))
 		sp.End()
 		hBoundaries.Observe(float64(cycles))
-		cMoves.Add(int64(len(s.MovesAt(ts))))
-		res.Boundaries = append(res.Boundaries, BoundaryResult{TS: ts, Moves: len(s.MovesAt(ts)), Cycles: cycles})
+		cMoves.Add(int64(nMoves))
+		res.Boundaries = append(res.Boundaries, BoundaryResult{TS: ts, Moves: nMoves, Cycles: cycles})
 		res.TotalCycles += cycles
-		res.MoveCount += len(s.MovesAt(ts))
+		res.MoveCount += nMoves
 	}
+	res.StallCycles = r.stallTotal
 	return res, nil
 }
 
@@ -153,11 +168,11 @@ func moduleIdx(l scheduler.Location) int {
 	return -1
 }
 
-// pathFor computes a shortest street path for the move. Idle, empty
-// modules are routable (direct addressing can drive any electrode); only
-// the halos of modules that are busy during this boundary block the path,
-// source and destination excepted.
-func (r *daRouter) pathFor(ts int, m scheduler.Move) ([]grid.Cell, error) {
+// pathFor computes a shortest street path for the move using the given
+// BFS workspace. Idle, empty modules are routable (direct addressing can
+// drive any electrode); only the halos of modules that are busy during
+// this boundary block the path, source and destination excepted.
+func (r *daRouter) pathFor(pf *pathFinder, ts int, m scheduler.Move) ([]grid.Cell, error) {
 	src, err := r.cellOf(m.From)
 	if err != nil {
 		return nil, err
@@ -171,19 +186,19 @@ func (r *daRouter) pathFor(ts int, m scheduler.Move) ([]grid.Cell, error) {
 		return nil, err
 	}
 	srcMod, dstMod := moduleIdx(m.From), moduleIdx(m.To)
-	blocked := make(map[grid.Cell]bool)
+	pf.resetBlocked()
 	for _, w := range r.chip.WorkMods {
 		if w.Index == srcMod || w.Index == dstMod || !r.moduleBusyAt(w.Index, ts) {
 			continue
 		}
 		for _, cell := range w.Rect.Expand(1).Cells() {
-			blocked[cell] = true
+			pf.block(cell)
 		}
 	}
 	ok := func(c grid.Cell) bool {
-		return r.chip.InBounds(c) && !blocked[c] && !r.opts.avoided(c)
+		return r.chip.InBounds(c) && !pf.blocked(c) && !r.opts.avoided(c)
 	}
-	path := bfsPath(src, dst, ok)
+	path := pf.find(src, dst, ok, nil)
 	if path == nil {
 		return nil, fmt.Errorf("router: DA move droplet %d: no path %v -> %v", m.Droplet, src, dst)
 	}
@@ -194,14 +209,10 @@ func (r *daRouter) pathFor(ts int, m scheduler.Move) ([]grid.Cell, error) {
 // simultaneously, dependency edges add clearance stalls, and pairwise
 // spatio-temporal conflicts delay the later droplet.
 func (r *daRouter) routeBoundary(ts int) (int, error) {
-	moves := r.s.MovesAt(ts)
-	paths := make([][]grid.Cell, len(moves))
-	for i, m := range moves {
-		p, err := r.pathFor(ts, m)
-		if err != nil {
-			return 0, err
-		}
-		paths[i] = p
+	moves := r.s.MovesSpan(ts)
+	paths, err := r.computePaths(ts, moves)
+	if err != nil {
+		return 0, err
 	}
 
 	// Dependency graph: same construction as the FPPC router, including
@@ -329,6 +340,7 @@ func (r *daRouter) routeBoundary(ts int) (int, error) {
 	for i := range moves {
 		r.cStalls.Add(int64(start[i]))
 		r.tc.RouterStall(start[i])
+		r.stallTotal += start[i]
 		if moves[i].Kind == scheduler.MoveStore && moves[i].NodeID < 0 {
 			consol += len(paths[i])
 			continue
@@ -338,6 +350,54 @@ func (r *daRouter) routeBoundary(ts int) (int, error) {
 		}
 	}
 	return total + consol, nil
+}
+
+// computePaths finds the street path of every move in the sub-problem.
+// Each path is a pure function of the schedule and the boundary (the
+// busy table is read-only here), so with Workers > 1 the moves are
+// chunked across goroutines, each with a private BFS workspace; results
+// land in fixed slots and errors surface lowest-index-first, making the
+// output byte-identical to the sequential pass.
+func (r *daRouter) computePaths(ts int, moves []scheduler.Move) ([][]grid.Cell, error) {
+	paths := make([][]grid.Cell, len(moves))
+	workers := r.opts.Workers
+	if workers > len(moves) {
+		workers = len(moves)
+	}
+	if workers <= 1 || len(moves) < 4 {
+		for i, m := range moves {
+			p, err := r.pathFor(r.pf, ts, m)
+			if err != nil {
+				return nil, err
+			}
+			paths[i] = p
+		}
+		return paths, nil
+	}
+	chunk := (len(moves) + workers - 1) / workers
+	err := pool.New(workers).Do(nil, workers, func(c int) error {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > len(moves) {
+			hi = len(moves)
+		}
+		if lo >= hi {
+			return nil
+		}
+		pf := newPathFinder(r.chip.W, r.chip.H)
+		for i := lo; i < hi; i++ {
+			p, perr := r.pathFor(pf, ts, moves[i])
+			if perr != nil {
+				return perr
+			}
+			paths[i] = p
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return paths, nil
 }
 
 // firstConflict reports whether two timed paths ever put their droplets

@@ -55,6 +55,26 @@ type fppcRouter struct {
 	// same boundary to the bus cell where its half was left.
 	splitAway map[int]grid.Cell
 
+	// Per-run precomputed lookups and reusable scratch. The per-cycle
+	// hot paths (completeOps, transport search, emit) ran through map
+	// hashing and fresh allocations before; these pin them to array
+	// indexing and recycled buffers without changing any emitted byte.
+	pf        *pathFinder
+	busOK     []bool  // per cell: transport-bus electrode not faulted
+	pinAt     []int32 // per cell: control pin, -1 when none
+	pathOK    func(grid.Cell) bool
+	pathCache map[int64][]grid.Cell // (srcIdx<<32|dstIdx) -> cached bus path
+	endOps    [][]int32             // per ts: module ops ending then (ops order)
+	firstDrop []int32               // per node: first droplet it produced, -1
+	mixingAt  []bool                // per ts: some mix op is active
+	movesBuf  []scheduler.Move
+	doneBuf   []bool
+	awayBuf   []int
+	isAwayBuf []bool
+	emitBuf   []int
+	actBuf    []int
+	loops     [][]grid.Cell
+
 	// Pre-resolved instruments (nil-safe no-ops when opts.Obs is nil).
 	cRetries    *obs.Counter
 	cBufReloc   *obs.Counter
@@ -106,15 +126,17 @@ func routeFPPC(ctx context.Context, s *scheduler.Schedule, opts Options) (*Resul
 	if len(boundaries) > 0 && boundaries[len(boundaries)-1] > last {
 		last = boundaries[len(boundaries)-1]
 	}
+	r.precompute(last)
 	for ts := 0; ts <= last; ts++ {
 		if err := routeCanceled(ctx, ts); err != nil {
 			return nil, err
 		}
 		r.completeOps(ts)
 		if bi < len(boundaries) && boundaries[bi] == ts {
+			nMoves := len(s.MovesSpan(ts))
 			sp := ob.Span("route_boundary")
 			sp.ArgInt("ts", int64(ts))
-			sp.ArgInt("moves", int64(len(s.MovesAt(ts))))
+			sp.ArgInt("moves", int64(nMoves))
 			cycles, err := r.routeBoundary(ts)
 			if err != nil {
 				sp.End()
@@ -123,12 +145,12 @@ func routeFPPC(ctx context.Context, s *scheduler.Schedule, opts Options) (*Resul
 			sp.ArgInt("cycles", int64(cycles))
 			sp.End()
 			r.hBoundaries.Observe(float64(cycles))
-			r.cMoves.Add(int64(len(s.MovesAt(ts))))
+			r.cMoves.Add(int64(nMoves))
 			res.Boundaries = append(res.Boundaries, BoundaryResult{
-				TS: ts, Moves: len(s.MovesAt(ts)), Cycles: cycles,
+				TS: ts, Moves: nMoves, Cycles: cycles,
 			})
 			res.TotalCycles += cycles
-			res.MoveCount += len(s.MovesAt(ts))
+			res.MoveCount += nMoves
 			bi++
 		}
 		if opts.EmitProgram && ts < s.Makespan {
@@ -143,23 +165,73 @@ func routeFPPC(ctx context.Context, s *scheduler.Schedule, opts Options) (*Resul
 	return res, nil
 }
 
-// completeOps updates module occupancy for operations finishing at ts:
-// the inputs that arrived earlier are consumed and the operation's result
-// droplet now occupies the module. Splits are excluded — their results
-// are placed when the split itself is routed.
-func (r *fppcRouter) completeOps(ts int) {
-	for _, op := range r.s.Ops {
-		if op.End != ts || op.End == op.Start {
+// precompute builds the per-run lookup tables: cell->pin and cell->bus
+// arrays (replacing ElectrodeAt map hashing on every emitted pin and BFS
+// expansion), completion buckets for completeOps, the first-droplet-per-
+// producer index, and the per-ts mixing bitmap for emitOpPhase. All are
+// pure functions of the schedule and chip, so none affects output bytes.
+func (r *fppcRouter) precompute(last int) {
+	w, h := r.chip.W, r.chip.H
+	r.pf = newPathFinder(w, h)
+	r.busOK = make([]bool, w*h)
+	r.pinAt = make([]int32, w*h)
+	for i := range r.pinAt {
+		r.pinAt[i] = -1
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			c := grid.Cell{X: x, Y: y}
+			r.busOK[y*w+x] = r.busCellOK(c)
+			if e := r.chip.ElectrodeAt(c); e != nil {
+				r.pinAt[y*w+x] = int32(e.Pin)
+			}
+		}
+	}
+	r.pathOK = func(c grid.Cell) bool { return r.busOK[c.Y*w+c.X] }
+	r.pathCache = make(map[int64][]grid.Cell)
+
+	r.endOps = make([][]int32, last+1)
+	for i := range r.s.Ops {
+		op := &r.s.Ops[i]
+		if op.End == op.Start || op.End < 0 || op.End > last {
 			continue
 		}
 		if op.Loc.Kind != scheduler.LocMix && op.Loc.Kind != scheduler.LocSSD {
 			continue
 		}
-		for _, d := range r.s.Droplets {
-			if d.Producer == op.NodeID {
-				r.setHeld(op.Loc, d.ID)
-				break
-			}
+		r.endOps[op.End] = append(r.endOps[op.End], int32(i))
+	}
+	r.firstDrop = make([]int32, len(r.s.Ops))
+	for i := range r.firstDrop {
+		r.firstDrop[i] = -1
+	}
+	for _, d := range r.s.Droplets {
+		if d.Producer >= 0 && d.Producer < len(r.firstDrop) && r.firstDrop[d.Producer] < 0 {
+			r.firstDrop[d.Producer] = int32(d.ID)
+		}
+	}
+	r.mixingAt = make([]bool, r.s.Makespan+1)
+	for i := range r.s.Ops {
+		op := &r.s.Ops[i]
+		if op.Start < 0 || r.s.Assay.Node(op.NodeID).Kind != dag.Mix {
+			continue
+		}
+		for t := op.Start; t < op.End && t < len(r.mixingAt); t++ {
+			r.mixingAt[t] = true
+		}
+	}
+	r.splitAway = map[int]grid.Cell{}
+}
+
+// completeOps updates module occupancy for operations finishing at ts:
+// the inputs that arrived earlier are consumed and the operation's result
+// droplet now occupies the module. Splits are excluded — their results
+// are placed when the split itself is routed.
+func (r *fppcRouter) completeOps(ts int) {
+	for _, oi := range r.endOps[ts] {
+		op := &r.s.Ops[oi]
+		if did := r.firstDrop[op.NodeID]; did >= 0 {
+			r.setHeld(op.Loc, int(did))
 		}
 	}
 }
@@ -174,14 +246,19 @@ func (r *fppcRouter) completeOps(ts int) {
 // any other free module (supplemental S3's generalization) — and the
 // sweep continues.
 func (r *fppcRouter) routeBoundary(ts int) (int, error) {
-	moves := r.s.MovesAt(ts)
-	r.splitAway = map[int]grid.Cell{}
+	// The deadlock-breaking relocation below rewrites m.From, so the
+	// boundary works on a scratch copy of the schedule's move slice.
+	moves := append(r.movesBuf[:0], r.s.MovesSpan(ts)...)
+	r.movesBuf = moves
+	clear(r.splitAway)
 
 	// Away halves are routed inline right after their split; find them.
-	awayIdx := make([]int, len(moves)) // split move idx -> away move idx
-	isAway := make([]bool, len(moves))
+	awayIdx := grow(r.awayBuf, len(moves)) // split move idx -> away move idx
+	isAway := grow(r.isAwayBuf, len(moves))
+	r.awayBuf, r.isAwayBuf = awayIdx, isAway
 	for i := range awayIdx {
 		awayIdx[i] = -1
+		isAway[i] = false
 	}
 	for i := range moves {
 		if moves[i].Kind != scheduler.MoveSplit {
@@ -197,7 +274,11 @@ func (r *fppcRouter) routeBoundary(ts int) (int, error) {
 	}
 
 	cycles := 0
-	done := make([]bool, len(moves))
+	done := grow(r.doneBuf, len(moves))
+	r.doneBuf = done
+	for i := range done {
+		done[i] = false
+	}
 	remaining := len(moves)
 	routeIdx := func(idx int) error {
 		c, err := r.routeOne(ts, moves[idx])
@@ -416,6 +497,20 @@ func (r *fppcRouter) busCellOK(c grid.Cell) bool {
 	return e != nil && (e.Kind == arch.BusH || e.Kind == arch.BusV) && !r.opts.avoided(c)
 }
 
+// busPath finds the bus route between two cells, memoized per endpoint
+// pair. The bus topology is fixed for the whole run (faults are declared
+// up front), so a pair's BFS result never changes — and the search
+// itself is deterministic, so cached and fresh paths are identical.
+func (r *fppcRouter) busPath(a, b grid.Cell) []grid.Cell {
+	key := int64(r.pf.idx(a))<<32 | int64(r.pf.idx(b))
+	if p, ok := r.pathCache[key]; ok {
+		return p
+	}
+	p := r.pf.find(a, b, r.pathOK, nil)
+	r.pathCache[key] = p
+	return p
+}
+
 // moduleOf resolves a module location.
 func (r *fppcRouter) moduleOf(l scheduler.Location) *arch.Module {
 	switch l.Kind {
@@ -506,7 +601,7 @@ func (r *fppcRouter) routeOne(ts int, m scheduler.Move) (int, error) {
 		return 0, routeError(ts, m, "cannot route to %v", m.To)
 	}
 
-	path := bfsPath(cur, busDst, r.busCellOK)
+	path := r.busPath(cur, busDst)
 	if path == nil {
 		return 0, routeError(ts, m, "no bus path from %v to %v", cur, busDst)
 	}
@@ -553,32 +648,35 @@ func (r *fppcRouter) setHeld(l scheduler.Location, droplet int) {
 
 // pinOf returns the control pin of a cell (which must be an electrode).
 func (r *fppcRouter) pinOf(c grid.Cell) int {
-	e := r.chip.ElectrodeAt(c)
-	if e == nil {
-		panic(fmt.Sprintf("router: no electrode at %v", c))
+	if r.chip.InBounds(c) {
+		if p := r.pinAt[c.Y*r.chip.W+c.X]; p >= 0 {
+			return int(p)
+		}
 	}
-	return e.Pin
+	panic(fmt.Sprintf("router: no electrode at %v", c))
 }
 
 // emit appends one program cycle: the given pins plus the hold pins of
 // every occupied module (the paper keeps holds energized during routing).
+// The pin list is assembled in a reused scratch buffer; Program.Append
+// copies its input, so recycling it never aliases emitted cycles.
 func (r *fppcRouter) emit(actPins ...int) {
 	if r.prog == nil {
 		return
 	}
-	all := append([]int{}, actPins...)
-	all = append(all, r.holdPins()...)
+	all := append(r.emitBuf[:0], actPins...)
+	for k, held := range r.mixHeld {
+		if held >= 0 {
+			all = append(all, r.pinOf(r.chip.MixModules[k].Hold))
+		}
+	}
+	all = r.appendSSDHolds(all)
+	r.emitBuf = all
 	r.prog.Append(all...)
 }
 
-// holdPins lists the hold pins of occupied modules.
-func (r *fppcRouter) holdPins() []int {
-	var out []int
-	for k, held := range r.mixHeld {
-		if held >= 0 {
-			out = append(out, r.pinOf(r.chip.MixModules[k].Hold))
-		}
-	}
+// appendSSDHolds appends the hold pins of occupied SSD modules.
+func (r *fppcRouter) appendSSDHolds(out []int) []int {
 	for k, held := range r.ssdHeld {
 		if held >= 0 {
 			out = append(out, r.pinOf(r.chip.SSDModules[k].Hold))
@@ -603,50 +701,42 @@ func (r *fppcRouter) event(kind EventKind, cell grid.Cell, fluid string) {
 // fire on the same cycle (empty modules stay dark, which the oracle's
 // spurious-activation check demands).
 func (r *fppcRouter) emitOpPhase(ts int) {
-	mixing := false
-	for _, op := range r.s.Ops {
-		if r.s.Assay.Node(op.NodeID).Kind == dag.Mix && op.Start <= ts && ts < op.End {
-			mixing = true
-			break
-		}
-	}
-	if !mixing || r.opts.RotationsPerStep == 0 {
+	if !r.mixingAt[ts] || r.opts.RotationsPerStep == 0 {
 		r.emit()
 		return
 	}
-	loops := make([][]grid.Cell, len(r.chip.MixModules))
-	for k, m := range r.chip.MixModules {
-		loops[k] = m.LoopCells()
+	if r.loops == nil {
+		r.loops = make([][]grid.Cell, len(r.chip.MixModules))
+		for k, m := range r.chip.MixModules {
+			r.loops[k] = m.LoopCells()
+		}
 	}
 	for n := 0; n < r.opts.RotationsPerStep; n++ {
 		// Seven loop positions, then back onto the hold pins via the final
-		// heldMixHolds cycle so all rotating droplets re-park simultaneously.
+		// held-mix-holds cycle so all rotating droplets re-park simultaneously.
 		for i := 1; i < 8; i++ {
-			var act []int
+			act := r.actBuf[:0]
 			if r.chip.MixLoopShared {
-				act = []int{r.pinOf(loops[0][i])}
+				act = append(act, r.pinOf(r.loops[0][i]))
 			} else {
 				for k := range r.chip.MixModules {
 					if r.mixHeld[k] >= 0 {
-						act = append(act, r.pinOf(loops[k][i]))
+						act = append(act, r.pinOf(r.loops[k][i]))
 					}
 				}
 			}
+			r.actBuf = act
 			r.emitRotation(act...)
 		}
-		r.emitRotation(r.heldMixHolds()...)
-	}
-}
-
-// heldMixHolds lists the hold pins of occupied mix modules.
-func (r *fppcRouter) heldMixHolds() []int {
-	var out []int
-	for k, held := range r.mixHeld {
-		if held >= 0 {
-			out = append(out, r.pinOf(r.chip.MixModules[k].Hold))
+		act := r.actBuf[:0]
+		for k, held := range r.mixHeld {
+			if held >= 0 {
+				act = append(act, r.pinOf(r.chip.MixModules[k].Hold))
+			}
 		}
+		r.actBuf = act
+		r.emitRotation(act...)
 	}
-	return out
 }
 
 // emitRotation is emit() but with mix-module hold pins suppressed (the
@@ -655,11 +745,8 @@ func (r *fppcRouter) emitRotation(actPins ...int) {
 	if r.prog == nil {
 		return
 	}
-	all := append([]int{}, actPins...)
-	for k, held := range r.ssdHeld {
-		if held >= 0 {
-			all = append(all, r.pinOf(r.chip.SSDModules[k].Hold))
-		}
-	}
+	all := append(r.emitBuf[:0], actPins...)
+	all = r.appendSSDHolds(all)
+	r.emitBuf = all
 	r.prog.Append(all...)
 }

@@ -1,0 +1,78 @@
+package router
+
+import (
+	"math/rand"
+	"testing"
+
+	"fppc/internal/grid"
+)
+
+// TestPathFinderMatchesReferenceBFS is the differential test pinning
+// the zero-alloc pathFinder against the map-based reference bfsPath:
+// over random grids, obstacle fields and endpoint pairs, both must
+// agree cell-for-cell (same expansion order, same tie-breaks), and
+// both must agree on unreachability. The routers' byte-identity
+// guarantee rests on this equivalence.
+func TestPathFinderMatchesReferenceBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		w, h := 2+rng.Intn(11), 2+rng.Intn(11)
+		blocked := make(map[grid.Cell]bool)
+		for i := 0; i < rng.Intn(w*h/2+1); i++ {
+			blocked[grid.Cell{X: rng.Intn(w), Y: rng.Intn(h)}] = true
+		}
+		ok := func(c grid.Cell) bool {
+			return c.X >= 0 && c.X < w && c.Y >= 0 && c.Y < h && !blocked[c]
+		}
+		src := grid.Cell{X: rng.Intn(w), Y: rng.Intn(h)}
+		dst := grid.Cell{X: rng.Intn(w), Y: rng.Intn(h)}
+		if blocked[src] || blocked[dst] {
+			continue
+		}
+
+		want := bfsPath(src, dst, ok)
+		pf := newPathFinder(w, h)
+		// okInner omits the bounds check bfsPath's ok carries: the
+		// pathFinder contract is that out-of-bounds neighbours are
+		// rejected before ok is consulted.
+		okInner := func(c grid.Cell) bool { return !blocked[c] }
+		got := pf.find(src, dst, okInner, nil)
+
+		if (want == nil) != (got == nil) {
+			t.Fatalf("trial %d (%dx%d %v->%v): reachability disagrees (ref %v, pathFinder %v)",
+				trial, w, h, src, dst, want, got)
+		}
+		if len(want) != len(got) {
+			t.Fatalf("trial %d: path lengths %d vs %d", trial, len(want), len(got))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("trial %d: paths diverge at %d: ref %v, pathFinder %v", trial, i, want, got)
+			}
+		}
+
+		// Reuse the same workspace immediately with a different blocked
+		// set: epoch marking must fully isolate searches.
+		pf.resetBlocked()
+		got2 := pf.find(src, dst, okInner, got[:0])
+		for i := range want {
+			if want[i] != got2[i] {
+				t.Fatalf("trial %d: reused workspace diverges at %d", trial, i)
+			}
+		}
+	}
+}
+
+// TestPathFinderZeroAllocSteadyState pins the reason pathFinder exists:
+// after warm-up, repeated searches on one workspace allocate nothing.
+func TestPathFinderZeroAllocSteadyState(t *testing.T) {
+	pf := newPathFinder(12, 21)
+	ok := func(grid.Cell) bool { return true }
+	var buf []grid.Cell
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = pf.find(grid.Cell{X: 0, Y: 0}, grid.Cell{X: 11, Y: 20}, ok, buf[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("pathFinder.find allocates %.1f/op in steady state, want 0", allocs)
+	}
+}

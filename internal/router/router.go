@@ -45,6 +45,12 @@ type Options struct {
 	// keep programs small. Zero means one idle hold cycle per time-step.
 	RotationsPerStep int
 
+	// Workers bounds the concurrency of independent per-boundary path
+	// searches (DA target). <= 1 routes sequentially. Paths are pure
+	// functions of the schedule, so the routing result is byte-identical
+	// for every worker count.
+	Workers int
+
 	// Obs records per-boundary spans and routing counters (retries,
 	// relocations, bus-phase cycles). Nil disables observation at the
 	// cost of a nil check per instrument call.
@@ -83,6 +89,11 @@ type Result struct {
 	// to break cyclic routing dependencies (none occur on the paper's
 	// benchmarks; see supplemental S3).
 	BufferReloc int
+	// StallCycles totals the cycles droplets waited on clearance or
+	// transit conflicts (DA router). Kept on the result so memoized
+	// replays can feed telemetry collectors the same counts a cold
+	// compile would have reported.
+	StallCycles int
 	Program     *pins.Program // non-nil when Options.EmitProgram
 	Events      []Event       // reservoir actions aligned to program cycles
 }
@@ -148,6 +159,15 @@ func routeError(ts int, m scheduler.Move, msg string, args ...any) error {
 	return &MoveError{TS: ts, Droplet: m.Droplet, Move: m, Msg: fmt.Sprintf(msg, args...)}
 }
 
+// grow returns buf resized to n elements, reallocating only when the
+// capacity is short. Contents are unspecified; callers reinitialize.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
 // bfsPath returns the shortest path (inclusive of both endpoints) from a
 // to b over the cells for which ok returns true. Returns nil when
 // unreachable. Deterministic: neighbours expand in grid.Dirs order.
@@ -179,6 +199,101 @@ func bfsPath(a, b grid.Cell, ok func(grid.Cell) bool) []grid.Cell {
 				return path
 			}
 			queue = append(queue, n)
+		}
+	}
+	return nil
+}
+
+// pathFinder is a reusable grid-indexed BFS workspace: epoch-marked
+// visited/blocked arrays and an index queue replace the per-call maps of
+// bfsPath, so the routers' hot path allocates nothing per search. The
+// expansion order (grid.Dirs on a FIFO frontier) and therefore every
+// returned path is byte-identical to bfsPath's.
+type pathFinder struct {
+	w, h int
+
+	visitEpoch int32
+	seen       []int32 // cell visited when seen[i] == visitEpoch
+	prev       []int32 // predecessor cell index, valid when seen
+
+	blockEpoch int32
+	blockedAt  []int32 // cell blocked when blockedAt[i] == blockEpoch
+
+	queue []int32
+}
+
+func newPathFinder(w, h int) *pathFinder {
+	n := w * h
+	return &pathFinder{
+		w: w, h: h,
+		seen:      make([]int32, n),
+		prev:      make([]int32, n),
+		blockedAt: make([]int32, n),
+		queue:     make([]int32, 0, n),
+	}
+}
+
+func (f *pathFinder) idx(c grid.Cell) int32 { return int32(c.Y*f.w + c.X) }
+
+func (f *pathFinder) cell(i int32) grid.Cell {
+	return grid.Cell{X: int(i) % f.w, Y: int(i) / f.w}
+}
+
+// resetBlocked starts a fresh blocked set (O(1)).
+func (f *pathFinder) resetBlocked() { f.blockEpoch++ }
+
+// block marks an in-bounds cell impassable for the current blocked set.
+func (f *pathFinder) block(c grid.Cell) {
+	if c.X >= 0 && c.X < f.w && c.Y >= 0 && c.Y < f.h {
+		f.blockedAt[f.idx(c)] = f.blockEpoch
+	}
+}
+
+// blocked reports whether the cell is in the current blocked set.
+func (f *pathFinder) blocked(c grid.Cell) bool { return f.blockedAt[f.idx(c)] == f.blockEpoch }
+
+// find appends the shortest a->b path (inclusive of both endpoints) over
+// cells passing ok to buf and returns it; nil when unreachable. ok is
+// only consulted for in-bounds cells — out-of-bounds neighbours are
+// rejected outright, exactly as an InBounds-checking ok would.
+func (f *pathFinder) find(a, b grid.Cell, ok func(grid.Cell) bool, buf []grid.Cell) []grid.Cell {
+	if a == b {
+		return append(buf, a)
+	}
+	f.visitEpoch++
+	ai := f.idx(a)
+	f.seen[ai] = f.visitEpoch
+	f.prev[ai] = ai
+	f.queue = f.queue[:0]
+	f.queue = append(f.queue, ai)
+	for qi := 0; qi < len(f.queue); qi++ {
+		cur := f.queue[qi]
+		cc := f.cell(cur)
+		for _, d := range grid.Dirs {
+			n := cc.Step(d)
+			if n.X < 0 || n.X >= f.w || n.Y < 0 || n.Y >= f.h {
+				continue
+			}
+			ni := f.idx(n)
+			if f.seen[ni] == f.visitEpoch || !ok(n) {
+				continue
+			}
+			f.seen[ni] = f.visitEpoch
+			f.prev[ni] = cur
+			if n == b {
+				start := len(buf)
+				for c := ni; ; c = f.prev[c] {
+					buf = append(buf, f.cell(c))
+					if c == ai {
+						break
+					}
+				}
+				for i, j := start, len(buf)-1; i < j; i, j = i+1, j-1 {
+					buf[i], buf[j] = buf[j], buf[i]
+				}
+				return buf
+			}
+			f.queue = append(f.queue, ni)
 		}
 	}
 	return nil

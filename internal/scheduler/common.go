@@ -3,11 +3,26 @@ package scheduler
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"fppc/internal/arch"
 	"fppc/internal/dag"
 	"fppc/internal/obs"
+	"fppc/internal/pool"
 )
+
+// Opts configures a scheduling run beyond the assay and chip.
+type Opts struct {
+	// Obs records list-scheduling iteration, deferred-op and eviction
+	// instrumentation (nil disables).
+	Obs *obs.Observer
+	// Workers bounds the concurrency of the scheduler's independent
+	// precomputation passes (priorities, depth ranks, expansion
+	// analysis, droplet enumeration). <= 1 runs them sequentially. The
+	// main list-scheduling loop is inherently sequential either way, so
+	// the schedule is byte-identical for every worker count.
+	Workers int
+}
 
 // policy selects the scheduling heuristics. The FPPC scheduler uses the
 // storage-frugal policy the paper's architecture depends on (section 4.1:
@@ -49,6 +64,54 @@ type base struct {
 	prio  []int
 	order []int // node ids sorted by policy priority (stable by id)
 
+	// pending is the subsequence of order whose nodes have every parent
+	// done but have not started — the only nodes ready() can accept, so
+	// the start/evict scans iterate nothing else. Nodes enter when
+	// markDone drops their parentsLeft to zero (insertion keeps the
+	// order-position sort) and leave by per-time-step compaction after
+	// they start; ready() rejects started nodes anyway, so compaction
+	// lag is unobservable. pendingDisp is its dispense-only subsequence
+	// (the port-eviction scan considers nothing else).
+	pending     []int
+	pendingDisp []int
+
+	// orderPos inverts order: orderPos[id] is the node's scan position.
+	orderPos []int32
+
+	// dirty records whether scheduler state has changed since the last
+	// start/evict sweep. Every resource a sweep consults frees exactly
+	// at an op completion (busy-until times equal op end times) or
+	// through an explicit mutation (start, evict, consolidation), so a
+	// time-step with no completions and a clean flag would run the
+	// identical no-op sweep the previous step proved empty — it is
+	// skipped wholesale.
+	dirty bool
+
+	// parentsLeft counts each node's unfinished parents (duplicates
+	// included), decremented by markDone — the O(1) form of ready()'s
+	// all-parents-done scan.
+	parentsLeft []int
+
+	// jitOK marks nodes whose just-in-time gate has opened. For a
+	// dispense the gate requires every non-dispense sibling feeding the
+	// consumer to be started-or-imminent; "imminent" means an
+	// instantaneous (duration-0) node all of whose own inputs are
+	// underway. Unrolling that recursion, the gate is exactly "every
+	// timed node in a fixed ancestor closure has started" — a monotone
+	// predicate of started[], since started never reverts. newBase
+	// flattens the closure per dispense, gateLeft counts its unstarted
+	// members, and gateRev inverts it so noteStarted can open gates in
+	// O(1) amortized instead of re-walking siblings every pass.
+	jitOK    []bool
+	gateLeft []int32
+	gateRev  [][]int32
+
+	// maxRunningEnd is the latest end time of any begun timed op; endAt
+	// buckets begun ops by end time so completion is O(ops ending now)
+	// instead of a full ops scan per time-step.
+	maxRunningEnd int
+	endAt         map[int][]int
+
 	ops     []BoundOp
 	started []bool
 	done    []bool
@@ -63,6 +126,10 @@ type base struct {
 	portParked []int // droplet id parked at the port, or -1
 
 	outPort map[string]int // fluid -> chip port index (with fallback)
+
+	// portsOf resolves each dispense node's candidate input ports once,
+	// so the hot scans never hash the fluid name.
+	portsOf [][]int
 
 	expansion []bool // per node: dispense that multiplies live droplets
 
@@ -88,32 +155,59 @@ type base struct {
 	cEvictPort *obs.Counter
 }
 
-func newBase(a *dag.Assay, chip *arch.Chip, pol policy, ob *obs.Observer) (*base, error) {
-	if err := a.Validate(); err != nil {
+func newBase(a *dag.Assay, chip *arch.Chip, pol policy, opts Opts) (*base, error) {
+	topo, err := a.ValidateAndOrder()
+	if err != nil {
 		return nil, err
 	}
+	// The precomputation passes are independent pure functions of the
+	// (validated) assay; with Workers > 1 they run concurrently. Each
+	// writes only its own slot, so results are identical either way.
+	var (
+		es        *edgeSet
+		prio      []int
+		depth     []int
+		expansion []bool
+	)
+	passes := []func(){
+		func() { es = newEdgeSet(a) },
+		func() { prio = priorities(a, topo) },
+		func() { depth = asapFinish(a, topo) },
+		func() { expansion = expansionDispenses(a) },
+	}
+	_ = pool.New(opts.Workers).Do(nil, len(passes), func(i int) error {
+		passes[i]()
+		return nil
+	})
+	ob := opts.Obs
 	b := &base{
-		assay:      a,
-		chip:       chip,
-		pol:        pol,
-		es:         newEdgeSet(a),
-		prio:       priorities(a),
-		ops:        make([]BoundOp, a.Len()),
-		started:    make([]bool, a.Len()),
-		done:       make([]bool, a.Len()),
-		inPorts:    map[string][]int{},
-		portBusyTo: make([]int, len(chip.Ports)),
-		portParked: make([]int, len(chip.Ports)),
-		outPort:    map[string]int{},
-		ob:         ob,
-		cDeferred:  ob.Counter("fppc_sched_deferred_ops_total"),
-		cMoves:     ob.Counter("fppc_sched_moves_total"),
-		cStoreRel:  ob.Counter("fppc_sched_storage_relocations_total"),
-		cEvictMix:  ob.Counter("fppc_sched_evictions_total", "kind", "mix"),
-		cEvictPort: ob.Counter("fppc_sched_evictions_total", "kind", "port"),
+		assay:       a,
+		chip:        chip,
+		pol:         pol,
+		es:          es,
+		prio:        prio,
+		ops:         make([]BoundOp, a.Len()),
+		started:     make([]bool, a.Len()),
+		done:        make([]bool, a.Len()),
+		parentsLeft: make([]int, a.Len()),
+		endAt:       map[int][]int{},
+		dirty:       true,
+		inPorts:     map[string][]int{},
+		portBusyTo:  make([]int, len(chip.Ports)),
+		portParked:  make([]int, len(chip.Ports)),
+		outPort:     map[string]int{},
+		ob:          ob,
+		cDeferred:   ob.Counter("fppc_sched_deferred_ops_total"),
+		cMoves:      ob.Counter("fppc_sched_moves_total"),
+		cStoreRel:   ob.Counter("fppc_sched_storage_relocations_total"),
+		cEvictMix:   ob.Counter("fppc_sched_evictions_total", "kind", "mix"),
+		cEvictPort:  ob.Counter("fppc_sched_evictions_total", "kind", "port"),
 	}
 	for i := range b.ops {
 		b.ops[i] = BoundOp{NodeID: i, Start: -1, End: -1}
+	}
+	for _, n := range a.Nodes {
+		b.parentsLeft[n.ID] = len(n.Parents)
 	}
 	for i := range b.portParked {
 		b.portParked[i] = -1
@@ -132,12 +226,14 @@ func newBase(a *dag.Assay, chip *arch.Chip, pol policy, ob *obs.Observer) (*base
 		}
 	}
 	// Check every fluid has ports before scheduling starts.
+	b.portsOf = make([][]int, a.Len())
 	for _, n := range a.Nodes {
 		switch n.Kind {
 		case dag.Dispense:
 			if len(b.inPorts[n.Fluid]) == 0 {
 				return nil, fmt.Errorf("scheduler: no input port for fluid %q on %s", n.Fluid, chip.Name)
 			}
+			b.portsOf[n.ID] = b.inPorts[n.Fluid]
 		case dag.Output:
 			if _, ok := b.outPort[n.Fluid]; !ok {
 				if firstOut < 0 {
@@ -160,12 +256,64 @@ func newBase(a *dag.Assay, chip *arch.Chip, pol policy, ob *obs.Observer) (*base
 		// instead of its width — which is what lets Protein Split 3 run
 		// with ~6 stored droplets (paper section 5.2) rather than one per
 		// branch. Ties break by node id for determinism.
-		sortByDepthDesc(b.order, asapFinish(a))
+		sortByDepthDesc(b.order, depth)
 	} else {
 		// Classic list scheduling: longest remaining duration path first.
 		sortByDepthDesc(b.order, b.prio)
 	}
-	b.expansion = expansionDispenses(a)
+	b.orderPos = make([]int32, a.Len())
+	for i, id := range b.order {
+		b.orderPos[id] = int32(i)
+	}
+	for _, id := range b.order {
+		if b.parentsLeft[id] != 0 {
+			continue
+		}
+		b.pending = append(b.pending, id)
+		if a.Nodes[id].Kind == dag.Dispense {
+			b.pendingDisp = append(b.pendingDisp, id)
+		}
+	}
+	b.jitOK = make([]bool, a.Len())
+	if pol.jitDispense {
+		b.gateLeft = make([]int32, a.Len())
+		b.gateRev = make([][]int32, a.Len())
+		// Flatten each dispense's gate to the timed nodes whose starts
+		// open it: siblings with a duration directly, instantaneous
+		// siblings via their timed ancestors (the unrolled
+		// started-or-imminent recursion; see the jitOK field comment).
+		inGate := make([]int, a.Len()) // 1-based dispense ID+1, 0 = absent
+		var collect func(d, x int)
+		collect = func(d, x int) {
+			n := a.Nodes[x]
+			if n.Duration != 0 {
+				if inGate[x] != d+1 {
+					inGate[x] = d + 1
+					b.gateLeft[d]++
+					b.gateRev[x] = append(b.gateRev[x], int32(d))
+				}
+				return
+			}
+			for _, p := range n.Parents {
+				collect(d, p)
+			}
+		}
+		for _, n := range a.Nodes {
+			if n.Kind != dag.Dispense || len(n.Children) != 1 {
+				continue
+			}
+			consumer := a.Node(n.Children[0])
+			for _, p := range consumer.Parents {
+				if sib := a.Node(p); sib.ID != n.ID && sib.Kind != dag.Dispense {
+					collect(n.ID, p)
+				}
+			}
+		}
+		for i := range b.jitOK {
+			b.jitOK[i] = b.gateLeft[i] == 0
+		}
+	}
+	b.expansion = expansion
 	b.expansionSplit = make([]int, a.Len())
 	b.splitInFlight = make([]int, a.Len())
 	for i := range b.expansionSplit {
@@ -263,12 +411,9 @@ func expansionDispenses(a *dag.Assay) []bool {
 }
 
 // asapFinish computes each node's earliest possible finish time on
-// unlimited resources — the depth metric the ready order uses.
-func asapFinish(a *dag.Assay) []int {
-	order, err := a.TopologicalOrder()
-	if err != nil {
-		panic(fmt.Sprintf("scheduler: %v", err)) // callers validate first
-	}
+// unlimited resources — the depth metric the ready order uses. order is
+// a topological order of the assay.
+func asapFinish(a *dag.Assay, order []int) []int {
 	fin := make([]int, a.Len())
 	for _, id := range order {
 		n := a.Nodes[id]
@@ -296,17 +441,18 @@ func asapFinish(a *dag.Assay) []int {
 	return fin
 }
 
-// sortByDepthDesc stable-sorts ids by descending depth then ascending id.
+// sortByDepthDesc sorts ids by descending depth then ascending id. The
+// key (depth, id) is a total order, so the result is unique — any
+// correct sort produces the byte-identical ordering the old insertion
+// sort did, at O(n log n) instead of O(n²) per auto-grow attempt.
 func sortByDepthDesc(ids []int, depth []int) {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0; j-- {
-			x, y := ids[j-1], ids[j]
-			if depth[x] > depth[y] || (depth[x] == depth[y] && x < y) {
-				break
-			}
-			ids[j-1], ids[j] = y, x
+	sort.Slice(ids, func(i, j int) bool {
+		x, y := ids[i], ids[j]
+		if depth[x] != depth[y] {
+			return depth[x] > depth[y]
 		}
-	}
+		return x < y
+	})
 }
 
 // ready reports whether the node can be considered for starting.
@@ -315,55 +461,108 @@ func sortByDepthDesc(ids []int, depth []int) {
 // reagent droplets are not pumped onto the chip (and into storage) long
 // before the droplet they will combine with exists.
 func (b *base) ready(node int) bool {
-	if b.started[node] {
+	if b.started[node] || b.parentsLeft[node] != 0 {
 		return false
-	}
-	n := b.assay.Node(node)
-	for _, p := range n.Parents {
-		if !b.done[p] {
-			return false
-		}
 	}
 	if !b.es.inputsParked(node) {
 		return false
 	}
-	if b.pol.jitDispense && n.Kind == dag.Dispense && len(n.Children) == 1 {
-		consumer := b.assay.Node(n.Children[0])
-		for _, p := range consumer.Parents {
-			sib := b.assay.Node(p)
-			if sib.ID != node && sib.Kind != dag.Dispense && !b.startedOrImminent(p) {
-				return false
-			}
-		}
+	if b.pol.jitDispense && !b.jitOK[node] {
+		return false
 	}
 	return true
 }
 
-// startedOrImminent reports whether the node is underway, or is an
-// instantaneous node (split/output) whose own inputs are all underway —
-// in which case it will fire as soon as its parents finish. Dispenses
-// gate on this rather than on strict starts so a 7 s dispense can overlap
-// the 3 s mix that precedes its consumer, keeping the ports saturated.
-func (b *base) startedOrImminent(node int) bool {
-	if b.started[node] {
-		return true
+// noteStarted opens just-in-time gates whose last awaited timed node is
+// this one. Called wherever started flips true; gates only ever open
+// (started never reverts), so the countdown is exact.
+func (b *base) noteStarted(id int) {
+	if b.gateRev == nil {
+		return
 	}
-	n := b.assay.Node(node)
-	if n.Duration != 0 {
-		return false
-	}
-	for _, p := range n.Parents {
-		if !b.startedOrImminent(p) {
-			return false
+	for _, d := range b.gateRev[id] {
+		b.gateLeft[d]--
+		if b.gateLeft[d] == 0 {
+			b.jitOK[d] = true
 		}
 	}
-	return true
+}
+
+// markDone finalizes a node's completion bookkeeping: done flags, the
+// done counter, and the children's unfinished-parent counts.
+func (b *base) markDone(id int) {
+	b.done[id] = true
+	b.doneCnt++
+	b.dirty = true
+	for _, c := range b.assay.Nodes[id].Children {
+		b.parentsLeft[c]--
+		if b.parentsLeft[c] == 0 {
+			b.enqueuePending(c)
+		}
+	}
+}
+
+// enqueuePending inserts a node whose last parent just finished into the
+// pending scan list at its order position (binary search; the list stays
+// sorted by scan priority).
+func (b *base) enqueuePending(id int) {
+	pos := b.orderPos[id]
+	i := sort.Search(len(b.pending), func(k int) bool { return b.orderPos[b.pending[k]] >= pos })
+	b.pending = append(b.pending, 0)
+	copy(b.pending[i+1:], b.pending[i:])
+	b.pending[i] = id
+}
+
+// noteRunning registers a begun timed op for completion tracking.
+func (b *base) noteRunning(id, end int) {
+	b.dirty = true
+	if end > b.maxRunningEnd {
+		b.maxRunningEnd = end
+	}
+	b.endAt[end] = append(b.endAt[end], id)
+}
+
+// endingAt returns the begun ops whose End == t, ascending by node id —
+// the same visit order the old full-ops scan produced.
+func (b *base) endingAt(t int) []int {
+	ids := b.endAt[t]
+	if len(ids) == 0 {
+		return nil
+	}
+	delete(b.endAt, t)
+	sort.Ints(ids)
+	return ids
+}
+
+// anyRunning reports whether some begun op is still executing after t.
+// Ends are never retracted, so the max begun end time decides it.
+func (b *base) anyRunning(t int) bool { return b.maxRunningEnd > t }
+
+// compactPending drops started nodes from the pending scan lists.
+// Called once per active time-step; ready() rejects started nodes
+// regardless, so the scans behave identically whenever compaction runs.
+func (b *base) compactPending() {
+	kept := b.pending[:0]
+	for _, id := range b.pending {
+		if !b.started[id] {
+			kept = append(kept, id)
+		}
+	}
+	b.pending = kept
+	keptD := b.pendingDisp[:0]
+	for _, id := range b.pendingDisp {
+		if !b.started[id] {
+			keptD = append(keptD, id)
+		}
+	}
+	b.pendingDisp = keptD
 }
 
 // emitMove records a droplet transfer and updates the droplet location.
 func (b *base) emitMove(ts int, d *droplet, kind MoveKind, to Location, nodeID int) {
 	b.moves = append(b.moves, Move{TS: ts, Droplet: d.id, Kind: kind, From: d.loc, To: to, NodeID: nodeID, Away: -1})
 	d.loc = to
+	b.dirty = true
 	b.cMoves.Inc()
 	if kind == MoveStore {
 		b.storageMoves++
@@ -371,9 +570,10 @@ func (b *base) emitMove(ts int, d *droplet, kind MoveKind, to Location, nodeID i
 	}
 }
 
-// freeInputPort returns an available port index for the fluid, or -1.
-func (b *base) freeInputPort(fluid string, t int) int {
-	for _, pi := range b.inPorts[fluid] {
+// freeInputPort returns an available port index for the dispense node
+// (candidate ports pre-resolved in portsOf), or -1.
+func (b *base) freeInputPort(id, t int) int {
+	for _, pi := range b.portsOf[id] {
 		if b.portBusyTo[pi] <= t && b.portParked[pi] == -1 {
 			return pi
 		}

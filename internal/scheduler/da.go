@@ -16,9 +16,8 @@ import (
 // routing on the protein benchmarks).
 type daState struct {
 	*base
-	busyTo    []int   // per work module: first free time-step
-	stored    [][]int // droplet ids stored per module (cap DAStorePerMod)
-	runningTo []int
+	busyTo []int   // per work module: first free time-step
+	stored [][]int // droplet ids stored per module (cap DAStorePerMod)
 }
 
 // ScheduleDA runs the list scheduler against a direct-addressing chip.
@@ -35,10 +34,17 @@ func ScheduleDAObserved(a *dag.Assay, chip *arch.Chip, ob *obs.Observer) (*Sched
 // ScheduleDAContext is ScheduleDAObserved with cooperative cancellation
 // (see ScheduleFPPCContext). A nil ctx never cancels.
 func ScheduleDAContext(ctx context.Context, a *dag.Assay, chip *arch.Chip, ob *obs.Observer) (*Schedule, error) {
+	return ScheduleDAWith(ctx, a, chip, Opts{Obs: ob})
+}
+
+// ScheduleDAWith is the fully-configurable DA entry point; see Opts. The
+// worker count only parallelizes precomputation, so the schedule is
+// byte-identical for every value.
+func ScheduleDAWith(ctx context.Context, a *dag.Assay, chip *arch.Chip, opts Opts) (*Schedule, error) {
 	if chip.Arch != arch.DirectAddressing {
 		return nil, fmt.Errorf("scheduler: ScheduleDA on %v chip %s", chip.Arch, chip.Name)
 	}
-	b, err := newBase(a, chip, daPolicy, ob)
+	b, err := newBase(a, chip, daPolicy, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -55,17 +61,21 @@ func ScheduleDAContext(ctx context.Context, a *dag.Assay, chip *arch.Chip, ob *o
 			return nil, err
 		}
 		st.completeAt(t)
-		for {
-			if st.tryStart(t) {
-				continue
+		if st.dirty {
+			st.dirty = false
+			st.compactPending()
+			for {
+				if st.tryStart(t) {
+					continue
+				}
+				if st.tryEvictPort(t) {
+					st.cEvictPort.Inc()
+					continue
+				}
+				break
 			}
-			if st.tryEvictPort(t) {
-				st.cEvictPort.Inc()
-				continue
-			}
-			break
+			st.consolidate(t)
 		}
-		st.consolidate(t)
 		if st.doneCnt < a.Len() && !st.anyRunning(t) {
 			return nil, &ErrInsufficientResources{
 				Chip: chip.Name, Assay: a.Name, TS: t, Pending: st.pendingCount(),
@@ -87,18 +97,9 @@ func checkSplitDurations(a *dag.Assay) error {
 	return nil
 }
 
-func (st *daState) anyRunning(t int) bool {
-	for _, end := range st.runningTo {
-		if end > t {
-			return true
-		}
-	}
-	return false
-}
-
 func (st *daState) completeAt(t int) {
-	for id, op := range st.ops {
-		if st.started[id] && !st.done[id] && op.End == t {
+	for _, id := range st.endingAt(t) {
+		if !st.done[id] {
 			st.finish(id)
 		}
 	}
@@ -106,8 +107,7 @@ func (st *daState) completeAt(t int) {
 
 // finish parks the node's outputs in the module (or port) that ran it.
 func (st *daState) finish(id int) {
-	st.done[id] = true
-	st.doneCnt++
+	st.markDone(id)
 	op := st.ops[id]
 	for _, d := range st.es.byProd[id] {
 		d.parked = true
@@ -204,7 +204,7 @@ func (st *daState) moduleFor(id, t int) int {
 }
 
 func (st *daState) tryStart(t int) bool {
-	for _, id := range st.order {
+	for _, id := range st.pending {
 		if !st.ready(id) {
 			continue
 		}
@@ -225,7 +225,7 @@ func (st *daState) startNode(id, t int) bool {
 		if !st.expansionAdmissible(id, st.freeStorageSlots(t)) {
 			return false
 		}
-		pi := st.freeInputPort(n.Fluid, t)
+		pi := st.freeInputPort(id, t)
 		if pi < 0 {
 			return false
 		}
@@ -274,12 +274,13 @@ func (st *daState) consumeInputs(id, t int, loc Location) {
 
 func (st *daState) begin(id, t, dur int, loc Location) {
 	st.started[id] = true
+	st.noteStarted(id)
 	st.ops[id] = BoundOp{NodeID: id, Start: t, End: t + dur, Loc: loc}
 	if dur == 0 {
 		st.finish(id)
 		return
 	}
-	st.runningTo = append(st.runningTo, t+dur)
+	st.noteRunning(id, t+dur)
 }
 
 // freeStorageSlots counts storage capacity on idle work modules.
@@ -315,15 +316,14 @@ func (st *daState) storageModule(t int) int {
 // tryEvictPort frees a contended reservoir port by storing its waiting
 // droplet in a work module (mirroring the FPPC port eviction).
 func (st *daState) tryEvictPort(t int) bool {
-	for _, id := range st.order {
-		n := st.assay.Node(id)
-		if n.Kind != dag.Dispense || !st.ready(id) {
+	for _, id := range st.pendingDisp {
+		if !st.ready(id) {
 			continue
 		}
-		if st.freeInputPort(n.Fluid, t) >= 0 {
+		if st.freeInputPort(id, t) >= 0 {
 			continue
 		}
-		for _, pi := range st.inPorts[n.Fluid] {
+		for _, pi := range st.portsOf[id] {
 			did := st.portParked[pi]
 			if did < 0 {
 				continue

@@ -19,7 +19,6 @@ type fppcState struct {
 	ssdParked   []int
 	splitStep   []int // last time-step each SSD hosted a split
 	reservedSSD int   // router's buffer SSD (ReservedSSD), or -1
-	runningTo   []int // end times of in-flight ops (for progress checks)
 }
 
 // ReservedSSD returns the SSD module the FPPC-family router keeps as
@@ -65,10 +64,17 @@ func ScheduleFPPCObserved(a *dag.Assay, chip *arch.Chip, ob *obs.Observer) (*Sch
 // cancellation: the time-step loop checks ctx once per step and aborts
 // with an error wrapping ctx.Err(). A nil ctx never cancels.
 func ScheduleFPPCContext(ctx context.Context, a *dag.Assay, chip *arch.Chip, ob *obs.Observer) (*Schedule, error) {
+	return ScheduleFPPCWith(ctx, a, chip, Opts{Obs: ob})
+}
+
+// ScheduleFPPCWith is the fully-configurable FPPC entry point; see Opts.
+// The worker count only parallelizes precomputation, so the schedule is
+// byte-identical for every value.
+func ScheduleFPPCWith(ctx context.Context, a *dag.Assay, chip *arch.Chip, opts Opts) (*Schedule, error) {
 	if chip.Arch == arch.DirectAddressing {
 		return nil, fmt.Errorf("scheduler: ScheduleFPPC on %v chip %s", chip.Arch, chip.Name)
 	}
-	b, err := newBase(a, chip, fppcPolicy, ob)
+	b, err := newBase(a, chip, fppcPolicy, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -99,19 +105,23 @@ func ScheduleFPPCContext(ctx context.Context, a *dag.Assay, chip *arch.Chip, ob 
 			return nil, err
 		}
 		st.completeAt(t)
-		for {
-			if st.tryStart(t) {
-				continue
+		if st.dirty {
+			st.dirty = false
+			st.compactPending()
+			for {
+				if st.tryStart(t) {
+					continue
+				}
+				if st.tryEvict(t) {
+					st.cEvictMix.Inc()
+					continue
+				}
+				if st.tryEvictPort(t) {
+					st.cEvictPort.Inc()
+					continue
+				}
+				break
 			}
-			if st.tryEvict(t) {
-				st.cEvictMix.Inc()
-				continue
-			}
-			if st.tryEvictPort(t) {
-				st.cEvictPort.Inc()
-				continue
-			}
-			break
 		}
 		if st.doneCnt < a.Len() && !st.anyRunning(t) {
 			return nil, &ErrInsufficientResources{
@@ -122,21 +132,11 @@ func ScheduleFPPCContext(ctx context.Context, a *dag.Assay, chip *arch.Chip, ob 
 	return st.finishSchedule(), nil
 }
 
-// anyRunning reports whether some operation is still executing after t.
-func (st *fppcState) anyRunning(t int) bool {
-	for _, end := range st.runningTo {
-		if end > t {
-			return true
-		}
-	}
-	return false
-}
-
 // completeAt finalizes operations whose End == t: their result droplets
 // park in the module/port that executed them, keeping it occupied.
 func (st *fppcState) completeAt(t int) {
-	for id, op := range st.ops {
-		if st.started[id] && !st.done[id] && op.End == t {
+	for _, id := range st.endingAt(t) {
+		if !st.done[id] {
 			st.finish(id)
 		}
 	}
@@ -144,8 +144,7 @@ func (st *fppcState) completeAt(t int) {
 
 // finish marks the node done and parks its outputs at its location.
 func (st *fppcState) finish(id int) {
-	st.done[id] = true
-	st.doneCnt++
+	st.markDone(id)
 	op := st.ops[id]
 	for _, d := range st.es.byProd[id] {
 		d.parked = true
@@ -218,7 +217,7 @@ func (st *fppcState) freeSSDCount(t int) int {
 // tryStart attempts to start exactly one ready operation at time-step t,
 // highest priority first. Returns true if one started.
 func (st *fppcState) tryStart(t int) bool {
-	for _, id := range st.order {
+	for _, id := range st.pending {
 		if !st.ready(id) {
 			continue
 		}
@@ -245,7 +244,7 @@ func (st *fppcState) startNode(id, t int) bool {
 		if !st.expansionAdmissible(id, st.freeSSDCount(t)) {
 			return false
 		}
-		pi := st.freeInputPort(n.Fluid, t)
+		pi := st.freeInputPort(id, t)
 		if pi < 0 {
 			return false
 		}
@@ -475,18 +474,18 @@ func (st *fppcState) consumeInputs(id, t int, loc Location) {
 // begin records the bound op; zero-duration ops complete immediately.
 func (st *fppcState) begin(id, t, dur int, loc Location) {
 	st.started[id] = true
+	st.noteStarted(id)
 	st.ops[id] = BoundOp{NodeID: id, Start: t, End: t + dur, Loc: loc}
 	if dur == 0 {
 		if st.assay.Node(id).Kind == dag.Split {
 			// Split parks its outputs itself (two droplets, two homes).
-			st.done[id] = true
-			st.doneCnt++
+			st.markDone(id)
 			return
 		}
 		st.finish(id)
 		return
 	}
-	st.runningTo = append(st.runningTo, t+dur)
+	st.noteRunning(id, t+dur)
 }
 
 // tryEvictPort frees one reservoir port that a ready dispense is blocked
@@ -494,15 +493,14 @@ func (st *fppcState) begin(id, t, dur int, loc Location) {
 // only happens under port contention, so droplets whose consumers keep up
 // travel directly from the reservoir to their module.
 func (st *fppcState) tryEvictPort(t int) bool {
-	for _, id := range st.order {
-		n := st.assay.Node(id)
-		if n.Kind != dag.Dispense || !st.ready(id) {
+	for _, id := range st.pendingDisp {
+		if !st.ready(id) {
 			continue
 		}
-		if st.freeInputPort(n.Fluid, t) >= 0 {
+		if st.freeInputPort(id, t) >= 0 {
 			continue // startable; tryStart will get it
 		}
-		for _, pi := range st.inPorts[n.Fluid] {
+		for _, pi := range st.portsOf[id] {
 			did := st.portParked[pi]
 			if did < 0 {
 				continue

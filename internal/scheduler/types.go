@@ -17,6 +17,7 @@ package scheduler
 
 import (
 	"fmt"
+	"sort"
 
 	"fppc/internal/arch"
 	"fppc/internal/dag"
@@ -141,30 +142,34 @@ type Schedule struct {
 	PeakStored   int // max droplets simultaneously parked in storage
 }
 
-// MovesAt returns the moves of the routing sub-problem at boundary ts.
-func (s *Schedule) MovesAt(ts int) []Move {
-	var out []Move
-	for _, m := range s.Moves {
-		if m.TS == ts {
-			out = append(out, m)
-		}
+// MovesSpan returns the moves of the routing sub-problem at boundary ts
+// as a subslice of Moves (which is TS-ascending; Validate enforces it).
+// The slice aliases the schedule — callers that modify moves must copy.
+func (s *Schedule) MovesSpan(ts int) []Move {
+	lo := sort.Search(len(s.Moves), func(i int) bool { return s.Moves[i].TS >= ts })
+	hi := lo
+	for hi < len(s.Moves) && s.Moves[hi].TS == ts {
+		hi++
 	}
-	return out
+	return s.Moves[lo:hi]
 }
 
-// Boundaries returns the sorted distinct TS values with at least one move.
-func (s *Schedule) Boundaries() []int {
-	seen := map[int]bool{}
-	var out []int
-	for _, m := range s.Moves {
-		if !seen[m.TS] {
-			seen[m.TS] = true
-			out = append(out, m.TS)
-		}
+// MovesAt returns a fresh copy of the moves at boundary ts.
+func (s *Schedule) MovesAt(ts int) []Move {
+	span := s.MovesSpan(ts)
+	if len(span) == 0 {
+		return nil
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j-1] > out[j]; j-- {
-			out[j-1], out[j] = out[j], out[j-1]
+	return append([]Move(nil), span...)
+}
+
+// Boundaries returns the sorted distinct TS values with at least one
+// move — a single pass, since Moves is TS-ascending.
+func (s *Schedule) Boundaries() []int {
+	var out []int
+	for i, m := range s.Moves {
+		if i == 0 || m.TS != s.Moves[i-1].TS {
+			out = append(out, m.TS)
 		}
 	}
 	return out
@@ -254,12 +259,10 @@ func (es *edgeSet) inputsParked(node int) bool {
 }
 
 // priorities computes the classic list-scheduling priority: the longest
-// duration path from each node to any sink.
-func priorities(a *dag.Assay) []int {
-	order, err := a.TopologicalOrder()
-	if err != nil {
-		panic(fmt.Sprintf("scheduler: %v", err)) // callers validate first
-	}
+// duration path from each node to any sink. order is a topological order
+// of the assay (shared across the precomputation passes so the graph is
+// sorted once per scheduling run).
+func priorities(a *dag.Assay, order []int) []int {
 	prio := make([]int, a.Len())
 	for i := len(order) - 1; i >= 0; i-- {
 		n := a.Nodes[order[i]]

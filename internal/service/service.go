@@ -63,8 +63,21 @@ import (
 type Config struct {
 	// Workers bounds concurrent compilations (default: GOMAXPROCS).
 	Workers int
+	// CompileWorkers bounds the intra-compile concurrency each request
+	// may use (core.Config.Workers: scheduler precompute passes, DA
+	// path searches). 0 keeps compiles sequential — the right default
+	// when Workers already saturates the host. Artifacts are
+	// byte-identical for every value.
+	CompileWorkers int
 	// CacheEntries bounds the compile cache (default 256).
 	CacheEntries int
+	// MemoEntries bounds the structural memo shared by all requests: a
+	// compile whose DAG is structurally identical to a previously
+	// compiled one (same shape, fluids, durations — labels and names
+	// may differ, which the byte-level response cache cannot see past)
+	// is served from a deep clone instead of a fresh synthesis run.
+	// Default 128; negative disables memoization.
+	MemoEntries int
 	// DefaultTimeout applies when a request names no timeout_ms
 	// (default 30s).
 	DefaultTimeout time.Duration
@@ -118,6 +131,7 @@ type Server struct {
 	ob      *obs.Observer
 	sem     chan struct{}
 	cache   *lruCache
+	memo    *core.Memo // structural compile memo (nil when disabled)
 	flight  *group
 	queued  atomic.Int64
 	start   time.Time
@@ -167,6 +181,14 @@ type Server struct {
 }
 
 // endpointCounters caches the requests_total series of one endpoint.
+// memoFor builds the structural compile memo, or nil when disabled.
+func memoFor(cfg Config) *core.Memo {
+	if cfg.MemoEntries < 0 {
+		return nil
+	}
+	return core.NewMemo(cfg.MemoEntries)
+}
+
 type endpointCounters struct {
 	ok    *obs.Counter // status 200, the hot path
 	other sync.Map     // int status -> *obs.Counter, resolved on first use
@@ -179,6 +201,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.CacheEntries <= 0 {
 		cfg.CacheEntries = 256
+	}
+	if cfg.MemoEntries == 0 {
+		cfg.MemoEntries = 128
 	}
 	if cfg.DefaultTimeout <= 0 {
 		cfg.DefaultTimeout = 30 * time.Second
@@ -206,6 +231,7 @@ func New(cfg Config) *Server {
 		ob:      ob,
 		sem:     make(chan struct{}, cfg.Workers),
 		cache:   newLRUCache(cfg.CacheEntries),
+		memo:    memoFor(cfg),
 		flight:  newGroup(),
 		start:   time.Now(),
 		mux:     http.NewServeMux(),
@@ -569,6 +595,8 @@ func (s *Server) runCompile(ctx context.Context, j *job, rec *journal.Entry) (*e
 	cfg := j.cfg
 	cfg.Obs = reqOb
 	cfg.Router.Telemetry = tc
+	cfg.Workers = s.cfg.CompileWorkers
+	cfg.Memo = s.memo
 	t0 := time.Now()
 	res, err := core.CompileContext(ctx, j.assay, cfg)
 	s.hCompile.Observe(time.Since(t0).Seconds())
@@ -743,15 +771,22 @@ type Health struct {
 	Workers       int     `json:"workers"`
 	QueueDepth    int64   `json:"queue_depth"`
 	CacheEntries  int     `json:"cache_entries"`
+	MemoEntries   int     `json:"memo_entries"`
+	MemoHits      uint64  `json:"memo_hits"`
+	MemoMisses    uint64  `json:"memo_misses"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.memo.Stats()
 	writeJSON(w, http.StatusOK, Health{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Workers:       s.cfg.Workers,
 		QueueDepth:    s.queued.Load(),
 		CacheEntries:  s.cache.len(),
+		MemoEntries:   s.memo.Len(),
+		MemoHits:      hits,
+		MemoMisses:    misses,
 	})
 }
 

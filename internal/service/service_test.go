@@ -171,7 +171,10 @@ func TestConcurrentIdenticalRequestsCompileOnce(t *testing.T) {
 // the typed cancellation kind.
 func TestTinyDeadlineReturns504(t *testing.T) {
 	s, ts := newTestServer(t)
-	raw, err := json.Marshal(assays.ProteinSplit(6, assays.DefaultTiming()))
+	// Protein Split 7 compiles in ~25 ms even on the fast paths — far
+	// beyond the 1 ms deadline — while keeping canonicalization cheap
+	// enough that the handler reaches the expired context promptly.
+	raw, err := json.Marshal(assays.ProteinSplit(7, assays.DefaultTiming()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,6 +350,42 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
+// Two requests that miss the response cache (the verify flag is part
+// of its key) but share assay structure must share one compile through
+// the server's structural memo, visible on /healthz.
+func TestStructuralMemoSharedAcrossDistinctRequests(t *testing.T) {
+	s, ts := newTestServer(t)
+	var plain, verified CompileResponse
+	if code := post(t, ts.URL, CompileRequest{ASL: dilutionASL}, &plain); code != http.StatusOK {
+		t.Fatalf("plain: HTTP %d", code)
+	}
+	if code := post(t, ts.URL, CompileRequest{ASL: dilutionASL, Verify: true}, &verified); code != http.StatusOK {
+		t.Fatalf("verified: HTTP %d", code)
+	}
+	if verified.Cached {
+		t.Fatal("verify-toggled request hit the response cache; the memo was never exercised")
+	}
+	if plain.Stats != verified.Stats {
+		t.Errorf("stats diverge across memo replay: %+v vs %+v", plain.Stats, verified.Stats)
+	}
+	hits, misses := s.memo.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("memo stats hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.MemoEntries != 1 || h.MemoHits != 1 || h.MemoMisses != 1 {
+		t.Errorf("healthz memo stats = %d entries, %d hits, %d misses; want 1/1/1", h.MemoEntries, h.MemoHits, h.MemoMisses)
+	}
+}
+
 func TestMetricsEndpoint(t *testing.T) {
 	_, ts := newTestServer(t)
 	var resp CompileResponse
@@ -389,7 +428,7 @@ func TestCacheEviction(t *testing.T) {
 // Server timeouts cap client-requested ones.
 func TestMaxTimeoutCapsRequest(t *testing.T) {
 	s := New(Config{Workers: 1, MaxTimeout: time.Millisecond})
-	raw, err := json.Marshal(assays.ProteinSplit(6, assays.DefaultTiming()))
+	raw, err := json.Marshal(assays.ProteinSplit(7, assays.DefaultTiming()))
 	if err != nil {
 		t.Fatal(err)
 	}

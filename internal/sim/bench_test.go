@@ -10,14 +10,14 @@ import (
 	"fppc/internal/telemetry"
 )
 
-func compileBenchProgram(b *testing.B) *core.Result {
-	b.Helper()
+func compileBenchProgram(tb testing.TB) *core.Result {
+	tb.Helper()
 	res, err := core.Compile(assays.PCR(assays.DefaultTiming()), core.Config{
 		Target: core.TargetFPPC,
 		Router: router.Options{EmitProgram: true, RotationsPerStep: 1},
 	})
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	return res
 }

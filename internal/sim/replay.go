@@ -74,7 +74,8 @@ func (r *Replay) Step() bool {
 		}
 		r.evIdx++
 	}
-	active := pins.ActiveCells(r.chip, r.prog.Cycle(r.cycle))
+	r.st.activeBuf = pins.ActiveCellsInto(r.chip, r.prog.Cycle(r.cycle), r.st.activeBuf)
+	active := r.st.activeBuf
 	r.st.tc.Frame(r.prog.Cycle(r.cycle))
 	if err := r.st.step(r.cycle, active); err != nil {
 		r.err = err

@@ -181,7 +181,8 @@ func RunInjected(chip *arch.Chip, prog *pins.Program, events []router.Event, ob 
 			}
 			evIdx++
 		}
-		active := pins.ActiveCells(chip, prog.Cycle(cyc))
+		s.activeBuf = pins.ActiveCellsInto(chip, prog.Cycle(cyc), s.activeBuf)
+		active := s.activeBuf
 		if inj != nil {
 			inj.Transform(chip, active)
 		}
@@ -206,6 +207,15 @@ type state struct {
 
 	// residue records the dominant fluid last deposited on each cell.
 	residue map[grid.Cell]string
+
+	// Per-cycle scratch, reused so the replay loop stays allocation-free
+	// on its steady state (pinned by the allocs/op floor in bench_test):
+	// the active-cell set, advance's candidate bookkeeping, and step's
+	// next-generation droplet list.
+	activeBuf map[grid.Cell]bool
+	seenBuf   map[grid.Cell]bool
+	pullsBuf  []grid.Cell
+	dropsBuf  []*Droplet
 
 	cCycles *obs.Counter
 	cMoves  *obs.Counter
@@ -251,7 +261,7 @@ func (s *state) apply(cyc int, ev router.Event) error {
 
 // step advances every droplet one actuation cycle.
 func (s *state) step(cyc int, active map[grid.Cell]bool) error {
-	var newDrops []*Droplet
+	newDrops := s.dropsBuf[:0]
 	for _, d := range s.drops {
 		moved, extra, err := s.advance(cyc, d, active)
 		if err != nil {
@@ -264,7 +274,8 @@ func (s *state) step(cyc int, active map[grid.Cell]bool) error {
 			s.cSplits.Inc()
 		}
 	}
-	s.drops = newDrops
+	// Swap generations: the old droplet list becomes next cycle's scratch.
+	s.drops, s.dropsBuf = newDrops, s.drops
 	s.trackResidue()
 	if err := s.mergePass(cyc); err != nil {
 		return err
@@ -311,8 +322,13 @@ func dominantFluid(d *Droplet) string {
 func (s *state) advance(cyc int, d *Droplet, active map[grid.Cell]bool) (*Droplet, *Droplet, error) {
 	// Candidate electrodes: the droplet's own cells and their cardinal
 	// neighbours that carry electrodes.
-	seen := map[grid.Cell]bool{}
-	var pulls []grid.Cell
+	if s.seenBuf == nil {
+		s.seenBuf = map[grid.Cell]bool{}
+	} else {
+		clear(s.seenBuf)
+	}
+	seen := s.seenBuf
+	pulls := s.pullsBuf[:0]
 	consider := func(c grid.Cell) {
 		if seen[c] {
 			return
@@ -330,6 +346,7 @@ func (s *state) advance(cyc int, d *Droplet, active map[grid.Cell]bool) (*Drople
 			consider(n)
 		}
 	}
+	s.pullsBuf = pulls[:0]
 
 	switch len(d.Cells) {
 	case 1:
